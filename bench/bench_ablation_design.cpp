@@ -1,0 +1,359 @@
+// Design-choice ablations beyond the paper's own Fig. 13 study:
+//
+//  A. CC bound width (CcOptions::bound_sigma): how wide the constraint
+//     intervals are. Tighter bounds boost fewer, more-conforming tuples
+//     and route more aggressively.
+//  B. Algorithm 3 keep fraction (paper fixes k = 0.2n): sensitivity of
+//     CONFAIR to the density-filter strength.
+//  C. DIFFAIR routing rule: hard conformance routing vs the CC-weighted
+//     soft ensemble (paper §III-A's suggested extension) across
+//     temperatures.
+//  D. Profiling primitive: conformance constraints vs axis-aligned boxes
+//     (sigma and quantile bounds) — the "other profiling tools"
+//     integration the paper names as future work (§VI).
+//  E. Routing family: CC routing vs k-means centroid routing vs group
+//     membership — the clustering alternative the paper argues against
+//     (§I "In relation to clustering").
+//  F. Learner families consuming LR-calibrated CONFAIR weights (LR, XGB,
+//     and the NB extension) — widening the Fig. 7 model-agnosticism
+//     study.
+//
+// Usage: bench_ablation_design [--trials N] [--scale S] [--seed K]
+
+#include <cstdio>
+
+#include "bench_common/experiment.h"
+#include "bench_common/table.h"
+#include "core/cluster_routing.h"
+#include "core/ensemble.h"
+#include "data/split.h"
+#include "datagen/drift.h"
+#include "datagen/realworld.h"
+#include "ml/logistic_regression.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace fairdrift;
+
+namespace {
+
+void AblateBoundSigma(const Dataset& data, const BenchConfig& config) {
+  PrintSection("Ablation A — CC bound width (CONFAIR, MEPS-like, LR)");
+  AsciiTable table({"bound_sigma", "DI*", "AOD*", "BalAcc", "alpha_u"});
+  for (double sigma : {0.75, 1.25, 1.75, 2.5, 3.5}) {
+    PipelineOptions opts;
+    opts.method = Method::kConfair;
+    opts.learner = LearnerKind::kLogisticRegression;
+    opts.confair.profile.cc.bound_sigma = sigma;
+    TrialSummary s = RunTrials(data, opts, config.trials, config.seed);
+    if (s.trials_succeeded == 0) {
+      table.AddRow({FormatDouble(sigma, 2), "n/a", "n/a", "n/a", "n/a"});
+      continue;
+    }
+    table.AddRow({FormatDouble(sigma, 2), MetricCell(s, s.report.di_star),
+                  MetricCell(s, s.report.aod_star),
+                  MetricCell(s, s.report.balanced_accuracy),
+                  FormatDouble(s.tuned_alpha, 2)});
+  }
+  table.Print();
+}
+
+void AblateKeepFraction(const Dataset& data, const BenchConfig& config) {
+  PrintSection(
+      "Ablation B — Algorithm 3 keep fraction (CONFAIR, MEPS-like, LR; "
+      "paper uses 0.2)");
+  AsciiTable table({"keep_fraction", "DI*", "AOD*", "BalAcc"});
+  for (double keep : {0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+    PipelineOptions opts;
+    opts.method = Method::kConfair;
+    opts.learner = LearnerKind::kLogisticRegression;
+    opts.confair.profile.filter.keep_fraction = keep;
+    TrialSummary s = RunTrials(data, opts, config.trials, config.seed);
+    if (s.trials_succeeded == 0) {
+      table.AddRow({FormatDouble(keep, 2), "n/a", "n/a", "n/a"});
+      continue;
+    }
+    table.AddRow({FormatDouble(keep, 2), MetricCell(s, s.report.di_star),
+                  MetricCell(s, s.report.aod_star),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  table.Print();
+}
+
+void AblateRouting(const BenchConfig& config) {
+  PrintSection(
+      "Ablation C — hard routing vs CC soft ensemble (Syn drift data, LR)");
+  DriftSpec spec;
+  spec.angle_degrees = 165.0;
+  Result<Dataset> data = MakeDriftDataset(spec);
+  if (!data.ok()) return;
+
+  AsciiTable table({"router", "DI*", "AOD*", "BalAcc"});
+  // Hard routing via the standard DIFFAIR pipeline.
+  {
+    PipelineOptions opts;
+    opts.method = Method::kDiffair;
+    opts.learner = LearnerKind::kLogisticRegression;
+    TrialSummary s = RunTrials(*data, opts, config.trials, config.seed);
+    table.AddRow({"DIFFAIR (hard)", MetricCell(s, s.report.di_star),
+                  MetricCell(s, s.report.aod_star),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  // Soft ensemble at several temperatures (manual trial loop — the
+  // ensemble is an extension outside the Method enum).
+  for (double temperature : {0.1, 0.5, 2.0}) {
+    std::vector<FairnessReport> reports;
+    Rng master(config.seed);
+    for (int t = 0; t < config.trials; ++t) {
+      Rng rng = master.Fork();
+      Result<TrainValTest> split = SplitTrainValTest(*data, &rng);
+      if (!split.ok()) continue;
+      Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+      if (!enc.ok()) continue;
+      LogisticRegression prototype;
+      CcEnsembleOptions opts;
+      opts.temperature = temperature;
+      Result<CcEnsembleModel> model = CcEnsembleModel::Train(
+          split->train, split->val, prototype, enc.value(), opts);
+      if (!model.ok()) continue;
+      Result<std::vector<int>> pred = model->Predict(split->test);
+      if (!pred.ok()) continue;
+      Result<FairnessReport> report = EvaluateFairness(
+          split->test.labels(), pred.value(), split->test.groups());
+      if (report.ok()) reports.push_back(report.value());
+    }
+    if (reports.empty()) continue;
+    FairnessReport avg = AverageReports(reports);
+    table.AddRow({StrFormat("soft T=%.1f", temperature),
+                  FormatDouble(avg.di_star, 3),
+                  FormatDouble(avg.aod_star, 3),
+                  FormatDouble(avg.balanced_accuracy, 3)});
+  }
+  table.Print();
+}
+
+void AblateProfilePrimitive(const Dataset& meps, const BenchConfig& config) {
+  PrintSection(
+      "Ablation D — profiling primitive: conformance constraints vs "
+      "axis boxes");
+  AsciiTable table({"dataset x method", "primitive", "DI*", "AOD*", "BalAcc"});
+  struct PrimitiveSpec {
+    const char* name;
+    ProfilePrimitive primitive;
+    bool quantiles;
+  };
+  const PrimitiveSpec primitives[] = {
+      {"CC (paper)", ProfilePrimitive::kConformance, false},
+      {"box sigma", ProfilePrimitive::kAxisBox, false},
+      {"box quantile", ProfilePrimitive::kAxisBox, true},
+  };
+  // CONFAIR on the real-world-like table; DIFFAIR on crossing-trend
+  // drift, where correlation-blind boxes should lose routing power.
+  DriftSpec drift_spec;
+  drift_spec.angle_degrees = 165.0;
+  Result<Dataset> drift = MakeDriftDataset(drift_spec);
+  for (const PrimitiveSpec& p : primitives) {
+    PipelineOptions confair;
+    confair.method = Method::kConfair;
+    confair.learner = LearnerKind::kLogisticRegression;
+    confair.confair.profile.primitive = p.primitive;
+    confair.confair.profile.axis_box.use_quantiles = p.quantiles;
+    TrialSummary s = RunTrials(meps, confair, config.trials, config.seed);
+    table.AddRow({"MEPS x CONFAIR", p.name, MetricCell(s, s.report.di_star),
+                  MetricCell(s, s.report.aod_star),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  if (drift.ok()) {
+    for (const PrimitiveSpec& p : primitives) {
+      PipelineOptions diffair;
+      diffair.method = Method::kDiffair;
+      diffair.learner = LearnerKind::kLogisticRegression;
+      diffair.diffair.profile.primitive = p.primitive;
+      diffair.diffair.profile.axis_box.use_quantiles = p.quantiles;
+      TrialSummary s = RunTrials(*drift, diffair, config.trials, config.seed);
+      table.AddRow({"Syn x DIFFAIR", p.name, MetricCell(s, s.report.di_star),
+                    MetricCell(s, s.report.aod_star),
+                    MetricCell(s, s.report.balanced_accuracy)});
+    }
+  }
+  table.Print();
+}
+
+void AblateRoutingFamily(const BenchConfig& config) {
+  PrintSection(
+      "Ablation E — routing family on crossing-trend drift: CC routing "
+      "vs k-means centroids vs group membership (LR)");
+  DriftSpec spec;
+  spec.angle_degrees = 165.0;
+  Result<Dataset> data = MakeDriftDataset(spec);
+  if (!data.ok()) return;
+
+  AsciiTable table({"router", "route acc", "DI*", "AOD*", "BalAcc"});
+  // Pipeline-backed rows: DIFFAIR (CC routing) and MULTIMODEL
+  // (membership routing).
+  for (Method method : {Method::kDiffair, Method::kMultiModel}) {
+    PipelineOptions opts;
+    opts.method = method;
+    opts.learner = LearnerKind::kLogisticRegression;
+    TrialSummary s = RunTrials(*data, opts, config.trials, config.seed);
+    table.AddRow({method == Method::kDiffair ? "DIFFAIR (CC)"
+                                             : "MULTIMODEL (membership)",
+                  method == Method::kDiffair ? "n/a (attribute-only)"
+                                             : "1.000 (oracle)",
+                  MetricCell(s, s.report.di_star),
+                  MetricCell(s, s.report.aod_star),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  // Cluster routing at 1 and 2 centroids per cell (manual trial loop —
+  // the router is an extension outside the Method enum).
+  for (int centroids : {1, 2}) {
+    std::vector<FairnessReport> reports;
+    double route_acc = 0.0;
+    int route_n = 0;
+    Rng master(config.seed);
+    for (int t = 0; t < config.trials; ++t) {
+      Rng rng = master.Fork();
+      Result<TrainValTest> split = SplitTrainValTest(*data, &rng);
+      if (!split.ok()) continue;
+      Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+      if (!enc.ok()) continue;
+      LogisticRegression prototype;
+      ClusterRoutingOptions opts;
+      opts.centroids_per_cell = centroids;
+      Result<ClusterRoutedModel> model = ClusterRoutedModel::Train(
+          split->train, prototype, enc.value(), opts);
+      if (!model.ok()) continue;
+      Result<std::vector<int>> route = model->Route(split->test);
+      Result<std::vector<int>> pred = model->Predict(split->test);
+      if (!route.ok() || !pred.ok()) continue;
+      for (size_t i = 0; i < split->test.size(); ++i) {
+        route_acc += route.value()[i] == split->test.groups()[i] ? 1.0 : 0.0;
+        ++route_n;
+      }
+      Result<FairnessReport> report = EvaluateFairness(
+          split->test.labels(), pred.value(), split->test.groups());
+      if (report.ok()) reports.push_back(report.value());
+    }
+    if (reports.empty()) continue;
+    FairnessReport avg = AverageReports(reports);
+    table.AddRow({StrFormat("k-means (k=%d/cell)", centroids),
+                  FormatDouble(route_acc / route_n, 3),
+                  FormatDouble(avg.di_star, 3),
+                  FormatDouble(avg.aod_star, 3),
+                  FormatDouble(avg.balanced_accuracy, 3)});
+  }
+  table.Print();
+}
+
+// Two groups sharing their cell means exactly (antipodal pairs) but
+// drifting along opposite correlation ridges: the regime where the
+// paper's §I clustering critique bites — prototypes carry no routing
+// information while the ridge orientation is visible to CCs.
+Dataset MakeCrossedRidges(size_t pairs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1, x2;
+  std::vector<int> labels, groups;
+  for (size_t p = 0; p < pairs; ++p) {
+    int g = static_cast<int>(p % 2);
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    double t = rng.Gaussian();
+    double a1 = t + 0.08 * rng.Gaussian();
+    double a2 = (g == 0 ? t : -t) + 0.08 * rng.Gaussian();
+    for (double sign : {1.0, -1.0}) {
+      x1.push_back(sign * a1);
+      x2.push_back(sign * a2);
+      labels.push_back(y);
+      groups.push_back(g);
+    }
+  }
+  Dataset d;
+  Status st = d.AddNumericColumn("x1", std::move(x1));
+  if (st.ok()) st = d.AddNumericColumn("x2", std::move(x2));
+  if (st.ok()) st = d.SetLabels(std::move(labels), 2);
+  if (st.ok()) st = d.SetGroups(std::move(groups));
+  return d;
+}
+
+void AblateRoutingOverlap(const BenchConfig& config) {
+  PrintSection(
+      "Ablation E2 — routing when cell prototypes coincide (crossed "
+      "ridges): route accuracy only, in-sample");
+  Dataset data = MakeCrossedRidges(2000, config.seed);
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(data);
+  if (!enc.ok()) return;
+  LogisticRegression prototype;
+
+  AsciiTable table({"router", "route acc (truth = group)"});
+  Result<DiffairModel> diffair =
+      DiffairModel::Train(data, data, prototype, enc.value(), {});
+  if (diffair.ok()) {
+    Result<std::vector<int>> route = diffair->Route(data);
+    if (route.ok()) {
+      double acc = 0.0;
+      for (size_t i = 0; i < data.size(); ++i) {
+        acc += route.value()[i] == data.groups()[i] ? 1.0 : 0.0;
+      }
+      table.AddRow({"DIFFAIR (CC)",
+                    FormatDouble(acc / static_cast<double>(data.size()), 3)});
+    }
+  }
+  for (int centroids : {1, 2, 4}) {
+    ClusterRoutingOptions opts;
+    opts.centroids_per_cell = centroids;
+    Result<ClusterRoutedModel> model =
+        ClusterRoutedModel::Train(data, prototype, enc.value(), opts);
+    if (!model.ok()) continue;
+    Result<std::vector<int>> route = model->Route(data);
+    if (!route.ok()) continue;
+    double acc = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      acc += route.value()[i] == data.groups()[i] ? 1.0 : 0.0;
+    }
+    table.AddRow({StrFormat("k-means (k=%d/cell)", centroids),
+                  FormatDouble(acc / static_cast<double>(data.size()), 3)});
+  }
+  table.Print();
+}
+
+void AblateWeightConsumers(const Dataset& meps, const BenchConfig& config) {
+  PrintSection(
+      "Ablation F — LR-calibrated CONFAIR weights consumed by three "
+      "learner families (MEPS-like)");
+  AsciiTable table({"consumer", "DI*", "AOD*", "BalAcc"});
+  for (LearnerKind consumer :
+       {LearnerKind::kLogisticRegression, LearnerKind::kGradientBoosting,
+        LearnerKind::kNaiveBayes}) {
+    PipelineOptions opts;
+    opts.method = Method::kConfair;
+    opts.learner = consumer;
+    opts.calibration_learner = LearnerKind::kLogisticRegression;
+    TrialSummary s = RunTrials(meps, opts, config.trials, config.seed);
+    table.AddRow({LearnerKindName(consumer), MetricCell(s, s.report.di_star),
+                  MetricCell(s, s.report.aod_star),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  BenchConfig config = BenchConfig::FromFlags(flags);
+
+  Result<Dataset> meps =
+      MakeRealWorldLike(GetRealDatasetSpec(RealDatasetId::kMeps),
+                        std::min(1.0, config.scale * 2));
+  if (!meps.ok()) {
+    std::fprintf(stderr, "datagen failed\n");
+    return 1;
+  }
+  AblateBoundSigma(*meps, config);
+  AblateKeepFraction(*meps, config);
+  AblateRouting(config);
+  AblateProfilePrimitive(*meps, config);
+  AblateRoutingFamily(config);
+  AblateRoutingOverlap(config);
+  AblateWeightConsumers(*meps, config);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 14 reproduction: wall-clock runtime of the fairness methods.
+// Expected shape: KAM fastest (closed-form weights, one training run);
+// CONFAIR and OMN slowest (model-in-the-loop calibration retrains many
+// models); DIFFAIR's cost is dominated by CC derivation; CAP sits in
+// between. Supplying the intervention degree removes CONFAIR's
+// calibration cost ("CONFAIR-fix" column).
+//
+// Usage: bench_fig14_runtime [--trials N] [--scale S] [--seed K]
+//                            [--learner lr|xgb|both]
+
+#include <cstdio>
+
+#include "bench_common/experiment.h"
+#include "bench_common/table.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace fairdrift;
+
+namespace {
+
+void RunForLearner(const std::vector<NamedDataset>& datasets,
+                   LearnerKind learner, const BenchConfig& config) {
+  PrintSection(StrFormat(
+      "Fig. 14 — runtime (seconds per trial), %s models",
+      LearnerKindName(learner)));
+
+  PipelineOptions no_int;
+  no_int.method = Method::kNoIntervention;
+  no_int.learner = learner;
+  PipelineOptions kam = no_int;
+  kam.method = Method::kKamiran;
+  PipelineOptions confair = no_int;
+  confair.method = Method::kConfair;
+  PipelineOptions confair_fix = confair;
+  confair_fix.tune_confair = false;  // user-supplied degree (paper §IV-D)
+  confair_fix.confair.alpha_u = 1.0;
+  confair_fix.confair.alpha_w = 0.5;
+  PipelineOptions omn = no_int;
+  omn.method = Method::kOmnifair;
+  PipelineOptions cap = no_int;
+  cap.method = Method::kCapuchin;
+  PipelineOptions diffair = no_int;
+  diffair.method = Method::kDiffair;
+
+  std::vector<NamedMethod> methods = {
+      {"KAM", kam},          {"CAP", cap},
+      {"DIFFAIR", diffair},  {"CONFAIR", confair},
+      {"CONFAIR-fix", confair_fix}, {"OMN", omn}};
+
+  std::vector<std::string> header = {"dataset"};
+  for (const NamedMethod& m : methods) header.push_back(m.name);
+  AsciiTable table(header);
+  for (const NamedDataset& ds : datasets) {
+    std::vector<std::string> row = {ds.name};
+    for (const NamedMethod& m : methods) {
+      TrialSummary s = RunTrials(ds.data, m.options, config.trials,
+                                 config.seed);
+      row.push_back(s.trials_succeeded > 0
+                        ? StrFormat("%.3fs", s.runtime_seconds)
+                        : "n/a");
+      std::fprintf(stderr, "  [%s x %s] done\n", ds.name.c_str(),
+                   m.name.c_str());
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  BenchConfig config = BenchConfig::FromFlags(flags);
+  std::string learner = flags.GetString("learner", "both");
+
+  std::vector<NamedDataset> datasets = BuildRealWorldSuite(config.scale);
+  if (datasets.size() != 7) {
+    std::fprintf(stderr, "dataset generation failed\n");
+    return 1;
+  }
+  if (learner == "lr" || learner == "both") {
+    RunForLearner(datasets, LearnerKind::kLogisticRegression, config);
+  }
+  if (learner == "xgb" || learner == "both") {
+    RunForLearner(datasets, LearnerKind::kGradientBoosting, config);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Micro-benchmarks for conformance-constraint discovery and violation
+// evaluation, confirming the paper's stated complexity: discovery is
+// linear in the number of tuples and cubic in the number of numeric
+// attributes (§III-A).
+
+#include <benchmark/benchmark.h>
+
+#include "cc/discovery.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Matrix RandomData(size_t n, size_t q, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, q);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < q; ++j) m.At(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void BM_CcDiscoveryByTuples(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 8, 1);
+  for (auto _ : state) {
+    Result<ConstraintSet> set = DiscoverConstraints(data);
+    benchmark::DoNotOptimize(set.ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CcDiscoveryByTuples)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_CcDiscoveryByAttributes(benchmark::State& state) {
+  size_t q = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(2000, q, 2);
+  for (auto _ : state) {
+    Result<ConstraintSet> set = DiscoverConstraints(data);
+    benchmark::DoNotOptimize(set.ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(q));
+}
+BENCHMARK(BM_CcDiscoveryByAttributes)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_CcViolationEvaluation(benchmark::State& state) {
+  size_t q = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(2000, q, 3);
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  if (!set.ok()) {
+    state.SkipWithError("discovery failed");
+    return;
+  }
+  Rng rng(4);
+  std::vector<double> row(q);
+  for (auto _ : state) {
+    for (size_t j = 0; j < q; ++j) row[j] = rng.Gaussian();
+    benchmark::DoNotOptimize(set->Violation(row));
+  }
+}
+BENCHMARK(BM_CcViolationEvaluation)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+}  // namespace fairdrift
+
+BENCHMARK_MAIN();

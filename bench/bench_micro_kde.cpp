@@ -1,0 +1,136 @@
+// Micro-benchmarks for the tree-backed KDE: construction, exact vs
+// tolerance-pruned evaluation, the KD-tree / ball-tree backend contrast
+// across dimensionality (paper §III-C names ball trees for m > 20), and
+// the Algorithm 3 density ranking.
+
+#include <benchmark/benchmark.h>
+
+#include "kde/balltree.h"
+#include "kde/kde.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Matrix RandomData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m.At(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 1);
+  for (auto _ : state) {
+    Result<KdTree> tree = KdTree::Build(data);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KdTreeBuild)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_KdeEvaluateExact(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 2);
+  KdeOptions opts;
+  opts.approximation_atol = 0.0;
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  Rng rng(3);
+  std::vector<double> q(4);
+  for (auto _ : state) {
+    for (double& v : q) v = rng.Gaussian();
+    benchmark::DoNotOptimize(kde->Evaluate(q));
+  }
+}
+BENCHMARK(BM_KdeEvaluateExact)->RangeMultiplier(4)->Range(1024, 16384);
+
+void BM_KdeEvaluateApprox(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 2);
+  KdeOptions opts;
+  opts.approximation_atol = 1e-4;
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  Rng rng(3);
+  std::vector<double> q(4);
+  for (auto _ : state) {
+    for (double& v : q) v = rng.Gaussian();
+    benchmark::DoNotOptimize(kde->Evaluate(q));
+  }
+}
+BENCHMARK(BM_KdeEvaluateApprox)->RangeMultiplier(4)->Range(1024, 16384);
+
+// Backend contrast at fixed n over rising dimensionality: arg 0 is the
+// dimension. Ball bounds stay O(d) per node; KD box bounds prune tighter
+// in low d.
+template <KdeTreeBackend backend>
+void BM_KdeEvaluateByBackend(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(8192, d, 5);
+  KdeOptions opts;
+  opts.approximation_atol = 1e-4;
+  opts.tree_backend = backend;
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  Rng rng(6);
+  std::vector<double> q(d);
+  for (auto _ : state) {
+    for (double& v : q) v = rng.Gaussian();
+    benchmark::DoNotOptimize(kde->Evaluate(q));
+  }
+}
+BENCHMARK_TEMPLATE(BM_KdeEvaluateByBackend, KdeTreeBackend::kKdTree)
+    ->Name("BM_KdeEvaluateKdTree_dim")
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_TEMPLATE(BM_KdeEvaluateByBackend, KdeTreeBackend::kBallTree)
+    ->Name("BM_KdeEvaluateBallTree_dim")
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32);
+
+void BM_BallTreeBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 7);
+  for (auto _ : state) {
+    Result<BallTree> tree = BallTree::Build(data);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BallTreeBuild)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_DensityRanking(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 4);
+  for (auto _ : state) {
+    Result<std::vector<size_t>> order = DensityRanking(data);
+    benchmark::DoNotOptimize(order.ok());
+  }
+}
+BENCHMARK(BM_DensityRanking)->RangeMultiplier(4)->Range(512, 8192);
+
+}  // namespace
+}  // namespace fairdrift
+
+BENCHMARK_MAIN();

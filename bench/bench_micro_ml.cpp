@@ -1,0 +1,78 @@
+// Micro-benchmarks for the learners: weighted logistic regression (IRLS)
+// and histogram gradient boosting, by training-set size.
+
+#include <benchmark/benchmark.h>
+
+#include "ml/gbt.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+void MakeTask(size_t n, size_t d, uint64_t seed, Matrix* x,
+              std::vector<int>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, d);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double margin = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      double v = rng.Gaussian();
+      x->At(i, j) = v;
+      margin += (j % 2 == 0 ? 1.0 : -0.5) * v;
+    }
+    (*y)[i] = margin + rng.Gaussian() > 0.0 ? 1 : 0;
+  }
+}
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix x;
+  std::vector<int> y;
+  MakeTask(n, 20, 1, &x, &y);
+  for (auto _ : state) {
+    LogisticRegression lr;
+    benchmark::DoNotOptimize(lr.Fit(x, y, {}).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LogisticRegressionFit)->RangeMultiplier(4)->Range(1024, 65536);
+
+void BM_GbtFit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix x;
+  std::vector<int> y;
+  MakeTask(n, 20, 2, &x, &y);
+  GbtOptions opts;
+  opts.num_rounds = 30;
+  for (auto _ : state) {
+    GradientBoostedTrees gbt(opts);
+    benchmark::DoNotOptimize(gbt.Fit(x, y, {}).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GbtFit)->RangeMultiplier(4)->Range(1024, 65536);
+
+void BM_GbtPredict(benchmark::State& state) {
+  Matrix x;
+  std::vector<int> y;
+  MakeTask(8192, 20, 3, &x, &y);
+  GradientBoostedTrees gbt;
+  if (!gbt.Fit(x, y, {}).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<std::vector<double>> p = gbt.PredictProba(x);
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_GbtPredict);
+
+}  // namespace
+}  // namespace fairdrift
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+// Shared driver for the intervention-degree sweeps of the paper's
+// Figs. 8 and 9: CONFAIR's alpha and OMN's lambda are swept while the
+// per-group value of the targeted metric (Selection Rate, FNR, FPR) and
+// the model's balanced accuracy are reported. Perfect fairness is reached
+// when the two group columns meet.
+
+#ifndef FAIRDRIFT_BENCH_SWEEP_COMMON_H_
+#define FAIRDRIFT_BENCH_SWEEP_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common/experiment.h"
+#include "bench_common/table.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+/// Per-group value of the metric associated with `objective`.
+inline double GroupMetric(const GroupStats& g, FairnessObjective objective) {
+  switch (objective) {
+    case FairnessObjective::kDisparateImpact:
+      return g.SelectionRate();
+    case FairnessObjective::kEqualizedOddsFnr:
+      return g.FNR();
+    case FairnessObjective::kEqualizedOddsFpr:
+      return g.FPR();
+  }
+  return 0.0;
+}
+
+inline const char* GroupMetricName(FairnessObjective objective) {
+  switch (objective) {
+    case FairnessObjective::kDisparateImpact:
+      return "SelectionRate";
+    case FairnessObjective::kEqualizedOddsFnr:
+      return "FNR";
+    case FairnessObjective::kEqualizedOddsFpr:
+      return "FPR";
+  }
+  return "?";
+}
+
+/// Pins the boost direction of an EO objective from a baseline model's
+/// validation statistics (the paper: the skew "can be easily estimated
+/// from the data, which can guide the tuning"). Returns nullopt for DI
+/// (the label-skew default is reliable there) or when probing fails.
+inline std::optional<ConfairBoostPlan> ProbeBoostPlan(
+    const Dataset& data, FairnessObjective objective, LearnerKind learner,
+    int trials, uint64_t seed) {
+  if (objective == FairnessObjective::kDisparateImpact) return std::nullopt;
+  // Average the baseline model's group metrics over the *same* trial
+  // splits the sweep will use (RunTrials's fork pattern), so the measured
+  // direction matches what the sweep's models will see.
+  PipelineOptions probe;
+  probe.method = Method::kNoIntervention;
+  probe.learner = learner;
+  double fnr_gap = 0.0;  // minority minus majority
+  double fpr_gap = 0.0;
+  int ok = 0;
+  Rng master(seed);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = master.Fork();
+    Result<PipelineResult> r = RunPipeline(data, probe, &rng);
+    if (!r.ok()) continue;
+    fnr_gap += r->report.stats.minority.FNR() - r->report.stats.majority.FNR();
+    fpr_gap += r->report.stats.minority.FPR() - r->report.stats.majority.FPR();
+    ++ok;
+  }
+  if (ok == 0) return std::nullopt;
+
+  ConfairBoostPlan plan;
+  plan.has_secondary = false;
+  plan.primary_label = 1;
+  if (objective == FairnessObjective::kEqualizedOddsFnr) {
+    // Lower the high-FNR group's FNR by emphasizing its positives.
+    plan.primary_group = fnr_gap >= 0.0 ? kMinorityGroup : kMajorityGroup;
+  } else {
+    // Raise the low-FPR group's FPR by emphasizing its positives
+    // (boosting the other group's conforming negatives carries almost no
+    // loss gradient and leaves the learner unchanged).
+    plan.primary_group = fpr_gap < 0.0 ? kMinorityGroup : kMajorityGroup;
+  }
+  return plan;
+}
+
+/// Sweeps CONFAIR's alpha_u for one objective and prints the series.
+inline void SweepConfair(const Dataset& data, FairnessObjective objective,
+                         LearnerKind learner, int trials, uint64_t seed) {
+  PrintSection(StrFormat("CONFAIR targets %s by %s (x-axis: alpha_u)",
+                         FairnessObjectiveName(objective),
+                         GroupMetricName(objective)));
+  AsciiTable table({"alpha_u", StrFormat("%s (U)", GroupMetricName(objective)),
+                    StrFormat("%s (W)", GroupMetricName(objective)),
+                    "|gap|", "BalAcc"});
+  std::optional<ConfairBoostPlan> plan =
+      ProbeBoostPlan(data, objective, learner, trials, seed);
+  for (double alpha : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+    PipelineOptions opts;
+    opts.method = Method::kConfair;
+    opts.learner = learner;
+    opts.tune_confair = false;
+    opts.confair.objective = objective;
+    opts.confair.plan_override = plan;
+    opts.confair.alpha_u = alpha;
+    opts.confair.alpha_w =
+        objective == FairnessObjective::kDisparateImpact ? alpha / 2.0 : 0.0;
+    TrialSummary s = RunTrials(data, opts, trials, seed);
+    if (s.trials_succeeded == 0) {
+      table.AddRow({FormatDouble(alpha, 2), "n/a", "n/a", "n/a", "n/a"});
+      continue;
+    }
+    double mu = GroupMetric(s.report.stats.minority, objective);
+    double mw = GroupMetric(s.report.stats.majority, objective);
+    table.AddRow({FormatDouble(alpha, 2), FormatDouble(mu, 3),
+                  FormatDouble(mw, 3), FormatDouble(std::fabs(mu - mw), 3),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  table.Print();
+}
+
+/// Sweeps OMN's lambda for one objective and prints the series.
+inline void SweepOmnifair(const Dataset& data, FairnessObjective objective,
+                          LearnerKind learner, int trials, uint64_t seed) {
+  PrintSection(StrFormat("OMN targets %s by %s (x-axis: lambda)",
+                         FairnessObjectiveName(objective),
+                         GroupMetricName(objective)));
+  AsciiTable table({"lambda", StrFormat("%s (U)", GroupMetricName(objective)),
+                    StrFormat("%s (W)", GroupMetricName(objective)),
+                    "|gap|", "BalAcc"});
+  for (double lambda :
+       {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    PipelineOptions opts;
+    opts.method = Method::kOmnifair;
+    opts.learner = learner;
+    opts.omnifair.objective = objective;
+    opts.omnifair.lambda_grid = {lambda};  // pin the intervention degree
+    opts.omnifair.accuracy_floor = 0.0;
+    TrialSummary s = RunTrials(data, opts, trials, seed);
+    if (s.trials_succeeded == 0) {
+      table.AddRow({FormatDouble(lambda, 2), "n/a", "n/a", "n/a", "n/a"});
+      continue;
+    }
+    double mu = GroupMetric(s.report.stats.minority, objective);
+    double mw = GroupMetric(s.report.stats.majority, objective);
+    table.AddRow({FormatDouble(lambda, 2), FormatDouble(mu, 3),
+                  FormatDouble(mw, 3), FormatDouble(std::fabs(mu - mw), 3),
+                  MetricCell(s, s.report.balanced_accuracy)});
+  }
+  table.Print();
+}
+
+/// Full Fig. 8/9 sweep for one dataset: both methods x three objectives.
+inline void RunSweepFigure(const Dataset& data, const std::string& title,
+                           LearnerKind learner, int trials, uint64_t seed) {
+  PrintSection(StrFormat("%s (LR models, %d trial(s) per point)",
+                         title.c_str(), trials));
+  for (FairnessObjective obj :
+       {FairnessObjective::kDisparateImpact,
+        FairnessObjective::kEqualizedOddsFnr,
+        FairnessObjective::kEqualizedOddsFpr}) {
+    SweepConfair(data, obj, learner, trials, seed);
+  }
+  for (FairnessObjective obj :
+       {FairnessObjective::kDisparateImpact,
+        FairnessObjective::kEqualizedOddsFnr,
+        FairnessObjective::kEqualizedOddsFpr}) {
+    SweepOmnifair(data, obj, learner, trials, seed);
+  }
+}
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BENCH_SWEEP_COMMON_H_

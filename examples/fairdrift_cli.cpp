@@ -1,0 +1,218 @@
+// fairdrift_cli — command-line driver over the library's public API.
+//
+//   fairdrift_cli list
+//       Show the available simulated datasets and their Fig. 4 statistics.
+//
+//   fairdrift_cli eval --dataset meps --method confair [--learner lr|xgb]
+//                      [--trials N] [--scale S] [--seed K] [--alpha A]
+//       Run one intervention end-to-end and print the fairness report.
+//       Methods: noint kam confair omn cap multi diffair.
+//
+//   fairdrift_cli constraints --dataset meps [--scale S]
+//       Profile the (group x label) cells and print the discovered
+//       conformance constraints (most important first).
+//
+//   fairdrift_cli weigh --dataset meps --out /tmp/weighted.csv [--alpha A]
+//       Compute CONFAIR weights and export the weighted training data.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common/experiment.h"
+#include "bench_common/table.h"
+#include "cc/explain.h"
+#include "core/confair.h"
+#include "core/profile.h"
+#include "data/csv.h"
+#include "data/weights_io.h"
+#include "data/split.h"
+#include "datagen/realworld.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace fairdrift;
+
+namespace {
+
+int CmdList() {
+  AsciiTable table({"name", "paper size", "numeric", "categorical",
+                    "minority", "% pos in U"});
+  for (const RealDatasetSpec& spec : RealDatasetSuite()) {
+    table.AddRow({spec.name, StrFormat("%zu", spec.full_size),
+                  StrFormat("%d", spec.n_numeric),
+                  StrFormat("%d", spec.n_categorical),
+                  StrFormat("%.1f%%", 100 * spec.minority_fraction),
+                  StrFormat("%.1f%%", 100 * spec.pos_rate_minority)});
+  }
+  table.Print();
+  std::printf("\nuse --dataset <name> (case-insensitive) with other "
+              "subcommands.\n");
+  return 0;
+}
+
+Result<Dataset> LoadDataset(const CliFlags& flags) {
+  std::string name = flags.GetString("dataset", "meps");
+  Result<RealDatasetSpec> spec = FindRealDatasetSpec(name);
+  if (!spec.ok()) return spec.status();
+  double scale = flags.GetDouble("scale", 0.1);
+  return MakeRealWorldLike(spec.value(), scale);
+}
+
+Result<Method> ParseMethod(const std::string& name) {
+  std::string m = ToLower(name);
+  if (m == "noint" || m == "none") return Method::kNoIntervention;
+  if (m == "kam") return Method::kKamiran;
+  if (m == "confair") return Method::kConfair;
+  if (m == "omn") return Method::kOmnifair;
+  if (m == "cap") return Method::kCapuchin;
+  if (m == "multi") return Method::kMultiModel;
+  if (m == "diffair") return Method::kDiffair;
+  return Status::InvalidArgument("unknown method '" + name + "'");
+}
+
+int CmdEval(const CliFlags& flags) {
+  Result<Dataset> data = LoadDataset(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Result<Method> method = ParseMethod(flags.GetString("method", "confair"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 1;
+  }
+  PipelineOptions opts;
+  opts.method = method.value();
+  std::string learner = ToLower(flags.GetString("learner", "lr"));
+  opts.learner = learner == "xgb"  ? LearnerKind::kGradientBoosting
+                 : learner == "nb" ? LearnerKind::kNaiveBayes
+                                   : LearnerKind::kLogisticRegression;
+  if (flags.Has("alpha")) {
+    opts.tune_confair = false;
+    opts.confair.alpha_u = flags.GetDouble("alpha", 1.0);
+    opts.confair.alpha_w = opts.confair.alpha_u / 2.0;
+  }
+  int trials = static_cast<int>(flags.GetInt("trials", 3));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  TrialSummary s = RunTrials(*data, opts, trials, seed);
+  if (s.trials_succeeded == 0) {
+    std::fprintf(stderr, "all trials failed: %s\n", s.first_error.c_str());
+    return 1;
+  }
+  std::printf("%s on %s (%s, %d trial(s), n=%zu)\n",
+              MethodName(opts.method),
+              flags.GetString("dataset", "meps").c_str(),
+              LearnerKindName(opts.learner), s.trials_succeeded,
+              data->size());
+  std::printf("  %s\n", FormatReport(s.report).c_str());
+  std::printf("  SR: %.3f (U) vs %.3f (W)   TPR: %.3f vs %.3f   "
+              "FPR: %.3f vs %.3f\n",
+              s.report.stats.minority.SelectionRate(),
+              s.report.stats.majority.SelectionRate(),
+              s.report.stats.minority.TPR(), s.report.stats.majority.TPR(),
+              s.report.stats.minority.FPR(), s.report.stats.majority.FPR());
+  if (opts.method == Method::kConfair) {
+    std::printf("  alpha_u = %.2f (%s)\n", s.tuned_alpha,
+                flags.Has("alpha") ? "user-supplied" : "tuned");
+  }
+  if (opts.method == Method::kOmnifair) {
+    std::printf("  lambda = %.2f\n", s.tuned_lambda);
+  }
+  std::printf("  runtime %.3fs/trial, %d trial(s) failed\n",
+              s.runtime_seconds, s.trials_failed);
+  return 0;
+}
+
+int CmdConstraints(const CliFlags& flags) {
+  Result<Dataset> data = LoadDataset(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  ProfileOptions opts;
+  Result<GroupLabelProfile> profile = GroupLabelProfile::Profile(*data, opts);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> names;
+  for (size_t j = 0; j < data->num_features(); ++j) {
+    if (data->column(j).is_numeric()) names.push_back(data->column(j).name());
+  }
+  for (int g = 0; g < profile->num_groups(); ++g) {
+    for (int y = 0; y < profile->num_classes(); ++y) {
+      const auto& cell = profile->cell(g, y);
+      std::printf("\ncell (%s, y=%d): %s\n",
+                  g == kMinorityGroup ? "minority U" : "majority W", y,
+                  cell.has_value() ? "" : "(empty)");
+      if (cell.has_value()) {
+        std::fputs(DescribeConstraintSet(*cell, names).c_str(), stdout);
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdWeigh(const CliFlags& flags) {
+  Result<Dataset> data = LoadDataset(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  ConfairOptions opts;
+  opts.alpha_u = flags.GetDouble("alpha", 1.0);
+  opts.alpha_w = opts.alpha_u / 2.0;
+  Result<ConfairWeights> weights = ComputeConfairWeights(*data, opts);
+  if (!weights.ok()) {
+    std::fprintf(stderr, "%s\n", weights.status().ToString().c_str());
+    return 1;
+  }
+  Dataset out = *data;
+  if (!out.SetWeights(weights->weights).ok()) return 1;
+  std::string path = flags.GetString("out", "/tmp/fairdrift_weighted.csv");
+  Status st = WriteCsv(out, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("CONFAIR weights (alpha_u=%.2f): boosted %zu + %zu of %zu "
+              "tuples; written to %s\n",
+              opts.alpha_u, weights->boosted_primary,
+              weights->boosted_secondary, data->size(), path.c_str());
+  // Optional standalone weight artifact, fingerprinted against the data
+  // (the model-agnostic hand-off of Fig. 7).
+  std::string weights_path = flags.GetString("weights-out", "");
+  if (!weights_path.empty()) {
+    st = WriteWeightsFor(*data, weights->weights, weights_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("standalone weight file: %s (fingerprint %016llx)\n",
+                weights_path.c_str(),
+                static_cast<unsigned long long>(DatasetFingerprint(*data)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  std::string cmd =
+      flags.positional().empty() ? "help" : flags.positional()[0];
+  if (cmd == "list") return CmdList();
+  if (cmd == "eval") return CmdEval(flags);
+  if (cmd == "constraints") return CmdConstraints(flags);
+  if (cmd == "weigh") return CmdWeigh(flags);
+  std::printf(
+      "usage: fairdrift_cli <list|eval|constraints|weigh> [flags]\n"
+      "  list                               available datasets\n"
+      "  eval --dataset D --method M        run an intervention pipeline\n"
+      "       [--learner lr|xgb|nb] [--trials N] [--scale S] [--alpha A]\n"
+      "  constraints --dataset D            print discovered CCs per cell\n"
+      "  weigh --dataset D --out FILE       export CONFAIR-weighted data\n"
+      "        [--weights-out FILE]         plus a fingerprinted weight file\n");
+  return cmd == "help" ? 0 : 1;
+}

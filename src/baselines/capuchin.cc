@@ -1,0 +1,62 @@
+#include "baselines/capuchin.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairdrift {
+
+Result<Dataset> CapuchinRepair(const Dataset& train, Rng* rng,
+                               const CapuchinOptions& options) {
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition("CAP: needs labels and groups");
+  }
+  size_t n = train.size();
+  double dn = static_cast<double>(n);
+
+  // Target: count(g, y) == |g| * P(y). Build the repaired index multiset.
+  std::vector<size_t> repaired;
+  repaired.reserve(n);
+  for (int g = 0; g < train.num_groups(); ++g) {
+    double ng = static_cast<double>(train.GroupCount(g));
+    for (int y = 0; y < train.num_classes(); ++y) {
+      std::vector<size_t> cell = train.CellIndices(g, y);
+      if (cell.empty()) continue;
+      double p_y = static_cast<double>(train.LabelCount(y)) / dn;
+      auto target = static_cast<size_t>(std::llround(ng * p_y));
+      target = std::max<size_t>(target, 1);
+      target = std::min(
+          target,
+          static_cast<size_t>(options.max_duplication *
+                              static_cast<double>(cell.size())));
+
+      if (target <= cell.size()) {
+        if (options.allow_dropping && target < cell.size()) {
+          // Subsample the over-represented cell.
+          std::vector<size_t> picks =
+              rng->SampleWithoutReplacement(cell.size(), target);
+          for (size_t p : picks) repaired.push_back(cell[p]);
+        } else {
+          repaired.insert(repaired.end(), cell.begin(), cell.end());
+        }
+      } else {
+        // Duplicate the under-represented cell: keep every original tuple,
+        // then draw the deficit with replacement.
+        repaired.insert(repaired.end(), cell.begin(), cell.end());
+        size_t deficit = target - cell.size();
+        for (size_t k = 0; k < deficit; ++k) {
+          size_t pick = static_cast<size_t>(rng->UniformInt(
+              0, static_cast<int64_t>(cell.size()) - 1));
+          repaired.push_back(cell[pick]);
+        }
+      }
+    }
+  }
+  if (repaired.empty()) {
+    return Status::InvalidArgument("CAP: repair produced an empty dataset");
+  }
+  Dataset out = train.Subset(repaired);
+  out.ResetWeights();  // the repair is in the data, not in weights
+  return out;
+}
+
+}  // namespace fairdrift

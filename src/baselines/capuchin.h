@@ -1,0 +1,46 @@
+// CAP — a Capuchin-style invasive repair baseline (Salimi et al.,
+// SIGMOD'19).
+//
+// Capuchin repairs the *training database* (by inserting/deleting tuples)
+// until the label is independent of the sensitive attribute, then trains a
+// standard learner on the repaired data. The defining property for the
+// paper's comparison is that the intervention is invasive: it alters the
+// data itself rather than attaching weights.
+//
+// Substitution note (DESIGN.md §3): the original system performs a causal
+// MaxSAT/matching repair over the Markov boundary; we implement the
+// contingency-table repair that duplicates under-represented cell tuples
+// and subsamples over-represented ones until the (group x label) joint
+// satisfies independence. This preserves the compared behaviour: an
+// invasive data repair achieving statistical parity in the training set
+// at comparable utility.
+
+#ifndef FAIRDRIFT_BASELINES_CAPUCHIN_H_
+#define FAIRDRIFT_BASELINES_CAPUCHIN_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Configuration for the CAP baseline.
+struct CapuchinOptions {
+  /// Allow dropping tuples from over-represented cells (in addition to
+  /// duplicating under-represented ones). Insertion-only repairs inflate
+  /// the dataset instead.
+  bool allow_dropping = true;
+  /// Cap on the per-cell duplication factor (repair-cost guard).
+  double max_duplication = 10.0;
+};
+
+/// Returns a *repaired copy* of `train` in which each group's label
+/// distribution matches the overall label distribution (Y independent of
+/// the group attribute). The returned dataset generally differs from the
+/// input in size and contents — this baseline is invasive by design.
+Result<Dataset> CapuchinRepair(const Dataset& train, Rng* rng,
+                               const CapuchinOptions& options = {});
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BASELINES_CAPUCHIN_H_

@@ -1,0 +1,44 @@
+#include "baselines/kamiran.h"
+
+namespace fairdrift {
+
+Result<std::vector<double>> KamiranWeights(const Dataset& train) {
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition("KAM: needs labels and groups");
+  }
+  size_t n = train.size();
+  double dn = static_cast<double>(n);
+
+  // Precompute w(g, y) per cell.
+  std::vector<std::vector<double>> cell_weight(
+      static_cast<size_t>(train.num_groups()),
+      std::vector<double>(static_cast<size_t>(train.num_classes()), 1.0));
+  for (int g = 0; g < train.num_groups(); ++g) {
+    double ng = static_cast<double>(train.GroupCount(g));
+    for (int y = 0; y < train.num_classes(); ++y) {
+      double ny = static_cast<double>(train.LabelCount(y));
+      double ngy = static_cast<double>(train.CellCount(g, y));
+      if (ngy > 0.0) {
+        cell_weight[static_cast<size_t>(g)][static_cast<size_t>(y)] =
+            (ng * ny) / (dn * ngy);
+      }
+    }
+  }
+
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = cell_weight[static_cast<size_t>(train.groups()[i])]
+                            [static_cast<size_t>(train.labels()[i])];
+  }
+  return weights;
+}
+
+Result<Dataset> KamiranReweigh(const Dataset& train) {
+  Result<std::vector<double>> w = KamiranWeights(train);
+  if (!w.ok()) return w.status();
+  Dataset out = train;
+  FAIRDRIFT_RETURN_IF_ERROR(out.SetWeights(std::move(w).value()));
+  return out;
+}
+
+}  // namespace fairdrift

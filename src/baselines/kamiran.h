@@ -1,0 +1,28 @@
+// KAM — the reweighing baseline of Kamiran & Calders (2011).
+//
+// Every tuple in cell (group g, label y) receives the identical weight
+//   w(g, y) = P(g) * P(y) / P(g, y) = |g| * |y| / (n * |g ∩ y|),
+// which makes the weighted label distribution statistically independent of
+// the group. Unlike CONFAIR there is no intra-group variability and no
+// tunable intervention degree (paper Fig. 2).
+
+#ifndef FAIRDRIFT_BASELINES_KAMIRAN_H_
+#define FAIRDRIFT_BASELINES_KAMIRAN_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Per-tuple Kamiran-Calders weights. Requires labels and groups; empty
+/// cells are impossible by construction (a tuple defines its own cell).
+Result<std::vector<double>> KamiranWeights(const Dataset& train);
+
+/// Copy of `train` with the KAM weights installed.
+Result<Dataset> KamiranReweigh(const Dataset& train);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BASELINES_KAMIRAN_H_

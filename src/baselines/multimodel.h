@@ -1,0 +1,51 @@
+// MULTIMODEL — the naive model-splitting baseline.
+//
+// Splits the input by the mapping function g, trains one model per group,
+// and deploys by *group membership*: a serving tuple is always handled by
+// its own group's model. DIFFAIR differs exactly in the deployment rule
+// (conformance routing instead of membership).
+
+#ifndef FAIRDRIFT_BASELINES_MULTIMODEL_H_
+#define FAIRDRIFT_BASELINES_MULTIMODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/encode.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Trained per-group models deployed by group membership.
+class MultiModelBaseline {
+ public:
+  /// Trains one `prototype` clone per group present in `train`;
+  /// thresholds tuned per group on `val` when requested.
+  static Result<MultiModelBaseline> Train(const Dataset& train,
+                                          const Dataset& val,
+                                          const Classifier& prototype,
+                                          const FeatureEncoder& encoder,
+                                          bool tune_thresholds = false);
+
+  /// Predicts each serving tuple with its own group's model (requires
+  /// serving groups — this baseline *does* consult membership). Tuples of
+  /// groups without a model fall back to the largest trained group.
+  Result<std::vector<int>> Predict(const Dataset& serving) const;
+
+  /// Positive-class probabilities under membership routing.
+  Result<std::vector<double>> PredictProba(const Dataset& serving) const;
+
+ private:
+  MultiModelBaseline() = default;
+
+  int num_groups_ = 0;
+  std::vector<std::unique_ptr<Classifier>> models_;
+  FeatureEncoder encoder_;
+  int fallback_group_ = 0;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BASELINES_MULTIMODEL_H_

@@ -1,0 +1,117 @@
+#include "baselines/omnifair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/confair.h"  // PlanBoosts: shared skew detection
+#include "fairness/report.h"
+
+namespace fairdrift {
+
+Result<std::vector<double>> OmnifairWeightsForLambda(
+    const Dataset& train, double lambda, FairnessObjective objective) {
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition("OMN: needs labels and groups");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("OMN: lambda must be >= 0");
+  }
+  Result<ConfairBoostPlan> plan = PlanBoosts(train, objective);
+  if (!plan.ok()) return plan.status();
+
+  size_t n = train.size();
+  double dn = static_cast<double>(n);
+  // Boost the plan's primary cell; shrink the *other group's* cell with
+  // the same label (their relative influence must fall for the gap to
+  // close). Every member of a cell receives the identical weight.
+  int boost_group = plan.value().primary_group;
+  int boost_label = plan.value().primary_label;
+  int shrink_group =
+      boost_group == kMinorityGroup ? kMajorityGroup : kMinorityGroup;
+  int shrink_label = boost_label;
+
+  double boost_cell =
+      static_cast<double>(train.CellCount(boost_group, boost_label));
+  double shrink_cell =
+      static_cast<double>(train.CellCount(shrink_group, shrink_label));
+
+  std::vector<double> weights(n, 1.0);
+  if (lambda == 0.0) return weights;
+  for (size_t i = 0; i < n; ++i) {
+    int g = train.groups()[i];
+    int y = train.labels()[i];
+    if (g == boost_group && y == boost_label && boost_cell > 0.0) {
+      weights[i] = 1.0 + lambda * dn / (2.0 * boost_cell);
+    } else if (g == shrink_group && y == shrink_label && shrink_cell > 0.0) {
+      weights[i] = std::max(0.0, 1.0 - lambda * dn / (2.0 * shrink_cell));
+    }
+  }
+  return weights;
+}
+
+Result<OmnifairResult> OmnifairCalibrate(const Dataset& train,
+                                         const Dataset& val,
+                                         const Classifier& prototype,
+                                         const FeatureEncoder& encoder,
+                                         const OmnifairOptions& options) {
+  std::vector<double> grid = options.lambda_grid;
+  if (grid.empty()) {
+    for (int i = 0; i <= 10; ++i) grid.push_back(0.1 * i);
+  }
+  Result<Matrix> x_train = encoder.Transform(train);
+  if (!x_train.ok()) return x_train.status();
+  Result<Matrix> x_val = encoder.Transform(val);
+  if (!x_val.ok()) return x_val.status();
+
+  OmnifairResult best;
+  best.lambda = -1.0;
+  double best_gap = std::numeric_limits<double>::infinity();
+  double best_gap_any = std::numeric_limits<double>::infinity();
+  OmnifairResult best_any;
+  best_any.lambda = -1.0;
+
+  for (double lambda : grid) {
+    Result<std::vector<double>> w =
+        OmnifairWeightsForLambda(train, lambda, options.objective);
+    if (!w.ok()) return w.status();
+
+    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
+    Status st = learner->Fit(x_train.value(), train.labels(), w.value());
+    ++best.models_trained;
+    if (!st.ok()) continue;  // e.g. degenerate weights: skip this lambda
+
+    Result<std::vector<int>> pred = learner->Predict(x_val.value());
+    if (!pred.ok()) continue;
+    Result<FairnessReport> report =
+        EvaluateFairness(val.labels(), pred.value(), val.groups());
+    if (!report.ok()) continue;
+
+    double gap = ObjectiveGap(report.value().stats, options.objective);
+    if (gap < best_gap_any) {
+      best_gap_any = gap;
+      best_any.lambda = lambda;
+      best_any.weights = w.value();
+    }
+    if (report.value().balanced_accuracy >= options.accuracy_floor &&
+        gap < best_gap) {
+      best_gap = gap;
+      best.lambda = lambda;
+      best.weights = std::move(w).value();
+    }
+  }
+
+  if (best.lambda < 0.0) {
+    // No lambda met the accuracy constraint; fall back to the smallest gap
+    // (OmniFair reports the constraint-violating optimum in that case).
+    if (best_any.lambda < 0.0) {
+      return Status::NumericalError(
+          "OMN: no lambda produced a trainable model");
+    }
+    best_any.models_trained = best.models_trained;
+    return best_any;
+  }
+  return best;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,69 @@
+// OMN — an OmniFair-style declarative group reweighing baseline
+// (Zhang et al., SIGMOD'21).
+//
+// OmniFair expresses a fairness intervention as group-level weights scaled
+// by a single parameter lambda, and calibrates lambda *against the declared
+// model*: for each candidate lambda the model is retrained and the fairness
+// constraint is checked on validation data. Two properties of this design
+// — faithfully reproduced here — drive the contrasts in the paper:
+//
+//  * every tuple of a (group x label) cell receives the identical weight,
+//    so noise and outliers are amplified together with the signal
+//    (non-monotonic fairness response, Figs. 8-9);
+//  * the calibration loop consumes model output, so the weights are tied
+//    to the learner they were tuned with (Fig. 7) and the search retrains
+//    many models (runtime, Fig. 14). Aggressive lambdas can zero out whole
+//    cells and collapse the learner to one-class predictions (Fig. 6).
+
+#ifndef FAIRDRIFT_BASELINES_OMNIFAIR_H_
+#define FAIRDRIFT_BASELINES_OMNIFAIR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/encode.h"
+#include "fairness/metrics.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Configuration for the OMN baseline.
+struct OmnifairOptions {
+  FairnessObjective objective = FairnessObjective::kDisparateImpact;
+  /// Candidate intervention degrees; empty selects the default grid
+  /// {0.0, 0.1, ..., 1.0}.
+  std::vector<double> lambda_grid;
+  /// Calibration keeps the lambda with the smallest validation gap whose
+  /// balanced accuracy stays above this floor; if none qualifies, the
+  /// smallest-gap lambda wins regardless (mirrors OmniFair's
+  /// constraint-satisfaction semantics).
+  double accuracy_floor = 0.55;
+};
+
+/// Group-level weights for one lambda:
+///   w(t) = max(0, 1 + lambda * dir(g, y) * n / (2 |cell(g, y)|)),
+/// dir = +1 for the disadvantaged cell, -1 for the advantaged cell, 0
+/// elsewhere. Identical for all tuples of a cell.
+Result<std::vector<double>> OmnifairWeightsForLambda(
+    const Dataset& train, double lambda, FairnessObjective objective);
+
+/// Output of the model-in-the-loop calibration.
+struct OmnifairResult {
+  std::vector<double> weights;  ///< weights at the chosen lambda
+  double lambda = 0.0;
+  int models_trained = 0;  ///< size of the calibration loop (runtime driver)
+};
+
+/// Calibrates lambda by retraining `prototype` per grid point and
+/// evaluating the objective gap on `val`. This is the step that makes OMN
+/// model-dependent.
+Result<OmnifairResult> OmnifairCalibrate(const Dataset& train,
+                                         const Dataset& val,
+                                         const Classifier& prototype,
+                                         const FeatureEncoder& encoder,
+                                         const OmnifairOptions& options);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BASELINES_OMNIFAIR_H_

@@ -1,0 +1,129 @@
+#include "bench_common/experiment.h"
+
+#include <cstdio>
+
+#include "bench_common/table.h"
+#include "datagen/realworld.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+TrialSummary RunTrials(const Dataset& data, const PipelineOptions& options,
+                       int trials, uint64_t seed) {
+  TrialSummary summary;
+  std::vector<FairnessReport> reports;
+  Rng master(seed);
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng = master.Fork();
+    Result<PipelineResult> result = RunPipeline(data, options, &trial_rng);
+    if (!result.ok()) {
+      ++summary.trials_failed;
+      if (summary.first_error.empty()) {
+        summary.first_error = result.status().ToString();
+      }
+      FD_LOG_DEBUG << MethodName(options.method)
+                   << " trial failed: " << result.status().ToString();
+      continue;
+    }
+    ++summary.trials_succeeded;
+    reports.push_back(result.value().report);
+    summary.runtime_seconds += result.value().runtime_seconds;
+    summary.tuned_alpha += result.value().tuned_alpha;
+    summary.tuned_lambda += result.value().tuned_lambda;
+  }
+  if (summary.trials_succeeded > 0) {
+    double n = static_cast<double>(summary.trials_succeeded);
+    summary.report = AverageReports(reports);
+    summary.runtime_seconds /= n;
+    summary.tuned_alpha /= n;
+    summary.tuned_lambda /= n;
+  }
+  return summary;
+}
+
+BenchConfig BenchConfig::FromFlags(const CliFlags& flags) {
+  BenchConfig config;
+  config.trials = static_cast<int>(flags.GetInt("trials", config.trials));
+  config.scale = flags.GetDouble("scale", config.scale);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.verbose = flags.GetBool("verbose", false);
+  if (config.verbose) SetLogLevel(LogLevel::kDebug);
+  return config;
+}
+
+std::string MetricCell(const TrialSummary& summary, double value) {
+  if (summary.trials_succeeded == 0) return "n/a";
+  std::string cell = FormatDouble(value, 3);
+  if (summary.report.degenerate) cell += " #";   // crisscross bars (Fig. 6)
+  return cell;
+}
+
+void RunAndPrintMethodGrid(const std::vector<NamedDataset>& datasets,
+                           const std::vector<NamedMethod>& methods,
+                           int trials, uint64_t seed) {
+  // Run the full grid once, then render one table per metric.
+  std::vector<std::vector<TrialSummary>> grid(datasets.size());
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    grid[di].resize(methods.size());
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      grid[di][mi] = RunTrials(datasets[di].data, methods[mi].options,
+                               trials, seed + 1000 * di);
+      std::fprintf(stderr, "  [%s x %s] done (%d ok, %d failed)\n",
+                   datasets[di].name.c_str(), methods[mi].name.c_str(),
+                   grid[di][mi].trials_succeeded,
+                   grid[di][mi].trials_failed);
+    }
+  }
+
+  struct MetricView {
+    const char* title;
+    double (*get)(const TrialSummary&);
+    bool mark_favoring;
+  };
+  const MetricView views[] = {
+      {"Disparate Impact DI* (higher = fairer; '+' favors minority)",
+       [](const TrialSummary& s) { return s.report.di_star; }, true},
+      {"Average Odds Difference AOD* (higher = fairer)",
+       [](const TrialSummary& s) { return s.report.aod_star; }, false},
+      {"Balanced Accuracy (utility; '#' = degenerate one-class model)",
+       [](const TrialSummary& s) { return s.report.balanced_accuracy; },
+       false},
+  };
+  for (const MetricView& view : views) {
+    PrintSection(view.title);
+    std::vector<std::string> header = {"dataset"};
+    for (const NamedMethod& m : methods) header.push_back(m.name);
+    AsciiTable table(header);
+    for (size_t di = 0; di < datasets.size(); ++di) {
+      std::vector<std::string> row = {datasets[di].name};
+      for (size_t mi = 0; mi < methods.size(); ++mi) {
+        const TrialSummary& s = grid[di][mi];
+        std::string cell = MetricCell(s, view.get(s));
+        if (view.mark_favoring && s.trials_succeeded > 0 &&
+            s.report.favors_minority) {
+          cell += " +";
+        }
+        row.push_back(cell);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+}
+
+std::vector<NamedDataset> BuildRealWorldSuite(double scale) {
+  std::vector<NamedDataset> out;
+  for (const RealDatasetSpec& spec : RealDatasetSuite()) {
+    Result<Dataset> data = MakeRealWorldLike(spec, scale);
+    if (!data.ok()) {
+      std::fprintf(stderr, "datagen %s failed: %s\n", spec.name.c_str(),
+                   data.status().ToString().c_str());
+      continue;
+    }
+    out.push_back({spec.name, std::move(data).value()});
+  }
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,75 @@
+// Experiment grid runner shared by the figure benches: repeats a pipeline
+// over trials with fresh random splits, averaging the reports (the paper
+// averages 20 repetitions).
+
+#ifndef FAIRDRIFT_BENCH_COMMON_EXPERIMENT_H_
+#define FAIRDRIFT_BENCH_COMMON_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "util/cli.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Averaged outcome of repeated pipeline runs.
+struct TrialSummary {
+  FairnessReport report;        ///< metric averages across trials
+  double runtime_seconds = 0.0; ///< mean wall-clock per trial
+  double tuned_alpha = 0.0;     ///< mean tuned alpha (CONFAIR)
+  double tuned_lambda = 0.0;    ///< mean calibrated lambda (OMN)
+  int trials_succeeded = 0;
+  int trials_failed = 0;        ///< e.g. OMN failing to converge (Fig. 6)
+  std::string first_error;      ///< diagnostic for failed trials
+};
+
+/// Runs `options` on fresh splits of `data` for `trials` repetitions.
+/// A failing trial (Status error) is recorded rather than propagated —
+/// the paper reports such failures as missing bars.
+TrialSummary RunTrials(const Dataset& data, const PipelineOptions& options,
+                       int trials, uint64_t seed);
+
+/// Common bench flags (--trials, --scale, --seed, --verbose) decoded from
+/// the command line.
+struct BenchConfig {
+  int trials = 2;       ///< paper uses 20; 2 keeps the default suite fast
+  double scale = 0.05;  ///< dataset scale relative to paper size
+  uint64_t seed = 42;
+  bool verbose = false;
+
+  static BenchConfig FromFlags(const CliFlags& flags);
+};
+
+/// Formats "0.123" or "n/a" when no trial succeeded.
+std::string MetricCell(const TrialSummary& summary, double value);
+
+/// A named dataset for grid experiments.
+struct NamedDataset {
+  std::string name;
+  Dataset data;
+};
+
+/// A named pipeline configuration (method column) for grid experiments.
+struct NamedMethod {
+  std::string name;
+  PipelineOptions options;
+};
+
+/// Runs every (dataset x method) cell for `trials` repetitions and prints
+/// three tables — DI*, AOD*, BalAcc — with datasets as rows and methods as
+/// columns, reproducing the bar-chart content of the paper's Figs. 5-7,
+/// 11-13. Cells append " +" when raw DI favors the minority (striped bars)
+/// and " #" for degenerate one-class models (crisscross bars).
+void RunAndPrintMethodGrid(const std::vector<NamedDataset>& datasets,
+                           const std::vector<NamedMethod>& methods,
+                           int trials, uint64_t seed);
+
+/// Builds the seven simulated real-world datasets at `scale`.
+std::vector<NamedDataset> BuildRealWorldSuite(double scale);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BENCH_COMMON_EXPERIMENT_H_

@@ -1,0 +1,49 @@
+#include "bench_common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fairdrift {
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+void AsciiTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintSection(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace fairdrift

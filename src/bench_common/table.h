@@ -1,0 +1,36 @@
+// ASCII table printer for the figure-reproduction benches.
+
+#ifndef FAIRDRIFT_BENCH_COMMON_TABLE_H_
+#define FAIRDRIFT_BENCH_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fairdrift {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "=== title ===" section banner to stdout.
+void PrintSection(const std::string& title);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BENCH_COMMON_TABLE_H_

@@ -1,0 +1,62 @@
+#include "cc/axis_box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace fairdrift {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+Result<ConstraintSet> DiscoverAxisBoxConstraints(const Matrix& numeric_data,
+                                                 const AxisBoxOptions& options) {
+  size_t n = numeric_data.rows();
+  size_t q = numeric_data.cols();
+  if (n == 0 || q == 0) {
+    return Status::InvalidArgument(
+        "DiscoverAxisBoxConstraints: no tuples or no numeric attributes");
+  }
+  if (options.use_quantiles &&
+      (options.quantile_low < 0.0 || options.quantile_low >= 0.5)) {
+    return Status::InvalidArgument(
+        "DiscoverAxisBoxConstraints: quantile_low must lie in [0, 0.5)");
+  }
+
+  std::vector<ConformanceConstraint> constraints;
+  constraints.reserve(q);
+  std::vector<double> sigmas;
+  sigmas.reserve(q);
+  for (size_t j = 0; j < q; ++j) {
+    std::vector<double> values = numeric_data.Col(j);
+    ConformanceConstraint c;
+    c.projection.coeffs.assign(q, 0.0);
+    c.projection.coeffs[j] = 1.0;
+    c.projection.offset = 0.0;
+    c.stddev = StdDev(values);
+    if (options.use_quantiles) {
+      c.lower_bound = Quantile(values, options.quantile_low);
+      c.upper_bound = Quantile(values, 1.0 - options.quantile_low);
+    } else {
+      double mu = Mean(values);
+      c.lower_bound = mu - options.bound_sigma * c.stddev;
+      c.upper_bound = mu + options.bound_sigma * c.stddev;
+    }
+    sigmas.push_back(c.stddev);
+    constraints.push_back(std::move(c));
+  }
+
+  // Same importance rule as CC discovery: the lower an attribute's spread,
+  // the more discriminative its interval.
+  double smin = *std::min_element(sigmas.begin(), sigmas.end());
+  double smax = *std::max_element(sigmas.begin(), sigmas.end());
+  double denom = smin + smax + kEps;
+  for (size_t j = 0; j < constraints.size(); ++j) {
+    constraints[j].importance = std::max(1.0 - sigmas[j] / denom, kEps);
+  }
+  return ConstraintSet::Create(std::move(constraints));
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,47 @@
+// Axis-aligned interval profiling — an alternative data-profiling
+// primitive behind the same ConstraintSet interface.
+//
+// The paper's methods are designed to "integrate with other profiling
+// tools that produce similar quantitative descriptions of input data"
+// (§I) and name this integration as future work (§VI). This module
+// supplies the simplest such alternative: one interval constraint per
+// numeric attribute (a bounding box), with the same quantitative
+// violation semantics as conformance constraints.
+//
+// The contrast with CC discovery is the point: boxes cannot express
+// correlation between attributes, so when groups drift along *combined*
+// directions (the situation motivating CCs), box profiles stay wide and
+// lose discriminative power. The profiler-ablation bench measures this.
+
+#ifndef FAIRDRIFT_CC_AXIS_BOX_H_
+#define FAIRDRIFT_CC_AXIS_BOX_H_
+
+#include "cc/constraint.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Tuning knobs for axis-box discovery.
+struct AxisBoxOptions {
+  /// With use_quantiles = false, bounds are mean ± bound_sigma * stddev
+  /// of each attribute (mirroring CC discovery's bound rule).
+  double bound_sigma = 1.75;
+  /// With use_quantiles = true, bounds are the [quantile_low,
+  /// 1 - quantile_low] empirical quantiles per attribute — robust to
+  /// outliers, at the price of a fixed coverage level.
+  bool use_quantiles = false;
+  double quantile_low = 0.05;
+};
+
+/// Derives one interval constraint per numeric attribute of
+/// `numeric_data` (tuples x attributes). The result is a regular
+/// ConstraintSet — violations, signed margins, and every consumer
+/// (DIFFAIR routing, CONFAIR boosts) work unchanged. Importance weights
+/// follow the same low-variance-is-important rule as CC discovery.
+Result<ConstraintSet> DiscoverAxisBoxConstraints(
+    const Matrix& numeric_data, const AxisBoxOptions& options = {});
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CC_AXIS_BOX_H_

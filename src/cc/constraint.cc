@@ -1,0 +1,116 @@
+#include "cc/constraint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+/// Floor for sigma in the violation denominator; prevents division by zero
+/// on degenerate (constant) projections.
+constexpr double kSigmaFloor = 1e-9;
+}  // namespace
+
+double ConformanceConstraint::Distance(const std::vector<double>& row) const {
+  double v = projection.Apply(row);
+  return std::max({0.0, v - upper_bound, lower_bound - v});
+}
+
+double ConformanceConstraint::Violation(const std::vector<double>& row) const {
+  double dist = Distance(row);
+  if (dist <= 0.0) return 0.0;
+  double sigma = std::max(stddev, kSigmaFloor);
+  return 1.0 - std::exp(-dist / sigma);
+}
+
+bool ConformanceConstraint::Satisfies(const std::vector<double>& row) const {
+  return Distance(row) <= 0.0;
+}
+
+double ConformanceConstraint::SignedMargin(
+    const std::vector<double>& row) const {
+  double v = projection.Apply(row);
+  double sigma = std::max(stddev, kSigmaFloor);
+  double above = v - upper_bound;
+  double below = lower_bound - v;
+  double outside = std::max(above, below);
+  // Positive when outside (scaled distance past the nearer bound),
+  // negative when inside (depth to the nearer bound).
+  return outside / sigma;
+}
+
+std::string ConformanceConstraint::ToString(
+    const std::vector<std::string>& attr_names) const {
+  std::vector<std::string> terms;
+  for (size_t j = 0; j < projection.coeffs.size(); ++j) {
+    if (projection.coeffs[j] == 0.0) continue;
+    std::string attr = j < attr_names.size()
+                           ? attr_names[j]
+                           : StrFormat("x%zu", j + 1);
+    terms.push_back(
+        StrFormat("%+.3f*%s", projection.coeffs[j], attr.c_str()));
+  }
+  if (projection.offset != 0.0) {
+    terms.push_back(StrFormat("%+.3f", projection.offset));
+  }
+  std::string body = terms.empty() ? "0" : Join(terms, " ");
+  return StrFormat("%.3f <= %s <= %.3f  (sigma=%.4f, q=%.3f)", lower_bound,
+                   body.c_str(), upper_bound, stddev, importance);
+}
+
+Result<ConstraintSet> ConstraintSet::Create(
+    std::vector<ConformanceConstraint> constraints) {
+  if (constraints.empty()) {
+    return Status::InvalidArgument("ConstraintSet: no constraints");
+  }
+  double total = 0.0;
+  for (const auto& c : constraints) {
+    if (c.importance < 0.0) {
+      return Status::InvalidArgument("ConstraintSet: negative importance");
+    }
+    total += c.importance;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "ConstraintSet: importance mass must be positive");
+  }
+  ConstraintSet set;
+  set.constraints_ = std::move(constraints);
+  for (auto& c : set.constraints_) c.importance /= total;
+  return set;
+}
+
+double ConstraintSet::Violation(const std::vector<double>& row) const {
+  double acc = 0.0;
+  for (const auto& c : constraints_) {
+    acc += c.importance * c.Violation(row);
+  }
+  return acc;
+}
+
+double ConstraintSet::SignedMargin(const std::vector<double>& row) const {
+  double acc = 0.0;
+  for (const auto& c : constraints_) {
+    acc += c.importance * c.SignedMargin(row);
+  }
+  return acc;
+}
+
+std::vector<double> ConstraintSet::ViolationAll(const Matrix& data) const {
+  std::vector<double> out(data.rows());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    out[r] = Violation(data.Row(r));
+  }
+  return out;
+}
+
+bool ConstraintSet::Satisfies(const std::vector<double>& row) const {
+  for (const auto& c : constraints_) {
+    if (!c.Satisfies(row)) return false;
+  }
+  return true;
+}
+
+}  // namespace fairdrift

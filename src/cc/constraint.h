@@ -1,0 +1,98 @@
+// Conformance constraints and their quantitative violation semantics.
+//
+// A constraint phi is `lb <= F(X) <= ub`; a ConstraintSet Phi is the
+// conjunction of several such constraints with importance weights q_i
+// (sum q_i = 1). The quantitative violation of a tuple t follows Eq. (1)
+// of the paper (Yang & Meliou, after Fariha et al.):
+//
+//   [[Phi]](t)  = sum_i q_i * [[phi_i]](t)
+//   [[phi_i]](t) = eta(dist(F_i, t) / sigma(F_i))
+//   dist(F_i,t) = max(0, F_i(t) - ub_i, lb_i - F_i(t))
+//   eta(x)      = 1 - exp(-x)
+//
+// A tuple with zero violation *satisfies* the set (Boolean semantics).
+
+#ifndef FAIRDRIFT_CC_CONSTRAINT_H_
+#define FAIRDRIFT_CC_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "cc/projection.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// One bounded projection: lb <= F(X) <= ub.
+struct ConformanceConstraint {
+  Projection projection;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  /// Standard deviation of the projection over the profiled data; scales
+  /// distances in the violation semantics (floored at a small epsilon).
+  double stddev = 1.0;
+  /// Importance weight q_i; the owning ConstraintSet keeps sum q_i = 1.
+  double importance = 1.0;
+
+  /// dist(F, t): how far the projection value falls outside the bounds.
+  double Distance(const std::vector<double>& row) const;
+
+  /// [[phi]](t) = 1 - exp(-dist/sigma), in [0, 1).
+  double Violation(const std::vector<double>& row) const;
+
+  /// Signed, sigma-scaled margin: positive distance beyond the bounds, or
+  /// *negative* depth inside them (how comfortably the tuple conforms).
+  /// Used by DIFFAIR's router to break zero-violation ties in regions
+  /// where several cells' constraints all hold.
+  double SignedMargin(const std::vector<double>& row) const;
+
+  /// Boolean semantics: inside the bounds.
+  bool Satisfies(const std::vector<double>& row) const;
+
+  /// Pretty "lb <= c1*x1 + ... <= ub" rendering for reports.
+  std::string ToString(const std::vector<std::string>& attr_names = {}) const;
+};
+
+/// Conjunction of conformance constraints with quantitative semantics.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  /// Builds a set, normalizing importances to sum to 1. Fails when the
+  /// constraint list is empty or the importance mass is non-positive.
+  static Result<ConstraintSet> Create(
+      std::vector<ConformanceConstraint> constraints);
+
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+  const ConformanceConstraint& constraint(size_t i) const {
+    return constraints_[i];
+  }
+
+  /// [[Phi]](t): importance-weighted violation in [0, 1).
+  double Violation(const std::vector<double>& row) const;
+
+  /// Importance-weighted signed margin (see
+  /// ConformanceConstraint::SignedMargin); equals 0 exactly on the bound
+  /// surface, negative strictly inside every constraint.
+  double SignedMargin(const std::vector<double>& row) const;
+
+  /// Violations for every row of `data`.
+  std::vector<double> ViolationAll(const Matrix& data) const;
+
+  /// Boolean semantics: all member constraints satisfied.
+  bool Satisfies(const std::vector<double>& row) const;
+
+  /// Number of attributes the projections expect.
+  size_t input_dim() const {
+    return constraints_.empty() ? 0 : constraints_[0].projection.coeffs.size();
+  }
+
+ private:
+  std::vector<ConformanceConstraint> constraints_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CC_CONSTRAINT_H_

@@ -1,0 +1,114 @@
+#include "cc/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace fairdrift {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+Result<ConstraintSet> DiscoverConstraints(const Matrix& numeric_data,
+                                          const CcOptions& options) {
+  size_t n = numeric_data.rows();
+  size_t q = numeric_data.cols();
+  if (n == 0 || q == 0) {
+    return Status::InvalidArgument(
+        "DiscoverConstraints: no tuples or no numeric attributes");
+  }
+
+  // Standardize columns; constant columns are centered only. Projections
+  // are later mapped back to the raw attribute space.
+  std::vector<double> mu = ColumnMeans(numeric_data);
+  std::vector<double> sd = ColumnStdDevs(numeric_data);
+  Matrix z(n, q);
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = numeric_data.RowPtr(i);
+    double* dst = z.RowPtr(i);
+    for (size_t j = 0; j < q; ++j) {
+      dst[j] = sd[j] > 0.0 ? (src[j] - mu[j]) / sd[j] : 0.0;
+    }
+  }
+
+  // Principal directions of the standardized data, ascending variance.
+  Matrix directions;
+  std::vector<double> variances;
+  if (n >= 2) {
+    Result<Matrix> cov = Covariance(z);
+    if (!cov.ok()) return cov.status();
+    Result<EigenDecomposition> eig = JacobiEigenDecomposition(cov.value());
+    if (!eig.ok()) return eig.status();
+    directions = std::move(eig.value().vectors);
+    variances = std::move(eig.value().values);
+  } else {
+    // Single tuple: fall back to axis-aligned point constraints.
+    directions = Matrix::Identity(q);
+    variances.assign(q, 0.0);
+  }
+
+  // Optional projection filtering (lowest-variance directions first; the
+  // eigensolver already returns them in ascending order).
+  size_t keep = directions.rows();
+  if (options.max_projections > 0) {
+    keep = std::min(keep, options.max_projections);
+  }
+  if (options.max_variance_ratio > 0.0) {
+    double base = std::max(variances[0], kEps);
+    size_t limit = 0;
+    while (limit < keep &&
+           variances[limit] <= options.max_variance_ratio * base) {
+      ++limit;
+    }
+    keep = std::max<size_t>(1, limit);
+  }
+
+  std::vector<ConformanceConstraint> constraints;
+  constraints.reserve(keep);
+  std::vector<double> sigmas;
+  sigmas.reserve(keep);
+  for (size_t k = 0; k < keep; ++k) {
+    ConformanceConstraint c;
+    // Map direction from standardized space to raw attribute space:
+    // v . z = sum_j v_j (x_j - mu_j) / sd_j. Constant attributes (sd = 0)
+    // keep the unscaled centered term so deviations from the constant
+    // value still register at serving time.
+    c.projection.coeffs.resize(q, 0.0);
+    double offset = 0.0;
+    for (size_t j = 0; j < q; ++j) {
+      double vj = directions.At(k, j);
+      double scale = sd[j] > 0.0 ? sd[j] : 1.0;
+      c.projection.coeffs[j] = vj / scale;
+      offset -= vj * mu[j] / scale;
+    }
+    c.projection.offset = offset;
+
+    std::vector<double> values = c.projection.ApplyAll(numeric_data);
+    double pmu = Mean(values);
+    double psd = StdDev(values);
+    c.stddev = psd;
+    c.lower_bound = pmu - options.bound_sigma * psd;
+    c.upper_bound = pmu + options.bound_sigma * psd;
+    sigmas.push_back(psd);
+    constraints.push_back(std::move(c));
+  }
+
+  // Importance: lower projection stddev => more discriminative constraint.
+  // We use q~_k = 1 - sigma_k / (sigma_min + sigma_max + eps): equal sigmas
+  // yield equal importances, while a near-constant projection dominates a
+  // loose one. (The paper's raw formula divides by (max - min), which
+  // degenerates on isotropic data; see DESIGN.md §6.1.)
+  double smin = *std::min_element(sigmas.begin(), sigmas.end());
+  double smax = *std::max_element(sigmas.begin(), sigmas.end());
+  double denom = smin + smax + kEps;
+  for (size_t k = 0; k < constraints.size(); ++k) {
+    double qk = 1.0 - sigmas[k] / denom;
+    constraints[k].importance = std::max(qk, kEps);
+  }
+  return ConstraintSet::Create(std::move(constraints));
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,46 @@
+// Conformance-constraint discovery (the GetCCs primitive of the paper).
+//
+// Following the construction of Fariha et al. (SIGMOD'21): the data is
+// standardized, its principal directions are computed, and every direction
+// becomes a bounded linear projection. Directions along which the data
+// varies *little* yield tight constraints and receive high importance
+// weights; the quantitative semantics then aggregate per-constraint
+// violations (see cc/constraint.h).
+//
+// Deviation from the paper, documented in DESIGN.md §6.1: the paper's
+// importance formula q_i = 1 - sigma_i/(max sigma - min sigma) can be
+// negative; we use the clamped, normalized variant
+// q_i ∝ 1 - (sigma_i - min)/(max - min + eps).
+
+#ifndef FAIRDRIFT_CC_DISCOVERY_H_
+#define FAIRDRIFT_CC_DISCOVERY_H_
+
+#include "cc/constraint.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Tuning knobs for constraint discovery.
+struct CcOptions {
+  /// Bounds are mean ± bound_sigma * stddev of the projection values.
+  double bound_sigma = 1.75;
+  /// Keep at most this many projections (lowest variance first);
+  /// 0 keeps all q directions.
+  size_t max_projections = 0;
+  /// Drop projections whose (standardized-space) variance exceeds this
+  /// multiple of the smallest variance. <= 0 disables the filter.
+  double max_variance_ratio = 0.0;
+};
+
+/// Derives a conformance-constraint set from the rows of `numeric_data`
+/// (tuples x numeric attributes). The projections are expressed over the
+/// raw attribute space. Fails on empty input; degenerate inputs (single
+/// tuple, constant attributes) produce point-interval constraints rather
+/// than errors, since tiny minority cells are an expected condition.
+Result<ConstraintSet> DiscoverConstraints(const Matrix& numeric_data,
+                                          const CcOptions& options = {});
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CC_DISCOVERY_H_

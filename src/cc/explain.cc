@@ -1,0 +1,76 @@
+#include "cc/explain.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+std::vector<ViolationContribution> ExplainViolation(
+    const ConstraintSet& constraints, const std::vector<double>& row) {
+  std::vector<ViolationContribution> out;
+  out.reserve(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const ConformanceConstraint& c = constraints.constraint(i);
+    ViolationContribution contrib;
+    contrib.constraint_index = i;
+    contrib.projection_value = c.projection.Apply(row);
+    contrib.distance = c.Distance(row);
+    contrib.violation = c.Violation(row);
+    contrib.weighted = c.importance * contrib.violation;
+    out.push_back(contrib);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ViolationContribution& a,
+                      const ViolationContribution& b) {
+                     return a.weighted > b.weighted;
+                   });
+  return out;
+}
+
+std::string DescribeConstraintSet(
+    const ConstraintSet& constraints,
+    const std::vector<std::string>& attr_names) {
+  // Order by importance so the most characteristic relationships lead.
+  std::vector<size_t> order(constraints.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return constraints.constraint(a).importance >
+           constraints.constraint(b).importance;
+  });
+  std::string out;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    out += StrFormat("  [%zu] ", rank + 1);
+    out += constraints.constraint(order[rank]).ToString(attr_names);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExplainViolationReport(
+    const ConstraintSet& constraints, const std::vector<double>& row,
+    const std::vector<std::string>& attr_names, size_t max_constraints) {
+  double total = constraints.Violation(row);
+  std::string out =
+      StrFormat("total violation [[Phi]](t) = %.4f (%s)\n", total,
+                total == 0.0 ? "tuple conforms" : "tuple drifts");
+  std::vector<ViolationContribution> contribs =
+      ExplainViolation(constraints, row);
+  size_t shown = 0;
+  for (const ViolationContribution& c : contribs) {
+    if (shown >= max_constraints) break;
+    if (c.weighted <= 0.0 && shown > 0) break;
+    const ConformanceConstraint& phi =
+        constraints.constraint(c.constraint_index);
+    out += StrFormat(
+        "  phi_%zu contributes %.4f: F(t) = %.3f vs bounds [%.3f, %.3f] "
+        "(dist %.3f)\n",
+        c.constraint_index, c.weighted, c.projection_value, phi.lower_bound,
+        phi.upper_bound, c.distance);
+    out += "    " + phi.ToString(attr_names) + "\n";
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,49 @@
+// Human-readable explanations of conformance constraints and violations.
+//
+// The paper argues non-invasive interventions are "explicit and easy to
+// interpret and audit" (§I). This module backs that claim: it renders a
+// discovered constraint set and decomposes a tuple's quantitative
+// violation into per-constraint contributions, so an auditor can see
+// *which* learned relationship a serving tuple breaks and by how much.
+
+#ifndef FAIRDRIFT_CC_EXPLAIN_H_
+#define FAIRDRIFT_CC_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "cc/constraint.h"
+
+namespace fairdrift {
+
+/// One constraint's share of a tuple's violation.
+struct ViolationContribution {
+  size_t constraint_index = 0;
+  double projection_value = 0.0;  ///< F_i(t)
+  double distance = 0.0;          ///< dist(F_i, t), 0 when inside bounds
+  double violation = 0.0;         ///< [[phi_i]](t)
+  double weighted = 0.0;          ///< q_i * [[phi_i]](t)
+};
+
+/// Per-constraint breakdown of [[Phi]](t), sorted by descending weighted
+/// contribution. The weighted column sums to ConstraintSet::Violation.
+std::vector<ViolationContribution> ExplainViolation(
+    const ConstraintSet& constraints, const std::vector<double>& row);
+
+/// Multi-line rendering of a constraint set, one constraint per line,
+/// most important (highest q_i) first. `attr_names` labels the attribute
+/// coefficients (falls back to x1..xq).
+std::string DescribeConstraintSet(const ConstraintSet& constraints,
+                                  const std::vector<std::string>& attr_names = {});
+
+/// Multi-line audit report for one tuple: total violation plus the
+/// top `max_constraints` contributing constraints with their bounds and
+/// observed projection values.
+std::string ExplainViolationReport(
+    const ConstraintSet& constraints, const std::vector<double>& row,
+    const std::vector<std::string>& attr_names = {},
+    size_t max_constraints = 3);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CC_EXPLAIN_H_

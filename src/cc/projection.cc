@@ -1,0 +1,29 @@
+#include "cc/projection.h"
+
+#include <cassert>
+
+namespace fairdrift {
+
+double Projection::Apply(const std::vector<double>& row) const {
+  assert(row.size() == coeffs.size());
+  double acc = offset;
+  for (size_t j = 0; j < coeffs.size(); ++j) acc += coeffs[j] * row[j];
+  return acc;
+}
+
+double Projection::ApplyRow(const Matrix& data, size_t r) const {
+  assert(data.cols() == coeffs.size());
+  assert(r < data.rows());
+  const double* row = data.RowPtr(r);
+  double acc = offset;
+  for (size_t j = 0; j < coeffs.size(); ++j) acc += coeffs[j] * row[j];
+  return acc;
+}
+
+std::vector<double> Projection::ApplyAll(const Matrix& data) const {
+  std::vector<double> out(data.rows());
+  for (size_t r = 0; r < data.rows(); ++r) out[r] = ApplyRow(data, r);
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,35 @@
+// Linear projections over numeric attributes.
+//
+// A conformance constraint bounds the value of a projection
+// F(x) = sum_j coeffs[j] * x[j] + offset. Discovery produces projections in
+// the *raw* attribute space (standardization is folded into the
+// coefficients), so serving tuples can be evaluated without carrying the
+// profiling statistics around.
+
+#ifndef FAIRDRIFT_CC_PROJECTION_H_
+#define FAIRDRIFT_CC_PROJECTION_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fairdrift {
+
+/// Affine functional over numeric attributes: F(x) = coeffs . x + offset.
+struct Projection {
+  std::vector<double> coeffs;
+  double offset = 0.0;
+
+  /// Applies the projection to a raw attribute row.
+  double Apply(const std::vector<double>& row) const;
+
+  /// Applies the projection to row `r` of `data`.
+  double ApplyRow(const Matrix& data, size_t r) const;
+
+  /// Projection values for every row of `data`.
+  std::vector<double> ApplyAll(const Matrix& data) const;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CC_PROJECTION_H_

@@ -1,0 +1,295 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/stats.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+constexpr double kPsiEps = 1e-4;  // smoothing for empty bins
+
+}  // namespace
+
+double PopulationStabilityIndex(const std::vector<double>& reference,
+                                const std::vector<double>& comparison,
+                                int bins) {
+  if (reference.empty() || comparison.empty() || bins < 2) return 0.0;
+  // Quantile edges of the pooled sample, so both sides use one binning.
+  std::vector<double> pooled = reference;
+  pooled.insert(pooled.end(), comparison.begin(), comparison.end());
+  std::sort(pooled.begin(), pooled.end());
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(bins) - 1);
+  for (int b = 1; b < bins; ++b) {
+    size_t idx = pooled.size() * static_cast<size_t>(b) /
+                 static_cast<size_t>(bins);
+    edges.push_back(pooled[std::min(idx, pooled.size() - 1)]);
+  }
+  auto histogram = [&](const std::vector<double>& sample) {
+    std::vector<double> h(static_cast<size_t>(bins), 0.0);
+    for (double v : sample) {
+      size_t b = static_cast<size_t>(
+          std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+      h[b] += 1.0;
+    }
+    for (double& c : h) {
+      c = c / static_cast<double>(sample.size()) + kPsiEps;
+    }
+    return h;
+  };
+  std::vector<double> p = histogram(reference);
+  std::vector<double> q = histogram(comparison);
+  double psi = 0.0;
+  for (size_t b = 0; b < p.size(); ++b) {
+    psi += (p[b] - q[b]) * std::log(p[b] / q[b]);
+  }
+  return psi;
+}
+
+Result<DriftReport> MeasureGroupDrift(const Dataset& data,
+                                      const ProfileOptions& options) {
+  if (!data.has_labels() || !data.has_groups()) {
+    return Status::FailedPrecondition(
+        "MeasureGroupDrift: dataset needs labels and groups");
+  }
+  Matrix numeric = data.NumericMatrix();
+  if (numeric.cols() == 0) {
+    return Status::InvalidArgument(
+        "MeasureGroupDrift: drift is measured over numeric attributes");
+  }
+  if (data.num_groups() < 2) {
+    return Status::InvalidArgument(
+        "MeasureGroupDrift: needs at least two groups");
+  }
+  Result<GroupLabelProfile> profile =
+      GroupLabelProfile::Profile(data, options);
+  if (!profile.ok()) return profile.status();
+
+  const int num_groups = data.num_groups();
+  DriftReport report;
+  report.cross_violation =
+      Matrix(static_cast<size_t>(num_groups), static_cast<size_t>(num_groups));
+  std::vector<std::vector<size_t>> members(static_cast<size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) members[g] = data.GroupIndices(g);
+
+  for (int g = 0; g < num_groups; ++g) {
+    if (members[g].empty()) continue;
+    for (int h = 0; h < num_groups; ++h) {
+      if (!profile->GroupProfiled(h)) continue;
+      double total = 0.0;
+      for (size_t i : members[g]) {
+        total += profile->MinViolationForGroup(h, numeric.Row(i));
+      }
+      report.cross_violation.At(static_cast<size_t>(g),
+                                static_cast<size_t>(h)) =
+          total / static_cast<double>(members[g].size());
+    }
+  }
+
+  // Drift score: size-weighted mean over groups of (mean violation against
+  // the *other* groups' profiles - self violation), clamped at 0.
+  double weighted = 0.0;
+  double weight_total = 0.0;
+  for (int g = 0; g < num_groups; ++g) {
+    if (members[g].empty()) continue;
+    double self =
+        report.cross_violation.At(static_cast<size_t>(g),
+                                  static_cast<size_t>(g));
+    double cross = 0.0;
+    int others = 0;
+    for (int h = 0; h < num_groups; ++h) {
+      if (h == g || !profile->GroupProfiled(h)) continue;
+      cross += report.cross_violation.At(static_cast<size_t>(g),
+                                         static_cast<size_t>(h));
+      ++others;
+    }
+    if (others == 0) continue;
+    cross /= static_cast<double>(others);
+    double w = static_cast<double>(members[g].size());
+    weighted += w * std::max(0.0, cross - self);
+    weight_total += w;
+  }
+  report.drift_score = weight_total > 0.0 ? weighted / weight_total : 0.0;
+
+  // Label-trend conflict (binary labels): every group's *trend* is the
+  // direction from its negative to its positive class mean, taken in
+  // globally standardized attribute space. When two groups' trends point
+  // the same way a single decision surface can serve both; when they
+  // cross (the Fig. 10 geometry, obtuse angles) no single model can
+  // conform to every group. Reported as the worst pairwise misalignment
+  // (1 − cos θ) / 2 ∈ [0, 1]: 0 = parallel, 0.5 = orthogonal,
+  // 1 = opposing. Groups whose classes barely separate carry no trend
+  // and are skipped.
+  if (data.num_classes() == 2) {
+    std::vector<double> sd = ColumnStdDevs(numeric);
+    std::vector<std::vector<double>> trend(static_cast<size_t>(num_groups));
+    for (int g = 0; g < num_groups; ++g) {
+      std::vector<size_t> pos = data.CellIndices(g, 1);
+      std::vector<size_t> neg = data.CellIndices(g, 0);
+      if (pos.empty() || neg.empty()) continue;
+      std::vector<double> diff(numeric.cols(), 0.0);
+      for (size_t i : pos) {
+        const double* row = numeric.RowPtr(i);
+        for (size_t j = 0; j < numeric.cols(); ++j) diff[j] += row[j];
+      }
+      for (size_t j = 0; j < numeric.cols(); ++j) {
+        diff[j] /= static_cast<double>(pos.size());
+      }
+      for (size_t i : neg) {
+        const double* row = numeric.RowPtr(i);
+        for (size_t j = 0; j < numeric.cols(); ++j) {
+          diff[j] -= row[j] / static_cast<double>(neg.size());
+        }
+      }
+      double norm2 = 0.0;
+      for (size_t j = 0; j < numeric.cols(); ++j) {
+        diff[j] = sd[j] > 0.0 ? diff[j] / sd[j] : 0.0;
+        norm2 += diff[j] * diff[j];
+      }
+      // A separation under 5% of a (pooled) standard deviation carries
+      // no usable trend.
+      if (norm2 < 0.05 * 0.05) continue;
+      double norm = std::sqrt(norm2);
+      for (double& v : diff) v /= norm;
+      trend[static_cast<size_t>(g)] = std::move(diff);
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      if (trend[static_cast<size_t>(g)].empty()) continue;
+      for (int h = g + 1; h < num_groups; ++h) {
+        if (trend[static_cast<size_t>(h)].empty()) continue;
+        double cos_theta = 0.0;
+        for (size_t j = 0; j < numeric.cols(); ++j) {
+          cos_theta += trend[static_cast<size_t>(g)][j] *
+                       trend[static_cast<size_t>(h)][j];
+        }
+        report.trend_conflict =
+            std::max(report.trend_conflict, 0.5 * (1.0 - cos_theta));
+      }
+    }
+  }
+
+  // Attribute-level view: PSI between the two largest groups (the W/U
+  // pair in the binary case).
+  int largest = 0, second = 1;
+  if (data.GroupCount(1) > data.GroupCount(0)) std::swap(largest, second);
+  for (int g = 2; g < num_groups; ++g) {
+    if (data.GroupCount(g) > data.GroupCount(largest)) {
+      second = largest;
+      largest = g;
+    } else if (data.GroupCount(g) > data.GroupCount(second)) {
+      second = g;
+    }
+  }
+  Matrix major = numeric.SelectRows(members[largest]);
+  Matrix minor = numeric.SelectRows(members[second]);
+  report.attribute_psi.resize(numeric.cols());
+  for (size_t j = 0; j < numeric.cols(); ++j) {
+    report.attribute_psi[j] =
+        PopulationStabilityIndex(major.Col(j), minor.Col(j));
+  }
+
+  // Representation diagnostics.
+  size_t smallest_group = data.size();
+  int smallest_id = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    if (!members[g].empty() && members[g].size() < smallest_group) {
+      smallest_group = members[g].size();
+      smallest_id = g;
+    }
+  }
+  report.minority_fraction =
+      static_cast<double>(smallest_group) / static_cast<double>(data.size());
+  report.smallest_cell = data.size();
+  for (int g = 0; g < num_groups; ++g) {
+    if (members[g].empty()) continue;
+    for (int y = 0; y < data.num_classes(); ++y) {
+      report.smallest_cell =
+          std::min(report.smallest_cell, data.CellCount(g, y));
+    }
+  }
+  report.minority_positive_rate =
+      data.num_classes() == 2 && smallest_group > 0
+          ? static_cast<double>(data.CellCount(smallest_id, 1)) /
+                static_cast<double>(smallest_group)
+          : 0.0;
+  return report;
+}
+
+const char* RecommendedMethodName(RecommendedMethod method) {
+  switch (method) {
+    case RecommendedMethod::kConfair:
+      return "CONFAIR";
+    case RecommendedMethod::kDiffair:
+      return "DIFFAIR";
+  }
+  return "?";
+}
+
+Result<Recommendation> RecommendIntervention(const Dataset& data,
+                                             const AdvisorOptions& options) {
+  Result<DriftReport> report = MeasureGroupDrift(data, options.profile);
+  if (!report.ok()) return report.status();
+
+  Recommendation rec;
+  rec.report = std::move(report).value();
+  const DriftReport& r = rec.report;
+
+  bool covariate_severe = r.drift_score >= options.severe_drift_threshold;
+  bool trends_conflict =
+      r.trend_conflict >= options.trend_conflict_threshold;
+  bool severe_drift = covariate_severe || trends_conflict;
+  bool representation_ok =
+      r.minority_fraction >= options.min_minority_fraction &&
+      r.smallest_cell >= options.min_cell_support;
+
+  if (severe_drift && representation_ok) {
+    rec.method = RecommendedMethod::kDiffair;
+    rec.rationale =
+        trends_conflict
+            ? StrFormat(
+                  "label-trend conflict %.3f >= %.3f (one group's "
+                  "positives conform to the other's negatives: the "
+                  "crossing-trends situation of Fig. 10) and every "
+                  "(group x label) cell holds >= %zu tuples (min %zu, "
+                  "minority %.1f%%): no single model can conform to all "
+                  "groups, so split models with conformance routing "
+                  "(the paper's Fig. 11 regime).",
+                  r.trend_conflict, options.trend_conflict_threshold,
+                  options.min_cell_support, r.smallest_cell,
+                  100.0 * r.minority_fraction)
+            : StrFormat(
+                  "covariate drift %.3f >= %.3f (groups conform poorly "
+                  "to each other's constraints) with adequate support "
+                  "(min cell %zu, minority %.1f%%): split models with "
+                  "conformance routing (the paper's Fig. 11 regime).",
+                  r.drift_score, options.severe_drift_threshold,
+                  r.smallest_cell, 100.0 * r.minority_fraction);
+  } else if (severe_drift) {
+    rec.method = RecommendedMethod::kConfair;
+    rec.rationale = StrFormat(
+        "drift is severe (covariate %.3f, trend conflict %.3f) but the "
+        "minority's representation is too thin for split models "
+        "(fraction %.1f%% vs %.1f%% required, thinnest cell %zu vs %zu): "
+        "reweighing keeps a single model's predictive power (the paper's "
+        "§III-B limitation of model splitting).",
+        r.drift_score, r.trend_conflict, 100.0 * r.minority_fraction,
+        100.0 * options.min_minority_fraction, r.smallest_cell,
+        options.min_cell_support);
+  } else {
+    rec.method = RecommendedMethod::kConfair;
+    rec.rationale = StrFormat(
+        "covariate drift %.3f < %.3f and trend conflict %.3f < %.3f: a "
+        "single reweighed model retains full predictive power while "
+        "closing the fairness gap (the paper's Fig. 12 regime).",
+        r.drift_score, options.severe_drift_threshold, r.trend_conflict,
+        options.trend_conflict_threshold);
+  }
+  return rec;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,142 @@
+#include "core/cluster_routing.h"
+
+#include <limits>
+
+#include "linalg/stats.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<ClusterRoutedModel> ClusterRoutedModel::Train(
+    const Dataset& train, const Classifier& prototype,
+    const FeatureEncoder& encoder, const ClusterRoutingOptions& options) {
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition(
+        "ClusterRoutedModel: training data needs labels and groups");
+  }
+  if (options.centroids_per_cell < 1) {
+    return Status::InvalidArgument(
+        "ClusterRoutedModel: centroids_per_cell must be >= 1");
+  }
+  Matrix numeric = train.NumericMatrix();
+  if (numeric.cols() == 0) {
+    return Status::InvalidArgument(
+        "ClusterRoutedModel: routing needs numeric attributes");
+  }
+
+  ClusterRoutedModel model;
+  model.num_groups_ = train.num_groups();
+  model.encoder_ = encoder;
+  model.means_ = ColumnMeans(numeric);
+  model.stddevs_ = ColumnStdDevs(numeric);
+
+  // Standardize once; centroids live in the standardized space so no
+  // attribute dominates the Euclidean metric by scale alone.
+  Matrix z(numeric.rows(), numeric.cols());
+  for (size_t i = 0; i < numeric.rows(); ++i) {
+    const double* src = numeric.RowPtr(i);
+    double* dst = z.RowPtr(i);
+    for (size_t j = 0; j < numeric.cols(); ++j) {
+      double sd = model.stddevs_[j];
+      dst[j] = sd > 0.0 ? (src[j] - model.means_[j]) / sd : 0.0;
+    }
+  }
+
+  // Per-group models, as in DIFFAIR / MULTIMODEL.
+  Rng rng(options.seed);
+  model.models_.resize(static_cast<size_t>(model.num_groups_));
+  size_t largest_group = 0;
+  for (int g = 0; g < model.num_groups_; ++g) {
+    std::vector<size_t> idx = train.GroupIndices(g);
+    if (idx.empty()) continue;
+    if (idx.size() > largest_group) {
+      largest_group = idx.size();
+      model.fallback_group_ = g;
+    }
+    Dataset group_train = train.Subset(idx);
+    Result<Matrix> x = encoder.Transform(group_train);
+    if (!x.ok()) return x.status();
+    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
+    Status st =
+        learner->Fit(x.value(), group_train.labels(), group_train.weights());
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("ClusterRoutedModel: group %d: %s",
+                                         g, st.message().c_str()));
+    }
+    model.models_[static_cast<size_t>(g)] = std::move(learner);
+  }
+
+  // Per-cell centroids, tagged with the owning group.
+  for (int g = 0; g < model.num_groups_; ++g) {
+    if (!model.models_[static_cast<size_t>(g)]) continue;
+    for (int y = 0; y < train.num_classes(); ++y) {
+      std::vector<size_t> cell = train.CellIndices(g, y);
+      if (cell.empty()) continue;
+      Matrix cell_z = z.SelectRows(cell);
+      KMeansOptions km = options.kmeans;
+      km.k = options.centroids_per_cell;
+      Rng child = rng.Fork();
+      Result<KMeansResult> clusters = KMeansCluster(cell_z, km, &child);
+      if (!clusters.ok()) return clusters.status();
+      for (size_t c = 0; c < clusters->centroids.rows(); ++c) {
+        model.centroids_.AppendRow(clusters->centroids.Row(c));
+        model.centroid_group_.push_back(g);
+      }
+    }
+  }
+  if (model.centroid_group_.empty()) {
+    return Status::InvalidArgument(
+        "ClusterRoutedModel: no cell produced centroids");
+  }
+  return model;
+}
+
+std::vector<double> ClusterRoutedModel::Standardize(
+    const std::vector<double>& row) const {
+  std::vector<double> z(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    double sd = stddevs_[j];
+    z[j] = sd > 0.0 ? (row[j] - means_[j]) / sd : 0.0;
+  }
+  return z;
+}
+
+Result<std::vector<int>> ClusterRoutedModel::Route(
+    const Dataset& serving) const {
+  Matrix numeric = serving.NumericMatrix();
+  if (numeric.cols() != means_.size()) {
+    return Status::InvalidArgument(
+        "ClusterRoutedModel::Route: attribute count mismatch");
+  }
+  std::vector<int> route(serving.size(), fallback_group_);
+  for (size_t i = 0; i < serving.size(); ++i) {
+    size_t c = NearestCentroid(centroids_, Standardize(numeric.Row(i)));
+    route[i] = centroid_group_[c];
+  }
+  return route;
+}
+
+Result<std::vector<int>> ClusterRoutedModel::Predict(
+    const Dataset& serving) const {
+  Result<std::vector<int>> routing = Route(serving);
+  if (!routing.ok()) return routing.status();
+  Result<Matrix> x = encoder_.Transform(serving);
+  if (!x.ok()) return x.status();
+
+  std::vector<std::vector<int>> pred_by_group(
+      static_cast<size_t>(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    if (!models_[static_cast<size_t>(g)]) continue;
+    Result<std::vector<int>> p =
+        models_[static_cast<size_t>(g)]->Predict(x.value());
+    if (!p.ok()) return p.status();
+    pred_by_group[static_cast<size_t>(g)] = std::move(p).value();
+  }
+  std::vector<int> out(serving.size());
+  for (size_t i = 0; i < serving.size(); ++i) {
+    out[i] = pred_by_group[static_cast<size_t>(routing.value()[i])][i];
+  }
+  return out;
+}
+
+}  // namespace fairdrift

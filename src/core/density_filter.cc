@@ -1,0 +1,61 @@
+#include "core/density_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairdrift {
+
+Result<std::vector<size_t>> DensityFilterIndices(
+    const Dataset& data, const DensityFilterOptions& options) {
+  if (!data.has_labels() || !data.has_groups()) {
+    return Status::FailedPrecondition(
+        "DensityFilter: dataset needs labels and groups");
+  }
+  if (options.keep_fraction <= 0.0 || options.keep_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "DensityFilter: keep_fraction must be in (0, 1]");
+  }
+
+  std::vector<size_t> kept;
+  for (int g = 0; g < data.num_groups(); ++g) {
+    for (int y = 0; y < data.num_classes(); ++y) {
+      std::vector<size_t> cell = data.CellIndices(g, y);
+      if (cell.empty()) continue;
+
+      size_t k = static_cast<size_t>(std::ceil(
+          options.keep_fraction * static_cast<double>(cell.size())));
+      k = std::max(k, std::min(options.min_cell_size, cell.size()));
+      if (k >= cell.size()) {
+        kept.insert(kept.end(), cell.begin(), cell.end());
+        continue;
+      }
+
+      Matrix cell_numeric = data.Subset(cell).NumericMatrix();
+      if (cell_numeric.cols() == 0) {
+        // No numeric attributes to rank on: keep the cell whole.
+        kept.insert(kept.end(), cell.begin(), cell.end());
+        continue;
+      }
+      Result<std::vector<size_t>> ranking =
+          DensityRanking(cell_numeric, options.kde);
+      if (!ranking.ok()) return ranking.status();
+      for (size_t i = 0; i < k; ++i) {
+        kept.push_back(cell[ranking.value()[i]]);
+      }
+    }
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument("DensityFilter: nothing kept");
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+Result<Dataset> ApplyDensityFilter(const Dataset& data,
+                                   const DensityFilterOptions& options) {
+  Result<std::vector<size_t>> idx = DensityFilterIndices(data, options);
+  if (!idx.ok()) return idx.status();
+  return data.Subset(idx.value());
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,149 @@
+#include "core/diffair.h"
+
+#include <limits>
+
+#include "ml/threshold.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<DiffairModel> DiffairModel::Train(const Dataset& train,
+                                         const Dataset& val,
+                                         const Classifier& prototype,
+                                         const FeatureEncoder& encoder,
+                                         const DiffairOptions& options) {
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition(
+        "DIFFAIR: training data needs labels and groups");
+  }
+  DiffairModel model;
+  model.num_groups_ = train.num_groups();
+  model.encoder_ = encoder;
+  model.routing_ = options.routing;
+
+  // Lines 4-8: constraints per (group x label) cell of the training data.
+  Result<GroupLabelProfile> profile =
+      GroupLabelProfile::Profile(train, options.profile);
+  if (!profile.ok()) return profile.status();
+  model.profile_ = std::move(profile).value();
+
+  // Lines 9-10: one model per group, validated on the group's val split.
+  model.models_.resize(static_cast<size_t>(model.num_groups_));
+  size_t largest_group = 0;
+  for (int g = 0; g < model.num_groups_; ++g) {
+    std::vector<size_t> idx = train.GroupIndices(g);
+    if (idx.empty()) continue;
+    if (idx.size() > largest_group) {
+      largest_group = idx.size();
+      model.fallback_group_ = g;
+    }
+    Dataset group_train = train.Subset(idx);
+    Result<Matrix> x = encoder.Transform(group_train);
+    if (!x.ok()) return x.status();
+
+    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
+    Status st = learner->Fit(x.value(), group_train.labels(),
+                             group_train.weights());
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("DIFFAIR: group %d model: %s", g,
+                                         st.message().c_str()));
+    }
+
+    if (options.tune_thresholds && !val.empty()) {
+      std::vector<size_t> vidx = val.GroupIndices(g);
+      if (vidx.size() >= 10) {
+        Dataset group_val = val.Subset(vidx);
+        Result<Matrix> xv = encoder.Transform(group_val);
+        if (!xv.ok()) return xv.status();
+        Result<std::vector<double>> proba = learner->PredictProba(xv.value());
+        if (!proba.ok()) return proba.status();
+        Result<double> thr = TuneThreshold(group_val.labels(), proba.value());
+        if (thr.ok()) learner->set_threshold(thr.value());
+      }
+    }
+    model.models_[static_cast<size_t>(g)] = std::move(learner);
+  }
+
+  bool any_model = false;
+  for (const auto& m : model.models_) {
+    if (m) any_model = true;
+  }
+  if (!any_model) {
+    return Status::InvalidArgument("DIFFAIR: no group had training data");
+  }
+  return model;
+}
+
+Result<std::vector<int>> DiffairModel::Route(const Dataset& serving) const {
+  Matrix numeric = serving.NumericMatrix();
+  std::vector<int> route(serving.size(), fallback_group_);
+  if (numeric.cols() == 0) return route;
+
+  for (size_t i = 0; i < serving.size(); ++i) {
+    std::vector<double> row = numeric.Row(i);
+    double best = std::numeric_limits<double>::infinity();
+    int best_group = fallback_group_;
+    for (int g = 0; g < num_groups_; ++g) {
+      if (!models_[static_cast<size_t>(g)]) continue;
+      if (!profile_.GroupProfiled(g)) continue;
+      // Signed margins order identically to violations outside the
+      // bounds and additionally rank zero-violation cells by conformance
+      // depth, which decides the (common) region where several groups'
+      // constraints all hold.
+      double v = routing_ == RoutingRule::kSignedMargin
+                     ? profile_.MinMarginForGroup(g, row)
+                     : profile_.MinViolationForGroup(g, row);
+      if (v < best) {
+        best = v;
+        best_group = g;
+      }
+    }
+    route[i] = best_group;
+  }
+  return route;
+}
+
+Result<std::vector<int>> DiffairModel::Predict(const Dataset& serving) const {
+  Result<std::vector<double>> proba = PredictProba(serving);
+  if (!proba.ok()) return proba.status();
+  Result<std::vector<int>> routing = Route(serving);
+  if (!routing.ok()) return routing.status();
+  std::vector<int> out(serving.size());
+  for (size_t i = 0; i < serving.size(); ++i) {
+    const Classifier* m = models_[static_cast<size_t>(routing.value()[i])].get();
+    out[i] = proba.value()[i] >= m->threshold() ? 1 : 0;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DiffairModel::PredictProba(
+    const Dataset& serving) const {
+  Result<std::vector<int>> routing = Route(serving);
+  if (!routing.ok()) return routing.status();
+  Result<Matrix> x = encoder_.Transform(serving);
+  if (!x.ok()) return x.status();
+
+  // Evaluate every group's model once over the whole batch and gather.
+  std::vector<std::vector<double>> proba_by_group(
+      static_cast<size_t>(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    if (!models_[static_cast<size_t>(g)]) continue;
+    Result<std::vector<double>> p =
+        models_[static_cast<size_t>(g)]->PredictProba(x.value());
+    if (!p.ok()) return p.status();
+    proba_by_group[static_cast<size_t>(g)] = std::move(p).value();
+  }
+  std::vector<double> out(serving.size());
+  for (size_t i = 0; i < serving.size(); ++i) {
+    out[i] = proba_by_group[static_cast<size_t>(routing.value()[i])][i];
+  }
+  return out;
+}
+
+const Classifier* DiffairModel::group_model(int g) const {
+  if (g < 0 || g >= num_groups_) return nullptr;
+  return models_[static_cast<size_t>(g)].get();
+}
+
+}  // namespace fairdrift

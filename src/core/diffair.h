@@ -1,0 +1,92 @@
+// DIFFAIR (Algorithm 1): model splitting with conformance-based routing.
+//
+// Training: split the input by the mapping function g, train one model per
+// group (thresholds tuned on the group's validation split), and profile
+// every (group x label) cell of the training data with conformance
+// constraints.
+//
+// Serving (PREDICT, lines 14-20): for each tuple, compute the minimum
+// violation against each group's constraint sets and dispatch to the model
+// of the *most conforming* group. Group membership is never consulted at
+// serving time — the routing is purely attribute-driven, which is the
+// paper's compliance/robustness argument.
+
+#ifndef FAIRDRIFT_CORE_DIFFAIR_H_
+#define FAIRDRIFT_CORE_DIFFAIR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/profile.h"
+#include "data/dataset.h"
+#include "data/encode.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Serving-time routing rule.
+enum class RoutingRule {
+  /// Rank groups by signed conformance margin: identical to violations
+  /// outside the bounds, and resolves zero-violation ties by conformance
+  /// depth. This library's refinement; the default.
+  kSignedMargin,
+  /// Rank groups by the paper's quantitative violation only (Algorithm 1,
+  /// lines 15-16 verbatim); ties inside multiple groups' bounds fall to
+  /// the larger group. Kept for the Fig. 13 faithfulness study.
+  kViolationOnly,
+};
+
+/// Configuration for DIFFAIR.
+struct DiffairOptions {
+  /// Conformance-constraint profiling (incl. Algorithm 3 filter toggle).
+  ProfileOptions profile;
+  /// How serving tuples pick their model.
+  RoutingRule routing = RoutingRule::kSignedMargin;
+  /// Tune each group model's decision threshold on its validation split
+  /// (off by default, matching the pipeline's fixed-threshold protocol).
+  bool tune_thresholds = false;
+};
+
+/// A trained DIFFAIR deployment: per-group models + routing constraints.
+class DiffairModel {
+ public:
+  /// Trains per-group models and derives routing constraints.
+  /// `prototype` supplies the learner family (cloned per group); `encoder`
+  /// must be fitted on (a superset of) `train`. Groups empty in `train`
+  /// simply have no model and receive no traffic.
+  static Result<DiffairModel> Train(const Dataset& train, const Dataset& val,
+                                    const Classifier& prototype,
+                                    const FeatureEncoder& encoder,
+                                    const DiffairOptions& options);
+
+  /// Routes each serving tuple to a group model by minimum CC violation
+  /// (ties and unprofiled groups fall back to the majority model).
+  /// Returns the chosen group id per tuple.
+  Result<std::vector<int>> Route(const Dataset& serving) const;
+
+  /// Predicted labels for the serving tuples under conformance routing.
+  Result<std::vector<int>> Predict(const Dataset& serving) const;
+
+  /// Predicted positive-class probabilities under conformance routing.
+  Result<std::vector<double>> PredictProba(const Dataset& serving) const;
+
+  /// The model trained for group `g` (nullptr when the group was empty).
+  const Classifier* group_model(int g) const;
+
+  int num_groups() const { return num_groups_; }
+
+ private:
+  DiffairModel() = default;
+
+  int num_groups_ = 0;
+  std::vector<std::unique_ptr<Classifier>> models_;  // index = group id
+  GroupLabelProfile profile_;
+  FeatureEncoder encoder_;
+  RoutingRule routing_ = RoutingRule::kSignedMargin;
+  int fallback_group_ = 0;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CORE_DIFFAIR_H_

@@ -1,0 +1,131 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<CcEnsembleModel> CcEnsembleModel::Train(
+    const Dataset& train, const Dataset& val, const Classifier& prototype,
+    const FeatureEncoder& encoder, const CcEnsembleOptions& options) {
+  (void)val;  // reserved for per-group threshold work; blending uses 0.5
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition(
+        "CcEnsemble: training data needs labels and groups");
+  }
+  if (options.temperature <= 0.0) {
+    return Status::InvalidArgument("CcEnsemble: temperature must be > 0");
+  }
+  CcEnsembleModel model;
+  model.num_groups_ = train.num_groups();
+  model.temperature_ = options.temperature;
+  model.encoder_ = encoder;
+
+  Result<GroupLabelProfile> profile =
+      GroupLabelProfile::Profile(train, options.profile);
+  if (!profile.ok()) return profile.status();
+  model.profile_ = std::move(profile).value();
+
+  model.models_.resize(static_cast<size_t>(model.num_groups_));
+  bool any = false;
+  for (int g = 0; g < model.num_groups_; ++g) {
+    std::vector<size_t> idx = train.GroupIndices(g);
+    if (idx.empty()) continue;
+    Dataset group_train = train.Subset(idx);
+    Result<Matrix> x = encoder.Transform(group_train);
+    if (!x.ok()) return x.status();
+    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
+    Status st =
+        learner->Fit(x.value(), group_train.labels(), group_train.weights());
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("CcEnsemble: group %d: %s", g,
+                                         st.message().c_str()));
+    }
+    model.models_[static_cast<size_t>(g)] = std::move(learner);
+    any = true;
+  }
+  if (!any) {
+    return Status::InvalidArgument("CcEnsemble: no group had training data");
+  }
+  return model;
+}
+
+Result<Matrix> CcEnsembleModel::Weights(const Dataset& serving) const {
+  Matrix numeric = serving.NumericMatrix();
+  Matrix weights(serving.size(), static_cast<size_t>(num_groups_), 0.0);
+  for (size_t i = 0; i < serving.size(); ++i) {
+    std::vector<double> row =
+        numeric.cols() > 0 ? numeric.Row(i) : std::vector<double>();
+    // Softmax over negative margins: deeper conformance => larger weight.
+    double max_score = -std::numeric_limits<double>::infinity();
+    std::vector<double> scores(static_cast<size_t>(num_groups_),
+                               -std::numeric_limits<double>::infinity());
+    for (int g = 0; g < num_groups_; ++g) {
+      if (!models_[static_cast<size_t>(g)]) continue;
+      double margin = 0.0;
+      if (!row.empty() && profile_.GroupProfiled(g)) {
+        margin = profile_.MinMarginForGroup(g, row);
+      }
+      scores[static_cast<size_t>(g)] = -margin / temperature_;
+      max_score = std::max(max_score, scores[static_cast<size_t>(g)]);
+    }
+    double total = 0.0;
+    for (int g = 0; g < num_groups_; ++g) {
+      double& s = scores[static_cast<size_t>(g)];
+      if (std::isinf(s)) {
+        s = 0.0;
+        continue;
+      }
+      s = std::exp(std::max(s - max_score, -700.0));
+      total += s;
+    }
+    for (int g = 0; g < num_groups_; ++g) {
+      weights.At(i, static_cast<size_t>(g)) =
+          total > 0.0 ? scores[static_cast<size_t>(g)] / total : 0.0;
+    }
+  }
+  return weights;
+}
+
+Result<std::vector<double>> CcEnsembleModel::PredictProba(
+    const Dataset& serving) const {
+  Result<Matrix> weights = Weights(serving);
+  if (!weights.ok()) return weights.status();
+  Result<Matrix> x = encoder_.Transform(serving);
+  if (!x.ok()) return x.status();
+
+  std::vector<std::vector<double>> proba_by_group(
+      static_cast<size_t>(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    if (!models_[static_cast<size_t>(g)]) continue;
+    Result<std::vector<double>> p =
+        models_[static_cast<size_t>(g)]->PredictProba(x.value());
+    if (!p.ok()) return p.status();
+    proba_by_group[static_cast<size_t>(g)] = std::move(p).value();
+  }
+  std::vector<double> out(serving.size(), 0.0);
+  for (size_t i = 0; i < serving.size(); ++i) {
+    double acc = 0.0;
+    for (int g = 0; g < num_groups_; ++g) {
+      double w = weights->At(i, static_cast<size_t>(g));
+      if (w > 0.0) acc += w * proba_by_group[static_cast<size_t>(g)][i];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<int>> CcEnsembleModel::Predict(
+    const Dataset& serving) const {
+  Result<std::vector<double>> proba = PredictProba(serving);
+  if (!proba.ok()) return proba.status();
+  std::vector<int> out(serving.size());
+  for (size_t i = 0; i < serving.size(); ++i) {
+    out[i] = proba.value()[i] >= 0.5 ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,72 @@
+// CC-weighted soft ensemble — the paper's suggested DIFFAIR extension.
+//
+// §III-A: "One can easily augment this with more sophisticated mechanisms
+// (e.g., ensemble learning), where conformance constraints can be used as
+// an explicit heuristic for aggregating predictions from involved models."
+//
+// Instead of dispatching each serving tuple to the single most-conforming
+// group model (hard routing), the soft ensemble blends every group
+// model's probability with weights derived from the tuple's conformance:
+//
+//   weight_g(t) ∝ exp(-margin_g(t) / temperature)
+//
+// where margin_g is the group's best signed conformance margin (negative
+// when the tuple sits inside a cell's bounds). Low temperature recovers
+// hard routing; high temperature approaches uniform averaging. The
+// routing-ablation bench compares the two regimes.
+
+#ifndef FAIRDRIFT_CORE_ENSEMBLE_H_
+#define FAIRDRIFT_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/profile.h"
+#include "data/dataset.h"
+#include "data/encode.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Configuration for the soft ensemble.
+struct CcEnsembleOptions {
+  ProfileOptions profile;
+  /// Softmax temperature over conformance margins; must be > 0.
+  double temperature = 0.5;
+};
+
+/// Per-group models blended by conformance-derived weights.
+class CcEnsembleModel {
+ public:
+  /// Trains one model per group (as DIFFAIR does) and profiles the
+  /// (group x label) cells for serving-time weighting.
+  static Result<CcEnsembleModel> Train(const Dataset& train,
+                                       const Dataset& val,
+                                       const Classifier& prototype,
+                                       const FeatureEncoder& encoder,
+                                       const CcEnsembleOptions& options);
+
+  /// Blended positive-class probabilities for the serving tuples.
+  Result<std::vector<double>> PredictProba(const Dataset& serving) const;
+
+  /// Hard labels at the 0.5 blended-probability threshold.
+  Result<std::vector<int>> Predict(const Dataset& serving) const;
+
+  /// Ensemble weights per tuple (rows) and group (cols); each row sums
+  /// to 1 over the groups that have models.
+  Result<Matrix> Weights(const Dataset& serving) const;
+
+ private:
+  CcEnsembleModel() = default;
+
+  int num_groups_ = 0;
+  double temperature_ = 0.5;
+  std::vector<std::unique_ptr<Classifier>> models_;
+  GroupLabelProfile profile_;
+  FeatureEncoder encoder_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CORE_ENSEMBLE_H_

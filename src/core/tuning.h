@@ -1,0 +1,55 @@
+// Automatic search for CONFAIR's intervention degree.
+//
+// The paper's protocol (§IV, "Algorithm parameters"): search alpha_u on
+// the validation split for the value that optimizes the fairness objective
+// (DI closest to parity), with alpha_w = alpha_u / 2. Because CONFAIR's
+// fairness response is monotone in alpha (only conforming tuples are
+// boosted), a coarse-to-fine grid converges quickly. Each candidate
+// retrains the model — the dominant cost in the paper's Fig. 14, removable
+// by supplying the intervention degree directly.
+
+#ifndef FAIRDRIFT_CORE_TUNING_H_
+#define FAIRDRIFT_CORE_TUNING_H_
+
+#include <vector>
+
+#include "core/confair.h"
+#include "data/encode.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Configuration for the alpha search.
+struct ConfairTuneOptions {
+  /// Candidate alpha_u values; empty selects the default grid
+  /// {0, 0.25, 0.5, ..., 3.0}.
+  std::vector<double> alpha_grid;
+  /// alpha_w = alpha_w_ratio * alpha_u (paper: 1/2) for the DI objective;
+  /// the EO objectives keep alpha_w = 0.
+  double alpha_w_ratio = 0.5;
+  /// Candidates whose validation balanced accuracy falls below this floor
+  /// are rejected unless nothing else qualifies.
+  double accuracy_floor = 0.55;
+};
+
+/// Result of the search.
+struct ConfairTuneResult {
+  ConfairOptions options;  ///< base options with the winning alphas filled in
+  double alpha_u = 0.0;
+  double validation_gap = 0.0;  ///< objective gap at the winner
+  int models_trained = 0;       ///< retraining count (runtime driver)
+};
+
+/// Grid-searches alpha_u, retraining `prototype` on CONFAIR-reweighed
+/// `train` and scoring the objective gap on `val`.
+Result<ConfairTuneResult> TuneConfairAlpha(const Dataset& train,
+                                           const Dataset& val,
+                                           const Classifier& prototype,
+                                           const FeatureEncoder& encoder,
+                                           const ConfairOptions& base,
+                                           const ConfairTuneOptions& tune = {});
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CORE_TUNING_H_

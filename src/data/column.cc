@@ -1,0 +1,63 @@
+#include "data/column.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Column Column::Numeric(std::string name, std::vector<double> values) {
+  Column c;
+  c.name_ = std::move(name);
+  c.type_ = ColumnType::kNumeric;
+  c.numeric_ = std::move(values);
+  return c;
+}
+
+Result<Column> Column::Categorical(std::string name, std::vector<int> codes,
+                                   int num_categories) {
+  if (num_categories <= 0) {
+    return Status::InvalidArgument("Categorical: num_categories must be > 0");
+  }
+  for (int code : codes) {
+    if (code < 0 || code >= num_categories) {
+      return Status::OutOfRange(StrFormat(
+          "Categorical column '%s': code %d outside [0, %d)", name.c_str(),
+          code, num_categories));
+    }
+  }
+  Column c;
+  c.name_ = std::move(name);
+  c.type_ = ColumnType::kCategorical;
+  c.codes_ = std::move(codes);
+  c.num_categories_ = num_categories;
+  return c;
+}
+
+double Column::ValueAsDouble(size_t i) const {
+  assert(i < size());
+  return is_numeric() ? numeric_[i] : static_cast<double>(codes_[i]);
+}
+
+Column Column::Select(const std::vector<size_t>& indices) const {
+  Column out;
+  out.name_ = name_;
+  out.type_ = type_;
+  out.num_categories_ = num_categories_;
+  if (is_numeric()) {
+    out.numeric_.reserve(indices.size());
+    for (size_t i : indices) {
+      assert(i < numeric_.size());
+      out.numeric_.push_back(numeric_[i]);
+    }
+  } else {
+    out.codes_.reserve(indices.size());
+    for (size_t i : indices) {
+      assert(i < codes_.size());
+      out.codes_.push_back(codes_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fairdrift

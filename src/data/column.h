@@ -1,0 +1,66 @@
+// A named, typed column of feature data.
+//
+// The library distinguishes numeric attributes (the domain of conformance
+// constraints and KDE) from categorical attributes (one-hot encoded for the
+// learners and the domain of the Capuchin-style repair baseline).
+
+#ifndef FAIRDRIFT_DATA_COLUMN_H_
+#define FAIRDRIFT_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Storage type of a column.
+enum class ColumnType { kNumeric, kCategorical };
+
+/// One feature column: numeric doubles or categorical integer codes.
+class Column {
+ public:
+  /// Creates a numeric column.
+  static Column Numeric(std::string name, std::vector<double> values);
+
+  /// Creates a categorical column with codes in [0, num_categories).
+  /// Fails when any code is out of range.
+  static Result<Column> Categorical(std::string name, std::vector<int> codes,
+                                    int num_categories);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  bool is_numeric() const { return type_ == ColumnType::kNumeric; }
+  size_t size() const {
+    return is_numeric() ? numeric_.size() : codes_.size();
+  }
+
+  /// Numeric payload; only valid for numeric columns.
+  const std::vector<double>& numeric_values() const { return numeric_; }
+
+  /// Categorical codes; only valid for categorical columns.
+  const std::vector<int>& codes() const { return codes_; }
+
+  /// Number of categories of a categorical column (0 for numeric).
+  int num_categories() const { return num_categories_; }
+
+  /// Value of row i as double (code cast for categorical columns).
+  double ValueAsDouble(size_t i) const;
+
+  /// Gathers the rows at `indices` into a new column.
+  Column Select(const std::vector<size_t>& indices) const;
+
+ private:
+  Column() = default;
+
+  std::string name_;
+  ColumnType type_ = ColumnType::kNumeric;
+  std::vector<double> numeric_;
+  std::vector<int> codes_;
+  int num_categories_ = 0;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_COLUMN_H_

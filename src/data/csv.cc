@@ -1,0 +1,161 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+constexpr const char* kLabelCol = "__label__";
+constexpr const char* kGroupCol = "__group__";
+constexpr const char* kWeightCol = "__weight__";
+constexpr const char* kCatPrefix = "cat:";
+}  // namespace
+
+Status WriteCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("WriteCsv: cannot open " + path);
+  }
+  // Header.
+  std::vector<std::string> header;
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    const Column& c = data.column(j);
+    header.push_back(c.is_numeric() ? c.name()
+                                    : std::string(kCatPrefix) + c.name());
+  }
+  if (data.has_labels()) header.push_back(kLabelCol);
+  if (data.has_groups()) header.push_back(kGroupCol);
+  header.push_back(kWeightCol);
+  out << Join(header, ",") << "\n";
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<std::string> row;
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      const Column& c = data.column(j);
+      if (c.is_numeric()) {
+        row.push_back(StrFormat("%.10g", c.numeric_values()[i]));
+      } else {
+        row.push_back(StrFormat("%d", c.codes()[i]));
+      }
+    }
+    if (data.has_labels()) row.push_back(StrFormat("%d", data.labels()[i]));
+    if (data.has_groups()) row.push_back(StrFormat("%d", data.groups()[i]));
+    row.push_back(StrFormat("%.10g", data.weights()[i]));
+    out << Join(row, ",") << "\n";
+  }
+  return out.good() ? Status::OK() : Status::IoError("WriteCsv: write failed");
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("ReadCsv: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("ReadCsv: empty file " + path);
+  }
+  std::vector<std::string> header = Split(Trim(line), ',');
+  size_t ncols = header.size();
+
+  std::vector<std::vector<std::string>> cells(ncols);
+  size_t row_count = 0;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != ncols) {
+      return Status::IoError(StrFormat(
+          "ReadCsv: line %zu has %zu fields, expected %zu", line_no,
+          fields.size(), ncols));
+    }
+    for (size_t j = 0; j < ncols; ++j) cells[j].push_back(Trim(fields[j]));
+    ++row_count;
+  }
+
+  auto parse_double = [](const std::string& s, double* out) {
+    char* end = nullptr;
+    *out = std::strtod(s.c_str(), &end);
+    return end && *end == '\0' && !s.empty();
+  };
+  auto parse_int = [](const std::string& s, int* out) {
+    char* end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    *out = static_cast<int>(v);
+    return end && *end == '\0' && !s.empty();
+  };
+
+  Dataset data;
+  std::vector<int> labels;
+  std::vector<int> groups;
+  std::vector<double> weights;
+  for (size_t j = 0; j < ncols; ++j) {
+    const std::string& name = header[j];
+    if (name == kLabelCol || name == kGroupCol) {
+      std::vector<int> vals(row_count);
+      for (size_t i = 0; i < row_count; ++i) {
+        if (!parse_int(cells[j][i], &vals[i])) {
+          return Status::IoError(
+              StrFormat("ReadCsv: bad integer '%s' in column %s",
+                        cells[j][i].c_str(), name.c_str()));
+        }
+      }
+      if (name == kLabelCol) {
+        labels = std::move(vals);
+      } else {
+        groups = std::move(vals);
+      }
+    } else if (name == kWeightCol) {
+      weights.resize(row_count);
+      for (size_t i = 0; i < row_count; ++i) {
+        if (!parse_double(cells[j][i], &weights[i])) {
+          return Status::IoError(StrFormat("ReadCsv: bad weight '%s'",
+                                           cells[j][i].c_str()));
+        }
+      }
+    } else if (StartsWith(name, kCatPrefix)) {
+      std::vector<int> codes(row_count);
+      int max_code = 0;
+      for (size_t i = 0; i < row_count; ++i) {
+        if (!parse_int(cells[j][i], &codes[i])) {
+          return Status::IoError(StrFormat("ReadCsv: bad code '%s'",
+                                           cells[j][i].c_str()));
+        }
+        max_code = std::max(max_code, codes[i]);
+      }
+      FAIRDRIFT_RETURN_IF_ERROR(data.AddCategoricalColumn(
+          name.substr(std::string(kCatPrefix).size()), std::move(codes),
+          max_code + 1));
+    } else {
+      std::vector<double> vals(row_count);
+      for (size_t i = 0; i < row_count; ++i) {
+        if (!parse_double(cells[j][i], &vals[i])) {
+          return Status::IoError(StrFormat("ReadCsv: bad number '%s'",
+                                           cells[j][i].c_str()));
+        }
+      }
+      FAIRDRIFT_RETURN_IF_ERROR(data.AddNumericColumn(name, std::move(vals)));
+    }
+  }
+  if (!labels.empty()) {
+    int max_label = *std::max_element(labels.begin(), labels.end());
+    FAIRDRIFT_RETURN_IF_ERROR(
+        data.SetLabels(std::move(labels), std::max(2, max_label + 1)));
+  }
+  if (!groups.empty()) {
+    FAIRDRIFT_RETURN_IF_ERROR(data.SetGroups(std::move(groups)));
+  }
+  if (!weights.empty()) {
+    FAIRDRIFT_RETURN_IF_ERROR(data.SetWeights(std::move(weights)));
+  }
+  return data;
+}
+
+}  // namespace fairdrift

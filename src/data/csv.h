@@ -1,0 +1,27 @@
+// CSV import/export for datasets.
+//
+// Format: a header row with column names; special columns "__label__",
+// "__group__", "__weight__" carry the target, group and weight attributes.
+// Categorical feature columns are declared by a "cat:" prefix in the header
+// (e.g. "cat:occupation") and hold integer codes.
+
+#ifndef FAIRDRIFT_DATA_CSV_H_
+#define FAIRDRIFT_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Writes `data` to `path` in the library's CSV dialect.
+Status WriteCsv(const Dataset& data, const std::string& path);
+
+/// Reads a dataset from `path`. Fails on missing file, ragged rows, or
+/// unparsable values.
+Result<Dataset> ReadCsv(const std::string& path);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_CSV_H_

@@ -1,0 +1,226 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Status Dataset::CheckLength(size_t len, const char* what) const {
+  if (has_columns_ && len != num_rows_) {
+    return Status::InvalidArgument(StrFormat(
+        "%s has %zu entries but dataset has %zu rows", what, len, num_rows_));
+  }
+  return Status::OK();
+}
+
+Status Dataset::AddNumericColumn(std::string name,
+                                 std::vector<double> values) {
+  FAIRDRIFT_RETURN_IF_ERROR(CheckLength(values.size(), "numeric column"));
+  if (!has_columns_) {
+    num_rows_ = values.size();
+    has_columns_ = true;
+    if (weights_.empty()) weights_.assign(num_rows_, 1.0);
+  }
+  columns_.push_back(Column::Numeric(std::move(name), std::move(values)));
+  return Status::OK();
+}
+
+Status Dataset::AddCategoricalColumn(std::string name, std::vector<int> codes,
+                                     int num_categories) {
+  FAIRDRIFT_RETURN_IF_ERROR(CheckLength(codes.size(), "categorical column"));
+  Result<Column> col =
+      Column::Categorical(std::move(name), std::move(codes), num_categories);
+  if (!col.ok()) return col.status();
+  if (!has_columns_) {
+    num_rows_ = col.value().size();
+    has_columns_ = true;
+    if (weights_.empty()) weights_.assign(num_rows_, 1.0);
+  }
+  columns_.push_back(std::move(col).value());
+  return Status::OK();
+}
+
+Status Dataset::SetLabels(std::vector<int> labels, int num_classes) {
+  FAIRDRIFT_RETURN_IF_ERROR(CheckLength(labels.size(), "labels"));
+  if (num_classes < 2) {
+    return Status::InvalidArgument("SetLabels: need at least 2 classes");
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= num_classes) {
+      return Status::OutOfRange(
+          StrFormat("SetLabels: label %d outside [0, %d)", y, num_classes));
+    }
+  }
+  if (!has_columns_) {
+    num_rows_ = labels.size();
+    has_columns_ = true;
+    if (weights_.empty()) weights_.assign(num_rows_, 1.0);
+  }
+  labels_ = std::move(labels);
+  num_classes_ = num_classes;
+  return Status::OK();
+}
+
+Status Dataset::SetGroups(std::vector<int> groups) {
+  FAIRDRIFT_RETURN_IF_ERROR(CheckLength(groups.size(), "groups"));
+  int max_group = -1;
+  for (int g : groups) {
+    if (g < 0) {
+      return Status::OutOfRange("SetGroups: negative group id");
+    }
+    max_group = std::max(max_group, g);
+  }
+  if (!has_columns_) {
+    num_rows_ = groups.size();
+    has_columns_ = true;
+    if (weights_.empty()) weights_.assign(num_rows_, 1.0);
+  }
+  groups_ = std::move(groups);
+  num_groups_ = max_group + 1;
+  return Status::OK();
+}
+
+Status Dataset::SetWeights(std::vector<double> weights) {
+  FAIRDRIFT_RETURN_IF_ERROR(CheckLength(weights.size(), "weights"));
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("SetWeights: negative weight");
+    }
+  }
+  weights_ = std::move(weights);
+  return Status::OK();
+}
+
+void Dataset::ResetWeights() { weights_.assign(num_rows_, 1.0); }
+
+Result<const Column*> Dataset::ColumnByName(const std::string& name) const {
+  for (const Column& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
+}
+
+Schema Dataset::GetSchema() const {
+  Schema schema;
+  for (const Column& c : columns_) {
+    schema.AddField(FieldSpec{c.name(), c.type(), c.num_categories()});
+  }
+  return schema;
+}
+
+Matrix Dataset::NumericMatrix() const {
+  std::vector<const Column*> numeric;
+  for (const Column& c : columns_) {
+    if (c.is_numeric()) numeric.push_back(&c);
+  }
+  Matrix m(num_rows_, numeric.size());
+  for (size_t j = 0; j < numeric.size(); ++j) {
+    const std::vector<double>& vals = numeric[j]->numeric_values();
+    for (size_t i = 0; i < num_rows_; ++i) {
+      m.At(i, j) = vals[i];
+    }
+  }
+  return m;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.num_rows_ = indices.size();
+  out.has_columns_ = true;
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    out.columns_.push_back(c.Select(indices));
+  }
+  if (!labels_.empty()) {
+    out.labels_.reserve(indices.size());
+    for (size_t i : indices) out.labels_.push_back(labels_[i]);
+    out.num_classes_ = num_classes_;
+  }
+  if (!groups_.empty()) {
+    out.groups_.reserve(indices.size());
+    for (size_t i : indices) out.groups_.push_back(groups_[i]);
+    out.num_groups_ = num_groups_;
+  }
+  out.weights_.reserve(indices.size());
+  for (size_t i : indices) out.weights_.push_back(weights_[i]);
+  return out;
+}
+
+std::vector<size_t> Dataset::IndicesWhere(
+    const std::function<bool(size_t)>& pred) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (pred(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::GroupIndices(int g) const {
+  return IndicesWhere([&](size_t i) { return groups_[i] == g; });
+}
+
+std::vector<size_t> Dataset::CellIndices(int g, int y) const {
+  return IndicesWhere(
+      [&](size_t i) { return groups_[i] == g && labels_[i] == y; });
+}
+
+size_t Dataset::LabelCount(int y) const {
+  return static_cast<size_t>(
+      std::count(labels_.begin(), labels_.end(), y));
+}
+
+size_t Dataset::GroupCount(int g) const {
+  return static_cast<size_t>(
+      std::count(groups_.begin(), groups_.end(), g));
+}
+
+size_t Dataset::CellCount(int g, int y) const {
+  size_t n = 0;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (groups_[i] == g && labels_[i] == y) ++n;
+  }
+  return n;
+}
+
+Result<Dataset> Dataset::Concat(const Dataset& a, const Dataset& b) {
+  if (!a.GetSchema().Equals(b.GetSchema())) {
+    return Status::InvalidArgument("Concat: schema mismatch");
+  }
+  if (a.num_classes_ != b.num_classes_) {
+    return Status::InvalidArgument("Concat: num_classes mismatch");
+  }
+  Dataset out;
+  for (size_t j = 0; j < a.columns_.size(); ++j) {
+    const Column& ca = a.columns_[j];
+    const Column& cb = b.columns_[j];
+    if (ca.is_numeric()) {
+      std::vector<double> vals = ca.numeric_values();
+      vals.insert(vals.end(), cb.numeric_values().begin(),
+                  cb.numeric_values().end());
+      FAIRDRIFT_RETURN_IF_ERROR(out.AddNumericColumn(ca.name(), std::move(vals)));
+    } else {
+      std::vector<int> codes = ca.codes();
+      codes.insert(codes.end(), cb.codes().begin(), cb.codes().end());
+      FAIRDRIFT_RETURN_IF_ERROR(out.AddCategoricalColumn(
+          ca.name(), std::move(codes), ca.num_categories()));
+    }
+  }
+  if (a.has_labels() && b.has_labels()) {
+    std::vector<int> labels = a.labels_;
+    labels.insert(labels.end(), b.labels_.begin(), b.labels_.end());
+    FAIRDRIFT_RETURN_IF_ERROR(out.SetLabels(std::move(labels), a.num_classes_));
+  }
+  if (a.has_groups() && b.has_groups()) {
+    std::vector<int> groups = a.groups_;
+    groups.insert(groups.end(), b.groups_.begin(), b.groups_.end());
+    FAIRDRIFT_RETURN_IF_ERROR(out.SetGroups(std::move(groups)));
+  }
+  std::vector<double> weights = a.weights_;
+  weights.insert(weights.end(), b.weights_.begin(), b.weights_.end());
+  FAIRDRIFT_RETURN_IF_ERROR(out.SetWeights(std::move(weights)));
+  return out;
+}
+
+}  // namespace fairdrift

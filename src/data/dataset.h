@@ -1,0 +1,143 @@
+// Dataset: the central tabular container of the library.
+//
+// A Dataset holds feature columns (numeric + categorical), the target label
+// Y (c classes), the group assignment produced by the paper's mapping
+// function g (0 = majority W, 1 = minority U, higher values allowed), and a
+// per-tuple weight attribute S (the quantity CONFAIR manipulates).
+//
+// The fairness algorithms observe the contract of the paper: the group
+// column is only consulted where the paper's pseudo-code consults g
+// (training-time partitioning and weight derivation) — DIFFAIR's serving
+// path never reads it.
+
+#ifndef FAIRDRIFT_DATA_DATASET_H_
+#define FAIRDRIFT_DATA_DATASET_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+#include "data/schema.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Group identifiers following the paper's notation.
+inline constexpr int kMajorityGroup = 0;  ///< W: well-represented group.
+inline constexpr int kMinorityGroup = 1;  ///< U: under-represented group.
+
+/// Tabular dataset with features, labels, groups, and tuple weights.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // ---------------------------------------------------------------------
+  // Construction
+  // ---------------------------------------------------------------------
+
+  /// Appends a numeric feature column. Fails when the length disagrees with
+  /// existing columns.
+  Status AddNumericColumn(std::string name, std::vector<double> values);
+
+  /// Appends a categorical feature column with codes in [0, num_categories).
+  Status AddCategoricalColumn(std::string name, std::vector<int> codes,
+                              int num_categories);
+
+  /// Sets the target attribute. Labels must lie in [0, num_classes).
+  Status SetLabels(std::vector<int> labels, int num_classes);
+
+  /// Sets the group assignment (the materialized mapping function g).
+  /// Values must be non-negative.
+  Status SetGroups(std::vector<int> groups);
+
+  /// Sets per-tuple weights; must match the dataset length and be >= 0.
+  Status SetWeights(std::vector<double> weights);
+
+  /// Resets every tuple weight to 1.
+  void ResetWeights();
+
+  // ---------------------------------------------------------------------
+  // Shape and access
+  // ---------------------------------------------------------------------
+
+  /// Number of tuples (n in the paper).
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Number of feature columns (m in the paper).
+  size_t num_features() const { return columns_.size(); }
+
+  /// Number of target classes (c in the paper); 0 before SetLabels.
+  int num_classes() const { return num_classes_; }
+
+  /// Number of distinct groups (max group id + 1); 0 before SetGroups.
+  int num_groups() const { return num_groups_; }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column lookup by name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<int>& groups() const { return groups_; }
+  const std::vector<double>& weights() const { return weights_; }
+  std::vector<double>* mutable_weights() { return &weights_; }
+
+  bool has_labels() const { return !labels_.empty(); }
+  bool has_groups() const { return !groups_.empty(); }
+
+  /// Schema describing the feature columns.
+  Schema GetSchema() const;
+
+  // ---------------------------------------------------------------------
+  // Views and derived data
+  // ---------------------------------------------------------------------
+
+  /// Matrix of the numeric feature columns only (n x q), in schema order.
+  /// This is the input domain of conformance constraints and KDE.
+  Matrix NumericMatrix() const;
+
+  /// Gathers the tuples at `indices` (features, labels, groups, weights).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Indices of tuples satisfying `pred` (called with the row index).
+  std::vector<size_t> IndicesWhere(
+      const std::function<bool(size_t)>& pred) const;
+
+  /// Indices of tuples in group `g`.
+  std::vector<size_t> GroupIndices(int g) const;
+
+  /// Indices of tuples in group `g` with label `y` (a paper "cell").
+  std::vector<size_t> CellIndices(int g, int y) const;
+
+  /// Count of tuples with label `y`.
+  size_t LabelCount(int y) const;
+
+  /// Count of tuples in group `g`.
+  size_t GroupCount(int g) const;
+
+  /// Count of tuples in cell (g, y).
+  size_t CellCount(int g, int y) const;
+
+  /// Concatenates two datasets with equal schemas. Weights, labels and
+  /// groups are concatenated too. Fails on schema mismatch.
+  static Result<Dataset> Concat(const Dataset& a, const Dataset& b);
+
+ private:
+  Status CheckLength(size_t len, const char* what) const;
+
+  size_t num_rows_ = 0;
+  bool has_columns_ = false;
+  std::vector<Column> columns_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+  std::vector<int> groups_;
+  int num_groups_ = 0;
+  std::vector<double> weights_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_DATASET_H_

@@ -1,0 +1,69 @@
+#include "data/encode.h"
+
+#include "linalg/stats.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<FeatureEncoder> FeatureEncoder::Fit(const Dataset& train) {
+  if (train.empty() || train.num_features() == 0) {
+    return Status::InvalidArgument("FeatureEncoder::Fit: empty dataset");
+  }
+  FeatureEncoder enc;
+  enc.schema_ = train.GetSchema();
+  size_t dim = 0;
+  for (size_t j = 0; j < train.num_features(); ++j) {
+    const Column& col = train.column(j);
+    if (col.is_numeric()) {
+      enc.means_.push_back(Mean(col.numeric_values()));
+      enc.stddevs_.push_back(StdDev(col.numeric_values()));
+      enc.encoded_names_.push_back(col.name());
+      dim += 1;
+    } else {
+      enc.means_.push_back(0.0);
+      enc.stddevs_.push_back(0.0);
+      for (int k = 0; k < col.num_categories(); ++k) {
+        enc.encoded_names_.push_back(
+            StrFormat("%s=%d", col.name().c_str(), k));
+      }
+      dim += static_cast<size_t>(col.num_categories());
+    }
+  }
+  enc.encoded_dim_ = dim;
+  return enc;
+}
+
+Result<Matrix> FeatureEncoder::Transform(const Dataset& data) const {
+  if (!data.GetSchema().Equals(schema_)) {
+    return Status::InvalidArgument(
+        "FeatureEncoder::Transform: schema differs from the fitted schema");
+  }
+  size_t n = data.size();
+  Matrix out(n, encoded_dim_, 0.0);
+  size_t offset = 0;
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    const Column& col = data.column(j);
+    if (col.is_numeric()) {
+      double mu = means_[j];
+      double sd = stddevs_[j];
+      const std::vector<double>& vals = col.numeric_values();
+      if (sd > 0.0) {
+        for (size_t i = 0; i < n; ++i) out.At(i, offset) = (vals[i] - mu) / sd;
+      } else {
+        // Constant training column: center only, so serving deviations
+        // still register.
+        for (size_t i = 0; i < n; ++i) out.At(i, offset) = vals[i] - mu;
+      }
+      offset += 1;
+    } else {
+      const std::vector<int>& codes = col.codes();
+      for (size_t i = 0; i < n; ++i) {
+        out.At(i, offset + static_cast<size_t>(codes[i])) = 1.0;
+      }
+      offset += static_cast<size_t>(col.num_categories());
+    }
+  }
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,55 @@
+// Feature encoding: z-score standardization of numeric attributes and
+// one-hot expansion of categorical attributes, mirroring the paper's
+// preprocessing ("normalizing numerical attributes, and one-hot encoding
+// categorical attributes").
+//
+// The encoder is fitted on training data only and then applied unchanged to
+// validation/serving splits, so no information leaks across the split.
+
+#ifndef FAIRDRIFT_DATA_ENCODE_H_
+#define FAIRDRIFT_DATA_ENCODE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Fitted feature encoder mapping a Dataset to a dense design matrix.
+class FeatureEncoder {
+ public:
+  /// Creates an empty encoder; use Fit() to obtain a usable one.
+  FeatureEncoder() = default;
+
+  /// Fits the encoder on `train`: records mean/std per numeric column and
+  /// category counts per categorical column. Fails on an empty dataset.
+  static Result<FeatureEncoder> Fit(const Dataset& train);
+
+  /// Encodes `data` into an n x d design matrix. Numeric columns are
+  /// z-scored with the *training* statistics (constant columns pass
+  /// through centered); each categorical column expands into
+  /// `num_categories` indicator columns. Fails on schema mismatch.
+  Result<Matrix> Transform(const Dataset& data) const;
+
+  /// Width of the encoded design matrix.
+  size_t encoded_dim() const { return encoded_dim_; }
+
+  /// Human-readable names of the encoded columns, e.g. "age", "cat3=1".
+  const std::vector<std::string>& encoded_names() const {
+    return encoded_names_;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<double> means_;    // per numeric column, schema order
+  std::vector<double> stddevs_;  // per numeric column, schema order
+  size_t encoded_dim_ = 0;
+  std::vector<std::string> encoded_names_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_ENCODE_H_

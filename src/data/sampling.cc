@@ -1,0 +1,68 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairdrift {
+
+Result<Dataset> WeightedResample(const Dataset& data, Rng* rng,
+                                 size_t out_size) {
+  if (data.empty()) {
+    return Status::InvalidArgument("WeightedResample: empty dataset");
+  }
+  const std::vector<double>& w = data.weights();
+  double total = 0.0;
+  for (double v : w) total += v;
+  if (total <= 0.0) {
+    return Status::InvalidArgument("WeightedResample: all weights are zero");
+  }
+  if (out_size == 0) out_size = data.size();
+
+  // Inverse-CDF sampling over the cumulative weights.
+  std::vector<double> cdf(w.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    acc += w[i];
+    cdf[i] = acc;
+  }
+  std::vector<size_t> picks;
+  picks.reserve(out_size);
+  for (size_t k = 0; k < out_size; ++k) {
+    double u = rng->Uniform() * total;
+    size_t i = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    picks.push_back(std::min(i, w.size() - 1));
+  }
+  Dataset out = data.Subset(picks);
+  out.ResetWeights();
+  return out;
+}
+
+Result<Dataset> ExpandByWeight(const Dataset& data, double max_factor) {
+  if (data.empty()) {
+    return Status::InvalidArgument("ExpandByWeight: empty dataset");
+  }
+  const std::vector<double>& w = data.weights();
+  double min_pos = std::numeric_limits<double>::infinity();
+  for (double v : w) {
+    if (v > 0.0) min_pos = std::min(min_pos, v);
+  }
+  if (!std::isfinite(min_pos)) {
+    return Status::InvalidArgument("ExpandByWeight: all weights are zero");
+  }
+  std::vector<size_t> picks;
+  for (size_t i = 0; i < w.size(); ++i) {
+    double factor = std::min(w[i] / min_pos, max_factor);
+    auto copies = static_cast<size_t>(std::llround(factor));
+    for (size_t k = 0; k < copies; ++k) picks.push_back(i);
+  }
+  if (picks.empty()) {
+    return Status::InvalidArgument("ExpandByWeight: expansion is empty");
+  }
+  Dataset out = data.Subset(picks);
+  out.ResetWeights();
+  return out;
+}
+
+}  // namespace fairdrift

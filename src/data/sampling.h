@@ -1,0 +1,30 @@
+// Weighted resampling.
+//
+// The paper notes that "for models that do not support weights directly,
+// they can still employ a weighted sampling strategy to preprocess the
+// training data accordingly" — this module implements that fallback.
+
+#ifndef FAIRDRIFT_DATA_SAMPLING_H_
+#define FAIRDRIFT_DATA_SAMPLING_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Draws `out_size` tuples (default: data.size()) with replacement,
+/// each tuple sampled proportionally to its weight. The resampled dataset
+/// has all weights reset to 1. Fails when all weights are zero.
+Result<Dataset> WeightedResample(const Dataset& data, Rng* rng,
+                                 size_t out_size = 0);
+
+/// Deterministic expansion: each tuple is replicated round(weight / scale)
+/// times where `scale` is the smallest positive weight; a tuple with zero
+/// weight is dropped. Useful for exactly-reproducible weighted training of
+/// weight-agnostic learners.
+Result<Dataset> ExpandByWeight(const Dataset& data, double max_factor = 20.0);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_SAMPLING_H_

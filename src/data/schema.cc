@@ -1,0 +1,53 @@
+#include "data/schema.h"
+
+namespace fairdrift {
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::num_numeric() const {
+  size_t n = 0;
+  for (const auto& f : fields_) {
+    if (f.type == ColumnType::kNumeric) ++n;
+  }
+  return n;
+}
+
+size_t Schema::num_categorical() const {
+  return fields_.size() - num_numeric();
+}
+
+std::vector<size_t> Schema::NumericFieldIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type == ColumnType::kNumeric) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::CategoricalFieldIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type == ColumnType::kCategorical) out.push_back(i);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const auto& a = fields_[i];
+    const auto& b = other.fields_[i];
+    if (a.name != b.name || a.type != b.type ||
+        a.num_categories != b.num_categories) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,55 @@
+// Schema: the ordered list of feature columns with their types.
+
+#ifndef FAIRDRIFT_DATA_SCHEMA_H_
+#define FAIRDRIFT_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+
+namespace fairdrift {
+
+/// Description of one field in a dataset.
+struct FieldSpec {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  /// Category count for categorical fields; 0 for numeric.
+  int num_categories = 0;
+};
+
+/// Ordered collection of field specifications.
+class Schema {
+ public:
+  Schema() = default;
+
+  void AddField(FieldSpec spec) { fields_.push_back(std::move(spec)); }
+
+  size_t num_fields() const { return fields_.size(); }
+  const FieldSpec& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the field called `name`, or -1 when absent.
+  int FindField(const std::string& name) const;
+
+  /// Count of numeric fields.
+  size_t num_numeric() const;
+
+  /// Count of categorical fields.
+  size_t num_categorical() const;
+
+  /// Indices of numeric fields, in schema order.
+  std::vector<size_t> NumericFieldIndices() const;
+
+  /// Indices of categorical fields, in schema order.
+  std::vector<size_t> CategoricalFieldIndices() const;
+
+  /// True when both schemas have the same fields (name, type, categories).
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_SCHEMA_H_

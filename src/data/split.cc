@@ -1,0 +1,38 @@
+#include "data/split.h"
+
+#include <cmath>
+
+namespace fairdrift {
+
+Result<TrainValTest> SplitTrainValTest(const Dataset& data, Rng* rng,
+                                       double train_frac, double val_frac) {
+  if (train_frac <= 0.0 || val_frac < 0.0 ||
+      train_frac + val_frac >= 1.0 + 1e-12) {
+    return Status::InvalidArgument(
+        "SplitTrainValTest: fractions must satisfy 0 < train, 0 <= val, "
+        "train + val < 1");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("SplitTrainValTest: empty dataset");
+  }
+  size_t n = data.size();
+  std::vector<size_t> perm = rng->Permutation(n);
+
+  size_t n_train = static_cast<size_t>(std::llround(train_frac * static_cast<double>(n)));
+  size_t n_val = static_cast<size_t>(std::llround(val_frac * static_cast<double>(n)));
+  n_train = std::min(n_train, n);
+  n_val = std::min(n_val, n - n_train);
+
+  std::vector<size_t> train_idx(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(n_train));
+  std::vector<size_t> val_idx(perm.begin() + static_cast<ptrdiff_t>(n_train),
+                              perm.begin() + static_cast<ptrdiff_t>(n_train + n_val));
+  std::vector<size_t> test_idx(perm.begin() + static_cast<ptrdiff_t>(n_train + n_val), perm.end());
+
+  TrainValTest out;
+  out.train = data.Subset(train_idx);
+  out.val = data.Subset(val_idx);
+  out.test = data.Subset(test_idx);
+  return out;
+}
+
+}  // namespace fairdrift

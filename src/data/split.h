@@ -1,0 +1,29 @@
+// Randomized i.i.d. train/validation/test splitting (paper: 70/15/15).
+
+#ifndef FAIRDRIFT_DATA_SPLIT_H_
+#define FAIRDRIFT_DATA_SPLIT_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// A three-way dataset partition.
+struct TrainValTest {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+/// Splits `data` into disjoint train/val/test sets with the given fractions
+/// (test receives the remainder). Tuples are assigned independently at
+/// random via a permutation, matching the paper's i.i.d. protocol.
+/// Fails when fractions are out of range or sum above 1.
+Result<TrainValTest> SplitTrainValTest(const Dataset& data, Rng* rng,
+                                       double train_frac = 0.70,
+                                       double val_frac = 0.15);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_SPLIT_H_

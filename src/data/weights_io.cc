@@ -1,0 +1,151 @@
+#include "data/weights_io.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+// FNV-1a, the usual order-sensitive streaming hash.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(const void* bytes, size_t len, uint64_t* h) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashDouble(double v, uint64_t* h) {
+  // Canonicalize -0.0 so equal values hash equally.
+  if (v == 0.0) v = 0.0;
+  HashBytes(&v, sizeof(v), h);
+}
+
+void HashInt(int64_t v, uint64_t* h) { HashBytes(&v, sizeof(v), h); }
+
+}  // namespace
+
+uint64_t DatasetFingerprint(const Dataset& data) {
+  uint64_t h = kFnvOffset;
+  HashInt(static_cast<int64_t>(data.size()), &h);
+  HashInt(static_cast<int64_t>(data.num_features()), &h);
+  HashInt(data.num_classes(), &h);
+  HashInt(data.num_groups(), &h);
+  for (size_t c = 0; c < data.num_features(); ++c) {
+    const std::string& name = data.column(c).name();
+    HashBytes(name.data(), name.size(), &h);
+  }
+  Matrix numeric = data.NumericMatrix();
+  for (double v : numeric.data()) HashDouble(v, &h);
+  for (int y : data.labels()) HashInt(y, &h);
+  for (int g : data.groups()) HashInt(g, &h);
+  return h;
+}
+
+Status WriteWeights(const std::vector<double>& weights, uint64_t fingerprint,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  out << "# fairdrift-weights v1\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "fingerprint %016" PRIx64 "\n", fingerprint);
+  out << buf;
+  out << "n " << weights.size() << "\n";
+  for (double w : weights) {
+    std::snprintf(buf, sizeof(buf), "%.17g\n", w);
+    out << buf;
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> ReadWeights(const std::string& path,
+                                        uint64_t expected_fingerprint) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "# fairdrift-weights v1") {
+    return Status::InvalidArgument(
+        StrFormat("%s: not a fairdrift weight file", path.c_str()));
+  }
+  uint64_t fingerprint = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "fingerprint %" SCNx64, &fingerprint) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("%s: missing fingerprint line", path.c_str()));
+  }
+  if (expected_fingerprint != 0 && fingerprint != expected_fingerprint) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: weights were derived for a different dataset "
+        "(fingerprint %016" PRIx64 ", expected %016" PRIx64 ")",
+        path.c_str(), fingerprint, expected_fingerprint));
+  }
+  size_t n = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "n %zu", &n) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("%s: missing count line", path.c_str()));
+  }
+  std::vector<double> weights;
+  weights.reserve(n);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    double w = std::strtod(line.c_str(), &end);
+    if (end == line.c_str() || !std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("%s: bad weight '%s'", path.c_str(), line.c_str()));
+    }
+    weights.push_back(w);
+  }
+  if (weights.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("%s: %zu weights, header declares %zu", path.c_str(),
+                  weights.size(), n));
+  }
+  return weights;
+}
+
+Status WriteWeightsFor(const Dataset& data, const std::vector<double>& weights,
+                       const std::string& path) {
+  if (weights.size() != data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("WriteWeightsFor: %zu weights for %zu tuples",
+                  weights.size(), data.size()));
+  }
+  return WriteWeights(weights, DatasetFingerprint(data), path);
+}
+
+Result<Dataset> ApplyWeightsFrom(const Dataset& data,
+                                 const std::string& path) {
+  Result<std::vector<double>> weights =
+      ReadWeights(path, DatasetFingerprint(data));
+  if (!weights.ok()) return weights.status();
+  if (weights->size() != data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("ApplyWeightsFrom: %zu weights for %zu tuples",
+                  weights->size(), data.size()));
+  }
+  Dataset out = data;
+  FAIRDRIFT_RETURN_IF_ERROR(out.SetWeights(std::move(weights).value()));
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,55 @@
+// Standalone weight-vector files.
+//
+// CONFAIR's weights are model-agnostic (paper §IV-A, Fig. 7): calibrated
+// once, they can train any learner, anywhere — including outside this
+// library. This module gives the weights a portable artifact: a small
+// text file carrying the weight vector plus a fingerprint of the dataset
+// it was derived for, so consumers can detect the classic failure of
+// applying weights to the wrong (or reordered) data.
+//
+// Format (line-oriented):
+//   # fairdrift-weights v1
+//   fingerprint <16 hex digits>
+//   n <count>
+//   <weight 0>
+//   ...
+
+#ifndef FAIRDRIFT_DATA_WEIGHTS_IO_H_
+#define FAIRDRIFT_DATA_WEIGHTS_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Order-sensitive fingerprint of a dataset's shape and content
+/// (tuple count, schema, labels, groups, and the numeric payload in row
+/// order). Reordering tuples or editing any value changes it.
+uint64_t DatasetFingerprint(const Dataset& data);
+
+/// Writes `weights` to `path`, stamped with `fingerprint`.
+Status WriteWeights(const std::vector<double>& weights, uint64_t fingerprint,
+                    const std::string& path);
+
+/// Reads a weight file. When `expected_fingerprint` is non-zero it must
+/// match the stored stamp; 0 skips the check (for consumers outside the
+/// originating pipeline).
+Result<std::vector<double>> ReadWeights(const std::string& path,
+                                        uint64_t expected_fingerprint = 0);
+
+/// Convenience: weights computed *for* `data` written with its
+/// fingerprint.
+Status WriteWeightsFor(const Dataset& data, const std::vector<double>& weights,
+                       const std::string& path);
+
+/// Convenience: reads weights and verifies they belong to `data`, then
+/// returns a copy of `data` carrying them.
+Result<Dataset> ApplyWeightsFrom(const Dataset& data, const std::string& path);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATA_WEIGHTS_IO_H_

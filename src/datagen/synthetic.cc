@@ -1,0 +1,78 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<Dataset> MakeClassification(const SyntheticClassificationSpec& spec,
+                                   Rng* rng) {
+  if (spec.n_samples == 0) {
+    return Status::InvalidArgument("MakeClassification: n_samples == 0");
+  }
+  if (spec.n_informative <= 0 || spec.n_redundant < 0 ||
+      spec.n_informative + spec.n_redundant > spec.n_features) {
+    return Status::InvalidArgument(StrFormat(
+        "MakeClassification: informative(%d) + redundant(%d) must fit in "
+        "features(%d)",
+        spec.n_informative, spec.n_redundant, spec.n_features));
+  }
+  if (spec.positive_rate <= 0.0 || spec.positive_rate >= 1.0) {
+    return Status::InvalidArgument(
+        "MakeClassification: positive_rate must be in (0, 1)");
+  }
+
+  size_t n = spec.n_samples;
+  size_t d = static_cast<size_t>(spec.n_features);
+  size_t d_inf = static_cast<size_t>(spec.n_informative);
+  size_t d_red = static_cast<size_t>(spec.n_redundant);
+
+  // Random unit direction separating the classes in informative space.
+  std::vector<double> sep_dir(d_inf);
+  double norm = 0.0;
+  for (double& v : sep_dir) {
+    v = rng->Gaussian();
+    norm += v * v;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& v : sep_dir) v /= norm;
+
+  // Mixing matrix for redundant features.
+  Matrix mix(d_red, d_inf);
+  for (size_t r = 0; r < d_red; ++r) {
+    for (size_t c = 0; c < d_inf; ++c) mix.At(r, c) = rng->Gaussian();
+  }
+
+  Matrix x(n, d);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    int y = rng->Bernoulli(spec.positive_rate) ? 1 : 0;
+    double side = (y == 1 ? 0.5 : -0.5) * spec.class_sep;
+    std::vector<double> inf(d_inf);
+    for (size_t j = 0; j < d_inf; ++j) {
+      inf[j] = side * sep_dir[j] + rng->Gaussian();
+      x.At(i, j) = inf[j];
+    }
+    for (size_t r = 0; r < d_red; ++r) {
+      double acc = 0.0;
+      for (size_t c = 0; c < d_inf; ++c) acc += mix.At(r, c) * inf[c];
+      x.At(i, d_inf + r) = acc + 0.1 * rng->Gaussian();
+    }
+    for (size_t j = d_inf + d_red; j < d; ++j) {
+      x.At(i, j) = rng->Gaussian();  // pure noise features
+    }
+    if (spec.flip_y > 0.0 && rng->Bernoulli(spec.flip_y)) y = 1 - y;
+    labels[i] = y;
+  }
+
+  Dataset out;
+  for (size_t j = 0; j < d; ++j) {
+    FAIRDRIFT_RETURN_IF_ERROR(
+        out.AddNumericColumn(StrFormat("x%zu", j + 1), x.Col(j)));
+  }
+  FAIRDRIFT_RETURN_IF_ERROR(out.SetLabels(std::move(labels), 2));
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,33 @@
+// General synthetic classification generator, modeled on scikit-learn's
+// make_classification (the paper uses that function for its synthetic
+// drift study). Produces Gaussian class clusters with informative,
+// redundant, and noise features plus optional label noise.
+
+#ifndef FAIRDRIFT_DATAGEN_SYNTHETIC_H_
+#define FAIRDRIFT_DATAGEN_SYNTHETIC_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Parameters of the generator.
+struct SyntheticClassificationSpec {
+  size_t n_samples = 1000;
+  int n_features = 4;
+  int n_informative = 2;  ///< features carrying class signal
+  int n_redundant = 1;    ///< random linear combinations of informative ones
+  double class_sep = 1.5; ///< distance between class means
+  double flip_y = 0.02;   ///< fraction of labels flipped at random
+  double positive_rate = 0.5;
+};
+
+/// Generates a labeled dataset (no group assignment). Fails on
+/// inconsistent feature counts.
+Result<Dataset> MakeClassification(const SyntheticClassificationSpec& spec,
+                                   Rng* rng);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,44 @@
+#include "fairness/group_stats.h"
+
+#include "data/dataset.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<GroupedPredictionStats> ComputeGroupStats(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    const std::vector<int>& groups) {
+  if (y_true.empty() || y_true.size() != y_pred.size() ||
+      y_true.size() != groups.size()) {
+    return Status::InvalidArgument(
+        StrFormat("ComputeGroupStats: sizes %zu/%zu/%zu", y_true.size(),
+                  y_pred.size(), groups.size()));
+  }
+  GroupedPredictionStats out;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if ((y_true[i] != 0 && y_true[i] != 1) ||
+        (y_pred[i] != 0 && y_pred[i] != 1)) {
+      return Status::InvalidArgument("ComputeGroupStats: non-binary labels");
+    }
+    ConfusionCounts* cell = nullptr;
+    if (groups[i] == kMajorityGroup) {
+      cell = &out.majority.counts;
+      ++out.majority.size;
+    } else if (groups[i] == kMinorityGroup) {
+      cell = &out.minority.counts;
+      ++out.minority.size;
+    }
+    auto tally = [&](ConfusionCounts* c) {
+      if (y_true[i] == 1) {
+        (y_pred[i] == 1 ? c->tp : c->fn) += 1.0;
+      } else {
+        (y_pred[i] == 1 ? c->fp : c->tn) += 1.0;
+      }
+    };
+    if (cell != nullptr) tally(cell);
+    tally(&out.overall);
+  }
+  return out;
+}
+
+}  // namespace fairdrift

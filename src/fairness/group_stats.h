@@ -1,0 +1,42 @@
+// Per-group prediction statistics: the building blocks of every group
+// fairness metric in the paper (selection rates, TPR/FPR per group).
+
+#ifndef FAIRDRIFT_FAIRNESS_GROUP_STATS_H_
+#define FAIRDRIFT_FAIRNESS_GROUP_STATS_H_
+
+#include <vector>
+
+#include "ml/metrics.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Confusion counts of one group plus its size.
+struct GroupStats {
+  ConfusionCounts counts;
+  size_t size = 0;
+
+  double SelectionRate() const { return counts.SelectionRate(); }
+  double TPR() const { return counts.TPR(); }
+  double TNR() const { return counts.TNR(); }
+  double FPR() const { return counts.FPR(); }
+  double FNR() const { return counts.FNR(); }
+};
+
+/// Statistics for the two-group (W, U) setting of the paper.
+struct GroupedPredictionStats {
+  GroupStats majority;  ///< group 0 (W)
+  GroupStats minority;  ///< group 1 (U)
+  ConfusionCounts overall;
+};
+
+/// Tallies per-group and overall confusion statistics.
+/// `groups` uses 0 for the majority W and 1 for the minority U; any other
+/// id is counted only in `overall`. Fails on shape mismatch/empty input.
+Result<GroupedPredictionStats> ComputeGroupStats(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    const std::vector<int>& groups);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_FAIRNESS_GROUP_STATS_H_

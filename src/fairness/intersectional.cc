@@ -1,0 +1,100 @@
+#include "fairness/intersectional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<SubgroupAudit> AuditSubgroups(const std::vector<int>& y_true,
+                                     const std::vector<int>& y_pred,
+                                     const std::vector<int>& subgroups,
+                                     size_t min_subgroup_size) {
+  if (y_true.empty() || y_true.size() != y_pred.size() ||
+      y_true.size() != subgroups.size()) {
+    return Status::InvalidArgument("AuditSubgroups: shape mismatch or empty");
+  }
+  std::map<int, SubgroupStats> cells;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if ((y_true[i] != 0 && y_true[i] != 1) ||
+        (y_pred[i] != 0 && y_pred[i] != 1)) {
+      return Status::InvalidArgument("AuditSubgroups: non-binary labels");
+    }
+    if (subgroups[i] < 0) {
+      return Status::OutOfRange("AuditSubgroups: negative subgroup id");
+    }
+    SubgroupStats& s = cells[subgroups[i]];
+    s.subgroup = subgroups[i];
+    ++s.size;
+    if (y_true[i] == 1) {
+      (y_pred[i] == 1 ? s.counts.tp : s.counts.fn) += 1.0;
+    } else {
+      (y_pred[i] == 1 ? s.counts.fp : s.counts.tn) += 1.0;
+    }
+  }
+
+  SubgroupAudit audit;
+  for (const auto& [id, stats] : cells) audit.subgroups.push_back(stats);
+
+  // Pairwise disparities over subgroups large enough to trust.
+  std::vector<const SubgroupStats*> large;
+  for (const SubgroupStats& s : audit.subgroups) {
+    if (s.size >= min_subgroup_size) large.push_back(&s);
+  }
+  for (size_t a = 0; a < large.size(); ++a) {
+    for (size_t b = a + 1; b < large.size(); ++b) {
+      double sr_a = large[a]->SelectionRate();
+      double sr_b = large[b]->SelectionRate();
+      double di;
+      if (sr_a == 0.0 && sr_b == 0.0) {
+        di = 1.0;
+      } else if (sr_a == 0.0 || sr_b == 0.0) {
+        di = 0.0;
+      } else {
+        di = std::min(sr_a / sr_b, sr_b / sr_a);
+      }
+      audit.worst_pair_di = std::min(audit.worst_pair_di, di);
+      audit.worst_pair_tpr_gap = std::max(
+          audit.worst_pair_tpr_gap, std::fabs(large[a]->TPR() - large[b]->TPR()));
+      audit.worst_pair_fpr_gap = std::max(
+          audit.worst_pair_fpr_gap, std::fabs(large[a]->FPR() - large[b]->FPR()));
+    }
+  }
+  return audit;
+}
+
+Result<std::vector<int>> CrossPartition(const std::vector<int>& a,
+                                        const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("CrossPartition: length mismatch");
+  }
+  int max_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) {
+      return Status::OutOfRange("CrossPartition: negative subgroup id");
+    }
+    max_b = std::max(max_b, b[i]);
+  }
+  std::vector<int> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] * (max_b + 1) + b[i];
+  }
+  return out;
+}
+
+std::string FormatSubgroupAudit(const SubgroupAudit& audit) {
+  std::string out = StrFormat(
+      "worst-pair DI*: %.3f   worst TPR gap: %.3f   worst FPR gap: %.3f\n",
+      audit.worst_pair_di, audit.worst_pair_tpr_gap,
+      audit.worst_pair_fpr_gap);
+  out += "  subgroup |    n | SelRate |   TPR |   FPR\n";
+  for (const SubgroupStats& s : audit.subgroups) {
+    out += StrFormat("  %8d | %4zu |   %.3f | %.3f | %.3f\n", s.subgroup,
+                     s.size, s.SelectionRate(), s.TPR(), s.FPR());
+  }
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,64 @@
+// Subpopulation fairness audits beyond the W/U dichotomy.
+//
+// The paper cautions that repairing fairness for one partition "may lead
+// to imbalances in the treatment of other unidentified subpopulations"
+// (§I, citing Martinez et al. and Krishnaswamy et al.). This module
+// audits that side effect: given any alternative partition of the
+// deployment data (e.g. a second demographic attribute, or the cross
+// product of two), it reports per-subgroup selection rates and error
+// profiles plus worst-pair disparity measures.
+
+#ifndef FAIRDRIFT_FAIRNESS_INTERSECTIONAL_H_
+#define FAIRDRIFT_FAIRNESS_INTERSECTIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/metrics.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Metrics of one subgroup in an audit partition.
+struct SubgroupStats {
+  int subgroup = 0;
+  size_t size = 0;
+  ConfusionCounts counts;
+
+  double SelectionRate() const { return counts.SelectionRate(); }
+  double TPR() const { return counts.TPR(); }
+  double FPR() const { return counts.FPR(); }
+};
+
+/// Result of auditing a prediction vector against a partition.
+struct SubgroupAudit {
+  std::vector<SubgroupStats> subgroups;  ///< one entry per non-empty subgroup
+  /// min over subgroup pairs of SR_a / SR_b (the worst pairwise disparate
+  /// impact); 1 = parity, 0 = some subgroup entirely unselected.
+  double worst_pair_di = 1.0;
+  /// max over subgroup pairs of |TPR_a - TPR_b|.
+  double worst_pair_tpr_gap = 0.0;
+  /// max over subgroup pairs of |FPR_a - FPR_b|.
+  double worst_pair_fpr_gap = 0.0;
+};
+
+/// Audits predictions over an arbitrary subgroup partition. `subgroups`
+/// holds non-negative subgroup ids per tuple; subgroups smaller than
+/// `min_subgroup_size` are skipped in the pairwise measures (tiny cells
+/// make rates meaningless). Fails on shape mismatch or non-binary labels.
+Result<SubgroupAudit> AuditSubgroups(const std::vector<int>& y_true,
+                                     const std::vector<int>& y_pred,
+                                     const std::vector<int>& subgroups,
+                                     size_t min_subgroup_size = 10);
+
+/// Combines two partitions into their cross product (e.g. race x gender):
+/// id = a * (max_b + 1) + b. Fails on length mismatch or negative ids.
+Result<std::vector<int>> CrossPartition(const std::vector<int>& a,
+                                        const std::vector<int>& b);
+
+/// Renders an audit as an aligned text table.
+std::string FormatSubgroupAudit(const SubgroupAudit& audit);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_FAIRNESS_INTERSECTIONAL_H_

@@ -1,0 +1,77 @@
+#include "fairness/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairdrift {
+
+double DisparateImpact(const GroupedPredictionStats& stats) {
+  double sr_u = stats.minority.SelectionRate();
+  double sr_w = stats.majority.SelectionRate();
+  if (sr_w <= 0.0) {
+    return sr_u <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return sr_u / sr_w;
+}
+
+double DisparateImpactStar(const GroupedPredictionStats& stats) {
+  double di = DisparateImpact(stats);
+  if (di <= 0.0) return 0.0;
+  if (std::isinf(di)) return 0.0;
+  return std::min(di, 1.0 / di);
+}
+
+bool FavorsMinority(const GroupedPredictionStats& stats) {
+  return DisparateImpact(stats) > 1.0;
+}
+
+double AverageOddsDifference(const GroupedPredictionStats& stats) {
+  double d_fpr = stats.minority.FPR() - stats.majority.FPR();
+  double d_tpr = stats.minority.TPR() - stats.majority.TPR();
+  return 0.5 * (d_fpr + d_tpr);
+}
+
+double AverageOddsDifferenceStar(const GroupedPredictionStats& stats) {
+  return 1.0 - std::fabs(AverageOddsDifference(stats));
+}
+
+double SelectionRateDifference(const GroupedPredictionStats& stats) {
+  return std::fabs(stats.minority.SelectionRate() -
+                   stats.majority.SelectionRate());
+}
+
+double EqualizedOddsFnrDifference(const GroupedPredictionStats& stats) {
+  return std::fabs(stats.minority.FNR() - stats.majority.FNR());
+}
+
+double EqualizedOddsFprDifference(const GroupedPredictionStats& stats) {
+  return std::fabs(stats.minority.FPR() - stats.majority.FPR());
+}
+
+const char* FairnessObjectiveName(FairnessObjective objective) {
+  switch (objective) {
+    case FairnessObjective::kDisparateImpact:
+      return "DI";
+    case FairnessObjective::kEqualizedOddsFnr:
+      return "EO-FNR";
+    case FairnessObjective::kEqualizedOddsFpr:
+      return "EO-FPR";
+  }
+  return "?";
+}
+
+double ObjectiveGap(const GroupedPredictionStats& stats,
+                    FairnessObjective objective) {
+  switch (objective) {
+    case FairnessObjective::kDisparateImpact:
+      return SelectionRateDifference(stats);
+    case FairnessObjective::kEqualizedOddsFnr:
+      return EqualizedOddsFnrDifference(stats);
+    case FairnessObjective::kEqualizedOddsFpr:
+      return EqualizedOddsFprDifference(stats);
+  }
+  return 0.0;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,61 @@
+// Group fairness metrics used in the paper's evaluation.
+//
+// Raw metrics:
+//   DI  = SR_U / SR_W                       (disparate impact)
+//   AOD = ((FPR_U - FPR_W) + (TPR_U - TPR_W)) / 2
+// Reported transformations ("higher is better", paper §IV):
+//   DI*  = min(DI, 1/DI)       in [0, 1], 1 = parity
+//   AOD* = 1 - |AOD|           in [0, 1], 1 = parity
+// Plus the Equalized-Odds component differences used in Figs. 8-9.
+
+#ifndef FAIRDRIFT_FAIRNESS_METRICS_H_
+#define FAIRDRIFT_FAIRNESS_METRICS_H_
+
+#include "fairness/group_stats.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Raw disparate impact SR_U / SR_W. Returns +inf when SR_W is 0 while
+/// SR_U > 0, and 1 when both selection rates are 0.
+double DisparateImpact(const GroupedPredictionStats& stats);
+
+/// Normalized DI* = min(DI, 1/DI) in [0, 1].
+double DisparateImpactStar(const GroupedPredictionStats& stats);
+
+/// True when the raw DI exceeds 1 (bias favoring the minority group) —
+/// rendered as striped bars in the paper's charts.
+bool FavorsMinority(const GroupedPredictionStats& stats);
+
+/// Raw average odds difference.
+double AverageOddsDifference(const GroupedPredictionStats& stats);
+
+/// Normalized AOD* = 1 - |AOD| in [0, 1].
+double AverageOddsDifferenceStar(const GroupedPredictionStats& stats);
+
+/// |SR_U - SR_W| — statistical parity difference (Fig. 8a target).
+double SelectionRateDifference(const GroupedPredictionStats& stats);
+
+/// |FNR_U - FNR_W| — Equalized Odds by FNR (Fig. 8b target).
+double EqualizedOddsFnrDifference(const GroupedPredictionStats& stats);
+
+/// |FPR_U - FPR_W| — Equalized Odds by FPR (Fig. 8c target).
+double EqualizedOddsFprDifference(const GroupedPredictionStats& stats);
+
+/// Fairness targets CONFAIR / OMN can optimize (paper §III-B, Fig. 8).
+enum class FairnessObjective {
+  kDisparateImpact,    ///< close the selection-rate gap
+  kEqualizedOddsFnr,   ///< close the FNR gap
+  kEqualizedOddsFpr,   ///< close the FPR gap
+};
+
+/// Name for reports ("DI", "EO-FNR", "EO-FPR").
+const char* FairnessObjectiveName(FairnessObjective objective);
+
+/// The group gap associated with `objective` (lower is fairer).
+double ObjectiveGap(const GroupedPredictionStats& stats,
+                    FairnessObjective objective);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_FAIRNESS_METRICS_H_

@@ -1,0 +1,75 @@
+#include "fairness/report.h"
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<FairnessReport> EvaluateFairness(const std::vector<int>& y_true,
+                                        const std::vector<int>& y_pred,
+                                        const std::vector<int>& groups) {
+  Result<GroupedPredictionStats> stats =
+      ComputeGroupStats(y_true, y_pred, groups);
+  if (!stats.ok()) return stats.status();
+
+  FairnessReport report;
+  report.stats = stats.value();
+  report.di_star = DisparateImpactStar(report.stats);
+  report.aod_star = AverageOddsDifferenceStar(report.stats);
+  report.favors_minority = FavorsMinority(report.stats);
+
+  const ConfusionCounts& c = report.stats.overall;
+  report.balanced_accuracy = 0.5 * (c.TPR() + c.TNR());
+  report.accuracy = c.total() > 0.0 ? (c.tp + c.tn) / c.total() : 0.0;
+
+  // A model that outputs only one class is flagged as degenerate: the paper
+  // marks such models "useless" regardless of apparent fairness gains.
+  double sr = c.SelectionRate();
+  report.degenerate = (sr <= 0.0 || sr >= 1.0);
+  return report;
+}
+
+std::string FormatReport(const FairnessReport& report) {
+  std::string out = StrFormat(
+      "DI*=%.3f AOD*=%.3f BalAcc=%.3f Acc=%.3f", report.di_star,
+      report.aod_star, report.balanced_accuracy, report.accuracy);
+  if (report.favors_minority) out += " [favors-minority]";
+  if (report.degenerate) out += " [DEGENERATE]";
+  return out;
+}
+
+namespace {
+void AccumulateCounts(const ConfusionCounts& src, ConfusionCounts* dst) {
+  dst->tp += src.tp;
+  dst->fp += src.fp;
+  dst->tn += src.tn;
+  dst->fn += src.fn;
+}
+}  // namespace
+
+FairnessReport AverageReports(const std::vector<FairnessReport>& reports) {
+  FairnessReport avg;
+  if (reports.empty()) return avg;
+  for (const FairnessReport& r : reports) {
+    avg.di_star += r.di_star;
+    avg.aod_star += r.aod_star;
+    avg.balanced_accuracy += r.balanced_accuracy;
+    avg.accuracy += r.accuracy;
+    avg.favors_minority = avg.favors_minority || r.favors_minority;
+    avg.degenerate = avg.degenerate || r.degenerate;
+    // Pool the confusion counts across trials: pooled rates are the
+    // tuple-weighted averages of the per-trial rates.
+    AccumulateCounts(r.stats.majority.counts, &avg.stats.majority.counts);
+    AccumulateCounts(r.stats.minority.counts, &avg.stats.minority.counts);
+    AccumulateCounts(r.stats.overall, &avg.stats.overall);
+    avg.stats.majority.size += r.stats.majority.size;
+    avg.stats.minority.size += r.stats.minority.size;
+  }
+  double n = static_cast<double>(reports.size());
+  avg.di_star /= n;
+  avg.aod_star /= n;
+  avg.balanced_accuracy /= n;
+  avg.accuracy /= n;
+  return avg;
+}
+
+}  // namespace fairdrift

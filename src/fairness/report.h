@@ -1,0 +1,41 @@
+// Evaluation report: everything a bench row or example needs to print
+// about one (method, learner, dataset) evaluation.
+
+#ifndef FAIRDRIFT_FAIRNESS_REPORT_H_
+#define FAIRDRIFT_FAIRNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "fairness/metrics.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// One evaluated model on one deployment split.
+struct FairnessReport {
+  double di_star = 0.0;       ///< DI* = min(DI, 1/DI), 1 is parity.
+  double aod_star = 0.0;      ///< AOD* = 1 - |AOD|, 1 is parity.
+  double balanced_accuracy = 0.0;
+  double accuracy = 0.0;
+  bool favors_minority = false;  ///< raw DI > 1 (striped bars in the paper).
+  /// The model collapsed to a single predicted class — rendered with
+  /// crisscross bars in the paper ("useless predictions").
+  bool degenerate = false;
+  GroupedPredictionStats stats;
+};
+
+/// Computes the full report from labels, predictions, and groups.
+Result<FairnessReport> EvaluateFairness(const std::vector<int>& y_true,
+                                        const std::vector<int>& y_pred,
+                                        const std::vector<int>& groups);
+
+/// One-line rendering: "DI*=0.82 AOD*=0.93 BalAcc=0.71 [favors-minority]".
+std::string FormatReport(const FairnessReport& report);
+
+/// Averages reports across experiment trials (flags are OR-ed).
+FairnessReport AverageReports(const std::vector<FairnessReport>& reports);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_FAIRNESS_REPORT_H_

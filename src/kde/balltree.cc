@@ -1,0 +1,210 @@
+#include "kde/balltree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fairdrift {
+
+namespace {
+
+double SqDist(const double* a, const double* b, size_t d) {
+  double acc = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<BallTree> BallTree::Build(const Matrix& points, size_t leaf_size) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("BallTree::Build: empty point set");
+  }
+  BallTree tree;
+  tree.points_ = points;
+  tree.order_.resize(points.rows());
+  std::iota(tree.order_.begin(), tree.order_.end(), size_t{0});
+  tree.nodes_.reserve(2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2);
+  tree.BuildNode(0, points.rows(), std::max<size_t>(leaf_size, 1));
+  return tree;
+}
+
+int BallTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  const size_t d = points_.cols();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    node.centroid.assign(d, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      const double* row = points_.RowPtr(order_[i]);
+      for (size_t j = 0; j < d; ++j) node.centroid[j] += row[j];
+    }
+    const double count = static_cast<double>(end - begin);
+    for (size_t j = 0; j < d; ++j) node.centroid[j] /= count;
+    double r2 = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      r2 = std::max(r2, SqDist(points_.RowPtr(order_[i]),
+                               node.centroid.data(), d));
+    }
+    node.radius = std::sqrt(r2);
+  }
+
+  if (end - begin <= leaf_size) return node_id;
+
+  // Split at the median of the dimension with the widest spread.
+  size_t split_dim = 0;
+  double best_width = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (size_t i = begin; i < end; ++i) {
+      const double v = points_.At(order_[i], j);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_width) {
+      best_width = hi - lo;
+      split_dim = j;
+    }
+  }
+  if (best_width <= 0.0) return node_id;  // All points identical: leaf.
+
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<ptrdiff_t>(begin),
+                   order_.begin() + static_cast<ptrdiff_t>(mid),
+                   order_.begin() + static_cast<ptrdiff_t>(end),
+                   [&](size_t a, size_t b) {
+                     return points_.At(a, split_dim) < points_.At(b, split_dim);
+                   });
+
+  int left = BuildNode(begin, mid, leaf_size);
+  int right = BuildNode(mid, end, leaf_size);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+std::vector<size_t> BallTree::NearestNeighbors(const std::vector<double>& query,
+                                               size_t k) const {
+  assert(query.size() == dim());
+  k = std::min(k, size());
+  std::vector<std::pair<double, size_t>> heap;
+  heap.reserve(k + 1);
+  KnnRecurse(0, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<size_t> out;
+  out.reserve(heap.size());
+  for (const auto& [dist, idx] : heap) out.push_back(idx);
+  return out;
+}
+
+void BallTree::KnnRecurse(int node_id, const std::vector<double>& query,
+                          size_t k,
+                          std::vector<std::pair<double, size_t>>* heap) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  // Triangle-inequality bound: no point of the ball is closer than
+  // dist(query, centroid) - radius.
+  const double dc =
+      std::sqrt(SqDist(query.data(), node.centroid.data(), query.size()));
+  const double lower = std::max(0.0, dc - node.radius);
+  if (heap->size() == k && !heap->empty() &&
+      lower * lower >= heap->front().first) {
+    return;
+  }
+  if (node.left < 0) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const size_t idx = order_[i];
+      const double d2 =
+          SqDist(points_.RowPtr(idx), query.data(), query.size());
+      if (heap->size() < k) {
+        heap->emplace_back(d2, idx);
+        std::push_heap(heap->begin(), heap->end());
+      } else if (d2 < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end());
+        heap->back() = {d2, idx};
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    return;
+  }
+  // Visit the child whose ball is nearer first.
+  const Node& l = nodes_[static_cast<size_t>(node.left)];
+  const Node& r = nodes_[static_cast<size_t>(node.right)];
+  const double dl =
+      std::sqrt(SqDist(query.data(), l.centroid.data(), query.size())) -
+      l.radius;
+  const double dr =
+      std::sqrt(SqDist(query.data(), r.centroid.data(), query.size())) -
+      r.radius;
+  if (dl <= dr) {
+    KnnRecurse(node.left, query, k, heap);
+    KnnRecurse(node.right, query, k, heap);
+  } else {
+    KnnRecurse(node.right, query, k, heap);
+    KnnRecurse(node.left, query, k, heap);
+  }
+}
+
+double BallTree::GaussianKernelSum(const std::vector<double>& query,
+                                   const std::vector<double>& inv_bandwidth,
+                                   double atol) const {
+  assert(query.size() == dim());
+  assert(inv_bandwidth.size() == dim());
+  double max_scale = 0.0;
+  for (double s : inv_bandwidth) max_scale = std::max(max_scale, s);
+  return KernelSumRecurse(0, query, inv_bandwidth, max_scale, atol);
+}
+
+double BallTree::KernelSumRecurse(int node_id,
+                                  const std::vector<double>& query,
+                                  const std::vector<double>& inv_bandwidth,
+                                  double max_scale, double atol) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  const double count = static_cast<double>(node.end - node.begin);
+
+  // Scaled distance to the centroid; every point of the ball lies within
+  // max_scale * radius of it in the scaled metric.
+  double dc2 = 0.0;
+  for (size_t j = 0; j < query.size(); ++j) {
+    const double d = (query[j] - node.centroid[j]) * inv_bandwidth[j];
+    dc2 += d * d;
+  }
+  const double dc = std::sqrt(dc2);
+  const double spread = max_scale * node.radius;
+  const double dmin = std::max(0.0, dc - spread);
+  const double kmax = std::exp(-0.5 * dmin * dmin);
+  if (kmax * count < 1e-300) return 0.0;  // Entire node is negligible.
+
+  if (atol > 0.0) {
+    const double dmax = dc + spread;
+    const double kmin = std::exp(-0.5 * dmax * dmax);
+    if (kmax - kmin <= atol) {
+      return count * 0.5 * (kmax + kmin);
+    }
+  }
+  if (node.left < 0) {
+    double acc = 0.0;
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const double* row = points_.RowPtr(order_[i]);
+      double u2 = 0.0;
+      for (size_t j = 0; j < query.size(); ++j) {
+        const double d = (row[j] - query[j]) * inv_bandwidth[j];
+        u2 += d * d;
+      }
+      acc += std::exp(-0.5 * u2);
+    }
+    return acc;
+  }
+  return KernelSumRecurse(node.left, query, inv_bandwidth, max_scale, atol) +
+         KernelSumRecurse(node.right, query, inv_bandwidth, max_scale, atol);
+}
+
+}  // namespace fairdrift

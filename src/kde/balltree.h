@@ -1,0 +1,75 @@
+// Ball tree over points in R^d.
+//
+// The alternative index the paper names for density estimation in higher
+// dimensions (§III-C cites Omohundro's ball trees next to KD-trees,
+// "m > 20"). Nodes store a centroid and covering radius instead of an
+// axis-aligned box; pruning bounds derive from the triangle inequality,
+// which keeps their cost O(d) per node regardless of how elongated the
+// point set is. The interface mirrors KdTree so the KDE can swap
+// backends (KdeOptions::tree_backend).
+
+#ifndef FAIRDRIFT_KDE_BALLTREE_H_
+#define FAIRDRIFT_KDE_BALLTREE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Static ball tree; split on the widest dimension at the median.
+class BallTree {
+ public:
+  /// Creates an empty tree; use Build() to obtain a usable one.
+  BallTree() = default;
+
+  /// Builds a tree over the rows of `points`. Fails on an empty matrix.
+  static Result<BallTree> Build(const Matrix& points, size_t leaf_size = 32);
+
+  /// Number of indexed points.
+  size_t size() const { return points_.rows(); }
+
+  /// Dimensionality.
+  size_t dim() const { return points_.cols(); }
+
+  /// Indices of the k nearest neighbours to `query` (ascending distance).
+  /// k is clamped to size().
+  std::vector<size_t> NearestNeighbors(const std::vector<double>& query,
+                                       size_t k) const;
+
+  /// Sum over all points of exp(-0.5 * ||(x - query) / h||^2), with h the
+  /// per-dimension scale vector. Nodes whose kernel-value spread is below
+  /// `atol` are approximated (atol = 0 gives the exact sum). Under
+  /// anisotropic scaling the ball bound uses the largest scale, which is
+  /// valid but looser than the KD box bound; the exact-sum contract is
+  /// identical.
+  double GaussianKernelSum(const std::vector<double>& query,
+                           const std::vector<double>& inv_bandwidth,
+                           double atol = 0.0) const;
+
+ private:
+  struct Node {
+    size_t begin = 0;  // range [begin, end) into order_
+    size_t end = 0;
+    int left = -1;     // child node ids; -1 for leaves
+    int right = -1;
+    std::vector<double> centroid;
+    double radius = 0.0;  // max Euclidean distance from centroid
+  };
+
+  int BuildNode(size_t begin, size_t end, size_t leaf_size);
+  void KnnRecurse(int node_id, const std::vector<double>& query, size_t k,
+                  std::vector<std::pair<double, size_t>>* heap) const;
+  double KernelSumRecurse(int node_id, const std::vector<double>& query,
+                          const std::vector<double>& inv_bandwidth,
+                          double max_scale, double atol) const;
+
+  Matrix points_;
+  std::vector<size_t> order_;  // permutation of point indices, node-contiguous
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_BALLTREE_H_

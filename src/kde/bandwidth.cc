@@ -1,0 +1,28 @@
+#include "kde/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace fairdrift {
+
+std::vector<double> SelectBandwidth(const Matrix& data, BandwidthRule rule) {
+  size_t n = data.rows();
+  size_t d = data.cols();
+  std::vector<double> sigma = ColumnStdDevs(data);
+  double n_d = std::max<double>(static_cast<double>(n), 2.0);
+  double exponent = -1.0 / (static_cast<double>(d) + 4.0);
+  double factor = std::pow(n_d, exponent);
+  if (rule == BandwidthRule::kSilverman) {
+    factor *= std::pow(4.0 / (static_cast<double>(d) + 2.0),
+                       1.0 / (static_cast<double>(d) + 4.0));
+  }
+  std::vector<double> h(d);
+  for (size_t j = 0; j < d; ++j) {
+    h[j] = sigma[j] > 0.0 ? sigma[j] * factor : 1e-3;
+  }
+  return h;
+}
+
+}  // namespace fairdrift

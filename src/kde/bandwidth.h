@@ -1,0 +1,26 @@
+// Bandwidth selection rules for kernel density estimation.
+
+#ifndef FAIRDRIFT_KDE_BANDWIDTH_H_
+#define FAIRDRIFT_KDE_BANDWIDTH_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fairdrift {
+
+/// Bandwidth rule to apply per dimension.
+enum class BandwidthRule {
+  kScott,      ///< h_j = sigma_j * n^(-1/(d+4))
+  kSilverman,  ///< h_j = sigma_j * (4/(d+2))^(1/(d+4)) * n^(-1/(d+4))
+};
+
+/// Per-dimension bandwidths for the rows of `data` under `rule`.
+/// Dimensions with zero spread receive a small floor bandwidth so the
+/// kernel stays well-defined (degenerate constant attributes are common in
+/// one-hot-adjacent data).
+std::vector<double> SelectBandwidth(const Matrix& data, BandwidthRule rule);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_BANDWIDTH_H_

@@ -1,0 +1,80 @@
+#include "kde/kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fairdrift {
+
+namespace {
+constexpr double kLogTwoPi = 1.8378770664093453;  // log(2*pi)
+}
+
+Result<KernelDensity> KernelDensity::Fit(const Matrix& data,
+                                         const KdeOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("KernelDensity::Fit: empty data");
+  }
+  KernelDensity kde;
+  kde.backend_ = options.tree_backend;
+  if (options.tree_backend == KdeTreeBackend::kKdTree) {
+    Result<KdTree> tree = KdTree::Build(data, options.leaf_size);
+    if (!tree.ok()) return tree.status();
+    kde.tree_ = std::move(tree).value();
+  } else {
+    Result<BallTree> tree = BallTree::Build(data, options.leaf_size);
+    if (!tree.ok()) return tree.status();
+    kde.ball_tree_ = std::move(tree).value();
+  }
+  kde.bandwidth_ = SelectBandwidth(data, options.bandwidth_rule);
+  kde.inv_bandwidth_.resize(kde.bandwidth_.size());
+  for (size_t j = 0; j < kde.bandwidth_.size(); ++j) {
+    kde.inv_bandwidth_[j] = 1.0 / kde.bandwidth_[j];
+  }
+  kde.n_ = data.rows();
+  double log_norm = -std::log(static_cast<double>(kde.n_));
+  for (double h : kde.bandwidth_) log_norm -= std::log(h);
+  log_norm -= 0.5 * kLogTwoPi * static_cast<double>(data.cols());
+  kde.log_norm_ = log_norm;
+  kde.atol_ = options.approximation_atol;
+  return kde;
+}
+
+double KernelDensity::KernelSum(const std::vector<double>& point) const {
+  return backend_ == KdeTreeBackend::kKdTree
+             ? tree_.GaussianKernelSum(point, inv_bandwidth_, atol_)
+             : ball_tree_.GaussianKernelSum(point, inv_bandwidth_, atol_);
+}
+
+double KernelDensity::Evaluate(const std::vector<double>& point) const {
+  return KernelSum(point) * std::exp(log_norm_);
+}
+
+double KernelDensity::LogDensity(const std::vector<double>& point) const {
+  double sum = KernelSum(point);
+  if (sum <= 0.0) return -745.0 + log_norm_;  // ~log(DBL_MIN), floor guard
+  return std::log(sum) + log_norm_;
+}
+
+std::vector<double> KernelDensity::EvaluateAll(const Matrix& queries) const {
+  std::vector<double> out(queries.rows());
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    out[i] = Evaluate(queries.Row(i));
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> DensityRanking(const Matrix& data,
+                                           const KdeOptions& options) {
+  Result<KernelDensity> kde = KernelDensity::Fit(data, options);
+  if (!kde.ok()) return kde.status();
+  std::vector<double> density = kde.value().EvaluateAll(data);
+  std::vector<size_t> order(data.rows());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return density[a] > density[b];
+  });
+  return order;
+}
+
+}  // namespace fairdrift

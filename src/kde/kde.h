@@ -1,0 +1,84 @@
+// Gaussian kernel density estimation with KD-tree acceleration.
+//
+// Used by Algorithm 3 of the paper to rank the tuples of each
+// (group x label) cell by density and keep only the densest fraction before
+// deriving conformance constraints.
+
+#ifndef FAIRDRIFT_KDE_KDE_H_
+#define FAIRDRIFT_KDE_KDE_H_
+
+#include <vector>
+
+#include "kde/balltree.h"
+#include "kde/bandwidth.h"
+#include "kde/kdtree.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Spatial index accelerating the kernel sums. KD boxes prune tighter in
+/// low dimensions; ball bounds stay O(d) per node and are the structure
+/// the paper names for higher-dimensional inputs (§III-C, "m > 20").
+enum class KdeTreeBackend {
+  kKdTree,
+  kBallTree,
+};
+
+/// Options for fitting a KernelDensity estimator.
+struct KdeOptions {
+  BandwidthRule bandwidth_rule = BandwidthRule::kScott;
+  /// Per-point kernel spread below which a tree node is approximated by its
+  /// midpoint. 0 computes the exact sum.
+  double approximation_atol = 1e-4;
+  size_t leaf_size = 32;
+  KdeTreeBackend tree_backend = KdeTreeBackend::kKdTree;
+};
+
+/// Fitted Gaussian product-kernel density estimator.
+class KernelDensity {
+ public:
+  /// Fits the estimator on the rows of `data`. Fails on empty input.
+  static Result<KernelDensity> Fit(const Matrix& data,
+                                   const KdeOptions& options = {});
+
+  /// Density estimate at `point` (properly normalized pdf value).
+  double Evaluate(const std::vector<double>& point) const;
+
+  /// Log-density at `point` (floor-guarded against -inf).
+  double LogDensity(const std::vector<double>& point) const;
+
+  /// Densities of every row of `queries`.
+  std::vector<double> EvaluateAll(const Matrix& queries) const;
+
+  /// Per-dimension bandwidths in use.
+  const std::vector<double>& bandwidth() const { return bandwidth_; }
+
+  /// Number of training points.
+  size_t train_size() const { return n_; }
+
+ private:
+  KernelDensity() = default;
+
+  /// Kernel sum at `point` via the configured backend.
+  double KernelSum(const std::vector<double>& point) const;
+
+  KdTree tree_;
+  BallTree ball_tree_;
+  KdeTreeBackend backend_ = KdeTreeBackend::kKdTree;
+  std::vector<double> bandwidth_;
+  std::vector<double> inv_bandwidth_;
+  double log_norm_ = 0.0;  // log of 1 / (n * prod_j h_j * (2*pi)^(d/2))
+  double atol_ = 0.0;
+  size_t n_ = 0;
+};
+
+/// Ranks the rows of `data` by KDE density (self-evaluation) and returns
+/// row indices in descending density order. This is the sort step of the
+/// paper's Algorithm 3.
+Result<std::vector<size_t>> DensityRanking(const Matrix& data,
+                                           const KdeOptions& options = {});
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_KDE_H_

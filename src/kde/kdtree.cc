@@ -1,0 +1,216 @@
+#include "kde/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fairdrift {
+
+Result<KdTree> KdTree::Build(const Matrix& points, size_t leaf_size) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("KdTree::Build: empty point set");
+  }
+  KdTree tree;
+  tree.points_ = points;
+  tree.order_.resize(points.rows());
+  std::iota(tree.order_.begin(), tree.order_.end(), size_t{0});
+  tree.nodes_.reserve(2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2);
+  tree.BuildNode(0, points.rows(), std::max<size_t>(leaf_size, 1));
+  return tree;
+}
+
+int KdTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    size_t d = points_.cols();
+    node.box.lo.assign(d, std::numeric_limits<double>::infinity());
+    node.box.hi.assign(d, -std::numeric_limits<double>::infinity());
+    for (size_t i = begin; i < end; ++i) {
+      const double* row = points_.RowPtr(order_[i]);
+      for (size_t j = 0; j < d; ++j) {
+        node.box.lo[j] = std::min(node.box.lo[j], row[j]);
+        node.box.hi[j] = std::max(node.box.hi[j], row[j]);
+      }
+    }
+  }
+
+  if (end - begin <= leaf_size) return node_id;
+
+  // Split at the median of the widest dimension.
+  size_t d = points_.cols();
+  size_t split_dim = 0;
+  double best_width = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    double width = nodes_[node_id].box.hi[j] - nodes_[node_id].box.lo[j];
+    if (width > best_width) {
+      best_width = width;
+      split_dim = j;
+    }
+  }
+  if (best_width <= 0.0) return node_id;  // All points identical: stay a leaf.
+
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<ptrdiff_t>(begin),
+                   order_.begin() + static_cast<ptrdiff_t>(mid),
+                   order_.begin() + static_cast<ptrdiff_t>(end),
+                   [&](size_t a, size_t b) {
+                     return points_.At(a, split_dim) < points_.At(b, split_dim);
+                   });
+
+  int left = BuildNode(begin, mid, leaf_size);
+  int right = BuildNode(mid, end, leaf_size);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double KdTree::MinScaledSqDist(const BoundingBox& box,
+                               const std::vector<double>& query,
+                               const std::vector<double>& inv_bandwidth) {
+  double acc = 0.0;
+  for (size_t j = 0; j < query.size(); ++j) {
+    double d = 0.0;
+    if (query[j] < box.lo[j]) {
+      d = (box.lo[j] - query[j]) * inv_bandwidth[j];
+    } else if (query[j] > box.hi[j]) {
+      d = (query[j] - box.hi[j]) * inv_bandwidth[j];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+double KdTree::MaxScaledSqDist(const BoundingBox& box,
+                               const std::vector<double>& query,
+                               const std::vector<double>& inv_bandwidth) {
+  double acc = 0.0;
+  for (size_t j = 0; j < query.size(); ++j) {
+    double d = std::max(std::fabs(query[j] - box.lo[j]),
+                        std::fabs(query[j] - box.hi[j])) *
+               inv_bandwidth[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<size_t> KdTree::NearestNeighbors(const std::vector<double>& query,
+                                             size_t k) const {
+  assert(query.size() == dim());
+  k = std::min(k, size());
+  // Max-heap of (distance^2, index), capped at k.
+  std::vector<std::pair<double, size_t>> heap;
+  heap.reserve(k + 1);
+  KnnRecurse(0, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<size_t> out;
+  out.reserve(heap.size());
+  for (const auto& [dist, idx] : heap) out.push_back(idx);
+  return out;
+}
+
+namespace {
+/// Unscaled squared distance from `query` to `box` (0 when inside).
+double MinSqDistToBox(const BoundingBox& box,
+                      const std::vector<double>& query) {
+  double acc = 0.0;
+  for (size_t j = 0; j < query.size(); ++j) {
+    double d = 0.0;
+    if (query[j] < box.lo[j]) {
+      d = box.lo[j] - query[j];
+    } else if (query[j] > box.hi[j]) {
+      d = query[j] - box.hi[j];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+}  // namespace
+
+void KdTree::KnnRecurse(int node_id, const std::vector<double>& query,
+                        size_t k,
+                        std::vector<std::pair<double, size_t>>* heap) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  double bound = MinSqDistToBox(node.box, query);
+  if (heap->size() == k && !heap->empty() && bound >= heap->front().first) {
+    return;
+  }
+  if (node.left < 0) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      size_t idx = order_[i];
+      double d2 = 0.0;
+      const double* row = points_.RowPtr(idx);
+      for (size_t j = 0; j < query.size(); ++j) {
+        double d = row[j] - query[j];
+        d2 += d * d;
+      }
+      if (heap->size() < k) {
+        heap->emplace_back(d2, idx);
+        std::push_heap(heap->begin(), heap->end());
+      } else if (d2 < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end());
+        heap->back() = {d2, idx};
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    return;
+  }
+  // Visit the child whose box is nearer first.
+  double dl = MinSqDistToBox(nodes_[static_cast<size_t>(node.left)].box, query);
+  double dr = MinSqDistToBox(nodes_[static_cast<size_t>(node.right)].box, query);
+  if (dl <= dr) {
+    KnnRecurse(node.left, query, k, heap);
+    KnnRecurse(node.right, query, k, heap);
+  } else {
+    KnnRecurse(node.right, query, k, heap);
+    KnnRecurse(node.left, query, k, heap);
+  }
+}
+
+double KdTree::GaussianKernelSum(const std::vector<double>& query,
+                                 const std::vector<double>& inv_bandwidth,
+                                 double atol) const {
+  assert(query.size() == dim());
+  assert(inv_bandwidth.size() == dim());
+  return KernelSumRecurse(0, query, inv_bandwidth, atol);
+}
+
+double KdTree::KernelSumRecurse(int node_id, const std::vector<double>& query,
+                                const std::vector<double>& inv_bandwidth,
+                                double atol) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  double count = static_cast<double>(node.end - node.begin);
+
+  double dmin2 = MinScaledSqDist(node.box, query, inv_bandwidth);
+  double kmax = std::exp(-0.5 * dmin2);
+  if (kmax * count < 1e-300) return 0.0;  // Entire node is negligible.
+
+  if (atol > 0.0) {
+    double dmax2 = MaxScaledSqDist(node.box, query, inv_bandwidth);
+    double kmin = std::exp(-0.5 * dmax2);
+    if (kmax - kmin <= atol) {
+      return count * 0.5 * (kmax + kmin);
+    }
+  }
+  if (node.left < 0) {
+    double acc = 0.0;
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const double* row = points_.RowPtr(order_[i]);
+      double u2 = 0.0;
+      for (size_t j = 0; j < query.size(); ++j) {
+        double d = (row[j] - query[j]) * inv_bandwidth[j];
+        u2 += d * d;
+      }
+      acc += std::exp(-0.5 * u2);
+    }
+    return acc;
+  }
+  return KernelSumRecurse(node.left, query, inv_bandwidth, atol) +
+         KernelSumRecurse(node.right, query, inv_bandwidth, atol);
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,88 @@
+// KD-tree over points in R^d.
+//
+// Built once per (group x label) cell and then used to accelerate Gaussian
+// kernel density evaluation (paper Algorithm 3 cites the tree-based
+// estimator of scikit-learn). Also exposes exact nearest-neighbour queries,
+// which the test-suite uses as an oracle check.
+
+#ifndef FAIRDRIFT_KDE_KDTREE_H_
+#define FAIRDRIFT_KDE_KDTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+/// Static KD-tree; split on the widest dimension at the median.
+class KdTree {
+ public:
+  /// Creates an empty tree; use Build() to obtain a usable one.
+  KdTree() = default;
+
+  /// Builds a tree over the rows of `points`. Fails on an empty matrix.
+  static Result<KdTree> Build(const Matrix& points, size_t leaf_size = 32);
+
+  /// Number of indexed points.
+  size_t size() const { return points_.rows(); }
+
+  /// Dimensionality.
+  size_t dim() const { return points_.cols(); }
+
+  /// Indices of the k nearest neighbours to `query` (ascending distance).
+  /// k is clamped to size().
+  std::vector<size_t> NearestNeighbors(const std::vector<double>& query,
+                                       size_t k) const;
+
+  /// Sum over all points of exp(-0.5 * ||(x - query) / h||^2), with h the
+  /// per-dimension scale vector. Nodes whose kernel-value spread is below
+  /// `atol` are approximated by their midpoint (atol = 0 gives the exact
+  /// sum). This is the workhorse of the KDE.
+  double GaussianKernelSum(const std::vector<double>& query,
+                           const std::vector<double>& inv_bandwidth,
+                           double atol = 0.0) const;
+
+  /// The bounding box of all indexed points.
+  const BoundingBox& root_box() const { return nodes_[0].box; }
+
+ private:
+  struct Node {
+    size_t begin = 0;     // range [begin, end) into order_
+    size_t end = 0;
+    int left = -1;        // child node ids; -1 for leaves
+    int right = -1;
+    BoundingBox box;
+  };
+
+  int BuildNode(size_t begin, size_t end, size_t leaf_size);
+  void KnnRecurse(int node_id, const std::vector<double>& query, size_t k,
+                  std::vector<std::pair<double, size_t>>* heap) const;
+  double KernelSumRecurse(int node_id, const std::vector<double>& query,
+                          const std::vector<double>& inv_bandwidth,
+                          double atol) const;
+
+  /// Squared scaled distance from query to the node box (0 when inside).
+  static double MinScaledSqDist(const BoundingBox& box,
+                                const std::vector<double>& query,
+                                const std::vector<double>& inv_bandwidth);
+  /// Max squared scaled distance from query to any point of the box.
+  static double MaxScaledSqDist(const BoundingBox& box,
+                                const std::vector<double>& query,
+                                const std::vector<double>& inv_bandwidth);
+
+  Matrix points_;
+  std::vector<size_t> order_;  // permutation of point indices, node-contiguous
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_KDTREE_H_

@@ -1,0 +1,80 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::NumericalError(
+              StrFormat("Cholesky: non-positive pivot at %zu (%.3e)", i, sum));
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("CholeskySolve: shape mismatch");
+  }
+  Result<Matrix> lr = CholeskyFactor(a);
+  if (!lr.ok()) return lr.status();
+  const Matrix& l = lr.value();
+  size_t n = b.size();
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  // Backward substitution: L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+Result<std::vector<double>> RidgeSolve(const Matrix& a,
+                                       const std::vector<double>& b,
+                                       double ridge, int max_attempts) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("RidgeSolve: shape mismatch");
+  }
+  double lambda = ridge;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Matrix reg = a;
+    for (size_t i = 0; i < reg.rows(); ++i) reg.At(i, i) += lambda;
+    Result<std::vector<double>> sol = CholeskySolve(reg, b);
+    if (sol.ok()) return sol;
+    last = sol.status();
+    lambda *= 100.0;
+  }
+  return Status::NumericalError("RidgeSolve: failed even with heavy ridge (" +
+                                last.ToString() + ")");
+}
+
+}  // namespace fairdrift

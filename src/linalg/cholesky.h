@@ -1,0 +1,34 @@
+// Cholesky factorization and SPD linear solves.
+//
+// Used by the weighted Newton (IRLS) steps of logistic regression, where
+// the Hessian X^T W X + lambda*I is symmetric positive definite.
+
+#ifndef FAIRDRIFT_LINALG_CHOLESKY_H_
+#define FAIRDRIFT_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+/// Fails when `a` is not square or not positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky. Fails on shape mismatch or a
+/// non-SPD matrix.
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+/// Solves (A + ridge*I) x = b, retrying with increasing ridge when A is
+/// semi-definite. Intended for regularized Newton steps.
+Result<std::vector<double>> RidgeSolve(const Matrix& a,
+                                       const std::vector<double>& b,
+                                       double ridge = 1e-8,
+                                       int max_attempts = 6);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_LINALG_CHOLESKY_H_

@@ -1,0 +1,119 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+/// Sum of absolute off-diagonal entries (convergence measure).
+double OffDiagonalNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) {
+      acc += std::fabs(a.At(i, j));
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> JacobiEigenDecomposition(const Matrix& m,
+                                                    int max_sweeps,
+                                                    double tol) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("Jacobi: matrix is %zux%zu, must be square", m.rows(),
+                  m.cols()));
+  }
+  size_t n = m.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("Jacobi: empty matrix");
+  }
+  // Symmetry check with a relative tolerance.
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) scale = std::max(scale, std::fabs(m.At(i, j)));
+  double sym_tol = 1e-8 * std::max(scale, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(m.At(i, j) - m.At(j, i)) > sym_tol) {
+        return Status::InvalidArgument("Jacobi: matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix a = m;                      // Working copy, rotated toward diagonal.
+  Matrix v = Matrix::Identity(n);   // Accumulated rotations (columns = eigvecs).
+
+  double conv_tol = tol * std::max(scale, 1.0);
+  bool converged = (OffDiagonalNorm(a) <= conv_tol);
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a.At(p, q);
+        if (std::fabs(apq) <= conv_tol / static_cast<double>(n * n)) continue;
+        double app = a.At(p, p);
+        double aqq = a.At(q, q);
+        // Classic stable rotation computation.
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        // Apply the rotation A <- J^T A J on rows/cols p and q.
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a.At(k, p);
+          double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a.At(p, k);
+          double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: V <- V J.
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = (OffDiagonalNorm(a) <= conv_tol);
+  }
+  if (!converged) {
+    return Status::NumericalError(
+        StrFormat("Jacobi: no convergence after %d sweeps", max_sweeps));
+  }
+
+  // Collect and sort ascending by eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a.At(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return diag[x] < diag[y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    out.values[i] = diag[order[i]];
+    for (size_t k = 0; k < n; ++k) {
+      out.vectors.At(i, k) = v.At(k, order[i]);  // column -> row layout
+    }
+  }
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,36 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Conformance-constraint discovery needs the full spectrum of small
+// covariance matrices (q x q with q = number of numeric attributes, typically
+// < 40), for which Jacobi is simple, numerically robust, and fast enough:
+// the paper's O(q^3) bound corresponds exactly to a constant number of
+// Jacobi sweeps.
+
+#ifndef FAIRDRIFT_LINALG_EIGEN_H_
+#define FAIRDRIFT_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Eigenvectors as rows, `vectors.Row(i)` pairs with `values[i]`;
+  /// each vector has unit Euclidean norm.
+  Matrix vectors;
+};
+
+/// Decomposes a symmetric matrix. Fails if `m` is not square, not symmetric
+/// (tolerance 1e-8 relative), or the iteration does not converge.
+Result<EigenDecomposition> JacobiEigenDecomposition(const Matrix& m,
+                                                    int max_sweeps = 64,
+                                                    double tol = 1e-12);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_LINALG_EIGEN_H_

@@ -1,0 +1,195 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& row : rows) {
+    if (cols_ == 0) cols_ = row.size();
+    assert(row.size() == cols_ && "ragged initializer for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Result<Matrix> Matrix::FromFlat(size_t rows, size_t cols,
+                                std::vector<double> flat) {
+  if (flat.size() != rows * cols) {
+    return Status::InvalidArgument(StrFormat(
+        "FromFlat: buffer has %zu values, expected %zu", flat.size(),
+        rows * cols));
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(flat);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  assert(r < rows_ && values.size() == cols_);
+  std::copy(values.begin(), values.end(), data_.begin() + static_cast<ptrdiff_t>(r * cols_));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t.At(c, r) = At(r, c);
+    }
+  }
+  return t;
+}
+
+Result<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(StrFormat(
+        "Multiply: %zux%zu times %zux%zu", rows_, cols_, other.rows_,
+        other.cols_));
+  }
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(r);
+      for (size_t c = 0; c < other.cols_; ++c) {
+        orow[c] += a * brow[c];
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> Matrix::MultiplyVector(
+    const std::vector<double>& v) const {
+  if (v.size() != cols_) {
+    return Status::InvalidArgument(StrFormat(
+        "MultiplyVector: matrix has %zu cols, vector has %zu", cols_,
+        v.size()));
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    const double* src = RowPtr(indices[i]);
+    std::copy(src, src + cols_, out.RowPtr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
+  Matrix out(rows_, indices.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      assert(indices[i] < cols_);
+      out.At(r, i) = At(r, indices[i]);
+    }
+  }
+  return out;
+}
+
+void Matrix::AppendRow(const std::vector<double>& values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  assert(values.size() == cols_ && "AppendRow width mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+Result<double> Matrix::FrobeniusDistance(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("FrobeniusDistance: shape mismatch");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+namespace vec {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& v, double s) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace vec
+
+}  // namespace fairdrift

@@ -1,0 +1,116 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse under the dataset layer, the conformance-
+// constraint profiler (covariance + eigendecomposition), the KDE, and the
+// learners. It deliberately stays small: only the operations the library
+// needs, each validated for shape at the API boundary.
+
+#ifndef FAIRDRIFT_LINALG_MATRIX_H_
+#define FAIRDRIFT_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Constructs from nested initializer lists; all rows must agree in width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix from a flat row-major buffer (size must be rows*cols).
+  static Result<Matrix> FromFlat(size_t rows, size_t cols,
+                                 std::vector<double> flat);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw row pointer (row-major layout).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row `r` into a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// Copies column `c` into a vector.
+  std::vector<double> Col(size_t c) const;
+
+  /// Sets row `r` from `values` (must have cols() entries).
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product; shapes must agree (cols() == other.rows()).
+  Result<Matrix> Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; v.size() must equal cols().
+  Result<std::vector<double>> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Returns the submatrix with the given row indices (gather).
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Returns the submatrix with the given column indices (gather).
+  Matrix SelectCols(const std::vector<size_t>& indices) const;
+
+  /// Appends a row (must have cols() entries; sets width on first row).
+  void AppendRow(const std::vector<double>& values);
+
+  /// Element-wise in-place scale.
+  void Scale(double factor);
+
+  /// Frobenius-norm distance to another same-shape matrix.
+  Result<double> FrobeniusDistance(const Matrix& other) const;
+
+  /// Flat row-major storage (read-only).
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+namespace vec {
+
+/// Dot product. Sizes must match (asserted).
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+/// a + b element-wise.
+std::vector<double> Add(const std::vector<double>& a, const std::vector<double>& b);
+
+/// a - b element-wise.
+std::vector<double> Sub(const std::vector<double>& a, const std::vector<double>& b);
+
+/// v * s element-wise.
+std::vector<double> Scale(const std::vector<double>& v, double s);
+
+/// Squared Euclidean distance.
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace vec
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_LINALG_MATRIX_H_

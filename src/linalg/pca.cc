@@ -1,0 +1,35 @@
+#include "linalg/pca.h"
+
+#include <cassert>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace fairdrift {
+
+Result<PcaModel> FitPca(const Matrix& data) {
+  Result<Matrix> cov = Covariance(data);
+  if (!cov.ok()) return cov.status();
+  Result<EigenDecomposition> eig = JacobiEigenDecomposition(cov.value());
+  if (!eig.ok()) return eig.status();
+
+  PcaModel model;
+  model.means = ColumnMeans(data);
+  model.components = std::move(eig.value().vectors);
+  model.variances = std::move(eig.value().values);
+  return model;
+}
+
+double PcaProject(const PcaModel& model, const std::vector<double>& row,
+                  size_t k) {
+  assert(k < model.components.rows());
+  assert(row.size() == model.means.size());
+  const double* comp = model.components.RowPtr(k);
+  double acc = 0.0;
+  for (size_t i = 0; i < row.size(); ++i) {
+    acc += comp[i] * (row[i] - model.means[i]);
+  }
+  return acc;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,38 @@
+// Principal component analysis over the covariance spectrum.
+//
+// The conformance-constraint profiler uses the *low-variance* principal
+// directions: a direction in which the data barely varies yields a tight,
+// highly discriminative linear constraint (Fariha et al., SIGMOD'21).
+
+#ifndef FAIRDRIFT_LINALG_PCA_H_
+#define FAIRDRIFT_LINALG_PCA_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Result of a PCA fit.
+struct PcaModel {
+  /// Column means used for centering.
+  std::vector<double> means;
+  /// Principal directions as rows, sorted by ascending eigenvalue
+  /// (components.Row(0) is the *least*-variance direction).
+  Matrix components;
+  /// Eigenvalues (variances along each direction), ascending.
+  std::vector<double> variances;
+};
+
+/// Fits PCA on the rows of `data`. Fails on an empty matrix or a
+/// non-converging eigendecomposition.
+Result<PcaModel> FitPca(const Matrix& data);
+
+/// Projects `row` onto component `k` of the model (centered dot product).
+double PcaProject(const PcaModel& model, const std::vector<double>& row,
+                  size_t k);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_LINALG_PCA_H_

@@ -1,0 +1,138 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fairdrift {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double mu = Mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    double d = x - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double WeightedMean(const std::vector<double>& v,
+                    const std::vector<double>& w) {
+  assert(v.size() == w.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    num += v[i] * w[i];
+    den += w[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double Min(const std::vector<double>& v) {
+  double out = std::numeric_limits<double>::infinity();
+  for (double x : v) out = std::min(out, x);
+  return out;
+}
+
+double Max(const std::vector<double>& v) {
+  double out = -std::numeric_limits<double>::infinity();
+  for (double x : v) out = std::max(out, x);
+  return out;
+}
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+std::vector<double> ColumnMeans(const Matrix& m) {
+  std::vector<double> means(m.cols(), 0.0);
+  if (m.rows() == 0) return means;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) means[c] += row[c];
+  }
+  for (double& v : means) v /= static_cast<double>(m.rows());
+  return means;
+}
+
+std::vector<double> ColumnStdDevs(const Matrix& m) {
+  std::vector<double> out(m.cols(), 0.0);
+  if (m.rows() < 2) return out;
+  std::vector<double> means = ColumnMeans(m);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      double d = row[c] - means[c];
+      out[c] += d * d;
+    }
+  }
+  for (double& v : out) v = std::sqrt(v / static_cast<double>(m.rows()));
+  return out;
+}
+
+Result<Matrix> Covariance(const Matrix& m) {
+  if (m.rows() == 0 || m.cols() == 0) {
+    return Status::InvalidArgument("Covariance: empty matrix");
+  }
+  size_t n = m.rows();
+  size_t d = m.cols();
+  std::vector<double> means = ColumnMeans(m);
+  Matrix cov(d, d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t i = 0; i < d; ++i) {
+      double di = row[i] - means[i];
+      for (size_t j = i; j < d; ++j) {
+        cov.At(i, j) += di * (row[j] - means[j]);
+      }
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov.At(i, j) *= inv_n;
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+  return cov;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a);
+  double mb = Mean(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double xa = a[i] - ma;
+    double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace fairdrift

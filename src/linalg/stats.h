@@ -1,0 +1,52 @@
+// Column statistics: means, standard deviations, covariance, correlation,
+// quantiles. These feed the conformance-constraint profiler and the dataset
+// normalizers.
+
+#ifndef FAIRDRIFT_LINALG_STATS_H_
+#define FAIRDRIFT_LINALG_STATS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divides by n); 0 for fewer than 2 entries.
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Weighted mean; weights must be non-negative with positive sum.
+double WeightedMean(const std::vector<double>& v, const std::vector<double>& w);
+
+/// Minimum; +inf for empty.
+double Min(const std::vector<double>& v);
+
+/// Maximum; -inf for empty.
+double Max(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts.
+double Quantile(std::vector<double> v, double q);
+
+/// Per-column means of a matrix.
+std::vector<double> ColumnMeans(const Matrix& m);
+
+/// Per-column population standard deviations of a matrix.
+std::vector<double> ColumnStdDevs(const Matrix& m);
+
+/// Population covariance matrix (cols x cols) of the rows of `m`.
+/// Fails on an empty matrix.
+Result<Matrix> Covariance(const Matrix& m);
+
+/// Pearson correlation of two equal-length vectors; 0 when either is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_LINALG_STATS_H_

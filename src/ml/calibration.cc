@@ -1,0 +1,69 @@
+#include "ml/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairdrift {
+
+Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+    const std::vector<int>& y_true, const std::vector<double>& proba,
+    int num_bins) {
+  if (y_true.empty() || y_true.size() != proba.size()) {
+    return Status::InvalidArgument("ReliabilityCurve: shape mismatch");
+  }
+  if (num_bins < 2) {
+    return Status::InvalidArgument("ReliabilityCurve: num_bins < 2");
+  }
+  std::vector<ReliabilityBin> bins(static_cast<size_t>(num_bins));
+  double width = 1.0 / num_bins;
+  for (int b = 0; b < num_bins; ++b) {
+    bins[static_cast<size_t>(b)].lower = b * width;
+    bins[static_cast<size_t>(b)].upper = (b + 1) * width;
+  }
+  for (size_t i = 0; i < proba.size(); ++i) {
+    double p = std::clamp(proba[i], 0.0, 1.0);
+    int b = std::min(static_cast<int>(p / width), num_bins - 1);
+    ReliabilityBin& bin = bins[static_cast<size_t>(b)];
+    ++bin.count;
+    bin.mean_predicted += p;
+    bin.observed_rate += static_cast<double>(y_true[i]);
+  }
+  for (ReliabilityBin& bin : bins) {
+    if (bin.count > 0) {
+      bin.mean_predicted /= static_cast<double>(bin.count);
+      bin.observed_rate /= static_cast<double>(bin.count);
+    }
+  }
+  return bins;
+}
+
+Result<double> ExpectedCalibrationError(const std::vector<int>& y_true,
+                                        const std::vector<double>& proba,
+                                        int num_bins) {
+  Result<std::vector<ReliabilityBin>> bins =
+      ReliabilityCurve(y_true, proba, num_bins);
+  if (!bins.ok()) return bins.status();
+  double ece = 0.0;
+  double n = static_cast<double>(y_true.size());
+  for (const ReliabilityBin& bin : bins.value()) {
+    if (bin.count == 0) continue;
+    ece += (static_cast<double>(bin.count) / n) *
+           std::fabs(bin.observed_rate - bin.mean_predicted);
+  }
+  return ece;
+}
+
+Result<double> BrierScore(const std::vector<int>& y_true,
+                          const std::vector<double>& proba) {
+  if (y_true.empty() || y_true.size() != proba.size()) {
+    return Status::InvalidArgument("BrierScore: shape mismatch");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double d = proba[i] - static_cast<double>(y_true[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+}  // namespace fairdrift

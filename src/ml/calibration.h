@@ -1,0 +1,44 @@
+// Probability-calibration diagnostics.
+//
+// CONFAIR's reweighing changes the effective class prior the learner
+// sees; these diagnostics (reliability bins, expected calibration error,
+// Brier score) quantify what that does to the probability estimates —
+// useful when the deployed system thresholds on probabilities.
+
+#ifndef FAIRDRIFT_ML_CALIBRATION_H_
+#define FAIRDRIFT_ML_CALIBRATION_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// One equal-width reliability bin over predicted probability.
+struct ReliabilityBin {
+  double lower = 0.0;            ///< bin range [lower, upper)
+  double upper = 0.0;
+  size_t count = 0;              ///< tuples whose prediction fell here
+  double mean_predicted = 0.0;   ///< average predicted probability
+  double observed_rate = 0.0;    ///< empirical positive rate
+};
+
+/// Bins predictions into `num_bins` equal-width probability buckets.
+/// Fails on empty/mismatched input or num_bins < 2.
+Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+    const std::vector<int>& y_true, const std::vector<double>& proba,
+    int num_bins = 10);
+
+/// Expected calibration error: count-weighted mean of
+/// |observed_rate - mean_predicted| over the reliability bins.
+Result<double> ExpectedCalibrationError(const std::vector<int>& y_true,
+                                        const std::vector<double>& proba,
+                                        int num_bins = 10);
+
+/// Brier score: mean squared error of the probabilistic predictions.
+Result<double> BrierScore(const std::vector<int>& y_true,
+                          const std::vector<double>& proba);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_CALIBRATION_H_

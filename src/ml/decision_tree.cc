@@ -1,0 +1,214 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<QuantileBinner> QuantileBinner::Fit(const Matrix& x, int max_bins) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("QuantileBinner: empty matrix");
+  }
+  if (max_bins < 2 || max_bins > 256) {
+    return Status::OutOfRange("QuantileBinner: max_bins must be in [2, 256]");
+  }
+  QuantileBinner binner;
+  binner.cuts_.resize(x.cols());
+  size_t n = x.rows();
+  for (size_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> vals = x.Col(j);
+    std::sort(vals.begin(), vals.end());
+    std::vector<double>& cuts = binner.cuts_[j];
+    for (int b = 1; b < max_bins; ++b) {
+      double q = static_cast<double>(b) / max_bins;
+      double pos = q * static_cast<double>(n - 1);
+      size_t lo = static_cast<size_t>(pos);
+      size_t hi = std::min(lo + 1, n - 1);
+      double frac = pos - static_cast<double>(lo);
+      double cut = vals[lo] * (1.0 - frac) + vals[hi] * frac;
+      // A useful cut must separate something: strictly above the minimum
+      // and strictly below the maximum (constant features get no cuts).
+      if (cut < vals.back() && (cuts.empty() || cut > cuts.back())) {
+        cuts.push_back(cut);
+      }
+    }
+    // A constant feature produces zero cuts: a single bin, never split.
+  }
+  return binner;
+}
+
+uint8_t QuantileBinner::BinOf(size_t j, double v) const {
+  const std::vector<double>& cuts = cuts_[j];
+  // First cut strictly greater than v == index of the containing bin.
+  size_t bin = static_cast<size_t>(
+      std::upper_bound(cuts.begin(), cuts.end(), v) - cuts.begin());
+  return static_cast<uint8_t>(bin);
+}
+
+std::vector<uint8_t> QuantileBinner::Transform(const Matrix& x) const {
+  assert(x.cols() == cuts_.size());
+  std::vector<uint8_t> out(x.rows() * x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out[i * x.cols() + j] = BinOf(j, row[j]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double LeafValue(double g, double h, double lambda) {
+  return -g / (h + lambda);
+}
+
+double ScoreTerm(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+Result<RegressionTree> RegressionTree::Fit(
+    const QuantileBinner& binner, const std::vector<uint8_t>& binned,
+    size_t num_rows, const std::vector<GradientPair>& gpairs,
+    const std::vector<size_t>& row_indices,
+    const RegressionTreeOptions& options) {
+  if (row_indices.empty()) {
+    return Status::InvalidArgument("RegressionTree: no training rows");
+  }
+  if (gpairs.size() != num_rows ||
+      binned.size() != num_rows * binner.num_features()) {
+    return Status::InvalidArgument("RegressionTree: shape mismatch");
+  }
+  RegressionTree tree;
+  tree.num_features_ = binner.num_features();
+  std::vector<size_t> rows = row_indices;  // mutable working copy
+  tree.GrowNode(binner, binned, gpairs, &rows, 0, rows.size(), 0, options);
+  return tree;
+}
+
+int RegressionTree::GrowNode(const QuantileBinner& binner,
+                             const std::vector<uint8_t>& binned,
+                             const std::vector<GradientPair>& gpairs,
+                             std::vector<size_t>* rows, size_t begin,
+                             size_t end, int depth,
+                             const RegressionTreeOptions& options) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const GradientPair& gp = gpairs[(*rows)[i]];
+    g_total += gp.grad;
+    h_total += gp.hess;
+  }
+  nodes_[static_cast<size_t>(node_id)].value =
+      LeafValue(g_total, h_total, options.l2_lambda);
+
+  if (depth >= options.max_depth || end - begin < 2) return node_id;
+
+  // Best split search over per-feature gradient histograms.
+  size_t num_features = binner.num_features();
+  double best_gain = options.min_split_gain;
+  size_t best_feature = 0;
+  int best_bin = -1;
+  double parent_score = ScoreTerm(g_total, h_total, options.l2_lambda);
+
+  std::vector<double> hist_g;
+  std::vector<double> hist_h;
+  for (size_t j = 0; j < num_features; ++j) {
+    int nbins = binner.NumBins(j);
+    if (nbins < 2) continue;
+    hist_g.assign(static_cast<size_t>(nbins), 0.0);
+    hist_h.assign(static_cast<size_t>(nbins), 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      size_t r = (*rows)[i];
+      uint8_t b = binned[r * num_features + j];
+      hist_g[b] += gpairs[r].grad;
+      hist_h[b] += gpairs[r].hess;
+    }
+    double gl = 0.0;
+    double hl = 0.0;
+    for (int b = 0; b + 1 < nbins; ++b) {
+      gl += hist_g[static_cast<size_t>(b)];
+      hl += hist_h[static_cast<size_t>(b)];
+      double gr = g_total - gl;
+      double hr = h_total - hl;
+      if (hl < options.min_child_hessian || hr < options.min_child_hessian) {
+        continue;
+      }
+      double gain = 0.5 * (ScoreTerm(gl, hl, options.l2_lambda) +
+                           ScoreTerm(gr, hr, options.l2_lambda) -
+                           parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = j;
+        best_bin = b;
+      }
+    }
+  }
+  if (best_bin < 0) return node_id;
+
+  // Partition rows in place: bin <= best_bin goes left.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    size_t r = (*rows)[i];
+    if (binned[r * num_features + best_feature] <=
+        static_cast<uint8_t>(best_bin)) {
+      std::swap((*rows)[i], (*rows)[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return node_id;  // Degenerate: stay a leaf.
+
+  {
+    Node& node = nodes_[static_cast<size_t>(node_id)];
+    node.is_leaf = false;
+    node.feature = best_feature;
+    node.bin_cut = static_cast<uint8_t>(best_bin);
+    node.cut = binner.CutValue(best_feature, best_bin);
+  }
+  int left =
+      GrowNode(binner, binned, gpairs, rows, begin, mid, depth + 1, options);
+  int right =
+      GrowNode(binner, binned, gpairs, rows, mid, end, depth + 1, options);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double RegressionTree::PredictRow(const double* row,
+                                  size_t num_features) const {
+  assert(num_features == num_features_);
+  (void)num_features;
+  size_t id = 0;
+  while (!nodes_[id].is_leaf) {
+    const Node& node = nodes_[id];
+    id = static_cast<size_t>(row[node.feature] <= node.cut ? node.left
+                                                           : node.right);
+  }
+  return nodes_[id].value;
+}
+
+std::vector<double> RegressionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = PredictRow(x.RowPtr(i), x.cols());
+  }
+  return out;
+}
+
+size_t RegressionTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf) ++leaves;
+  }
+  return leaves;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,113 @@
+// Histogram-based regression tree — the weak learner of the gradient
+// boosting machine.
+//
+// Features are quantile-binned once per boosting run; each tree node then
+// accumulates per-bin gradient/hessian histograms and applies the XGBoost
+// split-gain formula
+//   gain = 1/2 [ GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ] - gamma
+// with leaf values  -G / (H + lambda).
+
+#ifndef FAIRDRIFT_ML_DECISION_TREE_H_
+#define FAIRDRIFT_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Quantile binning of a feature matrix into uint8 codes.
+class QuantileBinner {
+ public:
+  /// Computes at most `max_bins` - 1 cut points per feature from the
+  /// training matrix. Fails on empty input or max_bins outside [2, 256].
+  static Result<QuantileBinner> Fit(const Matrix& x, int max_bins = 32);
+
+  /// Bin code of value `v` for feature `j` (index of the first cut > v).
+  uint8_t BinOf(size_t j, double v) const;
+
+  /// Bins a full matrix (row-major codes, same shape as `x`).
+  std::vector<uint8_t> Transform(const Matrix& x) const;
+
+  /// Number of usable bins for feature `j` (cuts + 1).
+  int NumBins(size_t j) const {
+    return static_cast<int>(cuts_[j].size()) + 1;
+  }
+
+  /// Upper cut value for (feature, bin): serving-time comparisons use
+  /// raw feature values against this cut.
+  double CutValue(size_t j, int bin) const { return cuts_[j][static_cast<size_t>(bin)]; }
+
+  size_t num_features() const { return cuts_.size(); }
+
+ private:
+  QuantileBinner() = default;
+  std::vector<std::vector<double>> cuts_;
+};
+
+/// Per-tuple second-order statistics for one boosting round.
+struct GradientPair {
+  double grad = 0.0;
+  double hess = 0.0;
+};
+
+/// Hyperparameters for a single regression tree.
+struct RegressionTreeOptions {
+  int max_depth = 4;
+  double l2_lambda = 1.0;        ///< lambda in the gain/leaf formulas.
+  double min_split_gain = 0.0;   ///< gamma: minimum gain to split.
+  double min_child_hessian = 1.0;///< minimum sum of hessians per child.
+};
+
+/// A fitted regression tree over binned features.
+class RegressionTree {
+ public:
+  /// Grows a tree on the rows listed in `row_indices`.
+  /// `binned` holds row-major uint8 codes for all n rows; `gpairs` holds the
+  /// gradient statistics of the current boosting round.
+  static Result<RegressionTree> Fit(const QuantileBinner& binner,
+                                    const std::vector<uint8_t>& binned,
+                                    size_t num_rows,
+                                    const std::vector<GradientPair>& gpairs,
+                                    const std::vector<size_t>& row_indices,
+                                    const RegressionTreeOptions& options);
+
+  /// Prediction for one raw feature row.
+  double PredictRow(const double* row, size_t num_features) const;
+
+  /// Predictions for every row of a raw feature matrix.
+  std::vector<double> Predict(const Matrix& x) const;
+
+  /// Number of nodes (internal + leaves).
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Number of leaves.
+  size_t num_leaves() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    double value = 0.0;      // leaf weight
+    size_t feature = 0;      // split feature (internal nodes)
+    double cut = 0.0;        // raw-value threshold: go left when v <= cut
+    uint8_t bin_cut = 0;     // binned threshold: go left when bin <= bin_cut
+    int left = -1;
+    int right = -1;
+  };
+
+  RegressionTree() = default;
+
+  int GrowNode(const QuantileBinner& binner, const std::vector<uint8_t>& binned,
+               const std::vector<GradientPair>& gpairs,
+               std::vector<size_t>* rows, size_t begin, size_t end, int depth,
+               const RegressionTreeOptions& options);
+
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_DECISION_TREE_H_

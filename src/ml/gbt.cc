@@ -1,0 +1,125 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
+                                 const std::vector<double>& w) {
+  Result<std::vector<double>> wr = CheckTrainingInputs(x, y, w);
+  if (!wr.ok()) return wr.status();
+  const std::vector<double> weights = std::move(wr).value();
+
+  size_t n = x.rows();
+  fitted_ = false;
+  trees_.clear();
+  loss_curve_.clear();
+
+  // Base score: weighted log-odds.
+  double wpos = 0.0;
+  double wtot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    wtot += weights[i];
+    if (y[i] == 1) wpos += weights[i];
+  }
+  if (wtot <= 0.0) {
+    return Status::InvalidArgument("GBT: zero total weight");
+  }
+  double rate = std::clamp(wpos / wtot, 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(rate / (1.0 - rate));
+
+  Result<QuantileBinner> binner = QuantileBinner::Fit(x, options_.max_bins);
+  if (!binner.ok()) return binner.status();
+  std::vector<uint8_t> binned = binner.value().Transform(x);
+
+  RegressionTreeOptions tree_opts;
+  tree_opts.max_depth = options_.max_depth;
+  tree_opts.l2_lambda = options_.l2_lambda;
+  tree_opts.min_split_gain = options_.min_split_gain;
+  tree_opts.min_child_hessian = options_.min_child_hessian;
+
+  Rng rng(options_.seed);
+  std::vector<double> scores(n, base_score_);
+  std::vector<GradientPair> gpairs(n);
+  std::vector<size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), size_t{0});
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double p = Sigmoid(scores[i]);
+      double yi = static_cast<double>(y[i]);
+      gpairs[i].grad = weights[i] * (p - yi);
+      gpairs[i].hess = std::max(weights[i] * p * (1.0 - p), 1e-16);
+      double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
+      loss -= weights[i] * (yi * std::log(pc) + (1.0 - yi) * std::log(1.0 - pc));
+    }
+    loss_curve_.push_back(loss / wtot);
+
+    std::vector<size_t> rows;
+    if (options_.subsample < 1.0) {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(options_.subsample * static_cast<double>(n)));
+      rows = rng.SampleWithoutReplacement(n, k);
+    } else {
+      rows = all_rows;
+    }
+
+    Result<RegressionTree> tree = RegressionTree::Fit(
+        binner.value(), binned, n, gpairs, rows, tree_opts);
+    if (!tree.ok()) return tree.status();
+    if (tree.value().num_leaves() <= 1 && round > 0) {
+      // No structure left to learn; keep the ensemble as-is.
+      break;
+    }
+
+    const RegressionTree& t = tree.value();
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] += options_.learning_rate * t.PredictRow(x.RowPtr(i), x.cols());
+    }
+    trees_.push_back(std::move(tree).value());
+  }
+
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> GradientBoostedTrees::PredictProba(
+    const Matrix& x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("GBT: not fitted");
+  }
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double score = base_score_;
+    const double* row = x.RowPtr(i);
+    for (const RegressionTree& t : trees_) {
+      score += options_.learning_rate * t.PredictRow(row, x.cols());
+    }
+    out[i] = Sigmoid(score);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> GradientBoostedTrees::CloneUnfitted() const {
+  return std::make_unique<GradientBoostedTrees>(options_);
+}
+
+}  // namespace fairdrift

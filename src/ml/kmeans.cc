@@ -1,0 +1,177 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairdrift {
+
+namespace {
+
+double SquaredRowDistance(const Matrix& a, size_t ra, const Matrix& b,
+                          size_t rb) {
+  const double* pa = a.RowPtr(ra);
+  const double* pb = b.RowPtr(rb);
+  double sum = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    const double d = pa[j] - pb[j];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// k-means++: the first centroid is uniform; each next one is sampled
+// proportionally to the squared distance from the nearest chosen centroid.
+Matrix PlusPlusInit(const Matrix& data, int k, Rng* rng) {
+  const size_t n = data.rows();
+  Matrix centroids(static_cast<size_t>(k), data.cols());
+  size_t first = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(n) - 1));
+  centroids.SetRow(0, data.Row(first));
+  std::vector<double> best_d2(n, std::numeric_limits<double>::infinity());
+  for (int c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      best_d2[i] = std::min(best_d2[i], SquaredRowDistance(
+                                            data, i, centroids,
+                                            static_cast<size_t>(c - 1)));
+    }
+    double total = 0.0;
+    for (double d : best_d2) total += d;
+    size_t pick;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids.
+      pick = static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(n) - 1));
+    } else {
+      pick = rng->Categorical(best_d2);
+    }
+    centroids.SetRow(static_cast<size_t>(c), data.Row(pick));
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  Matrix centroids;
+  std::vector<int> assignments;
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+LloydOutcome RunLloyd(const Matrix& data, Matrix centroids,
+                      const KMeansOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = centroids.rows();
+  LloydOutcome out;
+  out.assignments.assign(n, 0);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    out.iterations = it + 1;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      out.assignments[i] =
+          static_cast<int>(NearestCentroid(centroids, data.Row(i)));
+    }
+    // Update step.
+    Matrix next(k, d, 0.0);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(out.assignments[i]);
+      ++counts[c];
+      const double* src = data.RowPtr(i);
+      double* dst = next.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster to the row farthest from its centroid.
+        size_t far = 0;
+        double far_d2 = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d2 = SquaredRowDistance(
+              data, i, centroids,
+              static_cast<size_t>(out.assignments[i]));
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            far = i;
+          }
+        }
+        next.SetRow(c, data.Row(far));
+        continue;
+      }
+      double* dst = next.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) dst[j] /= static_cast<double>(counts[c]);
+    }
+    // Convergence check on total centroid movement.
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      movement += std::sqrt(SquaredRowDistance(next, c, centroids, c));
+    }
+    centroids = std::move(next);
+    if (movement <= options.tolerance) break;
+  }
+  // Final assignment + inertia against the final centroids.
+  out.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = NearestCentroid(centroids, data.Row(i));
+    out.assignments[i] = static_cast<int>(c);
+    out.inertia += SquaredRowDistance(data, i, centroids, c);
+  }
+  out.centroids = std::move(centroids);
+  return out;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansCluster(const Matrix& data,
+                                   const KMeansOptions& options, Rng* rng) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("KMeansCluster: empty input");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("KMeansCluster: k must be >= 1");
+  }
+  if (options.n_init < 1 || options.max_iterations < 1) {
+    return Status::InvalidArgument(
+        "KMeansCluster: n_init and max_iterations must be >= 1");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("KMeansCluster: rng is required");
+  }
+  const int k = std::min<int>(options.k, static_cast<int>(data.rows()));
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < options.n_init; ++restart) {
+    Rng child = rng->Fork();
+    Matrix init = PlusPlusInit(data, k, &child);
+    LloydOutcome run = RunLloyd(data, std::move(init), options);
+    if (run.inertia < best.inertia) {
+      best.centroids = std::move(run.centroids);
+      best.assignments = std::move(run.assignments);
+      best.inertia = run.inertia;
+      best.iterations = run.iterations;
+    }
+  }
+  return best;
+}
+
+size_t NearestCentroid(const Matrix& centroids,
+                       const std::vector<double>& row) {
+  size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const double* pc = centroids.RowPtr(c);
+    double d2 = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      const double d = row[j] - pc[j];
+      d2 += d * d;
+    }
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace fairdrift

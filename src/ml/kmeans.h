@@ -1,0 +1,60 @@
+// Lloyd k-means with k-means++ seeding.
+//
+// The paper positions clustering as the obvious-but-inferior alternative
+// to conformance constraints for describing group structure (§I "In
+// relation to clustering"): clustering needs the groups to separate in
+// the input space, while CCs profile each group's *distributional
+// pattern* and stay discriminative when groups overlap. This substrate
+// exists so the claim can be tested: core/cluster_routing.h repurposes
+// k-means for DIFFAIR-style model routing, and the profiler-ablation
+// bench measures both on overlapping-group drift.
+
+#ifndef FAIRDRIFT_ML_KMEANS_H_
+#define FAIRDRIFT_ML_KMEANS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Tuning knobs for k-means.
+struct KMeansOptions {
+  /// Number of centroids.
+  int k = 2;
+  /// Lloyd iteration cap per restart.
+  int max_iterations = 100;
+  /// Convergence threshold on the total centroid movement.
+  double tolerance = 1e-6;
+  /// Independent k-means++ restarts; the lowest-inertia run wins.
+  int n_init = 4;
+};
+
+/// Output of a k-means run.
+struct KMeansResult {
+  /// k x d centroid matrix.
+  Matrix centroids;
+  /// Cluster id per input row.
+  std::vector<int> assignments;
+  /// Sum of squared distances to the assigned centroids.
+  double inertia = 0.0;
+  /// Lloyd iterations of the winning restart.
+  int iterations = 0;
+};
+
+/// Clusters the rows of `data` into `options.k` groups. Requires
+/// k >= 1 and at least one row; when k exceeds the number of *distinct*
+/// rows, surplus centroids simply duplicate existing points (their
+/// clusters come out empty and are reseeded to the farthest row).
+Result<KMeansResult> KMeansCluster(const Matrix& data,
+                                   const KMeansOptions& options, Rng* rng);
+
+/// Index of the centroid (row of `centroids`) nearest to `row` in
+/// squared Euclidean distance; ties resolve to the lowest index.
+size_t NearestCentroid(const Matrix& centroids, const std::vector<double>& row);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_KMEANS_H_

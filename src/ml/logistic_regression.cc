@@ -1,0 +1,144 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
+                               const std::vector<double>& w) {
+  Result<std::vector<double>> wr = CheckTrainingInputs(x, y, w);
+  if (!wr.ok()) return wr.status();
+  const std::vector<double> weights = std::move(wr).value();
+
+  size_t n = x.rows();
+  size_t d = x.cols();
+  fitted_ = false;
+  beta_.assign(d, 0.0);
+
+  // Initialize the intercept at the weighted log-odds of the base rate.
+  double wpos = 0.0;
+  double wtot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    wtot += weights[i];
+    if (y[i] == 1) wpos += weights[i];
+  }
+  if (wtot <= 0.0) {
+    return Status::InvalidArgument("LogisticRegression: zero total weight");
+  }
+  double rate = std::clamp(wpos / wtot, 1e-6, 1.0 - 1e-6);
+  intercept_ = std::log(rate / (1.0 - rate));
+
+  // Damped Newton (IRLS). The system has d+1 unknowns (beta, intercept).
+  std::vector<double> z(n);  // margins
+  std::vector<double> p(n);  // probabilities
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = x.RowPtr(i);
+      double acc = intercept_;
+      for (size_t j = 0; j < d; ++j) acc += beta_[j] * row[j];
+      z[i] = acc;
+      p[i] = Sigmoid(acc);
+    }
+
+    // Gradient of the negative penalized log-likelihood.
+    std::vector<double> grad(d + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double r = weights[i] * (p[i] - static_cast<double>(y[i]));
+      const double* row = x.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) grad[j] += r * row[j];
+      grad[d] += r;
+    }
+    for (size_t j = 0; j < d; ++j) grad[j] += options_.l2_lambda * beta_[j];
+
+    // Hessian: X^T diag(w p (1-p)) X  + lambda I (intercept unpenalized).
+    Matrix hess(d + 1, d + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double s = weights[i] * p[i] * (1.0 - p[i]);
+      if (s <= 0.0) continue;
+      const double* row = x.RowPtr(i);
+      for (size_t a = 0; a < d; ++a) {
+        double sa = s * row[a];
+        for (size_t b = a; b < d; ++b) {
+          hess.At(a, b) += sa * row[b];
+        }
+        hess.At(a, d) += sa;
+      }
+      hess.At(d, d) += s;
+    }
+    for (size_t a = 0; a < d + 1; ++a) {
+      for (size_t b = a + 1; b < d + 1; ++b) {
+        hess.At(b, a) = hess.At(a, b);
+      }
+    }
+    for (size_t j = 0; j < d; ++j) hess.At(j, j) += options_.l2_lambda;
+
+    Result<std::vector<double>> step = RidgeSolve(hess, grad, 1e-8);
+    if (!step.ok()) {
+      return Status::NumericalError("LogisticRegression: Newton step failed (" +
+                                    step.status().ToString() + ")");
+    }
+
+    // Damped update with simple step halving against divergence.
+    double max_update = 0.0;
+    double scale = 1.0;
+    for (double v : step.value()) max_update = std::max(max_update, std::fabs(v));
+    if (max_update > 10.0) scale = 10.0 / max_update;
+    for (size_t j = 0; j < d; ++j) beta_[j] -= scale * step.value()[j];
+    intercept_ -= scale * step.value()[d];
+
+    if (scale * max_update < options_.tolerance) break;
+  }
+
+  for (double b : beta_) {
+    if (!std::isfinite(b)) {
+      return Status::NumericalError("LogisticRegression: diverged");
+    }
+  }
+  if (!std::isfinite(intercept_)) {
+    return Status::NumericalError("LogisticRegression: intercept diverged");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> LogisticRegression::PredictProba(
+    const Matrix& x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("LogisticRegression: not fitted");
+  }
+  if (x.cols() != beta_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "LogisticRegression: %zu features, model expects %zu", x.cols(),
+        beta_.size()));
+  }
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    double acc = intercept_;
+    for (size_t j = 0; j < beta_.size(); ++j) acc += beta_[j] * row[j];
+    out[i] = Sigmoid(acc);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> LogisticRegression::CloneUnfitted() const {
+  return std::make_unique<LogisticRegression>(options_);
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,55 @@
+// Weighted L2-regularized logistic regression trained with Newton / IRLS.
+
+#ifndef FAIRDRIFT_ML_LOGISTIC_REGRESSION_H_
+#define FAIRDRIFT_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace fairdrift {
+
+/// Hyperparameters for LogisticRegression.
+struct LogisticRegressionOptions {
+  /// L2 penalty on the non-intercept coefficients.
+  double l2_lambda = 1e-3;
+  /// Maximum Newton iterations.
+  int max_iterations = 50;
+  /// Convergence tolerance on the max absolute coefficient update.
+  double tolerance = 1e-8;
+};
+
+/// Binary logistic regression: p(y=1|x) = sigmoid(beta . x + b).
+///
+/// Training maximizes the *weighted* penalized log-likelihood
+///   sum_i w_i [y_i log p_i + (1-y_i) log(1-p_i)] - lambda/2 ||beta||^2
+/// via damped Newton steps (IRLS); the intercept is not penalized.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const std::vector<double>& w) override;
+  Result<std::vector<double>> PredictProba(const Matrix& x) const override;
+  std::unique_ptr<Classifier> CloneUnfitted() const override;
+  std::string name() const override { return "LR"; }
+  bool is_fitted() const override { return fitted_; }
+
+  /// Learned coefficients (size d); valid after Fit.
+  const std::vector<double>& coefficients() const { return beta_; }
+
+  /// Learned intercept; valid after Fit.
+  double intercept() const { return intercept_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> beta_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_LOGISTIC_REGRESSION_H_

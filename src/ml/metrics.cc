@@ -1,0 +1,120 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+Status CheckLabels(const std::vector<int>& y_true,
+                   const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "metrics: %zu labels vs %zu predictions", y_true.size(),
+        y_pred.size()));
+  }
+  if (y_true.empty()) {
+    return Status::InvalidArgument("metrics: empty input");
+  }
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if ((y_true[i] != 0 && y_true[i] != 1) ||
+        (y_pred[i] != 0 && y_pred[i] != 1)) {
+      return Status::InvalidArgument("metrics: labels must be binary");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ConfusionCounts> ComputeConfusion(const std::vector<int>& y_true,
+                                         const std::vector<int>& y_pred,
+                                         const std::vector<double>& w) {
+  FAIRDRIFT_RETURN_IF_ERROR(CheckLabels(y_true, y_pred));
+  if (!w.empty() && w.size() != y_true.size()) {
+    return Status::InvalidArgument("metrics: weight length mismatch");
+  }
+  ConfusionCounts c;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double wi = w.empty() ? 1.0 : w[i];
+    if (y_true[i] == 1) {
+      (y_pred[i] == 1 ? c.tp : c.fn) += wi;
+    } else {
+      (y_pred[i] == 1 ? c.fp : c.tn) += wi;
+    }
+  }
+  return c;
+}
+
+Result<double> Accuracy(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred) {
+  Result<ConfusionCounts> c = ComputeConfusion(y_true, y_pred);
+  if (!c.ok()) return c.status();
+  return (c.value().tp + c.value().tn) / c.value().total();
+}
+
+Result<double> BalancedAccuracy(const std::vector<int>& y_true,
+                                const std::vector<int>& y_pred) {
+  Result<ConfusionCounts> c = ComputeConfusion(y_true, y_pred);
+  if (!c.ok()) return c.status();
+  return 0.5 * (c.value().TPR() + c.value().TNR());
+}
+
+Result<double> LogLoss(const std::vector<int>& y_true,
+                       const std::vector<double>& proba,
+                       const std::vector<double>& w) {
+  if (y_true.size() != proba.size() || y_true.empty()) {
+    return Status::InvalidArgument("LogLoss: shape mismatch or empty");
+  }
+  double loss = 0.0;
+  double wtot = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double wi = w.empty() ? 1.0 : w[i];
+    double p = std::clamp(proba[i], 1e-12, 1.0 - 1e-12);
+    loss -= wi * (y_true[i] == 1 ? std::log(p) : std::log(1.0 - p));
+    wtot += wi;
+  }
+  if (wtot <= 0.0) {
+    return Status::InvalidArgument("LogLoss: zero total weight");
+  }
+  return loss / wtot;
+}
+
+Result<double> RocAuc(const std::vector<int>& y_true,
+                      const std::vector<double>& proba) {
+  if (y_true.size() != proba.size() || y_true.empty()) {
+    return Status::InvalidArgument("RocAuc: shape mismatch or empty");
+  }
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  size_t n = y_true.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return proba[a] < proba[b]; });
+
+  double pos = 0.0;
+  double neg = 0.0;
+  for (int y : y_true) {
+    (y == 1 ? pos : neg) += 1.0;
+  }
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && proba[order[j + 1]] == proba[order[i]]) ++j;
+    double midrank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      if (y_true[order[k]] == 1) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  return (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,61 @@
+// Classification metrics: confusion counts, accuracy, balanced accuracy,
+// log-loss, ROC AUC. The fairness layer composes these per group.
+
+#ifndef FAIRDRIFT_ML_METRICS_H_
+#define FAIRDRIFT_ML_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Binary confusion-matrix counts.
+struct ConfusionCounts {
+  double tp = 0.0;
+  double fp = 0.0;
+  double tn = 0.0;
+  double fn = 0.0;
+
+  double total() const { return tp + fp + tn + fn; }
+  /// True positive rate (sensitivity); 1 when no positives exist.
+  double TPR() const { return tp + fn > 0.0 ? tp / (tp + fn) : 1.0; }
+  /// True negative rate (specificity); 1 when no negatives exist.
+  double TNR() const { return tn + fp > 0.0 ? tn / (tn + fp) : 1.0; }
+  /// False positive rate.
+  double FPR() const { return 1.0 - TNR(); }
+  /// False negative rate.
+  double FNR() const { return 1.0 - TPR(); }
+  /// Fraction of tuples predicted positive (selection rate).
+  double SelectionRate() const {
+    return total() > 0.0 ? (tp + fp) / total() : 0.0;
+  }
+};
+
+/// Tallies confusion counts; predictions/labels must be equal length with
+/// values in {0,1}. Optional weights (empty = unweighted).
+Result<ConfusionCounts> ComputeConfusion(const std::vector<int>& y_true,
+                                         const std::vector<int>& y_pred,
+                                         const std::vector<double>& w = {});
+
+/// Plain accuracy.
+Result<double> Accuracy(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred);
+
+/// Balanced accuracy (TPR + TNR) / 2 — the paper's utility metric.
+Result<double> BalancedAccuracy(const std::vector<int>& y_true,
+                                const std::vector<int>& y_pred);
+
+/// Weighted negative log-likelihood of probabilistic predictions.
+Result<double> LogLoss(const std::vector<int>& y_true,
+                       const std::vector<double>& proba,
+                       const std::vector<double>& w = {});
+
+/// Area under the ROC curve via the rank statistic; 0.5 when one class is
+/// absent.
+Result<double> RocAuc(const std::vector<int>& y_true,
+                      const std::vector<double>& proba);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_METRICS_H_

@@ -1,0 +1,82 @@
+#include "ml/model.h"
+
+#include <cmath>
+
+#include "ml/gbt.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<std::vector<int>> Classifier::Predict(const Matrix& x) const {
+  Result<std::vector<double>> proba = PredictProba(x);
+  if (!proba.ok()) return proba.status();
+  std::vector<int> out(proba.value().size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = proba.value()[i] >= threshold_ ? 1 : 0;
+  }
+  return out;
+}
+
+Result<std::vector<double>> Classifier::CheckTrainingInputs(
+    const Matrix& x, const std::vector<int>& y, const std::vector<double>& w) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("Fit: empty design matrix");
+  }
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("Fit: %zu labels for %zu rows", y.size(), x.rows()));
+  }
+  for (int yi : y) {
+    if (yi != 0 && yi != 1) {
+      return Status::InvalidArgument(
+          "Fit: learners are binary; labels must be 0 or 1");
+    }
+  }
+  std::vector<double> weights;
+  if (w.empty()) {
+    weights.assign(x.rows(), 1.0);
+  } else {
+    if (w.size() != x.rows()) {
+      return Status::InvalidArgument(
+          StrFormat("Fit: %zu weights for %zu rows", w.size(), x.rows()));
+    }
+    for (double wi : w) {
+      if (wi < 0.0 || !std::isfinite(wi)) {
+        return Status::InvalidArgument("Fit: weights must be finite and >= 0");
+      }
+    }
+    weights = w;
+  }
+  return weights;
+}
+
+const char* LearnerKindName(LearnerKind kind) {
+  switch (kind) {
+    case LearnerKind::kLogisticRegression:
+      return "LR";
+    case LearnerKind::kGradientBoosting:
+      return "XGB";
+    case LearnerKind::kNaiveBayes:
+      return "NB";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> MakeLearner(LearnerKind kind, uint64_t rng_seed) {
+  switch (kind) {
+    case LearnerKind::kLogisticRegression:
+      return std::make_unique<LogisticRegression>();
+    case LearnerKind::kGradientBoosting: {
+      GbtOptions opts;
+      opts.seed = rng_seed;
+      return std::make_unique<GradientBoostedTrees>(opts);
+    }
+    case LearnerKind::kNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+  }
+  return nullptr;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,122 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+
+}  // namespace
+
+Status GaussianNaiveBayes::Fit(const Matrix& x, const std::vector<int>& y,
+                               const std::vector<double>& w) {
+  Result<std::vector<double>> checked = CheckTrainingInputs(x, y, w);
+  if (!checked.ok()) return checked.status();
+  const std::vector<double>& weights = checked.value();
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  fitted_ = false;
+  double class_weight[2] = {0.0, 0.0};
+  for (size_t c = 0; c < 2; ++c) {
+    means_[c].assign(d, 0.0);
+    variances_[c].assign(d, 0.0);
+  }
+  // Weighted means.
+  for (size_t i = 0; i < n; ++i) {
+    const int c = y[i];
+    class_weight[c] += weights[i];
+    for (size_t j = 0; j < d; ++j) {
+      means_[c][j] += weights[i] * x.At(i, j);
+    }
+  }
+  const double total_weight = class_weight[0] + class_weight[1];
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("Fit: total tuple weight is zero");
+  }
+  if (class_weight[0] <= 0.0 || class_weight[1] <= 0.0) {
+    return Status::InvalidArgument(
+        "Fit: naive Bayes needs positive weight in both classes");
+  }
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < d; ++j) means_[c][j] /= class_weight[c];
+  }
+  // Weighted (biased) variances about the class means.
+  for (size_t i = 0; i < n; ++i) {
+    const int c = y[i];
+    for (size_t j = 0; j < d; ++j) {
+      const double delta = x.At(i, j) - means_[c][j];
+      variances_[c][j] += weights[i] * delta * delta;
+    }
+  }
+  double max_variance = 0.0;
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      variances_[c][j] /= class_weight[c];
+      max_variance = std::max(max_variance, variances_[c][j]);
+    }
+  }
+  // Variance floor: a fraction of the largest variance, or an absolute
+  // epsilon when every feature is constant.
+  const double floor =
+      std::max(options_.var_smoothing * max_variance, 1e-12);
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      variances_[c][j] += floor;
+    }
+  }
+  // Smoothed weighted priors.
+  const double s = options_.prior_smoothing;
+  priors_[0] = (class_weight[0] + s) / (total_weight + 2.0 * s);
+  priors_[1] = (class_weight[1] + s) / (total_weight + 2.0 * s);
+
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> GaussianNaiveBayes::PredictProba(
+    const Matrix& x) const {
+  if (!fitted_) return Status::FailedPrecondition("PredictProba before Fit");
+  if (x.cols() != means_[0].size()) {
+    return Status::InvalidArgument(
+        StrFormat("PredictProba: %zu columns, model expects %zu", x.cols(),
+                  means_[0].size()));
+  }
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    // Log joint per class; the per-feature terms are independent under
+    // the naive assumption.
+    double log_joint[2];
+    for (size_t c = 0; c < 2; ++c) {
+      double lj = std::log(priors_[c]);
+      for (size_t j = 0; j < x.cols(); ++j) {
+        const double var = variances_[c][j];
+        const double delta = x.At(i, j) - means_[c][j];
+        lj -= 0.5 * (kLog2Pi + std::log(var) + delta * delta / var);
+      }
+      log_joint[c] = lj;
+    }
+    // p(1|x) = 1 / (1 + exp(log_joint[0] - log_joint[1])), computed
+    // stably.
+    const double diff = log_joint[0] - log_joint[1];
+    if (diff > 35.0) {
+      out[i] = 0.0;
+    } else if (diff < -35.0) {
+      out[i] = 1.0;
+    } else {
+      out[i] = 1.0 / (1.0 + std::exp(diff));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::CloneUnfitted() const {
+  return std::make_unique<GaussianNaiveBayes>(options_);
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,66 @@
+#include "ml/threshold.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairdrift {
+
+Result<double> TuneThreshold(const std::vector<int>& y_true,
+                             const std::vector<double>& proba,
+                             ThresholdCriterion criterion) {
+  if (y_true.size() != proba.size() || y_true.empty()) {
+    return Status::InvalidArgument("TuneThreshold: shape mismatch or empty");
+  }
+
+  // Sort descending by probability, then sweep the cut point. Maintaining
+  // running confusion counts makes the sweep O(n log n).
+  size_t n = y_true.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return proba[a] > proba[b]; });
+
+  double pos = 0.0;
+  double neg = 0.0;
+  for (int y : y_true) {
+    (y == 1 ? pos : neg) += 1.0;
+  }
+
+  // Start with everything predicted negative.
+  double tp = 0.0;
+  double fp = 0.0;
+  auto score = [&](double tp_c, double fp_c) {
+    double fn_c = pos - tp_c;
+    double tn_c = neg - fp_c;
+    double tpr = pos > 0.0 ? tp_c / pos : 1.0;
+    double tnr = neg > 0.0 ? tn_c / neg : 1.0;
+    if (criterion == ThresholdCriterion::kBalancedAccuracy) {
+      return 0.5 * (tpr + tnr);
+    }
+    return (tp_c + tn_c) / (tp_c + fp_c + tn_c + fn_c);
+  };
+
+  double best_score = score(tp, fp);
+  double best_threshold = 1.0 + 1e-9;  // everything negative
+  size_t i = 0;
+  while (i < n) {
+    // Move the cut below the next distinct probability value.
+    double p = proba[order[i]];
+    while (i < n && proba[order[i]] == p) {
+      if (y_true[order[i]] == 1) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++i;
+    }
+    double s = score(tp, fp);
+    if (s > best_score) {
+      best_score = s;
+      best_threshold = p;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,31 @@
+// Decision-threshold tuning on validation data.
+//
+// The paper tunes hyperparameters on the validation split; for the binary
+// learners here the decision threshold is the main free knob after
+// training, optimized for balanced accuracy (the paper's utility metric).
+
+#ifndef FAIRDRIFT_ML_THRESHOLD_H_
+#define FAIRDRIFT_ML_THRESHOLD_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Criterion maximized by threshold tuning.
+enum class ThresholdCriterion {
+  kBalancedAccuracy,
+  kAccuracy,
+};
+
+/// Sweeps candidate thresholds over the distinct predicted probabilities
+/// and returns the one maximizing `criterion` on (y_true, proba).
+/// Fails on empty/mismatched inputs.
+Result<double> TuneThreshold(
+    const std::vector<int>& y_true, const std::vector<double>& proba,
+    ThresholdCriterion criterion = ThresholdCriterion::kBalancedAccuracy);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_THRESHOLD_H_

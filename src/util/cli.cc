@@ -1,0 +1,64 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+CliFlags CliFlags::Parse(int argc, char** argv) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        flags.values_[body] = argv[++i];
+      } else {
+        flags.values_[body] = "";  // boolean switch
+      }
+    } else {
+      flags.positional_.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+bool CliFlags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t CliFlags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : def;
+}
+
+double CliFlags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : def;
+}
+
+bool CliFlags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second.empty()) return true;
+  std::string v = ToLower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+
+#ifndef FAIRDRIFT_UTIL_CLI_H_
+#define FAIRDRIFT_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fairdrift {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class CliFlags {
+ public:
+  /// Parses argv. Unknown flags are kept (benches share a common set).
+  static CliFlags Parse(int argc, char** argv);
+
+  /// True when --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Integer value of --name or `def` when absent/unparsable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Double value of --name or `def` when absent/unparsable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Boolean: present without value or with value in {1,true,yes,on}.
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_UTIL_CLI_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logging. Off by default at DEBUG; benches and examples
+// raise the level with --verbose.
+
+#ifndef FAIRDRIFT_UTIL_LOGGING_H_
+#define FAIRDRIFT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fairdrift {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits `message` to stderr when `level` passes the global threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FD_LOG_DEBUG ::fairdrift::internal::LogLine(::fairdrift::LogLevel::kDebug)
+#define FD_LOG_INFO ::fairdrift::internal::LogLine(::fairdrift::LogLevel::kInfo)
+#define FD_LOG_WARN ::fairdrift::internal::LogLine(::fairdrift::LogLevel::kWarning)
+#define FD_LOG_ERROR ::fairdrift::internal::LogLine(::fairdrift::LogLevel::kError)
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_UTIL_LOGGING_H_

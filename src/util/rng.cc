@@ -1,0 +1,77 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace fairdrift {
+
+Rng Rng::Fork() {
+  // SplitMix64-style remix of a fresh draw gives a well-separated child seed.
+  uint64_t z = engine_() + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // Guard against accumulated rounding error.
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  Shuffle(&idx);
+  return idx;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates: only the first k positions need to be settled.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace fairdrift

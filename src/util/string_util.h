@@ -1,0 +1,34 @@
+// Small string helpers used across the library (CSV parsing, table output).
+
+#ifndef FAIRDRIFT_UTIL_STRING_UTIL_H_
+#define FAIRDRIFT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace fairdrift {
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Removes leading and trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_UTIL_STRING_UTIL_H_

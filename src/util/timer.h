@@ -1,0 +1,33 @@
+// Wall-clock timing for the runtime experiments (paper Fig. 14).
+
+#ifndef FAIRDRIFT_UTIL_TIMER_H_
+#define FAIRDRIFT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace fairdrift {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_UTIL_TIMER_H_

@@ -1,0 +1,304 @@
+// Unit tests for the baselines: KAM, OMN, CAP, MULTIMODEL.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "baselines/capuchin.h"
+#include "baselines/kamiran.h"
+#include "baselines/multimodel.h"
+#include "baselines/omnifair.h"
+#include "data/split.h"
+#include "datagen/realworld.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+/// Skewed two-group dataset: majority 70% positive, minority 20% positive.
+Dataset SkewedDataset(size_t n = 1000, uint64_t seed = 70) {
+  Rng rng(seed);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool minority = rng.Bernoulli(0.3);
+    int y = rng.Bernoulli(minority ? 0.2 : 0.7) ? 1 : 0;
+    x1[i] = rng.Gaussian(y == 1 ? 1.0 : -1.0, 1.0);
+    x2[i] = rng.Gaussian(minority ? 0.5 : -0.5, 1.0);
+    labels[i] = y;
+    groups[i] = minority ? 1 : 0;
+  }
+  Dataset d;
+  EXPECT_TRUE(d.AddNumericColumn("x1", x1).ok());
+  EXPECT_TRUE(d.AddNumericColumn("x2", x2).ok());
+  EXPECT_TRUE(d.SetLabels(labels, 2).ok());
+  EXPECT_TRUE(d.SetGroups(groups).ok());
+  return d;
+}
+
+// ------------------------------------------------------------------- KAM
+
+TEST(KamiranTest, WeightsMatchClosedForm) {
+  // 2x2 construction with known counts: W+ = 3, W- = 1, U+ = 1, U- = 3.
+  Dataset d;
+  ASSERT_TRUE(
+      d.AddNumericColumn("x", {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  ASSERT_TRUE(d.SetLabels({1, 1, 1, 0, 1, 0, 0, 0}, 2).ok());
+  ASSERT_TRUE(d.SetGroups({0, 0, 0, 0, 1, 1, 1, 1}).ok());
+  Result<std::vector<double>> w = KamiranWeights(d);
+  ASSERT_TRUE(w.ok());
+  // n = 8, |W| = 4, |U| = 4, |y+| = 4, |y-| = 4.
+  // w(W,+) = 4*4/(8*3) = 2/3;  w(W,-) = 4*4/(8*1) = 2.
+  // w(U,+) = 4*4/(8*1) = 2;    w(U,-) = 4*4/(8*3) = 2/3.
+  EXPECT_NEAR(w.value()[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(w.value()[3], 2.0, 1e-12);
+  EXPECT_NEAR(w.value()[4], 2.0, 1e-12);
+  EXPECT_NEAR(w.value()[5], 2.0 / 3.0, 1e-12);
+}
+
+TEST(KamiranTest, WeightedCountsAchieveIndependence) {
+  Dataset d = SkewedDataset();
+  Result<std::vector<double>> w = KamiranWeights(d);
+  ASSERT_TRUE(w.ok());
+  // Weighted P(y=1 | g) must be equal across groups (= overall P(y=1)).
+  double pos_w = 0.0;
+  double tot_w = 0.0;
+  double pos_u = 0.0;
+  double tot_u = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    double wi = w.value()[i];
+    if (d.groups()[i] == 0) {
+      tot_w += wi;
+      if (d.labels()[i] == 1) pos_w += wi;
+    } else {
+      tot_u += wi;
+      if (d.labels()[i] == 1) pos_u += wi;
+    }
+  }
+  EXPECT_NEAR(pos_w / tot_w, pos_u / tot_u, 1e-9);
+}
+
+TEST(KamiranTest, BalancedDataGetsUnitWeights) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(d.SetLabels({1, 0, 1, 0}, 2).ok());
+  ASSERT_TRUE(d.SetGroups({0, 0, 1, 1}).ok());
+  Result<std::vector<double>> w = KamiranWeights(d);
+  ASSERT_TRUE(w.ok());
+  for (double wi : w.value()) EXPECT_NEAR(wi, 1.0, 1e-12);
+}
+
+TEST(KamiranTest, RequiresLabelsAndGroups) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2}).ok());
+  EXPECT_FALSE(KamiranWeights(d).ok());
+}
+
+TEST(KamiranTest, ReweighInstallsWeights) {
+  Dataset d = SkewedDataset(200);
+  Result<Dataset> r = KamiranReweigh(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), d.size());
+  bool any_nonunit = false;
+  for (double w : r->weights()) {
+    if (std::fabs(w - 1.0) > 1e-9) any_nonunit = true;
+  }
+  EXPECT_TRUE(any_nonunit);
+}
+
+// ------------------------------------------------------------------- OMN
+
+TEST(OmnifairTest, LambdaZeroIsUnitWeights) {
+  Dataset d = SkewedDataset(300);
+  Result<std::vector<double>> w = OmnifairWeightsForLambda(
+      d, 0.0, FairnessObjective::kDisparateImpact);
+  ASSERT_TRUE(w.ok());
+  for (double wi : w.value()) EXPECT_DOUBLE_EQ(wi, 1.0);
+}
+
+TEST(OmnifairTest, GroupLevelWeightsAreIdenticalWithinCell) {
+  Dataset d = SkewedDataset(500);
+  Result<std::vector<double>> w = OmnifairWeightsForLambda(
+      d, 0.5, FairnessObjective::kDisparateImpact);
+  ASSERT_TRUE(w.ok());
+  // All tuples of the same (group, label) cell share one weight.
+  std::map<std::pair<int, int>, double> seen;
+  for (size_t i = 0; i < d.size(); ++i) {
+    auto key = std::make_pair(d.groups()[i], d.labels()[i]);
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      seen[key] = w.value()[i];
+    } else {
+      EXPECT_DOUBLE_EQ(it->second, w.value()[i]);
+    }
+  }
+  // Boosted minority-positive cell outweighs 1; shrunk majority-positive
+  // is below 1.
+  EXPECT_GT((seen[{1, 1}]), 1.0);
+  EXPECT_LT((seen[{0, 1}]), 1.0);
+  EXPECT_DOUBLE_EQ((seen[{0, 0}]), 1.0);
+  EXPECT_DOUBLE_EQ((seen[{1, 0}]), 1.0);
+}
+
+TEST(OmnifairTest, LargeLambdaZeroesAdvantagedCell) {
+  Dataset d = SkewedDataset(500);
+  Result<std::vector<double>> w = OmnifairWeightsForLambda(
+      d, 1.5, FairnessObjective::kDisparateImpact);
+  ASSERT_TRUE(w.ok());
+  double min_w = 1e9;
+  for (double wi : w.value()) min_w = std::min(min_w, wi);
+  EXPECT_DOUBLE_EQ(min_w, 0.0);  // clamped at zero, never negative
+}
+
+TEST(OmnifairTest, NegativeLambdaRejected) {
+  Dataset d = SkewedDataset(100);
+  EXPECT_FALSE(OmnifairWeightsForLambda(
+                   d, -0.1, FairnessObjective::kDisparateImpact)
+                   .ok());
+}
+
+TEST(OmnifairTest, CalibrationImprovesValidationGap) {
+  Dataset d = SkewedDataset(3000, 71);
+  Rng rng(72);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  OmnifairOptions opts;
+  Result<OmnifairResult> r = OmnifairCalibrate(split->train, split->val, lr,
+                                               enc.value(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->lambda, 0.0);
+  EXPECT_GT(r->models_trained, 5);
+  EXPECT_EQ(r->weights.size(), split->train.size());
+}
+
+// ------------------------------------------------------------------- CAP
+
+TEST(CapuchinTest, RepairAchievesLabelGroupIndependence) {
+  Dataset d = SkewedDataset(2000, 73);
+  Rng rng(74);
+  Result<Dataset> repaired = CapuchinRepair(d, &rng);
+  ASSERT_TRUE(repaired.ok());
+  double pos_w =
+      static_cast<double>(repaired->CellCount(0, 1)) /
+      static_cast<double>(repaired->GroupCount(0));
+  double pos_u =
+      static_cast<double>(repaired->CellCount(1, 1)) /
+      static_cast<double>(repaired->GroupCount(1));
+  EXPECT_NEAR(pos_w, pos_u, 0.02);
+}
+
+TEST(CapuchinTest, RepairIsInvasive) {
+  Dataset d = SkewedDataset(1000, 75);
+  Rng rng(76);
+  Result<Dataset> repaired = CapuchinRepair(d, &rng);
+  ASSERT_TRUE(repaired.ok());
+  // The multiset of tuples changes (duplicates and/or drops).
+  EXPECT_NE(repaired->CellCount(1, 1), d.CellCount(1, 1));
+}
+
+TEST(CapuchinTest, InsertionOnlyNeverShrinksCells) {
+  Dataset d = SkewedDataset(800, 77);
+  Rng rng(78);
+  CapuchinOptions opts;
+  opts.allow_dropping = false;
+  Result<Dataset> repaired = CapuchinRepair(d, &rng, opts);
+  ASSERT_TRUE(repaired.ok());
+  for (int g = 0; g < 2; ++g) {
+    for (int y = 0; y < 2; ++y) {
+      EXPECT_GE(repaired->CellCount(g, y), d.CellCount(g, y));
+    }
+  }
+}
+
+TEST(CapuchinTest, RequiresLabelsAndGroups) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2}).ok());
+  Rng rng(79);
+  EXPECT_FALSE(CapuchinRepair(d, &rng).ok());
+}
+
+// ------------------------------------------------------------ MULTIMODEL
+
+TEST(MultiModelTest, RoutesByMembership) {
+  // Groups with *opposite* label trends: a per-group split fits both, and
+  // membership routing must send tuples to their own model.
+  Rng rng(80);
+  size_t n = 2000;
+  std::vector<double> x(n);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool minority = i % 4 == 0;
+    double v = rng.Gaussian();
+    // Majority: y = 1 iff x > 0. Minority: y = 1 iff x < 0.
+    int y = minority ? (v < 0.0 ? 1 : 0) : (v > 0.0 ? 1 : 0);
+    x[i] = v;
+    labels[i] = y;
+    groups[i] = minority ? 1 : 0;
+  }
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", x).ok());
+  ASSERT_TRUE(d.SetLabels(labels, 2).ok());
+  ASSERT_TRUE(d.SetGroups(groups).ok());
+
+  Rng split_rng(81);
+  Result<TrainValTest> split = SplitTrainValTest(d, &split_rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  Result<MultiModelBaseline> mm = MultiModelBaseline::Train(
+      split->train, split->val, lr, enc.value());
+  ASSERT_TRUE(mm.ok());
+
+  Result<std::vector<int>> pred = mm->Predict(split->test);
+  ASSERT_TRUE(pred.ok());
+  double correct = 0.0;
+  for (size_t i = 0; i < split->test.size(); ++i) {
+    if (pred.value()[i] == split->test.labels()[i]) correct += 1.0;
+  }
+  double acc = correct / static_cast<double>(split->test.size());
+  // A single LR would sit near 0.5 overall on the minority; membership
+  // routing should be accurate for both groups.
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(MultiModelTest, PredictRequiresGroups) {
+  Dataset d = SkewedDataset(500, 82);
+  Rng rng(83);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  Result<MultiModelBaseline> mm = MultiModelBaseline::Train(
+      split->train, split->val, lr, enc.value());
+  ASSERT_TRUE(mm.ok());
+
+  Dataset no_groups;
+  ASSERT_TRUE(no_groups
+                  .AddNumericColumn("x1", {0.0})
+                  .ok());
+  ASSERT_TRUE(no_groups.AddNumericColumn("x2", {0.0}).ok());
+  EXPECT_FALSE(mm->Predict(no_groups).ok());
+}
+
+TEST(MultiModelTest, RequiresLabelsAndGroups) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2}).ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  EXPECT_FALSE(MultiModelBaseline::Train(d, Dataset(), lr, enc.value()).ok());
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,392 @@
+// Unit tests for conformance constraints: projections, quantitative
+// violation semantics (paper Eq. 1), and discovery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/axis_box.h"
+#include "cc/constraint.h"
+#include "cc/discovery.h"
+#include "cc/projection.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+// ------------------------------------------------------------ Projection
+
+TEST(ProjectionTest, ApplyAffine) {
+  Projection p;
+  p.coeffs = {2.0, -1.0};
+  p.offset = 0.5;
+  EXPECT_DOUBLE_EQ(p.Apply({1.0, 3.0}), 2.0 - 3.0 + 0.5);
+}
+
+TEST(ProjectionTest, ApplyAllMatchesRowwise) {
+  Projection p;
+  p.coeffs = {1.0, 1.0};
+  Matrix m = {{1, 2}, {3, 4}};
+  std::vector<double> v = p.ApplyAll(m);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  EXPECT_DOUBLE_EQ(p.ApplyRow(m, 1), 7.0);
+}
+
+// ------------------------------------------------------------ Constraint
+
+ConformanceConstraint UnitConstraint(double lb, double ub, double sigma) {
+  ConformanceConstraint c;
+  c.projection.coeffs = {1.0};
+  c.lower_bound = lb;
+  c.upper_bound = ub;
+  c.stddev = sigma;
+  c.importance = 1.0;
+  return c;
+}
+
+TEST(ConstraintTest, ZeroViolationInsideBounds) {
+  ConformanceConstraint c = UnitConstraint(0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(c.Violation({0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(c.Violation({0.0}), 0.0);  // boundary included
+  EXPECT_DOUBLE_EQ(c.Violation({1.0}), 0.0);
+  EXPECT_TRUE(c.Satisfies({0.5}));
+}
+
+TEST(ConstraintTest, ViolationFollowsEq1) {
+  ConformanceConstraint c = UnitConstraint(0.0, 1.0, 0.5);
+  // dist = 0.25 above ub; eta(0.25 / 0.5) = 1 - exp(-0.5).
+  EXPECT_NEAR(c.Violation({1.25}), 1.0 - std::exp(-0.5), 1e-12);
+  // Below lb symmetric.
+  EXPECT_NEAR(c.Violation({-0.25}), 1.0 - std::exp(-0.5), 1e-12);
+  EXPECT_FALSE(c.Satisfies({1.25}));
+}
+
+TEST(ConstraintTest, ViolationMonotoneInDistance) {
+  ConformanceConstraint c = UnitConstraint(0.0, 1.0, 0.3);
+  double prev = 0.0;
+  for (double x = 1.0; x < 6.0; x += 0.25) {
+    double v = c.Violation({x});
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ConstraintTest, ViolationBoundedByOne) {
+  // Mathematically eta < 1; in floating point the bound saturates at 1.
+  ConformanceConstraint c = UnitConstraint(0.0, 1.0, 0.3);
+  EXPECT_LE(c.Violation({1e9}), 1.0);
+  EXPECT_GT(c.Violation({1e9}), 0.999);
+}
+
+TEST(ConstraintTest, DegenerateSigmaGuarded) {
+  ConformanceConstraint c = UnitConstraint(0.0, 0.0, 0.0);
+  double v = c.Violation({0.5});
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(ConstraintTest, ToStringMentionsBoundsAndAttrs) {
+  ConformanceConstraint c = UnitConstraint(-1.0, 2.0, 0.4);
+  std::string s = c.ToString({"age"});
+  EXPECT_NE(s.find("age"), std::string::npos);
+  EXPECT_NE(s.find("-1.000"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+// --------------------------------------------------------- ConstraintSet
+
+TEST(ConstraintSetTest, CreateNormalizesImportance) {
+  std::vector<ConformanceConstraint> cs;
+  cs.push_back(UnitConstraint(0, 1, 0.5));
+  cs.push_back(UnitConstraint(0, 1, 0.5));
+  cs[0].importance = 3.0;
+  cs[1].importance = 1.0;
+  Result<ConstraintSet> set = ConstraintSet::Create(std::move(cs));
+  ASSERT_TRUE(set.ok());
+  EXPECT_NEAR(set->constraint(0).importance, 0.75, 1e-12);
+  EXPECT_NEAR(set->constraint(1).importance, 0.25, 1e-12);
+}
+
+TEST(ConstraintSetTest, CreateRejectsEmptyAndNegative) {
+  EXPECT_FALSE(ConstraintSet::Create({}).ok());
+  std::vector<ConformanceConstraint> cs;
+  cs.push_back(UnitConstraint(0, 1, 0.5));
+  cs[0].importance = -1.0;
+  EXPECT_FALSE(ConstraintSet::Create(std::move(cs)).ok());
+}
+
+TEST(ConstraintSetTest, ViolationIsWeightedSum) {
+  ConformanceConstraint tight = UnitConstraint(0.0, 0.0, 1.0);
+  ConformanceConstraint loose = UnitConstraint(-100.0, 100.0, 1.0);
+  tight.importance = 1.0;
+  loose.importance = 1.0;
+  Result<ConstraintSet> set = ConstraintSet::Create({tight, loose});
+  ASSERT_TRUE(set.ok());
+  // At x=2: tight violates with eta(2), loose is satisfied; q = 0.5 each.
+  double expected = 0.5 * (1.0 - std::exp(-2.0));
+  EXPECT_NEAR(set->Violation({2.0}), expected, 1e-12);
+  EXPECT_FALSE(set->Satisfies({2.0}));
+  EXPECT_TRUE(set->Satisfies({0.0}));
+}
+
+TEST(ConstraintSetTest, ViolationAllMatchesPointwise) {
+  Result<ConstraintSet> set =
+      ConstraintSet::Create({UnitConstraint(0.0, 1.0, 0.5)});
+  ASSERT_TRUE(set.ok());
+  Matrix data = {{0.5}, {2.0}, {-1.0}};
+  std::vector<double> v = set->ViolationAll(data);
+  EXPECT_DOUBLE_EQ(v[0], set->Violation({0.5}));
+  EXPECT_DOUBLE_EQ(v[1], set->Violation({2.0}));
+  EXPECT_DOUBLE_EQ(v[2], set->Violation({-1.0}));
+}
+
+// ------------------------------------------------------------- Discovery
+
+TEST(DiscoveryTest, RejectsEmpty) {
+  EXPECT_FALSE(DiscoverConstraints(Matrix()).ok());
+}
+
+TEST(DiscoveryTest, ImportancesSumToOne) {
+  Rng rng(40);
+  Matrix data(100, 3);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 3; ++j) data.At(i, j) = rng.Gaussian();
+  }
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  double total = 0.0;
+  for (size_t k = 0; k < set->size(); ++k) {
+    total += set->constraint(k).importance;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DiscoveryTest, TrainingTuplesMostlyConform) {
+  Rng rng(41);
+  Matrix data(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    data.At(i, 0) = rng.Gaussian(5.0, 2.0);
+    data.At(i, 1) = rng.Gaussian(-3.0, 0.5);
+  }
+  CcOptions opts;
+  opts.bound_sigma = 2.0;
+  Result<ConstraintSet> set = DiscoverConstraints(data, opts);
+  ASSERT_TRUE(set.ok());
+  size_t conforming = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (set->Violation(data.Row(i)) == 0.0) ++conforming;
+  }
+  // With 2-sigma bounds per projection, the large majority conforms.
+  EXPECT_GT(conforming, 400u);
+  EXPECT_LT(conforming, 500u);  // but some tail points violate
+}
+
+TEST(DiscoveryTest, OutliersViolate) {
+  Rng rng(42);
+  Matrix data(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    data.At(i, 0) = rng.Gaussian();
+    data.At(i, 1) = rng.Gaussian();
+  }
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  // The outlier can conform to some projections (it may sit on a principal
+  // axis), but the importance-weighted total must register clearly.
+  EXPECT_GT(set->Violation({50.0, -50.0}), 0.4);
+}
+
+TEST(DiscoveryTest, FindsLinearDependency) {
+  // x2 ~= 3*x1: the low-variance direction yields a tight constraint that
+  // flags tuples off the line even when their coordinates are in-range.
+  Rng rng(43);
+  Matrix data(400, 2);
+  for (size_t i = 0; i < 400; ++i) {
+    double t = rng.Gaussian();
+    data.At(i, 0) = t;
+    data.At(i, 1) = 3.0 * t + 0.05 * rng.Gaussian();
+  }
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  // On-line point: conforms (or almost).
+  EXPECT_LT(set->Violation({1.0, 3.0}), 0.05);
+  // Off-line point with in-range coordinates: violates clearly.
+  EXPECT_GT(set->Violation({1.0, -3.0}), 0.3);
+}
+
+TEST(DiscoveryTest, SingleTupleGivesPointConstraints) {
+  Matrix data = {{2.0, 7.0}};
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(set->Violation({2.0, 7.0}), 0.0);
+  EXPECT_GT(set->Violation({3.0, 7.0}), 0.0);
+}
+
+TEST(DiscoveryTest, ConstantAttributesHandled) {
+  Matrix data(50, 2, 4.0);  // both attributes constant
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(set->Violation({4.0, 4.0}), 0.0);
+}
+
+TEST(DiscoveryTest, MaxProjectionsLimitsSetSize) {
+  Rng rng(44);
+  Matrix data(100, 5);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 5; ++j) data.At(i, j) = rng.Gaussian();
+  }
+  CcOptions opts;
+  opts.max_projections = 2;
+  Result<ConstraintSet> set = DiscoverConstraints(data, opts);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 2u);
+}
+
+TEST(DiscoveryTest, VarianceRatioFilterKeepsLowVarianceDirections) {
+  // One tight direction, one loose: ratio filter should drop the loose.
+  Rng rng(45);
+  Matrix data(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    double t = rng.Gaussian();
+    data.At(i, 0) = t;
+    data.At(i, 1) = t + 0.01 * rng.Gaussian();  // x1 - x2 nearly constant
+  }
+  CcOptions opts;
+  opts.max_variance_ratio = 10.0;
+  Result<ConstraintSet> set = DiscoverConstraints(data, opts);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 1u);
+}
+
+TEST(DiscoveryTest, WiderBoundSigmaLoosensConstraints) {
+  Rng rng(46);
+  Matrix data(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    data.At(i, 0) = rng.Gaussian();
+    data.At(i, 1) = rng.Gaussian();
+  }
+  CcOptions narrow;
+  narrow.bound_sigma = 0.5;
+  CcOptions wide;
+  wide.bound_sigma = 3.0;
+  Result<ConstraintSet> sn = DiscoverConstraints(data, narrow);
+  Result<ConstraintSet> sw = DiscoverConstraints(data, wide);
+  ASSERT_TRUE(sn.ok() && sw.ok());
+  size_t conform_narrow = 0;
+  size_t conform_wide = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (sn->Violation(data.Row(i)) == 0.0) ++conform_narrow;
+    if (sw->Violation(data.Row(i)) == 0.0) ++conform_wide;
+  }
+  EXPECT_LT(conform_narrow, conform_wide);
+}
+
+TEST(DiscoveryTest, RawSpaceProjectionsAbsorbStandardization) {
+  // Discovery standardizes internally; the produced projections must apply
+  // directly to raw attribute rows (no external scaling needed).
+  Rng rng(47);
+  Matrix data(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    data.At(i, 0) = rng.Gaussian(1000.0, 50.0);
+    data.At(i, 1) = rng.Gaussian(0.001, 0.0005);
+  }
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  // The bulk of the raw training rows must conform.
+  size_t conforming = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (set->Violation(data.Row(i)) == 0.0) ++conforming;
+  }
+  EXPECT_GT(conforming, 200u);
+}
+
+// --------------------------------------------------------------- AxisBox
+
+TEST(AxisBoxTest, SigmaBoundsHandComputed) {
+  // Attribute 0: values {0, 2} -> mean 1, sd 1. Attribute 1: constant 5.
+  Matrix data = {{0.0, 5.0}, {2.0, 5.0}};
+  AxisBoxOptions opts;
+  opts.bound_sigma = 2.0;
+  Result<ConstraintSet> set = DiscoverAxisBoxConstraints(data, opts);
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set->size(), 2u);
+  EXPECT_DOUBLE_EQ(set->constraint(0).lower_bound, -1.0);
+  EXPECT_DOUBLE_EQ(set->constraint(0).upper_bound, 3.0);
+  EXPECT_DOUBLE_EQ(set->constraint(1).lower_bound, 5.0);
+  EXPECT_DOUBLE_EQ(set->constraint(1).upper_bound, 5.0);
+  // Each constraint is the unit projection of its attribute.
+  EXPECT_DOUBLE_EQ(set->constraint(0).projection.coeffs[0], 1.0);
+  EXPECT_DOUBLE_EQ(set->constraint(0).projection.coeffs[1], 0.0);
+  // The constant attribute has the tighter interval -> higher importance.
+  EXPECT_GT(set->constraint(1).importance, set->constraint(0).importance);
+}
+
+TEST(AxisBoxTest, QuantileBoundsClipTails) {
+  Matrix data(100, 1);
+  for (size_t i = 0; i < 100; ++i) {
+    data.At(i, 0) = static_cast<double>(i);  // 0..99 uniform
+  }
+  AxisBoxOptions opts;
+  opts.use_quantiles = true;
+  opts.quantile_low = 0.10;
+  Result<ConstraintSet> set = DiscoverAxisBoxConstraints(data, opts);
+  ASSERT_TRUE(set.ok());
+  EXPECT_NEAR(set->constraint(0).lower_bound, 9.9, 0.5);
+  EXPECT_NEAR(set->constraint(0).upper_bound, 89.1, 0.5);
+  // ~80% of the data conforms.
+  size_t conforming = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (set->Satisfies(data.Row(i))) ++conforming;
+  }
+  EXPECT_NEAR(static_cast<double>(conforming), 80.0, 3.0);
+}
+
+TEST(AxisBoxTest, ViolationSemanticsMatchConstraintSet) {
+  Matrix data = {{0.0}, {1.0}, {2.0}};
+  Result<ConstraintSet> set = DiscoverAxisBoxConstraints(data, {});
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(set->Violation({1.0}), 0.0);
+  EXPECT_GT(set->Violation({3.0}), 0.0);
+  EXPECT_LT(set->Violation({3.0}), 1.0);   // eta keeps violations < 1
+  EXPECT_LE(set->Violation({100.0}), 1.0); // saturates toward 1 far out
+  EXPECT_GT(set->Violation({100.0}), set->Violation({3.0}));
+}
+
+TEST(AxisBoxTest, BlindToCorrelationWhereCcIsNot) {
+  // Tightly correlated ridge: x1 ~ N(0,1), x2 = x1 + tiny noise. The point
+  // (1.5, -1.5) sits inside both marginal intervals but far off the
+  // ridge: the axis box cannot see that, conformance constraints can.
+  Rng rng(321);
+  Matrix data(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    double a = rng.Gaussian();
+    data.At(i, 0) = a;
+    data.At(i, 1) = a + 0.05 * rng.Gaussian();
+  }
+  Result<ConstraintSet> box = DiscoverAxisBoxConstraints(data, {});
+  Result<ConstraintSet> cc = DiscoverConstraints(data, {});
+  ASSERT_TRUE(box.ok() && cc.ok());
+  std::vector<double> off_ridge = {1.5, -1.5};
+  EXPECT_DOUBLE_EQ(box->Violation(off_ridge), 0.0);
+  EXPECT_GT(cc->Violation(off_ridge), 0.1);
+}
+
+TEST(AxisBoxTest, ValidatesInput) {
+  Matrix empty;
+  EXPECT_FALSE(DiscoverAxisBoxConstraints(empty, {}).ok());
+  Matrix ok = {{1.0}};
+  AxisBoxOptions bad;
+  bad.use_quantiles = true;
+  bad.quantile_low = 0.7;
+  EXPECT_FALSE(DiscoverAxisBoxConstraints(ok, bad).ok());
+  // A single tuple yields point intervals rather than an error (tiny
+  // minority cells are an expected condition).
+  Result<ConstraintSet> point = DiscoverAxisBoxConstraints(ok, {});
+  ASSERT_TRUE(point.ok());
+  EXPECT_TRUE(point->Satisfies({1.0}));
+  EXPECT_FALSE(point->Satisfies({2.0}));
+}
+
+}  // namespace
+}  // namespace fairdrift

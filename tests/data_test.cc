@@ -1,0 +1,365 @@
+// Unit tests for the data layer: columns, schema, dataset, encoding,
+// splitting, sampling, CSV round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/encode.h"
+#include "data/sampling.h"
+#include "data/split.h"
+#include "linalg/stats.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset d;
+  EXPECT_TRUE(d.AddNumericColumn("age", {25, 35, 45, 55}).ok());
+  EXPECT_TRUE(d.AddCategoricalColumn("job", {0, 1, 2, 1}, 3).ok());
+  EXPECT_TRUE(d.SetLabels({0, 1, 0, 1}, 2).ok());
+  EXPECT_TRUE(d.SetGroups({0, 0, 1, 1}).ok());
+  return d;
+}
+
+// ---------------------------------------------------------------- Column
+
+TEST(ColumnTest, NumericBasics) {
+  Column c = Column::Numeric("x", {1.0, 2.0});
+  EXPECT_TRUE(c.is_numeric());
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(1), 2.0);
+}
+
+TEST(ColumnTest, CategoricalValidatesCodes) {
+  EXPECT_TRUE(Column::Categorical("c", {0, 1, 2}, 3).ok());
+  EXPECT_FALSE(Column::Categorical("c", {0, 3}, 3).ok());
+  EXPECT_FALSE(Column::Categorical("c", {-1}, 3).ok());
+  EXPECT_FALSE(Column::Categorical("c", {0}, 0).ok());
+}
+
+TEST(ColumnTest, SelectGathersRows) {
+  Column c = Column::Numeric("x", {10, 20, 30});
+  Column s = c.Select({2, 0, 2});
+  EXPECT_EQ(s.numeric_values(), (std::vector<double>{30, 10, 30}));
+  EXPECT_EQ(s.name(), "x");
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, CountsAndLookup) {
+  Schema s = SmallDataset().GetSchema();
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.num_numeric(), 1u);
+  EXPECT_EQ(s.num_categorical(), 1u);
+  EXPECT_EQ(s.FindField("job"), 1);
+  EXPECT_EQ(s.FindField("nope"), -1);
+  EXPECT_EQ(s.NumericFieldIndices(), (std::vector<size_t>{0}));
+  EXPECT_EQ(s.CategoricalFieldIndices(), (std::vector<size_t>{1}));
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a = SmallDataset().GetSchema();
+  Schema b = SmallDataset().GetSchema();
+  EXPECT_TRUE(a.Equals(b));
+  Dataset other;
+  ASSERT_TRUE(other.AddNumericColumn("age", {1}).ok());
+  EXPECT_FALSE(a.Equals(other.GetSchema()));
+}
+
+// --------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, ShapeAndDefaults) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_EQ(d.num_groups(), 2);
+  EXPECT_EQ(d.weights(), (std::vector<double>{1, 1, 1, 1}));
+}
+
+TEST(DatasetTest, LengthMismatchRejected) {
+  Dataset d = SmallDataset();
+  EXPECT_FALSE(d.AddNumericColumn("bad", {1.0}).ok());
+  EXPECT_FALSE(d.SetLabels({0, 1}, 2).ok());
+  EXPECT_FALSE(d.SetGroups({0}).ok());
+  EXPECT_FALSE(d.SetWeights({1.0}).ok());
+}
+
+TEST(DatasetTest, LabelValidation) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2}).ok());
+  EXPECT_FALSE(d.SetLabels({0, 2}, 2).ok());
+  EXPECT_FALSE(d.SetLabels({0, 1}, 1).ok());
+  EXPECT_FALSE(d.SetGroups({0, -1}).ok());
+  EXPECT_FALSE(d.SetWeights({1.0, -0.5}).ok());
+}
+
+TEST(DatasetTest, ColumnByName) {
+  Dataset d = SmallDataset();
+  ASSERT_TRUE(d.ColumnByName("age").ok());
+  EXPECT_FALSE(d.ColumnByName("zzz").ok());
+}
+
+TEST(DatasetTest, NumericMatrixSelectsNumericOnly) {
+  Matrix m = SmallDataset().NumericMatrix();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 45.0);
+}
+
+TEST(DatasetTest, SubsetCarriesEverything) {
+  Dataset d = SmallDataset();
+  ASSERT_TRUE(d.SetWeights({1, 2, 3, 4}).ok());
+  Dataset s = d.Subset({3, 1});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.labels(), (std::vector<int>{1, 1}));
+  EXPECT_EQ(s.groups(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(s.weights(), (std::vector<double>{4, 2}));
+  EXPECT_DOUBLE_EQ(s.column(0).numeric_values()[0], 55.0);
+}
+
+TEST(DatasetTest, CellAndGroupCounts) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.GroupCount(0), 2u);
+  EXPECT_EQ(d.GroupCount(1), 2u);
+  EXPECT_EQ(d.LabelCount(1), 2u);
+  EXPECT_EQ(d.CellCount(0, 0), 1u);
+  EXPECT_EQ(d.CellCount(1, 1), 1u);
+  EXPECT_EQ(d.CellIndices(0, 1), (std::vector<size_t>{1}));
+  EXPECT_EQ(d.GroupIndices(1), (std::vector<size_t>{2, 3}));
+}
+
+TEST(DatasetTest, ResetWeights) {
+  Dataset d = SmallDataset();
+  ASSERT_TRUE(d.SetWeights({2, 2, 2, 2}).ok());
+  d.ResetWeights();
+  EXPECT_EQ(d.weights(), (std::vector<double>{1, 1, 1, 1}));
+}
+
+TEST(DatasetTest, ConcatMatchingSchemas) {
+  Dataset a = SmallDataset();
+  Dataset b = SmallDataset();
+  Result<Dataset> c = Dataset::Concat(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 8u);
+  EXPECT_EQ(c->labels().size(), 8u);
+  EXPECT_EQ(c->GroupCount(1), 4u);
+}
+
+TEST(DatasetTest, ConcatSchemaMismatchFails) {
+  Dataset a = SmallDataset();
+  Dataset b;
+  ASSERT_TRUE(b.AddNumericColumn("other", {1.0}).ok());
+  ASSERT_TRUE(b.SetLabels({0}, 2).ok());
+  EXPECT_FALSE(Dataset::Concat(a, b).ok());
+}
+
+// --------------------------------------------------------------- Encoder
+
+TEST(EncoderTest, ShapeAndNames) {
+  Dataset d = SmallDataset();
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->encoded_dim(), 1u + 3u);  // 1 numeric + 3 one-hot
+  EXPECT_EQ(enc->encoded_names()[0], "age");
+  EXPECT_EQ(enc->encoded_names()[1], "job=0");
+}
+
+TEST(EncoderTest, ZScoresNumericWithTrainStats) {
+  Dataset d = SmallDataset();
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  Result<Matrix> x = enc->Transform(d);
+  ASSERT_TRUE(x.ok());
+  // age mean 40, population std sqrt(125).
+  double sd = std::sqrt(125.0);
+  EXPECT_NEAR(x->At(0, 0), (25.0 - 40.0) / sd, 1e-12);
+  EXPECT_NEAR(x->At(3, 0), (55.0 - 40.0) / sd, 1e-12);
+}
+
+TEST(EncoderTest, OneHotIsExclusive) {
+  Dataset d = SmallDataset();
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  Result<Matrix> x = enc->Transform(d);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < d.size(); ++i) {
+    double sum = x->At(i, 1) + x->At(i, 2) + x->At(i, 3);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(x->At(2, 3), 1.0);  // job=2 for row 2
+}
+
+TEST(EncoderTest, ConstantColumnCenteredNotScaled) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("c", {5, 5, 5}).ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  Dataset serve;
+  ASSERT_TRUE(serve.AddNumericColumn("c", {7.0}).ok());
+  Result<Matrix> x = enc->Transform(serve);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x->At(0, 0), 2.0);
+}
+
+TEST(EncoderTest, SchemaMismatchRejected) {
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(SmallDataset());
+  ASSERT_TRUE(enc.ok());
+  Dataset other;
+  ASSERT_TRUE(other.AddNumericColumn("age", {1.0}).ok());
+  EXPECT_FALSE(enc->Transform(other).ok());
+}
+
+TEST(EncoderTest, EmptyDatasetRejected) {
+  EXPECT_FALSE(FeatureEncoder::Fit(Dataset()).ok());
+}
+
+// ----------------------------------------------------------------- Split
+
+TEST(SplitTest, FractionsRespected) {
+  Dataset d;
+  std::vector<double> xs(1000);
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  ASSERT_TRUE(d.AddNumericColumn("x", xs).ok());
+  Rng rng(1);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng, 0.7, 0.15);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 700u);
+  EXPECT_EQ(split->val.size(), 150u);
+  EXPECT_EQ(split->test.size(), 150u);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  Dataset d;
+  std::vector<double> xs(200);
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  ASSERT_TRUE(d.AddNumericColumn("x", xs).ok());
+  Rng rng(2);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng, 0.5, 0.25);
+  ASSERT_TRUE(split.ok());
+  std::multiset<double> seen;
+  for (const Dataset* part :
+       {&split->train, &split->val, &split->test}) {
+    for (double v : part->column(0).numeric_values()) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 200u);
+  std::set<double> distinct(seen.begin(), seen.end());
+  EXPECT_EQ(distinct.size(), 200u);  // no duplicates across splits
+}
+
+TEST(SplitTest, InvalidFractionsRejected) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2, 3}).ok());
+  Rng rng(3);
+  EXPECT_FALSE(SplitTrainValTest(d, &rng, 0.0, 0.1).ok());
+  EXPECT_FALSE(SplitTrainValTest(d, &rng, 0.9, 0.2).ok());
+  EXPECT_FALSE(SplitTrainValTest(Dataset(), &rng).ok());
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  Dataset d;
+  std::vector<double> xs(100);
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  ASSERT_TRUE(d.AddNumericColumn("x", xs).ok());
+  Rng r1(7);
+  Rng r2(7);
+  Result<TrainValTest> a = SplitTrainValTest(d, &r1);
+  Result<TrainValTest> b = SplitTrainValTest(d, &r2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->train.column(0).numeric_values(),
+            b->train.column(0).numeric_values());
+}
+
+// -------------------------------------------------------------- Sampling
+
+TEST(SamplingTest, WeightedResampleFavorsHeavyTuples) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {0.0, 1.0}).ok());
+  ASSERT_TRUE(d.SetWeights({1.0, 9.0}).ok());
+  Rng rng(4);
+  Result<Dataset> r = WeightedResample(d, &rng, 10000);
+  ASSERT_TRUE(r.ok());
+  double mean = Mean(r->column(0).numeric_values());
+  EXPECT_NEAR(mean, 0.9, 0.02);
+  EXPECT_EQ(r->weights()[0], 1.0);  // weights reset after resampling
+}
+
+TEST(SamplingTest, ZeroWeightsRejected) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1.0}).ok());
+  ASSERT_TRUE(d.SetWeights({0.0}).ok());
+  Rng rng(5);
+  EXPECT_FALSE(WeightedResample(d, &rng).ok());
+  EXPECT_FALSE(ExpandByWeight(d).ok());
+}
+
+TEST(SamplingTest, ExpandByWeightReplicatesProportionally) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {0.0, 1.0, 2.0}).ok());
+  ASSERT_TRUE(d.SetWeights({1.0, 3.0, 0.0}).ok());
+  Result<Dataset> r = ExpandByWeight(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);  // 1 + 3 + 0 copies
+  int count_one = 0;
+  for (double v : r->column(0).numeric_values()) {
+    if (v == 1.0) ++count_one;
+    EXPECT_NE(v, 2.0);  // zero-weight tuple dropped
+  }
+  EXPECT_EQ(count_one, 3);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  Dataset d = SmallDataset();
+  ASSERT_TRUE(d.SetWeights({1.0, 2.0, 0.5, 1.5}).ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "fairdrift_test.csv").string();
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  Result<Dataset> r = ReadCsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ(r->labels(), d.labels());
+  EXPECT_EQ(r->groups(), d.groups());
+  EXPECT_EQ(r->weights(), d.weights());
+  EXPECT_EQ(r->column(0).numeric_values(), d.column(0).numeric_values());
+  EXPECT_EQ(r->column(1).codes(), d.column(1).codes());
+  EXPECT_FALSE(r->column(1).is_numeric());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv").ok());
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "fairdrift_ragged.csv")
+          .string();
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("a,b\n1,2\n3\n", f);
+  fclose(f);
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadNumberFails) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "fairdrift_bad.csv").string();
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("a\nnot_a_number\n", f);
+  fclose(f);
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fairdrift

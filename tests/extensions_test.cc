@@ -1,0 +1,583 @@
+// Tests for the extension modules: violation explanations, the
+// CC-weighted soft ensemble (the paper's suggested DIFFAIR augmentation),
+// subpopulation audits, calibration diagnostics, and multi-group support.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cc/explain.h"
+#include "core/confair.h"
+#include "core/diffair.h"
+#include "core/ensemble.h"
+#include "data/split.h"
+#include "datagen/drift.h"
+#include "fairness/intersectional.h"
+#include "ml/calibration.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+// ---------------------------------------------------------------- explain
+
+ConstraintSet TwoConstraintSet() {
+  ConformanceConstraint tight;
+  tight.projection.coeffs = {1.0, 0.0};
+  tight.lower_bound = 0.0;
+  tight.upper_bound = 1.0;
+  tight.stddev = 0.5;
+  tight.importance = 3.0;
+  ConformanceConstraint loose;
+  loose.projection.coeffs = {0.0, 1.0};
+  loose.lower_bound = -10.0;
+  loose.upper_bound = 10.0;
+  loose.stddev = 5.0;
+  loose.importance = 1.0;
+  return ConstraintSet::Create({tight, loose}).value();
+}
+
+TEST(ExplainTest, ContributionsSumToTotalViolation) {
+  ConstraintSet set = TwoConstraintSet();
+  std::vector<double> row = {2.0, 20.0};  // violates both
+  std::vector<ViolationContribution> contribs = ExplainViolation(set, row);
+  ASSERT_EQ(contribs.size(), 2u);
+  double total = 0.0;
+  for (const auto& c : contribs) total += c.weighted;
+  EXPECT_NEAR(total, set.Violation(row), 1e-12);
+}
+
+TEST(ExplainTest, SortedByWeightedContribution) {
+  ConstraintSet set = TwoConstraintSet();
+  std::vector<ViolationContribution> contribs =
+      ExplainViolation(set, {5.0, 10.5});
+  ASSERT_EQ(contribs.size(), 2u);
+  EXPECT_GE(contribs[0].weighted, contribs[1].weighted);
+  // The tight, important constraint dominates.
+  EXPECT_EQ(contribs[0].constraint_index, 0u);
+}
+
+TEST(ExplainTest, ConformingTupleReportsZero) {
+  ConstraintSet set = TwoConstraintSet();
+  std::vector<ViolationContribution> contribs =
+      ExplainViolation(set, {0.5, 0.0});
+  for (const auto& c : contribs) {
+    EXPECT_DOUBLE_EQ(c.weighted, 0.0);
+    EXPECT_DOUBLE_EQ(c.distance, 0.0);
+  }
+  std::string report = ExplainViolationReport(set, {0.5, 0.0});
+  EXPECT_NE(report.find("conforms"), std::string::npos);
+}
+
+TEST(ExplainTest, ReportNamesAttributesAndBounds) {
+  ConstraintSet set = TwoConstraintSet();
+  std::string report =
+      ExplainViolationReport(set, {2.0, 0.0}, {"income", "age"});
+  EXPECT_NE(report.find("income"), std::string::npos);
+  EXPECT_NE(report.find("drifts"), std::string::npos);
+  std::string desc = DescribeConstraintSet(set, {"income", "age"});
+  EXPECT_NE(desc.find("[1]"), std::string::npos);
+  EXPECT_NE(desc.find("age"), std::string::npos);
+}
+
+// ------------------------------------------------------------ SignedMargin
+
+TEST(SignedMarginTest, NegativeInsidePositiveOutside) {
+  ConstraintSet set = TwoConstraintSet();
+  EXPECT_LT(set.SignedMargin({0.5, 0.0}), 0.0);   // deep inside
+  EXPECT_GT(set.SignedMargin({3.0, 0.0}), 0.0);   // outside the tight one
+}
+
+TEST(SignedMarginTest, DeeperInsideIsMoreNegative) {
+  ConstraintSet set = TwoConstraintSet();
+  double center = set.SignedMargin({0.5, 0.0});
+  double near_edge = set.SignedMargin({0.95, 0.0});
+  EXPECT_LT(center, near_edge);
+}
+
+TEST(SignedMarginTest, AgreesWithViolationOrderingOutside) {
+  ConstraintSet set = TwoConstraintSet();
+  std::vector<double> a = {1.5, 0.0};
+  std::vector<double> b = {4.0, 0.0};
+  EXPECT_LT(set.Violation(a), set.Violation(b));
+  EXPECT_LT(set.SignedMargin(a), set.SignedMargin(b));
+}
+
+// ---------------------------------------------------------------- ensemble
+
+TEST(CcEnsembleTest, WeightsAreDistributions) {
+  Result<Dataset> data = MakeDriftDataset(DriftSpec{});
+  ASSERT_TRUE(data.ok());
+  Rng rng(130);
+  Result<TrainValTest> split = SplitTrainValTest(*data, &rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  Result<CcEnsembleModel> model = CcEnsembleModel::Train(
+      split->train, split->val, lr, enc.value(), {});
+  ASSERT_TRUE(model.ok());
+  Result<Matrix> weights = model->Weights(split->test);
+  ASSERT_TRUE(weights.ok());
+  for (size_t i = 0; i < weights->rows(); ++i) {
+    double sum = 0.0;
+    for (size_t g = 0; g < weights->cols(); ++g) {
+      double w = weights->At(i, g);
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CcEnsembleTest, LowTemperatureApproachesHardRouting) {
+  Result<Dataset> data = MakeDriftDataset(DriftSpec{});
+  ASSERT_TRUE(data.ok());
+  Rng rng(131);
+  Result<TrainValTest> split = SplitTrainValTest(*data, &rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+
+  CcEnsembleOptions cold;
+  cold.temperature = 0.01;
+  Result<CcEnsembleModel> ensemble = CcEnsembleModel::Train(
+      split->train, split->val, lr, enc.value(), cold);
+  ASSERT_TRUE(ensemble.ok());
+  Result<DiffairModel> hard =
+      DiffairModel::Train(split->train, split->val, lr, enc.value(), {});
+  ASSERT_TRUE(hard.ok());
+
+  // At low temperature the argmax ensemble weight must coincide with hard
+  // routing nearly everywhere (exact ties at the routing boundary aside),
+  // and the typical probability difference must vanish.
+  Result<Matrix> weights = ensemble->Weights(split->test);
+  Result<std::vector<int>> route = hard->Route(split->test);
+  ASSERT_TRUE(weights.ok() && route.ok());
+  size_t agree = 0;
+  for (size_t i = 0; i < weights->rows(); ++i) {
+    int argmax = weights->At(i, 0) >= weights->At(i, 1) ? 0 : 1;
+    if (argmax == route.value()[i]) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) /
+                static_cast<double>(weights->rows()),
+            0.99);
+
+  Result<std::vector<double>> pe = ensemble->PredictProba(split->test);
+  Result<std::vector<double>> ph = hard->PredictProba(split->test);
+  ASSERT_TRUE(pe.ok() && ph.ok());
+  std::vector<double> diffs(pe->size());
+  for (size_t i = 0; i < pe->size(); ++i) {
+    diffs[i] = std::fabs(pe.value()[i] - ph.value()[i]);
+  }
+  std::sort(diffs.begin(), diffs.end());
+  EXPECT_LT(diffs[diffs.size() / 2], 1e-3);          // median: identical
+  EXPECT_LT(diffs[diffs.size() * 95 / 100], 0.05);   // 95th pct: tiny
+}
+
+TEST(CcEnsembleTest, HighTemperatureApproachesUniformBlend) {
+  Result<Dataset> data = MakeDriftDataset(DriftSpec{});
+  ASSERT_TRUE(data.ok());
+  Rng rng(132);
+  Result<TrainValTest> split = SplitTrainValTest(*data, &rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  CcEnsembleOptions hot;
+  hot.temperature = 1e5;
+  Result<CcEnsembleModel> model = CcEnsembleModel::Train(
+      split->train, split->val, lr, enc.value(), hot);
+  ASSERT_TRUE(model.ok());
+  Result<Matrix> weights = model->Weights(split->test);
+  ASSERT_TRUE(weights.ok());
+  for (size_t i = 0; i < std::min<size_t>(weights->rows(), 50); ++i) {
+    EXPECT_NEAR(weights->At(i, 0), 0.5, 0.01);
+    EXPECT_NEAR(weights->At(i, 1), 0.5, 0.01);
+  }
+}
+
+TEST(CcEnsembleTest, ValidatesInputs) {
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", {1, 2}).ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  EXPECT_FALSE(CcEnsembleModel::Train(d, Dataset(), lr, enc.value(), {}).ok());
+  Dataset labeled = d;
+  ASSERT_TRUE(labeled.SetLabels({0, 1}, 2).ok());
+  ASSERT_TRUE(labeled.SetGroups({0, 1}).ok());
+  CcEnsembleOptions bad;
+  bad.temperature = 0.0;
+  EXPECT_FALSE(
+      CcEnsembleModel::Train(labeled, Dataset(), lr, enc.value(), bad).ok());
+}
+
+// ------------------------------------------------------------ multi-group
+
+TEST(MultiGroupTest, DiffairHandlesThreeGroups) {
+  // Three groups with three distinct trends and offsets.
+  Rng rng(133);
+  size_t n = 3000;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  const double dirs[3][2] = {{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}};
+  for (size_t i = 0; i < n; ++i) {
+    int g = static_cast<int>(i % 3);
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    double side = y == 1 ? 1.0 : -1.0;
+    x.At(i, 0) = centers[g][0] + side * dirs[g][0] + 0.7 * rng.Gaussian();
+    x.At(i, 1) = centers[g][1] + side * dirs[g][1] + 0.7 * rng.Gaussian();
+    labels[i] = y;
+    groups[i] = g;
+  }
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x1", x.Col(0)).ok());
+  ASSERT_TRUE(d.AddNumericColumn("x2", x.Col(1)).ok());
+  ASSERT_TRUE(d.SetLabels(labels, 2).ok());
+  ASSERT_TRUE(d.SetGroups(groups).ok());
+  EXPECT_EQ(d.num_groups(), 3);
+
+  Rng rng2(134);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng2);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  Result<DiffairModel> model =
+      DiffairModel::Train(split->train, split->val, lr, enc.value(), {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_groups(), 3);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_NE(model->group_model(g), nullptr);
+  }
+
+  // Well-separated groups: routing should recover membership and the
+  // per-group models should classify accurately.
+  Result<std::vector<int>> route = model->Route(split->test);
+  Result<std::vector<int>> pred = model->Predict(split->test);
+  ASSERT_TRUE(route.ok() && pred.ok());
+  double route_hits = 0.0;
+  double pred_hits = 0.0;
+  for (size_t i = 0; i < split->test.size(); ++i) {
+    if (route.value()[i] == split->test.groups()[i]) route_hits += 1.0;
+    if (pred.value()[i] == split->test.labels()[i]) pred_hits += 1.0;
+  }
+  double nt = static_cast<double>(split->test.size());
+  EXPECT_GT(route_hits / nt, 0.85);
+  EXPECT_GT(pred_hits / nt, 0.8);
+}
+
+// Three groups sharing one trend but with skewed label rates: group 0
+// skews positive (60%), group 1 40%, group 2 only 20%. Labels follow a
+// common linear trend so a single model is learnable; the skew is what a
+// DI intervention must correct.
+Dataset ThreeGroupSkewedData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1(n), x2(n);
+  std::vector<int> labels(n), groups(n);
+  const double pos_rate[3] = {0.6, 0.4, 0.2};
+  for (size_t i = 0; i < n; ++i) {
+    int g = static_cast<int>(i % 3);
+    int y = rng.Bernoulli(pos_rate[g]) ? 1 : 0;
+    double side = y == 1 ? 1.0 : -1.0;
+    x1[i] = side + 0.9 * rng.Gaussian();
+    x2[i] = 0.5 * side + 0.9 * rng.Gaussian() + 0.3 * g;
+    labels[i] = y;
+    groups[i] = g;
+  }
+  Dataset d;
+  EXPECT_TRUE(d.AddNumericColumn("x1", std::move(x1)).ok());
+  EXPECT_TRUE(d.AddNumericColumn("x2", std::move(x2)).ok());
+  EXPECT_TRUE(d.SetLabels(labels, 2).ok());
+  EXPECT_TRUE(d.SetGroups(groups).ok());
+  return d;
+}
+
+TEST(MultiGroupConfairTest, PlanBoostsReferenceAndUnderSelected) {
+  Dataset d = ThreeGroupSkewedData(3000, 211);
+  Result<std::vector<ConfairBoostCell>> plan =
+      PlanBoostsMultiGroup(d, /*alpha_u=*/2.0, /*alpha_w=*/1.0);
+  ASSERT_TRUE(plan.ok());
+  // Group 0 has the highest positive rate: its negative cell is the only
+  // boosted cell for it; groups 1 and 2 get positive-cell boosts.
+  ASSERT_EQ(plan->size(), 3u);
+  EXPECT_EQ((*plan)[0].group, 1);
+  EXPECT_EQ((*plan)[0].label, 1);
+  EXPECT_DOUBLE_EQ((*plan)[0].alpha, 2.0);
+  EXPECT_EQ((*plan)[1].group, 2);
+  EXPECT_EQ((*plan)[1].label, 1);
+  EXPECT_EQ((*plan)[2].group, 0);
+  EXPECT_EQ((*plan)[2].label, 0);
+  EXPECT_DOUBLE_EQ((*plan)[2].alpha, 1.0);
+}
+
+TEST(MultiGroupConfairTest, ReducesToBinaryPlanOnTwoGroups) {
+  // Minority (group 1) skews negative: the binary DI plan boosts
+  // minority-positive with alpha_u and majority-negative with alpha_w.
+  Rng rng(212);
+  size_t n = 2000;
+  std::vector<double> x(n);
+  std::vector<int> labels(n), groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = i % 4 == 0 ? kMinorityGroup : kMajorityGroup;
+    double rate = g == kMinorityGroup ? 0.2 : 0.5;
+    int y = rng.Bernoulli(rate) ? 1 : 0;
+    x[i] = (y == 1 ? 1.0 : -1.0) + rng.Gaussian();
+    labels[i] = y;
+    groups[i] = g;
+  }
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(d.SetLabels(labels, 2).ok());
+  ASSERT_TRUE(d.SetGroups(groups).ok());
+
+  Result<ConfairBoostPlan> binary =
+      PlanBoosts(d, FairnessObjective::kDisparateImpact);
+  Result<std::vector<ConfairBoostCell>> multi =
+      PlanBoostsMultiGroup(d, 2.0, 1.0);
+  ASSERT_TRUE(binary.ok() && multi.ok());
+  ASSERT_EQ(multi->size(), 2u);
+  EXPECT_EQ((*multi)[0].group, binary->primary_group);
+  EXPECT_EQ((*multi)[0].label, binary->primary_label);
+  EXPECT_EQ((*multi)[1].group, binary->secondary_group);
+  EXPECT_EQ((*multi)[1].label, binary->secondary_label);
+
+  // And the weight vectors agree tuple-for-tuple.
+  ConfairOptions opts;
+  opts.alpha_u = 2.0;
+  opts.alpha_w = 1.0;
+  Result<ConfairWeights> bw = ComputeConfairWeights(d, opts);
+  Result<ConfairMultiWeights> mw =
+      ComputeConfairWeightsMultiGroup(d, multi.value(), opts.profile);
+  ASSERT_TRUE(bw.ok() && mw.ok());
+  ASSERT_EQ(bw->weights.size(), mw->weights.size());
+  for (size_t i = 0; i < bw->weights.size(); ++i) {
+    EXPECT_NEAR(bw->weights[i], mw->weights[i], 1e-12) << "tuple " << i;
+  }
+  EXPECT_EQ(mw->boosted_per_cell[0], bw->boosted_primary);
+  EXPECT_EQ(mw->boosted_per_cell[1], bw->boosted_secondary);
+}
+
+TEST(MultiGroupConfairTest, BoostsOnlyConformingTuplesOfRequestedCells) {
+  Dataset d = ThreeGroupSkewedData(3000, 213);
+  std::vector<ConfairBoostCell> cells = {{2, 1, 3.0}};
+  Result<ConfairMultiWeights> w =
+      ComputeConfairWeightsMultiGroup(d, cells, {});
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->boosted_per_cell.size(), 1u);
+  EXPECT_GT(w->boosted_per_cell[0], 0u);
+  EXPECT_LT(w->boosted_per_cell[0], d.CellCount(2, 1));  // only the core
+  // The skew-balancing term is bounded by ~2 on this data while the boost
+  // adds 3, so weight > 2.9 identifies boosted tuples exactly — and every
+  // one of them must live inside cell (2, 1).
+  size_t heavy = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (w->weights[i] > 2.9) {
+      ++heavy;
+      EXPECT_EQ(d.groups()[i], 2);
+      EXPECT_EQ(d.labels()[i], 1);
+    }
+  }
+  EXPECT_EQ(heavy, w->boosted_per_cell[0]);
+}
+
+TEST(MultiGroupConfairTest, ImprovesWorstPairParityOnThreeGroups) {
+  Dataset d = ThreeGroupSkewedData(6000, 214);
+  Rng rng(215);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng);
+  ASSERT_TRUE(split.ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(split->train);
+  ASSERT_TRUE(enc.ok());
+
+  auto selection_rates = [&](const std::vector<double>& weights) {
+    Dataset train = split->train;
+    if (!weights.empty()) {
+      EXPECT_TRUE(train.SetWeights(weights).ok());
+    }
+    Result<Matrix> xtr = enc->Transform(train);
+    EXPECT_TRUE(xtr.ok());
+    LogisticRegression lr;
+    EXPECT_TRUE(lr.Fit(xtr.value(), train.labels(), train.weights()).ok());
+    Result<Matrix> xte = enc->Transform(split->test);
+    EXPECT_TRUE(xte.ok());
+    Result<std::vector<int>> pred = lr.Predict(xte.value());
+    EXPECT_TRUE(pred.ok());
+    std::vector<double> selected(3, 0.0), count(3, 0.0);
+    for (size_t i = 0; i < split->test.size(); ++i) {
+      int g = split->test.groups()[i];
+      count[g] += 1.0;
+      selected[g] += pred.value()[i];
+    }
+    std::vector<double> rates(3);
+    for (int g = 0; g < 3; ++g) rates[g] = selected[g] / count[g];
+    return rates;
+  };
+  auto worst_pair_di = [](const std::vector<double>& rates) {
+    double worst = 1.0;
+    for (size_t a = 0; a < rates.size(); ++a) {
+      for (size_t b = 0; b < rates.size(); ++b) {
+        if (rates[b] > 0.0) {
+          worst = std::min(worst, rates[a] / rates[b]);
+        }
+      }
+    }
+    return worst;
+  };
+
+  double base_di = worst_pair_di(selection_rates({}));
+  Result<std::vector<ConfairBoostCell>> plan =
+      PlanBoostsMultiGroup(split->train, 3.0, 1.5);
+  ASSERT_TRUE(plan.ok());
+  Result<ConfairMultiWeights> w =
+      ComputeConfairWeightsMultiGroup(split->train, plan.value(), {});
+  ASSERT_TRUE(w.ok());
+  double fair_di = worst_pair_di(selection_rates(w->weights));
+  EXPECT_GT(fair_di, base_di);
+}
+
+TEST(MultiGroupConfairTest, ValidatesCells) {
+  Dataset d = ThreeGroupSkewedData(300, 216);
+  EXPECT_FALSE(
+      ComputeConfairWeightsMultiGroup(d, {{5, 1, 1.0}}, {}).ok());
+  EXPECT_FALSE(
+      ComputeConfairWeightsMultiGroup(d, {{0, 7, 1.0}}, {}).ok());
+  EXPECT_FALSE(
+      ComputeConfairWeightsMultiGroup(d, {{0, 1, -1.0}}, {}).ok());
+  Dataset no_groups;
+  ASSERT_TRUE(no_groups.AddNumericColumn("x", {1.0, 2.0}).ok());
+  ASSERT_TRUE(no_groups.SetLabels({0, 1}, 2).ok());
+  EXPECT_FALSE(ComputeConfairWeightsMultiGroup(no_groups, {}, {}).ok());
+  EXPECT_FALSE(PlanBoostsMultiGroup(no_groups, 1.0, 1.0).ok());
+}
+
+// ----------------------------------------------------------- intersection
+
+TEST(IntersectionalTest, AuditHandCounted) {
+  // Subgroup 0: selected 2/2; subgroup 1: selected 0/2.
+  std::vector<int> y_true = {1, 0, 1, 0};
+  std::vector<int> y_pred = {1, 1, 0, 0};
+  std::vector<int> sub = {0, 0, 1, 1};
+  Result<SubgroupAudit> audit = AuditSubgroups(y_true, y_pred, sub, 1);
+  ASSERT_TRUE(audit.ok());
+  ASSERT_EQ(audit->subgroups.size(), 2u);
+  EXPECT_DOUBLE_EQ(audit->subgroups[0].SelectionRate(), 1.0);
+  EXPECT_DOUBLE_EQ(audit->subgroups[1].SelectionRate(), 0.0);
+  EXPECT_DOUBLE_EQ(audit->worst_pair_di, 0.0);
+  EXPECT_DOUBLE_EQ(audit->worst_pair_tpr_gap, 1.0);
+  EXPECT_DOUBLE_EQ(audit->worst_pair_fpr_gap, 1.0);
+}
+
+TEST(IntersectionalTest, ParityScoresOne) {
+  std::vector<int> y_true = {1, 0, 1, 0};
+  std::vector<int> y_pred = {1, 0, 1, 0};
+  std::vector<int> sub = {0, 0, 1, 1};
+  Result<SubgroupAudit> audit = AuditSubgroups(y_true, y_pred, sub, 1);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_DOUBLE_EQ(audit->worst_pair_di, 1.0);
+  EXPECT_DOUBLE_EQ(audit->worst_pair_tpr_gap, 0.0);
+}
+
+TEST(IntersectionalTest, SmallSubgroupsExcludedFromPairs) {
+  std::vector<int> y_true = {1, 0, 1, 0, 1};
+  std::vector<int> y_pred = {1, 0, 1, 0, 0};
+  std::vector<int> sub = {0, 0, 0, 0, 7};  // subgroup 7 has n=1
+  Result<SubgroupAudit> audit = AuditSubgroups(y_true, y_pred, sub, 2);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->subgroups.size(), 2u);  // still listed
+  EXPECT_DOUBLE_EQ(audit->worst_pair_di, 1.0);  // but not compared
+}
+
+TEST(IntersectionalTest, CrossPartition) {
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 1, 0, 1};
+  Result<std::vector<int>> cross = CrossPartition(a, b);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(*cross, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_FALSE(CrossPartition({0}, {0, 1}).ok());
+  EXPECT_FALSE(CrossPartition({-1}, {0}).ok());
+}
+
+TEST(IntersectionalTest, FormatIncludesRates) {
+  Result<SubgroupAudit> audit =
+      AuditSubgroups({1, 0}, {1, 0}, {0, 1}, 1);
+  ASSERT_TRUE(audit.ok());
+  std::string s = FormatSubgroupAudit(*audit);
+  EXPECT_NE(s.find("worst-pair DI*"), std::string::npos);
+  EXPECT_NE(s.find("SelRate"), std::string::npos);
+}
+
+TEST(IntersectionalTest, ValidatesInput) {
+  EXPECT_FALSE(AuditSubgroups({}, {}, {}).ok());
+  EXPECT_FALSE(AuditSubgroups({1}, {1}, {0, 1}).ok());
+  EXPECT_FALSE(AuditSubgroups({1}, {1}, {-2}).ok());
+  EXPECT_FALSE(AuditSubgroups({2}, {1}, {0}).ok());
+}
+
+// ------------------------------------------------------------- calibration
+
+TEST(CalibrationTest, PerfectPredictionsZeroError) {
+  std::vector<int> y = {1, 1, 0, 0};
+  std::vector<double> p = {1.0, 1.0, 0.0, 0.0};
+  EXPECT_NEAR(BrierScore(y, p).value(), 0.0, 1e-12);
+  EXPECT_NEAR(ExpectedCalibrationError(y, p).value(), 0.0, 1e-12);
+}
+
+TEST(CalibrationTest, BrierHandComputed) {
+  std::vector<int> y = {1, 0};
+  std::vector<double> p = {0.8, 0.3};
+  // ((0.8-1)^2 + (0.3-0)^2) / 2 = (0.04 + 0.09) / 2 = 0.065.
+  EXPECT_NEAR(BrierScore(y, p).value(), 0.065, 1e-12);
+}
+
+TEST(CalibrationTest, ReliabilityBinsPartitionData) {
+  Rng rng(135);
+  std::vector<int> y;
+  std::vector<double> p;
+  for (int i = 0; i < 1000; ++i) {
+    double prob = rng.Uniform();
+    p.push_back(prob);
+    y.push_back(rng.Bernoulli(prob) ? 1 : 0);
+  }
+  Result<std::vector<ReliabilityBin>> bins = ReliabilityCurve(y, p, 10);
+  ASSERT_TRUE(bins.ok());
+  size_t total = 0;
+  for (const ReliabilityBin& bin : bins.value()) {
+    total += bin.count;
+    if (bin.count >= 50) {
+      // Simulated probabilities are perfectly calibrated.
+      EXPECT_NEAR(bin.observed_rate, bin.mean_predicted, 0.12);
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_LT(ExpectedCalibrationError(y, p).value(), 0.08);
+}
+
+TEST(CalibrationTest, MiscalibratedDetected) {
+  // Always predicting 0.9 for a 50% process.
+  Rng rng(136);
+  std::vector<int> y;
+  std::vector<double> p;
+  for (int i = 0; i < 500; ++i) {
+    y.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    p.push_back(0.9);
+  }
+  EXPECT_GT(ExpectedCalibrationError(y, p).value(), 0.3);
+  EXPECT_GT(BrierScore(y, p).value(), 0.3);
+}
+
+TEST(CalibrationTest, ValidatesInput) {
+  EXPECT_FALSE(ReliabilityCurve({}, {}).ok());
+  EXPECT_FALSE(ReliabilityCurve({1}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(ReliabilityCurve({1}, {0.5}, 1).ok());
+  EXPECT_FALSE(BrierScore({1}, {}).ok());
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,188 @@
+// Unit tests for the fairness metrics layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairness/group_stats.h"
+#include "fairness/metrics.h"
+#include "fairness/report.h"
+
+namespace fairdrift {
+namespace {
+
+/// A hand-constructed evaluation:
+///   majority (g=0): 4 tuples, y_true = {1,1,0,0}, y_pred = {1,1,1,0}
+///     -> TP=2 FN=0 FP=1 TN=1; SR=0.75, TPR=1, FPR=0.5
+///   minority (g=1): 4 tuples, y_true = {1,1,0,0}, y_pred = {1,0,0,0}
+///     -> TP=1 FN=1 FP=0 TN=2; SR=0.25, TPR=0.5, FPR=0
+struct Fixture {
+  std::vector<int> y_true = {1, 1, 0, 0, 1, 1, 0, 0};
+  std::vector<int> y_pred = {1, 1, 1, 0, 1, 0, 0, 0};
+  std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+};
+
+TEST(GroupStatsTest, HandCountedCells) {
+  Fixture f;
+  Result<GroupedPredictionStats> s =
+      ComputeGroupStats(f.y_true, f.y_pred, f.groups);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->majority.size, 4u);
+  EXPECT_EQ(s->minority.size, 4u);
+  EXPECT_DOUBLE_EQ(s->majority.counts.tp, 2.0);
+  EXPECT_DOUBLE_EQ(s->majority.counts.fp, 1.0);
+  EXPECT_DOUBLE_EQ(s->minority.counts.fn, 1.0);
+  EXPECT_DOUBLE_EQ(s->minority.counts.tn, 2.0);
+  EXPECT_DOUBLE_EQ(s->majority.SelectionRate(), 0.75);
+  EXPECT_DOUBLE_EQ(s->minority.SelectionRate(), 0.25);
+  EXPECT_DOUBLE_EQ(s->overall.total(), 8.0);
+}
+
+TEST(GroupStatsTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputeGroupStats({}, {}, {}).ok());
+  EXPECT_FALSE(ComputeGroupStats({1}, {1}, {0, 1}).ok());
+  EXPECT_FALSE(ComputeGroupStats({2}, {1}, {0}).ok());
+}
+
+TEST(GroupStatsTest, OtherGroupsCountOnlyOverall) {
+  Result<GroupedPredictionStats> s =
+      ComputeGroupStats({1, 1}, {1, 1}, {0, 5});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->majority.size, 1u);
+  EXPECT_EQ(s->minority.size, 0u);
+  EXPECT_DOUBLE_EQ(s->overall.tp, 2.0);
+}
+
+TEST(FairnessMetricsTest, DisparateImpactHandComputed) {
+  Fixture f;
+  GroupedPredictionStats s =
+      ComputeGroupStats(f.y_true, f.y_pred, f.groups).value();
+  EXPECT_NEAR(DisparateImpact(s), 0.25 / 0.75, 1e-12);
+  EXPECT_NEAR(DisparateImpactStar(s), 1.0 / 3.0, 1e-12);
+  EXPECT_FALSE(FavorsMinority(s));
+}
+
+TEST(FairnessMetricsTest, DiEdgeCases) {
+  // Both selection rates zero -> parity.
+  GroupedPredictionStats s =
+      ComputeGroupStats({1, 1}, {0, 0}, {0, 1}).value();
+  EXPECT_DOUBLE_EQ(DisparateImpact(s), 1.0);
+  EXPECT_DOUBLE_EQ(DisparateImpactStar(s), 1.0);
+  // Minority selected, majority not -> DI = inf, DI* = 0.
+  GroupedPredictionStats t =
+      ComputeGroupStats({1, 1}, {0, 1}, {0, 1}).value();
+  EXPECT_TRUE(std::isinf(DisparateImpact(t)));
+  EXPECT_DOUBLE_EQ(DisparateImpactStar(t), 0.0);
+  EXPECT_TRUE(FavorsMinority(t));
+}
+
+TEST(FairnessMetricsTest, DiStarSymmetricUnderInversion) {
+  // DI = 2 and DI = 0.5 must map to the same DI*.
+  GroupedPredictionStats a =
+      ComputeGroupStats({1, 0, 1, 0}, {1, 1, 0, 0}, {1, 1, 0, 0}).value();
+  GroupedPredictionStats b =
+      ComputeGroupStats({1, 0, 1, 0}, {0, 0, 1, 1}, {1, 1, 0, 0}).value();
+  EXPECT_NEAR(DisparateImpactStar(a), DisparateImpactStar(b), 1e-12);
+}
+
+TEST(FairnessMetricsTest, AodHandComputed) {
+  Fixture f;
+  GroupedPredictionStats s =
+      ComputeGroupStats(f.y_true, f.y_pred, f.groups).value();
+  // dFPR = 0 - 0.5 = -0.5; dTPR = 0.5 - 1 = -0.5; AOD = -0.5.
+  EXPECT_NEAR(AverageOddsDifference(s), -0.5, 1e-12);
+  EXPECT_NEAR(AverageOddsDifferenceStar(s), 0.5, 1e-12);
+}
+
+TEST(FairnessMetricsTest, PerfectParityScoresOne) {
+  std::vector<int> y_true = {1, 0, 1, 0};
+  std::vector<int> y_pred = {1, 0, 1, 0};
+  std::vector<int> groups = {0, 0, 1, 1};
+  GroupedPredictionStats s =
+      ComputeGroupStats(y_true, y_pred, groups).value();
+  EXPECT_DOUBLE_EQ(DisparateImpactStar(s), 1.0);
+  EXPECT_DOUBLE_EQ(AverageOddsDifferenceStar(s), 1.0);
+}
+
+TEST(FairnessMetricsTest, ObjectiveGapsHandComputed) {
+  Fixture f;
+  GroupedPredictionStats s =
+      ComputeGroupStats(f.y_true, f.y_pred, f.groups).value();
+  EXPECT_NEAR(SelectionRateDifference(s), 0.5, 1e-12);
+  EXPECT_NEAR(EqualizedOddsFnrDifference(s), 0.5, 1e-12);  // 0.5 vs 0
+  EXPECT_NEAR(EqualizedOddsFprDifference(s), 0.5, 1e-12);  // 0 vs 0.5
+  EXPECT_NEAR(ObjectiveGap(s, FairnessObjective::kDisparateImpact), 0.5,
+              1e-12);
+  EXPECT_NEAR(ObjectiveGap(s, FairnessObjective::kEqualizedOddsFnr), 0.5,
+              1e-12);
+  EXPECT_NEAR(ObjectiveGap(s, FairnessObjective::kEqualizedOddsFpr), 0.5,
+              1e-12);
+}
+
+TEST(FairnessMetricsTest, ObjectiveNames) {
+  EXPECT_STREQ(FairnessObjectiveName(FairnessObjective::kDisparateImpact),
+               "DI");
+  EXPECT_STREQ(FairnessObjectiveName(FairnessObjective::kEqualizedOddsFnr),
+               "EO-FNR");
+  EXPECT_STREQ(FairnessObjectiveName(FairnessObjective::kEqualizedOddsFpr),
+               "EO-FPR");
+}
+
+TEST(ReportTest, FullReportFields) {
+  Fixture f;
+  Result<FairnessReport> r = EvaluateFairness(f.y_true, f.y_pred, f.groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->di_star, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r->aod_star, 0.5, 1e-12);
+  // Overall: TP=3 FN=1 FP=1 TN=3 -> TPR=0.75 TNR=0.75.
+  EXPECT_NEAR(r->balanced_accuracy, 0.75, 1e-12);
+  EXPECT_NEAR(r->accuracy, 0.75, 1e-12);
+  EXPECT_FALSE(r->degenerate);
+  EXPECT_FALSE(r->favors_minority);
+}
+
+TEST(ReportTest, DegenerateFlagOnOneClassModel) {
+  Result<FairnessReport> r =
+      EvaluateFairness({1, 0, 1, 0}, {1, 1, 1, 1}, {0, 0, 1, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->degenerate);
+  EXPECT_NEAR(r->balanced_accuracy, 0.5, 1e-12);
+}
+
+TEST(ReportTest, FormatMentionsFlags) {
+  Result<FairnessReport> r =
+      EvaluateFairness({1, 0, 1, 0}, {1, 1, 1, 1}, {0, 0, 1, 1});
+  ASSERT_TRUE(r.ok());
+  std::string s = FormatReport(*r);
+  EXPECT_NE(s.find("DEGENERATE"), std::string::npos);
+  EXPECT_NE(s.find("DI*="), std::string::npos);
+}
+
+TEST(ReportTest, AverageReportsMeansMetrics) {
+  FairnessReport a;
+  a.di_star = 0.4;
+  a.aod_star = 0.8;
+  a.balanced_accuracy = 0.7;
+  a.accuracy = 0.9;
+  FairnessReport b;
+  b.di_star = 0.6;
+  b.aod_star = 1.0;
+  b.balanced_accuracy = 0.9;
+  b.accuracy = 0.7;
+  b.degenerate = true;
+  FairnessReport avg = AverageReports({a, b});
+  EXPECT_NEAR(avg.di_star, 0.5, 1e-12);
+  EXPECT_NEAR(avg.aod_star, 0.9, 1e-12);
+  EXPECT_NEAR(avg.balanced_accuracy, 0.8, 1e-12);
+  EXPECT_NEAR(avg.accuracy, 0.8, 1e-12);
+  EXPECT_TRUE(avg.degenerate);  // flags are OR-ed
+}
+
+TEST(ReportTest, AverageOfNothingIsZeroed) {
+  FairnessReport avg = AverageReports({});
+  EXPECT_DOUBLE_EQ(avg.di_star, 0.0);
+  EXPECT_FALSE(avg.degenerate);
+}
+
+}  // namespace
+}  // namespace fairdrift

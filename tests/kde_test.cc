@@ -1,0 +1,336 @@
+// Unit tests for the KDE substrate: KD-tree, bandwidth rules, Gaussian
+// kernel density estimation, density ranking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "kde/balltree.h"
+#include "kde/bandwidth.h"
+#include "kde/kde.h"
+#include "kde/kdtree.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m.At(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+std::vector<size_t> BruteForceKnn(const Matrix& pts,
+                                  const std::vector<double>& q, size_t k) {
+  std::vector<std::pair<double, size_t>> dist;
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    dist.emplace_back(vec::SquaredDistance(pts.Row(i), q), i);
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < k && i < dist.size(); ++i) out.push_back(dist[i].second);
+  return out;
+}
+
+// ---------------------------------------------------------------- KdTree
+
+TEST(KdTreeTest, BuildRejectsEmpty) {
+  EXPECT_FALSE(KdTree::Build(Matrix()).ok());
+}
+
+TEST(KdTreeTest, NearestNeighborMatchesBruteForce) {
+  Matrix pts = RandomPoints(300, 3, 21);
+  Result<KdTree> tree = KdTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q = {rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    std::vector<size_t> got = tree->NearestNeighbors(q, 5);
+    std::vector<size_t> want = BruteForceKnn(pts, q, 5);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(KdTreeTest, KnnClampsK) {
+  Matrix pts = RandomPoints(4, 2, 23);
+  Result<KdTree> tree = KdTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NearestNeighbors({0.0, 0.0}, 100).size(), 4u);
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  Matrix pts(50, 2, 1.0);  // all identical
+  Result<KdTree> tree = KdTree::Build(pts, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NearestNeighbors({1.0, 1.0}, 3).size(), 3u);
+  std::vector<double> inv_h = {1.0, 1.0};
+  EXPECT_NEAR(tree->GaussianKernelSum({1.0, 1.0}, inv_h), 50.0, 1e-9);
+}
+
+TEST(KdTreeTest, ExactKernelSumMatchesDirectComputation) {
+  Matrix pts = RandomPoints(200, 2, 24);
+  Result<KdTree> tree = KdTree::Build(pts, 16);
+  ASSERT_TRUE(tree.ok());
+  std::vector<double> inv_h = {2.0, 0.5};
+  std::vector<double> q = {0.3, -0.2};
+  double direct = 0.0;
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    double u2 = 0.0;
+    for (size_t j = 0; j < 2; ++j) {
+      double d = (pts.At(i, j) - q[j]) * inv_h[j];
+      u2 += d * d;
+    }
+    direct += std::exp(-0.5 * u2);
+  }
+  EXPECT_NEAR(tree->GaussianKernelSum(q, inv_h, 0.0), direct, 1e-9);
+}
+
+TEST(KdTreeTest, ApproximateKernelSumWithinTolerance) {
+  Matrix pts = RandomPoints(2000, 3, 25);
+  Result<KdTree> tree = KdTree::Build(pts, 32);
+  ASSERT_TRUE(tree.ok());
+  std::vector<double> inv_h = {1.0, 1.0, 1.0};
+  std::vector<double> q = {0.0, 0.0, 0.0};
+  double exact = tree->GaussianKernelSum(q, inv_h, 0.0);
+  double approx = tree->GaussianKernelSum(q, inv_h, 1e-3);
+  // Midpoint approximation error is bounded by atol per point.
+  EXPECT_NEAR(approx, exact, 1e-3 * static_cast<double>(pts.rows()));
+}
+
+TEST(KdTreeTest, RootBoxCoversAllPoints) {
+  Matrix pts = RandomPoints(100, 2, 26);
+  Result<KdTree> tree = KdTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  const BoundingBox& box = tree->root_box();
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(pts.At(i, j), box.lo[j]);
+      EXPECT_LE(pts.At(i, j), box.hi[j]);
+    }
+  }
+}
+
+// ------------------------------------------------------------- Bandwidth
+
+TEST(BandwidthTest, ScottRuleScalesWithSigma) {
+  Rng rng(27);
+  Matrix data(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    data.At(i, 0) = rng.Gaussian(0.0, 1.0);
+    data.At(i, 1) = rng.Gaussian(0.0, 3.0);
+  }
+  std::vector<double> h = SelectBandwidth(data, BandwidthRule::kScott);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_NEAR(h[1] / h[0], 3.0, 0.4);
+  double factor = std::pow(500.0, -1.0 / 6.0);
+  EXPECT_NEAR(h[0], factor, 0.15);
+}
+
+TEST(BandwidthTest, SilvermanSmallerInHighDim) {
+  Matrix data = RandomPoints(200, 4, 28);
+  std::vector<double> scott = SelectBandwidth(data, BandwidthRule::kScott);
+  std::vector<double> silver =
+      SelectBandwidth(data, BandwidthRule::kSilverman);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_LT(silver[j], scott[j]);  // (4/(d+2))^(1/(d+4)) < 1 for d > 2
+  }
+}
+
+TEST(BandwidthTest, ConstantDimensionGetsFloor) {
+  Matrix data(100, 1, 3.0);
+  std::vector<double> h = SelectBandwidth(data, BandwidthRule::kScott);
+  EXPECT_GT(h[0], 0.0);
+}
+
+// ----------------------------------------------------------------- KDE
+
+TEST(KdeTest, FitRejectsEmpty) {
+  EXPECT_FALSE(KernelDensity::Fit(Matrix()).ok());
+}
+
+TEST(KdeTest, DensityIntegratesToOneIn1D) {
+  Rng rng(29);
+  Matrix data(400, 1);
+  for (size_t i = 0; i < 400; ++i) data.At(i, 0) = rng.Gaussian();
+  Result<KernelDensity> kde = KernelDensity::Fit(data);
+  ASSERT_TRUE(kde.ok());
+  // Trapezoid integral over [-6, 6].
+  double integral = 0.0;
+  double step = 0.05;
+  double prev = kde->Evaluate({-6.0});
+  for (double x = -6.0 + step; x <= 6.0; x += step) {
+    double cur = kde->Evaluate({x});
+    integral += 0.5 * (prev + cur) * step;
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, DensityPeaksAtDataMode) {
+  Rng rng(30);
+  Matrix data(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    data.At(i, 0) = rng.Gaussian(2.0, 0.5);
+    data.At(i, 1) = rng.Gaussian(-1.0, 0.5);
+  }
+  Result<KernelDensity> kde = KernelDensity::Fit(data);
+  ASSERT_TRUE(kde.ok());
+  double at_mode = kde->Evaluate({2.0, -1.0});
+  double far = kde->Evaluate({8.0, 5.0});
+  EXPECT_GT(at_mode, 10.0 * far);
+}
+
+TEST(KdeTest, LogDensityConsistent) {
+  Matrix data = RandomPoints(200, 2, 31);
+  Result<KernelDensity> kde = KernelDensity::Fit(data);
+  ASSERT_TRUE(kde.ok());
+  double p = kde->Evaluate({0.1, 0.2});
+  EXPECT_NEAR(kde->LogDensity({0.1, 0.2}), std::log(p), 1e-6);
+  // Far away: log-density is floored, not -inf.
+  EXPECT_TRUE(std::isfinite(kde->LogDensity({1e6, 1e6})));
+}
+
+TEST(KdeTest, EvaluateAllMatchesPointwise) {
+  Matrix data = RandomPoints(100, 2, 32);
+  Result<KernelDensity> kde = KernelDensity::Fit(data);
+  ASSERT_TRUE(kde.ok());
+  std::vector<double> all = kde->EvaluateAll(data);
+  for (size_t i : {size_t{0}, size_t{50}, size_t{99}}) {
+    EXPECT_DOUBLE_EQ(all[i], kde->Evaluate(data.Row(i)));
+  }
+}
+
+// -------------------------------------------------------- DensityRanking
+
+TEST(DensityRankingTest, DensestFirst) {
+  // A tight cluster plus sparse outliers: cluster members must rank first.
+  Rng rng(33);
+  Matrix data(120, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    data.At(i, 0) = rng.Gaussian(0.0, 0.2);
+    data.At(i, 1) = rng.Gaussian(0.0, 0.2);
+  }
+  for (size_t i = 100; i < 120; ++i) {
+    data.At(i, 0) = rng.Uniform(5.0, 50.0);
+    data.At(i, 1) = rng.Uniform(5.0, 50.0);
+  }
+  Result<std::vector<size_t>> order = DensityRanking(data);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 120u);
+  // The top half of the ranking should be cluster members.
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_LT(order->at(i), 100u) << "outlier ranked too high at " << i;
+  }
+}
+
+TEST(DensityRankingTest, IsPermutation) {
+  Matrix data = RandomPoints(50, 3, 34);
+  Result<std::vector<size_t>> order = DensityRanking(data);
+  ASSERT_TRUE(order.ok());
+  std::vector<size_t> sorted = *order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// -------------------------------------------------------------- BallTree
+
+TEST(BallTreeTest, BuildRejectsEmpty) {
+  EXPECT_FALSE(BallTree::Build(Matrix()).ok());
+}
+
+TEST(BallTreeTest, NearestNeighborMatchesBruteForce) {
+  Matrix pts = RandomPoints(400, 4, 81);
+  Result<BallTree> tree = BallTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(82);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(4);
+    for (double& v : q) v = rng.Gaussian();
+    EXPECT_EQ(tree->NearestNeighbors(q, 5), BruteForceKnn(pts, q, 5));
+  }
+}
+
+TEST(BallTreeTest, KnnClampsK) {
+  Matrix pts = RandomPoints(6, 2, 83);
+  Result<BallTree> tree = BallTree::Build(pts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NearestNeighbors({0.0, 0.0}, 50).size(), 6u);
+}
+
+TEST(BallTreeTest, HandlesDuplicatePoints) {
+  Matrix pts(64, 2, 1.5);  // all identical
+  Result<BallTree> tree = BallTree::Build(pts, 4);
+  ASSERT_TRUE(tree.ok());
+  std::vector<size_t> nn = tree->NearestNeighbors({1.5, 1.5}, 3);
+  EXPECT_EQ(nn.size(), 3u);
+  double sum = tree->GaussianKernelSum({1.5, 1.5}, {1.0, 1.0});
+  EXPECT_NEAR(sum, 64.0, 1e-9);
+}
+
+TEST(BallTreeTest, ExactKernelSumMatchesKdTree) {
+  Matrix pts = RandomPoints(300, 3, 84);
+  Result<KdTree> kd = KdTree::Build(pts, 16);
+  Result<BallTree> ball = BallTree::Build(pts, 16);
+  ASSERT_TRUE(kd.ok() && ball.ok());
+  Rng rng(85);
+  // Anisotropic bandwidths exercise the max-scale ball bound.
+  std::vector<double> inv_h = {2.0, 0.5, 1.0};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(3);
+    for (double& v : q) v = rng.Gaussian();
+    EXPECT_NEAR(ball->GaussianKernelSum(q, inv_h, 0.0),
+                kd->GaussianKernelSum(q, inv_h, 0.0), 1e-9);
+  }
+}
+
+TEST(BallTreeTest, ApproximateKernelSumWithinTolerance) {
+  Matrix pts = RandomPoints(500, 2, 86);
+  Result<BallTree> tree = BallTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  std::vector<double> inv_h = {1.0, 1.0};
+  Rng rng(87);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q = {rng.Gaussian(), rng.Gaussian()};
+    double exact = tree->GaussianKernelSum(q, inv_h, 0.0);
+    double approx = tree->GaussianKernelSum(q, inv_h, 1e-3);
+    // Midpoint approximation errs at most atol per point.
+    EXPECT_NEAR(approx, exact, 1e-3 * static_cast<double>(pts.rows()));
+  }
+}
+
+TEST(BallTreeTest, KdeBackendsAgree) {
+  Matrix data = RandomPoints(400, 8, 88);
+  KdeOptions kd_opts;
+  kd_opts.approximation_atol = 0.0;
+  KdeOptions ball_opts = kd_opts;
+  ball_opts.tree_backend = KdeTreeBackend::kBallTree;
+  Result<KernelDensity> kd = KernelDensity::Fit(data, kd_opts);
+  Result<KernelDensity> ball = KernelDensity::Fit(data, ball_opts);
+  ASSERT_TRUE(kd.ok() && ball.ok());
+  Rng rng(89);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(8);
+    for (double& v : q) v = rng.Gaussian();
+    EXPECT_NEAR(kd->Evaluate(q), ball->Evaluate(q),
+                1e-12 + 1e-9 * kd->Evaluate(q));
+  }
+}
+
+TEST(BallTreeTest, DensityRankingAgreesAcrossBackends) {
+  Matrix data = RandomPoints(150, 5, 90);
+  KdeOptions kd_opts;
+  kd_opts.approximation_atol = 0.0;
+  KdeOptions ball_opts = kd_opts;
+  ball_opts.tree_backend = KdeTreeBackend::kBallTree;
+  Result<std::vector<size_t>> a = DensityRanking(data, kd_opts);
+  Result<std::vector<size_t>> b = DensityRanking(data, ball_opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,280 @@
+// Unit tests for the k-means substrate and cluster-routed model splitting
+// (the clustering alternative the paper argues against in §I).
+
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cluster_routing.h"
+#include "core/diffair.h"
+#include "data/split.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Matrix ThreeBlobs(size_t per_blob, uint64_t seed, std::vector<int>* truth) {
+  Rng rng(seed);
+  Matrix data(3 * per_blob, 2);
+  truth->resize(3 * per_blob);
+  const double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}};
+  for (size_t i = 0; i < 3 * per_blob; ++i) {
+    int b = static_cast<int>(i / per_blob);
+    data.At(i, 0) = centers[b][0] + 0.5 * rng.Gaussian();
+    data.At(i, 1) = centers[b][1] + 0.5 * rng.Gaussian();
+    (*truth)[i] = b;
+  }
+  return data;
+}
+
+/// Fraction of pairs on which two labelings agree about same/different
+/// cluster membership (Rand index) — permutation invariant.
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t agree = 0, total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      ++total;
+      if ((a[i] == a[j]) == (b[i] == b[j])) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  std::vector<int> truth;
+  Matrix data = ThreeBlobs(120, 61, &truth);
+  KMeansOptions opts;
+  opts.k = 3;
+  Rng rng(62);
+  Result<KMeansResult> result = KMeansCluster(data, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.rows(), 3u);
+  EXPECT_GT(RandIndex(result->assignments, truth), 0.99);
+}
+
+TEST(KMeansTest, DeterministicUnderSeed) {
+  std::vector<int> truth;
+  Matrix data = ThreeBlobs(60, 63, &truth);
+  KMeansOptions opts;
+  opts.k = 3;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Result<KMeansResult> a = KMeansCluster(data, opts, &rng_a);
+  Result<KMeansResult> b = KMeansCluster(data, opts, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, InertiaShrinksWithMoreCentroids) {
+  std::vector<int> truth;
+  Matrix data = ThreeBlobs(80, 64, &truth);
+  Rng rng(65);
+  KMeansOptions one;
+  one.k = 1;
+  KMeansOptions three;
+  three.k = 3;
+  Result<KMeansResult> r1 = KMeansCluster(data, one, &rng);
+  Result<KMeansResult> r3 = KMeansCluster(data, three, &rng);
+  ASSERT_TRUE(r1.ok() && r3.ok());
+  EXPECT_LT(r3->inertia, 0.2 * r1->inertia);
+}
+
+TEST(KMeansTest, SingleCentroidIsTheMean) {
+  Matrix data = {{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}};
+  KMeansOptions opts;
+  opts.k = 1;
+  Rng rng(66);
+  Result<KMeansResult> r = KMeansCluster(data, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->centroids.At(0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(r->centroids.At(0, 1), 2.0, 1e-9);
+  EXPECT_NEAR(r->inertia, 8.0 + 0.0 + 8.0, 1e-9);
+}
+
+TEST(KMeansTest, KAboveRowCountIsClamped) {
+  Matrix data = {{0.0}, {1.0}};
+  KMeansOptions opts;
+  opts.k = 5;
+  Rng rng(67);
+  Result<KMeansResult> r = KMeansCluster(data, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->centroids.rows(), 2u);
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DuplicatePointsAreHandled) {
+  // More centroids than distinct values: must terminate with finite
+  // inertia and valid assignments.
+  Matrix data = {{0.0}, {0.0}, {0.0}, {1.0}};
+  KMeansOptions opts;
+  opts.k = 3;
+  Rng rng(68);
+  Result<KMeansResult> r = KMeansCluster(data, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  for (int a : r->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+  EXPECT_TRUE(std::isfinite(r->inertia));
+}
+
+TEST(KMeansTest, ValidatesInput) {
+  Matrix empty;
+  Rng rng(69);
+  EXPECT_FALSE(KMeansCluster(empty, {}, &rng).ok());
+  Matrix ok = {{1.0}};
+  KMeansOptions bad_k;
+  bad_k.k = 0;
+  EXPECT_FALSE(KMeansCluster(ok, bad_k, &rng).ok());
+  KMeansOptions bad_init;
+  bad_init.n_init = 0;
+  EXPECT_FALSE(KMeansCluster(ok, bad_init, &rng).ok());
+  EXPECT_FALSE(KMeansCluster(ok, {}, nullptr).ok());
+}
+
+TEST(KMeansTest, NearestCentroidTiesToLowestIndex) {
+  Matrix centroids = {{0.0}, {2.0}};
+  EXPECT_EQ(NearestCentroid(centroids, {1.0}), 0u);  // tie -> index 0
+  EXPECT_EQ(NearestCentroid(centroids, {1.7}), 1u);
+}
+
+// ------------------------------------------------------- cluster routing
+
+/// Two overlapping groups sharing their mean but drifting along opposite
+/// correlation ridges (the Fig. 10 situation: similar areas of the space,
+/// dissimilar distributions). Tuples come in antipodal pairs with a
+/// shared label, so every (group x label) cell's mean is *exactly* the
+/// origin: a prototype (cell-mean) router is left with no signal at all,
+/// while the ridge orientation — visible only to a correlation-aware
+/// profile — still separates the groups.
+Dataset CrossedRidges(size_t pairs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1, x2;
+  std::vector<int> labels, groups;
+  for (size_t p = 0; p < pairs; ++p) {
+    int g = static_cast<int>(p % 2);
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    double t = rng.Gaussian();
+    double e1 = 0.08 * rng.Gaussian();
+    double e2 = 0.08 * rng.Gaussian();
+    double a1 = t + e1;
+    double a2 = (g == 0 ? t : -t) + e2;
+    // The point and its mirror image share group and label.
+    x1.push_back(a1);
+    x2.push_back(a2);
+    x1.push_back(-a1);
+    x2.push_back(-a2);
+    labels.push_back(y);
+    labels.push_back(y);
+    groups.push_back(g);
+    groups.push_back(g);
+  }
+  Dataset d;
+  EXPECT_TRUE(d.AddNumericColumn("x1", std::move(x1)).ok());
+  EXPECT_TRUE(d.AddNumericColumn("x2", std::move(x2)).ok());
+  EXPECT_TRUE(d.SetLabels(labels, 2).ok());
+  EXPECT_TRUE(d.SetGroups(groups).ok());
+  return d;
+}
+
+double RouteAccuracy(const std::vector<int>& route,
+                     const std::vector<int>& truth) {
+  double hits = 0.0;
+  for (size_t i = 0; i < route.size(); ++i) {
+    if (route[i] == truth[i]) hits += 1.0;
+  }
+  return hits / static_cast<double>(route.size());
+}
+
+TEST(ClusterRoutingTest, RoutesWellSeparatedGroups) {
+  // Disjoint supports: clustering's favorable case must work.
+  Rng rng(71);
+  size_t n = 1200;
+  std::vector<double> x1(n), x2(n);
+  std::vector<int> labels(n), groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = static_cast<int>(i % 2);
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    x1[i] = (g == 0 ? -4.0 : 4.0) + rng.Gaussian();
+    x2[i] = (y == 1 ? 1.0 : -1.0) + rng.Gaussian();
+    labels[i] = y;
+    groups[i] = g;
+  }
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x1", std::move(x1)).ok());
+  ASSERT_TRUE(d.AddNumericColumn("x2", std::move(x2)).ok());
+  ASSERT_TRUE(d.SetLabels(labels, 2).ok());
+  ASSERT_TRUE(d.SetGroups(groups).ok());
+
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  Result<ClusterRoutedModel> model =
+      ClusterRoutedModel::Train(d, lr, enc.value(), {});
+  ASSERT_TRUE(model.ok());
+  Result<std::vector<int>> route = model->Route(d);
+  ASSERT_TRUE(route.ok());
+  EXPECT_GT(RouteAccuracy(route.value(), d.groups()), 0.95);
+  // And the composite prediction works end to end.
+  Result<std::vector<int>> pred = model->Predict(d);
+  ASSERT_TRUE(pred.ok());
+  double hits = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (pred.value()[i] == d.labels()[i]) hits += 1.0;
+  }
+  EXPECT_GT(hits / static_cast<double>(d.size()), 0.7);
+}
+
+TEST(ClusterRoutingTest, CcRoutingBeatsCellMeansOnOverlappingRidges) {
+  // The paper's §I claim: with overlapping groups, distribution-aware CC
+  // routing discriminates where prototype (cell-mean) routing cannot —
+  // every cell of CrossedRidges has its mean exactly at the origin, so
+  // routing is evaluated in-sample on the profiled data itself.
+  Dataset d = CrossedRidges(1500, 72);
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+
+  ClusterRoutingOptions proto;
+  proto.centroids_per_cell = 1;  // routing by cell prototypes
+  Result<ClusterRoutedModel> cluster =
+      ClusterRoutedModel::Train(d, lr, enc.value(), proto);
+  ASSERT_TRUE(cluster.ok());
+  Result<DiffairModel> diffair = DiffairModel::Train(d, d, lr, enc.value(), {});
+  ASSERT_TRUE(diffair.ok());
+
+  Result<std::vector<int>> cluster_route = cluster->Route(d);
+  Result<std::vector<int>> cc_route = diffair->Route(d);
+  ASSERT_TRUE(cluster_route.ok() && cc_route.ok());
+  double acc_cluster = RouteAccuracy(cluster_route.value(), d.groups());
+  double acc_cc = RouteAccuracy(cc_route.value(), d.groups());
+  EXPECT_GT(acc_cc, 0.85);
+  EXPECT_LT(acc_cluster, 0.62);  // prototypes coincide -> no information
+  EXPECT_GT(acc_cc, acc_cluster + 0.25);
+}
+
+TEST(ClusterRoutingTest, ValidatesInput) {
+  Dataset no_groups;
+  ASSERT_TRUE(no_groups.AddNumericColumn("x", {1.0, 2.0}).ok());
+  ASSERT_TRUE(no_groups.SetLabels({0, 1}, 2).ok());
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(no_groups);
+  ASSERT_TRUE(enc.ok());
+  LogisticRegression lr;
+  EXPECT_FALSE(
+      ClusterRoutedModel::Train(no_groups, lr, enc.value(), {}).ok());
+
+  Dataset d = CrossedRidges(200, 74);
+  ClusterRoutingOptions bad;
+  bad.centroids_per_cell = 0;
+  Result<FeatureEncoder> enc2 = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc2.ok());
+  EXPECT_FALSE(ClusterRoutedModel::Train(d, lr, enc2.value(), bad).ok());
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,329 @@
+// Unit tests for linalg: Matrix, stats, Jacobi eigen, Cholesky, PCA.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "linalg/stats.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FromFlatValidatesSize) {
+  EXPECT_TRUE(Matrix::FromFlat(2, 2, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(Matrix::FromFlat(2, 2, {1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAndColCopies) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Result<Matrix> c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c->At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c->At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c->At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatchFails) {
+  Matrix a = {{1, 2}};
+  Matrix b = {{1, 2}};
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Result<std::vector<double>> v = a.MultiplyVector({1.0, 1.0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{3.0, 7.0}));
+  EXPECT_FALSE(a.MultiplyVector({1.0}).ok());
+}
+
+TEST(MatrixTest, SelectRowsAndCols) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix rows = m.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(rows.At(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(rows.At(1, 2), 3.0);
+  Matrix cols = m.SelectCols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols.At(2, 0), 8.0);
+}
+
+TEST(MatrixTest, AppendRowSetsWidth) {
+  Matrix m;
+  m.AppendRow({1.0, 2.0});
+  m.AppendRow({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(MatrixTest, FrobeniusDistance) {
+  Matrix a = {{0, 0}, {0, 0}};
+  Matrix b = {{3, 0}, {0, 4}};
+  Result<double> d = a.FrobeniusDistance(b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 5.0);
+}
+
+TEST(VecTest, DotNormDistance) {
+  std::vector<double> a = {3.0, 4.0};
+  std::vector<double> b = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(vec::Dot(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(vec::Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(vec::SquaredDistance(a, b), 4.0 + 16.0);
+  EXPECT_EQ(vec::Add(a, b), (std::vector<double>{4.0, 4.0}));
+  EXPECT_EQ(vec::Sub(a, b), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(vec::Scale(b, 2.5), (std::vector<double>{2.5, 0.0}));
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, MeanVarianceStd) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(StatsTest, WeightedMean) {
+  EXPECT_DOUBLE_EQ(WeightedMean({1.0, 3.0}, {1.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(WeightedMean({1.0, 3.0}, {0.0, 0.0}), 0.0);
+}
+
+TEST(StatsTest, Quantiles) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(StatsTest, ColumnMeansAndStds) {
+  Matrix m = {{1, 10}, {3, 10}};
+  std::vector<double> mu = ColumnMeans(m);
+  EXPECT_DOUBLE_EQ(mu[0], 2.0);
+  EXPECT_DOUBLE_EQ(mu[1], 10.0);
+  std::vector<double> sd = ColumnStdDevs(m);
+  EXPECT_DOUBLE_EQ(sd[0], 1.0);
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(StatsTest, CovarianceDiagonalAndCross) {
+  // Perfectly correlated columns.
+  Matrix m = {{1, 2}, {2, 4}, {3, 6}};
+  Result<Matrix> cov = Covariance(m);
+  ASSERT_TRUE(cov.ok());
+  double var_x = 2.0 / 3.0;  // population variance of {1,2,3}
+  EXPECT_NEAR(cov->At(0, 0), var_x, 1e-12);
+  EXPECT_NEAR(cov->At(1, 1), 4.0 * var_x, 1e-12);
+  EXPECT_NEAR(cov->At(0, 1), 2.0 * var_x, 1e-12);
+  EXPECT_NEAR(cov->At(0, 1), cov->At(1, 0), 1e-15);
+}
+
+TEST(StatsTest, CovarianceEmptyFails) {
+  EXPECT_FALSE(Covariance(Matrix()).ok());
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  std::vector<double> z = {4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {1, 1, 1, 1}), 0.0);
+}
+
+// ----------------------------------------------------------------- eigen
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix m = {{3, 0}, {0, 1}};
+  Result<EigenDecomposition> e = JacobiEigenDecomposition(m);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e->values[1], 3.0, 1e-10);
+}
+
+TEST(EigenTest, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  Matrix m = {{2, 1}, {1, 2}};
+  Result<EigenDecomposition> e = JacobiEigenDecomposition(m);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e->values[1], 3.0, 1e-10);
+  // Eigenvector for lambda=1 is (1,-1)/sqrt(2) up to sign.
+  double v0 = e->vectors.At(0, 0);
+  double v1 = e->vectors.At(0, 1);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0 + v1, 0.0, 1e-8);
+}
+
+TEST(EigenTest, EigenEquationHoldsOnRandomSymmetric) {
+  Rng rng(99);
+  const size_t n = 6;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Gaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  Result<EigenDecomposition> e = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(e.ok());
+  for (size_t k = 0; k < n; ++k) {
+    std::vector<double> v = e->vectors.Row(k);
+    Result<std::vector<double>> av = a.MultiplyVector(v);
+    ASSERT_TRUE(av.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av.value()[i], e->values[k] * v[i], 1e-8);
+    }
+    EXPECT_NEAR(vec::Norm(v), 1.0, 1e-10);
+  }
+  // Ascending order.
+  for (size_t k = 1; k < n; ++k) {
+    EXPECT_LE(e->values[k - 1], e->values[k] + 1e-12);
+  }
+}
+
+TEST(EigenTest, TraceAndSumOfEigenvaluesAgree) {
+  Matrix m = {{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  Result<EigenDecomposition> e = JacobiEigenDecomposition(m);
+  ASSERT_TRUE(e.ok());
+  double sum = e->values[0] + e->values[1] + e->values[2];
+  EXPECT_NEAR(sum, 9.0, 1e-9);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  Matrix m(2, 3);
+  EXPECT_FALSE(JacobiEigenDecomposition(m).ok());
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix m = {{1, 2}, {0, 1}};
+  EXPECT_FALSE(JacobiEigenDecomposition(m).ok());
+}
+
+TEST(EigenTest, RejectsEmpty) {
+  EXPECT_FALSE(JacobiEigenDecomposition(Matrix()).ok());
+}
+
+// -------------------------------------------------------------- cholesky
+
+TEST(CholeskyTest, FactorKnownSpd) {
+  Matrix a = {{4, 2}, {2, 3}};
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(l->At(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l->At(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l->At(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(l->At(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Matrix a = {{4, 2}, {2, 3}};
+  std::vector<double> x_true = {1.5, -2.0};
+  Result<std::vector<double>> b = a.MultiplyVector(x_true);
+  ASSERT_TRUE(b.ok());
+  Result<std::vector<double>> x = CholeskySolve(a, b.value());
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.5, 1e-10);
+  EXPECT_NEAR(x.value()[1], -2.0, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = {{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RidgeSolveHandlesSemiDefinite) {
+  Matrix a = {{1, 1}, {1, 1}};  // rank 1
+  Result<std::vector<double>> x = RidgeSolve(a, {2.0, 2.0});
+  ASSERT_TRUE(x.ok());
+  // With tiny ridge the minimum-norm-ish solution is near (1, 1).
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-3);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-3);
+}
+
+TEST(CholeskyTest, SolveShapeMismatchFails) {
+  Matrix a = {{1, 0}, {0, 1}};
+  EXPECT_FALSE(CholeskySolve(a, {1.0}).ok());
+}
+
+// ------------------------------------------------------------------- PCA
+
+TEST(PcaTest, RecoversLowVarianceDirection) {
+  // Points on the line y = 2x with small noise: the low-variance principal
+  // direction is orthogonal to (1,2).
+  Rng rng(5);
+  Matrix data(400, 2);
+  for (size_t i = 0; i < 400; ++i) {
+    double t = rng.Gaussian();
+    data.At(i, 0) = t + 0.01 * rng.Gaussian();
+    data.At(i, 1) = 2.0 * t + 0.01 * rng.Gaussian();
+  }
+  Result<PcaModel> pca = FitPca(data);
+  ASSERT_TRUE(pca.ok());
+  // Lowest-variance direction ~ (2,-1)/sqrt(5) up to sign.
+  double c0 = pca->components.At(0, 0);
+  double c1 = pca->components.At(0, 1);
+  EXPECT_NEAR(std::fabs(c0 / c1), 2.0, 0.05);
+  EXPECT_LT(pca->variances[0], 0.01);
+  EXPECT_GT(pca->variances[1], 1.0);
+}
+
+TEST(PcaTest, ProjectionCentersData) {
+  Matrix data = {{1, 1}, {3, 3}};
+  Result<PcaModel> pca = FitPca(data);
+  ASSERT_TRUE(pca.ok());
+  // Projection of the mean point must be 0 for every component.
+  EXPECT_NEAR(PcaProject(pca.value(), {2.0, 2.0}, 0), 0.0, 1e-12);
+  EXPECT_NEAR(PcaProject(pca.value(), {2.0, 2.0}, 1), 0.0, 1e-12);
+}
+
+TEST(PcaTest, FailsOnEmpty) { EXPECT_FALSE(FitPca(Matrix()).ok()); }
+
+}  // namespace
+}  // namespace fairdrift

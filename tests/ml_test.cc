@@ -1,0 +1,446 @@
+// Unit tests for the learners and classification metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "ml/gbt.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "ml/threshold.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+/// Linearly separable 2D data: y = 1 iff x0 + x1 > 0 (with margin).
+void MakeSeparable(size_t n, uint64_t seed, Matrix* x, std::vector<int>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Gaussian();
+    double b = rng.Gaussian();
+    int label = (a + b > 0.0) ? 1 : 0;
+    // Push away from the boundary for a clean margin.
+    double push = label == 1 ? 0.5 : -0.5;
+    x->At(i, 0) = a + push;
+    x->At(i, 1) = b + push;
+    (*y)[i] = label;
+  }
+}
+
+/// XOR-style data no linear model can fit.
+void MakeXor(size_t n, uint64_t seed, Matrix* x, std::vector<int>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(-1.0, 1.0);
+    double b = rng.Uniform(-1.0, 1.0);
+    x->At(i, 0) = a;
+    x->At(i, 1) = b;
+    (*y)[i] = (a * b > 0.0) ? 1 : 0;
+  }
+}
+
+double HardAccuracy(const Classifier& model, const Matrix& x,
+                    const std::vector<int>& y) {
+  Result<std::vector<int>> pred = model.Predict(x);
+  EXPECT_TRUE(pred.ok());
+  Result<double> acc = Accuracy(y, pred.value());
+  EXPECT_TRUE(acc.ok());
+  return acc.value_or(0.0);
+}
+
+// ------------------------------------------------------------------- LR
+
+TEST(LogisticRegressionTest, FitsSeparableData) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(500, 50, &x, &y);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, {}).ok());
+  EXPECT_TRUE(lr.is_fitted());
+  EXPECT_GT(HardAccuracy(lr, x, y), 0.97);
+}
+
+TEST(LogisticRegressionTest, CoefficientsPointAlongSeparator) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(1000, 51, &x, &y);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, {}).ok());
+  EXPECT_GT(lr.coefficients()[0], 0.0);
+  EXPECT_GT(lr.coefficients()[1], 0.0);
+  // Symmetric roles: coefficients roughly equal.
+  EXPECT_NEAR(lr.coefficients()[0] / lr.coefficients()[1], 1.0, 0.3);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedOnCoinFlips) {
+  // Pure-noise features: predicted probability must approach the base rate.
+  Rng rng(52);
+  Matrix x(2000, 1);
+  std::vector<int> y(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    x.At(i, 0) = rng.Gaussian();
+    y[i] = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, {}).ok());
+  Result<std::vector<double>> p = lr.PredictProba(x);
+  ASSERT_TRUE(p.ok());
+  double mean = 0.0;
+  for (double v : p.value()) mean += v;
+  mean /= static_cast<double>(p.value().size());
+  EXPECT_NEAR(mean, 0.3, 0.03);
+}
+
+TEST(LogisticRegressionTest, WeightsShiftTheDecision) {
+  // Two overlapping clusters; up-weighting the positive class must raise
+  // the positive prediction rate.
+  Rng rng(53);
+  Matrix x(800, 1);
+  std::vector<int> y(800);
+  for (size_t i = 0; i < 800; ++i) {
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    x.At(i, 0) = rng.Gaussian(label == 1 ? 0.5 : -0.5, 1.0);
+    y[i] = label;
+  }
+  LogisticRegression plain;
+  ASSERT_TRUE(plain.Fit(x, y, {}).ok());
+  std::vector<double> w(800, 1.0);
+  for (size_t i = 0; i < 800; ++i) {
+    if (y[i] == 1) w[i] = 5.0;
+  }
+  LogisticRegression weighted;
+  ASSERT_TRUE(weighted.Fit(x, y, w).ok());
+
+  auto positive_rate = [&](const LogisticRegression& m) {
+    Result<std::vector<int>> pred = m.Predict(x);
+    EXPECT_TRUE(pred.ok());
+    double rate = 0.0;
+    for (int v : pred.value()) rate += v;
+    return rate / 800.0;
+  };
+  EXPECT_GT(positive_rate(weighted), positive_rate(plain) + 0.05);
+}
+
+TEST(LogisticRegressionTest, WeightedFitEquivalentToReplication) {
+  // Integer weights must match physically replicating tuples.
+  Matrix x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<int> y = {0, 0, 1, 1};
+  std::vector<double> w = {1.0, 2.0, 1.0, 3.0};
+  LogisticRegression weighted;
+  ASSERT_TRUE(weighted.Fit(x, y, w).ok());
+
+  Matrix x_rep = {{0.0}, {1.0}, {1.0}, {2.0}, {3.0}, {3.0}, {3.0}};
+  std::vector<int> y_rep = {0, 0, 0, 1, 1, 1, 1};
+  LogisticRegression replicated;
+  ASSERT_TRUE(replicated.Fit(x_rep, y_rep, {}).ok());
+
+  EXPECT_NEAR(weighted.coefficients()[0], replicated.coefficients()[0], 1e-5);
+  EXPECT_NEAR(weighted.intercept(), replicated.intercept(), 1e-5);
+}
+
+TEST(LogisticRegressionTest, InputValidation) {
+  LogisticRegression lr;
+  Matrix x = {{1.0}, {2.0}};
+  EXPECT_FALSE(lr.Fit(Matrix(), {}, {}).ok());
+  EXPECT_FALSE(lr.Fit(x, {0}, {}).ok());
+  EXPECT_FALSE(lr.Fit(x, {0, 2}, {}).ok());
+  EXPECT_FALSE(lr.Fit(x, {0, 1}, {1.0}).ok());
+  EXPECT_FALSE(lr.Fit(x, {0, 1}, {1.0, -1.0}).ok());
+  EXPECT_FALSE(lr.PredictProba(x).ok());  // not fitted
+}
+
+TEST(LogisticRegressionTest, PredictRejectsWrongWidth) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(100, 54, &x, &y);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, {}).ok());
+  Matrix wrong(5, 3);
+  EXPECT_FALSE(lr.PredictProba(wrong).ok());
+}
+
+TEST(LogisticRegressionTest, SingleClassDataFitsBaseRate) {
+  Matrix x = {{1.0}, {2.0}, {3.0}};
+  std::vector<int> y = {1, 1, 1};
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, {}).ok());
+  Result<std::vector<double>> p = lr.PredictProba(x);
+  ASSERT_TRUE(p.ok());
+  for (double v : p.value()) EXPECT_GT(v, 0.9);
+}
+
+TEST(LogisticRegressionTest, CloneUnfittedKeepsHyperparameters) {
+  LogisticRegressionOptions opts;
+  opts.l2_lambda = 0.5;
+  LogisticRegression lr(opts);
+  std::unique_ptr<Classifier> clone = lr.CloneUnfitted();
+  EXPECT_EQ(clone->name(), "LR");
+  EXPECT_FALSE(clone->is_fitted());
+}
+
+// --------------------------------------------------------- QuantileBinner
+
+TEST(QuantileBinnerTest, BinsAreMonotone) {
+  Rng rng(55);
+  Matrix x(500, 1);
+  for (size_t i = 0; i < 500; ++i) x.At(i, 0) = rng.Gaussian();
+  Result<QuantileBinner> binner = QuantileBinner::Fit(x, 16);
+  ASSERT_TRUE(binner.ok());
+  uint8_t prev = binner->BinOf(0, -10.0);
+  for (double v = -10.0; v <= 10.0; v += 0.1) {
+    uint8_t b = binner->BinOf(0, v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_EQ(binner->BinOf(0, -100.0), 0);
+  EXPECT_EQ(binner->BinOf(0, 100.0), binner->NumBins(0) - 1);
+}
+
+TEST(QuantileBinnerTest, ConstantFeatureSingleBin) {
+  Matrix x(100, 1, 2.5);
+  Result<QuantileBinner> binner = QuantileBinner::Fit(x, 16);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->NumBins(0), 1);
+}
+
+TEST(QuantileBinnerTest, ValidatesArguments) {
+  EXPECT_FALSE(QuantileBinner::Fit(Matrix(), 16).ok());
+  Matrix x(10, 1);
+  EXPECT_FALSE(QuantileBinner::Fit(x, 1).ok());
+  EXPECT_FALSE(QuantileBinner::Fit(x, 500).ok());
+}
+
+// ---------------------------------------------------------------- GBT
+
+TEST(GbtTest, FitsXorData) {
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(1000, 56, &x, &y);
+  GbtOptions opts;
+  opts.num_rounds = 40;
+  GradientBoostedTrees gbt(opts);
+  ASSERT_TRUE(gbt.Fit(x, y, {}).ok());
+  EXPECT_GT(HardAccuracy(gbt, x, y), 0.9);
+}
+
+TEST(GbtTest, LinearModelCannotFitXorButGbtCan) {
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(1000, 57, &x, &y);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, {}).ok());
+  GradientBoostedTrees gbt;
+  ASSERT_TRUE(gbt.Fit(x, y, {}).ok());
+  EXPECT_LT(HardAccuracy(lr, x, y), 0.65);
+  EXPECT_GT(HardAccuracy(gbt, x, y), 0.85);
+}
+
+TEST(GbtTest, TrainingLossDecreases) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparable(600, 58, &x, &y);
+  GbtOptions opts;
+  opts.num_rounds = 20;
+  opts.subsample = 1.0;  // deterministic loss curve
+  GradientBoostedTrees gbt(opts);
+  ASSERT_TRUE(gbt.Fit(x, y, {}).ok());
+  const std::vector<double>& curve = gbt.training_loss_curve();
+  ASSERT_GE(curve.size(), 10u);
+  EXPECT_LT(curve.back(), curve.front() * 0.7);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9);
+  }
+}
+
+TEST(GbtTest, WeightsShiftTheDecision) {
+  Rng rng(59);
+  Matrix x(800, 1);
+  std::vector<int> y(800);
+  for (size_t i = 0; i < 800; ++i) {
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    x.At(i, 0) = rng.Gaussian(label == 1 ? 0.5 : -0.5, 1.0);
+    y[i] = label;
+  }
+  std::vector<double> w(800, 1.0);
+  for (size_t i = 0; i < 800; ++i) {
+    if (y[i] == 1) w[i] = 6.0;
+  }
+  GradientBoostedTrees plain;
+  GradientBoostedTrees weighted;
+  ASSERT_TRUE(plain.Fit(x, y, {}).ok());
+  ASSERT_TRUE(weighted.Fit(x, y, w).ok());
+  auto positive_rate = [&](const GradientBoostedTrees& m) {
+    Result<std::vector<int>> pred = m.Predict(x);
+    EXPECT_TRUE(pred.ok());
+    double rate = 0.0;
+    for (int v : pred.value()) rate += v;
+    return rate / 800.0;
+  };
+  EXPECT_GT(positive_rate(weighted), positive_rate(plain) + 0.05);
+}
+
+TEST(GbtTest, DeterministicForSameSeed) {
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(300, 60, &x, &y);
+  GbtOptions opts;
+  opts.seed = 123;
+  GradientBoostedTrees a(opts);
+  GradientBoostedTrees b(opts);
+  ASSERT_TRUE(a.Fit(x, y, {}).ok());
+  ASSERT_TRUE(b.Fit(x, y, {}).ok());
+  Result<std::vector<double>> pa = a.PredictProba(x);
+  Result<std::vector<double>> pb = b.PredictProba(x);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(pa.value()[i], pb.value()[i]);
+  }
+}
+
+TEST(GbtTest, SingleClassDataStaysAtBaseRate) {
+  Matrix x = {{1.0}, {2.0}, {3.0}};
+  std::vector<int> y = {0, 0, 0};
+  GradientBoostedTrees gbt;
+  ASSERT_TRUE(gbt.Fit(x, y, {}).ok());
+  Result<std::vector<double>> p = gbt.PredictProba(x);
+  ASSERT_TRUE(p.ok());
+  for (double v : p.value()) EXPECT_LT(v, 0.1);
+}
+
+TEST(GbtTest, NotFittedRejected) {
+  GradientBoostedTrees gbt;
+  EXPECT_FALSE(gbt.PredictProba(Matrix(2, 2)).ok());
+}
+
+// ---------------------------------------------------------- MakeLearner
+
+TEST(MakeLearnerTest, FamiliesAndNames) {
+  std::unique_ptr<Classifier> lr =
+      MakeLearner(LearnerKind::kLogisticRegression);
+  std::unique_ptr<Classifier> xgb = MakeLearner(LearnerKind::kGradientBoosting);
+  EXPECT_EQ(lr->name(), "LR");
+  EXPECT_EQ(xgb->name(), "XGB");
+  EXPECT_STREQ(LearnerKindName(LearnerKind::kLogisticRegression), "LR");
+  EXPECT_STREQ(LearnerKindName(LearnerKind::kGradientBoosting), "XGB");
+}
+
+// -------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, ConfusionHandCounted) {
+  std::vector<int> y_true = {1, 1, 0, 0, 1, 0};
+  std::vector<int> y_pred = {1, 0, 0, 1, 1, 0};
+  Result<ConfusionCounts> c = ComputeConfusion(y_true, y_pred);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->tp, 2.0);
+  EXPECT_DOUBLE_EQ(c->fn, 1.0);
+  EXPECT_DOUBLE_EQ(c->fp, 1.0);
+  EXPECT_DOUBLE_EQ(c->tn, 2.0);
+  EXPECT_NEAR(c->TPR(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c->TNR(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c->SelectionRate(), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, WeightedConfusion) {
+  std::vector<int> y_true = {1, 0};
+  std::vector<int> y_pred = {1, 1};
+  Result<ConfusionCounts> c = ComputeConfusion(y_true, y_pred, {2.0, 3.0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->tp, 2.0);
+  EXPECT_DOUBLE_EQ(c->fp, 3.0);
+}
+
+TEST(MetricsTest, AccuracyAndBalancedAccuracy) {
+  std::vector<int> y_true = {1, 1, 1, 1, 0};
+  std::vector<int> y_pred = {1, 1, 1, 1, 1};
+  EXPECT_NEAR(Accuracy(y_true, y_pred).value(), 0.8, 1e-12);
+  // TPR = 1, TNR = 0 -> balanced accuracy 0.5 despite 80% accuracy.
+  EXPECT_NEAR(BalancedAccuracy(y_true, y_pred).value(), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, MetricsRejectBadInput) {
+  EXPECT_FALSE(ComputeConfusion({}, {}).ok());
+  EXPECT_FALSE(ComputeConfusion({1}, {1, 0}).ok());
+  EXPECT_FALSE(ComputeConfusion({2}, {1}).ok());
+  EXPECT_FALSE(LogLoss({1}, {0.5, 0.5}).ok());
+}
+
+TEST(MetricsTest, LogLossPerfectAndWorst) {
+  EXPECT_NEAR(LogLoss({1, 0}, {1.0, 0.0}).value(), 0.0, 1e-9);
+  double coin = LogLoss({1, 0}, {0.5, 0.5}).value();
+  EXPECT_NEAR(coin, std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, RocAucPerfectAndRandom) {
+  std::vector<int> y = {0, 0, 1, 1};
+  EXPECT_NEAR(RocAuc(y, {0.1, 0.2, 0.8, 0.9}).value(), 1.0, 1e-12);
+  EXPECT_NEAR(RocAuc(y, {0.9, 0.8, 0.2, 0.1}).value(), 0.0, 1e-12);
+  EXPECT_NEAR(RocAuc(y, {0.5, 0.5, 0.5, 0.5}).value(), 0.5, 1e-12);
+  EXPECT_NEAR(RocAuc({1, 1}, {0.1, 0.2}).value(), 0.5, 1e-12);  // one class
+}
+
+TEST(MetricsTest, RocAucHandComputedWithTies) {
+  std::vector<int> y = {0, 1, 0, 1};
+  std::vector<double> p = {0.3, 0.3, 0.1, 0.9};
+  // Pairs: (0.3-,0.3+) tie=0.5; (0.3-,0.9+)=1; (0.1-,0.3+)=1; (0.1-,0.9+)=1
+  // AUC = (0.5 + 3) / 4 = 0.875.
+  EXPECT_NEAR(RocAuc(y, p).value(), 0.875, 1e-12);
+}
+
+// -------------------------------------------------------------- Threshold
+
+TEST(ThresholdTest, FindsSeparatingCut) {
+  std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  std::vector<double> p = {0.1, 0.2, 0.3, 0.7, 0.8, 0.9};
+  Result<double> thr = TuneThreshold(y, p);
+  ASSERT_TRUE(thr.ok());
+  EXPECT_GT(*thr, 0.3);
+  EXPECT_LE(*thr, 0.7);
+}
+
+TEST(ThresholdTest, ImbalancedDataPrefersBalancedCut) {
+  // 90 negatives at low scores, 10 positives at mid scores whose best
+  // balanced-accuracy cut selects the positives.
+  std::vector<int> y;
+  std::vector<double> p;
+  Rng rng(61);
+  for (int i = 0; i < 90; ++i) {
+    y.push_back(0);
+    p.push_back(rng.Uniform(0.0, 0.4));
+  }
+  for (int i = 0; i < 10; ++i) {
+    y.push_back(1);
+    p.push_back(rng.Uniform(0.45, 0.6));
+  }
+  Result<double> thr = TuneThreshold(y, p);
+  ASSERT_TRUE(thr.ok());
+  std::vector<int> pred;
+  for (double v : p) pred.push_back(v >= *thr ? 1 : 0);
+  EXPECT_GT(BalancedAccuracy(y, pred).value(), 0.95);
+}
+
+TEST(ThresholdTest, RejectsBadInput) {
+  EXPECT_FALSE(TuneThreshold({}, {}).ok());
+  EXPECT_FALSE(TuneThreshold({1}, {0.5, 0.1}).ok());
+}
+
+TEST(ThresholdTest, AccuracyCriterionOnImbalance) {
+  // All-negative prediction maximizes plain accuracy here.
+  std::vector<int> y = {0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  std::vector<double> p = {0.1, 0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4, 0.45, 0.5};
+  Result<double> thr_acc =
+      TuneThreshold(y, p, ThresholdCriterion::kAccuracy);
+  ASSERT_TRUE(thr_acc.ok());
+  std::vector<int> pred;
+  for (double v : p) pred.push_back(v >= *thr_acc ? 1 : 0);
+  EXPECT_GE(Accuracy(y, pred).value(), 0.9);
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,196 @@
+// Unit tests for the weighted Gaussian naive Bayes learner.
+
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+/// Two well-separated Gaussian blobs in 2D.
+void MakeBlobs(size_t n, uint64_t seed, Matrix* x, std::vector<int>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int label = static_cast<int>(i % 2);
+    double cx = label == 1 ? 2.0 : -2.0;
+    x->At(i, 0) = cx + rng.Gaussian();
+    x->At(i, 1) = cx + rng.Gaussian();
+    (*y)[i] = label;
+  }
+}
+
+TEST(NaiveBayesTest, FitsSeparatedBlobs) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(600, 7, &x, &y);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y, {}).ok());
+  EXPECT_TRUE(nb.is_fitted());
+  Result<std::vector<int>> pred = nb.Predict(x);
+  ASSERT_TRUE(pred.ok());
+  Result<double> acc = Accuracy(y, pred.value());
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(acc.value(), 0.97);
+}
+
+TEST(NaiveBayesTest, SufficientStatisticsMatchHandComputation) {
+  // Class 0: points (0,0), (2,0); class 1: point (1,3).
+  Matrix x(3, 2);
+  x.At(0, 0) = 0.0; x.At(0, 1) = 0.0;
+  x.At(1, 0) = 2.0; x.At(1, 1) = 0.0;
+  x.At(2, 0) = 1.0; x.At(2, 1) = 3.0;
+  std::vector<int> y = {0, 0, 1};
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y, {}).ok());
+  EXPECT_DOUBLE_EQ(nb.mean(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(nb.mean(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(nb.mean(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(nb.mean(1, 1), 3.0);
+  // Biased variance of {0,2} about mean 1 = 1; smoothing adds a tiny floor.
+  EXPECT_NEAR(nb.variance(0, 0), 1.0, 1e-6);
+  // Priors with Laplace smoothing 1: (2+1)/(3+2), (1+1)/(3+2).
+  EXPECT_DOUBLE_EQ(nb.prior(0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(nb.prior(1), 2.0 / 5.0);
+}
+
+TEST(NaiveBayesTest, PosteriorMatchesBayesRuleByHand) {
+  // Symmetric 1D setup: class means ±1, equal variances, equal priors.
+  Matrix x2(4, 1);
+  x2.At(0, 0) = -2.0;
+  x2.At(1, 0) = 0.0;   // class 0: mean -1, var 1
+  x2.At(2, 0) = 0.0;
+  x2.At(3, 0) = 2.0;   // class 1: mean 1, var 1
+  std::vector<int> y2 = {0, 0, 1, 1};
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x2, y2, {}).ok());
+  // At the midpoint x=0 the likelihoods are equal and priors are equal, so
+  // the posterior is exactly 1/2.
+  Matrix probe(1, 1);
+  probe.At(0, 0) = 0.0;
+  Result<std::vector<double>> p = nb.PredictProba(probe);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value()[0], 0.5, 1e-9);
+  // At x = 1 (the class-1 mean): posterior = N(1;1,1)/(N(1;-1,1)+N(1;1,1))
+  // = 1 / (1 + exp(-2)).
+  probe.At(0, 0) = 1.0;
+  p = nb.PredictProba(probe);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value()[0], 1.0 / (1.0 + std::exp(-2.0)), 1e-6);
+}
+
+TEST(NaiveBayesTest, WeightedFitEquivalentToReplication) {
+  Matrix x(3, 1);
+  x.At(0, 0) = 0.0;
+  x.At(1, 0) = 1.0;
+  x.At(2, 0) = 5.0;
+  std::vector<int> y = {0, 0, 1};
+  // Weighting tuple 1 by 3 must equal replicating it three times.
+  GaussianNaiveBayes weighted;
+  ASSERT_TRUE(weighted.Fit(x, y, {1.0, 3.0, 1.0}).ok());
+
+  Matrix xr(5, 1);
+  xr.At(0, 0) = 0.0;
+  xr.At(1, 0) = 1.0;
+  xr.At(2, 0) = 1.0;
+  xr.At(3, 0) = 1.0;
+  xr.At(4, 0) = 5.0;
+  std::vector<int> yr = {0, 0, 0, 0, 1};
+  GaussianNaiveBayes replicated;
+  ASSERT_TRUE(replicated.Fit(xr, yr, {}).ok());
+
+  EXPECT_NEAR(weighted.mean(0, 0), replicated.mean(0, 0), 1e-12);
+  EXPECT_NEAR(weighted.variance(0, 0), replicated.variance(0, 0), 1e-12);
+  EXPECT_NEAR(weighted.prior(0), replicated.prior(0), 1e-12);
+}
+
+TEST(NaiveBayesTest, UpweighingAClassRaisesItsPrior) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(200, 11, &x, &y);
+  GaussianNaiveBayes flat;
+  ASSERT_TRUE(flat.Fit(x, y, {}).ok());
+  std::vector<double> w(x.rows(), 1.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (y[i] == 1) w[i] = 4.0;
+  }
+  GaussianNaiveBayes boosted;
+  ASSERT_TRUE(boosted.Fit(x, y, w).ok());
+  EXPECT_GT(boosted.prior(1), flat.prior(1));
+  // The boundary moves toward the class-0 blob: a point that the flat
+  // model scores at p just below 0.5 flips upward.
+  Matrix probe(1, 2);
+  probe.At(0, 0) = -0.2;
+  probe.At(0, 1) = -0.2;
+  double p_flat = flat.PredictProba(probe).value()[0];
+  double p_boost = boosted.PredictProba(probe).value()[0];
+  EXPECT_GT(p_boost, p_flat);
+}
+
+TEST(NaiveBayesTest, ConstantFeatureIsHandledByVarianceFloor) {
+  Matrix x(4, 2);
+  // Feature 0 constant; feature 1 informative.
+  x.At(0, 0) = 1.0; x.At(0, 1) = -1.0;
+  x.At(1, 0) = 1.0; x.At(1, 1) = -2.0;
+  x.At(2, 0) = 1.0; x.At(2, 1) = 1.0;
+  x.At(3, 0) = 1.0; x.At(3, 1) = 2.0;
+  std::vector<int> y = {0, 0, 1, 1};
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y, {}).ok());
+  Result<std::vector<double>> p = nb.PredictProba(x);
+  ASSERT_TRUE(p.ok());
+  for (double pi : p.value()) {
+    EXPECT_TRUE(std::isfinite(pi));
+  }
+  EXPECT_LT(p.value()[0], 0.5);
+  EXPECT_GT(p.value()[3], 0.5);
+}
+
+TEST(NaiveBayesTest, InputValidation) {
+  GaussianNaiveBayes nb;
+  Matrix empty;
+  EXPECT_FALSE(nb.Fit(empty, {}, {}).ok());
+
+  Matrix x(2, 1);
+  x.At(0, 0) = 0.0;
+  x.At(1, 0) = 1.0;
+  // Single-class data is rejected (cannot estimate both classes).
+  EXPECT_FALSE(nb.Fit(x, {1, 1}, {}).ok());
+  // Zero weight on one class is the same failure.
+  EXPECT_FALSE(nb.Fit(x, {0, 1}, {1.0, 0.0}).ok());
+  // Prediction before a successful fit fails.
+  EXPECT_FALSE(nb.PredictProba(x).ok());
+  // Healthy fit, then wrong probe width.
+  ASSERT_TRUE(nb.Fit(x, {0, 1}, {}).ok());
+  Matrix wide(1, 2);
+  EXPECT_FALSE(nb.PredictProba(wide).ok());
+}
+
+TEST(NaiveBayesTest, CloneUnfittedKeepsHyperparameters) {
+  NaiveBayesOptions opts;
+  opts.prior_smoothing = 2.5;
+  GaussianNaiveBayes nb(opts);
+  Matrix x(2, 1);
+  x.At(0, 0) = 0.0;
+  x.At(1, 0) = 1.0;
+  ASSERT_TRUE(nb.Fit(x, {0, 1}, {}).ok());
+  std::unique_ptr<Classifier> clone = nb.CloneUnfitted();
+  EXPECT_FALSE(clone->is_fitted());
+  EXPECT_EQ(clone->name(), "NB");
+}
+
+TEST(NaiveBayesTest, MakeLearnerProducesNb) {
+  std::unique_ptr<Classifier> learner = MakeLearner(LearnerKind::kNaiveBayes);
+  ASSERT_NE(learner, nullptr);
+  EXPECT_EQ(learner->name(), "NB");
+  EXPECT_STREQ(LearnerKindName(LearnerKind::kNaiveBayes), "NB");
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,205 @@
+// Integration tests: the full experiment pipeline (split -> intervene ->
+// train -> evaluate) for every method, asserting the paper's directional
+// claims on simulated data.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/drift.h"
+#include "datagen/realworld.h"
+
+namespace fairdrift {
+namespace {
+
+Dataset MepsLike(double scale = 0.15) {
+  Result<Dataset> d =
+      MakeRealWorldLike(GetRealDatasetSpec(RealDatasetId::kMeps), scale);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+PipelineOptions BaseOptions(Method method,
+                            LearnerKind learner =
+                                LearnerKind::kLogisticRegression) {
+  PipelineOptions opts;
+  opts.method = method;
+  opts.learner = learner;
+  return opts;
+}
+
+PipelineResult MustRun(const Dataset& data, const PipelineOptions& opts,
+                       uint64_t seed = 1) {
+  Rng rng(seed);
+  Result<PipelineResult> r = RunPipeline(data, opts, &rng);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : PipelineResult{};
+}
+
+// ------------------------------------------------------------ LR methods
+
+TEST(PipelineTest, EveryMethodRunsWithLr) {
+  Dataset data = MepsLike();
+  for (Method m : {Method::kNoIntervention, Method::kMultiModel,
+                   Method::kDiffair, Method::kConfair, Method::kKamiran,
+                   Method::kOmnifair, Method::kCapuchin}) {
+    PipelineOptions opts = BaseOptions(m);
+    Rng rng(2);
+    Result<PipelineResult> r = RunPipeline(data, opts, &rng);
+    EXPECT_TRUE(r.ok()) << MethodName(m) << ": " << r.status().ToString();
+    if (r.ok()) {
+      EXPECT_GE(r->report.di_star, 0.0);
+      EXPECT_LE(r->report.di_star, 1.0);
+      EXPECT_GT(r->report.balanced_accuracy, 0.4) << MethodName(m);
+    }
+  }
+}
+
+TEST(PipelineTest, EveryMethodRunsWithXgb) {
+  Dataset data = MepsLike(0.08);
+  for (Method m : {Method::kNoIntervention, Method::kConfair,
+                   Method::kKamiran, Method::kCapuchin}) {
+    PipelineOptions opts = BaseOptions(m, LearnerKind::kGradientBoosting);
+    Rng rng(3);
+    Result<PipelineResult> r = RunPipeline(data, opts, &rng);
+    EXPECT_TRUE(r.ok()) << MethodName(m) << ": " << r.status().ToString();
+  }
+}
+
+TEST(PipelineTest, EveryMethodRunsWithNaiveBayes) {
+  // The third learner family (extension): reweighing interventions act
+  // on NB through its weighted sufficient statistics.
+  Dataset data = MepsLike(0.08);
+  for (Method m : {Method::kNoIntervention, Method::kConfair,
+                   Method::kKamiran, Method::kDiffair}) {
+    PipelineOptions opts = BaseOptions(m, LearnerKind::kNaiveBayes);
+    Rng rng(4);
+    Result<PipelineResult> r = RunPipeline(data, opts, &rng);
+    EXPECT_TRUE(r.ok()) << MethodName(m) << ": " << r.status().ToString();
+    if (r.ok()) {
+      EXPECT_GT(r->report.balanced_accuracy, 0.5) << MethodName(m);
+    }
+  }
+}
+
+TEST(PipelineTest, NoInterventionShowsBias) {
+  Dataset data = MepsLike(0.25);
+  PipelineResult r = MustRun(data, BaseOptions(Method::kNoIntervention));
+  // The simulated datasets are constructed to under-favor the minority.
+  EXPECT_LT(r.report.di_star, 0.92);
+  EXPECT_FALSE(r.report.degenerate);
+}
+
+TEST(PipelineTest, ConfairImprovesDiOverNoIntervention) {
+  Dataset data = MepsLike(0.25);
+  PipelineResult base = MustRun(data, BaseOptions(Method::kNoIntervention));
+  PipelineResult confair = MustRun(data, BaseOptions(Method::kConfair));
+  EXPECT_GT(confair.report.di_star, base.report.di_star);
+  // Utility stays comparable (within 6 points of balanced accuracy).
+  EXPECT_GT(confair.report.balanced_accuracy,
+            base.report.balanced_accuracy - 0.06);
+}
+
+TEST(PipelineTest, KamiranImprovesDiOverNoIntervention) {
+  Dataset data = MepsLike(0.25);
+  PipelineResult base = MustRun(data, BaseOptions(Method::kNoIntervention));
+  PipelineResult kam = MustRun(data, BaseOptions(Method::kKamiran));
+  EXPECT_GT(kam.report.di_star, base.report.di_star - 0.02);
+}
+
+TEST(PipelineTest, ConfairReportsTunedAlphaAndRetrainCount) {
+  Dataset data = MepsLike(0.12);
+  PipelineResult r = MustRun(data, BaseOptions(Method::kConfair));
+  EXPECT_GE(r.tuned_alpha, 0.0);
+  EXPECT_GT(r.models_trained, 5);  // the alpha grid retrains models
+}
+
+TEST(PipelineTest, UserSuppliedAlphaSkipsTuning) {
+  Dataset data = MepsLike(0.12);
+  PipelineOptions opts = BaseOptions(Method::kConfair);
+  opts.tune_confair = false;
+  opts.confair.alpha_u = 1.0;
+  opts.confair.alpha_w = 0.5;
+  PipelineResult r = MustRun(data, opts);
+  EXPECT_EQ(r.models_trained, 1);
+  EXPECT_DOUBLE_EQ(r.tuned_alpha, 1.0);
+}
+
+TEST(PipelineTest, OmnifairReportsLambda) {
+  Dataset data = MepsLike(0.12);
+  PipelineResult r = MustRun(data, BaseOptions(Method::kOmnifair));
+  EXPECT_GE(r.tuned_lambda, 0.0);
+  EXPECT_LE(r.tuned_lambda, 1.0);
+  EXPECT_GT(r.models_trained, 5);
+}
+
+TEST(PipelineTest, CrossModelCalibrationRuns) {
+  // Fig. 7 setting: calibrate CONFAIR weights with XGB, train LR.
+  Dataset data = MepsLike(0.08);
+  PipelineOptions opts = BaseOptions(Method::kConfair);
+  opts.calibration_learner = LearnerKind::kGradientBoosting;
+  PipelineResult r = MustRun(data, opts);
+  EXPECT_GT(r.report.balanced_accuracy, 0.5);
+}
+
+TEST(PipelineTest, DiffairBeatsSingleModelFairnessUnderDrift) {
+  // Fig. 11 setting: severe synthetic drift.
+  DriftSpec spec;
+  spec.angle_degrees = 165.0;
+  spec.n_majority = 4000;
+  spec.n_minority = 1500;
+  Result<Dataset> data = MakeDriftDataset(spec);
+  ASSERT_TRUE(data.ok());
+  PipelineResult base = MustRun(*data, BaseOptions(Method::kNoIntervention));
+  PipelineResult diffair = MustRun(*data, BaseOptions(Method::kDiffair));
+  EXPECT_GT(diffair.report.aod_star, base.report.aod_star);
+}
+
+TEST(PipelineTest, RuntimeOrderingKamFastestConfairSlower) {
+  // Fig. 14 shape: KAM needs no model-in-the-loop calibration.
+  Dataset data = MepsLike(0.2);
+  PipelineResult kam = MustRun(data, BaseOptions(Method::kKamiran));
+  PipelineResult confair = MustRun(data, BaseOptions(Method::kConfair));
+  EXPECT_LT(kam.runtime_seconds, confair.runtime_seconds);
+}
+
+TEST(PipelineTest, SplitFractionsConfigurable) {
+  Dataset data = MepsLike(0.1);
+  PipelineOptions opts = BaseOptions(Method::kNoIntervention);
+  opts.train_frac = 0.5;
+  opts.val_frac = 0.25;
+  PipelineResult r = MustRun(data, opts);
+  EXPECT_GT(r.report.balanced_accuracy, 0.5);
+}
+
+TEST(PipelineTest, EmptyDataRejected) {
+  PipelineOptions opts = BaseOptions(Method::kNoIntervention);
+  Rng rng(4);
+  EXPECT_FALSE(RunPipeline(Dataset(), opts, &rng).ok());
+}
+
+TEST(PipelineTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kNoIntervention), "NO-INT");
+  EXPECT_STREQ(MethodName(Method::kMultiModel), "MULTI");
+  EXPECT_STREQ(MethodName(Method::kDiffair), "DIFFAIR");
+  EXPECT_STREQ(MethodName(Method::kConfair), "CONFAIR");
+  EXPECT_STREQ(MethodName(Method::kKamiran), "KAM");
+  EXPECT_STREQ(MethodName(Method::kOmnifair), "OMN");
+  EXPECT_STREQ(MethodName(Method::kCapuchin), "CAP");
+}
+
+TEST(PipelineTest, DeterministicGivenSeed) {
+  Dataset data = MepsLike(0.1);
+  PipelineOptions opts = BaseOptions(Method::kConfair);
+  Rng r1(9);
+  Rng r2(9);
+  Result<PipelineResult> a = RunPipeline(data, opts, &r1);
+  Result<PipelineResult> b = RunPipeline(data, opts, &r2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->report.di_star, b->report.di_star);
+  EXPECT_DOUBLE_EQ(a->report.balanced_accuracy,
+                   b->report.balanced_accuracy);
+  EXPECT_DOUBLE_EQ(a->tuned_alpha, b->tuned_alpha);
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,535 @@
+// Property-based (parameterized) suites: invariants that must hold across
+// sweeps of seeds, sizes, dimensions, and intervention degrees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/kamiran.h"
+#include "cc/axis_box.h"
+#include "cc/discovery.h"
+#include "core/confair.h"
+#include "core/density_filter.h"
+#include "data/encode.h"
+#include "data/split.h"
+#include "datagen/realworld.h"
+#include "kde/balltree.h"
+#include "kde/kde.h"
+#include "linalg/stats.h"
+#include "ml/gbt.h"
+#include "ml/kmeans.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Matrix GaussianCloud(size_t n, size_t d, uint64_t seed, double spread = 1.0) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      m.At(i, j) = rng.Gaussian(0.0, spread * (1.0 + static_cast<double>(j)));
+    }
+  }
+  return m;
+}
+
+Dataset TwoGroupDataset(size_t n, uint64_t seed, double minority_frac,
+                        double pos_u, double pos_w) {
+  Rng rng(seed);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool minority = rng.Bernoulli(minority_frac);
+    int y = rng.Bernoulli(minority ? pos_u : pos_w) ? 1 : 0;
+    x1[i] = rng.Gaussian(y == 1 ? 1.0 : -1.0, 1.0);
+    x2[i] = rng.Gaussian(minority ? 0.8 : -0.8, 1.0);
+    labels[i] = y;
+    groups[i] = minority ? 1 : 0;
+  }
+  Dataset d;
+  EXPECT_TRUE(d.AddNumericColumn("x1", x1).ok());
+  EXPECT_TRUE(d.AddNumericColumn("x2", x2).ok());
+  EXPECT_TRUE(d.SetLabels(labels, 2).ok());
+  EXPECT_TRUE(d.SetGroups(groups).ok());
+  return d;
+}
+
+// --------------------------------------------------- CC violation sweeps
+
+class CcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CcPropertyTest, ViolationInUnitIntervalAndZeroOnTraining) {
+  uint64_t seed = GetParam();
+  Matrix data = GaussianCloud(150 + seed % 200, 2 + seed % 4, seed);
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  size_t conforming = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double v = set->Violation(data.Row(i));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    if (v == 0.0) ++conforming;
+  }
+  // With 1.75-sigma bounds a majority of the defining data conforms.
+  EXPECT_GT(conforming, data.rows() / 2);
+}
+
+TEST_P(CcPropertyTest, ViolationMonotoneAlongRays) {
+  uint64_t seed = GetParam();
+  Matrix data = GaussianCloud(200, 3, seed);
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  // Walk outward from the centroid along a random ray: violations must be
+  // non-decreasing.
+  Rng rng(seed + 1);
+  std::vector<double> center = ColumnMeans(data);
+  std::vector<double> ray(3);
+  for (double& v : ray) v = rng.Gaussian();
+  double prev = -1.0;
+  for (double t = 0.0; t < 30.0; t += 1.0) {
+    std::vector<double> p = center;
+    for (size_t j = 0; j < 3; ++j) p[j] += t * ray[j];
+    double v = set->Violation(p);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST_P(CcPropertyTest, ImportancesNormalized) {
+  uint64_t seed = GetParam();
+  Matrix data = GaussianCloud(120, 5, seed);
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  ASSERT_TRUE(set.ok());
+  double total = 0.0;
+  for (size_t k = 0; k < set->size(); ++k) {
+    EXPECT_GT(set->constraint(k).importance, 0.0);
+    total += set->constraint(k).importance;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcPropertyTest,
+                         ::testing::Values(1, 7, 19, 42, 77, 101, 131, 211));
+
+// --------------------------------------------------------- KAM invariant
+
+struct KamParam {
+  double minority_frac;
+  double pos_u;
+  double pos_w;
+};
+
+class KamPropertyTest : public ::testing::TestWithParam<KamParam> {};
+
+TEST_P(KamPropertyTest, WeightedLabelDistributionIndependentOfGroup) {
+  const KamParam& p = GetParam();
+  Dataset d = TwoGroupDataset(2500, 1234, p.minority_frac, p.pos_u, p.pos_w);
+  Result<std::vector<double>> w = KamiranWeights(d);
+  ASSERT_TRUE(w.ok());
+  double mass[2][2] = {{0, 0}, {0, 0}};
+  for (size_t i = 0; i < d.size(); ++i) {
+    mass[d.groups()[i]][d.labels()[i]] += w.value()[i];
+  }
+  double rate_w = mass[0][1] / (mass[0][0] + mass[0][1]);
+  double rate_u = mass[1][1] / (mass[1][0] + mass[1][1]);
+  EXPECT_NEAR(rate_w, rate_u, 1e-9);
+  // Total weighted mass is preserved (sum of weights == n).
+  double total = mass[0][0] + mass[0][1] + mass[1][0] + mass[1][1];
+  EXPECT_NEAR(total, static_cast<double>(d.size()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Skews, KamPropertyTest,
+    ::testing::Values(KamParam{0.1, 0.2, 0.7}, KamParam{0.3, 0.1, 0.5},
+                      KamParam{0.5, 0.4, 0.6}, KamParam{0.2, 0.8, 0.3},
+                      KamParam{0.4, 0.5, 0.5}));
+
+// ------------------------------------------- CONFAIR boost monotonicity
+
+class ConfairAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConfairAlphaTest, MinorityPositiveMassGrowsWithAlpha) {
+  double alpha = GetParam();
+  Dataset d = TwoGroupDataset(1500, 777, 0.25, 0.2, 0.6);
+  ConfairOptions lo;
+  lo.alpha_u = alpha;
+  lo.alpha_w = alpha / 2.0;
+  ConfairOptions hi = lo;
+  hi.alpha_u = alpha + 0.5;
+  hi.alpha_w = (alpha + 0.5) / 2.0;
+  Result<ConfairWeights> wl = ComputeConfairWeights(d, lo);
+  Result<ConfairWeights> wh = ComputeConfairWeights(d, hi);
+  ASSERT_TRUE(wl.ok() && wh.ok());
+  auto minority_pos_mass = [&](const std::vector<double>& w) {
+    double acc = 0.0;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (d.groups()[i] == 1 && d.labels()[i] == 1) acc += w[i];
+    }
+    return acc;
+  };
+  EXPECT_GE(minority_pos_mass(wh->weights),
+            minority_pos_mass(wl->weights));
+  // For positive alphas the boosted tuple *set* is alpha-independent
+  // (conformance alone decides membership); alpha = 0 applies no boost.
+  if (alpha > 0.0) {
+    EXPECT_EQ(wl->boosted_primary, wh->boosted_primary);
+  } else {
+    EXPECT_EQ(wl->boosted_primary, 0u);
+    EXPECT_GT(wh->boosted_primary, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ConfairAlphaTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 1.0, 2.0));
+
+// -------------------------------------------------- density filter sweep
+
+class DensityFilterFractionTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensityFilterFractionTest, KeepsMonotoneFractionOfCells) {
+  double frac = GetParam();
+  Dataset d = TwoGroupDataset(1200, 555, 0.3, 0.3, 0.6);
+  DensityFilterOptions opts;
+  opts.keep_fraction = frac;
+  opts.min_cell_size = 1;
+  Result<std::vector<size_t>> kept = DensityFilterIndices(d, opts);
+  ASSERT_TRUE(kept.ok());
+  double ratio =
+      static_cast<double>(kept->size()) / static_cast<double>(d.size());
+  EXPECT_GE(ratio, frac - 0.01);
+  EXPECT_LE(ratio, frac + 0.05);  // ceil per cell rounds upward
+  // Kept indices are valid, sorted, and unique.
+  for (size_t i = 1; i < kept->size(); ++i) {
+    EXPECT_LT(kept->at(i - 1), kept->at(i));
+  }
+  EXPECT_LT(kept->back(), d.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, DensityFilterFractionTest,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.7, 1.0));
+
+// -------------------------------------------------------- split fractions
+
+struct SplitParam {
+  size_t n;
+  double train;
+  double val;
+};
+
+class SplitPropertyTest : public ::testing::TestWithParam<SplitParam> {};
+
+TEST_P(SplitPropertyTest, SizesSumAndDisjoint) {
+  const SplitParam& p = GetParam();
+  Dataset d;
+  std::vector<double> xs(p.n);
+  for (size_t i = 0; i < p.n; ++i) xs[i] = static_cast<double>(i);
+  ASSERT_TRUE(d.AddNumericColumn("x", xs).ok());
+  Rng rng(p.n);
+  Result<TrainValTest> split = SplitTrainValTest(d, &rng, p.train, p.val);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->val.size() + split->test.size(),
+            p.n);
+  double train_frac =
+      static_cast<double>(split->train.size()) / static_cast<double>(p.n);
+  EXPECT_NEAR(train_frac, p.train, 1.0 / static_cast<double>(p.n) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SplitPropertyTest,
+    ::testing::Values(SplitParam{10, 0.7, 0.15}, SplitParam{101, 0.7, 0.15},
+                      SplitParam{1000, 0.5, 0.25},
+                      SplitParam{37, 0.8, 0.1}, SplitParam{64, 0.6, 0.2}));
+
+// ------------------------------------------------------- KDE partition
+
+class KdePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdePropertyTest, DensityNonNegativeAndFiniteEverywhere) {
+  size_t dim = GetParam();
+  Matrix data = GaussianCloud(300, dim, 31 + dim);
+  Result<KernelDensity> kde = KernelDensity::Fit(data);
+  ASSERT_TRUE(kde.ok());
+  Rng rng(99 + dim);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> q(dim);
+    for (double& v : q) v = rng.Uniform(-20.0, 20.0);
+    double p = kde->Evaluate(q);
+    EXPECT_GE(p, 0.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST_P(KdePropertyTest, TreeApproximationTracksExact) {
+  size_t dim = GetParam();
+  Matrix data = GaussianCloud(500, dim, 77 + dim);
+  KdeOptions exact_opts;
+  exact_opts.approximation_atol = 0.0;
+  KdeOptions approx_opts;
+  approx_opts.approximation_atol = 1e-4;
+  Result<KernelDensity> exact = KernelDensity::Fit(data, exact_opts);
+  Result<KernelDensity> approx = KernelDensity::Fit(data, approx_opts);
+  ASSERT_TRUE(exact.ok() && approx.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    std::vector<double> q = data.Row(i * 7);
+    double pe = exact->Evaluate(q);
+    double pa = approx->Evaluate(q);
+    EXPECT_NEAR(pa, pe, 0.05 * pe + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// ------------------------------------------------ learner weight scaling
+
+class WeightScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightScaleTest, UniformWeightScalingIsInvariantForLr) {
+  double scale = GetParam();
+  Dataset d = TwoGroupDataset(600, 888, 0.3, 0.3, 0.6);
+  Result<FeatureEncoder> enc = FeatureEncoder::Fit(d);
+  ASSERT_TRUE(enc.ok());
+  Result<Matrix> x = enc->Transform(d);
+  ASSERT_TRUE(x.ok());
+  std::vector<double> w1(d.size(), 1.0);
+  std::vector<double> ws(d.size(), scale);
+  LogisticRegressionOptions opts;
+  opts.l2_lambda = 0.0;  // penalty breaks exact scale invariance
+  LogisticRegression a(opts);
+  LogisticRegression b(opts);
+  ASSERT_TRUE(a.Fit(x.value(), d.labels(), w1).ok());
+  ASSERT_TRUE(b.Fit(x.value(), d.labels(), ws).ok());
+  for (size_t j = 0; j < a.coefficients().size(); ++j) {
+    EXPECT_NEAR(a.coefficients()[j], b.coefficients()[j], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WeightScaleTest,
+                         ::testing::Values(0.5, 2.0, 10.0));
+
+// ------------------------------------------------ real-world generators
+
+class RealWorldSweepTest
+    : public ::testing::TestWithParam<RealDatasetId> {};
+
+TEST_P(RealWorldSweepTest, SpecStatisticsHold) {
+  const RealDatasetSpec& spec = GetRealDatasetSpec(GetParam());
+  Result<Dataset> d = MakeRealWorldLike(spec, 0.05);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->GetSchema().num_numeric(),
+            static_cast<size_t>(spec.n_numeric));
+  EXPECT_EQ(d->GetSchema().num_categorical(),
+            static_cast<size_t>(spec.n_categorical));
+  double minority_frac =
+      static_cast<double>(d->GroupCount(kMinorityGroup)) /
+      static_cast<double>(d->size());
+  EXPECT_NEAR(minority_frac, spec.minority_fraction, 0.05);
+  // Every cell of the 2x2 (group x label) grid is populated.
+  for (int g = 0; g < 2; ++g) {
+    for (int y = 0; y < 2; ++y) {
+      EXPECT_GT(d->CellCount(g, y), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeven, RealWorldSweepTest,
+    ::testing::Values(RealDatasetId::kMeps, RealDatasetId::kLsac,
+                      RealDatasetId::kCredit,
+                      RealDatasetId::kAcsPublicCoverage,
+                      RealDatasetId::kAcsHealthInsurance,
+                      RealDatasetId::kAcsEmployment,
+                      RealDatasetId::kAcsIncomePoverty));
+
+// --------------------------------------- multi-group CONFAIR = KAM base
+
+class MultiGroupKamParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiGroupKamParityTest, SkewTermEqualsKamiranAcrossThreeGroups) {
+  // Algorithm 2 line 5 is exactly the Kamiran-Calders weight
+  // w(g, y) = P(g) P(y) / P(g, y); with no boost cells, the K-group
+  // CONFAIR weights must reproduce KAM tuple-for-tuple — for any number
+  // of groups.
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  size_t n = 600 + seed % 400;
+  std::vector<double> x(n);
+  std::vector<int> labels(n), groups(n);
+  const double pos_rate[3] = {0.7, 0.45, 0.25};
+  for (size_t i = 0; i < n; ++i) {
+    int g = static_cast<int>(i % 3);
+    int y = rng.Bernoulli(pos_rate[g]) ? 1 : 0;
+    x[i] = rng.Gaussian(y, 1.0);
+    labels[i] = y;
+    groups[i] = g;
+  }
+  Dataset d;
+  ASSERT_TRUE(d.AddNumericColumn("x", std::move(x)).ok());
+  ASSERT_TRUE(d.SetLabels(labels, 2).ok());
+  ASSERT_TRUE(d.SetGroups(groups).ok());
+
+  Result<std::vector<double>> kam = KamiranWeights(d);
+  Result<ConfairMultiWeights> confair =
+      ComputeConfairWeightsMultiGroup(d, /*cells=*/{}, {});
+  ASSERT_TRUE(kam.ok() && confair.ok());
+  ASSERT_EQ(kam->size(), confair->weights.size());
+  for (size_t i = 0; i < kam->size(); ++i) {
+    EXPECT_NEAR(confair->weights[i], (*kam)[i], 1e-12) << "tuple " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiGroupKamParityTest,
+                         ::testing::Values(3, 17, 55, 91));
+
+// -------------------------------------------- ball tree / KD tree parity
+
+class BallTreeParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BallTreeParityTest, ExactKernelSumsMatchAcrossDimensions) {
+  size_t d = GetParam();
+  Matrix data = GaussianCloud(250, d, 1000 + d);
+  Result<KdTree> kd = KdTree::Build(data, 8);
+  Result<BallTree> ball = BallTree::Build(data, 8);
+  ASSERT_TRUE(kd.ok() && ball.ok());
+  Rng rng(2000 + d);
+  std::vector<double> inv_h(d);
+  for (size_t j = 0; j < d; ++j) inv_h[j] = 0.5 + rng.Uniform();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(d);
+    for (double& v : q) v = rng.Gaussian(0.0, 2.0);
+    double a = kd->GaussianKernelSum(q, inv_h, 0.0);
+    double b = ball->GaussianKernelSum(q, inv_h, 0.0);
+    EXPECT_NEAR(a, b, 1e-9 * (1.0 + a));
+  }
+}
+
+TEST_P(BallTreeParityTest, NearestNeighborsMatchAcrossDimensions) {
+  size_t d = GetParam();
+  Matrix data = GaussianCloud(200, d, 3000 + d);
+  Result<KdTree> kd = KdTree::Build(data, 8);
+  Result<BallTree> ball = BallTree::Build(data, 8);
+  ASSERT_TRUE(kd.ok() && ball.ok());
+  Rng rng(4000 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(d);
+    for (double& v : q) v = rng.Gaussian();
+    EXPECT_EQ(kd->NearestNeighbors(q, 7), ball->NearestNeighbors(q, 7));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BallTreeParityTest,
+                         ::testing::Values(1, 2, 5, 12));
+
+// ------------------------------------------- NB weighting = replication
+
+class NbReplicationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NbReplicationTest, IntegerWeightsEquinalentToDuplication) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  size_t n = 60;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  std::vector<double> w(n);
+  Matrix xr;
+  std::vector<int> yr;
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    x.At(i, 0) = rng.Gaussian(y[i], 1.0);
+    x.At(i, 1) = rng.Gaussian(-y[i], 1.5);
+    w[i] = static_cast<double>(1 + rng.UniformInt(0, 3));
+    for (int rep = 0; rep < static_cast<int>(w[i]); ++rep) {
+      xr.AppendRow(x.Row(i));
+      yr.push_back(y[i]);
+    }
+  }
+  GaussianNaiveBayes weighted, replicated;
+  ASSERT_TRUE(weighted.Fit(x, y, w).ok());
+  ASSERT_TRUE(replicated.Fit(xr, yr, {}).ok());
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(weighted.prior(c), replicated.prior(c), 1e-10);
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(weighted.mean(c, j), replicated.mean(c, j), 1e-10);
+      EXPECT_NEAR(weighted.variance(c, j), replicated.variance(c, j), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NbReplicationTest,
+                         ::testing::Values(11, 29, 73, 97));
+
+// ------------------------------------------------- k-means invariants
+
+class KMeansInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KMeansInvariantTest, InertiaNonIncreasingInK) {
+  uint64_t seed = GetParam();
+  Matrix data = GaussianCloud(300, 3, seed);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 6; ++k) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.n_init = 6;
+    Rng rng(seed + static_cast<uint64_t>(k));
+    Result<KMeansResult> r = KMeansCluster(data, opts, &rng);
+    ASSERT_TRUE(r.ok());
+    // Best-of-restarts inertia cannot grow meaningfully with k (small
+    // slack for local optima under random restarts).
+    EXPECT_LE(r->inertia, prev * 1.02) << "k=" << k;
+    prev = std::min(prev, r->inertia);
+  }
+}
+
+TEST_P(KMeansInvariantTest, AssignmentsAreNearestCentroids) {
+  uint64_t seed = GetParam();
+  Matrix data = GaussianCloud(200, 2, seed + 5000);
+  KMeansOptions opts;
+  opts.k = 4;
+  Rng rng(seed);
+  Result<KMeansResult> r = KMeansCluster(data, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(r->assignments[i]),
+              NearestCentroid(r->centroids, data.Row(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansInvariantTest,
+                         ::testing::Values(5, 23, 59, 83));
+
+// ----------------------------------------------- axis boxes share Eq. 1
+
+class AxisBoxPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AxisBoxPropertyTest, ViolationSemanticsMirrorCcInvariants) {
+  uint64_t seed = GetParam();
+  Matrix data = GaussianCloud(150 + seed % 100, 2 + seed % 3, seed);
+  Result<ConstraintSet> set = DiscoverAxisBoxConstraints(data, {});
+  ASSERT_TRUE(set.ok());
+  size_t conforming = 0;
+  double total_importance = 0.0;
+  for (size_t k = 0; k < set->size(); ++k) {
+    total_importance += set->constraint(k).importance;
+  }
+  EXPECT_NEAR(total_importance, 1.0, 1e-9);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double v = set->Violation(data.Row(i));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    if (v == 0.0) ++conforming;
+  }
+  EXPECT_GT(conforming, data.rows() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxisBoxPropertyTest,
+                         ::testing::Values(2, 13, 47, 89));
+
+}  // namespace
+}  // namespace fairdrift

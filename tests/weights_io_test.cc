@@ -1,0 +1,126 @@
+// Tests for the portable weight-file artifact (model-agnostic workflow).
+
+#include "data/weights_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/confair.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+class WeightsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "weights_io_test.weights";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+Dataset SmallData(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x;
+  std::vector<int> labels, groups;
+  for (int i = 0; i < 40; ++i) {
+    int y = i % 2;
+    x.push_back((y == 1 ? 1.0 : -1.0) + rng.Gaussian());
+    labels.push_back(y);
+    groups.push_back(i % 4 == 0 ? 1 : 0);
+  }
+  Dataset d;
+  EXPECT_TRUE(d.AddNumericColumn("x", std::move(x)).ok());
+  EXPECT_TRUE(d.SetLabels(labels, 2).ok());
+  EXPECT_TRUE(d.SetGroups(groups).ok());
+  return d;
+}
+
+TEST_F(WeightsIoTest, RoundTripIsLossless) {
+  std::vector<double> weights = {0.0, 1.0, 2.5, 1.0 / 3.0,
+                                 1.2345678901234567e-12};
+  ASSERT_TRUE(WriteWeights(weights, 0xDEADBEEF, path_).ok());
+  Result<std::vector<double>> back = ReadWeights(path_, 0xDEADBEEF);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*back)[i], weights[i]) << "weight " << i;
+  }
+}
+
+TEST_F(WeightsIoTest, FingerprintMismatchIsRejected) {
+  ASSERT_TRUE(WriteWeights({1.0, 2.0}, 0x1111, path_).ok());
+  EXPECT_FALSE(ReadWeights(path_, 0x2222).ok());
+  // Zero expected fingerprint skips the check.
+  EXPECT_TRUE(ReadWeights(path_, 0).ok());
+}
+
+TEST_F(WeightsIoTest, RejectsCorruptFiles) {
+  EXPECT_FALSE(ReadWeights("/nonexistent/path.weights").ok());
+
+  std::ofstream(path_) << "not a weight file\n";
+  EXPECT_FALSE(ReadWeights(path_).ok());
+
+  std::ofstream(path_) << "# fairdrift-weights v1\nfingerprint 00ff\nn 3\n"
+                       << "1.0\n2.0\n";  // declares 3, carries 2
+  EXPECT_FALSE(ReadWeights(path_).ok());
+
+  std::ofstream(path_) << "# fairdrift-weights v1\nfingerprint 00ff\nn 1\n"
+                       << "-1.0\n";  // negative weight
+  EXPECT_FALSE(ReadWeights(path_).ok());
+
+  std::ofstream(path_) << "# fairdrift-weights v1\nfingerprint 00ff\nn 1\n"
+                       << "bogus\n";
+  EXPECT_FALSE(ReadWeights(path_).ok());
+}
+
+TEST_F(WeightsIoTest, DatasetFingerprintDetectsChanges) {
+  Dataset a = SmallData(7);
+  Dataset b = SmallData(7);
+  EXPECT_EQ(DatasetFingerprint(a), DatasetFingerprint(b));
+
+  Dataset c = SmallData(8);  // different payload
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(c));
+
+  // Reordering tuples changes the fingerprint (weights are positional).
+  std::vector<size_t> reversed;
+  for (size_t i = a.size(); i > 0; --i) reversed.push_back(i - 1);
+  Dataset r = a.Subset(reversed);
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(r));
+
+  // Relabeling changes it too.
+  Dataset relabeled = a;
+  std::vector<int> flipped = a.labels();
+  flipped[0] = 1 - flipped[0];
+  ASSERT_TRUE(relabeled.SetLabels(flipped, 2).ok());
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(relabeled));
+}
+
+TEST_F(WeightsIoTest, ApplyWeightsEndToEnd) {
+  Dataset d = SmallData(9);
+  ConfairOptions opts;
+  opts.alpha_u = 2.0;
+  Result<ConfairWeights> w = ComputeConfairWeights(d, opts);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(WriteWeightsFor(d, w->weights, path_).ok());
+
+  Result<Dataset> weighted = ApplyWeightsFrom(d, path_);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ(weighted->weights(), w->weights);
+
+  // A different dataset rejects the same file.
+  Dataset other = SmallData(10);
+  EXPECT_FALSE(ApplyWeightsFrom(other, path_).ok());
+}
+
+TEST_F(WeightsIoTest, WriteValidatesLength) {
+  Dataset d = SmallData(11);
+  EXPECT_FALSE(WriteWeightsFor(d, {1.0, 2.0}, path_).ok());
+}
+
+}  // namespace
+}  // namespace fairdrift
