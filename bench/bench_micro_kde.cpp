@@ -120,6 +120,70 @@ BENCHMARK(BM_BallTreeBuild)
     ->Range(1024, 65536)
     ->Complexity(benchmark::oNLogN);
 
+// ------------------------------------------- batched multi-query contrast
+//
+// The serving-path scenario: one fitted estimator, a large batch of
+// queries. Baseline is the definitional single-threaded brute-force
+// kernel sum (exact O(n) per query, no tree, no pruning); the contender
+// is the batched tree-pruned parallel EvaluateAll at its default
+// tolerance. The gap therefore bundles tree pruning, the atol
+// approximation, and threading — it measures the serving path against
+// naive evaluation, not against the previous EvaluateAll (which already
+// pruned through the tree, serially). Arg 0 is the training-set size;
+// the query batch matches it (self-evaluation, as in Algorithm 3).
+
+void BM_KdeBatchBruteForce(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 8);
+  KdeOptions opts;
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  const std::vector<double>& h = kde->bandwidth();
+  double norm = static_cast<double>(n);
+  for (double hj : h) norm *= hj;
+  norm *= std::pow(2.0 * 3.141592653589793, 2.0);  // (2*pi)^(d/2), d = 4
+  for (auto _ : state) {
+    std::vector<double> out(n);
+    for (size_t q = 0; q < n; ++q) {
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double sq = 0.0;
+        for (size_t j = 0; j < 4; ++j) {
+          double z = (data.At(i, j) - data.At(q, j)) / h[j];
+          sq += z * z;
+        }
+        sum += std::exp(-0.5 * sq);
+      }
+      out[q] = sum / norm;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KdeBatchBruteForce)->Arg(4096)->Arg(10240)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KdeBatchEvaluateAll(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 8);
+  KdeOptions opts;  // default atol = 1e-4, KD backend
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<double> out = kde->EvaluateAll(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KdeBatchEvaluateAll)->Arg(4096)->Arg(10240)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DensityRanking(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   Matrix data = RandomData(n, 4, 4);

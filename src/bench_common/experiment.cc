@@ -5,32 +5,74 @@
 #include "bench_common/table.h"
 #include "datagen/realworld.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
+
+namespace {
+
+// Value type for the parallel trial map (Result<PipelineResult> is not
+// default-constructible).
+struct TrialOutcome {
+  bool ok = false;
+  PipelineResult result;
+  std::string error;
+};
+
+}  // namespace
 
 TrialSummary RunTrials(const Dataset& data, const PipelineOptions& options,
                        int trials, uint64_t seed) {
   TrialSummary summary;
   std::vector<FairnessReport> reports;
+  // Fork one RNG stream per trial up front (sequentially, so stream
+  // identities are independent of scheduling), then run the trials in
+  // parallel and reduce in trial order: the summary is identical to the
+  // old sequential loop for every worker count.
   Rng master(seed);
-  for (int t = 0; t < trials; ++t) {
-    Rng trial_rng = master.Fork();
-    Result<PipelineResult> result = RunPipeline(data, options, &trial_rng);
-    if (!result.ok()) {
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) trial_rngs.push_back(master.Fork());
+
+  // Nested loops on pool workers run inline, so fanning out fewer trials
+  // than there are workers would leave the rest of the machine idle AND
+  // serialize each trial's inner KDE/filter parallelism. Fan out only
+  // when the trials can cover the pool; otherwise run them sequentially
+  // and let the batched inner loops use the workers.
+  ThreadPool inline_pool(0);
+  ThreadPool& global_pool = GlobalThreadPool();
+  ThreadPool* pool = static_cast<size_t>(trials) >= global_pool.num_threads()
+                         ? &global_pool
+                         : &inline_pool;
+  std::vector<TrialOutcome> outcomes = ParallelMap<TrialOutcome>(
+      static_cast<size_t>(trials), [&](size_t t) -> TrialOutcome {
+        TrialOutcome out;
+        Rng trial_rng = trial_rngs[t];
+        Result<PipelineResult> result = RunPipeline(data, options, &trial_rng);
+        if (!result.ok()) {
+          out.error = result.status().ToString();
+          return out;
+        }
+        out.ok = true;
+        out.result = std::move(result).value();
+        return out;
+      },
+      pool);
+
+  for (const TrialOutcome& outcome : outcomes) {
+    if (!outcome.ok) {
       ++summary.trials_failed;
-      if (summary.first_error.empty()) {
-        summary.first_error = result.status().ToString();
-      }
+      if (summary.first_error.empty()) summary.first_error = outcome.error;
       FD_LOG_DEBUG << MethodName(options.method)
-                   << " trial failed: " << result.status().ToString();
+                   << " trial failed: " << outcome.error;
       continue;
     }
     ++summary.trials_succeeded;
-    reports.push_back(result.value().report);
-    summary.runtime_seconds += result.value().runtime_seconds;
-    summary.tuned_alpha += result.value().tuned_alpha;
-    summary.tuned_lambda += result.value().tuned_lambda;
+    reports.push_back(outcome.result.report);
+    summary.runtime_seconds += outcome.result.runtime_seconds;
+    summary.tuned_alpha += outcome.result.tuned_alpha;
+    summary.tuned_lambda += outcome.result.tuned_lambda;
   }
   if (summary.trials_succeeded > 0) {
     double n = static_cast<double>(summary.trials_succeeded);

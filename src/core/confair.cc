@@ -1,7 +1,9 @@
 #include "core/confair.h"
 
 #include <cmath>
+#include <cstdint>
 
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -131,10 +133,15 @@ Result<ConfairWeights> ComputeConfairWeights(const Dataset& train,
   const std::vector<int>& groups = train.groups();
 
   // Lines 6-11: boost tuples with zero violation of their cell's
-  // constraints, in the objective's target cells.
+  // constraints, in the objective's target cells. The violation check
+  // dominates, so it runs as a parallel scan into per-row marks; weights
+  // and counters are then applied sequentially, which keeps the totals
+  // identical for every worker count.
   Matrix numeric = train.NumericMatrix();
-  bool have_numeric = numeric.cols() > 0;
-  for (size_t i = 0; i < n; ++i) {
+  if (numeric.cols() == 0) return out;  // no attributes to conform to
+  enum : uint8_t { kNoBoost = 0, kPrimary = 1, kSecondary = 2 };
+  std::vector<uint8_t> marks(n, kNoBoost);
+  ParallelFor(0, n, [&](size_t i) {
     int g = groups[i];
     int y = labels[i];
     bool is_primary = (g == out.plan.primary_group &&
@@ -142,17 +149,18 @@ Result<ConfairWeights> ComputeConfairWeights(const Dataset& train,
     bool is_secondary =
         (out.plan.has_secondary && g == out.plan.secondary_group &&
          y == out.plan.secondary_label && options.alpha_w > 0.0);
-    if (!is_primary && !is_secondary) continue;
-    if (!have_numeric) continue;
+    if (!is_primary && !is_secondary) return;
 
     const std::optional<ConstraintSet>& cs = profile.value().cell(g, y);
-    if (!cs.has_value()) continue;
-    if (cs->Violation(numeric.Row(i)) > 0.0) continue;  // conforming only
-
-    if (is_primary) {
+    if (!cs.has_value()) return;
+    if (cs->Violation(numeric.Row(i)) > 0.0) return;  // conforming only
+    marks[i] = is_primary ? kPrimary : kSecondary;
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (marks[i] == kPrimary) {
       out.weights[i] += options.alpha_u;
       ++out.boosted_primary;
-    } else {
+    } else if (marks[i] == kSecondary) {
       out.weights[i] += options.alpha_w;
       ++out.boosted_secondary;
     }
@@ -241,9 +249,16 @@ Result<ConfairMultiWeights> ComputeConfairWeightsMultiGroup(
     const std::optional<ConstraintSet>& cs =
         profile.value().cell(cell.group, cell.label);
     if (!cs.has_value()) continue;
-    for (size_t i : train.CellIndices(cell.group, cell.label)) {
-      if (cs->Violation(numeric.Row(i)) > 0.0) continue;
-      out.weights[i] += cell.alpha;
+    // Parallel violation scan over the cell's rows; the weight updates
+    // stay sequential so the per-cell counters are deterministic.
+    std::vector<size_t> idx = train.CellIndices(cell.group, cell.label);
+    std::vector<uint8_t> conforming = ParallelMap<uint8_t>(
+        idx.size(), [&](size_t j) -> uint8_t {
+          return cs->Violation(numeric.Row(idx[j])) > 0.0 ? 0 : 1;
+        });
+    for (size_t j = 0; j < idx.size(); ++j) {
+      if (!conforming[j]) continue;
+      out.weights[idx[j]] += cell.alpha;
       ++out.boosted_per_cell[c];
     }
   }

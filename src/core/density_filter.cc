@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace fairdrift {
+
+namespace {
+
+// One (group x label) cell's slice of the filtering work. Cells are
+// independent, so they are ranked in parallel; the merge happens on the
+// caller's thread in deterministic cell order.
+struct CellTask {
+  std::vector<size_t> indices;  // dataset row ids of the cell
+  size_t keep = 0;              // how many of them to keep
+};
+
+struct CellOutcome {
+  std::vector<size_t> kept;
+  Status status;
+};
+
+}  // namespace
 
 Result<std::vector<size_t>> DensityFilterIndices(
     const Dataset& data, const DensityFilterOptions& options) {
@@ -17,6 +36,7 @@ Result<std::vector<size_t>> DensityFilterIndices(
   }
 
   std::vector<size_t> kept;
+  std::vector<CellTask> tasks;
   for (int g = 0; g < data.num_groups(); ++g) {
     for (int y = 0; y < data.num_classes(); ++y) {
       std::vector<size_t> cell = data.CellIndices(g, y);
@@ -29,21 +49,41 @@ Result<std::vector<size_t>> DensityFilterIndices(
         kept.insert(kept.end(), cell.begin(), cell.end());
         continue;
       }
-
-      Matrix cell_numeric = data.Subset(cell).NumericMatrix();
-      if (cell_numeric.cols() == 0) {
-        // No numeric attributes to rank on: keep the cell whole.
-        kept.insert(kept.end(), cell.begin(), cell.end());
-        continue;
-      }
-      Result<std::vector<size_t>> ranking =
-          DensityRanking(cell_numeric, options.kde);
-      if (!ranking.ok()) return ranking.status();
-      for (size_t i = 0; i < k; ++i) {
-        kept.push_back(cell[ranking.value()[i]]);
-      }
+      tasks.push_back({std::move(cell), k});
     }
   }
+
+  // Rank each undersized cell by KDE density on the pool. The KDE's own
+  // EvaluateAll is parallel too; entered from a worker it degrades to an
+  // inline loop, so cell-level parallelism wins when there are many small
+  // cells and query-level parallelism wins when there are few big ones.
+  std::vector<CellOutcome> outcomes = ParallelMap<CellOutcome>(
+      tasks.size(), [&](size_t t) -> CellOutcome {
+        const CellTask& task = tasks[t];
+        CellOutcome out;
+        Matrix cell_numeric = data.Subset(task.indices).NumericMatrix();
+        if (cell_numeric.cols() == 0) {
+          // No numeric attributes to rank on: keep the cell whole.
+          out.kept = task.indices;
+          return out;
+        }
+        Result<std::vector<size_t>> ranking =
+            DensityRanking(cell_numeric, options.kde);
+        if (!ranking.ok()) {
+          out.status = ranking.status();
+          return out;
+        }
+        out.kept.reserve(task.keep);
+        for (size_t i = 0; i < task.keep; ++i) {
+          out.kept.push_back(task.indices[ranking.value()[i]]);
+        }
+        return out;
+      });
+  for (const CellOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+    kept.insert(kept.end(), out.kept.begin(), out.kept.end());
+  }
+
   if (kept.empty()) {
     return Status::InvalidArgument("DensityFilter: nothing kept");
   }

@@ -4,6 +4,7 @@
 
 #include "ml/threshold.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -80,7 +81,9 @@ Result<std::vector<int>> DiffairModel::Route(const Dataset& serving) const {
   std::vector<int> route(serving.size(), fallback_group_);
   if (numeric.cols() == 0) return route;
 
-  for (size_t i = 0; i < serving.size(); ++i) {
+  // Serving tuples route independently (the profile is read-only here), so
+  // the scan parallelizes over rows; each row writes only its own slot.
+  ParallelFor(0, serving.size(), [&](size_t i) {
     std::vector<double> row = numeric.Row(i);
     double best = std::numeric_limits<double>::infinity();
     int best_group = fallback_group_;
@@ -100,7 +103,7 @@ Result<std::vector<int>> DiffairModel::Route(const Dataset& serving) const {
       }
     }
     route[i] = best_group;
-  }
+  });
   return route;
 }
 

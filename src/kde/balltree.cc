@@ -26,32 +26,40 @@ Result<BallTree> BallTree::Build(const Matrix& points, size_t leaf_size) {
     return Status::InvalidArgument("BallTree::Build: empty point set");
   }
   BallTree tree;
-  tree.points_ = points;
   tree.order_.resize(points.rows());
   std::iota(tree.order_.begin(), tree.order_.end(), size_t{0});
   tree.nodes_.reserve(2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2);
-  tree.BuildNode(0, points.rows(), std::max<size_t>(leaf_size, 1));
+  tree.BuildNode(points, 0, points.rows(), std::max<size_t>(leaf_size, 1));
+  // Store the points permuted into node order so leaf scans (the KDE's
+  // inner loop) sweep contiguous memory; order_ keeps the map back to the
+  // caller's row ids. This is the only copy the build makes.
+  tree.points_ = Matrix(points.rows(), points.cols());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double* src = points.RowPtr(tree.order_[i]);
+    std::copy(src, src + points.cols(), tree.points_.RowPtr(i));
+  }
   return tree;
 }
 
-int BallTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
+int BallTree::BuildNode(const Matrix& pts, size_t begin, size_t end,
+                        size_t leaf_size) {
   int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
-  const size_t d = points_.cols();
+  const size_t d = pts.cols();
   {
     Node& node = nodes_.back();
     node.begin = begin;
     node.end = end;
     node.centroid.assign(d, 0.0);
     for (size_t i = begin; i < end; ++i) {
-      const double* row = points_.RowPtr(order_[i]);
+      const double* row = pts.RowPtr(order_[i]);
       for (size_t j = 0; j < d; ++j) node.centroid[j] += row[j];
     }
     const double count = static_cast<double>(end - begin);
     for (size_t j = 0; j < d; ++j) node.centroid[j] /= count;
     double r2 = 0.0;
     for (size_t i = begin; i < end; ++i) {
-      r2 = std::max(r2, SqDist(points_.RowPtr(order_[i]),
+      r2 = std::max(r2, SqDist(pts.RowPtr(order_[i]),
                                node.centroid.data(), d));
     }
     node.radius = std::sqrt(r2);
@@ -66,7 +74,7 @@ int BallTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
     double lo = std::numeric_limits<double>::infinity();
     double hi = -lo;
     for (size_t i = begin; i < end; ++i) {
-      const double v = points_.At(order_[i], j);
+      const double v = pts.At(order_[i], j);
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
@@ -82,11 +90,11 @@ int BallTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
                    order_.begin() + static_cast<ptrdiff_t>(mid),
                    order_.begin() + static_cast<ptrdiff_t>(end),
                    [&](size_t a, size_t b) {
-                     return points_.At(a, split_dim) < points_.At(b, split_dim);
+                     return pts.At(a, split_dim) < pts.At(b, split_dim);
                    });
 
-  int left = BuildNode(begin, mid, leaf_size);
-  int right = BuildNode(mid, end, leaf_size);
+  int left = BuildNode(pts, begin, mid, leaf_size);
+  int right = BuildNode(pts, mid, end, leaf_size);
   nodes_[static_cast<size_t>(node_id)].left = left;
   nodes_[static_cast<size_t>(node_id)].right = right;
   return node_id;
@@ -123,7 +131,7 @@ void BallTree::KnnRecurse(int node_id, const std::vector<double>& query,
     for (size_t i = node.begin; i < node.end; ++i) {
       const size_t idx = order_[i];
       const double d2 =
-          SqDist(points_.RowPtr(idx), query.data(), query.size());
+          SqDist(points_.RowPtr(i), query.data(), query.size());
       if (heap->size() < k) {
         heap->emplace_back(d2, idx);
         std::push_heap(heap->begin(), heap->end());
@@ -191,9 +199,11 @@ double BallTree::KernelSumRecurse(int node_id,
     }
   }
   if (node.left < 0) {
+    // Rows [begin, end) are stored contiguously (points_ is in node
+    // order), so this sweep is cache-linear.
     double acc = 0.0;
     for (size_t i = node.begin; i < node.end; ++i) {
-      const double* row = points_.RowPtr(order_[i]);
+      const double* row = points_.RowPtr(i);
       double u2 = 0.0;
       for (size_t j = 0; j < query.size(); ++j) {
         const double d = (row[j] - query[j]) * inv_bandwidth[j];

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace fairdrift {
 
 namespace {
@@ -56,19 +58,31 @@ double KernelDensity::LogDensity(const std::vector<double>& point) const {
   return std::log(sum) + log_norm_;
 }
 
-std::vector<double> KernelDensity::EvaluateAll(const Matrix& queries) const {
+std::vector<double> KernelDensity::EvaluateAll(const Matrix& queries,
+                                               ThreadPool* pool) const {
   std::vector<double> out(queries.rows());
-  for (size_t i = 0; i < queries.rows(); ++i) {
-    out[i] = Evaluate(queries.Row(i));
-  }
+  double norm = std::exp(log_norm_);
+  ParallelFor(
+      0, queries.rows(),
+      [&](size_t i) { out[i] = KernelSum(queries.Row(i)) * norm; }, pool);
+  return out;
+}
+
+std::vector<double> KernelDensity::LogDensityAll(const Matrix& queries,
+                                                 ThreadPool* pool) const {
+  std::vector<double> out(queries.rows());
+  ParallelFor(
+      0, queries.rows(), [&](size_t i) { out[i] = LogDensity(queries.Row(i)); },
+      pool);
   return out;
 }
 
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,
-                                           const KdeOptions& options) {
+                                           const KdeOptions& options,
+                                           ThreadPool* pool) {
   Result<KernelDensity> kde = KernelDensity::Fit(data, options);
   if (!kde.ok()) return kde.status();
-  std::vector<double> density = kde.value().EvaluateAll(data);
+  std::vector<double> density = kde.value().EvaluateAll(data, pool);
   std::vector<size_t> order(data.rows());
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {

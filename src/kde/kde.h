@@ -17,6 +17,8 @@
 
 namespace fairdrift {
 
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
 /// Spatial index accelerating the kernel sums. KD boxes prune tighter in
 /// low dimensions; ball bounds stay O(d) per node and are the structure
 /// the paper names for higher-dimensional inputs (§III-C, "m > 20").
@@ -48,8 +50,17 @@ class KernelDensity {
   /// Log-density at `point` (floor-guarded against -inf).
   double LogDensity(const std::vector<double>& point) const;
 
-  /// Densities of every row of `queries`.
-  std::vector<double> EvaluateAll(const Matrix& queries) const;
+  /// Densities of every row of `queries`. Queries are independent
+  /// tree-pruned kernel sums, evaluated in parallel on `pool` (the global
+  /// pool when null). Results are bitwise identical for every worker
+  /// count, including an inline 0-worker pool.
+  std::vector<double> EvaluateAll(const Matrix& queries,
+                                  ThreadPool* pool = nullptr) const;
+
+  /// Log-densities of every row of `queries` (same floor guard as
+  /// LogDensity), batched and parallel like EvaluateAll.
+  std::vector<double> LogDensityAll(const Matrix& queries,
+                                    ThreadPool* pool = nullptr) const;
 
   /// Per-dimension bandwidths in use.
   const std::vector<double>& bandwidth() const { return bandwidth_; }
@@ -75,9 +86,11 @@ class KernelDensity {
 
 /// Ranks the rows of `data` by KDE density (self-evaluation) and returns
 /// row indices in descending density order. This is the sort step of the
-/// paper's Algorithm 3.
+/// paper's Algorithm 3. Self-evaluation runs through the batched parallel
+/// EvaluateAll on `pool` (global pool when null).
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,
-                                           const KdeOptions& options = {});
+                                           const KdeOptions& options = {},
+                                           ThreadPool* pool = nullptr);
 
 }  // namespace fairdrift
 

@@ -12,26 +12,34 @@ Result<KdTree> KdTree::Build(const Matrix& points, size_t leaf_size) {
     return Status::InvalidArgument("KdTree::Build: empty point set");
   }
   KdTree tree;
-  tree.points_ = points;
   tree.order_.resize(points.rows());
   std::iota(tree.order_.begin(), tree.order_.end(), size_t{0});
   tree.nodes_.reserve(2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2);
-  tree.BuildNode(0, points.rows(), std::max<size_t>(leaf_size, 1));
+  tree.BuildNode(points, 0, points.rows(), std::max<size_t>(leaf_size, 1));
+  // Store the points permuted into node order so leaf scans (the KDE's
+  // inner loop) sweep contiguous memory; order_ keeps the map back to the
+  // caller's row ids. This is the only copy the build makes.
+  tree.points_ = Matrix(points.rows(), points.cols());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double* src = points.RowPtr(tree.order_[i]);
+    std::copy(src, src + points.cols(), tree.points_.RowPtr(i));
+  }
   return tree;
 }
 
-int KdTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
+int KdTree::BuildNode(const Matrix& pts, size_t begin, size_t end,
+                      size_t leaf_size) {
   int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   {
     Node& node = nodes_.back();
     node.begin = begin;
     node.end = end;
-    size_t d = points_.cols();
+    size_t d = pts.cols();
     node.box.lo.assign(d, std::numeric_limits<double>::infinity());
     node.box.hi.assign(d, -std::numeric_limits<double>::infinity());
     for (size_t i = begin; i < end; ++i) {
-      const double* row = points_.RowPtr(order_[i]);
+      const double* row = pts.RowPtr(order_[i]);
       for (size_t j = 0; j < d; ++j) {
         node.box.lo[j] = std::min(node.box.lo[j], row[j]);
         node.box.hi[j] = std::max(node.box.hi[j], row[j]);
@@ -42,7 +50,7 @@ int KdTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
   if (end - begin <= leaf_size) return node_id;
 
   // Split at the median of the widest dimension.
-  size_t d = points_.cols();
+  size_t d = pts.cols();
   size_t split_dim = 0;
   double best_width = -1.0;
   for (size_t j = 0; j < d; ++j) {
@@ -59,11 +67,11 @@ int KdTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
                    order_.begin() + static_cast<ptrdiff_t>(mid),
                    order_.begin() + static_cast<ptrdiff_t>(end),
                    [&](size_t a, size_t b) {
-                     return points_.At(a, split_dim) < points_.At(b, split_dim);
+                     return pts.At(a, split_dim) < pts.At(b, split_dim);
                    });
 
-  int left = BuildNode(begin, mid, leaf_size);
-  int right = BuildNode(mid, end, leaf_size);
+  int left = BuildNode(pts, begin, mid, leaf_size);
+  int right = BuildNode(pts, mid, end, leaf_size);
   nodes_[node_id].left = left;
   nodes_[node_id].right = right;
   return node_id;
@@ -143,7 +151,7 @@ void KdTree::KnnRecurse(int node_id, const std::vector<double>& query,
     for (size_t i = node.begin; i < node.end; ++i) {
       size_t idx = order_[i];
       double d2 = 0.0;
-      const double* row = points_.RowPtr(idx);
+      const double* row = points_.RowPtr(i);
       for (size_t j = 0; j < query.size(); ++j) {
         double d = row[j] - query[j];
         d2 += d * d;
@@ -197,9 +205,11 @@ double KdTree::KernelSumRecurse(int node_id, const std::vector<double>& query,
     }
   }
   if (node.left < 0) {
+    // Rows [begin, end) are stored contiguously (points_ is in node
+    // order), so this sweep is cache-linear.
     double acc = 0.0;
     for (size_t i = node.begin; i < node.end; ++i) {
-      const double* row = points_.RowPtr(order_[i]);
+      const double* row = points_.RowPtr(i);
       double u2 = 0.0;
       for (size_t j = 0; j < query.size(); ++j) {
         double d = (row[j] - query[j]) * inv_bandwidth[j];

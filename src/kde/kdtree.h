@@ -62,7 +62,7 @@ class KdTree {
     BoundingBox box;
   };
 
-  int BuildNode(size_t begin, size_t end, size_t leaf_size);
+  int BuildNode(const Matrix& pts, size_t begin, size_t end, size_t leaf_size);
   void KnnRecurse(int node_id, const std::vector<double>& query, size_t k,
                   std::vector<std::pair<double, size_t>>* heap) const;
   double KernelSumRecurse(int node_id, const std::vector<double>& query,
@@ -78,8 +78,8 @@ class KdTree {
                                 const std::vector<double>& query,
                                 const std::vector<double>& inv_bandwidth);
 
-  Matrix points_;
-  std::vector<size_t> order_;  // permutation of point indices, node-contiguous
+  Matrix points_;              // rows permuted into node-contiguous order
+  std::vector<size_t> order_;  // order_[i] = caller row id of points_ row i
   std::vector<Node> nodes_;
 };
 

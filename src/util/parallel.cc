@@ -1,0 +1,142 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace fairdrift {
+
+namespace {
+
+// Pool the current thread is a worker of (nullptr on external threads).
+// Used to detect nested parallel loops and run them inline.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+size_t DefaultParallelism() {
+  if (const char* env = std::getenv("FAIRDRIFT_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::For(size_t begin, size_t end,
+                     const std::function<void(size_t)>& body, size_t grain) {
+  if (begin >= end) return;
+  size_t n = end - begin;
+  // Inline paths: no workers, a trivial range, or a nested loop on a worker
+  // (re-enqueueing from a worker could deadlock with every worker waiting).
+  if (threads_.empty() || n == 1 || OnWorkerThread()) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  if (grain == 0) {
+    grain = std::max<size_t>(1, n / (threads_.size() * 4));
+  }
+
+  // Shared loop state. Lives on the caller's stack: For() only returns
+  // after every helper task has finished with it.
+  struct LoopState {
+    std::atomic<size_t> next;
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;
+    size_t pending = 0;
+    std::mutex mu;
+    std::condition_variable done;
+  } state;
+  state.next.store(begin, std::memory_order_relaxed);
+
+  auto run_chunks = [&state, &body, end, grain] {
+    while (!state.abort.load(std::memory_order_relaxed)) {
+      size_t chunk = state.next.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk >= end) break;
+      size_t chunk_end = std::min(chunk + grain, end);
+      try {
+        for (size_t i = chunk; i < chunk_end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error) state.error = std::current_exception();
+        state.abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  size_t num_chunks = (n + grain - 1) / grain;
+  // The caller participates, so helpers beyond num_chunks - 1 would only
+  // ever see an exhausted counter.
+  size_t helpers = std::min(threads_.size(), num_chunks - 1);
+  state.pending = helpers;
+  for (size_t t = 0; t < helpers; ++t) {
+    Enqueue([&state, &run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending == 0) state.done.notify_one();
+    });
+  }
+  run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] { return state.pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = new ThreadPool(DefaultParallelism());
+  return *pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body, ThreadPool* pool) {
+  (pool ? *pool : GlobalThreadPool()).For(begin, end, body);
+}
+
+}  // namespace fairdrift

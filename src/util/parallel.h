@@ -1,0 +1,103 @@
+// Reusable thread pool and data-parallel loops.
+//
+// The density-based drift scoring (Algorithm 3's KDE ranking, DIFFAIR's
+// per-tuple routing, CONFAIR's conformance scans) is embarrassingly
+// parallel over rows; this is the substrate every batched hot path routes
+// through. Design constraints, in order:
+//
+//   1. Determinism: ParallelFor/ParallelMap assign each index to exactly
+//      one invocation that writes only its own output slot, so results are
+//      bitwise identical across worker counts (including 0).
+//   2. Exceptions: the first exception thrown by a body is captured and
+//      rethrown on the calling thread after the loop drains; remaining
+//      chunks are abandoned promptly.
+//   3. Nesting: a parallel loop entered from inside a pool worker runs
+//      inline on that worker instead of re-enqueueing, so nested
+//      parallelism (e.g. a parallel per-cell filter whose cells each call
+//      the parallel KDE) cannot deadlock the pool.
+
+#ifndef FAIRDRIFT_UTIL_PARALLEL_H_
+#define FAIRDRIFT_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fairdrift {
+
+/// Worker count used by the global pool: the `FAIRDRIFT_THREADS` environment
+/// variable when set to a non-negative integer (0 forces fully inline
+/// execution), else hardware_concurrency().
+size_t DefaultParallelism();
+
+/// Fixed-size pool of worker threads with a shared task queue.
+///
+/// A pool with 0 workers is valid and degrades every operation to inline
+/// execution on the calling thread — callers never branch on pool size.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = fully inline pool).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `body(i)` for every i in [begin, end). Blocks until all indices
+  /// complete (or an exception aborts the loop; see class comment).
+  /// `grain` indices are handed to a worker at a time; 0 picks a grain
+  /// that yields ~4 chunks per worker.
+  void For(size_t begin, size_t end, const std::function<void(size_t)>& body,
+           size_t grain = 0);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  bool shutdown_ = false;
+};
+
+/// The process-wide pool (DefaultParallelism() workers, created on first
+/// use). All batched library entry points default to this pool when the
+/// caller does not pass one.
+ThreadPool& GlobalThreadPool();
+
+/// Runs `body(i)` for i in [begin, end) on `pool` (global pool when null).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 ThreadPool* pool = nullptr);
+
+/// Maps `fn` over [0, n) into a vector. `T` must be default-constructible;
+/// out[i] is written only by the invocation that computed fn(i), so the
+/// result is identical for every worker count. T = bool is rejected:
+/// std::vector<bool> packs bits, so adjacent slots share a byte and
+/// concurrent writes would race — use uint8_t.
+template <typename T>
+std::vector<T> ParallelMap(size_t n, const std::function<T(size_t)>& fn,
+                           ThreadPool* pool = nullptr) {
+  static_assert(!std::is_same<T, bool>::value,
+                "ParallelMap<bool> races on std::vector<bool>'s packed "
+                "bits; use uint8_t");
+  std::vector<T> out(n);
+  ParallelFor(
+      0, n, [&](size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_UTIL_PARALLEL_H_

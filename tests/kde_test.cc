@@ -332,5 +332,80 @@ TEST(BallTreeTest, DensityRankingAgreesAcrossBackends) {
   EXPECT_EQ(a.value(), b.value());
 }
 
+// ------------------------------------------- batched KDE vs brute force
+//
+// Property tests: the tree-accelerated batched evaluation must agree with
+// the definitionally-correct brute-force Gaussian product-kernel sum on
+// random data, across dimensions 1-8 and both tree backends.
+
+// Brute-force pdf at q: sum_i exp(-0.5 ||(x_i - q)/h||^2) / (n prod h (2pi)^{d/2}).
+double BruteForceDensity(const Matrix& data, const std::vector<double>& h,
+                         const std::vector<double>& q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double sq = 0.0;
+    for (size_t j = 0; j < data.cols(); ++j) {
+      double z = (data.At(i, j) - q[j]) / h[j];
+      sq += z * z;
+    }
+    sum += std::exp(-0.5 * sq);
+  }
+  double norm = static_cast<double>(data.rows());
+  for (double hj : h) norm *= hj;
+  norm *= std::pow(2.0 * M_PI, 0.5 * static_cast<double>(data.cols()));
+  return sum / norm;
+}
+
+TEST(KdeBruteForcePropertyTest, ExactBatchedMatchesBruteForceAcrossDims) {
+  for (size_t d = 1; d <= 8; ++d) {
+    for (KdeTreeBackend backend :
+         {KdeTreeBackend::kKdTree, KdeTreeBackend::kBallTree}) {
+      Matrix data = RandomPoints(250, d, 100 + d);
+      Matrix queries = RandomPoints(40, d, 200 + d);
+      KdeOptions opts;
+      opts.approximation_atol = 0.0;  // exact-sum contract
+      opts.leaf_size = 8;             // force deep trees
+      opts.tree_backend = backend;
+      Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+      ASSERT_TRUE(kde.ok()) << "dim " << d;
+      std::vector<double> batched = kde->EvaluateAll(queries);
+      ASSERT_EQ(batched.size(), queries.rows());
+      for (size_t i = 0; i < queries.rows(); ++i) {
+        double expected =
+            BruteForceDensity(data, kde->bandwidth(), queries.Row(i));
+        EXPECT_NEAR(batched[i], expected, 1e-12 + 1e-9 * expected)
+            << "dim " << d << ", query " << i << ", backend "
+            << (backend == KdeTreeBackend::kKdTree ? "kd" : "ball");
+      }
+    }
+  }
+}
+
+TEST(KdeBruteForcePropertyTest, ApproxBatchedWithinToleranceBound) {
+  // Midpoint pruning errs at most atol per training point in the kernel
+  // sum, so the density error is bounded by atol * n * normalization.
+  const double atol = 1e-3;
+  for (size_t d = 1; d <= 8; ++d) {
+    Matrix data = RandomPoints(300, d, 300 + d);
+    Matrix queries = RandomPoints(30, d, 400 + d);
+    KdeOptions opts;
+    opts.approximation_atol = atol;
+    opts.leaf_size = 8;
+    Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+    ASSERT_TRUE(kde.ok()) << "dim " << d;
+    double norm = static_cast<double>(data.rows());
+    for (double hj : kde->bandwidth()) norm *= hj;
+    norm *= std::pow(2.0 * M_PI, 0.5 * static_cast<double>(d));
+    double bound = atol * static_cast<double>(data.rows()) / norm;
+    std::vector<double> batched = kde->EvaluateAll(queries);
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      double expected =
+          BruteForceDensity(data, kde->bandwidth(), queries.Row(i));
+      EXPECT_NEAR(batched[i], expected, bound) << "dim " << d << ", query "
+                                               << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fairdrift
