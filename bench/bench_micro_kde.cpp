@@ -1,13 +1,22 @@
 // Micro-benchmarks for the tree-backed KDE: construction, exact vs
 // tolerance-pruned evaluation, the KD-tree / ball-tree backend contrast
 // across dimensionality (paper §III-C names ball trees for m > 20), and
-// the Algorithm 3 density ranking.
+// the Algorithm 3 density ranking. After the google-benchmark run, main()
+// times a fixed single-thread batched-evaluation probe at n = 10240 and a
+// cache-reuse probe, and writes both to BENCH_kde.json (see
+// bench_common/bench_json.h) so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_common/bench_json.h"
 #include "kde/balltree.h"
 #include "kde/kde.h"
+#include "kde/kde_cache.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace fairdrift {
 namespace {
@@ -187,14 +196,82 @@ BENCHMARK(BM_KdeBatchEvaluateAll)->Arg(4096)->Arg(10240)->Arg(16384)
 void BM_DensityRanking(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   Matrix data = RandomData(n, 4, 4);
+  // Bypass the fit cache: this benchmark tracks the full fit + evaluate +
+  // sort path, and a cached fit would turn iterations 2..N into lookup
+  // timings.
+  KdeOptions opts;
+  opts.use_fit_cache = false;
   for (auto _ : state) {
-    Result<std::vector<size_t>> order = DensityRanking(data);
+    Result<std::vector<size_t>> order = DensityRanking(data, opts);
     benchmark::DoNotOptimize(order.ok());
   }
 }
 BENCHMARK(BM_DensityRanking)->RangeMultiplier(4)->Range(512, 8192);
 
+// Fixed probes behind the BENCH_kde.json metrics. The batched probe is
+// single-threaded (an inline 0-worker pool) so the number isolates the
+// flat traversal itself rather than the machine's core count; the cache
+// probe ranks the same matrix twice and reports the resulting hit rate.
+void WriteKdeBenchJson() {
+  const size_t n = 10240;
+  const size_t d = 4;
+  Matrix data = RandomData(n, d, 8);
+  KdeOptions opts;  // default atol = 1e-4, KD backend
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    std::fprintf(stderr, "BENCH_kde.json probe: fit failed\n");
+    return;
+  }
+  ThreadPool inline_pool(0);
+  std::vector<double> out = kde->EvaluateAll(data, &inline_pool);  // warm-up
+  WallTimer timer;
+  int reps = 0;
+  while (timer.ElapsedSeconds() < 0.7) {
+    out = kde->EvaluateAll(data, &inline_pool);
+    ++reps;
+  }
+  double seconds = timer.ElapsedSeconds();
+  double ns_per_query = seconds * 1e9 / (static_cast<double>(reps) *
+                                         static_cast<double>(n));
+  out = kde->EvaluateAll(data);  // global-pool warm-up (spawns workers)
+  WallTimer parallel_timer;
+  int parallel_reps = 0;
+  while (parallel_timer.ElapsedSeconds() < 0.5) {
+    out = kde->EvaluateAll(data);
+    ++parallel_reps;
+  }
+  double parallel_seconds =
+      parallel_timer.ElapsedSeconds() / static_cast<double>(parallel_reps);
+
+  GlobalKdeCache().ResetStats();
+  (void)DensityRanking(data, opts);
+  (void)DensityRanking(data, opts);  // second ranking must hit the cache
+
+  std::vector<BenchJsonSection> sections;
+  BenchJsonSection micro;
+  micro.name = "micro_kde";
+  micro.metrics = {
+      {"n", static_cast<double>(n)},
+      {"dim", static_cast<double>(d)},
+      {"single_thread_ns_per_query", ns_per_query},
+      {"single_thread_queries_per_sec", 1e9 / ns_per_query},
+      {"parallel_queries_per_sec",
+       static_cast<double>(n) / parallel_seconds},
+  };
+  sections.push_back(std::move(micro));
+  sections.push_back(KdeCacheSection());
+  Status st = WriteBenchJson(sections);
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+}
+
 }  // namespace
 }  // namespace fairdrift
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fairdrift::WriteKdeBenchJson();
+  return 0;
+}

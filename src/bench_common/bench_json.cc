@@ -1,0 +1,56 @@
+#include "bench_common/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kde/kde.h"
+#include "kde/kde_cache.h"
+
+namespace fairdrift {
+
+std::string BenchJsonPath() {
+  if (const char* env = std::getenv("FAIRDRIFT_BENCH_JSON")) {
+    if (env[0] != '\0') return env;
+  }
+  return "BENCH_kde.json";
+}
+
+Status WriteBenchJson(const std::vector<BenchJsonSection>& sections,
+                      const std::string& path) {
+  std::string dest = path.empty() ? BenchJsonPath() : path;
+  std::FILE* f = std::fopen(dest.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("WriteBenchJson: cannot open " + dest);
+  }
+  std::fprintf(f, "{\n");
+  for (size_t s = 0; s < sections.size(); ++s) {
+    std::fprintf(f, "  \"%s\": {\n", sections[s].name.c_str());
+    const auto& metrics = sections[s].metrics;
+    for (size_t m = 0; m < metrics.size(); ++m) {
+      std::fprintf(f, "    \"%s\": %.17g%s\n", metrics[m].first.c_str(),
+                   metrics[m].second, m + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "  }%s\n", s + 1 < sections.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", dest.c_str());
+  return Status::OK();
+}
+
+BenchJsonSection KdeCacheSection() {
+  KdeCache::Stats stats = GlobalKdeCache().stats();
+  BenchJsonSection section;
+  section.name = "kde_cache";
+  section.metrics = {
+      {"hits", static_cast<double>(stats.hits)},
+      {"misses", static_cast<double>(stats.misses)},
+      {"hit_rate", stats.hit_rate()},
+      {"evictions", static_cast<double>(stats.evictions)},
+      {"entries", static_cast<double>(stats.entries)},
+      {"total_fit_calls", static_cast<double>(KernelDensity::TotalFitCount())},
+  };
+  return section;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,50 @@
+// Machine-readable benchmark emission (BENCH_kde.json).
+//
+// The perf-sensitive benches write a small JSON file of named metric
+// sections so the KDE perf trajectory (ns/query, queries/sec, cache hit
+// rate) can be tracked across PRs and uploaded as a CI artifact, instead
+// of living only in scrollback. The format is deliberately flat:
+//
+//   {
+//     "micro_kde": {"single_thread_ns_per_query": 24301.5, ...},
+//     "kde_cache": {"hits": 132, "misses": 12, "hit_rate": 0.9166, ...}
+//   }
+//
+// Section and metric names are identifier-like by convention (no escaping
+// is performed); values are doubles rendered with %.17g so integers
+// round-trip exactly.
+
+#ifndef FAIRDRIFT_BENCH_COMMON_BENCH_JSON_H_
+#define FAIRDRIFT_BENCH_COMMON_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// One named group of metrics.
+struct BenchJsonSection {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Output path: $FAIRDRIFT_BENCH_JSON when set, else "BENCH_kde.json" in
+/// the working directory.
+std::string BenchJsonPath();
+
+/// Writes `sections` to `path` (BenchJsonPath() when empty), replacing any
+/// existing file, and logs the destination to stderr.
+Status WriteBenchJson(const std::vector<BenchJsonSection>& sections,
+                      const std::string& path = "");
+
+/// The global KDE cache and fit counters as a ready-made section named
+/// "kde_cache" (hits, misses, hit_rate, evictions, entries,
+/// total_fit_calls). Appended by every bench that touches the KDE path.
+BenchJsonSection KdeCacheSection();
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_BENCH_COMMON_BENCH_JSON_H_

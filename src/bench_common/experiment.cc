@@ -4,6 +4,8 @@
 
 #include "bench_common/table.h"
 #include "datagen/realworld.h"
+#include "kde/kde.h"
+#include "kde/kde_cache.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -104,7 +106,11 @@ std::string MetricCell(const TrialSummary& summary, double value) {
 void RunAndPrintMethodGrid(const std::vector<NamedDataset>& datasets,
                            const std::vector<NamedMethod>& methods,
                            int trials, uint64_t seed) {
-  // Run the full grid once, then render one table per metric.
+  // Run the full grid once, then render one table per metric. Method
+  // columns re-split with the same seed, so the KDE fit cache carries
+  // fitted estimators across cells; the counters are reported below.
+  GlobalKdeCache().ResetStats();
+  uint64_t fits_before = KernelDensity::TotalFitCount();
   std::vector<std::vector<TrialSummary>> grid(datasets.size());
   for (size_t di = 0; di < datasets.size(); ++di) {
     grid[di].resize(methods.size());
@@ -151,6 +157,18 @@ void RunAndPrintMethodGrid(const std::vector<NamedDataset>& datasets,
       table.AddRow(std::move(row));
     }
     table.Print();
+  }
+
+  KdeCache::Stats stats = GlobalKdeCache().stats();
+  if (stats.hits + stats.misses > 0) {
+    std::fprintf(stderr,
+                 "KDE fit cache: %llu hits / %llu misses (hit rate %.3f), "
+                 "%llu Fit calls this grid\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 stats.hit_rate(),
+                 static_cast<unsigned long long>(KernelDensity::TotalFitCount() -
+                                                 fits_before));
   }
 }
 

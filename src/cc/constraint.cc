@@ -14,11 +14,19 @@ constexpr double kSigmaFloor = 1e-9;
 }  // namespace
 
 double ConformanceConstraint::Distance(const std::vector<double>& row) const {
+  return Distance(row.data());
+}
+
+double ConformanceConstraint::Distance(const double* row) const {
   double v = projection.Apply(row);
   return std::max({0.0, v - upper_bound, lower_bound - v});
 }
 
 double ConformanceConstraint::Violation(const std::vector<double>& row) const {
+  return Violation(row.data());
+}
+
+double ConformanceConstraint::Violation(const double* row) const {
   double dist = Distance(row);
   if (dist <= 0.0) return 0.0;
   double sigma = std::max(stddev, kSigmaFloor);
@@ -26,11 +34,19 @@ double ConformanceConstraint::Violation(const std::vector<double>& row) const {
 }
 
 bool ConformanceConstraint::Satisfies(const std::vector<double>& row) const {
+  return Satisfies(row.data());
+}
+
+bool ConformanceConstraint::Satisfies(const double* row) const {
   return Distance(row) <= 0.0;
 }
 
 double ConformanceConstraint::SignedMargin(
     const std::vector<double>& row) const {
+  return SignedMargin(row.data());
+}
+
+double ConformanceConstraint::SignedMargin(const double* row) const {
   double v = projection.Apply(row);
   double sigma = std::max(stddev, kSigmaFloor);
   double above = v - upper_bound;
@@ -83,6 +99,10 @@ Result<ConstraintSet> ConstraintSet::Create(
 }
 
 double ConstraintSet::Violation(const std::vector<double>& row) const {
+  return Violation(row.data());
+}
+
+double ConstraintSet::Violation(const double* row) const {
   double acc = 0.0;
   for (const auto& c : constraints_) {
     acc += c.importance * c.Violation(row);
@@ -91,6 +111,10 @@ double ConstraintSet::Violation(const std::vector<double>& row) const {
 }
 
 double ConstraintSet::SignedMargin(const std::vector<double>& row) const {
+  return SignedMargin(row.data());
+}
+
+double ConstraintSet::SignedMargin(const double* row) const {
   double acc = 0.0;
   for (const auto& c : constraints_) {
     acc += c.importance * c.SignedMargin(row);
@@ -101,12 +125,16 @@ double ConstraintSet::SignedMargin(const std::vector<double>& row) const {
 std::vector<double> ConstraintSet::ViolationAll(const Matrix& data) const {
   std::vector<double> out(data.rows());
   for (size_t r = 0; r < data.rows(); ++r) {
-    out[r] = Violation(data.Row(r));
+    out[r] = Violation(data.RowPtr(r));
   }
   return out;
 }
 
 bool ConstraintSet::Satisfies(const std::vector<double>& row) const {
+  return Satisfies(row.data());
+}
+
+bool ConstraintSet::Satisfies(const double* row) const {
   for (const auto& c : constraints_) {
     if (!c.Satisfies(row)) return false;
   }

@@ -37,18 +37,22 @@ struct ConformanceConstraint {
 
   /// dist(F, t): how far the projection value falls outside the bounds.
   double Distance(const std::vector<double>& row) const;
+  double Distance(const double* row) const;  ///< span form, no copies
 
   /// [[phi]](t) = 1 - exp(-dist/sigma), in [0, 1).
   double Violation(const std::vector<double>& row) const;
+  double Violation(const double* row) const;  ///< span form, no copies
 
   /// Signed, sigma-scaled margin: positive distance beyond the bounds, or
   /// *negative* depth inside them (how comfortably the tuple conforms).
   /// Used by DIFFAIR's router to break zero-violation ties in regions
   /// where several cells' constraints all hold.
   double SignedMargin(const std::vector<double>& row) const;
+  double SignedMargin(const double* row) const;  ///< span form, no copies
 
   /// Boolean semantics: inside the bounds.
   bool Satisfies(const std::vector<double>& row) const;
+  bool Satisfies(const double* row) const;  ///< span form, no copies
 
   /// Pretty "lb <= c1*x1 + ... <= ub" rendering for reports.
   std::string ToString(const std::vector<std::string>& attr_names = {}) const;
@@ -72,17 +76,20 @@ class ConstraintSet {
 
   /// [[Phi]](t): importance-weighted violation in [0, 1).
   double Violation(const std::vector<double>& row) const;
+  double Violation(const double* row) const;  ///< span form, no copies
 
   /// Importance-weighted signed margin (see
   /// ConformanceConstraint::SignedMargin); equals 0 exactly on the bound
   /// surface, negative strictly inside every constraint.
   double SignedMargin(const std::vector<double>& row) const;
+  double SignedMargin(const double* row) const;  ///< span form, no copies
 
   /// Violations for every row of `data`.
   std::vector<double> ViolationAll(const Matrix& data) const;
 
   /// Boolean semantics: all member constraints satisfied.
   bool Satisfies(const std::vector<double>& row) const;
+  bool Satisfies(const double* row) const;  ///< span form, no copies
 
   /// Number of attributes the projections expect.
   size_t input_dim() const {

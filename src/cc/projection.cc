@@ -6,6 +6,10 @@ namespace fairdrift {
 
 double Projection::Apply(const std::vector<double>& row) const {
   assert(row.size() == coeffs.size());
+  return Apply(row.data());
+}
+
+double Projection::Apply(const double* row) const {
   double acc = offset;
   for (size_t j = 0; j < coeffs.size(); ++j) acc += coeffs[j] * row[j];
   return acc;
@@ -14,10 +18,7 @@ double Projection::Apply(const std::vector<double>& row) const {
 double Projection::ApplyRow(const Matrix& data, size_t r) const {
   assert(data.cols() == coeffs.size());
   assert(r < data.rows());
-  const double* row = data.RowPtr(r);
-  double acc = offset;
-  for (size_t j = 0; j < coeffs.size(); ++j) acc += coeffs[j] * row[j];
-  return acc;
+  return Apply(data.RowPtr(r));
 }
 
 std::vector<double> Projection::ApplyAll(const Matrix& data) const {

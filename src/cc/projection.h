@@ -23,6 +23,10 @@ struct Projection {
   /// Applies the projection to a raw attribute row.
   double Apply(const std::vector<double>& row) const;
 
+  /// Applies the projection to a raw attribute span of coeffs.size()
+  /// entries (the allocation-free form the hot query loops use).
+  double Apply(const double* row) const;
+
   /// Applies the projection to row `r` of `data`.
   double ApplyRow(const Matrix& data, size_t r) const;
 

@@ -83,7 +83,7 @@ Result<DriftReport> MeasureGroupDrift(const Dataset& data,
       if (!profile->GroupProfiled(h)) continue;
       double total = 0.0;
       for (size_t i : members[g]) {
-        total += profile->MinViolationForGroup(h, numeric.Row(i));
+        total += profile->MinViolationForGroup(h, numeric.RowPtr(i));
       }
       report.cross_violation.At(static_cast<size_t>(g),
                                 static_cast<size_t>(h)) =

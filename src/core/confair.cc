@@ -153,7 +153,7 @@ Result<ConfairWeights> ComputeConfairWeights(const Dataset& train,
 
     const std::optional<ConstraintSet>& cs = profile.value().cell(g, y);
     if (!cs.has_value()) return;
-    if (cs->Violation(numeric.Row(i)) > 0.0) return;  // conforming only
+    if (cs->Violation(numeric.RowPtr(i)) > 0.0) return;  // conforming only
     marks[i] = is_primary ? kPrimary : kSecondary;
   });
   for (size_t i = 0; i < n; ++i) {
@@ -254,7 +254,7 @@ Result<ConfairMultiWeights> ComputeConfairWeightsMultiGroup(
     std::vector<size_t> idx = train.CellIndices(cell.group, cell.label);
     std::vector<uint8_t> conforming = ParallelMap<uint8_t>(
         idx.size(), [&](size_t j) -> uint8_t {
-          return cs->Violation(numeric.Row(idx[j])) > 0.0 ? 0 : 1;
+          return cs->Violation(numeric.RowPtr(idx[j])) > 0.0 ? 0 : 1;
         });
     for (size_t j = 0; j < idx.size(); ++j) {
       if (!conforming[j]) continue;

@@ -57,6 +57,9 @@ Result<std::vector<size_t>> DensityFilterIndices(
   // EvaluateAll is parallel too; entered from a worker it degrades to an
   // inline loop, so cell-level parallelism wins when there are many small
   // cells and query-level parallelism wins when there are few big ones.
+  // DensityRanking resolves its fit through the global KdeCache, so
+  // repeated filters over the same training split (tuning grids, repeated
+  // bench trials) reuse one fitted estimator per cell.
   std::vector<CellOutcome> outcomes = ParallelMap<CellOutcome>(
       tasks.size(), [&](size_t t) -> CellOutcome {
         const CellTask& task = tasks[t];

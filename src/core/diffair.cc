@@ -84,7 +84,7 @@ Result<std::vector<int>> DiffairModel::Route(const Dataset& serving) const {
   // Serving tuples route independently (the profile is read-only here), so
   // the scan parallelizes over rows; each row writes only its own slot.
   ParallelFor(0, serving.size(), [&](size_t i) {
-    std::vector<double> row = numeric.Row(i);
+    const double* row = numeric.RowPtr(i);
     double best = std::numeric_limits<double>::infinity();
     int best_group = fallback_group_;
     for (int g = 0; g < num_groups_; ++g) {

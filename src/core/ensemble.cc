@@ -56,8 +56,7 @@ Result<Matrix> CcEnsembleModel::Weights(const Dataset& serving) const {
   Matrix numeric = serving.NumericMatrix();
   Matrix weights(serving.size(), static_cast<size_t>(num_groups_), 0.0);
   for (size_t i = 0; i < serving.size(); ++i) {
-    std::vector<double> row =
-        numeric.cols() > 0 ? numeric.Row(i) : std::vector<double>();
+    const double* row = numeric.cols() > 0 ? numeric.RowPtr(i) : nullptr;
     // Softmax over negative margins: deeper conformance => larger weight.
     double max_score = -std::numeric_limits<double>::infinity();
     std::vector<double> scores(static_cast<size_t>(num_groups_),
@@ -65,7 +64,7 @@ Result<Matrix> CcEnsembleModel::Weights(const Dataset& serving) const {
     for (int g = 0; g < num_groups_; ++g) {
       if (!models_[static_cast<size_t>(g)]) continue;
       double margin = 0.0;
-      if (!row.empty() && profile_.GroupProfiled(g)) {
+      if (row != nullptr && profile_.GroupProfiled(g)) {
         margin = profile_.MinMarginForGroup(g, row);
       }
       scores[static_cast<size_t>(g)] = -margin / temperature_;

@@ -56,6 +56,11 @@ const std::optional<ConstraintSet>& GroupLabelProfile::cell(int g,
 
 double GroupLabelProfile::MinViolationForGroup(
     int g, const std::vector<double>& numeric_row) const {
+  return MinViolationForGroup(g, numeric_row.data());
+}
+
+double GroupLabelProfile::MinViolationForGroup(
+    int g, const double* numeric_row) const {
   double best = std::numeric_limits<double>::infinity();
   for (int y = 0; y < num_classes_; ++y) {
     const std::optional<ConstraintSet>& cs = cell(g, y);
@@ -67,6 +72,11 @@ double GroupLabelProfile::MinViolationForGroup(
 
 double GroupLabelProfile::MinMarginForGroup(
     int g, const std::vector<double>& numeric_row) const {
+  return MinMarginForGroup(g, numeric_row.data());
+}
+
+double GroupLabelProfile::MinMarginForGroup(int g,
+                                            const double* numeric_row) const {
   double best = std::numeric_limits<double>::infinity();
   for (int y = 0; y < num_classes_; ++y) {
     const std::optional<ConstraintSet>& cs = cell(g, y);
@@ -78,6 +88,11 @@ double GroupLabelProfile::MinMarginForGroup(
 
 int GroupLabelProfile::BestLabelForGroup(
     int g, const std::vector<double>& numeric_row) const {
+  return BestLabelForGroup(g, numeric_row.data());
+}
+
+int GroupLabelProfile::BestLabelForGroup(int g,
+                                         const double* numeric_row) const {
   double best = std::numeric_limits<double>::infinity();
   int best_label = -1;
   for (int y = 0; y < num_classes_; ++y) {

@@ -62,16 +62,19 @@ class GroupLabelProfile {
   /// DIFFAIR's PREDICT uses (Algorithm 1, lines 15-16). Returns +inf when
   /// the group has no profiled cells.
   double MinViolationForGroup(int g, const std::vector<double>& numeric_row) const;
+  double MinViolationForGroup(int g, const double* numeric_row) const;  ///< span form
 
   /// min over labels y of the signed margin of cell (g, y): like
   /// MinViolationForGroup but strictly negative for tuples inside a
   /// cell's bounds, so zero-violation ties between groups resolve toward
   /// the cell the tuple conforms to most deeply. +inf when unprofiled.
   double MinMarginForGroup(int g, const std::vector<double>& numeric_row) const;
+  double MinMarginForGroup(int g, const double* numeric_row) const;  ///< span form
 
   /// The label y whose cell (g, y) the row conforms to best; -1 when the
   /// group has no profiled cells.
   int BestLabelForGroup(int g, const std::vector<double>& numeric_row) const;
+  int BestLabelForGroup(int g, const double* numeric_row) const;  ///< span form
 
   /// True when at least one cell of group g is profiled.
   bool GroupProfiled(int g) const;

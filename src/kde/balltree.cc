@@ -1,5 +1,7 @@
 #include "kde/balltree.h"
 
+#include "kde/leaf_scan.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -26,9 +28,16 @@ Result<BallTree> BallTree::Build(const Matrix& points, size_t leaf_size) {
     return Status::InvalidArgument("BallTree::Build: empty point set");
   }
   BallTree tree;
+  tree.dim_ = points.cols();
   tree.order_.resize(points.rows());
   std::iota(tree.order_.begin(), tree.order_.end(), size_t{0});
-  tree.nodes_.reserve(2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2);
+  size_t node_hint = 2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2;
+  tree.node_begin_.reserve(node_hint);
+  tree.node_end_.reserve(node_hint);
+  tree.node_left_.reserve(node_hint);
+  tree.node_right_.reserve(node_hint);
+  tree.centroid_.reserve(node_hint * tree.dim_);
+  tree.radius_.reserve(node_hint);
   tree.BuildNode(points, 0, points.rows(), std::max<size_t>(leaf_size, 1));
   // Store the points permuted into node order so leaf scans (the KDE's
   // inner loop) sweep contiguous memory; order_ keeps the map back to the
@@ -43,27 +52,26 @@ Result<BallTree> BallTree::Build(const Matrix& points, size_t leaf_size) {
 
 int BallTree::BuildNode(const Matrix& pts, size_t begin, size_t end,
                         size_t leaf_size) {
-  int node_id = static_cast<int>(nodes_.size());
-  nodes_.emplace_back();
+  int node_id = static_cast<int>(node_begin_.size());
   const size_t d = pts.cols();
-  {
-    Node& node = nodes_.back();
-    node.begin = begin;
-    node.end = end;
-    node.centroid.assign(d, 0.0);
-    for (size_t i = begin; i < end; ++i) {
-      const double* row = pts.RowPtr(order_[i]);
-      for (size_t j = 0; j < d; ++j) node.centroid[j] += row[j];
-    }
-    const double count = static_cast<double>(end - begin);
-    for (size_t j = 0; j < d; ++j) node.centroid[j] /= count;
-    double r2 = 0.0;
-    for (size_t i = begin; i < end; ++i) {
-      r2 = std::max(r2, SqDist(pts.RowPtr(order_[i]),
-                               node.centroid.data(), d));
-    }
-    node.radius = std::sqrt(r2);
+  node_begin_.push_back(begin);
+  node_end_.push_back(end);
+  node_left_.push_back(-1);
+  node_right_.push_back(-1);
+  size_t centroid_at = centroid_.size();
+  centroid_.insert(centroid_.end(), d, 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    const double* row = pts.RowPtr(order_[i]);
+    for (size_t j = 0; j < d; ++j) centroid_[centroid_at + j] += row[j];
   }
+  const double count = static_cast<double>(end - begin);
+  for (size_t j = 0; j < d; ++j) centroid_[centroid_at + j] /= count;
+  double r2 = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    r2 = std::max(r2, SqDist(pts.RowPtr(order_[i]),
+                             centroid_.data() + centroid_at, d));
+  }
+  radius_.push_back(std::sqrt(r2));
 
   if (end - begin <= leaf_size) return node_id;
 
@@ -95,70 +103,82 @@ int BallTree::BuildNode(const Matrix& pts, size_t begin, size_t end,
 
   int left = BuildNode(pts, begin, mid, leaf_size);
   int right = BuildNode(pts, mid, end, leaf_size);
-  nodes_[static_cast<size_t>(node_id)].left = left;
-  nodes_[static_cast<size_t>(node_id)].right = right;
+  node_left_[static_cast<size_t>(node_id)] = left;
+  node_right_[static_cast<size_t>(node_id)] = right;
   return node_id;
 }
 
 std::vector<size_t> BallTree::NearestNeighbors(const std::vector<double>& query,
                                                size_t k) const {
   assert(query.size() == dim());
-  k = std::min(k, size());
-  std::vector<std::pair<double, size_t>> heap;
-  heap.reserve(k + 1);
-  KnnRecurse(0, query, k, &heap);
-  std::sort_heap(heap.begin(), heap.end());
   std::vector<size_t> out;
-  out.reserve(heap.size());
-  for (const auto& [dist, idx] : heap) out.push_back(idx);
+  NearestNeighbors(query.data(), k, &ThreadLocalTraversalScratch(), &out);
   return out;
 }
 
-void BallTree::KnnRecurse(int node_id, const std::vector<double>& query,
-                          size_t k,
-                          std::vector<std::pair<double, size_t>>* heap) const {
-  const Node& node = nodes_[static_cast<size_t>(node_id)];
-  // Triangle-inequality bound: no point of the ball is closer than
-  // dist(query, centroid) - radius.
-  const double dc =
-      std::sqrt(SqDist(query.data(), node.centroid.data(), query.size()));
-  const double lower = std::max(0.0, dc - node.radius);
-  if (heap->size() == k && !heap->empty() &&
-      lower * lower >= heap->front().first) {
-    return;
-  }
-  if (node.left < 0) {
-    for (size_t i = node.begin; i < node.end; ++i) {
-      const size_t idx = order_[i];
-      const double d2 =
-          SqDist(points_.RowPtr(i), query.data(), query.size());
-      if (heap->size() < k) {
-        heap->emplace_back(d2, idx);
-        std::push_heap(heap->begin(), heap->end());
-      } else if (d2 < heap->front().first) {
-        std::pop_heap(heap->begin(), heap->end());
-        heap->back() = {d2, idx};
-        std::push_heap(heap->begin(), heap->end());
+void BallTree::NearestNeighbors(const double* query, size_t k,
+                                TraversalScratch* scratch,
+                                std::vector<size_t>* out) const {
+  out->clear();
+  k = std::min(k, size());
+  if (k == 0) return;
+  auto& heap = scratch->heap;
+  auto& stack = scratch->stack;
+  heap.clear();
+  stack.clear();
+  stack.push_back(0);
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    // Triangle-inequality bound: no point of the ball is closer than
+    // dist(query, centroid) - radius.
+    const double dc = std::sqrt(
+        SqDist(query, centroid_.data() + static_cast<size_t>(id) * dim_,
+               dim_));
+    const double lower = std::max(0.0, dc - radius_[static_cast<size_t>(id)]);
+    if (heap.size() == k && lower * lower >= heap.front().first) continue;
+    int32_t left = node_left_[static_cast<size_t>(id)];
+    if (left < 0) {
+      size_t begin = node_begin_[static_cast<size_t>(id)];
+      size_t end = node_end_[static_cast<size_t>(id)];
+      for (size_t i = begin; i < end; ++i) {
+        const size_t idx = order_[i];
+        const double d2 = SqDist(points_.RowPtr(i), query, dim_);
+        if (heap.size() < k) {
+          heap.emplace_back(d2, idx);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (d2 < heap.front().first) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = {d2, idx};
+          std::push_heap(heap.begin(), heap.end());
+        }
       }
+      continue;
     }
-    return;
+    // Visit the child whose ball is nearer first (far child stays on the
+    // stack and re-checks its bound against the then-current heap).
+    int32_t right = node_right_[static_cast<size_t>(id)];
+    const double dl =
+        std::sqrt(SqDist(query,
+                         centroid_.data() + static_cast<size_t>(left) * dim_,
+                         dim_)) -
+        radius_[static_cast<size_t>(left)];
+    const double dr =
+        std::sqrt(SqDist(query,
+                         centroid_.data() + static_cast<size_t>(right) * dim_,
+                         dim_)) -
+        radius_[static_cast<size_t>(right)];
+    if (dl <= dr) {
+      stack.push_back(right);
+      stack.push_back(left);
+    } else {
+      stack.push_back(left);
+      stack.push_back(right);
+    }
   }
-  // Visit the child whose ball is nearer first.
-  const Node& l = nodes_[static_cast<size_t>(node.left)];
-  const Node& r = nodes_[static_cast<size_t>(node.right)];
-  const double dl =
-      std::sqrt(SqDist(query.data(), l.centroid.data(), query.size())) -
-      l.radius;
-  const double dr =
-      std::sqrt(SqDist(query.data(), r.centroid.data(), query.size())) -
-      r.radius;
-  if (dl <= dr) {
-    KnnRecurse(node.left, query, k, heap);
-    KnnRecurse(node.right, query, k, heap);
-  } else {
-    KnnRecurse(node.right, query, k, heap);
-    KnnRecurse(node.left, query, k, heap);
-  }
+  std::sort_heap(heap.begin(), heap.end());
+  out->reserve(heap.size());
+  for (const auto& [dist, idx] : heap) out->push_back(idx);
 }
 
 double BallTree::GaussianKernelSum(const std::vector<double>& query,
@@ -166,55 +186,134 @@ double BallTree::GaussianKernelSum(const std::vector<double>& query,
                                    double atol) const {
   assert(query.size() == dim());
   assert(inv_bandwidth.size() == dim());
-  double max_scale = 0.0;
-  for (double s : inv_bandwidth) max_scale = std::max(max_scale, s);
-  return KernelSumRecurse(0, query, inv_bandwidth, max_scale, atol);
+  return GaussianKernelSum(query.data(), inv_bandwidth.data(), atol,
+                           &ThreadLocalTraversalScratch());
 }
 
-double BallTree::KernelSumRecurse(int node_id,
-                                  const std::vector<double>& query,
-                                  const std::vector<double>& inv_bandwidth,
-                                  double max_scale, double atol) const {
-  const Node& node = nodes_[static_cast<size_t>(node_id)];
-  const double count = static_cast<double>(node.end - node.begin);
+double BallTree::GaussianKernelSum(const double* query,
+                                   const double* inv_bandwidth, double atol,
+                                   TraversalScratch* scratch) const {
+  double max_scale = 0.0;
+  for (size_t j = 0; j < dim_; ++j) {
+    max_scale = std::max(max_scale, inv_bandwidth[j]);
+  }
+  // Iterative post-order stack machine; see KdTree::GaussianKernelSum for
+  // the combine-marker protocol that keeps the association order (and
+  // therefore the bits) identical to the reference recursion, and for the
+  // squared-distance approximation proof that makes descended interior
+  // nodes exp()-free in the atol > 0 mode.
+  auto& stack = scratch->stack;
+  auto& values = scratch->values;
+  stack.clear();
+  values.clear();
+  stack.push_back(0);
+  const bool approximate = atol > 0.0;
+  const double far2 = approximate ? -2.0 * std::log(atol) : 0.0;
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    if (id < 0) {
+      double right = values.back();
+      values.pop_back();
+      double left = values.back();
+      values.pop_back();
+      values.push_back(left + right);
+      continue;
+    }
+    size_t begin = node_begin_[static_cast<size_t>(id)];
+    size_t end = node_end_[static_cast<size_t>(id)];
+    const double count = static_cast<double>(end - begin);
 
-  // Scaled distance to the centroid; every point of the ball lies within
-  // max_scale * radius of it in the scaled metric.
+    // Scaled distance to the centroid; every point of the ball lies within
+    // max_scale * radius of it in the scaled metric.
+    const double* centroid = centroid_.data() + static_cast<size_t>(id) * dim_;
+    double dc2 = 0.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double d = (query[j] - centroid[j]) * inv_bandwidth[j];
+      dc2 += d * d;
+    }
+    const double dc = std::sqrt(dc2);
+    const double spread = max_scale * radius_[static_cast<size_t>(id)];
+    const double dmin = std::max(0.0, dc - spread);
+    if (approximate) {
+      const double dmax = dc + spread;
+      const double dmin2 = dmin * dmin;
+      const double dmax2 = dmax * dmax;
+      if (dmax2 - dmin2 <= 2.0 * atol || dmin2 >= far2) {
+        values.push_back(count * std::exp(-0.25 * (dmin2 + dmax2)));
+        continue;
+      }
+    } else {
+      const double kmax = std::exp(-0.5 * dmin * dmin);
+      if (kmax * count < 1e-300) {  // Entire node is negligible.
+        values.push_back(0.0);
+        continue;
+      }
+    }
+    int32_t left = node_left_[static_cast<size_t>(id)];
+    if (left < 0) {
+      values.push_back(LeafKernelSum(id, query, inv_bandwidth));
+      continue;
+    }
+    stack.push_back(~id);  // combine after both children
+    stack.push_back(node_right_[static_cast<size_t>(id)]);
+    stack.push_back(left);
+  }
+  return values.back();
+}
+
+double BallTree::LeafKernelSum(int32_t id, const double* query,
+                               const double* inv_bandwidth) const {
+  return LeafPairwiseKernelSum(points_, node_begin_[static_cast<size_t>(id)],
+                               node_end_[static_cast<size_t>(id)], dim_,
+                               query, inv_bandwidth);
+}
+
+double BallTree::GaussianKernelSumRecursive(
+    const std::vector<double>& query, const std::vector<double>& inv_bandwidth,
+    double atol) const {
+  assert(query.size() == dim());
+  assert(inv_bandwidth.size() == dim());
+  double max_scale = 0.0;
+  for (double s : inv_bandwidth) max_scale = std::max(max_scale, s);
+  return KernelSumRecurse(0, query.data(), inv_bandwidth.data(), max_scale,
+                          atol);
+}
+
+double BallTree::KernelSumRecurse(int32_t node_id, const double* query,
+                                  const double* inv_bandwidth,
+                                  double max_scale, double atol) const {
+  size_t begin = node_begin_[static_cast<size_t>(node_id)];
+  size_t end = node_end_[static_cast<size_t>(node_id)];
+  const double count = static_cast<double>(end - begin);
+
+  const double* centroid =
+      centroid_.data() + static_cast<size_t>(node_id) * dim_;
   double dc2 = 0.0;
-  for (size_t j = 0; j < query.size(); ++j) {
-    const double d = (query[j] - node.centroid[j]) * inv_bandwidth[j];
+  for (size_t j = 0; j < dim_; ++j) {
+    const double d = (query[j] - centroid[j]) * inv_bandwidth[j];
     dc2 += d * d;
   }
   const double dc = std::sqrt(dc2);
-  const double spread = max_scale * node.radius;
+  const double spread = max_scale * radius_[static_cast<size_t>(node_id)];
   const double dmin = std::max(0.0, dc - spread);
-  const double kmax = std::exp(-0.5 * dmin * dmin);
-  if (kmax * count < 1e-300) return 0.0;  // Entire node is negligible.
-
   if (atol > 0.0) {
     const double dmax = dc + spread;
-    const double kmin = std::exp(-0.5 * dmax * dmax);
-    if (kmax - kmin <= atol) {
-      return count * 0.5 * (kmax + kmin);
+    const double dmin2 = dmin * dmin;
+    const double dmax2 = dmax * dmax;
+    const double far2 = -2.0 * std::log(atol);
+    if (dmax2 - dmin2 <= 2.0 * atol || dmin2 >= far2) {
+      return count * std::exp(-0.25 * (dmin2 + dmax2));
     }
+  } else {
+    const double kmax = std::exp(-0.5 * dmin * dmin);
+    if (kmax * count < 1e-300) return 0.0;  // Entire node is negligible.
   }
-  if (node.left < 0) {
-    // Rows [begin, end) are stored contiguously (points_ is in node
-    // order), so this sweep is cache-linear.
-    double acc = 0.0;
-    for (size_t i = node.begin; i < node.end; ++i) {
-      const double* row = points_.RowPtr(i);
-      double u2 = 0.0;
-      for (size_t j = 0; j < query.size(); ++j) {
-        const double d = (row[j] - query[j]) * inv_bandwidth[j];
-        u2 += d * d;
-      }
-      acc += std::exp(-0.5 * u2);
-    }
-    return acc;
-  }
-  return KernelSumRecurse(node.left, query, inv_bandwidth, max_scale, atol) +
-         KernelSumRecurse(node.right, query, inv_bandwidth, max_scale, atol);
+  int32_t left = node_left_[static_cast<size_t>(node_id)];
+  if (left < 0) return LeafKernelSum(node_id, query, inv_bandwidth);
+  return KernelSumRecurse(left, query, inv_bandwidth, max_scale, atol) +
+         KernelSumRecurse(node_right_[static_cast<size_t>(node_id)], query,
+                          inv_bandwidth, max_scale, atol);
 }
 
 }  // namespace fairdrift

@@ -6,13 +6,18 @@
 // axis-aligned box; pruning bounds derive from the triangle inequality,
 // which keeps their cost O(d) per node regardless of how elongated the
 // point set is. The interface mirrors KdTree so the KDE can swap
-// backends (KdeOptions::tree_backend).
+// backends (KdeOptions::tree_backend): flat structure-of-arrays node
+// storage (begin/end/left/right, packed centroid, radius), iterative
+// allocation-free traversal over a TraversalScratch, and the recursive
+// kernel sum kept as the bitwise oracle.
 
 #ifndef FAIRDRIFT_KDE_BALLTREE_H_
 #define FAIRDRIFT_KDE_BALLTREE_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "kde/scratch.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
@@ -31,43 +36,65 @@ class BallTree {
   size_t size() const { return points_.rows(); }
 
   /// Dimensionality.
-  size_t dim() const { return points_.cols(); }
+  size_t dim() const { return dim_; }
 
   /// Indices of the k nearest neighbours to `query` (ascending distance).
-  /// k is clamped to size().
+  /// k is clamped to size(). Convenience wrapper over the scratch overload
+  /// (uses the calling thread's scratch).
   std::vector<size_t> NearestNeighbors(const std::vector<double>& query,
                                        size_t k) const;
 
+  /// Allocation-free kNN: writes the k nearest indices into `out`
+  /// (ascending distance), reusing `scratch` and `out`'s capacity.
+  void NearestNeighbors(const double* query, size_t k,
+                        TraversalScratch* scratch,
+                        std::vector<size_t>* out) const;
+
   /// Sum over all points of exp(-0.5 * ||(x - query) / h||^2), with h the
-  /// per-dimension scale vector. Nodes whose kernel-value spread is below
-  /// `atol` are approximated (atol = 0 gives the exact sum). Under
-  /// anisotropic scaling the ball bound uses the largest scale, which is
-  /// valid but looser than the KD box bound; the exact-sum contract is
-  /// identical.
+  /// per-dimension scale vector. Nodes whose kernel-value spread is
+  /// provably below `atol` are approximated by the exp()-free
+  /// squared-distance rule documented on KdTree::GaussianKernelSum
+  /// (atol = 0 gives the exact sum). Under anisotropic scaling the ball
+  /// bound uses the largest scale, which is valid but looser than the KD
+  /// box bound; the exact-sum contract is identical. Convenience wrapper
+  /// over the scratch overload.
   double GaussianKernelSum(const std::vector<double>& query,
                            const std::vector<double>& inv_bandwidth,
                            double atol = 0.0) const;
 
+  /// Allocation-free kernel sum over the flat node layout. Bitwise
+  /// identical to GaussianKernelSumRecursive for every input.
+  double GaussianKernelSum(const double* query, const double* inv_bandwidth,
+                           double atol, TraversalScratch* scratch) const;
+
+  /// Reference recursive kernel sum (the pre-flattening implementation),
+  /// kept as the migration oracle for the iterative sweep.
+  double GaussianKernelSumRecursive(const std::vector<double>& query,
+                                    const std::vector<double>& inv_bandwidth,
+                                    double atol = 0.0) const;
+
  private:
-  struct Node {
-    size_t begin = 0;  // range [begin, end) into order_
-    size_t end = 0;
-    int left = -1;     // child node ids; -1 for leaves
-    int right = -1;
-    std::vector<double> centroid;
-    double radius = 0.0;  // max Euclidean distance from centroid
-  };
-
   int BuildNode(const Matrix& pts, size_t begin, size_t end, size_t leaf_size);
-  void KnnRecurse(int node_id, const std::vector<double>& query, size_t k,
-                  std::vector<std::pair<double, size_t>>* heap) const;
-  double KernelSumRecurse(int node_id, const std::vector<double>& query,
-                          const std::vector<double>& inv_bandwidth,
-                          double max_scale, double atol) const;
+  double KernelSumRecurse(int32_t node_id, const double* query,
+                          const double* inv_bandwidth, double max_scale,
+                          double atol) const;
+  /// Exact kernel sum over leaf `id`'s contiguous point range.
+  double LeafKernelSum(int32_t id, const double* query,
+                       const double* inv_bandwidth) const;
 
+  size_t dim_ = 0;
   Matrix points_;              // rows permuted into node-contiguous order
   std::vector<size_t> order_;  // order_[i] = caller row id of points_ row i
-  std::vector<Node> nodes_;
+
+  // Flat structure-of-arrays node storage. Children are node ids (-1 for
+  // leaves); node i's centroid occupies [i * dim_, (i + 1) * dim_) of the
+  // packed centroid array.
+  std::vector<size_t> node_begin_;
+  std::vector<size_t> node_end_;
+  std::vector<int32_t> node_left_;
+  std::vector<int32_t> node_right_;
+  std::vector<double> centroid_;
+  std::vector<double> radius_;  // max Euclidean distance from centroid
 };
 
 }  // namespace fairdrift

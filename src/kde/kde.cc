@@ -1,16 +1,20 @@
 #include "kde/kde.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
+#include "kde/kde_cache.h"
 #include "util/parallel.h"
 
 namespace fairdrift {
 
 namespace {
 constexpr double kLogTwoPi = 1.8378770664093453;  // log(2*pi)
-}
+
+std::atomic<uint64_t> g_fit_count{0};
+}  // namespace
 
 Result<KernelDensity> KernelDensity::Fit(const Matrix& data,
                                          const KdeOptions& options) {
@@ -39,21 +43,38 @@ Result<KernelDensity> KernelDensity::Fit(const Matrix& data,
   log_norm -= 0.5 * kLogTwoPi * static_cast<double>(data.cols());
   kde.log_norm_ = log_norm;
   kde.atol_ = options.approximation_atol;
+  g_fit_count.fetch_add(1, std::memory_order_relaxed);
   return kde;
 }
 
-double KernelDensity::KernelSum(const std::vector<double>& point) const {
+uint64_t KernelDensity::TotalFitCount() {
+  return g_fit_count.load(std::memory_order_relaxed);
+}
+
+double KernelDensity::KernelSum(const double* point,
+                                TraversalScratch* scratch) const {
   return backend_ == KdeTreeBackend::kKdTree
-             ? tree_.GaussianKernelSum(point, inv_bandwidth_, atol_)
-             : ball_tree_.GaussianKernelSum(point, inv_bandwidth_, atol_);
+             ? tree_.GaussianKernelSum(point, inv_bandwidth_.data(), atol_,
+                                       scratch)
+             : ball_tree_.GaussianKernelSum(point, inv_bandwidth_.data(),
+                                            atol_, scratch);
 }
 
 double KernelDensity::Evaluate(const std::vector<double>& point) const {
-  return KernelSum(point) * std::exp(log_norm_);
+  return Evaluate(point.data());
+}
+
+double KernelDensity::Evaluate(const double* point) const {
+  return KernelSum(point, &ThreadLocalTraversalScratch()) *
+         std::exp(log_norm_);
 }
 
 double KernelDensity::LogDensity(const std::vector<double>& point) const {
-  double sum = KernelSum(point);
+  return LogDensity(point.data());
+}
+
+double KernelDensity::LogDensity(const double* point) const {
+  double sum = KernelSum(point, &ThreadLocalTraversalScratch());
   if (sum <= 0.0) return -745.0 + log_norm_;  // ~log(DBL_MIN), floor guard
   return std::log(sum) + log_norm_;
 }
@@ -62,9 +83,14 @@ std::vector<double> KernelDensity::EvaluateAll(const Matrix& queries,
                                                ThreadPool* pool) const {
   std::vector<double> out(queries.rows());
   double norm = std::exp(log_norm_);
+  // RowPtr + per-thread scratch: zero heap allocations per query.
   ParallelFor(
       0, queries.rows(),
-      [&](size_t i) { out[i] = KernelSum(queries.Row(i)) * norm; }, pool);
+      [&](size_t i) {
+        out[i] = KernelSum(queries.RowPtr(i), &ThreadLocalTraversalScratch()) *
+                 norm;
+      },
+      pool);
   return out;
 }
 
@@ -72,17 +98,25 @@ std::vector<double> KernelDensity::LogDensityAll(const Matrix& queries,
                                                  ThreadPool* pool) const {
   std::vector<double> out(queries.rows());
   ParallelFor(
-      0, queries.rows(), [&](size_t i) { out[i] = LogDensity(queries.Row(i)); },
-      pool);
+      0, queries.rows(),
+      [&](size_t i) { out[i] = LogDensity(queries.RowPtr(i)); }, pool);
   return out;
 }
 
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,
                                            const KdeOptions& options,
                                            ThreadPool* pool) {
-  Result<KernelDensity> kde = KernelDensity::Fit(data, options);
-  if (!kde.ok()) return kde.status();
-  std::vector<double> density = kde.value().EvaluateAll(data, pool);
+  std::vector<double> density;
+  if (options.use_fit_cache) {
+    Result<std::shared_ptr<const KernelDensity>> kde =
+        GlobalKdeCache().FitOrGet(data, options);
+    if (!kde.ok()) return kde.status();
+    density = kde.value()->EvaluateAll(data, pool);
+  } else {
+    Result<KernelDensity> kde = KernelDensity::Fit(data, options);
+    if (!kde.ok()) return kde.status();
+    density = kde.value().EvaluateAll(data, pool);
+  }
   std::vector<size_t> order(data.rows());
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {

@@ -7,11 +7,13 @@
 #ifndef FAIRDRIFT_KDE_KDE_H_
 #define FAIRDRIFT_KDE_KDE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "kde/balltree.h"
 #include "kde/bandwidth.h"
 #include "kde/kdtree.h"
+#include "kde/scratch.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
@@ -35,6 +37,12 @@ struct KdeOptions {
   double approximation_atol = 1e-4;
   size_t leaf_size = 32;
   KdeTreeBackend tree_backend = KdeTreeBackend::kKdTree;
+  /// When set, DensityRanking (and therefore the density filter) resolves
+  /// its fit through GlobalKdeCache(), so repeated trials / tuning passes
+  /// over identical data reuse one fitted estimator instead of refitting.
+  /// Identical data + options fit identically, so results are unchanged.
+  /// Not part of the cache key.
+  bool use_fit_cache = true;
 };
 
 /// Fitted Gaussian product-kernel density estimator.
@@ -44,11 +52,23 @@ class KernelDensity {
   static Result<KernelDensity> Fit(const Matrix& data,
                                    const KdeOptions& options = {});
 
+  /// Process-wide count of completed KernelDensity::Fit calls. The bench
+  /// summaries pair this with the cache counters to show how many refits
+  /// the KdeCache elided.
+  static uint64_t TotalFitCount();
+
   /// Density estimate at `point` (properly normalized pdf value).
   double Evaluate(const std::vector<double>& point) const;
 
+  /// Density at a raw attribute row (no per-query allocations; uses the
+  /// calling thread's TraversalScratch).
+  double Evaluate(const double* point) const;
+
   /// Log-density at `point` (floor-guarded against -inf).
   double LogDensity(const std::vector<double>& point) const;
+
+  /// Log-density at a raw attribute row (allocation-free).
+  double LogDensity(const double* point) const;
 
   /// Densities of every row of `queries`. Queries are independent
   /// tree-pruned kernel sums, evaluated in parallel on `pool` (the global
@@ -71,8 +91,9 @@ class KernelDensity {
  private:
   KernelDensity() = default;
 
-  /// Kernel sum at `point` via the configured backend.
-  double KernelSum(const std::vector<double>& point) const;
+  /// Kernel sum at `point` via the configured backend (allocation-free;
+  /// traversal state lives in `scratch`).
+  double KernelSum(const double* point, TraversalScratch* scratch) const;
 
   KdTree tree_;
   BallTree ball_tree_;
@@ -87,7 +108,9 @@ class KernelDensity {
 /// Ranks the rows of `data` by KDE density (self-evaluation) and returns
 /// row indices in descending density order. This is the sort step of the
 /// paper's Algorithm 3. Self-evaluation runs through the batched parallel
-/// EvaluateAll on `pool` (global pool when null).
+/// EvaluateAll on `pool` (global pool when null). With
+/// options.use_fit_cache the fit resolves through GlobalKdeCache(), so
+/// repeated rankings of identical data reuse one estimator.
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,
                                            const KdeOptions& options = {},
                                            ThreadPool* pool = nullptr);

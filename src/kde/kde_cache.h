@@ -1,0 +1,118 @@
+// Cross-trial cache of fitted KernelDensity estimators.
+//
+// The pipeline refits KDEs on identical data over and over: CONFAIR's
+// alpha tuning re-derives the (group x label) profile once per grid
+// candidate, every bench method column re-splits with the same seed, and
+// repeated trials share cells. Fitting is deterministic, so a fit is fully
+// determined by (data fingerprint, KdeOptions) — this cache memoizes it.
+//
+// Keying: a 128-bit FNV-1a fingerprint of the matrix contents plus its
+// shape, and the option fields that affect the fit. Entries are immutable
+// shared_ptr<const KernelDensity>, safe to evaluate concurrently from any
+// number of threads. Bounded LRU keeps memory in check; hit/miss/eviction
+// counters feed the bench summaries (BENCH_kde.json).
+
+#ifndef FAIRDRIFT_KDE_KDE_CACHE_H_
+#define FAIRDRIFT_KDE_KDE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "kde/kde.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// 128-bit content fingerprint of a matrix (two independent FNV-1a streams
+/// over the raw double bits, plus the shape). Collisions across distinct
+/// cell matrices are cryptographically unlikely at this width for the
+/// cache's working-set sizes.
+struct KdeDataFingerprint {
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+  size_t rows = 0;
+  size_t cols = 0;
+
+  bool operator<(const KdeDataFingerprint& o) const;
+  bool operator==(const KdeDataFingerprint& o) const;
+};
+
+/// Fingerprints the rows of `data`. O(rows * cols), far below a fit.
+KdeDataFingerprint FingerprintMatrix(const Matrix& data);
+
+/// Thread-safe bounded LRU cache of fitted estimators.
+class KdeCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;      ///< each miss is one KernelDensity::Fit call
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    double hit_rate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  explicit KdeCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns the cached estimator for (data, options), fitting and
+  /// inserting on a miss. The fit itself runs outside the cache lock, so
+  /// concurrent misses on *different* data never serialize (two racing
+  /// misses on the same key both fit; the results are identical and the
+  /// first insert wins).
+  Result<std::shared_ptr<const KernelDensity>> FitOrGet(
+      const Matrix& data, const KdeOptions& options);
+
+  /// Drops every entry (counters keep accumulating; see ResetStats).
+  void Clear();
+
+  /// Zeroes the hit/miss/eviction counters.
+  void ResetStats();
+
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity);
+
+ private:
+  struct Key {
+    KdeDataFingerprint data;
+    int bandwidth_rule = 0;
+    double atol = 0.0;
+    size_t leaf_size = 0;
+    int backend = 0;
+
+    bool operator<(const Key& o) const;
+  };
+
+  struct Entry {
+    std::shared_ptr<const KernelDensity> kde;
+    std::list<Key>::iterator lru_pos;  // position in lru_ (front = hottest)
+  };
+
+  static Key MakeKey(const KdeDataFingerprint& fp, const KdeOptions& options);
+  void EvictIfOverCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// The process-wide cache used by DensityRanking (and therefore the
+/// density filter and every profiling pass) when
+/// KdeOptions::use_fit_cache is set.
+KdeCache& GlobalKdeCache();
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_KDE_CACHE_H_

@@ -1,8 +1,11 @@
 #include "kde/kdtree.h"
 
+#include "kde/leaf_scan.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace fairdrift {
@@ -12,10 +15,19 @@ Result<KdTree> KdTree::Build(const Matrix& points, size_t leaf_size) {
     return Status::InvalidArgument("KdTree::Build: empty point set");
   }
   KdTree tree;
+  tree.dim_ = points.cols();
   tree.order_.resize(points.rows());
   std::iota(tree.order_.begin(), tree.order_.end(), size_t{0});
-  tree.nodes_.reserve(2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2);
+  size_t node_hint = 2 * points.rows() / std::max<size_t>(leaf_size, 1) + 2;
+  tree.node_begin_.reserve(node_hint);
+  tree.node_end_.reserve(node_hint);
+  tree.node_left_.reserve(node_hint);
+  tree.node_right_.reserve(node_hint);
+  tree.box_lo_.reserve(node_hint * tree.dim_);
+  tree.box_hi_.reserve(node_hint * tree.dim_);
   tree.BuildNode(points, 0, points.rows(), std::max<size_t>(leaf_size, 1));
+  tree.root_box_.lo.assign(tree.box_lo_.begin(), tree.box_lo_.begin() + tree.dim_);
+  tree.root_box_.hi.assign(tree.box_hi_.begin(), tree.box_hi_.begin() + tree.dim_);
   // Store the points permuted into node order so leaf scans (the KDE's
   // inner loop) sweep contiguous memory; order_ keeps the map back to the
   // caller's row ids. This is the only copy the build makes.
@@ -29,32 +41,30 @@ Result<KdTree> KdTree::Build(const Matrix& points, size_t leaf_size) {
 
 int KdTree::BuildNode(const Matrix& pts, size_t begin, size_t end,
                       size_t leaf_size) {
-  int node_id = static_cast<int>(nodes_.size());
-  nodes_.emplace_back();
-  {
-    Node& node = nodes_.back();
-    node.begin = begin;
-    node.end = end;
-    size_t d = pts.cols();
-    node.box.lo.assign(d, std::numeric_limits<double>::infinity());
-    node.box.hi.assign(d, -std::numeric_limits<double>::infinity());
-    for (size_t i = begin; i < end; ++i) {
-      const double* row = pts.RowPtr(order_[i]);
-      for (size_t j = 0; j < d; ++j) {
-        node.box.lo[j] = std::min(node.box.lo[j], row[j]);
-        node.box.hi[j] = std::max(node.box.hi[j], row[j]);
-      }
+  int node_id = static_cast<int>(node_begin_.size());
+  size_t d = pts.cols();
+  node_begin_.push_back(begin);
+  node_end_.push_back(end);
+  node_left_.push_back(-1);
+  node_right_.push_back(-1);
+  size_t box_at = box_lo_.size();
+  box_lo_.insert(box_lo_.end(), d, std::numeric_limits<double>::infinity());
+  box_hi_.insert(box_hi_.end(), d, -std::numeric_limits<double>::infinity());
+  for (size_t i = begin; i < end; ++i) {
+    const double* row = pts.RowPtr(order_[i]);
+    for (size_t j = 0; j < d; ++j) {
+      box_lo_[box_at + j] = std::min(box_lo_[box_at + j], row[j]);
+      box_hi_[box_at + j] = std::max(box_hi_[box_at + j], row[j]);
     }
   }
 
   if (end - begin <= leaf_size) return node_id;
 
   // Split at the median of the widest dimension.
-  size_t d = pts.cols();
   size_t split_dim = 0;
   double best_width = -1.0;
   for (size_t j = 0; j < d; ++j) {
-    double width = nodes_[node_id].box.hi[j] - nodes_[node_id].box.lo[j];
+    double width = box_hi_[box_at + j] - box_lo_[box_at + j];
     if (width > best_width) {
       best_width = width;
       split_dim = j;
@@ -72,35 +82,58 @@ int KdTree::BuildNode(const Matrix& pts, size_t begin, size_t end,
 
   int left = BuildNode(pts, begin, mid, leaf_size);
   int right = BuildNode(pts, mid, end, leaf_size);
-  nodes_[node_id].left = left;
-  nodes_[node_id].right = right;
+  node_left_[static_cast<size_t>(node_id)] = left;
+  node_right_[static_cast<size_t>(node_id)] = right;
   return node_id;
 }
 
-double KdTree::MinScaledSqDist(const BoundingBox& box,
-                               const std::vector<double>& query,
-                               const std::vector<double>& inv_bandwidth) {
+double KdTree::MinScaledSqDist(int32_t id, const double* query,
+                               const double* inv_bandwidth) const {
+  const double* lo = box_lo_.data() + static_cast<size_t>(id) * dim_;
+  const double* hi = box_hi_.data() + static_cast<size_t>(id) * dim_;
   double acc = 0.0;
-  for (size_t j = 0; j < query.size(); ++j) {
-    double d = 0.0;
-    if (query[j] < box.lo[j]) {
-      d = (box.lo[j] - query[j]) * inv_bandwidth[j];
-    } else if (query[j] > box.hi[j]) {
-      d = (query[j] - box.hi[j]) * inv_bandwidth[j];
-    }
+  for (size_t j = 0; j < dim_; ++j) {
+    // max(lo - x, x - hi, 0): branch-free (compiles to two maxsd).
+    double d = std::max(std::max(lo[j] - query[j], query[j] - hi[j]), 0.0) *
+               inv_bandwidth[j];
     acc += d * d;
   }
   return acc;
 }
 
-double KdTree::MaxScaledSqDist(const BoundingBox& box,
-                               const std::vector<double>& query,
-                               const std::vector<double>& inv_bandwidth) {
+void KdTree::MinMaxScaledSqDist(int32_t id, const double* query,
+                                const double* inv_bandwidth, double* dmin2,
+                                double* dmax2) const {
+  const double* lo = box_lo_.data() + static_cast<size_t>(id) * dim_;
+  const double* hi = box_hi_.data() + static_cast<size_t>(id) * dim_;
+  double amin = 0.0;
+  double amax = 0.0;
+  for (size_t j = 0; j < dim_; ++j) {
+    double below = lo[j] - query[j];
+    double above = query[j] - hi[j];
+    // Nearest box point: max(below, above, 0). Farthest corner: the wider
+    // of (x - lo) and (hi - x) — which equals max(|x-lo|, |x-hi|) whether
+    // x is inside or outside the box. Both are branch-free.
+    double dn = std::max(std::max(below, above), 0.0) * inv_bandwidth[j];
+    double dx = std::max(-below, -above) * inv_bandwidth[j];
+    amin += dn * dn;
+    amax += dx * dx;
+  }
+  *dmin2 = amin;
+  *dmax2 = amax;
+}
+
+double KdTree::MinSqDist(int32_t id, const double* query) const {
+  const double* lo = box_lo_.data() + static_cast<size_t>(id) * dim_;
+  const double* hi = box_hi_.data() + static_cast<size_t>(id) * dim_;
   double acc = 0.0;
-  for (size_t j = 0; j < query.size(); ++j) {
-    double d = std::max(std::fabs(query[j] - box.lo[j]),
-                        std::fabs(query[j] - box.hi[j])) *
-               inv_bandwidth[j];
+  for (size_t j = 0; j < dim_; ++j) {
+    double d = 0.0;
+    if (query[j] < lo[j]) {
+      d = lo[j] - query[j];
+    } else if (query[j] > hi[j]) {
+      d = query[j] - hi[j];
+    }
     acc += d * d;
   }
   return acc;
@@ -109,74 +142,68 @@ double KdTree::MaxScaledSqDist(const BoundingBox& box,
 std::vector<size_t> KdTree::NearestNeighbors(const std::vector<double>& query,
                                              size_t k) const {
   assert(query.size() == dim());
-  k = std::min(k, size());
-  // Max-heap of (distance^2, index), capped at k.
-  std::vector<std::pair<double, size_t>> heap;
-  heap.reserve(k + 1);
-  KnnRecurse(0, query, k, &heap);
-  std::sort_heap(heap.begin(), heap.end());
   std::vector<size_t> out;
-  out.reserve(heap.size());
-  for (const auto& [dist, idx] : heap) out.push_back(idx);
+  NearestNeighbors(query.data(), k, &ThreadLocalTraversalScratch(), &out);
   return out;
 }
 
-namespace {
-/// Unscaled squared distance from `query` to `box` (0 when inside).
-double MinSqDistToBox(const BoundingBox& box,
-                      const std::vector<double>& query) {
-  double acc = 0.0;
-  for (size_t j = 0; j < query.size(); ++j) {
-    double d = 0.0;
-    if (query[j] < box.lo[j]) {
-      d = box.lo[j] - query[j];
-    } else if (query[j] > box.hi[j]) {
-      d = query[j] - box.hi[j];
-    }
-    acc += d * d;
-  }
-  return acc;
-}
-}  // namespace
-
-void KdTree::KnnRecurse(int node_id, const std::vector<double>& query,
-                        size_t k,
-                        std::vector<std::pair<double, size_t>>* heap) const {
-  const Node& node = nodes_[static_cast<size_t>(node_id)];
-  double bound = MinSqDistToBox(node.box, query);
-  if (heap->size() == k && !heap->empty() && bound >= heap->front().first) {
-    return;
-  }
-  if (node.left < 0) {
-    for (size_t i = node.begin; i < node.end; ++i) {
-      size_t idx = order_[i];
-      double d2 = 0.0;
-      const double* row = points_.RowPtr(i);
-      for (size_t j = 0; j < query.size(); ++j) {
-        double d = row[j] - query[j];
-        d2 += d * d;
+void KdTree::NearestNeighbors(const double* query, size_t k,
+                              TraversalScratch* scratch,
+                              std::vector<size_t>* out) const {
+  out->clear();
+  k = std::min(k, size());
+  if (k == 0) return;
+  // Max-heap of (distance^2, index), capped at k. Iterative DFS visiting
+  // the nearer child first, exactly like the old recursion: the far child
+  // sits on the stack and is bound-checked against the heap state at its
+  // pop, which is the state after the near subtree completed.
+  auto& heap = scratch->heap;
+  auto& stack = scratch->stack;
+  heap.clear();
+  stack.clear();
+  stack.push_back(0);
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    double bound = MinSqDist(id, query);
+    if (heap.size() == k && bound >= heap.front().first) continue;
+    int32_t left = node_left_[static_cast<size_t>(id)];
+    if (left < 0) {
+      size_t begin = node_begin_[static_cast<size_t>(id)];
+      size_t end = node_end_[static_cast<size_t>(id)];
+      for (size_t i = begin; i < end; ++i) {
+        size_t idx = order_[i];
+        const double* row = points_.RowPtr(i);
+        double d2 = 0.0;
+        for (size_t j = 0; j < dim_; ++j) {
+          double d = row[j] - query[j];
+          d2 += d * d;
+        }
+        if (heap.size() < k) {
+          heap.emplace_back(d2, idx);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (d2 < heap.front().first) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = {d2, idx};
+          std::push_heap(heap.begin(), heap.end());
+        }
       }
-      if (heap->size() < k) {
-        heap->emplace_back(d2, idx);
-        std::push_heap(heap->begin(), heap->end());
-      } else if (d2 < heap->front().first) {
-        std::pop_heap(heap->begin(), heap->end());
-        heap->back() = {d2, idx};
-        std::push_heap(heap->begin(), heap->end());
-      }
+      continue;
     }
-    return;
+    int32_t right = node_right_[static_cast<size_t>(id)];
+    double dl = MinSqDist(left, query);
+    double dr = MinSqDist(right, query);
+    if (dl <= dr) {
+      stack.push_back(right);
+      stack.push_back(left);
+    } else {
+      stack.push_back(left);
+      stack.push_back(right);
+    }
   }
-  // Visit the child whose box is nearer first.
-  double dl = MinSqDistToBox(nodes_[static_cast<size_t>(node.left)].box, query);
-  double dr = MinSqDistToBox(nodes_[static_cast<size_t>(node.right)].box, query);
-  if (dl <= dr) {
-    KnnRecurse(node.left, query, k, heap);
-    KnnRecurse(node.right, query, k, heap);
-  } else {
-    KnnRecurse(node.right, query, k, heap);
-    KnnRecurse(node.left, query, k, heap);
-  }
+  std::sort_heap(heap.begin(), heap.end());
+  out->reserve(heap.size());
+  for (const auto& [dist, idx] : heap) out->push_back(idx);
 }
 
 double KdTree::GaussianKernelSum(const std::vector<double>& query,
@@ -184,43 +211,119 @@ double KdTree::GaussianKernelSum(const std::vector<double>& query,
                                  double atol) const {
   assert(query.size() == dim());
   assert(inv_bandwidth.size() == dim());
-  return KernelSumRecurse(0, query, inv_bandwidth, atol);
+  return GaussianKernelSum(query.data(), inv_bandwidth.data(), atol,
+                           &ThreadLocalTraversalScratch());
 }
 
-double KdTree::KernelSumRecurse(int node_id, const std::vector<double>& query,
-                                const std::vector<double>& inv_bandwidth,
-                                double atol) const {
-  const Node& node = nodes_[static_cast<size_t>(node_id)];
-  double count = static_cast<double>(node.end - node.begin);
+double KdTree::LeafKernelSum(int32_t id, const double* query,
+                             const double* inv_bandwidth) const {
+  return LeafPairwiseKernelSum(points_, node_begin_[static_cast<size_t>(id)],
+                               node_end_[static_cast<size_t>(id)], dim_,
+                               query, inv_bandwidth);
+}
 
-  double dmin2 = MinScaledSqDist(node.box, query, inv_bandwidth);
-  double kmax = std::exp(-0.5 * dmin2);
-  if (kmax * count < 1e-300) return 0.0;  // Entire node is negligible.
+double KdTree::GaussianKernelSum(const double* query,
+                                 const double* inv_bandwidth, double atol,
+                                 TraversalScratch* scratch) const {
+  // Iterative post-order stack machine emulating the reference recursion.
+  // A non-negative stack entry means "evaluate this node"; ~id is the
+  // combine marker pushed under an internal node's children. When it pops,
+  // both child sums are on the value stack and are added in the same
+  // left + right association the recursion used, keeping the result
+  // bitwise identical for every pruning pattern.
+  //
+  // The atol > 0 mode decides approximation from squared distances alone
+  // (see header): descended interior nodes cost zero exp() calls, which is
+  // the bulk of the flat traversal's speedup over the PR-1 path.
+  auto& stack = scratch->stack;
+  auto& values = scratch->values;
+  stack.clear();
+  values.clear();
+  stack.push_back(0);
+  const bool approximate = atol > 0.0;
+  // Beyond far2 the max kernel value is below atol, so the whole node may
+  // be approximated regardless of its spread.
+  const double far2 = approximate ? -2.0 * std::log(atol) : 0.0;
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    if (id < 0) {
+      double right = values.back();
+      values.pop_back();
+      double left = values.back();
+      values.pop_back();
+      values.push_back(left + right);
+      continue;
+    }
+    size_t begin = node_begin_[static_cast<size_t>(id)];
+    size_t end = node_end_[static_cast<size_t>(id)];
+    double count = static_cast<double>(end - begin);
+
+    if (approximate) {
+      double dmin2, dmax2;
+      MinMaxScaledSqDist(id, query, inv_bandwidth, &dmin2, &dmax2);
+      // spread = kmax - kmin = kmax (1 - e^{-(dmax2-dmin2)/2})
+      //        <= min((dmax2 - dmin2) / 2, kmax),
+      // so either test proves spread <= atol without evaluating a kernel.
+      // The approximate value, count * sqrt(kmax * kmin) (the geometric
+      // mean, one exp), lies inside [kmin, kmax] and therefore errs at
+      // most `spread` <= atol per point; far nodes underflow to exactly 0.
+      if (dmax2 - dmin2 <= 2.0 * atol || dmin2 >= far2) {
+        values.push_back(count * std::exp(-0.25 * (dmin2 + dmax2)));
+        continue;
+      }
+    } else {
+      double dmin2 = MinScaledSqDist(id, query, inv_bandwidth);
+      double kmax = std::exp(-0.5 * dmin2);
+      if (kmax * count < 1e-300) {  // Entire node is negligible.
+        values.push_back(0.0);
+        continue;
+      }
+    }
+    int32_t left = node_left_[static_cast<size_t>(id)];
+    if (left < 0) {
+      values.push_back(LeafKernelSum(id, query, inv_bandwidth));
+      continue;
+    }
+    stack.push_back(~id);  // combine after both children
+    stack.push_back(node_right_[static_cast<size_t>(id)]);
+    stack.push_back(left);
+  }
+  return values.back();
+}
+
+double KdTree::GaussianKernelSumRecursive(
+    const std::vector<double>& query, const std::vector<double>& inv_bandwidth,
+    double atol) const {
+  assert(query.size() == dim());
+  assert(inv_bandwidth.size() == dim());
+  return KernelSumRecurse(0, query.data(), inv_bandwidth.data(), atol);
+}
+
+double KdTree::KernelSumRecurse(int32_t node_id, const double* query,
+                                const double* inv_bandwidth,
+                                double atol) const {
+  size_t begin = node_begin_[static_cast<size_t>(node_id)];
+  size_t end = node_end_[static_cast<size_t>(node_id)];
+  double count = static_cast<double>(end - begin);
 
   if (atol > 0.0) {
-    double dmax2 = MaxScaledSqDist(node.box, query, inv_bandwidth);
-    double kmin = std::exp(-0.5 * dmax2);
-    if (kmax - kmin <= atol) {
-      return count * 0.5 * (kmax + kmin);
+    double dmin2, dmax2;
+    MinMaxScaledSqDist(node_id, query, inv_bandwidth, &dmin2, &dmax2);
+    double far2 = -2.0 * std::log(atol);
+    if (dmax2 - dmin2 <= 2.0 * atol || dmin2 >= far2) {
+      return count * std::exp(-0.25 * (dmin2 + dmax2));
     }
+  } else {
+    double dmin2 = MinScaledSqDist(node_id, query, inv_bandwidth);
+    double kmax = std::exp(-0.5 * dmin2);
+    if (kmax * count < 1e-300) return 0.0;  // Entire node is negligible.
   }
-  if (node.left < 0) {
-    // Rows [begin, end) are stored contiguously (points_ is in node
-    // order), so this sweep is cache-linear.
-    double acc = 0.0;
-    for (size_t i = node.begin; i < node.end; ++i) {
-      const double* row = points_.RowPtr(i);
-      double u2 = 0.0;
-      for (size_t j = 0; j < query.size(); ++j) {
-        double d = (row[j] - query[j]) * inv_bandwidth[j];
-        u2 += d * d;
-      }
-      acc += std::exp(-0.5 * u2);
-    }
-    return acc;
-  }
-  return KernelSumRecurse(node.left, query, inv_bandwidth, atol) +
-         KernelSumRecurse(node.right, query, inv_bandwidth, atol);
+  int32_t left = node_left_[static_cast<size_t>(node_id)];
+  if (left < 0) return LeafKernelSum(node_id, query, inv_bandwidth);
+  return KernelSumRecurse(left, query, inv_bandwidth, atol) +
+         KernelSumRecurse(node_right_[static_cast<size_t>(node_id)], query,
+                          inv_bandwidth, atol);
 }
 
 }  // namespace fairdrift

@@ -4,13 +4,21 @@
 // kernel density evaluation (paper Algorithm 3 cites the tree-based
 // estimator of scikit-learn). Also exposes exact nearest-neighbour queries,
 // which the test-suite uses as an oracle check.
+//
+// Nodes live in a flat structure-of-arrays layout (contiguous
+// begin/end/left/right plus packed box lo/hi arrays) and queries run as an
+// iterative sweep over it with a caller-supplied TraversalScratch, so the
+// hot path performs zero heap allocations per query. The pre-flattening
+// recursive kernel sum is kept as GaussianKernelSumRecursive — the bitwise
+// oracle the tests pin the iterative sweep against.
 
 #ifndef FAIRDRIFT_KDE_KDTREE_H_
 #define FAIRDRIFT_KDE_KDTREE_H_
 
-#include <memory>
+#include <cstdint>
 #include <vector>
 
+#include "kde/scratch.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
@@ -35,52 +43,81 @@ class KdTree {
   size_t size() const { return points_.rows(); }
 
   /// Dimensionality.
-  size_t dim() const { return points_.cols(); }
+  size_t dim() const { return dim_; }
 
   /// Indices of the k nearest neighbours to `query` (ascending distance).
-  /// k is clamped to size().
+  /// k is clamped to size(). Convenience wrapper over the scratch overload
+  /// (uses the calling thread's scratch).
   std::vector<size_t> NearestNeighbors(const std::vector<double>& query,
                                        size_t k) const;
 
+  /// Allocation-free kNN: writes the k nearest indices into `out`
+  /// (ascending distance), reusing `scratch` and `out`'s capacity.
+  void NearestNeighbors(const double* query, size_t k,
+                        TraversalScratch* scratch,
+                        std::vector<size_t>* out) const;
+
   /// Sum over all points of exp(-0.5 * ||(x - query) / h||^2), with h the
-  /// per-dimension scale vector. Nodes whose kernel-value spread is below
-  /// `atol` are approximated by their midpoint (atol = 0 gives the exact
-  /// sum). This is the workhorse of the KDE.
+  /// per-dimension scale vector. Nodes whose kernel-value spread is
+  /// provably below `atol` are approximated by count * sqrt(kmax * kmin)
+  /// — the geometric-mean kernel, which lies in [kmin, kmax] and errs at
+  /// most atol per point (atol = 0 gives the exact sum). The proof needs
+  /// only squared box distances (spread <= min((dmax2 - dmin2)/2, kmax)),
+  /// so descended interior nodes cost no exp() at all. This is the
+  /// workhorse of the KDE. Convenience wrapper over the scratch overload
+  /// (uses the calling thread's scratch).
   double GaussianKernelSum(const std::vector<double>& query,
                            const std::vector<double>& inv_bandwidth,
                            double atol = 0.0) const;
 
+  /// Allocation-free kernel sum over the flat node layout. Bitwise
+  /// identical to GaussianKernelSumRecursive for every input.
+  double GaussianKernelSum(const double* query, const double* inv_bandwidth,
+                           double atol, TraversalScratch* scratch) const;
+
+  /// Reference recursive kernel sum (the pre-flattening implementation).
+  /// Slow path kept as the migration oracle for the iterative sweep; the
+  /// tests assert bitwise equality between the two.
+  double GaussianKernelSumRecursive(const std::vector<double>& query,
+                                    const std::vector<double>& inv_bandwidth,
+                                    double atol = 0.0) const;
+
   /// The bounding box of all indexed points.
-  const BoundingBox& root_box() const { return nodes_[0].box; }
+  const BoundingBox& root_box() const { return root_box_; }
 
  private:
-  struct Node {
-    size_t begin = 0;     // range [begin, end) into order_
-    size_t end = 0;
-    int left = -1;        // child node ids; -1 for leaves
-    int right = -1;
-    BoundingBox box;
-  };
-
   int BuildNode(const Matrix& pts, size_t begin, size_t end, size_t leaf_size);
-  void KnnRecurse(int node_id, const std::vector<double>& query, size_t k,
-                  std::vector<std::pair<double, size_t>>* heap) const;
-  double KernelSumRecurse(int node_id, const std::vector<double>& query,
-                          const std::vector<double>& inv_bandwidth,
-                          double atol) const;
+  double KernelSumRecurse(int32_t node_id, const double* query,
+                          const double* inv_bandwidth, double atol) const;
 
-  /// Squared scaled distance from query to the node box (0 when inside).
-  static double MinScaledSqDist(const BoundingBox& box,
-                                const std::vector<double>& query,
-                                const std::vector<double>& inv_bandwidth);
-  /// Max squared scaled distance from query to any point of the box.
-  static double MaxScaledSqDist(const BoundingBox& box,
-                                const std::vector<double>& query,
-                                const std::vector<double>& inv_bandwidth);
+  /// Squared scaled distance from query to node `id`'s box (0 when inside).
+  double MinScaledSqDist(int32_t id, const double* query,
+                         const double* inv_bandwidth) const;
+  /// Min and max squared scaled distances in one fused branch-free pass.
+  void MinMaxScaledSqDist(int32_t id, const double* query,
+                          const double* inv_bandwidth, double* dmin2,
+                          double* dmax2) const;
+  /// Exact kernel sum over leaf `id`'s contiguous point range.
+  double LeafKernelSum(int32_t id, const double* query,
+                       const double* inv_bandwidth) const;
+  /// Unscaled squared distance from query to the box (kNN pruning bound).
+  double MinSqDist(int32_t id, const double* query) const;
 
+  size_t dim_ = 0;
   Matrix points_;              // rows permuted into node-contiguous order
   std::vector<size_t> order_;  // order_[i] = caller row id of points_ row i
-  std::vector<Node> nodes_;
+
+  // Flat structure-of-arrays node storage. Children are node ids (-1 for
+  // leaves); node i's box occupies [i * dim_, (i + 1) * dim_) of the packed
+  // lo/hi arrays, so traversal touches contiguous memory instead of
+  // chasing per-node vectors.
+  std::vector<size_t> node_begin_;
+  std::vector<size_t> node_end_;
+  std::vector<int32_t> node_left_;
+  std::vector<int32_t> node_right_;
+  std::vector<double> box_lo_;
+  std::vector<double> box_hi_;
+  BoundingBox root_box_;
 };
 
 }  // namespace fairdrift

@@ -1,0 +1,60 @@
+// Shared leaf kernel scan for the flat KD/ball trees.
+//
+// Both trees store their points permuted into node-contiguous order, so a
+// leaf's exact kernel sum is the same computation regardless of backend:
+// a cache-linear sweep over rows [begin, end), consumed in pairs so the
+// exponentials run two-wide through NegExpPair. Kept in one place so the
+// pairing/tail logic cannot drift between the trees.
+
+#ifndef FAIRDRIFT_KDE_LEAF_SCAN_H_
+#define FAIRDRIFT_KDE_LEAF_SCAN_H_
+
+#include <cstddef>
+
+#include "kde/negexp.h"
+#include "linalg/matrix.h"
+
+namespace fairdrift {
+
+/// Sum over rows [begin, end) of `points` of
+/// exp(-0.5 * ||(row - query) * inv_bandwidth||^2). The accumulation is
+/// strictly sequential (pair results added in index order), so the sum is
+/// deterministic and bitwise-shared between the iterative traversals and
+/// the recursive oracles that both call it.
+inline double LeafPairwiseKernelSum(const Matrix& points, size_t begin,
+                                    size_t end, size_t dim,
+                                    const double* query,
+                                    const double* inv_bandwidth) {
+  double acc = 0.0;
+  size_t i = begin;
+  for (; i + 1 < end; i += 2) {
+    const double* row0 = points.RowPtr(i);
+    const double* row1 = points.RowPtr(i + 1);
+    double u0 = 0.0;
+    double u1 = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      double d0 = (row0[j] - query[j]) * inv_bandwidth[j];
+      double d1 = (row1[j] - query[j]) * inv_bandwidth[j];
+      u0 += d0 * d0;
+      u1 += d1 * d1;
+    }
+    double e0, e1;
+    NegExpPair(-0.5 * u0, -0.5 * u1, &e0, &e1);
+    acc += e0;
+    acc += e1;
+  }
+  if (i < end) {
+    const double* row = points.RowPtr(i);
+    double u2 = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      double d = (row[j] - query[j]) * inv_bandwidth[j];
+      u2 += d * d;
+    }
+    acc += NegExp(-0.5 * u2);
+  }
+  return acc;
+}
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_LEAF_SCAN_H_

@@ -1,0 +1,44 @@
+// Reusable per-thread traversal scratch for the flat KD/ball trees.
+//
+// The KDE hot path issues millions of independent tree queries; a heap
+// allocation per query (recursion frames, per-query buffers) dominates
+// once the kernel sums themselves are tree-pruned. Every iterative
+// traversal (GaussianKernelSum, NearestNeighbors) borrows its stack, its
+// value stack, and its kNN heap from a TraversalScratch instead. The
+// vectors grow to the tree's depth on the first query and are then reused,
+// so steady-state queries perform zero heap allocations.
+
+#ifndef FAIRDRIFT_KDE_SCRATCH_H_
+#define FAIRDRIFT_KDE_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fairdrift {
+
+/// Mutable workspace for one in-flight tree query. Not thread-safe: use
+/// one instance per thread (ThreadLocalTraversalScratch() below, or a
+/// caller-owned instance).
+struct TraversalScratch {
+  /// Control stack of node ids; negative entries are combine markers for
+  /// the kernel-sum value stack (see KdTree::GaussianKernelSum).
+  std::vector<int32_t> stack;
+  /// Pending subtree sums, combined in the same association order as the
+  /// reference recursion so results stay bitwise identical to it.
+  std::vector<double> values;
+  /// Max-heap of (squared distance, point index) for kNN queries.
+  std::vector<std::pair<double, size_t>> heap;
+};
+
+/// Per-thread scratch shared by the vector-convenience query entry points.
+/// Pool workers are long-lived, so each worker pays the growth cost once.
+inline TraversalScratch& ThreadLocalTraversalScratch() {
+  thread_local TraversalScratch scratch;
+  return scratch;
+}
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_SCRATCH_H_

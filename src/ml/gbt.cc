@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -61,16 +62,31 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
   std::vector<size_t> all_rows(n);
   std::iota(all_rows.begin(), all_rows.end(), size_t{0});
 
+  // Per-round log-loss partials, one fixed slot per reduction block, so
+  // the loss reduces identically for every worker count.
+  std::vector<double> loss_partials(ReductionChunks(n));
+
   for (int round = 0; round < options_.num_rounds; ++round) {
+    // Gradient pass: each row's pair is written only by its own chunk and
+    // the loss accumulates into that chunk's slot, in index order.
+    ParallelForChunks(
+        0, n,
+        [&](size_t c, size_t b, size_t e) {
+          double local = 0.0;
+          for (size_t i = b; i < e; ++i) {
+            double p = Sigmoid(scores[i]);
+            double yi = static_cast<double>(y[i]);
+            gpairs[i].grad = weights[i] * (p - yi);
+            gpairs[i].hess = std::max(weights[i] * p * (1.0 - p), 1e-16);
+            double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
+            local -= weights[i] *
+                     (yi * std::log(pc) + (1.0 - yi) * std::log(1.0 - pc));
+          }
+          loss_partials[c] = local;
+        },
+        options_.pool);
     double loss = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      double p = Sigmoid(scores[i]);
-      double yi = static_cast<double>(y[i]);
-      gpairs[i].grad = weights[i] * (p - yi);
-      gpairs[i].hess = std::max(weights[i] * p * (1.0 - p), 1e-16);
-      double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
-      loss -= weights[i] * (yi * std::log(pc) + (1.0 - yi) * std::log(1.0 - pc));
-    }
+    for (size_t c = 0; c < loss_partials.size(); ++c) loss += loss_partials[c];
     loss_curve_.push_back(loss / wtot);
 
     std::vector<size_t> rows;
@@ -90,10 +106,17 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
       break;
     }
 
+    // Score update: pure per-row writes, chunked to amortize dispatch.
     const RegressionTree& t = tree.value();
-    for (size_t i = 0; i < n; ++i) {
-      scores[i] += options_.learning_rate * t.PredictRow(x.RowPtr(i), x.cols());
-    }
+    ParallelForChunks(
+        0, n,
+        [&](size_t, size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            scores[i] +=
+                options_.learning_rate * t.PredictRow(x.RowPtr(i), x.cols());
+          }
+        },
+        options_.pool);
     trees_.push_back(std::move(tree).value());
   }
 
@@ -107,14 +130,19 @@ Result<std::vector<double>> GradientBoostedTrees::PredictProba(
     return Status::FailedPrecondition("GBT: not fitted");
   }
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    double score = base_score_;
-    const double* row = x.RowPtr(i);
-    for (const RegressionTree& t : trees_) {
-      score += options_.learning_rate * t.PredictRow(row, x.cols());
-    }
-    out[i] = Sigmoid(score);
-  }
+  ParallelForChunks(
+      0, x.rows(),
+      [&](size_t, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          double score = base_score_;
+          const double* row = x.RowPtr(i);
+          for (const RegressionTree& t : trees_) {
+            score += options_.learning_rate * t.PredictRow(row, x.cols());
+          }
+          out[i] = Sigmoid(score);
+        }
+      },
+      options_.pool);
   return out;
 }
 

@@ -15,6 +15,8 @@
 
 namespace fairdrift {
 
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
 /// Hyperparameters for GradientBoostedTrees.
 struct GbtOptions {
   int num_rounds = 60;
@@ -26,6 +28,11 @@ struct GbtOptions {
   double subsample = 0.8;  ///< Row fraction per round; 1.0 disables.
   int max_bins = 32;
   uint64_t seed = 42;
+  /// Pool for the row-wise gradient/prediction passes (global pool when
+  /// null). Models are bitwise identical for every worker count: the
+  /// passes use the fixed-block deterministic reductions of
+  /// util/parallel.h.
+  ThreadPool* pool = nullptr;
 };
 
 /// Boosted ensemble: score(x) = base + sum_k eta * tree_k(x),

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/cholesky.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -45,41 +46,77 @@ Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
   intercept_ = std::log(rate / (1.0 - rate));
 
   // Damped Newton (IRLS). The system has d+1 unknowns (beta, intercept).
+  // The three row-wise passes per iteration (margins, gradient, Hessian)
+  // run on the pool; the gradient/Hessian reductions accumulate into one
+  // fixed slot per kReductionChunk block and reduce in block order, so the
+  // fitted model is bitwise identical for every worker count.
   std::vector<double> z(n);  // margins
   std::vector<double> p(n);  // probabilities
+  const size_t dim1 = d + 1;
+  // Bounded-slot blocks: each block carries a (d+1)^2 Hessian partial, so
+  // the block count is capped (a function of n only — determinism holds).
+  const size_t chunk_size = BoundedReductionChunk(n);
+  const size_t chunks = ReductionChunks(n, chunk_size);
+  const size_t hstride = dim1 * dim1;
+  std::vector<double> grad_partial(chunks * dim1);
+  std::vector<double> hess_partial(chunks * hstride);
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    for (size_t i = 0; i < n; ++i) {
-      const double* row = x.RowPtr(i);
-      double acc = intercept_;
-      for (size_t j = 0; j < d; ++j) acc += beta_[j] * row[j];
-      z[i] = acc;
-      p[i] = Sigmoid(acc);
-    }
+    ParallelForChunks(
+        0, n,
+        [&](size_t, size_t cb, size_t ce) {
+          for (size_t i = cb; i < ce; ++i) {
+            const double* row = x.RowPtr(i);
+            double acc = intercept_;
+            for (size_t j = 0; j < d; ++j) acc += beta_[j] * row[j];
+            z[i] = acc;
+            p[i] = Sigmoid(acc);
+          }
+        },
+        options_.pool);
 
-    // Gradient of the negative penalized log-likelihood.
-    std::vector<double> grad(d + 1, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      double r = weights[i] * (p[i] - static_cast<double>(y[i]));
-      const double* row = x.RowPtr(i);
-      for (size_t j = 0; j < d; ++j) grad[j] += r * row[j];
-      grad[d] += r;
+    // Per-chunk partials of the gradient and the Hessian's upper triangle.
+    ParallelForChunks(
+        0, n,
+        [&](size_t c, size_t cb, size_t ce) {
+          double* g = grad_partial.data() + c * dim1;
+          double* h = hess_partial.data() + c * hstride;
+          std::fill(g, g + dim1, 0.0);
+          std::fill(h, h + hstride, 0.0);
+          for (size_t i = cb; i < ce; ++i) {
+            const double* row = x.RowPtr(i);
+            double r = weights[i] * (p[i] - static_cast<double>(y[i]));
+            for (size_t j = 0; j < d; ++j) g[j] += r * row[j];
+            g[d] += r;
+            double s = weights[i] * p[i] * (1.0 - p[i]);
+            if (s <= 0.0) continue;
+            for (size_t a = 0; a < d; ++a) {
+              double sa = s * row[a];
+              double* ha = h + a * dim1;
+              for (size_t b = a; b < d; ++b) ha[b] += sa * row[b];
+              ha[d] += sa;
+            }
+            h[d * dim1 + d] += s;
+          }
+        },
+        options_.pool, chunk_size);
+
+    // Gradient of the negative penalized log-likelihood (chunk order).
+    std::vector<double> grad(dim1, 0.0);
+    for (size_t c = 0; c < chunks; ++c) {
+      const double* g = grad_partial.data() + c * dim1;
+      for (size_t j = 0; j < dim1; ++j) grad[j] += g[j];
     }
     for (size_t j = 0; j < d; ++j) grad[j] += options_.l2_lambda * beta_[j];
 
     // Hessian: X^T diag(w p (1-p)) X  + lambda I (intercept unpenalized).
-    Matrix hess(d + 1, d + 1, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      double s = weights[i] * p[i] * (1.0 - p[i]);
-      if (s <= 0.0) continue;
-      const double* row = x.RowPtr(i);
-      for (size_t a = 0; a < d; ++a) {
-        double sa = s * row[a];
-        for (size_t b = a; b < d; ++b) {
-          hess.At(a, b) += sa * row[b];
+    Matrix hess(dim1, dim1, 0.0);
+    for (size_t c = 0; c < chunks; ++c) {
+      const double* h = hess_partial.data() + c * hstride;
+      for (size_t a = 0; a < dim1; ++a) {
+        for (size_t b = a; b < dim1; ++b) {
+          hess.At(a, b) += h[a * dim1 + b];
         }
-        hess.At(a, d) += sa;
       }
-      hess.At(d, d) += s;
     }
     for (size_t a = 0; a < d + 1; ++a) {
       for (size_t b = a + 1; b < d + 1; ++b) {
@@ -128,12 +165,17 @@ Result<std::vector<double>> LogisticRegression::PredictProba(
         beta_.size()));
   }
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const double* row = x.RowPtr(i);
-    double acc = intercept_;
-    for (size_t j = 0; j < beta_.size(); ++j) acc += beta_[j] * row[j];
-    out[i] = Sigmoid(acc);
-  }
+  ParallelForChunks(
+      0, x.rows(),
+      [&](size_t, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          const double* row = x.RowPtr(i);
+          double acc = intercept_;
+          for (size_t j = 0; j < beta_.size(); ++j) acc += beta_[j] * row[j];
+          out[i] = Sigmoid(acc);
+        }
+      },
+      options_.pool);
   return out;
 }
 

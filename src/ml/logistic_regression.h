@@ -10,6 +10,8 @@
 
 namespace fairdrift {
 
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
 /// Hyperparameters for LogisticRegression.
 struct LogisticRegressionOptions {
   /// L2 penalty on the non-intercept coefficients.
@@ -18,6 +20,10 @@ struct LogisticRegressionOptions {
   int max_iterations = 50;
   /// Convergence tolerance on the max absolute coefficient update.
   double tolerance = 1e-8;
+  /// Pool for the row-wise margin/gradient/Hessian passes (global pool
+  /// when null). Fits are bitwise identical for every worker count: the
+  /// reductions use fixed-slot partials combined in index order.
+  ThreadPool* pool = nullptr;
 };
 
 /// Binary logistic regression: p(y=1|x) = sigmoid(beta . x + b).

@@ -139,4 +139,38 @@ void ParallelFor(size_t begin, size_t end,
   (pool ? *pool : GlobalThreadPool()).For(begin, end, body);
 }
 
+void ParallelForChunks(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t, size_t)>& body,
+    ThreadPool* pool, size_t chunk_size) {
+  if (begin >= end) return;
+  size_t chunks = ReductionChunks(end - begin, chunk_size);
+  ParallelFor(
+      0, chunks,
+      [&](size_t c) {
+        size_t b = begin + c * chunk_size;
+        size_t e = std::min(end, b + chunk_size);
+        body(c, b, e);
+      },
+      pool);
+}
+
+double ParallelSum(size_t begin, size_t end,
+                   const std::function<double(size_t)>& term,
+                   ThreadPool* pool) {
+  if (begin >= end) return 0.0;
+  std::vector<double> partial(ReductionChunks(end - begin), 0.0);
+  ParallelForChunks(
+      begin, end,
+      [&](size_t c, size_t b, size_t e) {
+        double acc = 0.0;
+        for (size_t i = b; i < e; ++i) acc += term(i);
+        partial[c] = acc;
+      },
+      pool);
+  double total = 0.0;
+  for (double v : partial) total += v;
+  return total;
+}
+
 }  // namespace fairdrift

@@ -19,6 +19,7 @@
 #ifndef FAIRDRIFT_UTIL_PARALLEL_H_
 #define FAIRDRIFT_UTIL_PARALLEL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -80,6 +81,52 @@ ThreadPool& GlobalThreadPool();
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body,
                  ThreadPool* pool = nullptr);
+
+/// Block size of the deterministic reductions below. Fixed (never derived
+/// from the worker count) so partial results depend only on the range.
+inline constexpr size_t kReductionChunk = 1024;
+
+/// Cap on the number of reduction blocks when a caller's per-block state
+/// is expensive (e.g. a Hessian partial per block): BoundedReductionChunk
+/// grows the block size with n so at most this many blocks exist.
+inline constexpr size_t kMaxReductionSlots = 256;
+
+/// Number of `chunk_size`-sized blocks covering n indices.
+inline size_t ReductionChunks(size_t n, size_t chunk_size = kReductionChunk) {
+  return (n + chunk_size - 1) / chunk_size;
+}
+
+/// Block size for a bounded-slot reduction over n indices: at least
+/// kReductionChunk, and large enough that there are at most
+/// kMaxReductionSlots blocks. A function of n only, so determinism across
+/// worker counts is preserved.
+inline size_t BoundedReductionChunk(size_t n) {
+  return std::max(kReductionChunk, (n + kMaxReductionSlots - 1) /
+                                       kMaxReductionSlots);
+}
+
+/// Runs `body(chunk, chunk_begin, chunk_end)` over fixed-size blocks of
+/// [begin, end). Block boundaries depend only on the range and on
+/// `chunk_size` — NOT on the pool — so a body that writes one output slot
+/// per chunk and a caller that reduces those slots in chunk order produce
+/// bitwise-identical results for every worker count (the pool's
+/// determinism contract, extended to reductions). `chunk_size` must
+/// itself be worker-count-independent (kReductionChunk, or
+/// BoundedReductionChunk(n) for expensive per-block state).
+void ParallelForChunks(
+    size_t begin, size_t end,
+    const std::function<void(size_t chunk, size_t chunk_begin,
+                             size_t chunk_end)>& body,
+    ThreadPool* pool = nullptr, size_t chunk_size = kReductionChunk);
+
+/// Deterministic parallel sum of term(i) over [begin, end): fixed-slot
+/// partial sums (one per kReductionChunk block, each accumulated in index
+/// order) reduced in block order on the calling thread. The result is
+/// bitwise identical for every worker count, though its association
+/// differs from a plain sequential loop.
+double ParallelSum(size_t begin, size_t end,
+                   const std::function<double(size_t)>& term,
+                   ThreadPool* pool = nullptr);
 
 /// Maps `fn` over [0, n) into a vector. `T` must be default-constructible;
 /// out[i] is written only by the invocation that computed fn(i), so the

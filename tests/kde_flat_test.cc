@@ -1,0 +1,294 @@
+// Tests for the flat iterative tree traversal, the per-thread traversal
+// scratch, the NegExp kernel, and the cross-trial KdeCache.
+//
+// The traversal contract is strict: the iterative stack machine must be
+// *bitwise* equal to the recursive reference (GaussianKernelSumRecursive)
+// for every dimension, backend, and tolerance, and steady-state queries
+// must perform zero heap allocations. The latter is asserted with a
+// counting global operator new: the override below counts every
+// allocation in this test binary, and the hot-path assertions measure the
+// counter delta across a batch of warmed-up queries.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "kde/balltree.h"
+#include "kde/kde.h"
+#include "kde/kde_cache.h"
+#include "kde/kdtree.h"
+#include "kde/negexp.h"
+#include "kde/scratch.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<size_t> g_allocation_count{0};
+}  // namespace
+
+// Counting allocator: every form of operator new funnels through malloc
+// with the counter bumped; every delete matches with free.
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fairdrift {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) m.At(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+// --------------------------------------- iterative vs recursive, bitwise
+
+TEST(FlatTraversalTest, KdTreeIterativeMatchesRecursiveBitwise) {
+  for (size_t d = 1; d <= 8; ++d) {
+    Matrix pts = RandomPoints(300, d, 500 + d);
+    Result<KdTree> tree = KdTree::Build(pts, 8);  // deep tree
+    ASSERT_TRUE(tree.ok()) << "dim " << d;
+    Rng rng(600 + d);
+    std::vector<double> inv_h(d);
+    for (double& v : inv_h) v = 0.5 + rng.Uniform(0.0, 2.0);
+    for (double atol : {0.0, 1e-3, 1e-1}) {
+      for (int trial = 0; trial < 25; ++trial) {
+        std::vector<double> q(d);
+        for (double& v : q) v = rng.Gaussian(0.0, 2.0);
+        double iterative = tree->GaussianKernelSum(q, inv_h, atol);
+        double recursive = tree->GaussianKernelSumRecursive(q, inv_h, atol);
+        EXPECT_EQ(iterative, recursive)
+            << "dim " << d << ", atol " << atol << ", trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(FlatTraversalTest, BallTreeIterativeMatchesRecursiveBitwise) {
+  for (size_t d = 1; d <= 8; ++d) {
+    Matrix pts = RandomPoints(300, d, 700 + d);
+    Result<BallTree> tree = BallTree::Build(pts, 8);
+    ASSERT_TRUE(tree.ok()) << "dim " << d;
+    Rng rng(800 + d);
+    std::vector<double> inv_h(d);
+    for (double& v : inv_h) v = 0.5 + rng.Uniform(0.0, 2.0);
+    for (double atol : {0.0, 1e-3, 1e-1}) {
+      for (int trial = 0; trial < 25; ++trial) {
+        std::vector<double> q(d);
+        for (double& v : q) v = rng.Gaussian(0.0, 2.0);
+        double iterative = tree->GaussianKernelSum(q, inv_h, atol);
+        double recursive = tree->GaussianKernelSumRecursive(q, inv_h, atol);
+        EXPECT_EQ(iterative, recursive)
+            << "dim " << d << ", atol " << atol << ", trial " << trial;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- zero-allocation paths
+
+TEST(FlatTraversalTest, KernelSumAllocatesNothingAfterWarmup) {
+  Matrix pts = RandomPoints(1000, 3, 42);
+  Result<KdTree> kd = KdTree::Build(pts, 16);
+  Result<BallTree> ball = BallTree::Build(pts, 16);
+  ASSERT_TRUE(kd.ok() && ball.ok());
+  std::vector<double> inv_h = {1.0, 2.0, 0.5};
+  std::vector<double> q = {0.1, -0.3, 0.2};
+  TraversalScratch scratch;
+  // Warm up: grows the scratch stacks to the trees' depth.
+  (void)kd->GaussianKernelSum(q.data(), inv_h.data(), 1e-4, &scratch);
+  (void)kd->GaussianKernelSum(q.data(), inv_h.data(), 0.0, &scratch);
+  (void)ball->GaussianKernelSum(q.data(), inv_h.data(), 1e-4, &scratch);
+  (void)ball->GaussianKernelSum(q.data(), inv_h.data(), 0.0, &scratch);
+
+  size_t before = g_allocation_count.load(std::memory_order_relaxed);
+  double acc = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    q[0] = 0.01 * i;
+    acc += kd->GaussianKernelSum(q.data(), inv_h.data(), 1e-4, &scratch);
+    acc += kd->GaussianKernelSum(q.data(), inv_h.data(), 0.0, &scratch);
+    acc += ball->GaussianKernelSum(q.data(), inv_h.data(), 1e-4, &scratch);
+  }
+  size_t after = g_allocation_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "kernel sums allocated on the hot path";
+  EXPECT_GT(acc, 0.0);
+}
+
+TEST(FlatTraversalTest, NearestNeighborsAllocatesNothingAfterWarmup) {
+  Matrix pts = RandomPoints(800, 2, 43);
+  Result<KdTree> kd = KdTree::Build(pts, 16);
+  Result<BallTree> ball = BallTree::Build(pts, 16);
+  ASSERT_TRUE(kd.ok() && ball.ok());
+  std::vector<double> q = {0.0, 0.0};
+  TraversalScratch scratch;
+  std::vector<size_t> out;
+  kd->NearestNeighbors(q.data(), 10, &scratch, &out);
+  ball->NearestNeighbors(q.data(), 10, &scratch, &out);
+
+  size_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) {
+    q[0] = 0.01 * i;
+    kd->NearestNeighbors(q.data(), 10, &scratch, &out);
+    ASSERT_EQ(out.size(), 10u);
+    ball->NearestNeighbors(q.data(), 10, &scratch, &out);
+    ASSERT_EQ(out.size(), 10u);
+  }
+  size_t after = g_allocation_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "kNN allocated on the hot path";
+}
+
+// The span-based kNN must agree with the (allocating) vector wrapper.
+TEST(FlatTraversalTest, SpanKnnMatchesWrapper) {
+  Matrix pts = RandomPoints(300, 3, 44);
+  Result<KdTree> tree = KdTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(45);
+  TraversalScratch scratch;
+  std::vector<size_t> out;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q = {rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    tree->NearestNeighbors(q.data(), 7, &scratch, &out);
+    EXPECT_EQ(out, tree->NearestNeighbors(q, 7));
+  }
+}
+
+// ----------------------------------------------------------------- NegExp
+
+TEST(NegExpTest, MatchesStdExpTightly) {
+  // The KDE's evaluation tolerance is 1e-9 relative; NegExp holds ~1e-14.
+  Rng rng(46);
+  for (int i = 0; i < 20000; ++i) {
+    double x = -rng.Uniform(0.0, 700.0);
+    double expected = std::exp(x);
+    EXPECT_NEAR(NegExp(x), expected, 1e-13 * expected) << "x = " << x;
+  }
+  EXPECT_EQ(NegExp(0.0), 1.0);
+  EXPECT_EQ(NegExp(-800.0), 0.0);  // flush-to-zero past exp underflow
+  EXPECT_EQ(NegExp(-1e9), 0.0);
+}
+
+TEST(NegExpTest, PairMatchesScalarBitwise) {
+  Rng rng(47);
+  for (int i = 0; i < 20000; ++i) {
+    double x0 = -rng.Uniform(0.0, 750.0);
+    double x1 = -rng.Uniform(0.0, 750.0);
+    double e0, e1;
+    NegExpPair(x0, x1, &e0, &e1);
+    EXPECT_EQ(e0, NegExp(x0)) << "x0 = " << x0;
+    EXPECT_EQ(e1, NegExp(x1)) << "x1 = " << x1;
+  }
+}
+
+// --------------------------------------------------------------- KdeCache
+
+TEST(KdeCacheTest, SameDataAndOptionsHit) {
+  KdeCache cache(8);
+  Matrix data = RandomPoints(120, 3, 48);
+  KdeOptions options;
+  auto a = cache.FitOrGet(data, options);
+  auto b = cache.FitOrGet(data, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());  // literally the same fit
+  KdeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(KdeCacheTest, OptionChangesMiss) {
+  KdeCache cache(8);
+  Matrix data = RandomPoints(120, 3, 49);
+  KdeOptions options;
+  ASSERT_TRUE(cache.FitOrGet(data, options).ok());
+  KdeOptions other = options;
+  other.leaf_size = 8;
+  ASSERT_TRUE(cache.FitOrGet(data, other).ok());
+  KdeOptions third = options;
+  third.tree_backend = KdeTreeBackend::kBallTree;
+  ASSERT_TRUE(cache.FitOrGet(data, third).ok());
+  KdeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(KdeCacheTest, DataMutationInvalidates) {
+  KdeCache cache(8);
+  Matrix data = RandomPoints(120, 3, 50);
+  KdeOptions options;
+  ASSERT_TRUE(cache.FitOrGet(data, options).ok());
+  data.At(7, 1) += 1e-9;  // even a one-ulp-ish edit must re-key
+  ASSERT_TRUE(cache.FitOrGet(data, options).ok());
+  KdeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(KdeCacheTest, ClearDropsEntriesButKeepsCounters) {
+  KdeCache cache(8);
+  Matrix data = RandomPoints(60, 2, 51);
+  ASSERT_TRUE(cache.FitOrGet(data, {}).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // counters survive Clear
+  ASSERT_TRUE(cache.FitOrGet(data, {}).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);  // refit after Clear, not a hit
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);  // ResetStats keeps entries
+}
+
+TEST(KdeCacheTest, LruEvictionBoundsEntries) {
+  KdeCache cache(2);
+  KdeOptions options;
+  Matrix a = RandomPoints(40, 2, 52);
+  Matrix b = RandomPoints(40, 2, 53);
+  Matrix c = RandomPoints(40, 2, 54);
+  ASSERT_TRUE(cache.FitOrGet(a, options).ok());
+  ASSERT_TRUE(cache.FitOrGet(b, options).ok());
+  ASSERT_TRUE(cache.FitOrGet(a, options).ok());  // refresh a; b is now LRU
+  ASSERT_TRUE(cache.FitOrGet(c, options).ok());  // evicts b
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  ASSERT_TRUE(cache.FitOrGet(a, options).ok());  // still cached
+  EXPECT_EQ(cache.stats().hits, 2u);
+  ASSERT_TRUE(cache.FitOrGet(b, options).ok());  // evicted: a miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(KdeCacheTest, CachedRankingMatchesUncached) {
+  Matrix data = RandomPoints(150, 4, 55);
+  KdeOptions cached;
+  cached.use_fit_cache = true;
+  KdeOptions uncached;
+  uncached.use_fit_cache = false;
+  Result<std::vector<size_t>> a = DensityRanking(data, cached);
+  Result<std::vector<size_t>> b = DensityRanking(data, uncached);
+  Result<std::vector<size_t>> c = DensityRanking(data, cached);  // cache hit
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), c.value());
+}
+
+TEST(KdeCacheTest, FingerprintSeparatesShapes) {
+  // Same flat contents, different shape, must not collide.
+  Matrix wide(2, 6, 1.0);
+  Matrix tall(6, 2, 1.0);
+  EXPECT_FALSE(FingerprintMatrix(wide) == FingerprintMatrix(tall));
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -1,0 +1,126 @@
+// Determinism tests for the parallel learner gradient passes.
+//
+// GradientBoostedTrees::Fit and LogisticRegression::Fit run their
+// row-wise passes through the fixed-block reductions of util/parallel.h,
+// whose contract is: the fitted model is *bitwise* identical for every
+// worker count (0 = inline, 1, N, and the global pool). These tests pin
+// that contract — coefficients, intercepts, loss curves, trees (via
+// predicted probabilities), and downstream predictions must not move by
+// a single bit when the pool changes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/gbt.h"
+#include "ml/logistic_regression.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+void MakeBlobs(size_t n, uint64_t seed, Matrix* x, std::vector<int>* y,
+               std::vector<double>* w) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  w->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int label = rng.Bernoulli(0.4) ? 1 : 0;
+    double shift = label == 1 ? 0.8 : -0.8;
+    x->At(i, 0) = rng.Gaussian(shift, 1.0);
+    x->At(i, 1) = rng.Gaussian(-shift, 1.5);
+    x->At(i, 2) = rng.Gaussian(0.0, 0.5);
+    (*y)[i] = label;
+    (*w)[i] = 0.5 + rng.Uniform(0.0, 2.0);
+  }
+}
+
+TEST(LearnerDeterminismTest, LogisticRegressionBitwiseAcrossWorkerCounts) {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<double> w;
+  MakeBlobs(3000, 91, &x, &y, &w);  // several reduction blocks
+
+  ThreadPool inline_pool(0);
+  ThreadPool single(1);
+  ThreadPool several(3);
+  std::vector<ThreadPool*> pools = {&inline_pool, &single, &several,
+                                    nullptr /* global */};
+
+  std::vector<std::vector<double>> betas;
+  std::vector<double> intercepts;
+  for (ThreadPool* pool : pools) {
+    LogisticRegressionOptions options;
+    options.pool = pool;
+    LogisticRegression lr(options);
+    ASSERT_TRUE(lr.Fit(x, y, w).ok());
+    betas.push_back(lr.coefficients());
+    intercepts.push_back(lr.intercept());
+  }
+  for (size_t p = 1; p < pools.size(); ++p) {
+    ASSERT_EQ(betas[p].size(), betas[0].size());
+    for (size_t j = 0; j < betas[0].size(); ++j) {
+      EXPECT_EQ(betas[p][j], betas[0][j]) << "pool " << p << ", coeff " << j;
+    }
+    EXPECT_EQ(intercepts[p], intercepts[0]) << "pool " << p;
+  }
+}
+
+TEST(LearnerDeterminismTest, GbtBitwiseAcrossWorkerCounts) {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<double> w;
+  MakeBlobs(2500, 92, &x, &y, &w);
+
+  ThreadPool inline_pool(0);
+  ThreadPool single(1);
+  ThreadPool several(3);
+  std::vector<ThreadPool*> pools = {&inline_pool, &single, &several,
+                                    nullptr /* global */};
+
+  std::vector<std::vector<double>> probas;
+  std::vector<std::vector<double>> curves;
+  for (ThreadPool* pool : pools) {
+    GbtOptions options;
+    options.num_rounds = 12;
+    options.pool = pool;
+    GradientBoostedTrees gbt(options);
+    ASSERT_TRUE(gbt.Fit(x, y, w).ok());
+    Result<std::vector<double>> p = gbt.PredictProba(x);
+    ASSERT_TRUE(p.ok());
+    probas.push_back(std::move(p).value());
+    curves.push_back(gbt.training_loss_curve());
+  }
+  for (size_t p = 1; p < pools.size(); ++p) {
+    ASSERT_EQ(curves[p].size(), curves[0].size());
+    for (size_t r = 0; r < curves[0].size(); ++r) {
+      EXPECT_EQ(curves[p][r], curves[0][r]) << "pool " << p << ", round " << r;
+    }
+    ASSERT_EQ(probas[p].size(), probas[0].size());
+    for (size_t i = 0; i < probas[0].size(); ++i) {
+      EXPECT_EQ(probas[p][i], probas[0][i]) << "pool " << p << ", row " << i;
+    }
+  }
+}
+
+// Refitting with the same pool must also be reproducible (the reductions
+// have no hidden state).
+TEST(LearnerDeterminismTest, RepeatFitsAreIdentical) {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<double> w;
+  MakeBlobs(1500, 93, &x, &y, &w);
+  LogisticRegression a;
+  LogisticRegression b;
+  ASSERT_TRUE(a.Fit(x, y, w).ok());
+  ASSERT_TRUE(b.Fit(x, y, w).ok());
+  for (size_t j = 0; j < a.coefficients().size(); ++j) {
+    EXPECT_EQ(a.coefficients()[j], b.coefficients()[j]);
+  }
+  EXPECT_EQ(a.intercept(), b.intercept());
+}
+
+}  // namespace
+}  // namespace fairdrift

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -142,6 +144,47 @@ TEST(ParallelKdeTest, EvaluateAllBitwiseStableAcrossWorkerCounts) {
                                       << workers << " workers";
     }
   }
+}
+
+// ------------------------------------------- deterministic reductions
+
+TEST(ParallelReductionTest, ChunksCoverRangeExactlyOnce) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1023}, size_t{1024},
+                   size_t{1025}, size_t{5000}}) {
+    ThreadPool pool(3);
+    std::vector<int> touched(n, 0);
+    std::mutex mu;
+    size_t max_chunk = 0;
+    ParallelForChunks(
+        0, n,
+        [&](size_t c, size_t b, size_t e) {
+          EXPECT_EQ(b, c * kReductionChunk);
+          EXPECT_LE(e, n);
+          EXPECT_LE(e - b, kReductionChunk);
+          for (size_t i = b; i < e; ++i) ++touched[i];
+          std::lock_guard<std::mutex> lock(mu);
+          max_chunk = std::max(max_chunk, c);
+        },
+        &pool);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(touched[i], 1) << "index " << i;
+    if (n > 0) EXPECT_EQ(max_chunk, ReductionChunks(n) - 1);
+  }
+}
+
+TEST(ParallelReductionTest, SumBitwiseIdenticalAcrossWorkerCounts) {
+  const size_t n = 10000;
+  Rng rng(95);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.Gaussian() * 1e6;  // stress rounding
+  auto term = [&](size_t i) { return values[i]; };
+  ThreadPool inline_pool(0);
+  double reference = ParallelSum(0, n, term, &inline_pool);
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{7}}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(ParallelSum(0, n, term, &pool), reference)
+        << workers << " workers";
+  }
+  EXPECT_EQ(ParallelSum(0, 0, term, &inline_pool), 0.0);
 }
 
 TEST(ParallelKdeTest, LogDensityAllMatchesPointwise) {
