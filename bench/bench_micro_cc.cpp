@@ -1,12 +1,18 @@
 // Micro-benchmarks for conformance-constraint discovery and violation
 // evaluation, confirming the paper's stated complexity: discovery is
 // linear in the number of tuples and cubic in the number of numeric
-// attributes (§III-A).
+// attributes (§III-A). After the google-benchmark run, main() times a
+// fixed discovery + violation probe and writes BENCH_cc.json so the
+// CC hot path's trajectory is tracked across PRs like the KDE's.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_common/bench_json.h"
 #include "cc/discovery.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace fairdrift {
 namespace {
@@ -65,7 +71,61 @@ void BM_CcViolationEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_CcViolationEvaluation)->RangeMultiplier(2)->Range(2, 32);
 
+// Fixed probes behind the BENCH_cc.json metrics: one discovery pass and a
+// large violation sweep at the paper's typical cell shape.
+void WriteCcBenchJson() {
+  const size_t n = 2000;
+  const size_t q = 8;
+  Matrix data = RandomData(n, q, 11);
+  Result<ConstraintSet> set = DiscoverConstraints(data);
+  if (!set.ok()) {
+    std::fprintf(stderr, "BENCH_cc.json probe: discovery failed\n");
+    return;
+  }
+  WallTimer timer;
+  int discovery_reps = 0;
+  while (timer.ElapsedSeconds() < 0.5) {
+    Result<ConstraintSet> rediscovered = DiscoverConstraints(data);
+    benchmark::DoNotOptimize(rediscovered.ok());
+    ++discovery_reps;
+  }
+  double discovery_ms =
+      timer.ElapsedSeconds() * 1e3 / static_cast<double>(discovery_reps);
+
+  Rng rng(12);
+  std::vector<double> row(q);
+  WallTimer violation_timer;
+  int violation_reps = 0;
+  while (violation_timer.ElapsedSeconds() < 0.5) {
+    for (size_t j = 0; j < q; ++j) row[j] = rng.Gaussian();
+    benchmark::DoNotOptimize(set->Violation(row));
+    ++violation_reps;
+  }
+  double violation_ns =
+      violation_timer.ElapsedSeconds() * 1e9 /
+      static_cast<double>(violation_reps);
+
+  BenchJsonSection section;
+  section.name = "micro_cc";
+  section.metrics = {
+      {"n", static_cast<double>(n)},
+      {"attributes", static_cast<double>(q)},
+      {"discovery_ms", discovery_ms},
+      {"violation_ns_per_row", violation_ns},
+      {"violation_rows_per_sec", 1e9 / violation_ns},
+  };
+  Status st = WriteBenchJson({section}, BenchJsonPathOr("BENCH_cc.json"));
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+}
+
 }  // namespace
 }  // namespace fairdrift
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fairdrift::WriteCcBenchJson();
+  return 0;
+}

@@ -1,11 +1,18 @@
 // Micro-benchmarks for the learners: weighted logistic regression (IRLS)
-// and histogram gradient boosting, by training-set size.
+// and histogram gradient boosting, by training-set size. After the
+// google-benchmark run, main() times fixed fit/predict probes and writes
+// BENCH_ml.json so the learner hot paths' trajectory is tracked across
+// PRs like the KDE's.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_common/bench_json.h"
 #include "ml/gbt.h"
 #include "ml/logistic_regression.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace fairdrift {
 namespace {
@@ -72,7 +79,75 @@ void BM_GbtPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_GbtPredict);
 
+// Fixed probes behind the BENCH_ml.json metrics: one LR fit, one GBT fit
+// (30 rounds), and the batched GBT prediction pass.
+void WriteMlBenchJson() {
+  const size_t n = 8192;
+  const size_t d = 20;
+  Matrix x;
+  std::vector<int> y;
+  MakeTask(n, d, 9, &x, &y);
+
+  WallTimer lr_timer;
+  int lr_reps = 0;
+  while (lr_timer.ElapsedSeconds() < 0.5) {
+    LogisticRegression lr;
+    benchmark::DoNotOptimize(lr.Fit(x, y, {}).ok());
+    ++lr_reps;
+  }
+  double lr_fit_ms =
+      lr_timer.ElapsedSeconds() * 1e3 / static_cast<double>(lr_reps);
+
+  GbtOptions opts;
+  opts.num_rounds = 30;
+  WallTimer gbt_timer;
+  int gbt_reps = 0;
+  while (gbt_timer.ElapsedSeconds() < 1.0) {
+    GradientBoostedTrees gbt(opts);
+    benchmark::DoNotOptimize(gbt.Fit(x, y, {}).ok());
+    ++gbt_reps;
+  }
+  double gbt_fit_ms =
+      gbt_timer.ElapsedSeconds() * 1e3 / static_cast<double>(gbt_reps);
+
+  GradientBoostedTrees gbt(opts);
+  if (!gbt.Fit(x, y, {}).ok()) {
+    std::fprintf(stderr, "BENCH_ml.json probe: GBT fit failed\n");
+    return;
+  }
+  WallTimer predict_timer;
+  int predict_reps = 0;
+  while (predict_timer.ElapsedSeconds() < 0.5) {
+    Result<std::vector<double>> p = gbt.PredictProba(x);
+    benchmark::DoNotOptimize(p.ok());
+    ++predict_reps;
+  }
+  double predict_ns_per_row =
+      predict_timer.ElapsedSeconds() * 1e9 /
+      (static_cast<double>(predict_reps) * static_cast<double>(n));
+
+  BenchJsonSection section;
+  section.name = "micro_ml";
+  section.metrics = {
+      {"n", static_cast<double>(n)},
+      {"dim", static_cast<double>(d)},
+      {"lr_fit_ms", lr_fit_ms},
+      {"gbt_fit30_ms", gbt_fit_ms},
+      {"gbt_predict_ns_per_row", predict_ns_per_row},
+      {"gbt_predict_rows_per_sec", 1e9 / predict_ns_per_row},
+  };
+  Status st = WriteBenchJson({section}, BenchJsonPathOr("BENCH_ml.json"));
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+}
+
 }  // namespace
 }  // namespace fairdrift
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fairdrift::WriteMlBenchJson();
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Serving-path benchmarks: snapshot batch scoring and the micro-batching
+// throughput contrast.
+//
+// The headline probe (written to BENCH_serving.json) submits 10k
+// single-row requests from 8 concurrent client threads twice — once with
+// micro-batching disabled (max_batch_size = 1: every request pays the
+// full queue/dispatch/kernel-call overhead) and once with coalescing into
+// batches of up to 128 — and reports both throughputs plus their ratio.
+// The acceptance bar for the batching design is a >= 5x ratio: coalescing
+// must amortize per-request overhead down to the batched hot-path cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common/bench_json.h"
+#include "core/deployment.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fairdrift {
+namespace {
+
+// Two-group training set with a linear class signal: cheap to score (LR),
+// structured enough to profile.
+Dataset MakeTrainingData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(d, std::vector<double>(n));
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = rng.Bernoulli(0.3) ? 1 : 0;
+    double margin = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      double v = rng.Gaussian(g == 1 ? 0.4 : -0.4, 1.0);
+      cols[j][i] = v;
+      margin += (j % 2 == 0 ? 1.0 : -0.5) * v;
+    }
+    labels[i] = margin + rng.Gaussian() > 0.0 ? 1 : 0;
+    groups[i] = g;
+  }
+  Dataset data;
+  for (size_t j = 0; j < d; ++j) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "x%zu", j);
+    (void)data.AddNumericColumn(name, std::move(cols[j]));
+  }
+  (void)data.SetLabels(std::move(labels), 2);
+  (void)data.SetGroups(std::move(groups));
+  return data;
+}
+
+std::shared_ptr<const ModelSnapshot> MakeServingSnapshot(bool with_density) {
+  Dataset train = MakeTrainingData(3000, 6, 21);
+  SnapshotBuildOptions options;
+  options.method = SnapshotMethod::kPlain;
+  options.include_profile = true;
+  // The throughput probe isolates dispatch overhead: per-row work stays at
+  // the margin scan + LR dot product unless density is requested.
+  options.include_density = with_density;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      BuildSnapshot(train, options);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return nullptr;
+  }
+  return snapshot.value();
+}
+
+std::vector<std::vector<double>> MakeRequests(size_t n, size_t d,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(d));
+  for (auto& row : rows) {
+    for (double& v : row) v = rng.Gaussian();
+  }
+  return rows;
+}
+
+void BM_SnapshotScoreBatch(benchmark::State& state) {
+  static std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeServingSnapshot(/*with_density=*/false);
+  if (snapshot == nullptr) {
+    state.SkipWithError("snapshot build failed");
+    return;
+  }
+  size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> rows = MakeRequests(batch, 6, 31);
+  Matrix m(batch, 6);
+  for (size_t i = 0; i < batch; ++i) m.SetRow(i, rows[i]);
+  for (auto _ : state) {
+    Result<std::vector<ScoreResult>> scores = snapshot->ScoreBatch(m);
+    benchmark::DoNotOptimize(scores.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SnapshotScoreBatch)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+struct ThroughputProbe {
+  double requests_per_sec = 0.0;
+  double mean_batch = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t completed = 0;
+};
+
+ThroughputProbe RunThroughputProbe(
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    size_t max_batch_size, size_t num_requests, size_t num_clients) {
+  ServerOptions options;
+  options.batching.max_batch_size = max_batch_size;
+  options.batching.max_batch_delay = std::chrono::microseconds{200};
+  options.admission.max_queue_depth = num_requests + num_clients;
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ThroughputProbe probe;
+  if (!server.ok()) {
+    std::fprintf(stderr, "server create failed: %s\n",
+                 server.status().ToString().c_str());
+    return probe;
+  }
+  std::vector<std::vector<double>> rows =
+      MakeRequests(num_requests, snapshot->num_features(), 41);
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<ScoreTicket> tickets;
+      tickets.reserve(num_requests / num_clients + 1);
+      for (size_t i = c; i < num_requests; i += num_clients) {
+        Result<ScoreTicket> ticket = server.value()->Submit(rows[i]);
+        if (ticket.ok()) tickets.push_back(std::move(ticket).value());
+      }
+      for (ScoreTicket& t : tickets) (void)t.Wait();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = timer.ElapsedSeconds();
+
+  ServerStats::View stats = server.value()->stats();
+  probe.requests_per_sec =
+      static_cast<double>(stats.completed) / elapsed;
+  probe.mean_batch = stats.mean_batch_size;
+  probe.p50_us = stats.p50_latency_us;
+  probe.p99_us = stats.p99_latency_us;
+  probe.completed = stats.completed;
+  return probe;
+}
+
+void WriteServingBenchJson() {
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeServingSnapshot(/*with_density=*/false);
+  if (snapshot == nullptr) return;
+  const size_t kRequests = 10000;
+  const size_t kClients = 8;
+
+  // Warm the global pool before timing.
+  (void)RunThroughputProbe(snapshot, 64, 1000, kClients);
+
+  ThroughputProbe unbatched =
+      RunThroughputProbe(snapshot, 1, kRequests, kClients);
+  ThroughputProbe batched =
+      RunThroughputProbe(snapshot, 128, kRequests, kClients);
+  double speedup = unbatched.requests_per_sec > 0.0
+                       ? batched.requests_per_sec / unbatched.requests_per_sec
+                       : 0.0;
+
+  // The drift-monitoring configuration (profile + KDE log-density per
+  // request) as a second tracked point: the "full observability" cost.
+  std::shared_ptr<const ModelSnapshot> monitored =
+      MakeServingSnapshot(/*with_density=*/true);
+  ThroughputProbe full =
+      monitored == nullptr
+          ? ThroughputProbe{}
+          : RunThroughputProbe(monitored, 128, kRequests, kClients);
+
+  BenchJsonSection section;
+  section.name = "serving";
+  section.metrics = {
+      {"requests", static_cast<double>(kRequests)},
+      {"client_threads", static_cast<double>(kClients)},
+      {"unbatched_requests_per_sec", unbatched.requests_per_sec},
+      {"unbatched_completed", static_cast<double>(unbatched.completed)},
+      {"unbatched_p50_us", unbatched.p50_us},
+      {"unbatched_p99_us", unbatched.p99_us},
+      {"batched_requests_per_sec", batched.requests_per_sec},
+      {"batched_completed", static_cast<double>(batched.completed)},
+      {"batched_mean_batch", batched.mean_batch},
+      {"batched_p50_us", batched.p50_us},
+      {"batched_p99_us", batched.p99_us},
+      {"batching_speedup", speedup},
+      {"with_density_requests_per_sec", full.requests_per_sec},
+      {"with_density_p99_us", full.p99_us},
+  };
+  Status st =
+      WriteBenchJson({section}, BenchJsonPathOr("BENCH_serving.json"));
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::fprintf(stderr,
+               "serving probe: unbatched %.0f req/s, batched %.0f req/s "
+               "(mean batch %.1f) -> %.1fx\n",
+               unbatched.requests_per_sec, batched.requests_per_sec,
+               batched.mean_batch, speedup);
+}
+
+}  // namespace
+}  // namespace fairdrift
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fairdrift::WriteServingBenchJson();
+  return 0;
+}

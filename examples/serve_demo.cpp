@@ -1,0 +1,175 @@
+// serve_demo: the online scoring path end to end.
+//
+// Trains a CONFAIR snapshot on a MEPS-like dataset, starts the
+// asynchronous micro-batching scoring server, drives it with concurrent
+// client threads, atomically swaps in a freshly trained DIFFAIR snapshot
+// while traffic is in flight, and prints the server's stats block —
+// throughput, latency percentiles, batch-size histogram, shed counts.
+//
+//   ./serve_demo [--scale S] [--seed K]
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/deployment.h"
+#include "datagen/realworld.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace fairdrift;
+
+int main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  double scale = flags.GetDouble("scale", 0.5);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  // 1. Training data + two snapshots: the CONFAIR single-model freeze we
+  //    launch with, and a DIFFAIR split-model freeze to hot-swap in.
+  Result<Dataset> data =
+      MakeRealWorldLike(GetRealDatasetSpec(RealDatasetId::kMeps), scale);
+  if (!data.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training data: %zu tuples, %zu features\n", data->size(),
+              data->num_features());
+
+  SnapshotBuildOptions build;
+  build.method = SnapshotMethod::kConfair;
+  Result<std::shared_ptr<const ModelSnapshot>> confair_snapshot =
+      BuildSnapshot(*data, build);
+  if (!confair_snapshot.ok()) {
+    std::fprintf(stderr, "CONFAIR snapshot failed: %s\n",
+                 confair_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  build.method = SnapshotMethod::kDiffair;
+  Result<std::shared_ptr<const ModelSnapshot>> diffair_snapshot =
+      BuildSnapshot(*data, build);
+  if (!diffair_snapshot.ok()) {
+    std::fprintf(stderr, "DIFFAIR snapshot failed: %s\n",
+                 diffair_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshots: CONFAIR v%llu, DIFFAIR v%llu\n",
+              static_cast<unsigned long long>(confair_snapshot.value()->version()),
+              static_cast<unsigned long long>(diffair_snapshot.value()->version()));
+
+  // 2. Start the server: micro-batches of up to 64 requests, 500us
+  //    coalescing window, 4096-deep admission queue, 50ms default deadline.
+  ServerOptions options;
+  options.batching.max_batch_size = 64;
+  options.batching.max_batch_delay = std::chrono::microseconds{500};
+  options.admission.max_queue_depth = 4096;
+  options.admission.default_deadline = std::chrono::milliseconds{50};
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(confair_snapshot.value(), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server create failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Concurrent clients: request rows are training rows with noise (so
+  //    some land off-manifold and trip the density monitor).
+  const size_t kClients = 4;
+  const size_t kRequestsPerClient = 2000;
+  Matrix numeric = data->NumericMatrix();
+  Schema schema = data->GetSchema();
+  std::vector<size_t> numeric_fields = schema.NumericFieldIndices();
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<uint64_t> outlier_count{0};
+  std::atomic<uint64_t> v1_scored{0};
+  std::atomic<uint64_t> v2_scored{0};
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(seed + 1000 + c);
+      uint64_t v1 = confair_snapshot.value()->version();
+      for (size_t i = 0; i < kRequestsPerClient; ++i) {
+        size_t src = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(data->size()) - 1));
+        std::vector<double> row(schema.num_fields(), 0.0);
+        for (size_t f = 0; f < schema.num_fields(); ++f) {
+          const Column& col = data->column(f);
+          row[f] = col.is_numeric()
+                       ? col.numeric_values()[src] + rng.Gaussian(0.0, 0.3)
+                       : static_cast<double>(col.codes()[src]);
+        }
+        Result<ScoreTicket> ticket = server.value()->Submit(std::move(row));
+        if (!ticket.ok()) {
+          shed_count.fetch_add(1);
+          continue;
+        }
+        Result<ScoreResult> result = ticket.value().Wait();
+        if (!result.ok()) {
+          shed_count.fetch_add(1);
+          continue;
+        }
+        ok_count.fetch_add(1);
+        if (result.value().density_outlier) outlier_count.fetch_add(1);
+        (result.value().snapshot_version == v1 ? v1_scored : v2_scored)
+            .fetch_add(1);
+      }
+    });
+  }
+
+  // 4. Mid-flight snapshot swap: in-flight batches finish on CONFAIR, new
+  //    batches score DIFFAIR. No drain, no lost requests.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  Status swap = server.value()->UpdateSnapshot(diffair_snapshot.value());
+  std::printf("swapped to DIFFAIR mid-flight: %s\n", swap.ToString().c_str());
+
+  for (std::thread& t : clients) t.join();
+  double elapsed = timer.ElapsedSeconds();
+
+  // 5. The stats block.
+  ServerStats::View stats = server.value()->stats();
+  std::printf("\n--- traffic ---\n");
+  std::printf("clients             %zu x %zu requests\n", kClients,
+              kRequestsPerClient);
+  std::printf("completed ok        %llu (%.0f req/s)\n",
+              static_cast<unsigned long long>(ok_count.load()),
+              static_cast<double>(ok_count.load()) / elapsed);
+  std::printf("shed                %llu\n",
+              static_cast<unsigned long long>(shed_count.load()));
+  std::printf("density outliers    %llu\n",
+              static_cast<unsigned long long>(outlier_count.load()));
+  std::printf("scored by CONFAIR   %llu\n",
+              static_cast<unsigned long long>(v1_scored.load()));
+  std::printf("scored by DIFFAIR   %llu\n",
+              static_cast<unsigned long long>(v2_scored.load()));
+  std::printf("\n--- server stats ---\n");
+  std::printf("submitted           %llu\n",
+              static_cast<unsigned long long>(stats.submitted));
+  std::printf("completed           %llu\n",
+              static_cast<unsigned long long>(stats.completed));
+  std::printf("shed (admission)    %llu\n",
+              static_cast<unsigned long long>(stats.shed_admission));
+  std::printf("shed (deadline)     %llu\n",
+              static_cast<unsigned long long>(stats.shed_deadline));
+  std::printf("snapshot swaps      %llu\n",
+              static_cast<unsigned long long>(stats.snapshot_swaps));
+  std::printf("batches             %llu (mean size %.1f)\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch_size);
+  std::printf("latency p50/p95/p99 %.0f / %.0f / %.0f us\n",
+              stats.p50_latency_us, stats.p95_latency_us,
+              stats.p99_latency_us);
+  std::printf("batch-size histogram (power-of-two buckets):\n");
+  for (size_t b = 0; b < stats.batch_size_hist.size(); ++b) {
+    if (stats.batch_size_hist[b] == 0) continue;
+    std::printf("  [%4zu, %4zu)  %llu\n", size_t{1} << b, size_t{1} << (b + 1),
+                static_cast<unsigned long long>(stats.batch_size_hist[b]));
+  }
+  return 0;
+}

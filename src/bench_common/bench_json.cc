@@ -8,11 +8,13 @@
 
 namespace fairdrift {
 
-std::string BenchJsonPath() {
+std::string BenchJsonPath() { return BenchJsonPathOr("BENCH_kde.json"); }
+
+std::string BenchJsonPathOr(const char* default_name) {
   if (const char* env = std::getenv("FAIRDRIFT_BENCH_JSON")) {
     if (env[0] != '\0') return env;
   }
-  return "BENCH_kde.json";
+  return default_name;
 }
 
 Status WriteBenchJson(const std::vector<BenchJsonSection>& sections,
@@ -48,6 +50,9 @@ BenchJsonSection KdeCacheSection() {
       {"hit_rate", stats.hit_rate()},
       {"evictions", static_cast<double>(stats.evictions)},
       {"entries", static_cast<double>(stats.entries)},
+      {"resident_bytes", static_cast<double>(stats.resident_bytes)},
+      {"fingerprint_memo_hits",
+       static_cast<double>(stats.fingerprint_memo_hits)},
       {"total_fit_calls", static_cast<double>(KernelDensity::TotalFitCount())},
   };
   return section;

@@ -35,6 +35,12 @@ struct BenchJsonSection {
 /// the working directory.
 std::string BenchJsonPath();
 
+/// Output path with a caller-chosen default: $FAIRDRIFT_BENCH_JSON when
+/// set, else `default_name` in the working directory. Each bench binary
+/// names its own artifact (BENCH_cc.json, BENCH_ml.json,
+/// BENCH_serving.json, ...) so CI can upload every hot path's trajectory.
+std::string BenchJsonPathOr(const char* default_name);
+
 /// Writes `sections` to `path` (BenchJsonPath() when empty), replacing any
 /// existing file, and logs the destination to stderr.
 Status WriteBenchJson(const std::vector<BenchJsonSection>& sections,

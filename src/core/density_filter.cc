@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kde/kde_cache.h"
 #include "util/parallel.h"
 
 namespace fairdrift {
@@ -15,6 +16,7 @@ namespace {
 struct CellTask {
   std::vector<size_t> indices;  // dataset row ids of the cell
   size_t keep = 0;              // how many of them to keep
+  uint64_t cell_slot = 0;       // g * num_classes + y (fingerprint memo slot)
 };
 
 struct CellOutcome {
@@ -49,7 +51,10 @@ Result<std::vector<size_t>> DensityFilterIndices(
         kept.insert(kept.end(), cell.begin(), cell.end());
         continue;
       }
-      tasks.push_back({std::move(cell), k});
+      uint64_t slot = static_cast<uint64_t>(g) *
+                          static_cast<uint64_t>(data.num_classes()) +
+                      static_cast<uint64_t>(y);
+      tasks.push_back({std::move(cell), k, slot});
     }
   }
 
@@ -70,8 +75,13 @@ Result<std::vector<size_t>> DensityFilterIndices(
           out.kept = task.indices;
           return out;
         }
-        Result<std::vector<size_t>> ranking =
-            DensityRanking(cell_numeric, options.kde);
+        // The (dataset version, cell) hint lets the fit cache skip the
+        // O(nd) content rehash when the same unmutated dataset is
+        // profiled again (tuning grids, repeated trials).
+        Result<std::vector<size_t>> ranking = DensityRankingWithHint(
+            cell_numeric, options.kde,
+            KdeCacheHint{data.version(), task.cell_slot,
+                         kKdeHintSpaceDensityFilterCell});
         if (!ranking.ok()) {
           out.status = ranking.status();
           return out;

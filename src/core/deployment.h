@@ -1,0 +1,79 @@
+// Snapshot construction: freezing a fitted pipeline for the serving path.
+//
+// RunPipeline reports metrics and discards its fitted artifacts; serving
+// needs the opposite — the artifacts, immutably packaged, with no
+// evaluation. BuildSnapshot trains the requested intervention on a
+// training split exactly the way the pipeline does (CONFAIR reweighing
+// into a single model, or DIFFAIR's per-group models behind conformance
+// routing) and freezes the result — models, (group x label) profile,
+// encoder, and an optional training-density drift monitor — into a
+// ModelSnapshot that a ScoringServer can swap in atomically.
+//
+// BuildSnapshotFromRecommendation closes the advisor loop: measure drift
+// on fresh data, let the advisor pick the intervention, freeze it, swap
+// it in — refit-free serving with drift-driven retraining.
+
+#ifndef FAIRDRIFT_CORE_DEPLOYMENT_H_
+#define FAIRDRIFT_CORE_DEPLOYMENT_H_
+
+#include <memory>
+
+#include "core/advisor.h"
+#include "core/confair.h"
+#include "core/diffair.h"
+#include "data/dataset.h"
+#include "kde/kde.h"
+#include "ml/model.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Interventions a snapshot can freeze.
+enum class SnapshotMethod {
+  kPlain,    ///< no intervention: one model on unit weights
+  kConfair,  ///< Algorithm 2 reweighing into one model
+  kDiffair,  ///< Algorithm 1 model splitting + conformance routing
+};
+
+/// Configuration of BuildSnapshot.
+struct SnapshotBuildOptions {
+  SnapshotMethod method = SnapshotMethod::kConfair;
+  LearnerKind learner = LearnerKind::kLogisticRegression;
+  uint64_t learner_seed = 42;
+
+  /// CONFAIR intervention degree (used by kConfair).
+  ConfairOptions confair;
+  /// DIFFAIR profiling/routing (used by kDiffair; its profile becomes the
+  /// snapshot's routing profile).
+  DiffairOptions diffair;
+  /// Profile attached for margin monitoring by the single-model methods.
+  ProfileOptions profile;
+  /// Attach the (group x label) conformance profile. Required (and
+  /// forced) for kDiffair.
+  bool include_profile = true;
+
+  /// Fit a KernelDensity on the training numeric attributes as the
+  /// snapshot's drift monitor (resolves through the global KdeCache).
+  bool include_density = true;
+  KdeOptions density_kde;
+  /// Training-split log-density quantile below which a request is
+  /// flagged density_outlier.
+  double density_outlier_quantile = 0.01;
+};
+
+/// Trains `options.method` on `train` and freezes the fitted artifacts.
+/// Requires labels (and groups for the profiled / routed variants).
+Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshot(
+    const Dataset& train, const SnapshotBuildOptions& options = {});
+
+/// Freezes the intervention the advisor recommended for `train`:
+/// kConfair -> SnapshotMethod::kConfair, kDiffair -> SnapshotMethod::kDiffair
+/// (overriding `options.method`).
+Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshotFromRecommendation(
+    const Dataset& train, const Recommendation& recommendation,
+    SnapshotBuildOptions options = {});
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_CORE_DEPLOYMENT_H_

@@ -1,11 +1,28 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "util/string_util.h"
 
 namespace fairdrift {
+
+namespace {
+
+// Process-wide dataset version stream; 0 is never issued (it is the
+// "no hint" sentinel of the KDE fingerprint memo).
+std::atomic<uint64_t> g_dataset_version{0};
+
+uint64_t NextDatasetVersion() {
+  return g_dataset_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Dataset::Dataset() : version_(NextDatasetVersion()) {}
+
+void Dataset::Touch() { version_ = NextDatasetVersion(); }
 
 Status Dataset::CheckLength(size_t len, const char* what) const {
   if (has_columns_ && len != num_rows_) {
@@ -24,6 +41,7 @@ Status Dataset::AddNumericColumn(std::string name,
     if (weights_.empty()) weights_.assign(num_rows_, 1.0);
   }
   columns_.push_back(Column::Numeric(std::move(name), std::move(values)));
+  Touch();
   return Status::OK();
 }
 
@@ -39,6 +57,7 @@ Status Dataset::AddCategoricalColumn(std::string name, std::vector<int> codes,
     if (weights_.empty()) weights_.assign(num_rows_, 1.0);
   }
   columns_.push_back(std::move(col).value());
+  Touch();
   return Status::OK();
 }
 
@@ -60,6 +79,7 @@ Status Dataset::SetLabels(std::vector<int> labels, int num_classes) {
   }
   labels_ = std::move(labels);
   num_classes_ = num_classes;
+  Touch();
   return Status::OK();
 }
 
@@ -79,6 +99,7 @@ Status Dataset::SetGroups(std::vector<int> groups) {
   }
   groups_ = std::move(groups);
   num_groups_ = max_group + 1;
+  Touch();
   return Status::OK();
 }
 
@@ -90,10 +111,14 @@ Status Dataset::SetWeights(std::vector<double> weights) {
     }
   }
   weights_ = std::move(weights);
+  Touch();
   return Status::OK();
 }
 
-void Dataset::ResetWeights() { weights_.assign(num_rows_, 1.0); }
+void Dataset::ResetWeights() {
+  weights_.assign(num_rows_, 1.0);
+  Touch();
+}
 
 Result<const Column*> Dataset::ColumnByName(const std::string& name) const {
   for (const Column& c : columns_) {

@@ -31,7 +31,7 @@ inline constexpr int kMinorityGroup = 1;  ///< U: under-represented group.
 /// Tabular dataset with features, labels, groups, and tuple weights.
 class Dataset {
  public:
-  Dataset() = default;
+  Dataset();
 
   // ---------------------------------------------------------------------
   // Construction
@@ -83,7 +83,19 @@ class Dataset {
   const std::vector<int>& labels() const { return labels_; }
   const std::vector<int>& groups() const { return groups_; }
   const std::vector<double>& weights() const { return weights_; }
-  std::vector<double>* mutable_weights() { return &weights_; }
+  std::vector<double>* mutable_weights() {
+    Touch();  // conservative: the caller may mutate through the pointer
+    return &weights_;
+  }
+
+  /// Process-unique content-version tag: freshly stamped at construction
+  /// and on every mutating call (column/label/group/weight changes,
+  /// including mutable_weights access). Copies keep the source's version
+  /// — their contents are identical until one of them mutates. Derived
+  /// caches (the KDE fit cache) use (version, slot) as an O(1) memo key
+  /// for content fingerprints, so repeated profiling passes over an
+  /// unchanged dataset skip the O(nd) rehash.
+  uint64_t version() const { return version_; }
 
   bool has_labels() const { return !labels_.empty(); }
   bool has_groups() const { return !groups_.empty(); }
@@ -128,6 +140,10 @@ class Dataset {
  private:
   Status CheckLength(size_t len, const char* what) const;
 
+  /// Re-stamps version_ with a fresh process-unique value.
+  void Touch();
+
+  uint64_t version_ = 0;
   size_t num_rows_ = 0;
   bool has_columns_ = false;
   std::vector<Column> columns_;

@@ -106,10 +106,17 @@ std::vector<double> KernelDensity::LogDensityAll(const Matrix& queries,
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,
                                            const KdeOptions& options,
                                            ThreadPool* pool) {
+  return DensityRankingWithHint(data, options, KdeCacheHint{}, pool);
+}
+
+Result<std::vector<size_t>> DensityRankingWithHint(const Matrix& data,
+                                                   const KdeOptions& options,
+                                                   const KdeCacheHint& hint,
+                                                   ThreadPool* pool) {
   std::vector<double> density;
   if (options.use_fit_cache) {
     Result<std::shared_ptr<const KernelDensity>> kde =
-        GlobalKdeCache().FitOrGet(data, options);
+        GlobalKdeCache().FitOrGet(data, options, hint);
     if (!kde.ok()) return kde.status();
     density = kde.value()->EvaluateAll(data, pool);
   } else {

@@ -88,6 +88,14 @@ class KernelDensity {
   /// Number of training points.
   size_t train_size() const { return n_; }
 
+  /// Approximate resident bytes of the fitted estimator (tree storage +
+  /// bandwidths); the KdeCache evicts by the sum of these.
+  size_t ApproxMemoryBytes() const {
+    return tree_.ApproxMemoryBytes() + ball_tree_.ApproxMemoryBytes() +
+           (bandwidth_.size() + inv_bandwidth_.size()) * sizeof(double) +
+           sizeof(*this);
+  }
+
  private:
   KernelDensity() = default;
 
@@ -105,6 +113,8 @@ class KernelDensity {
   size_t n_ = 0;
 };
 
+struct KdeCacheHint;  // kde/kde_cache.h
+
 /// Ranks the rows of `data` by KDE density (self-evaluation) and returns
 /// row indices in descending density order. This is the sort step of the
 /// paper's Algorithm 3. Self-evaluation runs through the batched parallel
@@ -114,6 +124,15 @@ class KernelDensity {
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,
                                            const KdeOptions& options = {},
                                            ThreadPool* pool = nullptr);
+
+/// DensityRanking with an O(1) cache-lookup hint: callers that derive
+/// `data` from a Dataset pass (dataset version, view slot) so the fit
+/// cache can skip the O(nd) content rehash on repeated lookups (see
+/// KdeCacheHint).
+Result<std::vector<size_t>> DensityRankingWithHint(const Matrix& data,
+                                                   const KdeOptions& options,
+                                                   const KdeCacheHint& hint,
+                                                   ThreadPool* pool = nullptr);
 
 }  // namespace fairdrift
 

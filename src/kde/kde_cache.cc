@@ -1,7 +1,9 @@
 #include "kde/kde_cache.h"
 
+#include <algorithm>
 #include <cstring>
 #include <tuple>
+#include <utility>
 
 namespace fairdrift {
 
@@ -70,9 +72,34 @@ KdeCache::Key KdeCache::MakeKey(const KdeDataFingerprint& fp,
   return key;
 }
 
+KdeDataFingerprint KdeCache::ResolveFingerprint(const Matrix& data,
+                                                const KdeCacheHint& hint) {
+  if (hint.dataset_version == 0) return FingerprintMatrix(data);
+  auto memo_key =
+      std::make_tuple(hint.dataset_version, hint.space, hint.slot);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fingerprint_memo_.find(memo_key);
+    if (it != fingerprint_memo_.end()) {
+      ++fingerprint_memo_hits_;
+      return it->second;
+    }
+    ++fingerprint_memo_misses_;
+  }
+  // Hash outside the lock; versions are never reused, so a racing insert
+  // of the same memo key writes the identical fingerprint.
+  KdeDataFingerprint fp = FingerprintMatrix(data);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint_memo_.size() >= kFingerprintMemoCapacity) {
+    fingerprint_memo_.clear();
+  }
+  fingerprint_memo_[memo_key] = fp;
+  return fp;
+}
+
 Result<std::shared_ptr<const KernelDensity>> KdeCache::FitOrGet(
-    const Matrix& data, const KdeOptions& options) {
-  Key key = MakeKey(FingerprintMatrix(data), options);
+    const Matrix& data, const KdeOptions& options, const KdeCacheHint& hint) {
+  Key key = MakeKey(ResolveFingerprint(data, hint), options);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -93,15 +120,22 @@ Result<std::shared_ptr<const KernelDensity>> KdeCache::FitOrGet(
     // A racing miss inserted the identical fit first; keep it.
     return it->second.kde;
   }
+  size_t bytes = kde->ApproxMemoryBytes();
   lru_.push_front(key);
-  entries_[key] = Entry{kde, lru_.begin()};
-  EvictIfOverCapacityLocked();
+  entries_[key] = Entry{kde, bytes, lru_.begin()};
+  resident_bytes_ += bytes;
+  EvictIfOverBoundsLocked();
   return kde;
 }
 
-void KdeCache::EvictIfOverCapacityLocked() {
-  while (entries_.size() > capacity_ && !lru_.empty()) {
-    entries_.erase(lru_.back());
+void KdeCache::EvictIfOverBoundsLocked() {
+  while ((entries_.size() > capacity_ || resident_bytes_ > max_bytes_) &&
+         !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    if (it != entries_.end()) {
+      resident_bytes_ -= std::min(resident_bytes_, it->second.bytes);
+      entries_.erase(it);
+    }
     lru_.pop_back();
     ++evictions_;
   }
@@ -111,6 +145,8 @@ void KdeCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
+  fingerprint_memo_.clear();
+  resident_bytes_ = 0;
 }
 
 void KdeCache::ResetStats() {
@@ -118,6 +154,8 @@ void KdeCache::ResetStats() {
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;
+  fingerprint_memo_hits_ = 0;
+  fingerprint_memo_misses_ = 0;
 }
 
 KdeCache::Stats KdeCache::stats() const {
@@ -127,13 +165,22 @@ KdeCache::Stats KdeCache::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.entries = entries_.size();
+  s.resident_bytes = resident_bytes_;
+  s.fingerprint_memo_hits = fingerprint_memo_hits_;
+  s.fingerprint_memo_misses = fingerprint_memo_misses_;
   return s;
 }
 
 void KdeCache::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
-  EvictIfOverCapacityLocked();
+  EvictIfOverBoundsLocked();
+}
+
+void KdeCache::set_max_bytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  EvictIfOverBoundsLocked();
 }
 
 KdeCache& GlobalKdeCache() {

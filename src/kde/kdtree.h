@@ -85,6 +85,16 @@ class KdTree {
   /// The bounding box of all indexed points.
   const BoundingBox& root_box() const { return root_box_; }
 
+  /// Approximate resident bytes (points + flat node arrays); feeds the
+  /// KdeCache's byte-bounded eviction.
+  size_t ApproxMemoryBytes() const {
+    return points_.data().size() * sizeof(double) +
+           order_.size() * sizeof(size_t) +
+           (node_begin_.size() + node_end_.size()) * sizeof(size_t) +
+           (node_left_.size() + node_right_.size()) * sizeof(int32_t) +
+           (box_lo_.size() + box_hi_.size()) * sizeof(double);
+  }
+
  private:
   int BuildNode(const Matrix& pts, size_t begin, size_t end, size_t leaf_size);
   double KernelSumRecurse(int32_t node_id, const double* query,

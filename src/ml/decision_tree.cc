@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -112,26 +113,36 @@ int RegressionTree::GrowNode(const QuantileBinner& binner,
 
   if (depth >= options.max_depth || end - begin < 2) return node_id;
 
-  // Best split search over per-feature gradient histograms.
+  // Best split search over per-feature gradient histograms. Features are
+  // independent tasks: each fills a private histogram and writes its best
+  // candidate into its own slot; the cross-feature winner is then picked
+  // in ascending feature order with the same strict-greater rule the
+  // sequential scan used, so the chosen split — and therefore the tree —
+  // is bitwise identical for every worker count.
   size_t num_features = binner.num_features();
-  double best_gain = options.min_split_gain;
-  size_t best_feature = 0;
-  int best_bin = -1;
   double parent_score = ScoreTerm(g_total, h_total, options.l2_lambda);
 
-  std::vector<double> hist_g;
-  std::vector<double> hist_h;
-  for (size_t j = 0; j < num_features; ++j) {
+  struct SplitCandidate {
+    double gain;
+    int bin = -1;
+  };
+  std::vector<SplitCandidate> candidates(num_features);
+  for (SplitCandidate& c : candidates) c.gain = options.min_split_gain;
+
+  auto scan_feature = [&](size_t j) {
     int nbins = binner.NumBins(j);
-    if (nbins < 2) continue;
-    hist_g.assign(static_cast<size_t>(nbins), 0.0);
-    hist_h.assign(static_cast<size_t>(nbins), 0.0);
+    if (nbins < 2) return;
+    // Per-invocation histograms: at most 256 bins, negligible next to the
+    // O(rows) accumulation they serve.
+    std::vector<double> hist_g(static_cast<size_t>(nbins), 0.0);
+    std::vector<double> hist_h(static_cast<size_t>(nbins), 0.0);
     for (size_t i = begin; i < end; ++i) {
       size_t r = (*rows)[i];
       uint8_t b = binned[r * num_features + j];
       hist_g[b] += gpairs[r].grad;
       hist_h[b] += gpairs[r].hess;
     }
+    SplitCandidate& best = candidates[j];
     double gl = 0.0;
     double hl = 0.0;
     for (int b = 0; b + 1 < nbins; ++b) {
@@ -145,11 +156,38 @@ int RegressionTree::GrowNode(const QuantileBinner& binner,
       double gain = 0.5 * (ScoreTerm(gl, hl, options.l2_lambda) +
                            ScoreTerm(gr, hr, options.l2_lambda) -
                            parent_score);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = j;
-        best_bin = b;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.bin = b;
       }
+    }
+  };
+
+  // Only fan out when the node has enough accumulation work to amortize
+  // the dispatch; the parallel and inline paths compute identical slots.
+  constexpr size_t kParallelHistogramWork = 1 << 14;
+  if (num_features >= 2 &&
+      (end - begin) * num_features >= kParallelHistogramWork) {
+    ParallelForChunks(
+        0, num_features,
+        [&](size_t, size_t feature_begin, size_t feature_end) {
+          for (size_t j = feature_begin; j < feature_end; ++j) {
+            scan_feature(j);
+          }
+        },
+        options.pool, /*chunk_size=*/1);
+  } else {
+    for (size_t j = 0; j < num_features; ++j) scan_feature(j);
+  }
+
+  double best_gain = options.min_split_gain;
+  size_t best_feature = 0;
+  int best_bin = -1;
+  for (size_t j = 0; j < num_features; ++j) {
+    if (candidates[j].bin >= 0 && candidates[j].gain > best_gain) {
+      best_gain = candidates[j].gain;
+      best_feature = j;
+      best_bin = candidates[j].bin;
     }
   }
   if (best_bin < 0) return node_id;

@@ -18,6 +18,8 @@
 
 namespace fairdrift {
 
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
 /// Quantile binning of a feature matrix into uint8 codes.
 class QuantileBinner {
  public:
@@ -59,6 +61,12 @@ struct RegressionTreeOptions {
   double l2_lambda = 1.0;        ///< lambda in the gain/leaf formulas.
   double min_split_gain = 0.0;   ///< gamma: minimum gain to split.
   double min_child_hessian = 1.0;///< minimum sum of hessians per child.
+  /// Pool for the per-feature histogram builds of the split search
+  /// (features are independent; each writes its own candidate slot and
+  /// the winner is picked in feature order on the calling thread, so the
+  /// grown tree is bitwise identical for every worker count — and to the
+  /// sequential search). Null = global pool; small nodes stay inline.
+  ThreadPool* pool = nullptr;
 };
 
 /// A fitted regression tree over binned features.

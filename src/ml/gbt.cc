@@ -55,6 +55,7 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
   tree_opts.l2_lambda = options_.l2_lambda;
   tree_opts.min_split_gain = options_.min_split_gain;
   tree_opts.min_child_hessian = options_.min_child_hessian;
+  tree_opts.pool = options_.pool;
 
   Rng rng(options_.seed);
   std::vector<double> scores(n, base_score_);

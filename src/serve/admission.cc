@@ -1,0 +1,33 @@
+#include "serve/admission.h"
+
+namespace fairdrift {
+
+Status AdmissionController::Admit(
+    const RequestQueue& queue, std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point deadline) const {
+  if (deadline <= now) {
+    return Status::DeadlineExceeded("admission: deadline already passed");
+  }
+  RequestQueue::State state = queue.Observe();  // one lock, both facts
+  if (state.closed) {
+    return Status::Unavailable("admission: server stopped");
+  }
+  if (state.size >= options_.max_queue_depth) {
+    return Status::Unavailable("admission: queue depth limit reached");
+  }
+  return Status::OK();
+}
+
+std::chrono::steady_clock::time_point AdmissionController::ResolveDeadline(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::nanoseconds deadline_after) const {
+  if (deadline_after.count() <= 0) {
+    if (options_.default_deadline.count() <= 0) {
+      return std::chrono::steady_clock::time_point::max();
+    }
+    return now + options_.default_deadline;
+  }
+  return now + deadline_after;
+}
+
+}  // namespace fairdrift

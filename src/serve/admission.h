@@ -1,0 +1,58 @@
+// AdmissionController: shed-on-overload at the server's front door.
+//
+// A bounded queue plus typed refusals keep the serving process stable
+// under overload: rather than letting latency grow without bound, excess
+// requests are refused *synchronously* at Submit with
+// Status::Unavailable (queue depth exceeded) or Status::DeadlineExceeded
+// (the request's deadline already passed — scoring it would be wasted
+// work). Requests that pass admission can still be shed later by the
+// batch worker if their deadline expires while queued.
+
+#ifndef FAIRDRIFT_SERVE_ADMISSION_H_
+#define FAIRDRIFT_SERVE_ADMISSION_H_
+
+#include <chrono>
+
+#include "serve/request_queue.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Admission policy knobs.
+struct AdmissionOptions {
+  /// Hard bound on queued requests (the RequestQueue capacity). Submits
+  /// beyond it shed with Status::Unavailable.
+  size_t max_queue_depth = 4096;
+  /// Deadline attached to requests submitted without one. Zero = none.
+  std::chrono::microseconds default_deadline{0};
+};
+
+/// Stateless front-door policy over a RequestQueue's observable state.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  /// Decides whether a request with `deadline` (time_point::max() = none)
+  /// may enter `queue` as of `now`. OK means "attempt the push" — a racing
+  /// fill can still refuse, which the server reports as the same typed
+  /// Unavailable.
+  Status Admit(const RequestQueue& queue,
+               std::chrono::steady_clock::time_point now,
+               std::chrono::steady_clock::time_point deadline) const;
+
+  /// Resolves a caller-relative deadline against the default policy:
+  /// zero → default_deadline (or none when that is zero too).
+  std::chrono::steady_clock::time_point ResolveDeadline(
+      std::chrono::steady_clock::time_point now,
+      std::chrono::nanoseconds deadline_after) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_ADMISSION_H_

@@ -1,0 +1,54 @@
+// MicroBatcher: coalesces single-row score requests into batches.
+//
+// Per-request costs on the serving path (queue round-trips, condvar
+// wake-ups, task dispatch, per-call kernel overhead) dwarf the per-row
+// cost of the batched kernels the library already has. The batcher
+// amortizes them: the dispatch loop pops up to `max_batch_size` requests
+// at once, waiting at most `max_batch_delay` after the first request for
+// stragglers, and hands the whole batch to one ModelSnapshot::ScoreBatch
+// call — so per-request cost approaches the batched hot-path numbers.
+//
+// Batch *composition* is timing-dependent by design; per-row results are
+// not (the snapshot's determinism contract), so coalescing never changes
+// what a request scores, only how cheaply.
+
+#ifndef FAIRDRIFT_SERVE_MICRO_BATCHER_H_
+#define FAIRDRIFT_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace fairdrift {
+
+/// Coalescing policy.
+struct BatchingOptions {
+  /// Largest batch one ScoreBatch call receives. 1 disables coalescing
+  /// (every request pays the full per-request overhead — the bench's
+  /// baseline configuration).
+  size_t max_batch_size = 64;
+  /// How long the dispatcher waits after a batch's first request for more
+  /// arrivals. Bounds the latency cost of batching under light load.
+  std::chrono::microseconds max_batch_delay{200};
+};
+
+/// Pulls coalesced batches off a RequestQueue.
+class MicroBatcher {
+ public:
+  MicroBatcher(RequestQueue* queue, const BatchingOptions& options);
+
+  /// Blocks for the next batch (clearing and filling `out`); returns its
+  /// size, or 0 when the queue is closed and fully drained.
+  size_t NextBatch(std::vector<PendingRequest>* out);
+
+  const BatchingOptions& options() const { return options_; }
+
+ private:
+  RequestQueue* queue_;
+  BatchingOptions options_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,73 @@
+#include "serve/request_queue.h"
+
+namespace fairdrift {
+
+bool RequestQueue::TryPush(PendingRequest&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+size_t RequestQueue::PopBatch(size_t max_items,
+                              std::chrono::nanoseconds max_wait,
+                              std::vector<PendingRequest>* out) {
+  if (max_items == 0) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return 0;  // closed and drained
+
+  size_t popped = 0;
+  auto take_available = [&] {
+    while (popped < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+  };
+  take_available();
+
+  // Coalescing window: absorb arrivals until the batch fills or the
+  // window since the first pop elapses. A closed queue ends the window
+  // early — shutdown should not pay the full batching delay. (Every exit
+  // path leaves nothing takeable: the in-loop drain runs under the same
+  // lock hold as the predicate that admitted it.)
+  auto window_end = std::chrono::steady_clock::now() + max_wait;
+  while (popped < max_items && !closed_) {
+    if (!ready_.wait_until(lock, window_end, [this] {
+          return closed_ || !items_.empty();
+        })) {
+      break;  // window elapsed
+    }
+    take_available();
+  }
+  return popped;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+RequestQueue::State RequestQueue::Observe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return State{items_.size(), closed_};
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,77 @@
+// Bounded MPMC queue of pending score requests.
+//
+// Producers are client threads calling ScoringServer::Submit; consumers are
+// the server's dispatch loop(s) popping coalesced batches through
+// MicroBatcher. The bound is the admission controller's hard queue-depth
+// limit: TryPush never blocks — a full queue is an overload signal handled
+// by shedding, not by back-pressuring the client thread.
+
+#ifndef FAIRDRIFT_SERVE_REQUEST_QUEUE_H_
+#define FAIRDRIFT_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/ticket.h"
+
+namespace fairdrift {
+
+/// One enqueued request: the raw row, its timing, and its response ticket.
+struct PendingRequest {
+  std::vector<double> row;
+  std::chrono::steady_clock::time_point enqueue_time;
+  /// Absolute shed deadline; time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline;
+  std::shared_ptr<serve_internal::TicketState> ticket;
+};
+
+/// Thread-safe bounded FIFO with batch pop and close semantics.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues unless the queue is full or closed. Returns false in both
+  /// refusal cases (callers distinguish via closed()).
+  bool TryPush(PendingRequest&& request);
+
+  /// Pops up to `max_items`. Blocks until at least one request is
+  /// available (or the queue is closed and drained — then returns 0).
+  /// After securing the first request, keeps absorbing arrivals until
+  /// `max_items` are gathered or `max_wait` has elapsed since the first
+  /// pop — the micro-batching coalescing window.
+  size_t PopBatch(size_t max_items, std::chrono::nanoseconds max_wait,
+                  std::vector<PendingRequest>* out);
+
+  /// Marks the queue closed: further TryPush calls refuse, blocked
+  /// PopBatch callers drain what remains and then return 0.
+  void Close();
+
+  /// One-lock snapshot of the observable state (for admission policy:
+  /// reading size and closed separately would take the mutex twice per
+  /// Submit, and the pair is a racy pre-check either way — TryPush
+  /// re-checks both authoritatively).
+  struct State {
+    size_t size = 0;
+    bool closed = false;
+  };
+  State Observe() const;
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,202 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+Result<std::unique_ptr<ScoringServer>> ScoringServer::Create(
+    std::shared_ptr<const ModelSnapshot> snapshot,
+    const ServerOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("ScoringServer: null snapshot");
+  }
+  if (options.admission.max_queue_depth == 0) {
+    return Status::InvalidArgument("ScoringServer: zero queue depth");
+  }
+  return std::unique_ptr<ScoringServer>(
+      new ScoringServer(std::move(snapshot), options));
+}
+
+ScoringServer::ScoringServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                             const ServerOptions& options)
+    : options_(options),
+      queue_(options.admission.max_queue_depth),
+      batcher_(&queue_, options.batching),
+      admission_(options.admission),
+      pool_(options.pool != nullptr ? options.pool : &GlobalThreadPool()),
+      snapshot_(std::move(snapshot)) {
+  max_inflight_ = options_.max_inflight_batches != 0
+                      ? options_.max_inflight_batches
+                      : pool_->num_threads() + 1;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ScoringServer::~ScoringServer() { Stop(); }
+
+void ScoringServer::Stop() {
+  std::call_once(stop_once_, [this] {
+    queue_.Close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    // The dispatcher has drained the queue; wait out the batches it
+    // already handed to the pool.
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  });
+}
+
+Result<ScoreTicket> ScoringServer::Submit(
+    std::vector<double> row, std::chrono::nanoseconds deadline_after) {
+  auto now = std::chrono::steady_clock::now();
+  auto deadline = admission_.ResolveDeadline(now, deadline_after);
+  Status admit = admission_.Admit(queue_, now, deadline);
+  if (!admit.ok()) {
+    if (admit.code() == StatusCode::kDeadlineExceeded) {
+      stats_.RecordDeadlineShed();
+    } else {
+      stats_.RecordAdmissionShed();
+    }
+    return admit;
+  }
+  // Width check against the current snapshot: cheap, catches client bugs
+  // synchronously. Content (category codes) is validated per row by the
+  // batch worker against the snapshot that actually scores it.
+  size_t width = CurrentSnapshot()->num_features();
+  if (row.size() != width) {
+    stats_.RecordInvalidRequest();
+    return Status::InvalidArgument(
+        StrFormat("Submit: row has %zu fields, snapshot schema has %zu",
+                  row.size(), width));
+  }
+
+  auto state = std::make_shared<serve_internal::TicketState>();
+  PendingRequest request;
+  request.row = std::move(row);
+  request.enqueue_time = now;
+  request.deadline = deadline;
+  request.ticket = state;
+  if (!queue_.TryPush(std::move(request))) {
+    stats_.RecordAdmissionShed();
+    return queue_.closed()
+               ? Status::Unavailable("Submit: server stopped")
+               : Status::Unavailable("Submit: queue depth limit reached");
+  }
+  stats_.RecordSubmitted();
+  return ScoreTicket(std::move(state));
+}
+
+Result<ScoreResult> ScoringServer::ScoreSync(
+    std::vector<double> row, std::chrono::nanoseconds deadline_after) {
+  Result<ScoreTicket> ticket = Submit(std::move(row), deadline_after);
+  if (!ticket.ok()) return ticket.status();
+  return ticket.value().Wait();
+}
+
+Status ScoringServer::UpdateSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("UpdateSnapshot: null snapshot");
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  stats_.RecordSnapshotSwap();
+  return Status::OK();
+}
+
+std::shared_ptr<const ModelSnapshot> ScoringServer::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void ScoringServer::AcquireInflightSlot() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+  ++inflight_;
+}
+
+void ScoringServer::ReleaseInflightSlot() {
+  // Notify under the lock: Stop() destroys this condvar as soon as it
+  // observes inflight_ == 0, so the notifying worker must be provably
+  // done with it before the waiter can re-acquire the mutex.
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  --inflight_;
+  inflight_cv_.notify_all();
+}
+
+void ScoringServer::DispatchLoop() {
+  for (;;) {
+    auto batch = std::make_shared<std::vector<PendingRequest>>();
+    if (batcher_.NextBatch(batch.get()) == 0) return;  // closed and drained
+    // Bound the scoring work in flight before taking on another batch:
+    // the dispatcher is the only back-pressure between the queue and the
+    // pool.
+    AcquireInflightSlot();
+    pool_->Submit([this, batch] {
+      ProcessBatch(batch.get());
+      ReleaseInflightSlot();
+    });
+  }
+}
+
+void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
+  // One immutable snapshot per batch: requests in this batch all score
+  // the same model state even if a swap lands mid-batch.
+  std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  size_t width = snapshot->num_features();
+  auto now = std::chrono::steady_clock::now();
+
+  std::vector<size_t> live;
+  live.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    PendingRequest& request = (*batch)[i];
+    if (request.deadline <= now) {
+      stats_.RecordDeadlineShed();
+      request.ticket->Fail(
+          Status::DeadlineExceeded("shed: deadline expired in queue"));
+      continue;
+    }
+    if (request.row.size() != width) {
+      stats_.RecordInvalidRequest();
+      request.ticket->Fail(Status::InvalidArgument(
+          StrFormat("row has %zu fields, scoring snapshot schema has %zu",
+                    request.row.size(), width)));
+      continue;
+    }
+    Status valid = snapshot->ValidateRow(request.row.data());
+    if (!valid.ok()) {
+      stats_.RecordInvalidRequest();
+      request.ticket->Fail(std::move(valid));
+      continue;
+    }
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+
+  Matrix rows(live.size(), width);
+  for (size_t k = 0; k < live.size(); ++k) {
+    const std::vector<double>& row = (*batch)[live[k]].row;
+    std::copy(row.begin(), row.end(), rows.RowPtr(k));
+  }
+  Result<std::vector<ScoreResult>> scores = snapshot->ScoreBatch(rows, pool_);
+  if (!scores.ok()) {
+    for (size_t i : live) (*batch)[i].ticket->Fail(scores.status());
+    return;
+  }
+  auto done = std::chrono::steady_clock::now();
+  // Record stats before fulfilling any ticket: a client that returns from
+  // Wait and immediately reads stats() must see its own request counted.
+  stats_.RecordBatch(live.size());
+  for (size_t k = 0; k < live.size(); ++k) {
+    stats_.RecordCompletion(done - (*batch)[live[k]].enqueue_time);
+  }
+  for (size_t k = 0; k < live.size(); ++k) {
+    (*batch)[live[k]].ticket->Complete(scores.value()[k]);
+  }
+}
+
+}  // namespace fairdrift

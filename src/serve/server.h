@@ -1,0 +1,132 @@
+// ScoringServer: the asynchronous online scoring front end.
+//
+// Architecture (one arrow = one thread boundary):
+//
+//   client threads --Submit--> [AdmissionController] --> [RequestQueue]
+//        --> dispatch thread --[MicroBatcher]--> batch
+//        --ThreadPool::Submit--> batch worker:
+//              cull expired deadlines, validate rows,
+//              ModelSnapshot::ScoreBatch (one immutable snapshot per
+//              batch), fulfill tickets, record ServerStats
+//
+// Snapshot isolation: UpdateSnapshot atomically publishes a new
+// ModelSnapshot; batches already dispatched keep scoring the snapshot
+// they grabbed, new batches see the new one. No request ever observes a
+// half-swapped model, and no swap ever waits for traffic to drain.
+//
+// Determinism: a given request row produces bitwise-identical
+// ScoreResult fields under every batching configuration and worker
+// count (the snapshot's contract). Only batch *composition* and
+// therefore throughput/latency depend on the configuration.
+
+#ifndef FAIRDRIFT_SERVE_SERVER_H_
+#define FAIRDRIFT_SERVE_SERVER_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/micro_batcher.h"
+#include "serve/request_queue.h"
+#include "serve/server_stats.h"
+#include "serve/snapshot.h"
+#include "serve/ticket.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+class ThreadPool;  // util/parallel.h
+
+/// Full server configuration.
+struct ServerOptions {
+  BatchingOptions batching;
+  AdmissionOptions admission;
+  /// Batches scored concurrently (the dispatcher stops coalescing new
+  /// batches while this many are in flight). 0 = scoring-pool workers + 1.
+  size_t max_inflight_batches = 0;
+  /// Pool the batch workers run on (global pool when null). A 0-worker
+  /// pool degrades to scoring on the dispatch thread — still correct.
+  ThreadPool* pool = nullptr;
+};
+
+/// Asynchronous micro-batching scoring server over immutable snapshots.
+class ScoringServer {
+ public:
+  /// Validates options, installs `snapshot`, and starts the dispatch
+  /// thread. The server is accepting requests when Create returns.
+  static Result<std::unique_ptr<ScoringServer>> Create(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      const ServerOptions& options = {});
+
+  /// Stops and drains (see Stop).
+  ~ScoringServer();
+
+  ScoringServer(const ScoringServer&) = delete;
+  ScoringServer& operator=(const ScoringServer&) = delete;
+
+  /// Submits one request row. `deadline_after` bounds how long the
+  /// request may wait before being shed (<= 0 uses the admission
+  /// policy's default; no default = no deadline). Fails fast with the
+  /// typed admission status (Unavailable on overload/shutdown,
+  /// DeadlineExceeded, InvalidArgument on a width mismatch); otherwise
+  /// the returned ticket completes when a batch worker scores the row.
+  Result<ScoreTicket> Submit(
+      std::vector<double> row,
+      std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Submit + Wait. Not callable from the scoring pool's own workers.
+  Result<ScoreResult> ScoreSync(
+      std::vector<double> row,
+      std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Atomically publishes a new snapshot for subsequent batches.
+  /// In-flight batches finish against the snapshot they started with.
+  Status UpdateSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The snapshot new batches will score against.
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
+  /// Closes admission, drains every queued request through the normal
+  /// scoring path (tickets all complete), and joins the dispatcher.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// Live statistics view.
+  ServerStats::View stats() const { return stats_.Snapshot(); }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  ScoringServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                const ServerOptions& options);
+
+  void DispatchLoop();
+  void ProcessBatch(std::vector<PendingRequest>* batch);
+  void AcquireInflightSlot();
+  void ReleaseInflightSlot();
+
+  ServerOptions options_;
+  RequestQueue queue_;
+  MicroBatcher batcher_;
+  AdmissionController admission_;
+  ServerStats stats_;
+  ThreadPool* pool_;  // resolved, never null
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+  size_t max_inflight_ = 1;
+
+  std::thread dispatcher_;
+  std::once_flag stop_once_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_SERVER_H_

@@ -1,0 +1,82 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairdrift {
+
+size_t ServerStats::LatencyBucket(std::chrono::nanoseconds latency) {
+  int64_t ns = latency.count();
+  if (ns < 1) ns = 1;
+  double idx = std::log2(static_cast<double>(ns)) * 4.0;
+  if (idx < 0.0) idx = 0.0;
+  return std::min(kLatencyBuckets - 1, static_cast<size_t>(idx));
+}
+
+double ServerStats::BucketLatencyUs(size_t bucket) {
+  // Inverse of LatencyBucket at the bucket's geometric midpoint.
+  return std::exp2((static_cast<double>(bucket) + 0.5) / 4.0) * 1e-3;
+}
+
+void ServerStats::RecordCompletion(std::chrono::nanoseconds latency) {
+  completed_.fetch_add(1, rel());
+  latency_hist_[LatencyBucket(latency)].fetch_add(1, rel());
+}
+
+void ServerStats::RecordBatch(size_t batch_size) {
+  if (batch_size == 0) return;
+  batches_.fetch_add(1, rel());
+  batched_requests_.fetch_add(batch_size, rel());
+  size_t bucket = 0;
+  while ((size_t{1} << (bucket + 1)) <= batch_size &&
+         bucket + 1 < kBatchBuckets) {
+    ++bucket;
+  }
+  batch_hist_[bucket].fetch_add(1, rel());
+}
+
+ServerStats::View ServerStats::Snapshot() const {
+  View view;
+  view.submitted = submitted_.load(rel());
+  view.completed = completed_.load(rel());
+  view.shed_admission = shed_admission_.load(rel());
+  view.shed_deadline = shed_deadline_.load(rel());
+  view.invalid = invalid_.load(rel());
+  view.batches = batches_.load(rel());
+  view.snapshot_swaps = snapshot_swaps_.load(rel());
+  uint64_t batched = batched_requests_.load(rel());
+  view.mean_batch_size =
+      view.batches == 0
+          ? 0.0
+          : static_cast<double>(batched) / static_cast<double>(view.batches);
+
+  std::array<uint64_t, kLatencyBuckets> hist;
+  uint64_t total = 0;
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    hist[b] = latency_hist_[b].load(rel());
+    total += hist[b];
+  }
+  auto percentile = [&](double q) {
+    if (total == 0) return 0.0;
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (target == 0) target = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      seen += hist[b];
+      if (seen >= target) return BucketLatencyUs(b);
+    }
+    return BucketLatencyUs(kLatencyBuckets - 1);
+  };
+  view.p50_latency_us = percentile(0.50);
+  view.p95_latency_us = percentile(0.95);
+  view.p99_latency_us = percentile(0.99);
+
+  view.batch_size_hist.resize(kBatchBuckets);
+  for (size_t b = 0; b < kBatchBuckets; ++b) {
+    view.batch_size_hist[b] = batch_hist_[b].load(rel());
+  }
+  return view;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,84 @@
+// ServerStats: the scoring server's observable health block.
+//
+// Counters and histograms are plain atomics — recording from many client
+// and worker threads never takes a lock. Latency lands in a log-scale
+// histogram (4 buckets per octave of nanoseconds, ≤ ~19% quantile error)
+// from which p50/p95/p99 are derived; batch sizes land in power-of-two
+// buckets so the batching behavior (did coalescing actually happen?) is
+// visible, not just the mean.
+
+#ifndef FAIRDRIFT_SERVE_SERVER_STATS_H_
+#define FAIRDRIFT_SERVE_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace fairdrift {
+
+/// Thread-safe statistics sink for one ScoringServer.
+class ServerStats {
+ public:
+  /// 4 buckets per factor-of-2 in nanoseconds; 256 buckets span 1ns to
+  /// ~2^64 ns, far beyond any realistic request latency.
+  static constexpr size_t kLatencyBuckets = 256;
+  /// Power-of-two batch-size buckets: bucket b holds sizes in
+  /// [2^b, 2^(b+1)).
+  static constexpr size_t kBatchBuckets = 16;
+
+  void RecordSubmitted() { submitted_.fetch_add(1, rel()); }
+  void RecordAdmissionShed() { shed_admission_.fetch_add(1, rel()); }
+  void RecordDeadlineShed() { shed_deadline_.fetch_add(1, rel()); }
+  void RecordInvalidRequest() { invalid_.fetch_add(1, rel()); }
+  void RecordSnapshotSwap() { snapshot_swaps_.fetch_add(1, rel()); }
+
+  /// One completed request with its submit→fulfill latency.
+  void RecordCompletion(std::chrono::nanoseconds latency);
+
+  /// One scored batch of `batch_size` requests.
+  void RecordBatch(size_t batch_size);
+
+  /// Consistent-enough copy of all counters plus derived percentiles.
+  /// (Counters are read individually; a view taken while traffic is in
+  /// flight may be mid-request, which is fine for monitoring.)
+  struct View {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t shed_admission = 0;
+    uint64_t shed_deadline = 0;
+    uint64_t invalid = 0;
+    uint64_t batches = 0;
+    uint64_t snapshot_swaps = 0;
+    double mean_batch_size = 0.0;
+    double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    /// Completed-request counts per power-of-two batch-size bucket.
+    std::vector<uint64_t> batch_size_hist;
+  };
+
+  View Snapshot() const;
+
+ private:
+  static std::memory_order rel() { return std::memory_order_relaxed; }
+  static size_t LatencyBucket(std::chrono::nanoseconds latency);
+  /// Geometric representative latency of a bucket, in microseconds.
+  static double BucketLatencyUs(size_t bucket);
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_admission_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> snapshot_swaps_{0};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist_{};
+  std::array<std::atomic<uint64_t>, kBatchBuckets> batch_hist_{};
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_SERVER_STATS_H_

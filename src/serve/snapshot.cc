@@ -1,0 +1,202 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+std::atomic<uint64_t> g_snapshot_version{0};
+
+uint64_t NextSnapshotVersion() {
+  return g_snapshot_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
+    SnapshotParts parts) {
+  if (parts.schema.num_fields() == 0) {
+    return Status::InvalidArgument("ModelSnapshot: empty schema");
+  }
+  if (parts.models.empty()) {
+    return Status::InvalidArgument("ModelSnapshot: no models");
+  }
+  bool any_model = false;
+  for (const auto& m : parts.models) {
+    if (!m) continue;
+    any_model = true;
+    if (!m->is_fitted()) {
+      return Status::FailedPrecondition("ModelSnapshot: unfitted model");
+    }
+  }
+  if (!any_model) {
+    return Status::InvalidArgument("ModelSnapshot: every model is null");
+  }
+  if (parts.fallback_group < 0 ||
+      parts.fallback_group >= static_cast<int>(parts.models.size()) ||
+      !parts.models[static_cast<size_t>(parts.fallback_group)]) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: fallback_group has no model");
+  }
+  if (parts.routed && !parts.has_profile) {
+    return Status::FailedPrecondition(
+        "ModelSnapshot: conformance routing needs a profile");
+  }
+
+  auto snapshot = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snapshot->version_ = NextSnapshotVersion();
+  snapshot->schema_ = std::move(parts.schema);
+  snapshot->encoder_ = std::move(parts.encoder);
+  snapshot->models_ = std::move(parts.models);
+  snapshot->routed_ = parts.routed;
+  snapshot->fallback_group_ = parts.fallback_group;
+  snapshot->profile_ = std::move(parts.profile);
+  snapshot->has_profile_ = parts.has_profile;
+  snapshot->density_ = std::move(parts.density);
+  snapshot->density_floor_ = parts.density_floor;
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+}
+
+const Classifier* ModelSnapshot::group_model(int g) const {
+  if (g < 0 || g >= static_cast<int>(models_.size())) return nullptr;
+  return models_[static_cast<size_t>(g)].get();
+}
+
+Status ModelSnapshot::ValidateRow(const double* row) const {
+  for (size_t j = 0; j < schema_.num_fields(); ++j) {
+    const FieldSpec& field = schema_.field(j);
+    if (field.type == ColumnType::kNumeric) continue;
+    double v = row[j];
+    if (v != std::floor(v) || v < 0.0 ||
+        v >= static_cast<double>(field.num_categories)) {
+      return Status::InvalidArgument(
+          StrFormat("request field '%s': %g is not a category code in [0, %d)",
+                    field.name.c_str(), v, field.num_categories));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ModelSnapshot::RowsToDataset(const Matrix& rows) const {
+  Dataset data;
+  for (size_t j = 0; j < schema_.num_fields(); ++j) {
+    const FieldSpec& field = schema_.field(j);
+    if (field.type == ColumnType::kNumeric) {
+      FAIRDRIFT_RETURN_IF_ERROR(
+          data.AddNumericColumn(field.name, rows.Col(j)));
+    } else {
+      std::vector<int> codes(rows.rows());
+      for (size_t i = 0; i < rows.rows(); ++i) {
+        double v = rows.At(i, j);
+        int code = static_cast<int>(v);
+        if (v != std::floor(v) || code < 0 || code >= field.num_categories) {
+          return Status::InvalidArgument(StrFormat(
+              "ModelSnapshot: row %zu field '%s': %g is not a category code "
+              "in [0, %d)",
+              i, field.name.c_str(), v, field.num_categories));
+        }
+        codes[i] = code;
+      }
+      FAIRDRIFT_RETURN_IF_ERROR(data.AddCategoricalColumn(
+          field.name, std::move(codes), field.num_categories));
+    }
+  }
+  return data;
+}
+
+Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
+    const Matrix& rows, ThreadPool* pool) const {
+  if (rows.rows() == 0) return std::vector<ScoreResult>{};
+  if (rows.cols() != num_features()) {
+    return Status::InvalidArgument(
+        StrFormat("ModelSnapshot::ScoreBatch: rows have %zu fields, schema "
+                  "has %zu",
+                  rows.cols(), num_features()));
+  }
+  Result<Dataset> data = RowsToDataset(rows);
+  if (!data.ok()) return data.status();
+
+  size_t n = rows.rows();
+  std::vector<ScoreResult> out(n);
+  for (ScoreResult& r : out) r.snapshot_version = version_;
+
+  // Conformance routing + margins over the numeric attribute view (the
+  // same per-row scans DiffairModel serves with; group membership is never
+  // consulted).
+  Matrix numeric = data.value().NumericMatrix();
+  std::vector<int> route(n, fallback_group_);
+  if (has_profile_ && numeric.cols() > 0) {
+    int num_groups = static_cast<int>(models_.size());
+    ParallelFor(
+        0, n,
+        [&](size_t i) {
+          const double* row = numeric.RowPtr(i);
+          double best = std::numeric_limits<double>::infinity();
+          if (routed_) {
+            // Dispatch to the most-conforming group that has a model
+            // (DIFFAIR's PREDICT); the reported margin is the winner's.
+            int best_group = fallback_group_;
+            for (int g = 0; g < num_groups; ++g) {
+              if (!models_[static_cast<size_t>(g)]) continue;
+              if (!profile_.GroupProfiled(g)) continue;
+              double margin = profile_.MinMarginForGroup(g, row);
+              if (margin < best) {
+                best = margin;
+                best_group = g;
+              }
+            }
+            route[i] = best_group;
+          } else {
+            // Single-model serving: the margin is a pure conformance
+            // monitor — best over every profiled group.
+            for (int g = 0; g < profile_.num_groups(); ++g) {
+              if (!profile_.GroupProfiled(g)) continue;
+              best = std::min(best, profile_.MinMarginForGroup(g, row));
+            }
+          }
+          out[i].margin = best;
+        },
+        pool);
+  }
+
+  // One batched prediction per group model, gathered by route.
+  Result<Matrix> x = encoder_.Transform(data.value());
+  if (!x.ok()) return x.status();
+  std::vector<std::vector<double>> proba_by_group(models_.size());
+  for (size_t g = 0; g < models_.size(); ++g) {
+    if (!models_[g]) continue;
+    bool serves_any = static_cast<int>(g) == fallback_group_;
+    for (size_t i = 0; !serves_any && i < n; ++i) {
+      serves_any = route[i] == static_cast<int>(g);
+    }
+    if (!serves_any) continue;
+    Result<std::vector<double>> p = models_[g]->PredictProba(x.value());
+    if (!p.ok()) return p.status();
+    proba_by_group[g] = std::move(p).value();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t g = static_cast<size_t>(route[i]);
+    out[i].routed_group = routed_ ? route[i] : -1;
+    out[i].probability = proba_by_group[g][i];
+    out[i].label =
+        out[i].probability >= models_[g]->threshold() ? 1 : 0;
+  }
+
+  // Drift monitor: training log-density of each request row.
+  if (density_ != nullptr && numeric.cols() > 0) {
+    std::vector<double> logd = density_->LogDensityAll(numeric, pool);
+    for (size_t i = 0; i < n; ++i) {
+      out[i].log_density = logd[i];
+      out[i].density_outlier = logd[i] < density_floor_;
+    }
+  }
+  return out;
+}
+
+}  // namespace fairdrift

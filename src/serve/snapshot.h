@@ -1,0 +1,148 @@
+// Immutable frozen pipeline artifact for the online scoring path.
+//
+// A ModelSnapshot freezes everything a fitted pipeline needs to score a
+// request without refitting: the trained classifier(s), the conformance
+// GroupLabelProfile used for DIFFAIR-style routing and margin reporting,
+// the fitted FeatureEncoder, and (optionally) a KernelDensity over the
+// training attributes acting as a drift monitor for incoming traffic.
+//
+// Snapshots are created once, published behind shared_ptr<const ...>, and
+// never mutated afterwards — in-flight batches keep scoring the snapshot
+// they started with while the server atomically swaps a newer one in
+// (snapshot isolation). Every scoring member is const and thread-safe.
+//
+// Determinism contract: ScoreBatch scores each row independently through
+// the library's deterministic batched kernels, so a given request produces
+// bitwise-identical ScoreResult fields regardless of which batch it lands
+// in or how many pool workers score that batch.
+
+#ifndef FAIRDRIFT_SERVE_SNAPSHOT_H_
+#define FAIRDRIFT_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/profile.h"
+#include "data/encode.h"
+#include "data/schema.h"
+#include "kde/kde.h"
+#include "linalg/matrix.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
+/// Outcome of scoring one request row against a snapshot.
+struct ScoreResult {
+  /// P(y = 1 | row) of the serving model (the routed group's model under
+  /// conformance routing).
+  double probability = 0.0;
+  /// Hard label at the serving model's decision threshold.
+  int label = 0;
+  /// Group whose model served the row under conformance routing; -1 for
+  /// single-model snapshots.
+  int routed_group = -1;
+  /// Best signed conformance margin of the routed group's cells (negative
+  /// inside a cell's bounds); +inf when the snapshot has no profile.
+  double margin = std::numeric_limits<double>::infinity();
+  /// Training log-density of the row's numeric attributes; NaN when the
+  /// snapshot carries no density monitor.
+  double log_density = std::numeric_limits<double>::quiet_NaN();
+  /// True when log_density fell below the snapshot's density floor (the
+  /// row looks drifted / off-manifold relative to the training data).
+  bool density_outlier = false;
+  /// Version of the snapshot that scored the row (swap-isolation witness).
+  uint64_t snapshot_version = 0;
+};
+
+/// Mutable staging area for ModelSnapshot::Create. Fill in the fitted
+/// artifacts (typically via core/deployment.h) and freeze them.
+struct SnapshotParts {
+  /// Request-row layout. Requests carry one double per schema field, in
+  /// schema order; categorical fields carry the category code.
+  Schema schema;
+  /// Encoder fitted on the snapshot's training split.
+  FeatureEncoder encoder;
+  /// One fitted model per group id (DIFFAIR-style), or a single entry for
+  /// unrouted single-model serving. Null entries = groups with no model.
+  std::vector<std::unique_ptr<Classifier>> models;
+  /// When true, rows route to the most-conforming group's model through
+  /// `profile` (requires a profiled group per non-null model).
+  bool routed = false;
+  /// Group served when routing is off or no group is profiled.
+  int fallback_group = 0;
+  /// (group x label) conformance profile; empty profiles disable margins.
+  GroupLabelProfile profile;
+  bool has_profile = false;
+  /// Optional drift monitor fitted on the training numeric attributes.
+  std::shared_ptr<const KernelDensity> density;
+  /// Log-density below which a row is flagged density_outlier (typically a
+  /// low quantile of the training split's own log-densities).
+  double density_floor = -std::numeric_limits<double>::infinity();
+};
+
+/// Immutable, shareable, concurrently scorable pipeline freeze.
+class ModelSnapshot {
+ public:
+  /// Validates and freezes `parts`. Each Create call stamps a fresh
+  /// process-unique version (monotonically increasing).
+  static Result<std::shared_ptr<const ModelSnapshot>> Create(
+      SnapshotParts parts);
+
+  /// Scores a batch of request rows (one row per Matrix row, width
+  /// num_features(), schema layout). Routing, prediction, margins, and
+  /// density all run through the library's batched kernels on `pool`
+  /// (global pool when null); per-row results are bitwise independent of
+  /// the batch composition and the worker count.
+  Result<std::vector<ScoreResult>> ScoreBatch(const Matrix& rows,
+                                              ThreadPool* pool = nullptr) const;
+
+  /// Checks one request row (length num_features()) against the schema:
+  /// categorical fields must carry integral codes inside their category
+  /// range. The server validates per request so one malformed row fails
+  /// its own ticket instead of poisoning the whole batch.
+  Status ValidateRow(const double* row) const;
+
+  /// Process-unique, monotonically increasing snapshot id.
+  uint64_t version() const { return version_; }
+
+  /// Width of a request row (= schema field count).
+  size_t num_features() const { return schema_.num_fields(); }
+
+  const Schema& schema() const { return schema_; }
+  bool routed() const { return routed_; }
+  bool has_profile() const { return has_profile_; }
+  bool has_density() const { return density_ != nullptr; }
+  double density_floor() const { return density_floor_; }
+  int num_groups() const { return static_cast<int>(models_.size()); }
+
+  /// The model serving group `g` (nullptr when the group has none).
+  const Classifier* group_model(int g) const;
+
+ private:
+  ModelSnapshot() = default;
+
+  /// Rebuilds a Dataset from raw request rows (the inverse of the row
+  /// contract above) so the frozen encoder / profile consume requests
+  /// exactly as they consume offline splits.
+  Result<Dataset> RowsToDataset(const Matrix& rows) const;
+
+  uint64_t version_ = 0;
+  Schema schema_;
+  FeatureEncoder encoder_;
+  std::vector<std::unique_ptr<Classifier>> models_;
+  bool routed_ = false;
+  int fallback_group_ = 0;
+  GroupLabelProfile profile_;
+  bool has_profile_ = false;
+  std::shared_ptr<const KernelDensity> density_;
+  double density_floor_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_SNAPSHOT_H_

@@ -1,0 +1,52 @@
+#include "serve/ticket.h"
+
+namespace fairdrift {
+
+namespace serve_internal {
+
+void TicketState::Complete(const ScoreResult& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (done) return;
+    done = true;
+    result = r;
+    error = Status::OK();
+  }
+  cv.notify_all();
+}
+
+void TicketState::Fail(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (done) return;
+    done = true;
+    error = std::move(status);
+  }
+  cv.notify_all();
+}
+
+}  // namespace serve_internal
+
+Result<ScoreResult> ScoreTicket::Wait() const {
+  if (!state_) {
+    return Status::FailedPrecondition("ScoreTicket: empty ticket");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (!state_->error.ok()) return state_->error;
+  return state_->result;
+}
+
+bool ScoreTicket::WaitFor(std::chrono::nanoseconds timeout) const {
+  if (!state_) return false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->done; });
+}
+
+bool ScoreTicket::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+}  // namespace fairdrift

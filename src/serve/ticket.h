@@ -1,0 +1,72 @@
+// ScoreTicket: the asynchronous response handle of the scoring server.
+//
+// Submit() hands back a ticket immediately; the micro-batcher fulfills it
+// from whichever batch the request lands in. Tickets are fulfilled exactly
+// once — with a ScoreResult, or with a typed error Status (DeadlineExceeded
+// for shed requests, Unavailable at shutdown, InvalidArgument for malformed
+// rows). Copyable; every copy observes the same state.
+
+#ifndef FAIRDRIFT_SERVE_TICKET_H_
+#define FAIRDRIFT_SERVE_TICKET_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+namespace serve_internal {
+
+/// Shared state between a ticket and the server worker that fulfills it.
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status error;        // OK when `result` is valid
+  ScoreResult result;  // valid only when done && error.ok()
+
+  /// Fulfills with a result; first fulfillment wins, later calls no-op.
+  void Complete(const ScoreResult& r);
+  /// Fulfills with an error; first fulfillment wins, later calls no-op.
+  void Fail(Status status);
+};
+
+}  // namespace serve_internal
+
+/// Waitable handle to one submitted request.
+class ScoreTicket {
+ public:
+  /// An empty ticket (Wait fails FailedPrecondition). Servers return
+  /// populated tickets from Submit.
+  ScoreTicket() = default;
+
+  /// Blocks until the request completes; returns its score or the typed
+  /// shed/shutdown error. Do not call from a worker of the server's
+  /// scoring pool (the fulfilling batch may be queued behind the waiter).
+  Result<ScoreResult> Wait() const;
+
+  /// Waits up to `timeout`. Returns true when the ticket completed (the
+  /// outcome is then available via Wait, which no longer blocks).
+  bool WaitFor(std::chrono::nanoseconds timeout) const;
+
+  /// True once fulfilled (result or error).
+  bool done() const;
+
+  /// True for tickets minted by a server (default-constructed ones are not).
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class ScoringServer;
+  explicit ScoreTicket(std::shared_ptr<serve_internal::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<serve_internal::TicketState> state_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_TICKET_H_

@@ -16,6 +16,38 @@ thread_local const ThreadPool* tls_worker_pool = nullptr;
 
 }  // namespace
 
+Completion::Completion() : state_(std::make_shared<State>()) {
+  state_->done = true;
+}
+
+bool Completion::done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void Completion::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (state_->error) {
+    std::exception_ptr error = state_->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool Completion::WaitFor(std::chrono::nanoseconds timeout) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->cv.wait_for(lock, timeout, [this] { return state_->done; })) {
+    return false;
+  }
+  if (state_->error) {
+    std::exception_ptr error = state_->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return true;
+}
+
 size_t DefaultParallelism() {
   if (const char* env = std::getenv("FAIRDRIFT_THREADS")) {
     char* end = nullptr;
@@ -65,6 +97,35 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     tasks_.push(std::move(task));
   }
   task_ready_.notify_one();
+}
+
+Completion ThreadPool::Submit(std::function<void()> task) {
+  Completion completion;
+  auto state = completion.state_;
+  auto run = [state, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+      state->error = error;
+    }
+    state->cv.notify_all();
+  };
+  if (threads_.empty()) {
+    run();  // inline pool: execute on the caller, token returns done
+    return completion;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = false;
+  }
+  Enqueue(std::move(run));
+  return completion;
 }
 
 void ThreadPool::For(size_t begin, size_t end,

@@ -20,9 +20,12 @@
 #define FAIRDRIFT_UTIL_PARALLEL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -30,6 +33,42 @@
 #include <vector>
 
 namespace fairdrift {
+
+/// Completion token of a task handed to ThreadPool::Submit. Copyable: every
+/// copy observes the same underlying task. Waiting rethrows the task's
+/// exception (if any) on the waiting thread, once per Wait call that
+/// observes completion.
+///
+/// Do not Wait on a token from inside a pool worker of the same pool: the
+/// submitted task may be queued behind the waiter, which would deadlock a
+/// fully busy pool. (Submitting from a worker is fine — only waiting is
+/// restricted.)
+class Completion {
+ public:
+  /// An already-completed token (what Submit returns for inline execution).
+  Completion();
+
+  /// True once the task finished (normally or by exception).
+  bool done() const;
+
+  /// Blocks until the task finishes; rethrows its exception if it threw.
+  void Wait() const;
+
+  /// Waits up to `timeout`; returns done(). Rethrows on observed failure.
+  bool WaitFor(std::chrono::nanoseconds timeout) const;
+
+ private:
+  friend class ThreadPool;
+
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  std::shared_ptr<State> state_;
+};
 
 /// Worker count used by the global pool: the `FAIRDRIFT_THREADS` environment
 /// variable when set to a non-negative integer (0 forces fully inline
@@ -60,6 +99,14 @@ class ThreadPool {
 
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
+
+  /// Asynchronously runs `task` on a worker and returns a completion token
+  /// the caller (or any copy holder) can Wait on. A 0-worker pool runs the
+  /// task inline before returning (the token comes back already done), so
+  /// callers never branch on pool size. Unlike For(), Submit never blocks:
+  /// it is the entry point for request-driven work (the serving
+  /// subsystem's batch dispatch) as opposed to fork-join loops.
+  Completion Submit(std::function<void()> task);
 
  private:
   void WorkerLoop();

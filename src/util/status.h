@@ -25,6 +25,8 @@ enum class StatusCode {
   kNumericalError,    ///< Divergence, singular matrix, NaN encountered.
   kInternal,          ///< Invariant violation that is a library bug.
   kIoError,           ///< Filesystem / parsing failure.
+  kUnavailable,       ///< Transient overload / shutdown; the caller may retry.
+  kDeadlineExceeded,  ///< The request's deadline passed before completion.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -61,6 +63,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "data/dataset.h"
 #include "kde/balltree.h"
 #include "kde/kde.h"
 #include "kde/kde_cache.h"
@@ -288,6 +289,103 @@ TEST(KdeCacheTest, FingerprintSeparatesShapes) {
   Matrix wide(2, 6, 1.0);
   Matrix tall(6, 2, 1.0);
   EXPECT_FALSE(FingerprintMatrix(wide) == FingerprintMatrix(tall));
+}
+
+TEST(KdeCacheTest, HintMemoSkipsRehashButKeepsContentKeys) {
+  KdeCache cache(8);
+  Matrix data = RandomPoints(120, 3, 56);
+  KdeOptions options;
+  KdeCacheHint hint{77, 3};
+  auto a = cache.FitOrGet(data, options, hint);
+  auto b = cache.FitOrGet(data, options, hint);  // memo hit: no rehash
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());
+  KdeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.fingerprint_memo_misses, 1u);
+  EXPECT_EQ(stats.fingerprint_memo_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // A different (version, slot) over identical contents rehashes once but
+  // still lands on the same *content* key — the cross-trial reuse that
+  // makes the cache effective across re-splits.
+  auto c = cache.FitOrGet(data, options, KdeCacheHint{78, 3});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().get(), a.value().get());
+  stats = cache.stats();
+  EXPECT_EQ(stats.fingerprint_memo_misses, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(KdeCacheTest, HintSpacesNamespaceSlots) {
+  // The density filter's cell (0, 0) and a whole-dataset view share
+  // slot 0 under the same dataset version; their spaces must keep the
+  // memo entries — and therefore the fitted estimators — apart.
+  KdeCache cache(8);
+  Matrix full = RandomPoints(120, 3, 61);
+  std::vector<size_t> head(40);
+  for (size_t i = 0; i < head.size(); ++i) head[i] = i;
+  Matrix cell = full.SelectRows(head);
+
+  KdeOptions options;
+  auto cell_kde = cache.FitOrGet(
+      cell, options, KdeCacheHint{91, 0, kKdeHintSpaceDensityFilterCell});
+  auto full_kde = cache.FitOrGet(
+      full, options, KdeCacheHint{91, 0, kKdeHintSpaceFullDataset});
+  ASSERT_TRUE(cell_kde.ok() && full_kde.ok());
+  EXPECT_NE(cell_kde.value().get(), full_kde.value().get());
+  EXPECT_EQ(cell_kde.value()->train_size(), 40u);
+  EXPECT_EQ(full_kde.value()->train_size(), 120u);
+}
+
+TEST(KdeCacheTest, ByteBoundedEviction) {
+  KdeCache cache(/*capacity=*/64, /*max_bytes=*/1);  // everything evicts
+  Matrix a = RandomPoints(60, 2, 57);
+  Matrix b = RandomPoints(60, 2, 58);
+  ASSERT_TRUE(cache.FitOrGet(a, {}).ok());
+  EXPECT_EQ(cache.stats().entries, 0u);  // over the byte bound immediately
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.set_max_bytes(KdeCache::kDefaultMaxBytes);
+  ASSERT_TRUE(cache.FitOrGet(a, {}).ok());
+  ASSERT_TRUE(cache.FitOrGet(b, {}).ok());
+  KdeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+
+  // Shrinking the byte budget evicts LRU-first down to the new bound.
+  size_t shrunken = stats.resident_bytes / 2;
+  cache.set_max_bytes(shrunken);
+  stats = cache.stats();
+  EXPECT_LT(stats.entries, 2u);
+  EXPECT_LE(stats.resident_bytes, shrunken);
+}
+
+TEST(KdeCacheTest, EstimatorReportsPlausibleMemory) {
+  Matrix data = RandomPoints(256, 4, 59);
+  Result<KernelDensity> kde = KernelDensity::Fit(data, {});
+  ASSERT_TRUE(kde.ok());
+  // At least the raw points (256 * 4 doubles), well under a megabyte.
+  EXPECT_GE(kde->ApproxMemoryBytes(), 256u * 4u * sizeof(double));
+  EXPECT_LT(kde->ApproxMemoryBytes(), 1u << 20);
+}
+
+TEST(KdeCacheTest, DatasetVersionTagTracksMutation) {
+  Dataset data;
+  ASSERT_TRUE(data.AddNumericColumn("x", {1.0, 2.0, 3.0}).ok());
+  uint64_t after_build = data.version();
+  EXPECT_NE(after_build, 0u);
+
+  Dataset copy = data;
+  EXPECT_EQ(copy.version(), after_build);  // identical contents, same tag
+
+  ASSERT_TRUE(copy.SetWeights({1.0, 2.0, 1.0}).ok());
+  EXPECT_NE(copy.version(), after_build);   // mutation re-stamps
+  EXPECT_EQ(data.version(), after_build);   // the source is untouched
+
+  uint64_t before_touch = data.version();
+  (void)data.mutable_weights();  // conservative: the escape hatch re-stamps
+  EXPECT_NE(data.version(), before_touch);
 }
 
 }  // namespace

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "kde/kde.h"
@@ -185,6 +187,63 @@ TEST(ParallelReductionTest, SumBitwiseIdenticalAcrossWorkerCounts) {
         << workers << " workers";
   }
   EXPECT_EQ(ParallelSum(0, 0, term, &inline_pool), 0.0);
+}
+
+TEST(ThreadPoolSubmitTest, RunsTasksAndSignalsCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<Completion> tokens;
+  for (int i = 0; i < 32; ++i) {
+    tokens.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (Completion& token : tokens) token.Wait();
+  EXPECT_EQ(counter.load(), 32);
+  for (Completion& token : tokens) EXPECT_TRUE(token.done());
+}
+
+TEST(ThreadPoolSubmitTest, InlinePoolExecutesBeforeReturning) {
+  ThreadPool pool(0);
+  int value = 0;
+  Completion token = pool.Submit([&value] { value = 7; });
+  // No workers: the task ran on the calling thread inside Submit.
+  EXPECT_TRUE(token.done());
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPoolSubmitTest, WaitRethrowsTaskException) {
+  ThreadPool pool(1);
+  Completion token =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(token.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolSubmitTest, WaitForTimesOutThenCompletes) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  Completion token = pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  EXPECT_FALSE(token.WaitFor(std::chrono::milliseconds(5)));
+  release.store(true);
+  token.Wait();
+  EXPECT_TRUE(token.done());
+}
+
+TEST(ThreadPoolSubmitTest, DestructorDrainsPendingSubmissions) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      (void)pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    // Pool destruction must run every queued task, not drop them.
+  }
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(ParallelKdeTest, LogDensityAllMatchesPointwise) {

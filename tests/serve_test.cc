@@ -1,0 +1,628 @@
+// Tests for the src/serve/ asynchronous scoring subsystem.
+//
+// The load-bearing contract is determinism: a given request row produces
+// bitwise-identical ScoreResult fields through every server configuration
+// — batch size 1 or 128, 0 or N pool workers, whatever batch boundaries
+// the race between clients and the dispatcher produces. The stress test
+// pins it; the rest covers snapshot isolation under swap, deadline
+// shedding, admission refusal, queue/batcher semantics, and the stats
+// block.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/deployment.h"
+#include "serve/admission.h"
+#include "serve/micro_batcher.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+#include "serve/server_stats.h"
+#include "serve/snapshot.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+// Two-group dataset with numeric attributes and one categorical, linear
+// class signal. Small enough to profile quickly.
+Dataset MakeTrainingData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x0(n);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<int> cat(n);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = rng.Bernoulli(0.35) ? 1 : 0;
+    double shift = g == 1 ? 0.7 : -0.7;
+    x0[i] = rng.Gaussian(shift, 1.0);
+    x1[i] = rng.Gaussian(-shift, 1.2);
+    x2[i] = rng.Gaussian(0.0, 0.8);
+    cat[i] = static_cast<int>(rng.UniformInt(0, 2));
+    labels[i] = x0[i] - 0.5 * x1[i] + rng.Gaussian(0.0, 0.6) > 0.0 ? 1 : 0;
+    groups[i] = g;
+  }
+  Dataset data;
+  EXPECT_TRUE(data.AddNumericColumn("x0", std::move(x0)).ok());
+  EXPECT_TRUE(data.AddNumericColumn("x1", std::move(x1)).ok());
+  EXPECT_TRUE(data.AddNumericColumn("x2", std::move(x2)).ok());
+  EXPECT_TRUE(data.AddCategoricalColumn("cat", std::move(cat), 3).ok());
+  EXPECT_TRUE(data.SetLabels(std::move(labels), 2).ok());
+  EXPECT_TRUE(data.SetGroups(std::move(groups)).ok());
+  return data;
+}
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(
+    uint64_t seed, SnapshotMethod method = SnapshotMethod::kPlain) {
+  Dataset train = MakeTrainingData(500, seed);
+  SnapshotBuildOptions options;
+  options.method = method;
+  options.include_profile = true;
+  options.include_density = true;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      BuildSnapshot(train, options);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return snapshot.ok() ? snapshot.value() : nullptr;
+}
+
+std::vector<std::vector<double>> MakeRequests(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(4));
+  for (auto& row : rows) {
+    row[0] = rng.Gaussian();
+    row[1] = rng.Gaussian();
+    row[2] = rng.Gaussian();
+    row[3] = static_cast<double>(rng.UniformInt(0, 2));
+  }
+  return rows;
+}
+
+void ExpectBitwiseEqual(const ScoreResult& a, const ScoreResult& b,
+                        size_t row) {
+  EXPECT_EQ(a.probability, b.probability) << "row " << row;
+  EXPECT_EQ(a.label, b.label) << "row " << row;
+  EXPECT_EQ(a.routed_group, b.routed_group) << "row " << row;
+  EXPECT_EQ(a.margin, b.margin) << "row " << row;
+  EXPECT_EQ(a.log_density, b.log_density) << "row " << row;
+  EXPECT_EQ(a.density_outlier, b.density_outlier) << "row " << row;
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(RequestQueueTest, FifoPushPopAndCapacity) {
+  RequestQueue queue(3);
+  for (int i = 0; i < 3; ++i) {
+    PendingRequest request;
+    request.row = {static_cast<double>(i)};
+    EXPECT_TRUE(queue.TryPush(std::move(request)));
+  }
+  PendingRequest overflow;
+  EXPECT_FALSE(queue.TryPush(std::move(overflow)));  // full
+  EXPECT_EQ(queue.size(), 3u);
+
+  std::vector<PendingRequest> batch;
+  EXPECT_EQ(queue.PopBatch(2, std::chrono::nanoseconds{0}, &batch), 2u);
+  EXPECT_EQ(batch[0].row[0], 0.0);
+  EXPECT_EQ(batch[1].row[0], 1.0);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RequestQueueTest, CloseDrainsThenReturnsZero) {
+  RequestQueue queue(8);
+  PendingRequest request;
+  request.row = {1.0};
+  EXPECT_TRUE(queue.TryPush(std::move(request)));
+  queue.Close();
+  PendingRequest rejected;
+  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+
+  std::vector<PendingRequest> batch;
+  EXPECT_EQ(queue.PopBatch(4, std::chrono::milliseconds{100}, &batch), 1u);
+  batch.clear();
+  EXPECT_EQ(queue.PopBatch(4, std::chrono::milliseconds{100}, &batch), 0u);
+}
+
+TEST(MicroBatcherTest, BatchSizeOneSkipsCoalescingWindow) {
+  RequestQueue queue(8);
+  PendingRequest request;
+  request.row = {1.0};
+  ASSERT_TRUE(queue.TryPush(std::move(request)));
+  BatchingOptions options;
+  options.max_batch_size = 1;
+  options.max_batch_delay = std::chrono::microseconds{1000000};  // 1s window
+  MicroBatcher batcher(&queue, options);
+  std::vector<PendingRequest> batch;
+  // Must return immediately despite the huge window.
+  EXPECT_EQ(batcher.NextBatch(&batch), 1u);
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(AdmissionTest, TypedRefusals) {
+  AdmissionOptions options;
+  options.max_queue_depth = 1;
+  AdmissionController admission(options);
+  RequestQueue queue(1);
+  auto now = std::chrono::steady_clock::now();
+  auto none = std::chrono::steady_clock::time_point::max();
+
+  EXPECT_TRUE(admission.Admit(queue, now, none).ok());
+  EXPECT_EQ(admission.Admit(queue, now, now - std::chrono::seconds(1)).code(),
+            StatusCode::kDeadlineExceeded);
+
+  PendingRequest request;
+  ASSERT_TRUE(queue.TryPush(std::move(request)));
+  EXPECT_EQ(admission.Admit(queue, now, none).code(),
+            StatusCode::kUnavailable);
+
+  queue.Close();
+  EXPECT_EQ(admission.Admit(queue, now, none).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(AdmissionTest, ResolveDeadlineUsesDefaultPolicy) {
+  AdmissionOptions options;
+  options.default_deadline = std::chrono::microseconds{500};
+  AdmissionController admission(options);
+  auto now = std::chrono::steady_clock::now();
+  EXPECT_EQ(admission.ResolveDeadline(now, std::chrono::nanoseconds{0}),
+            now + std::chrono::microseconds{500});
+  EXPECT_EQ(admission.ResolveDeadline(now, std::chrono::milliseconds{3}),
+            now + std::chrono::milliseconds{3});
+
+  AdmissionController no_default{AdmissionOptions{}};
+  EXPECT_EQ(no_default.ResolveDeadline(now, std::chrono::nanoseconds{0}),
+            std::chrono::steady_clock::time_point::max());
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(ServerStatsTest, PercentilesAndBatchHistogram) {
+  ServerStats stats;
+  for (int i = 0; i < 90; ++i) {
+    stats.RecordCompletion(std::chrono::microseconds{100});
+  }
+  for (int i = 0; i < 10; ++i) {
+    stats.RecordCompletion(std::chrono::milliseconds{10});
+  }
+  stats.RecordBatch(1);
+  stats.RecordBatch(60);
+  stats.RecordBatch(64);
+
+  ServerStats::View view = stats.Snapshot();
+  EXPECT_EQ(view.completed, 100u);
+  // Log-bucketed percentiles: p50 near 100us, p99 near 10ms, monotone.
+  EXPECT_GT(view.p50_latency_us, 50.0);
+  EXPECT_LT(view.p50_latency_us, 200.0);
+  EXPECT_GT(view.p99_latency_us, 5000.0);
+  EXPECT_LE(view.p50_latency_us, view.p95_latency_us);
+  EXPECT_LE(view.p95_latency_us, view.p99_latency_us);
+
+  EXPECT_EQ(view.batches, 3u);
+  EXPECT_NEAR(view.mean_batch_size, (1.0 + 60.0 + 64.0) / 3.0, 1e-9);
+  EXPECT_EQ(view.batch_size_hist[0], 1u);  // size 1
+  EXPECT_EQ(view.batch_size_hist[5], 1u);  // size 60 in [32, 64)
+  EXPECT_EQ(view.batch_size_hist[6], 1u);  // size 64 in [64, 128)
+}
+
+// -------------------------------------------------------------- snapshot
+
+TEST(ModelSnapshotTest, ValidatesRowsAndWidth) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(1);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->num_features(), 4u);
+
+  std::vector<double> good = {0.1, -0.2, 0.3, 2.0};
+  EXPECT_TRUE(snapshot->ValidateRow(good.data()).ok());
+  std::vector<double> bad_code = {0.1, -0.2, 0.3, 7.0};
+  EXPECT_EQ(snapshot->ValidateRow(bad_code.data()).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> fractional = {0.1, -0.2, 0.3, 1.5};
+  EXPECT_EQ(snapshot->ValidateRow(fractional.data()).code(),
+            StatusCode::kInvalidArgument);
+
+  Matrix wrong_width(1, 2);
+  EXPECT_FALSE(snapshot->ScoreBatch(wrong_width).ok());
+}
+
+TEST(ModelSnapshotTest, VersionsIncreaseAndFieldsPopulate) {
+  std::shared_ptr<const ModelSnapshot> a = MakeSnapshot(2);
+  std::shared_ptr<const ModelSnapshot> b = MakeSnapshot(2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_LT(a->version(), b->version());
+
+  std::vector<std::vector<double>> rows = MakeRequests(8, 3);
+  Matrix m(rows.size(), 4);
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+  Result<std::vector<ScoreResult>> scores = a->ScoreBatch(m);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  for (const ScoreResult& r : scores.value()) {
+    EXPECT_GE(r.probability, 0.0);
+    EXPECT_LE(r.probability, 1.0);
+    EXPECT_EQ(r.snapshot_version, a->version());
+    EXPECT_FALSE(std::isnan(r.log_density));  // density monitor attached
+    EXPECT_TRUE(std::isfinite(r.margin));     // profile attached
+  }
+}
+
+TEST(ModelSnapshotTest, DensityMonitorUsesFullTrainingMatrix) {
+  // The profiled build runs the per-cell density filter before fitting
+  // the drift monitor on the same (version-tagged) dataset; the filter's
+  // cell-level cache hints must not alias the monitor's full-matrix fit
+  // (they share slot 0 and differ only by hint space). Both builds must
+  // freeze the identical full-training-data density floor.
+  Dataset train = MakeTrainingData(500, 22);
+  SnapshotBuildOptions with_profile;
+  with_profile.method = SnapshotMethod::kPlain;  // no implicit profiling
+  with_profile.include_profile = true;
+  with_profile.include_density = true;
+  SnapshotBuildOptions without_profile;
+  without_profile.method = SnapshotMethod::kPlain;
+  without_profile.include_profile = false;
+  without_profile.include_density = true;
+  Result<std::shared_ptr<const ModelSnapshot>> a =
+      BuildSnapshot(train, with_profile);
+  Result<std::shared_ptr<const ModelSnapshot>> b =
+      BuildSnapshot(train, without_profile);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Ground truth straight from an uncached, unhinted fit on the full
+  // numeric matrix (the 1% default quantile of the training split's own
+  // log-densities). Both builds must freeze exactly this floor.
+  Matrix numeric = train.NumericMatrix();
+  Result<KernelDensity> direct = KernelDensity::Fit(numeric, {});
+  ASSERT_TRUE(direct.ok());
+  std::vector<double> logd = direct.value().LogDensityAll(numeric);
+  std::sort(logd.begin(), logd.end());
+  double expected =
+      logd[static_cast<size_t>(0.01 * static_cast<double>(logd.size() - 1))];
+  EXPECT_EQ(a.value()->density_floor(), expected);
+  EXPECT_EQ(b.value()->density_floor(), expected);
+  EXPECT_TRUE(std::isfinite(expected));
+}
+
+TEST(ModelSnapshotTest, DiffairSnapshotRoutesPerRow) {
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeSnapshot(4, SnapshotMethod::kDiffair);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->routed());
+  std::vector<std::vector<double>> rows = MakeRequests(64, 5);
+  Matrix m(rows.size(), 4);
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+  Result<std::vector<ScoreResult>> scores = snapshot->ScoreBatch(m);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  bool saw_group0 = false;
+  bool saw_group1 = false;
+  for (const ScoreResult& r : scores.value()) {
+    ASSERT_GE(r.routed_group, 0);
+    ASSERT_LT(r.routed_group, snapshot->num_groups());
+    saw_group0 |= r.routed_group == 0;
+    saw_group1 |= r.routed_group == 1;
+  }
+  // Requests drawn over both groups' supports should hit both models.
+  EXPECT_TRUE(saw_group0);
+  EXPECT_TRUE(saw_group1);
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(ScoringServerTest, ScoreSyncMatchesDirectScoring) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(6);
+  ASSERT_NE(snapshot, nullptr);
+  std::vector<std::vector<double>> rows = MakeRequests(16, 7);
+  Matrix m(rows.size(), 4);
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+  Result<std::vector<ScoreResult>> reference = snapshot->ScoreBatch(m);
+  ASSERT_TRUE(reference.ok());
+
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Result<ScoreResult> result = server.value()->ScoreSync(rows[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitwiseEqual(result.value(), reference.value()[i], i);
+  }
+}
+
+// The serving determinism contract, stressed: the same 300-request set
+// through servers with batch size 1 / 7 / 64 / 128, pool worker counts
+// 0 / 1 / 3 / global, submitted by 4 racing client threads (randomizing
+// arrival order and therefore every batch cut point). Every row must
+// score bitwise identically to the direct single-batch reference.
+TEST(ScoringServerTest, DeterministicAcrossBatchingAndWorkers) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(8);
+  ASSERT_NE(snapshot, nullptr);
+  const size_t kRequests = 300;
+  std::vector<std::vector<double>> rows = MakeRequests(kRequests, 9);
+  Matrix m(kRequests, 4);
+  for (size_t i = 0; i < kRequests; ++i) m.SetRow(i, rows[i]);
+  Result<std::vector<ScoreResult>> reference = snapshot->ScoreBatch(m);
+  ASSERT_TRUE(reference.ok());
+
+  ThreadPool inline_pool(0);
+  ThreadPool single(1);
+  ThreadPool several(3);
+  struct Config {
+    size_t max_batch;
+    ThreadPool* pool;
+  };
+  std::vector<Config> configs = {
+      {1, &inline_pool}, {7, &single}, {64, &several}, {128, nullptr}};
+
+  for (const Config& config : configs) {
+    ServerOptions options;
+    options.batching.max_batch_size = config.max_batch;
+    options.batching.max_batch_delay = std::chrono::microseconds{200};
+    options.admission.max_queue_depth = kRequests + 8;
+    options.pool = config.pool;
+    Result<std::unique_ptr<ScoringServer>> server =
+        ScoringServer::Create(snapshot, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    std::vector<ScoreTicket> tickets(kRequests);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = c; i < kRequests; i += 4) {
+          Result<ScoreTicket> ticket = server.value()->Submit(rows[i]);
+          ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+          tickets[i] = std::move(ticket).value();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (size_t i = 0; i < kRequests; ++i) {
+      Result<ScoreResult> result = tickets[i].Wait();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectBitwiseEqual(result.value(), reference.value()[i], i);
+    }
+    ServerStats::View stats = server.value()->stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_EQ(stats.shed_deadline + stats.shed_admission, 0u);
+  }
+}
+
+// Snapshot isolation under a mid-flight swap: every response must match
+// one of the two snapshots' reference scores bitwise, the version field
+// must identify which, and traffic after the swap must score the new one.
+TEST(ScoringServerTest, SnapshotSwapUnderLoadIsolatesBatches) {
+  std::shared_ptr<const ModelSnapshot> v1 = MakeSnapshot(10);
+  std::shared_ptr<const ModelSnapshot> v2 = MakeSnapshot(11);
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v2, nullptr);
+
+  const size_t kRequests = 400;
+  std::vector<std::vector<double>> rows = MakeRequests(kRequests, 12);
+  Matrix m(kRequests, 4);
+  for (size_t i = 0; i < kRequests; ++i) m.SetRow(i, rows[i]);
+  Result<std::vector<ScoreResult>> ref1 = v1->ScoreBatch(m);
+  Result<std::vector<ScoreResult>> ref2 = v2->ScoreBatch(m);
+  ASSERT_TRUE(ref1.ok());
+  ASSERT_TRUE(ref2.ok());
+
+  ServerOptions options;
+  options.batching.max_batch_size = 16;
+  options.admission.max_queue_depth = kRequests + 8;
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(v1, options);
+  ASSERT_TRUE(server.ok());
+
+  // Clients hold their last chunk back until the swap has been published,
+  // so post-swap traffic — which must score v2 — exists deterministically.
+  std::atomic<size_t> submitted{0};
+  std::atomic<bool> swapped{false};
+  std::vector<ScoreTicket> tickets(kRequests);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < kRequests; i += 3) {
+        if (i >= 2 * kRequests / 3) {
+          while (!swapped.load()) std::this_thread::yield();
+        }
+        Result<ScoreTicket> ticket = server.value()->Submit(rows[i]);
+        ASSERT_TRUE(ticket.ok());
+        tickets[i] = std::move(ticket).value();
+        submitted.fetch_add(1);
+      }
+    });
+  }
+  // Swap once a chunk of traffic is in flight.
+  while (submitted.load() < kRequests / 3) std::this_thread::yield();
+  ASSERT_TRUE(server.value()->UpdateSnapshot(v2).ok());
+  swapped.store(true);
+  for (std::thread& t : clients) t.join();
+
+  size_t scored_v1 = 0;
+  size_t scored_v2 = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    Result<ScoreResult> result = tickets[i].Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (result.value().snapshot_version == v1->version()) {
+      ++scored_v1;
+      ExpectBitwiseEqual(result.value(), ref1.value()[i], i);
+    } else {
+      ASSERT_EQ(result.value().snapshot_version, v2->version());
+      ++scored_v2;
+      ExpectBitwiseEqual(result.value(), ref2.value()[i], i);
+    }
+  }
+  EXPECT_EQ(scored_v1 + scored_v2, kRequests);
+  EXPECT_GT(scored_v2, 0u);  // the swap landed before the tail
+
+  // Post-drain traffic must score the new snapshot.
+  Result<ScoreResult> after = server.value()->ScoreSync(rows[0]);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().snapshot_version, v2->version());
+  EXPECT_EQ(server.value()->stats().snapshot_swaps, 1u);
+}
+
+TEST(ScoringServerTest, ExpiredDeadlinesShedWithTypedStatus) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(13);
+  ASSERT_NE(snapshot, nullptr);
+  ServerOptions options;
+  // A long coalescing window guarantees the 1ms deadlines expire while
+  // the requests sit in the half-full batch.
+  options.batching.max_batch_size = 64;
+  options.batching.max_batch_delay = std::chrono::milliseconds{50};
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<std::vector<double>> rows = MakeRequests(8, 14);
+  std::vector<ScoreTicket> tickets;
+  for (const auto& row : rows) {
+    Result<ScoreTicket> ticket =
+        server.value()->Submit(row, std::chrono::milliseconds{1});
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(std::move(ticket).value());
+  }
+  for (ScoreTicket& ticket : tickets) {
+    Result<ScoreResult> result = ticket.Wait();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(server.value()->stats().shed_deadline, rows.size());
+  EXPECT_EQ(server.value()->stats().completed, 0u);
+}
+
+TEST(ScoringServerTest, OverloadInvariantsUnderTinyQueue) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(15);
+  ASSERT_NE(snapshot, nullptr);
+  ServerOptions options;
+  options.batching.max_batch_size = 2;
+  options.admission.max_queue_depth = 4;
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok());
+
+  const size_t kPerClient = 100;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::vector<double>> rows =
+          MakeRequests(kPerClient, 100 + c);
+      for (auto& row : rows) {
+        Result<ScoreTicket> ticket = server.value()->Submit(std::move(row));
+        if (!ticket.ok()) {
+          EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+          shed.fetch_add(1);
+          continue;
+        }
+        Result<ScoreResult> result = ticket.value().Wait();
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  ServerStats::View stats = server.value()->stats();
+  EXPECT_EQ(accepted.load() + shed.load(), 4 * kPerClient);
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.completed, accepted.load());
+  EXPECT_EQ(stats.shed_admission, shed.load());
+}
+
+TEST(ScoringServerTest, StopDrainsTicketsAndRefusesNewTraffic) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(16);
+  ASSERT_NE(snapshot, nullptr);
+  ServerOptions options;
+  options.batching.max_batch_size = 8;
+  options.batching.max_batch_delay = std::chrono::milliseconds{20};
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<std::vector<double>> rows = MakeRequests(20, 17);
+  std::vector<ScoreTicket> tickets;
+  for (const auto& row : rows) {
+    Result<ScoreTicket> ticket = server.value()->Submit(row);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(ticket).value());
+  }
+  server.value()->Stop();
+  // Every accepted request completes normally across shutdown.
+  for (ScoreTicket& ticket : tickets) {
+    Result<ScoreResult> result = ticket.Wait();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  Result<ScoreTicket> refused = server.value()->Submit(rows[0]);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ScoringServerTest, MalformedRowFailsItsOwnTicketOnly) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(18);
+  ASSERT_NE(snapshot, nullptr);
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot);
+  ASSERT_TRUE(server.ok());
+
+  // Wrong width refuses synchronously.
+  Result<ScoreTicket> wrong_width = server.value()->Submit({1.0, 2.0});
+  ASSERT_FALSE(wrong_width.ok());
+  EXPECT_EQ(wrong_width.status().code(), StatusCode::kInvalidArgument);
+
+  // A bad category code fails only its own ticket; neighbors complete.
+  std::vector<std::vector<double>> rows = MakeRequests(4, 19);
+  rows[2][3] = 9.0;  // outside [0, 3)
+  std::vector<ScoreTicket> tickets;
+  for (const auto& row : rows) {
+    Result<ScoreTicket> ticket = server.value()->Submit(row);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(ticket).value());
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    Result<ScoreResult> result = tickets[i].Wait();
+    if (i == 2) {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    } else {
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+}
+
+TEST(ScoringServerTest, CoalescesConcurrentSubmissionsIntoBatches) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(20);
+  ASSERT_NE(snapshot, nullptr);
+  ServerOptions options;
+  options.batching.max_batch_size = 64;
+  options.batching.max_batch_delay = std::chrono::milliseconds{50};
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok());
+
+  const size_t kRequests = 32;
+  std::vector<std::vector<double>> rows = MakeRequests(kRequests, 21);
+  std::vector<ScoreTicket> tickets;
+  for (const auto& row : rows) {
+    Result<ScoreTicket> ticket = server.value()->Submit(row);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(ticket).value());
+  }
+  for (ScoreTicket& ticket : tickets) {
+    EXPECT_TRUE(ticket.Wait().ok());
+  }
+  ServerStats::View stats = server.value()->stats();
+  EXPECT_EQ(stats.completed, kRequests);
+  // 32 near-simultaneous submissions into a 50ms window must coalesce
+  // into far fewer than 32 single-request batches.
+  EXPECT_LE(stats.batches, kRequests / 2);
+  EXPECT_GE(stats.mean_batch_size, 2.0);
+}
+
+}  // namespace
+}  // namespace fairdrift
