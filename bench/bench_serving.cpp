@@ -11,7 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -20,6 +23,24 @@
 #include "serve/server.h"
 #include "util/rng.h"
 #include "util/timer.h"
+
+namespace {
+std::atomic<size_t> g_allocation_count{0};
+}  // namespace
+
+// Counting allocator (the kde_flat_test pattern): every operator new
+// bumps the counter, so the scratch-reuse probe below can assert the
+// per-batch allocation reduction instead of guessing at it.
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace fairdrift {
 namespace {
@@ -55,14 +76,12 @@ Dataset MakeTrainingData(size_t n, size_t d, uint64_t seed) {
 
 std::shared_ptr<const ModelSnapshot> MakeServingSnapshot(bool with_density) {
   Dataset train = MakeTrainingData(3000, 6, 21);
-  SnapshotBuildOptions options;
-  options.method = SnapshotMethod::kPlain;
-  options.include_profile = true;
+  TrainSpec spec = ServingSpec(Method::kNoIntervention);
   // The throughput probe isolates dispatch overhead: per-row work stays at
   // the margin scan + LR dot product unless density is requested.
-  options.include_density = with_density;
+  spec.include_density = with_density;
   Result<std::shared_ptr<const ModelSnapshot>> snapshot =
-      BuildSnapshot(train, options);
+      BuildSnapshot(train, spec);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "snapshot build failed: %s\n",
                  snapshot.status().ToString().c_str());
@@ -153,10 +172,61 @@ ThroughputProbe RunThroughputProbe(
   return probe;
 }
 
-void WriteServingBenchJson() {
+/// Allocations across `calls` ScoreBatch invocations of one path.
+template <typename Fn>
+size_t CountAllocations(size_t calls, Fn&& fn) {
+  size_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < calls; ++i) fn();
+  return g_allocation_count.load(std::memory_order_relaxed) - before;
+}
+
+/// The scratch-reuse acceptance probe: scoring a batch out of a reused
+/// per-worker ScoreScratch must allocate strictly less than rebuilding
+/// the buffers per call (the pre-reuse serving path). Returns false (and
+/// complains) when the reduction claim does not hold.
+bool ProbeScratchAllocations(
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    BenchJsonSection* section) {
+  const size_t kBatch = 128;
+  const size_t kCalls = 50;
+  std::vector<std::vector<double>> rows = MakeRequests(kBatch, 6, 77);
+  Matrix m(kBatch, 6);
+  for (size_t i = 0; i < kBatch; ++i) m.SetRow(i, rows[i]);
+
+  ScoreScratch scratch;
+  // Warm both paths (pool spin-up, scratch capacity growth).
+  (void)snapshot->ScoreBatch(m);
+  (void)snapshot->ScoreBatch(m, &scratch);
+
+  size_t fresh = CountAllocations(
+      kCalls, [&] { benchmark::DoNotOptimize(snapshot->ScoreBatch(m)); });
+  size_t reused = CountAllocations(kCalls, [&] {
+    benchmark::DoNotOptimize(snapshot->ScoreBatch(m, &scratch));
+  });
+  double fresh_per_batch = static_cast<double>(fresh) / kCalls;
+  double reused_per_batch = static_cast<double>(reused) / kCalls;
+  section->metrics.push_back({"fresh_scratch_allocs_per_batch",
+                              fresh_per_batch});
+  section->metrics.push_back({"reused_scratch_allocs_per_batch",
+                              reused_per_batch});
+  std::fprintf(stderr,
+               "scratch probe: %.1f allocs/batch fresh vs %.1f reused "
+               "(batch=%zu)\n",
+               fresh_per_batch, reused_per_batch, kBatch);
+  if (reused >= fresh) {
+    std::fprintf(stderr,
+                 "FAIL: scratch reuse did not reduce per-batch "
+                 "allocations (%zu -> %zu over %zu calls)\n",
+                 fresh, reused, kCalls);
+    return false;
+  }
+  return true;
+}
+
+bool WriteServingBenchJson() {
   std::shared_ptr<const ModelSnapshot> snapshot =
       MakeServingSnapshot(/*with_density=*/false);
-  if (snapshot == nullptr) return;
+  if (snapshot == nullptr) return false;
   const size_t kRequests = 10000;
   const size_t kClients = 8;
 
@@ -198,6 +268,7 @@ void WriteServingBenchJson() {
       {"with_density_requests_per_sec", full.requests_per_sec},
       {"with_density_p99_us", full.p99_us},
   };
+  bool scratch_ok = ProbeScratchAllocations(snapshot, &section);
   Status st =
       WriteBenchJson({section}, BenchJsonPathOr("BENCH_serving.json"));
   if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -206,6 +277,7 @@ void WriteServingBenchJson() {
                "(mean batch %.1f) -> %.1fx\n",
                unbatched.requests_per_sec, batched.requests_per_sec,
                batched.mean_batch, speedup);
+  return scratch_ok;
 }
 
 }  // namespace
@@ -216,6 +288,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  fairdrift::WriteServingBenchJson();
-  return 0;
+  // The scratch-reuse allocation assertion gates the exit code: CI's
+  // bench smoke fails when the serving path regresses to per-batch
+  // rebuilds.
+  return fairdrift::WriteServingBenchJson() ? 0 : 1;
 }

@@ -14,6 +14,20 @@
 //
 //   fairdrift_cli weigh --dataset meps --out /tmp/weighted.csv [--alpha A]
 //       Compute CONFAIR weights and export the weighted training data.
+//
+//   fairdrift_cli snapshot save --dataset meps --method confair
+//                      --out /tmp/snap.bin [--learner lr|xgb|nb] [--alpha A]
+//                      [--no-density] [--scores-out FILE] [--score-rows N]
+//       Train the intervention, freeze it, and persist the snapshot. With
+//       --scores-out, also score N deterministic request rows and write
+//       their results in exact hex-float form.
+//
+//   fairdrift_cli snapshot load-and-score --in /tmp/snap.bin
+//                      [--score-rows N] [--scores-out FILE]
+//       Load a snapshot (saved by any process), serve it through a
+//       ScoringServer, and score the same deterministic request rows.
+//       Diffing the two --scores-out files proves cross-process bitwise
+//       score identity.
 
 #include <cstdio>
 #include <string>
@@ -22,11 +36,14 @@
 #include "bench_common/table.h"
 #include "cc/explain.h"
 #include "core/confair.h"
+#include "core/deployment.h"
 #include "core/profile.h"
 #include "data/csv.h"
 #include "data/weights_io.h"
 #include "data/split.h"
 #include "datagen/realworld.h"
+#include "serve/server.h"
+#include "serve/snapshot_io.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -196,6 +213,179 @@ int CmdWeigh(const CliFlags& flags) {
   return 0;
 }
 
+// ------------------------------------------------------------- snapshot
+
+/// Deterministic request rows for a snapshot's schema: numeric fields
+/// draw standard Gaussians, categorical fields uniform codes. Both
+/// `snapshot save` and `snapshot load-and-score` generate the identical
+/// set, so their score files diff clean across processes.
+Matrix MakeSchemaRequests(const Schema& schema, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, schema.num_fields());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < schema.num_fields(); ++j) {
+      const FieldSpec& field = schema.field(j);
+      rows.At(i, j) =
+          field.type == ColumnType::kNumeric
+              ? rng.Gaussian()
+              : static_cast<double>(
+                    rng.UniformInt(0, field.num_categories - 1));
+    }
+  }
+  return rows;
+}
+
+/// Writes scores in exact hex-float form (%a round-trips every bit), one
+/// row per request — the cross-process diff artifact.
+int WriteScoresFile(const std::vector<ScoreResult>& scores,
+                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return 1;
+  }
+  for (const ScoreResult& s : scores) {
+    std::fprintf(f, "label=%d group=%d p=%a margin=%a logd=%a outlier=%d\n",
+                 s.label, s.routed_group, s.probability, s.margin,
+                 s.log_density, s.density_outlier ? 1 : 0);
+  }
+  std::fclose(f);
+  return 0;
+}
+
+int CmdSnapshotSave(const CliFlags& flags) {
+  Result<Dataset> data = LoadDataset(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Result<Method> method = ParseMethod(flags.GetString("method", "confair"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 1;
+  }
+  TrainSpec spec = ServingSpec(method.value());
+  std::string learner = ToLower(flags.GetString("learner", "lr"));
+  spec.learner = learner == "xgb"  ? LearnerKind::kGradientBoosting
+                 : learner == "nb" ? LearnerKind::kNaiveBayes
+                                   : LearnerKind::kLogisticRegression;
+  if (flags.Has("alpha")) {
+    spec.confair.alpha_u = flags.GetDouble("alpha", 1.0);
+    spec.confair.alpha_w = spec.confair.alpha_u / 2.0;
+  }
+  if (flags.Has("no-density")) spec.include_density = false;
+
+  // OMN calibrates lambda against validation data; carve a split off
+  // the dataset for it. The non-calibrating methods train on everything.
+  size_t train_size = data->size();
+  auto build = [&]() -> Result<std::shared_ptr<const ModelSnapshot>> {
+    if (spec.method == Method::kOmnifair) {
+      Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+      Result<TrainValTest> split = SplitTrainValTest(*data, &rng, 0.85, 0.15);
+      if (!split.ok()) return split.status();
+      train_size = split->train.size();
+      return BuildSnapshot(split->train, split->val, spec);
+    }
+    return BuildSnapshot(*data, spec);
+  };
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot = build();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::string path = flags.GetString("out", "/tmp/fairdrift_snapshot.bin");
+  Status st = SaveSnapshot(*snapshot.value(), path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s snapshot (%s, %d group model(s)%s%s) trained on %zu "
+              "tuples -> %s\n",
+              MethodName(spec.method), LearnerKindName(spec.learner),
+              snapshot.value()->num_groups(),
+              snapshot.value()->has_profile() ? ", profile" : "",
+              snapshot.value()->has_density() ? ", density monitor" : "",
+              train_size, path.c_str());
+
+  std::string scores_path = flags.GetString("scores-out", "");
+  if (!scores_path.empty()) {
+    size_t n = static_cast<size_t>(flags.GetInt("score-rows", 256));
+    uint64_t seed = static_cast<uint64_t>(flags.GetInt("score-seed", 99));
+    Matrix requests =
+        MakeSchemaRequests(snapshot.value()->schema(), n, seed);
+    Result<std::vector<ScoreResult>> scores =
+        snapshot.value()->ScoreBatch(requests);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+      return 1;
+    }
+    if (WriteScoresFile(scores.value(), scores_path) != 0) return 1;
+    std::printf("scored %zu deterministic rows -> %s\n", n,
+                scores_path.c_str());
+  }
+  return 0;
+}
+
+int CmdSnapshotLoadAndScore(const CliFlags& flags) {
+  std::string path = flags.GetString("in", "/tmp/fairdrift_snapshot.bin");
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %zu fields, %d group model(s)%s%s\n", path.c_str(),
+              snapshot.value()->num_features(),
+              snapshot.value()->num_groups(),
+              snapshot.value()->has_profile() ? ", profile" : "",
+              snapshot.value()->has_density() ? ", density monitor" : "");
+
+  // Serve the loaded snapshot through the full async path — the
+  // two-process deployment shape end to end.
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot.value());
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("score-rows", 256));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("score-seed", 99));
+  Matrix requests = MakeSchemaRequests(snapshot.value()->schema(), n, seed);
+  std::vector<ScoreResult> scores;
+  scores.reserve(n);
+  size_t outliers = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Result<ScoreResult> r = server.value()->ScoreSync(requests.Row(i));
+    if (!r.ok()) {
+      std::fprintf(stderr, "row %zu: %s\n", i, r.status().ToString().c_str());
+      return 1;
+    }
+    if (r.value().density_outlier) ++outliers;
+    scores.push_back(r.value());
+  }
+  ServerStats::View stats = server.value()->stats();
+  std::printf("scored %zu rows through the server (mean batch %.1f, "
+              "p50 %.0fus, p99 %.0fus, %zu density outlier(s))\n",
+              n, stats.mean_batch_size, stats.p50_latency_us,
+              stats.p99_latency_us, outliers);
+
+  std::string scores_path = flags.GetString("scores-out", "");
+  if (!scores_path.empty()) {
+    if (WriteScoresFile(scores, scores_path) != 0) return 1;
+    std::printf("scores -> %s\n", scores_path.c_str());
+  }
+  return 0;
+}
+
+int CmdSnapshot(const CliFlags& flags) {
+  std::string sub =
+      flags.positional().size() < 2 ? "" : flags.positional()[1];
+  if (sub == "save") return CmdSnapshotSave(flags);
+  if (sub == "load-and-score") return CmdSnapshotLoadAndScore(flags);
+  std::fprintf(stderr,
+               "usage: fairdrift_cli snapshot <save|load-and-score> [flags]\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,13 +396,20 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return CmdEval(flags);
   if (cmd == "constraints") return CmdConstraints(flags);
   if (cmd == "weigh") return CmdWeigh(flags);
+  if (cmd == "snapshot") return CmdSnapshot(flags);
   std::printf(
-      "usage: fairdrift_cli <list|eval|constraints|weigh> [flags]\n"
+      "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot> [flags]\n"
       "  list                               available datasets\n"
       "  eval --dataset D --method M        run an intervention pipeline\n"
       "       [--learner lr|xgb|nb] [--trials N] [--scale S] [--alpha A]\n"
       "  constraints --dataset D            print discovered CCs per cell\n"
       "  weigh --dataset D --out FILE       export CONFAIR-weighted data\n"
-      "        [--weights-out FILE]         plus a fingerprinted weight file\n");
+      "        [--weights-out FILE]         plus a fingerprinted weight file\n"
+      "  snapshot save --dataset D --method M --out FILE\n"
+      "        [--learner L] [--alpha A] [--no-density]\n"
+      "        [--scores-out FILE] [--score-rows N]\n"
+      "                                     train, freeze, persist\n"
+      "  snapshot load-and-score --in FILE  load + serve in this process\n"
+      "        [--scores-out FILE] [--score-rows N]\n");
   return cmd == "help" ? 0 : 1;
 }

@@ -40,8 +40,7 @@ int main(int argc, char** argv) {
   std::printf("training data: %zu tuples, %zu features\n", data->size(),
               data->num_features());
 
-  SnapshotBuildOptions build;
-  build.method = SnapshotMethod::kConfair;
+  TrainSpec build = ServingSpec(Method::kConfair);
   Result<std::shared_ptr<const ModelSnapshot>> confair_snapshot =
       BuildSnapshot(*data, build);
   if (!confair_snapshot.ok()) {
@@ -49,7 +48,7 @@ int main(int argc, char** argv) {
                  confair_snapshot.status().ToString().c_str());
     return 1;
   }
-  build.method = SnapshotMethod::kDiffair;
+  build.method = Method::kDiffair;
   Result<std::shared_ptr<const ModelSnapshot>> diffair_snapshot =
       BuildSnapshot(*data, build);
   if (!diffair_snapshot.ok()) {

@@ -1,6 +1,6 @@
 #include "baselines/multimodel.h"
 
-#include "ml/threshold.h"
+#include "core/diffair.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -8,102 +8,66 @@ namespace fairdrift {
 Result<MultiModelBaseline> MultiModelBaseline::Train(
     const Dataset& train, const Dataset& val, const Classifier& prototype,
     const FeatureEncoder& encoder, bool tune_thresholds) {
-  if (!train.has_labels() || !train.has_groups()) {
-    return Status::FailedPrecondition(
-        "MULTIMODEL: training data needs labels and groups");
-  }
   MultiModelBaseline model;
   model.num_groups_ = train.num_groups();
   model.encoder_ = encoder;
-  model.models_.resize(static_cast<size_t>(model.num_groups_));
 
-  size_t largest = 0;
-  for (int g = 0; g < model.num_groups_; ++g) {
-    std::vector<size_t> idx = train.GroupIndices(g);
-    if (idx.empty()) continue;
-    if (idx.size() > largest) {
-      largest = idx.size();
-      model.fallback_group_ = g;
-    }
-    Dataset group_train = train.Subset(idx);
-    Result<Matrix> x = encoder.Transform(group_train);
-    if (!x.ok()) return x.status();
-
-    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
-    Status st =
-        learner->Fit(x.value(), group_train.labels(), group_train.weights());
-    if (!st.ok()) {
-      return Status(st.code(), StrFormat("MULTIMODEL: group %d: %s", g,
-                                         st.message().c_str()));
-    }
-    if (tune_thresholds && !val.empty()) {
-      std::vector<size_t> vidx = val.GroupIndices(g);
-      if (vidx.size() >= 10) {
-        Dataset group_val = val.Subset(vidx);
-        Result<Matrix> xv = encoder.Transform(group_val);
-        if (!xv.ok()) return xv.status();
-        Result<std::vector<double>> proba = learner->PredictProba(xv.value());
-        if (!proba.ok()) return proba.status();
-        Result<double> thr = TuneThreshold(group_val.labels(), proba.value());
-        if (thr.ok()) learner->set_threshold(thr.value());
-      }
-    }
-    model.models_[static_cast<size_t>(g)] = std::move(learner);
-  }
-
-  bool any = false;
-  for (const auto& m : model.models_) {
-    if (m) any = true;
-  }
-  if (!any) {
-    return Status::InvalidArgument("MULTIMODEL: no group had training data");
-  }
+  // Same model-splitting step as DIFFAIR; only the deployment rule
+  // (membership vs conformance routing) differs.
+  Result<GroupModelSet> models = TrainGroupModels(
+      train, val, prototype, encoder, tune_thresholds, "MULTIMODEL");
+  if (!models.ok()) return models.status();
+  model.models_ = std::move(models.value().models);
+  model.fallback_group_ = models.value().fallback_group;
   return model;
 }
 
-Result<std::vector<double>> MultiModelBaseline::PredictProba(
+std::vector<int> RouteByMembership(
+    const std::vector<int>& groups,
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    int fallback_group) {
+  int num_groups = static_cast<int>(models.size());
+  std::vector<int> route(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    int g = groups[i];
+    if (g >= num_groups || !models[static_cast<size_t>(g)]) {
+      g = fallback_group;
+    }
+    route[i] = g;
+  }
+  return route;
+}
+
+Result<std::vector<int>> MultiModelBaseline::MembershipRoute(
     const Dataset& serving) const {
   if (!serving.has_groups()) {
     return Status::FailedPrecondition(
         "MULTIMODEL: serving data needs group membership");
   }
+  return RouteByMembership(serving.groups(), models_, fallback_group_);
+}
+
+Result<RoutedPredictions> MultiModelBaseline::Routed(
+    const Dataset& serving) const {
+  Result<std::vector<int>> route = MembershipRoute(serving);
+  if (!route.ok()) return route.status();
   Result<Matrix> x = encoder_.Transform(serving);
   if (!x.ok()) return x.status();
+  return GatherRoutedPredictions(models_, route.value(), x.value());
+}
 
-  std::vector<std::vector<double>> proba_by_group(
-      static_cast<size_t>(num_groups_));
-  for (int g = 0; g < num_groups_; ++g) {
-    if (!models_[static_cast<size_t>(g)]) continue;
-    Result<std::vector<double>> p =
-        models_[static_cast<size_t>(g)]->PredictProba(x.value());
-    if (!p.ok()) return p.status();
-    proba_by_group[static_cast<size_t>(g)] = std::move(p).value();
-  }
-  std::vector<double> out(serving.size());
-  for (size_t i = 0; i < serving.size(); ++i) {
-    int g = serving.groups()[i];
-    if (g >= num_groups_ || !models_[static_cast<size_t>(g)]) {
-      g = fallback_group_;
-    }
-    out[i] = proba_by_group[static_cast<size_t>(g)][i];
-  }
-  return out;
+Result<std::vector<double>> MultiModelBaseline::PredictProba(
+    const Dataset& serving) const {
+  Result<RoutedPredictions> predictions = Routed(serving);
+  if (!predictions.ok()) return predictions.status();
+  return std::move(predictions.value().proba);
 }
 
 Result<std::vector<int>> MultiModelBaseline::Predict(
     const Dataset& serving) const {
-  Result<std::vector<double>> proba = PredictProba(serving);
-  if (!proba.ok()) return proba.status();
-  std::vector<int> out(serving.size());
-  for (size_t i = 0; i < serving.size(); ++i) {
-    int g = serving.groups()[i];
-    if (g >= num_groups_ || !models_[static_cast<size_t>(g)]) {
-      g = fallback_group_;
-    }
-    double thr = models_[static_cast<size_t>(g)]->threshold();
-    out[i] = proba.value()[i] >= thr ? 1 : 0;
-  }
-  return out;
+  Result<RoutedPredictions> predictions = Routed(serving);
+  if (!predictions.ok()) return predictions.status();
+  return std::move(predictions.value().labels);
 }
 
 }  // namespace fairdrift

@@ -11,12 +11,21 @@
 #include <memory>
 #include <vector>
 
+#include "core/diffair.h"  // TrainGroupModels + RoutedPredictions
 #include "data/dataset.h"
 #include "data/encode.h"
 #include "ml/model.h"
 #include "util/status.h"
 
 namespace fairdrift {
+
+/// The membership dispatch rule shared by MULTIMODEL and the artifact
+/// Evaluate path: each tuple's own group, or `fallback_group` when that
+/// group is out of range or has no model.
+std::vector<int> RouteByMembership(
+    const std::vector<int>& groups,
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    int fallback_group);
 
 /// Trained per-group models deployed by group membership.
 class MultiModelBaseline {
@@ -39,6 +48,14 @@ class MultiModelBaseline {
 
  private:
   MultiModelBaseline() = default;
+
+  /// The serving group per tuple: its own group, or the fallback when
+  /// that group has no model.
+  Result<std::vector<int>> MembershipRoute(const Dataset& serving) const;
+
+  /// Route + encode + gather in one step (Predict/PredictProba pick a
+  /// member of the result).
+  Result<RoutedPredictions> Routed(const Dataset& serving) const;
 
   int num_groups_ = 0;
   std::vector<std::unique_ptr<Classifier>> models_;

@@ -98,6 +98,21 @@ Result<ConstraintSet> ConstraintSet::Create(
   return set;
 }
 
+Result<ConstraintSet> ConstraintSet::RestoreNormalized(
+    std::vector<ConformanceConstraint> constraints) {
+  if (constraints.empty()) {
+    return Status::InvalidArgument("ConstraintSet: no constraints");
+  }
+  for (const auto& c : constraints) {
+    if (c.importance < 0.0) {
+      return Status::InvalidArgument("ConstraintSet: negative importance");
+    }
+  }
+  ConstraintSet set;
+  set.constraints_ = std::move(constraints);
+  return set;
+}
+
 double ConstraintSet::Violation(const std::vector<double>& row) const {
   return Violation(row.data());
 }

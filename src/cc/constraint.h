@@ -68,6 +68,14 @@ class ConstraintSet {
   static Result<ConstraintSet> Create(
       std::vector<ConformanceConstraint> constraints);
 
+  /// Rebuilds a set from *already-normalized* constraints without
+  /// renormalizing. Deserialization only (serve/snapshot_io.cc): a stored
+  /// set's importances sum to 1 up to rounding, and dividing by that
+  /// near-1 sum again would perturb the weights bitwise — breaking the
+  /// cross-process determinism contract. Fails on an empty list.
+  static Result<ConstraintSet> RestoreNormalized(
+      std::vector<ConformanceConstraint> constraints);
+
   size_t size() const { return constraints_.size(); }
   bool empty() const { return constraints_.empty(); }
   const ConformanceConstraint& constraint(size_t i) const {

@@ -1,0 +1,350 @@
+#include "core/artifacts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "baselines/kamiran.h"
+#include "baselines/multimodel.h"
+#include "kde/kde_cache.h"
+#include "ml/threshold.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kNoIntervention:
+      return "NO-INT";
+    case Method::kMultiModel:
+      return "MULTI";
+    case Method::kDiffair:
+      return "DIFFAIR";
+    case Method::kConfair:
+      return "CONFAIR";
+    case Method::kKamiran:
+      return "KAM";
+    case Method::kOmnifair:
+      return "OMN";
+    case Method::kCapuchin:
+      return "CAP";
+  }
+  return "?";
+}
+
+TrainSpec ServingSpec(Method method) {
+  TrainSpec spec;
+  spec.method = method;
+  // Deployment freezes the supplied intervention degree; the validation
+  // searches belong to the offline experiment protocol.
+  spec.tune_confair = false;
+  spec.include_profile = true;
+  spec.include_density = true;
+  return spec;
+}
+
+namespace {
+
+/// Fits the drift-monitor density on the fit data's numeric attributes
+/// and derives the outlier floor from that split's own log-densities.
+/// Keeps the raw matrix in the artifacts so snapshot persistence can
+/// refit the identical estimator in another process.
+Status AttachDensityMonitor(const Dataset& fit_data, const TrainSpec& spec,
+                            FittedArtifacts* artifacts) {
+  Matrix numeric = fit_data.NumericMatrix();
+  if (numeric.cols() == 0) return Status::OK();  // nothing to monitor
+  std::shared_ptr<const KernelDensity> density;
+  if (spec.density_kde.use_fit_cache) {
+    Result<std::shared_ptr<const KernelDensity>> fitted =
+        GlobalKdeCache().FitOrGet(
+            numeric, spec.density_kde,
+            KdeCacheHint{fit_data.version(), 0, kKdeHintSpaceFullDataset});
+    if (!fitted.ok()) return fitted.status();
+    density = std::move(fitted).value();
+  } else {
+    Result<KernelDensity> fitted =
+        KernelDensity::Fit(numeric, spec.density_kde);
+    if (!fitted.ok()) return fitted.status();
+    density =
+        std::make_shared<const KernelDensity>(std::move(fitted).value());
+  }
+  std::vector<double> logd = density->LogDensityAll(numeric);
+  std::sort(logd.begin(), logd.end());
+  double q = std::clamp(spec.density_outlier_quantile, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(
+      q * static_cast<double>(logd.size() == 0 ? 0 : logd.size() - 1));
+  artifacts->density = std::move(density);
+  artifacts->density_floor = logd.empty()
+                                 ? -std::numeric_limits<double>::infinity()
+                                 : logd[idx];
+  artifacts->density_train = std::move(numeric);
+  return Status::OK();
+}
+
+/// Fits the final single model on (fit_data, weights) and optionally
+/// tunes its decision threshold on val — the one place any single-model
+/// method trains its deployed learner.
+Status FitSingleModel(const Dataset& fit_data,
+                      const std::vector<double>& weights, const Dataset& val,
+                      const FeatureEncoder& encoder, bool tune_threshold,
+                      Classifier* learner) {
+  Result<Matrix> x_train = encoder.Transform(fit_data);
+  if (!x_train.ok()) return x_train.status();
+  FAIRDRIFT_RETURN_IF_ERROR(
+      learner->Fit(x_train.value(), fit_data.labels(), weights));
+  if (tune_threshold && !val.empty()) {
+    Result<Matrix> x_val = encoder.Transform(val);
+    if (!x_val.ok()) return x_val.status();
+    Result<std::vector<double>> proba = learner->PredictProba(x_val.value());
+    if (!proba.ok()) return proba.status();
+    Result<double> thr = TuneThreshold(val.labels(), proba.value());
+    if (thr.ok()) learner->set_threshold(thr.value());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FittedArtifacts> Fit(const TrainValTest& split, const TrainSpec& spec,
+                            Rng* rng) {
+  return Fit(split.train, split.val, spec, rng);
+}
+
+Result<FittedArtifacts> Fit(const Dataset& train, const Dataset& val,
+                            const TrainSpec& spec, Rng* rng) {
+  if (train.empty() || !train.has_labels()) {
+    return Status::InvalidArgument(
+        "Fit: training split needs rows and labels");
+  }
+  bool needs_groups =
+      spec.method != Method::kNoIntervention || spec.include_profile;
+  if (needs_groups && !train.has_groups()) {
+    return Status::FailedPrecondition(
+        "Fit: this method needs a group assignment");
+  }
+
+  Result<FeatureEncoder> encoder = FeatureEncoder::Fit(train);
+  if (!encoder.ok()) return encoder.status();
+
+  uint64_t learner_seed = rng != nullptr ? rng->Fork().seed()
+                                         : spec.learner_seed;
+  std::unique_ptr<Classifier> learner =
+      MakeLearner(spec.learner, learner_seed);
+  LearnerKind calib_kind = spec.calibration_learner.value_or(spec.learner);
+  std::unique_ptr<Classifier> calibration_learner =
+      MakeLearner(calib_kind, learner_seed);
+
+  FittedArtifacts artifacts;
+  artifacts.spec = spec;
+  artifacts.schema = train.GetSchema();
+  artifacts.encoder = encoder.value();
+
+  // The dataset the final model(s) actually fit on: `train` for the
+  // non-invasive methods, the repaired copy for CAP. Serving artifacts
+  // (profile, density monitor) describe this same data.
+  const Dataset* fit_data = &train;
+  Dataset repaired;
+
+  switch (spec.method) {
+    case Method::kNoIntervention: {
+      artifacts.training_weights = train.weights();
+      break;
+    }
+
+    case Method::kKamiran: {
+      Result<std::vector<double>> weights = KamiranWeights(train);
+      if (!weights.ok()) return weights.status();
+      artifacts.training_weights = std::move(weights).value();
+      break;
+    }
+
+    case Method::kConfair: {
+      ConfairOptions confair = spec.confair;
+      if (spec.tune_confair && val.empty()) {
+        return Status::FailedPrecondition(
+            "Fit: CONFAIR alpha tuning needs a non-empty split.val (or set "
+            "tune_confair = false to use the supplied degrees)");
+      }
+      if (spec.tune_confair) {
+        Result<ConfairTuneResult> tuned =
+            TuneConfairAlpha(train, val, *calibration_learner, encoder.value(),
+                             spec.confair, spec.confair_tune);
+        if (!tuned.ok()) return tuned.status();
+        confair = tuned.value().options;
+        artifacts.tuned_alpha = tuned.value().alpha_u;
+        artifacts.models_trained += tuned.value().models_trained;
+      } else {
+        artifacts.tuned_alpha = confair.alpha_u;
+      }
+      artifacts.spec.confair = confair;  // resolved degrees travel along
+      Result<ConfairWeights> weights = ComputeConfairWeights(train, confair);
+      if (!weights.ok()) return weights.status();
+      artifacts.training_weights = std::move(weights).value().weights;
+      break;
+    }
+
+    case Method::kOmnifair: {
+      if (val.empty()) {
+        // OMN is model-in-the-loop by design: lambda only exists relative
+        // to a validation objective. Fail clearly instead of letting the
+        // calibration trip over an empty dataset's schema.
+        return Status::FailedPrecondition(
+            "Fit: OMN calibrates lambda on a validation split; supply a "
+            "non-empty split.val");
+      }
+      Result<OmnifairResult> calibrated =
+          OmnifairCalibrate(train, val, *calibration_learner, encoder.value(),
+                            spec.omnifair);
+      if (!calibrated.ok()) return calibrated.status();
+      artifacts.tuned_lambda = calibrated.value().lambda;
+      artifacts.models_trained += calibrated.value().models_trained;
+      artifacts.training_weights = std::move(calibrated).value().weights;
+      break;
+    }
+
+    case Method::kCapuchin: {
+      Rng cap_rng = rng != nullptr ? rng->Fork() : Rng(learner_seed);
+      Result<Dataset> r = CapuchinRepair(train, &cap_rng, spec.capuchin);
+      if (!r.ok()) return r.status();
+      repaired = std::move(r).value();
+      // The repaired data replaces the training set (invasive); the
+      // encoder stays fitted on the original schema, which is unchanged.
+      fit_data = &repaired;
+      artifacts.training_weights = repaired.weights();
+      break;
+    }
+
+    case Method::kMultiModel: {
+      Result<GroupModelSet> models =
+          TrainGroupModels(train, val, *learner, encoder.value(),
+                           spec.tune_threshold, "MULTIMODEL");
+      if (!models.ok()) return models.status();
+      artifacts.models = std::move(models.value().models);
+      artifacts.fallback_group = models.value().fallback_group;
+      artifacts.route = ServingRoute::kGroupMembership;
+      artifacts.training_weights = train.weights();
+      artifacts.models_trained = train.num_groups();
+      break;
+    }
+
+    case Method::kDiffair: {
+      // Lines 4-8: constraints per (group x label) cell, then lines 9-10:
+      // one model per group.
+      Result<GroupLabelProfile> profile =
+          GroupLabelProfile::Profile(train, spec.diffair.profile);
+      if (!profile.ok()) return profile.status();
+      artifacts.profile = std::move(profile).value();
+      artifacts.has_profile = true;
+      Result<GroupModelSet> models =
+          TrainGroupModels(train, val, *learner, encoder.value(),
+                           spec.diffair.tune_thresholds, "DIFFAIR");
+      if (!models.ok()) return models.status();
+      artifacts.models = std::move(models.value().models);
+      artifacts.fallback_group = models.value().fallback_group;
+      artifacts.route = ServingRoute::kConformance;
+      artifacts.training_weights = train.weights();
+      artifacts.models_trained = train.num_groups();
+      break;
+    }
+  }
+
+  // Single-model methods: one learner fit on the intervention's weights.
+  if (artifacts.models.empty()) {
+    FAIRDRIFT_RETURN_IF_ERROR(FitSingleModel(*fit_data,
+                                             artifacts.training_weights, val,
+                                             encoder.value(),
+                                             spec.tune_threshold,
+                                             learner.get()));
+    artifacts.models.push_back(std::move(learner));
+    artifacts.fallback_group = 0;
+    artifacts.route = ServingRoute::kSingleModel;
+  }
+
+  // Optional serving artifacts. DIFFAIR already owns its routing profile.
+  if (spec.include_profile && !artifacts.has_profile) {
+    ProfileOptions profile_options = spec.method == Method::kConfair
+                                         ? spec.confair.profile
+                                         : spec.profile;
+    Result<GroupLabelProfile> profile =
+        GroupLabelProfile::Profile(*fit_data, profile_options);
+    if (!profile.ok()) return profile.status();
+    artifacts.profile = std::move(profile).value();
+    artifacts.has_profile = true;
+  }
+  if (spec.include_density) {
+    FAIRDRIFT_RETURN_IF_ERROR(
+        AttachDensityMonitor(*fit_data, spec, &artifacts));
+  }
+  return artifacts;
+}
+
+Result<FairnessReport> Evaluate(const FittedArtifacts& artifacts,
+                                const Dataset& test) {
+  if (test.empty()) {
+    return Status::InvalidArgument("Evaluate: empty test split");
+  }
+  Result<Matrix> x = artifacts.encoder.Transform(test);
+  if (!x.ok()) return x.status();
+
+  std::vector<int> pred(test.size());
+  switch (artifacts.route) {
+    case ServingRoute::kSingleModel: {
+      const Classifier* model =
+          artifacts.models[static_cast<size_t>(artifacts.fallback_group)]
+              .get();
+      Result<std::vector<int>> p = model->Predict(x.value());
+      if (!p.ok()) return p.status();
+      pred = std::move(p).value();
+      break;
+    }
+
+    case ServingRoute::kGroupMembership:
+    case ServingRoute::kConformance: {
+      std::vector<int> route;
+      if (artifacts.route == ServingRoute::kConformance) {
+        Matrix numeric = test.NumericMatrix();
+        route = ConformanceRoute(artifacts.profile, artifacts.models, numeric,
+                                 artifacts.spec.diffair.routing,
+                                 artifacts.fallback_group);
+      } else {
+        if (!test.has_groups()) {
+          return Status::FailedPrecondition(
+              "Evaluate: membership routing needs serving groups");
+        }
+        route = RouteByMembership(test.groups(), artifacts.models,
+                                  artifacts.fallback_group);
+      }
+      Result<RoutedPredictions> predictions =
+          GatherRoutedPredictions(artifacts.models, route, x.value());
+      if (!predictions.ok()) return predictions.status();
+      pred = std::move(predictions.value().labels);
+      break;
+    }
+  }
+  return EvaluateFairness(test.labels(), pred, test.groups());
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> Freeze(
+    FittedArtifacts artifacts) {
+  if (artifacts.route == ServingRoute::kGroupMembership) {
+    return Status::FailedPrecondition(
+        "Freeze: membership routing needs the group attribute, which "
+        "serving requests do not carry (use DIFFAIR's conformance routing)");
+  }
+  SnapshotParts parts;
+  parts.schema = std::move(artifacts.schema);
+  parts.encoder = std::move(artifacts.encoder);
+  parts.models = std::move(artifacts.models);
+  parts.routed = artifacts.route == ServingRoute::kConformance;
+  parts.routing = artifacts.spec.diffair.routing;
+  parts.fallback_group = artifacts.fallback_group;
+  parts.profile = std::move(artifacts.profile);
+  parts.has_profile = artifacts.has_profile;
+  parts.density = std::move(artifacts.density);
+  parts.density_floor = artifacts.density_floor;
+  parts.density_train = std::move(artifacts.density_train);
+  parts.density_options = artifacts.spec.density_kde;
+  return ModelSnapshot::Create(std::move(parts));
+}
+
+}  // namespace fairdrift

@@ -1,158 +1,38 @@
 #include "core/deployment.h"
 
-#include <algorithm>
-#include <cmath>
 #include <utility>
-#include <vector>
-
-#include "data/encode.h"
-#include "kde/kde_cache.h"
-#include "util/string_util.h"
 
 namespace fairdrift {
 
-namespace {
-
-/// Fits the drift-monitor density on the training numeric attributes and
-/// derives the outlier floor from the training split's own log-densities.
-Status AttachDensityMonitor(const Dataset& train,
-                            const SnapshotBuildOptions& options,
-                            SnapshotParts* parts) {
-  Matrix numeric = train.NumericMatrix();
-  if (numeric.cols() == 0) return Status::OK();  // nothing to monitor
-  std::shared_ptr<const KernelDensity> density;
-  if (options.density_kde.use_fit_cache) {
-    Result<std::shared_ptr<const KernelDensity>> fitted =
-        GlobalKdeCache().FitOrGet(
-            numeric, options.density_kde,
-            KdeCacheHint{train.version(), 0, kKdeHintSpaceFullDataset});
-    if (!fitted.ok()) return fitted.status();
-    density = std::move(fitted).value();
-  } else {
-    Result<KernelDensity> fitted =
-        KernelDensity::Fit(numeric, options.density_kde);
-    if (!fitted.ok()) return fitted.status();
-    density =
-        std::make_shared<const KernelDensity>(std::move(fitted).value());
+Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshot(
+    const Dataset& train, const Dataset& val, const TrainSpec& spec) {
+  if (spec.method == Method::kMultiModel) {
+    // Statically unfreezable (membership routing needs the group
+    // attribute, which serving requests don't carry) — reject before
+    // spending the training work Freeze would discard.
+    return Status::FailedPrecondition(
+        "BuildSnapshot: MULTI deploys by group membership, which serving "
+        "requests cannot provide (use DIFFAIR's conformance routing)");
   }
-  std::vector<double> logd = density->LogDensityAll(numeric);
-  std::sort(logd.begin(), logd.end());
-  double q = std::clamp(options.density_outlier_quantile, 0.0, 1.0);
-  size_t idx = static_cast<size_t>(
-      q * static_cast<double>(logd.size() == 0 ? 0 : logd.size() - 1));
-  parts->density = std::move(density);
-  parts->density_floor = logd.empty()
-                             ? -std::numeric_limits<double>::infinity()
-                             : logd[idx];
-  return Status::OK();
+  Result<FittedArtifacts> artifacts = Fit(train, val, spec);
+  if (!artifacts.ok()) return artifacts.status();
+  return Freeze(std::move(artifacts).value());
 }
 
-}  // namespace
-
 Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshot(
-    const Dataset& train, const SnapshotBuildOptions& options) {
-  if (train.empty() || !train.has_labels()) {
-    return Status::InvalidArgument(
-        "BuildSnapshot: training split needs rows and labels");
-  }
-  bool needs_groups = options.method != SnapshotMethod::kPlain ||
-                      options.include_profile;
-  if (needs_groups && !train.has_groups()) {
-    return Status::FailedPrecondition(
-        "BuildSnapshot: this method needs a group assignment");
-  }
-
-  Result<FeatureEncoder> encoder = FeatureEncoder::Fit(train);
-  if (!encoder.ok()) return encoder.status();
-
-  SnapshotParts parts;
-  parts.schema = train.GetSchema();
-  parts.encoder = encoder.value();
-
-  switch (options.method) {
-    case SnapshotMethod::kPlain:
-    case SnapshotMethod::kConfair: {
-      std::vector<double> weights = train.weights();
-      if (options.method == SnapshotMethod::kConfair) {
-        Result<ConfairWeights> confair =
-            ComputeConfairWeights(train, options.confair);
-        if (!confair.ok()) return confair.status();
-        weights = std::move(confair).value().weights;
-      }
-      Result<Matrix> x = encoder.value().Transform(train);
-      if (!x.ok()) return x.status();
-      std::unique_ptr<Classifier> model =
-          MakeLearner(options.learner, options.learner_seed);
-      FAIRDRIFT_RETURN_IF_ERROR(model->Fit(x.value(), train.labels(), weights));
-      parts.models.push_back(std::move(model));
-      parts.routed = false;
-      parts.fallback_group = 0;
-      if (options.include_profile) {
-        ProfileOptions profile_options =
-            options.method == SnapshotMethod::kConfair
-                ? options.confair.profile
-                : options.profile;
-        Result<GroupLabelProfile> profile =
-            GroupLabelProfile::Profile(train, profile_options);
-        if (!profile.ok()) return profile.status();
-        parts.profile = std::move(profile).value();
-        parts.has_profile = true;
-      }
-      break;
-    }
-
-    case SnapshotMethod::kDiffair: {
-      // Per-group models exactly as DiffairModel::Train splits them
-      // (Algorithm 1 lines 9-10), kept as released parts so the snapshot
-      // can own them.
-      Result<GroupLabelProfile> profile =
-          GroupLabelProfile::Profile(train, options.diffair.profile);
-      if (!profile.ok()) return profile.status();
-      parts.profile = std::move(profile).value();
-      parts.has_profile = true;
-      parts.routed = true;
-
-      std::unique_ptr<Classifier> prototype =
-          MakeLearner(options.learner, options.learner_seed);
-      parts.models.resize(static_cast<size_t>(train.num_groups()));
-      size_t largest_group = 0;
-      for (int g = 0; g < train.num_groups(); ++g) {
-        std::vector<size_t> idx = train.GroupIndices(g);
-        if (idx.empty()) continue;
-        if (idx.size() > largest_group) {
-          largest_group = idx.size();
-          parts.fallback_group = g;
-        }
-        Dataset group_train = train.Subset(idx);
-        Result<Matrix> x = encoder.value().Transform(group_train);
-        if (!x.ok()) return x.status();
-        std::unique_ptr<Classifier> model = prototype->CloneUnfitted();
-        Status st =
-            model->Fit(x.value(), group_train.labels(), group_train.weights());
-        if (!st.ok()) {
-          return Status(st.code(),
-                        StrFormat("BuildSnapshot: group %d model: %s", g,
-                                  st.message().c_str()));
-        }
-        parts.models[static_cast<size_t>(g)] = std::move(model);
-      }
-      break;
-    }
-  }
-
-  if (options.include_density) {
-    FAIRDRIFT_RETURN_IF_ERROR(AttachDensityMonitor(train, options, &parts));
-  }
-  return ModelSnapshot::Create(std::move(parts));
+    const Dataset& train, const TrainSpec& spec) {
+  // Reference overload: no validation split, and no copy of `train`.
+  Dataset empty_val;
+  return BuildSnapshot(train, empty_val, spec);
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshotFromRecommendation(
     const Dataset& train, const Recommendation& recommendation,
-    SnapshotBuildOptions options) {
-  options.method = recommendation.method == RecommendedMethod::kDiffair
-                       ? SnapshotMethod::kDiffair
-                       : SnapshotMethod::kConfair;
-  return BuildSnapshot(train, options);
+    TrainSpec spec) {
+  spec.method = recommendation.method == RecommendedMethod::kDiffair
+                    ? Method::kDiffair
+                    : Method::kConfair;
+  return BuildSnapshot(train, spec);
 }
 
 }  // namespace fairdrift

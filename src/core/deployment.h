@@ -1,13 +1,13 @@
-// Snapshot construction: freezing a fitted pipeline for the serving path.
+// Snapshot construction: Fit + Freeze in one call, for the serving path.
 //
-// RunPipeline reports metrics and discards its fitted artifacts; serving
-// needs the opposite — the artifacts, immutably packaged, with no
-// evaluation. BuildSnapshot trains the requested intervention on a
-// training split exactly the way the pipeline does (CONFAIR reweighing
-// into a single model, or DIFFAIR's per-group models behind conformance
-// routing) and freezes the result — models, (group x label) profile,
-// encoder, and an optional training-density drift monitor — into a
-// ModelSnapshot that a ScoringServer can swap in atomically.
+// BuildSnapshot trains the requested intervention on a training split
+// through the same Fit() entry point the evaluation pipeline uses (see
+// core/artifacts.h — every intervention is trained exactly once in the
+// library) and freezes the fitted artifacts — models, (group x label)
+// profile, encoder, and an optional training-density drift monitor —
+// into a ModelSnapshot that a ScoringServer can swap in atomically.
+// Persist the result with serve/snapshot_io.h to hand it to a serving
+// process.
 //
 // BuildSnapshotFromRecommendation closes the advisor loop: measure drift
 // on fresh data, let the advisor pick the intervention, freeze it, swap
@@ -19,60 +19,33 @@
 #include <memory>
 
 #include "core/advisor.h"
-#include "core/confair.h"
-#include "core/diffair.h"
+#include "core/artifacts.h"
 #include "data/dataset.h"
-#include "kde/kde.h"
-#include "ml/model.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 
 namespace fairdrift {
 
-/// Interventions a snapshot can freeze.
-enum class SnapshotMethod {
-  kPlain,    ///< no intervention: one model on unit weights
-  kConfair,  ///< Algorithm 2 reweighing into one model
-  kDiffair,  ///< Algorithm 1 model splitting + conformance routing
-};
-
-/// Configuration of BuildSnapshot.
-struct SnapshotBuildOptions {
-  SnapshotMethod method = SnapshotMethod::kConfair;
-  LearnerKind learner = LearnerKind::kLogisticRegression;
-  uint64_t learner_seed = 42;
-
-  /// CONFAIR intervention degree (used by kConfair).
-  ConfairOptions confair;
-  /// DIFFAIR profiling/routing (used by kDiffair; its profile becomes the
-  /// snapshot's routing profile).
-  DiffairOptions diffair;
-  /// Profile attached for margin monitoring by the single-model methods.
-  ProfileOptions profile;
-  /// Attach the (group x label) conformance profile. Required (and
-  /// forced) for kDiffair.
-  bool include_profile = true;
-
-  /// Fit a KernelDensity on the training numeric attributes as the
-  /// snapshot's drift monitor (resolves through the global KdeCache).
-  bool include_density = true;
-  KdeOptions density_kde;
-  /// Training-split log-density quantile below which a request is
-  /// flagged density_outlier.
-  double density_outlier_quantile = 0.01;
-};
-
-/// Trains `options.method` on `train` and freezes the fitted artifacts.
+/// Trains `spec.method` on `train` and freezes the fitted artifacts.
 /// Requires labels (and groups for the profiled / routed variants).
+/// `spec` is honored verbatim — start from ServingSpec() for the
+/// deployment defaults (profile + density monitor, no tuning). Methods
+/// that calibrate on a validation split (OMN always; CONFAIR with
+/// tune_confair) need the overload below.
 Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshot(
-    const Dataset& train, const SnapshotBuildOptions& options = {});
+    const Dataset& train, const TrainSpec& spec = ServingSpec());
+
+/// BuildSnapshot with a validation split for the calibrating methods
+/// (OMN lambda, tuned CONFAIR alpha, threshold tuning).
+Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshot(
+    const Dataset& train, const Dataset& val, const TrainSpec& spec);
 
 /// Freezes the intervention the advisor recommended for `train`:
-/// kConfair -> SnapshotMethod::kConfair, kDiffair -> SnapshotMethod::kDiffair
-/// (overriding `options.method`).
+/// kConfair -> Method::kConfair, kDiffair -> Method::kDiffair
+/// (overriding `spec.method`).
 Result<std::shared_ptr<const ModelSnapshot>> BuildSnapshotFromRecommendation(
     const Dataset& train, const Recommendation& recommendation,
-    SnapshotBuildOptions options = {});
+    TrainSpec spec = ServingSpec());
 
 }  // namespace fairdrift
 

@@ -9,6 +9,149 @@
 
 namespace fairdrift {
 
+Result<GroupModelSet> TrainGroupModels(const Dataset& train,
+                                       const Dataset& val,
+                                       const Classifier& prototype,
+                                       const FeatureEncoder& encoder,
+                                       bool tune_thresholds,
+                                       const char* context) {
+  if (!train.has_labels() || !train.has_groups()) {
+    return Status::FailedPrecondition(
+        StrFormat("%s: training data needs labels and groups", context));
+  }
+  GroupModelSet set;
+  set.models.resize(static_cast<size_t>(train.num_groups()));
+  size_t largest_group = 0;
+  for (int g = 0; g < train.num_groups(); ++g) {
+    std::vector<size_t> idx = train.GroupIndices(g);
+    if (idx.empty()) continue;
+    if (idx.size() > largest_group) {
+      largest_group = idx.size();
+      set.fallback_group = g;
+    }
+    Dataset group_train = train.Subset(idx);
+    Result<Matrix> x = encoder.Transform(group_train);
+    if (!x.ok()) return x.status();
+
+    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
+    Status st = learner->Fit(x.value(), group_train.labels(),
+                             group_train.weights());
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("%s: group %d model: %s", context, g,
+                                         st.message().c_str()));
+    }
+
+    if (tune_thresholds && !val.empty()) {
+      std::vector<size_t> vidx = val.GroupIndices(g);
+      if (vidx.size() >= 10) {
+        Dataset group_val = val.Subset(vidx);
+        Result<Matrix> xv = encoder.Transform(group_val);
+        if (!xv.ok()) return xv.status();
+        Result<std::vector<double>> proba = learner->PredictProba(xv.value());
+        if (!proba.ok()) return proba.status();
+        Result<double> thr = TuneThreshold(group_val.labels(), proba.value());
+        if (thr.ok()) learner->set_threshold(thr.value());
+      }
+    }
+    set.models[static_cast<size_t>(g)] = std::move(learner);
+  }
+
+  bool any_model = false;
+  for (const auto& m : set.models) {
+    if (m) any_model = true;
+  }
+  if (!any_model) {
+    return Status::InvalidArgument(
+        StrFormat("%s: no group had training data", context));
+  }
+  return set;
+}
+
+std::vector<int> ConformanceRoute(
+    const GroupLabelProfile& profile,
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const Matrix& numeric, RoutingRule routing, int fallback_group) {
+  std::vector<int> route;
+  ConformanceRouteInto(profile, models, numeric, routing, fallback_group,
+                       &route, nullptr);
+  return route;
+}
+
+void ConformanceRouteInto(
+    const GroupLabelProfile& profile,
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const Matrix& numeric, RoutingRule routing, int fallback_group,
+    std::vector<int>* route, std::vector<double>* winner_margins,
+    ThreadPool* pool) {
+  route->assign(numeric.rows(), fallback_group);
+  if (winner_margins != nullptr) {
+    winner_margins->assign(numeric.rows(),
+                           std::numeric_limits<double>::infinity());
+  }
+  if (numeric.cols() == 0) return;
+  int num_groups = static_cast<int>(models.size());
+
+  // Serving tuples route independently (the profile is read-only here), so
+  // the scan parallelizes over rows; each row writes only its own slots.
+  ParallelFor(0, numeric.rows(), [&](size_t i) {
+    const double* row = numeric.RowPtr(i);
+    double best = std::numeric_limits<double>::infinity();
+    int best_group = fallback_group;
+    for (int g = 0; g < num_groups; ++g) {
+      if (!models[static_cast<size_t>(g)]) continue;
+      if (!profile.GroupProfiled(g)) continue;
+      // Signed margins order identically to violations outside the
+      // bounds and additionally rank zero-violation cells by conformance
+      // depth, which decides the (common) region where several groups'
+      // constraints all hold.
+      double v = routing == RoutingRule::kSignedMargin
+                     ? profile.MinMarginForGroup(g, row)
+                     : profile.MinViolationForGroup(g, row);
+      if (v < best) {
+        best = v;
+        best_group = g;
+      }
+    }
+    (*route)[i] = best_group;
+    if (winner_margins != nullptr) {
+      (*winner_margins)[i] =
+          routing == RoutingRule::kSignedMargin
+              ? best
+              : (profile.GroupProfiled(best_group)
+                     ? profile.MinMarginForGroup(best_group, row)
+                     : std::numeric_limits<double>::infinity());
+    }
+  }, pool);
+}
+
+Result<RoutedPredictions> GatherRoutedPredictions(
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const std::vector<int>& route, const Matrix& x) {
+  // Evaluate each serving group's model once over the whole batch and
+  // gather by route.
+  std::vector<std::vector<double>> proba_by_group(models.size());
+  for (size_t g = 0; g < models.size(); ++g) {
+    if (!models[g]) continue;
+    bool serves_any = false;
+    for (size_t i = 0; !serves_any && i < route.size(); ++i) {
+      serves_any = route[i] == static_cast<int>(g);
+    }
+    if (!serves_any) continue;
+    Result<std::vector<double>> p = models[g]->PredictProba(x);
+    if (!p.ok()) return p.status();
+    proba_by_group[g] = std::move(p).value();
+  }
+  RoutedPredictions out;
+  out.proba.resize(route.size());
+  out.labels.resize(route.size());
+  for (size_t i = 0; i < route.size(); ++i) {
+    size_t g = static_cast<size_t>(route[i]);
+    out.proba[i] = proba_by_group[g][i];
+    out.labels[i] = out.proba[i] >= models[g]->threshold() ? 1 : 0;
+  }
+  return out;
+}
+
 Result<DiffairModel> DiffairModel::Train(const Dataset& train,
                                          const Dataset& val,
                                          const Classifier& prototype,
@@ -30,94 +173,29 @@ Result<DiffairModel> DiffairModel::Train(const Dataset& train,
   model.profile_ = std::move(profile).value();
 
   // Lines 9-10: one model per group, validated on the group's val split.
-  model.models_.resize(static_cast<size_t>(model.num_groups_));
-  size_t largest_group = 0;
-  for (int g = 0; g < model.num_groups_; ++g) {
-    std::vector<size_t> idx = train.GroupIndices(g);
-    if (idx.empty()) continue;
-    if (idx.size() > largest_group) {
-      largest_group = idx.size();
-      model.fallback_group_ = g;
-    }
-    Dataset group_train = train.Subset(idx);
-    Result<Matrix> x = encoder.Transform(group_train);
-    if (!x.ok()) return x.status();
-
-    std::unique_ptr<Classifier> learner = prototype.CloneUnfitted();
-    Status st = learner->Fit(x.value(), group_train.labels(),
-                             group_train.weights());
-    if (!st.ok()) {
-      return Status(st.code(), StrFormat("DIFFAIR: group %d model: %s", g,
-                                         st.message().c_str()));
-    }
-
-    if (options.tune_thresholds && !val.empty()) {
-      std::vector<size_t> vidx = val.GroupIndices(g);
-      if (vidx.size() >= 10) {
-        Dataset group_val = val.Subset(vidx);
-        Result<Matrix> xv = encoder.Transform(group_val);
-        if (!xv.ok()) return xv.status();
-        Result<std::vector<double>> proba = learner->PredictProba(xv.value());
-        if (!proba.ok()) return proba.status();
-        Result<double> thr = TuneThreshold(group_val.labels(), proba.value());
-        if (thr.ok()) learner->set_threshold(thr.value());
-      }
-    }
-    model.models_[static_cast<size_t>(g)] = std::move(learner);
-  }
-
-  bool any_model = false;
-  for (const auto& m : model.models_) {
-    if (m) any_model = true;
-  }
-  if (!any_model) {
-    return Status::InvalidArgument("DIFFAIR: no group had training data");
-  }
+  Result<GroupModelSet> models = TrainGroupModels(
+      train, val, prototype, encoder, options.tune_thresholds, "DIFFAIR");
+  if (!models.ok()) return models.status();
+  model.models_ = std::move(models.value().models);
+  model.fallback_group_ = models.value().fallback_group;
   return model;
 }
 
 Result<std::vector<int>> DiffairModel::Route(const Dataset& serving) const {
   Matrix numeric = serving.NumericMatrix();
-  std::vector<int> route(serving.size(), fallback_group_);
-  if (numeric.cols() == 0) return route;
-
-  // Serving tuples route independently (the profile is read-only here), so
-  // the scan parallelizes over rows; each row writes only its own slot.
-  ParallelFor(0, serving.size(), [&](size_t i) {
-    const double* row = numeric.RowPtr(i);
-    double best = std::numeric_limits<double>::infinity();
-    int best_group = fallback_group_;
-    for (int g = 0; g < num_groups_; ++g) {
-      if (!models_[static_cast<size_t>(g)]) continue;
-      if (!profile_.GroupProfiled(g)) continue;
-      // Signed margins order identically to violations outside the
-      // bounds and additionally rank zero-violation cells by conformance
-      // depth, which decides the (common) region where several groups'
-      // constraints all hold.
-      double v = routing_ == RoutingRule::kSignedMargin
-                     ? profile_.MinMarginForGroup(g, row)
-                     : profile_.MinViolationForGroup(g, row);
-      if (v < best) {
-        best = v;
-        best_group = g;
-      }
-    }
-    route[i] = best_group;
-  });
-  return route;
+  return ConformanceRoute(profile_, models_, numeric, routing_,
+                          fallback_group_);
 }
 
 Result<std::vector<int>> DiffairModel::Predict(const Dataset& serving) const {
-  Result<std::vector<double>> proba = PredictProba(serving);
-  if (!proba.ok()) return proba.status();
   Result<std::vector<int>> routing = Route(serving);
   if (!routing.ok()) return routing.status();
-  std::vector<int> out(serving.size());
-  for (size_t i = 0; i < serving.size(); ++i) {
-    const Classifier* m = models_[static_cast<size_t>(routing.value()[i])].get();
-    out[i] = proba.value()[i] >= m->threshold() ? 1 : 0;
-  }
-  return out;
+  Result<Matrix> x = encoder_.Transform(serving);
+  if (!x.ok()) return x.status();
+  Result<RoutedPredictions> predictions =
+      GatherRoutedPredictions(models_, routing.value(), x.value());
+  if (!predictions.ok()) return predictions.status();
+  return std::move(predictions.value().labels);
 }
 
 Result<std::vector<double>> DiffairModel::PredictProba(
@@ -126,22 +204,10 @@ Result<std::vector<double>> DiffairModel::PredictProba(
   if (!routing.ok()) return routing.status();
   Result<Matrix> x = encoder_.Transform(serving);
   if (!x.ok()) return x.status();
-
-  // Evaluate every group's model once over the whole batch and gather.
-  std::vector<std::vector<double>> proba_by_group(
-      static_cast<size_t>(num_groups_));
-  for (int g = 0; g < num_groups_; ++g) {
-    if (!models_[static_cast<size_t>(g)]) continue;
-    Result<std::vector<double>> p =
-        models_[static_cast<size_t>(g)]->PredictProba(x.value());
-    if (!p.ok()) return p.status();
-    proba_by_group[static_cast<size_t>(g)] = std::move(p).value();
-  }
-  std::vector<double> out(serving.size());
-  for (size_t i = 0; i < serving.size(); ++i) {
-    out[i] = proba_by_group[static_cast<size_t>(routing.value()[i])][i];
-  }
-  return out;
+  Result<RoutedPredictions> predictions =
+      GatherRoutedPredictions(models_, routing.value(), x.value());
+  if (!predictions.ok()) return predictions.status();
+  return std::move(predictions.value().proba);
 }
 
 const Classifier* DiffairModel::group_model(int g) const {

@@ -25,6 +25,8 @@
 
 namespace fairdrift {
 
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
 /// Serving-time routing rule.
 enum class RoutingRule {
   /// Rank groups by signed conformance margin: identical to violations
@@ -36,6 +38,29 @@ enum class RoutingRule {
   /// the larger group. Kept for the Fig. 13 faithfulness study.
   kViolationOnly,
 };
+
+/// Per-group models plus the fallback choice, as produced by
+/// TrainGroupModels. Index = group id; groups empty in the training data
+/// carry no model.
+struct GroupModelSet {
+  std::vector<std::unique_ptr<Classifier>> models;
+  /// Largest trained group — the model that serves unroutable tuples.
+  int fallback_group = 0;
+};
+
+/// The shared model-splitting step (Algorithm 1, lines 9-10): one
+/// `prototype` clone per group present in `train`, thresholds optionally
+/// tuned on the group's validation split (>= 10 tuples). This is the
+/// single training path behind DIFFAIR, the MULTIMODEL baseline, and the
+/// artifact Fit (core/artifacts.h) — per-group training exists exactly
+/// once in the library. `context` prefixes error messages ("DIFFAIR",
+/// "MULTIMODEL", ...).
+Result<GroupModelSet> TrainGroupModels(const Dataset& train,
+                                       const Dataset& val,
+                                       const Classifier& prototype,
+                                       const FeatureEncoder& encoder,
+                                       bool tune_thresholds,
+                                       const char* context);
 
 /// Configuration for DIFFAIR.
 struct DiffairOptions {
@@ -86,6 +111,42 @@ class DiffairModel {
   RoutingRule routing_ = RoutingRule::kSignedMargin;
   int fallback_group_ = 0;
 };
+
+/// The shared serving-time dispatch (Algorithm 1, lines 15-16): for every
+/// row of `numeric` (raw numeric-attribute view), the most conforming
+/// profiled group that has a model, or `fallback_group` when none
+/// qualifies. Rows route independently and in parallel. Used by
+/// DiffairModel and the artifact Evaluate path.
+std::vector<int> ConformanceRoute(
+    const GroupLabelProfile& profile,
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const Matrix& numeric, RoutingRule routing, int fallback_group);
+
+/// ConformanceRoute into caller-owned buffers (the serving path reuses
+/// them across batches). When `winner_margins` is non-null it receives
+/// the winning group's *signed margin* per row (+inf when the winner is
+/// unprofiled) — the monitoring value ScoreResult reports, whichever
+/// rule routed.
+void ConformanceRouteInto(
+    const GroupLabelProfile& profile,
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const Matrix& numeric, RoutingRule routing, int fallback_group,
+    std::vector<int>* route, std::vector<double>* winner_margins,
+    ThreadPool* pool = nullptr);
+
+/// Per-row probabilities and hard labels of a routed model set: each
+/// group's model that serves at least one row predicts the whole batch
+/// once, rows gather their routed group's probability, and labels apply
+/// that model's decision threshold. The single predict-and-gather step
+/// behind DiffairModel, the MULTIMODEL baseline, and the artifact
+/// Evaluate path — routing policies differ, the gather does not.
+struct RoutedPredictions {
+  std::vector<double> proba;
+  std::vector<int> labels;
+};
+Result<RoutedPredictions> GatherRoutedPredictions(
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const std::vector<int>& route, const Matrix& x);
 
 }  // namespace fairdrift
 

@@ -1,193 +1,28 @@
 #include "core/pipeline.h"
 
-#include "baselines/kamiran.h"
-#include "baselines/multimodel.h"
-#include "ml/threshold.h"
 #include "util/timer.h"
 
 namespace fairdrift {
 
-const char* MethodName(Method method) {
-  switch (method) {
-    case Method::kNoIntervention:
-      return "NO-INT";
-    case Method::kMultiModel:
-      return "MULTI";
-    case Method::kDiffair:
-      return "DIFFAIR";
-    case Method::kConfair:
-      return "CONFAIR";
-    case Method::kKamiran:
-      return "KAM";
-    case Method::kOmnifair:
-      return "OMN";
-    case Method::kCapuchin:
-      return "CAP";
-  }
-  return "?";
-}
-
-namespace {
-
-/// Trains `learner` on (train, weights), optionally tunes its threshold on
-/// val, and returns its test-split fairness report.
-Result<FairnessReport> TrainAndEvaluate(const Dataset& train,
-                                        const std::vector<double>& weights,
-                                        const Dataset& val,
-                                        const Dataset& test,
-                                        const FeatureEncoder& encoder,
-                                        Classifier* learner,
-                                        bool tune_threshold) {
-  Result<Matrix> x_train = encoder.Transform(train);
-  if (!x_train.ok()) return x_train.status();
-  FAIRDRIFT_RETURN_IF_ERROR(
-      learner->Fit(x_train.value(), train.labels(), weights));
-
-  if (tune_threshold && !val.empty()) {
-    Result<Matrix> x_val = encoder.Transform(val);
-    if (!x_val.ok()) return x_val.status();
-    Result<std::vector<double>> proba = learner->PredictProba(x_val.value());
-    if (!proba.ok()) return proba.status();
-    Result<double> thr = TuneThreshold(val.labels(), proba.value());
-    if (thr.ok()) learner->set_threshold(thr.value());
-  }
-
-  Result<Matrix> x_test = encoder.Transform(test);
-  if (!x_test.ok()) return x_test.status();
-  Result<std::vector<int>> pred = learner->Predict(x_test.value());
-  if (!pred.ok()) return pred.status();
-  return EvaluateFairness(test.labels(), pred.value(), test.groups());
-}
-
-}  // namespace
-
 Result<PipelineResult> RunPipelineOnSplit(const TrainValTest& split,
                                           const PipelineOptions& options,
                                           Rng* rng) {
-  const Dataset& train = split.train;
-  const Dataset& val = split.val;
-  const Dataset& test = split.test;
-  if (train.empty() || test.empty()) {
+  if (split.train.empty() || split.test.empty()) {
     return Status::InvalidArgument("RunPipeline: empty train or test split");
   }
-
-  Result<FeatureEncoder> encoder = FeatureEncoder::Fit(train);
-  if (!encoder.ok()) return encoder.status();
-
-  uint64_t learner_seed = rng->Fork().seed();
-  std::unique_ptr<Classifier> learner =
-      MakeLearner(options.learner, learner_seed);
-  LearnerKind calib_kind = options.calibration_learner.value_or(options.learner);
-  std::unique_ptr<Classifier> calibration_learner =
-      MakeLearner(calib_kind, learner_seed);
-
   PipelineResult result;
   WallTimer timer;
 
-  switch (options.method) {
-    case Method::kNoIntervention: {
-      Result<FairnessReport> report =
-          TrainAndEvaluate(train, train.weights(), val, test, encoder.value(),
-                           learner.get(), options.tune_threshold);
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
+  Result<FittedArtifacts> artifacts = Fit(split, options, rng);
+  if (!artifacts.ok()) return artifacts.status();
+  Result<FairnessReport> report = Evaluate(artifacts.value(), split.test);
+  if (!report.ok()) return report.status();
 
-    case Method::kKamiran: {
-      Result<std::vector<double>> weights = KamiranWeights(train);
-      if (!weights.ok()) return weights.status();
-      Result<FairnessReport> report =
-          TrainAndEvaluate(train, weights.value(), val, test, encoder.value(),
-                           learner.get(), options.tune_threshold);
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
-
-    case Method::kConfair: {
-      ConfairOptions confair = options.confair;
-      if (options.tune_confair) {
-        Result<ConfairTuneResult> tuned =
-            TuneConfairAlpha(train, val, *calibration_learner, encoder.value(),
-                             options.confair, options.confair_tune);
-        if (!tuned.ok()) return tuned.status();
-        confair = tuned.value().options;
-        result.tuned_alpha = tuned.value().alpha_u;
-        result.models_trained += tuned.value().models_trained;
-      } else {
-        result.tuned_alpha = confair.alpha_u;
-      }
-      Result<ConfairWeights> weights = ComputeConfairWeights(train, confair);
-      if (!weights.ok()) return weights.status();
-      Result<FairnessReport> report = TrainAndEvaluate(
-          train, weights.value().weights, val, test, encoder.value(),
-          learner.get(), options.tune_threshold);
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
-
-    case Method::kOmnifair: {
-      Result<OmnifairResult> calibrated =
-          OmnifairCalibrate(train, val, *calibration_learner, encoder.value(),
-                            options.omnifair);
-      if (!calibrated.ok()) return calibrated.status();
-      result.tuned_lambda = calibrated.value().lambda;
-      result.models_trained += calibrated.value().models_trained;
-      Result<FairnessReport> report = TrainAndEvaluate(
-          train, calibrated.value().weights, val, test, encoder.value(),
-          learner.get(), options.tune_threshold);
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
-
-    case Method::kCapuchin: {
-      Rng cap_rng = rng->Fork();
-      Result<Dataset> repaired =
-          CapuchinRepair(train, &cap_rng, options.capuchin);
-      if (!repaired.ok()) return repaired.status();
-      // The repaired data replaces the training set (invasive); the
-      // encoder stays fitted on the original schema, which is unchanged.
-      Result<FairnessReport> report = TrainAndEvaluate(
-          repaired.value(), repaired.value().weights(), val, test,
-          encoder.value(), learner.get(), options.tune_threshold);
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
-
-    case Method::kMultiModel: {
-      Result<MultiModelBaseline> model = MultiModelBaseline::Train(
-          train, val, *learner, encoder.value(), options.tune_threshold);
-      if (!model.ok()) return model.status();
-      result.models_trained = train.num_groups();
-      Result<std::vector<int>> pred = model.value().Predict(test);
-      if (!pred.ok()) return pred.status();
-      Result<FairnessReport> report =
-          EvaluateFairness(test.labels(), pred.value(), test.groups());
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
-
-    case Method::kDiffair: {
-      Result<DiffairModel> model = DiffairModel::Train(
-          train, val, *learner, encoder.value(), options.diffair);
-      if (!model.ok()) return model.status();
-      result.models_trained = train.num_groups();
-      Result<std::vector<int>> pred = model.value().Predict(test);
-      if (!pred.ok()) return pred.status();
-      Result<FairnessReport> report =
-          EvaluateFairness(test.labels(), pred.value(), test.groups());
-      if (!report.ok()) return report.status();
-      result.report = std::move(report).value();
-      break;
-    }
-  }
-
+  result.report = std::move(report).value();
   result.runtime_seconds = timer.ElapsedSeconds();
+  result.tuned_alpha = artifacts.value().tuned_alpha;
+  result.tuned_lambda = artifacts.value().tuned_lambda;
+  result.models_trained = artifacts.value().models_trained;
   return result;
 }
 

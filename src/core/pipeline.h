@@ -1,71 +1,30 @@
-// End-to-end experiment pipeline: split -> intervene -> train -> evaluate.
+// End-to-end experiment pipeline: split -> Fit -> Evaluate.
 //
 // This is the top-level API the examples and every figure bench drive. It
 // reproduces the paper's experimental protocol: 70/15/15 i.i.d. split,
 // hyperparameters (decision threshold, CONFAIR alpha, OMN lambda) tuned on
 // validation, metrics reported on the test split.
+//
+// The pipeline is a thin wrapper over the artifact-centric API of
+// core/artifacts.h: one Fit() call trains the intervention, Evaluate()
+// scores it — the same FittedArtifacts could equally be Freeze()d into a
+// serving snapshot, so the experiment and deployment paths share every
+// trained model.
 
 #ifndef FAIRDRIFT_CORE_PIPELINE_H_
 #define FAIRDRIFT_CORE_PIPELINE_H_
 
-#include <optional>
-#include <string>
-
-#include "baselines/capuchin.h"
-#include "baselines/omnifair.h"
-#include "core/confair.h"
-#include "core/diffair.h"
-#include "core/tuning.h"
+#include "core/artifacts.h"
 #include "data/split.h"
 #include "fairness/report.h"
-#include "ml/model.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace fairdrift {
 
-/// Fairness interventions covered by the evaluation (paper §IV "Methods").
-enum class Method {
-  kNoIntervention,
-  kMultiModel,
-  kDiffair,
-  kConfair,
-  kKamiran,   ///< KAM
-  kOmnifair,  ///< OMN
-  kCapuchin,  ///< CAP
-};
-
-/// Display name ("NO-INT", "MULTI", "DIFFAIR", "CONFAIR", "KAM", "OMN",
-/// "CAP").
-const char* MethodName(Method method);
-
-/// Full pipeline configuration.
-struct PipelineOptions {
-  Method method = Method::kNoIntervention;
-  /// Learner used for the final (deployed) model.
-  LearnerKind learner = LearnerKind::kLogisticRegression;
-  /// Learner used while calibrating weights (CONFAIR alpha search, OMN
-  /// lambda search). Defaults to `learner`; the cross-model experiment of
-  /// Fig. 7 sets it to the other family.
-  std::optional<LearnerKind> calibration_learner;
-
-  ConfairOptions confair;
-  /// Auto-tune CONFAIR's alpha on validation (paper protocol). When false,
-  /// `confair.alpha_u/alpha_w` are used as supplied (the paper's
-  /// user-specified fast path).
-  bool tune_confair = true;
-  ConfairTuneOptions confair_tune;
-
-  DiffairOptions diffair;
-  OmnifairOptions omnifair;
-  CapuchinOptions capuchin;
-
-  /// Tune the final model's decision threshold on validation for balanced
-  /// accuracy. Off by default: the paper's learners predict at the
-  /// standard 0.5 threshold, and balanced-accuracy tuning would itself act
-  /// as a (non-paper) bias correction.
-  bool tune_threshold = false;
-
+/// Full pipeline configuration: a TrainSpec (the intervention, learner,
+/// and tuning knobs — see core/artifacts.h) plus the split protocol.
+struct PipelineOptions : TrainSpec {
   double train_frac = 0.70;
   double val_frac = 0.15;
 };
@@ -79,7 +38,8 @@ struct PipelineResult {
   int models_trained = 1;       ///< total learner fits (runtime driver)
 };
 
-/// Runs `options.method` on a pre-split dataset.
+/// Runs `options.method` on a pre-split dataset: Fit on train/val,
+/// Evaluate on test.
 Result<PipelineResult> RunPipelineOnSplit(const TrainValTest& split,
                                           const PipelineOptions& options,
                                           Rng* rng);

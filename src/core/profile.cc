@@ -48,6 +48,22 @@ Result<GroupLabelProfile> GroupLabelProfile::Profile(
   return profile;
 }
 
+Result<GroupLabelProfile> GroupLabelProfile::FromCells(
+    int num_groups, int num_classes,
+    std::vector<std::optional<ConstraintSet>> cells) {
+  if (num_groups < 0 || num_classes < 0 ||
+      cells.size() != static_cast<size_t>(num_groups) *
+                          static_cast<size_t>(num_classes)) {
+    return Status::InvalidArgument(
+        "GroupLabelProfile::FromCells: cell count disagrees with shape");
+  }
+  GroupLabelProfile profile;
+  profile.num_groups_ = num_groups;
+  profile.num_classes_ = num_classes;
+  profile.cells_ = std::move(cells);
+  return profile;
+}
+
 const std::optional<ConstraintSet>& GroupLabelProfile::cell(int g,
                                                             int y) const {
   return cells_[static_cast<size_t>(g) * static_cast<size_t>(num_classes_) +
@@ -108,6 +124,7 @@ int GroupLabelProfile::BestLabelForGroup(int g,
 }
 
 bool GroupLabelProfile::GroupProfiled(int g) const {
+  if (g < 0 || g >= num_groups_) return false;  // unprofiled, not UB
   for (int y = 0; y < num_classes_; ++y) {
     if (cell(g, y).has_value()) return true;
   }

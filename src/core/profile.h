@@ -52,6 +52,13 @@ class GroupLabelProfile {
   static Result<GroupLabelProfile> Profile(const Dataset& data,
                                            const ProfileOptions& options);
 
+  /// Rebuilds a profile from stored cells (deserialization;
+  /// serve/snapshot_io.cc). `cells` holds num_groups * num_classes
+  /// entries, cell (g, y) at index g * num_classes + y.
+  static Result<GroupLabelProfile> FromCells(
+      int num_groups, int num_classes,
+      std::vector<std::optional<ConstraintSet>> cells);
+
   int num_groups() const { return num_groups_; }
   int num_classes() const { return num_classes_; }
 

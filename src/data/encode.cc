@@ -1,6 +1,9 @@
 #include "data/encode.h"
 
+#include <cmath>
+
 #include "linalg/stats.h"
+#include "util/binary_io.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -64,6 +67,129 @@ Result<Matrix> FeatureEncoder::Transform(const Dataset& data) const {
     }
   }
   return out;
+}
+
+Status FeatureEncoder::TransformRows(const Matrix& rows, Matrix* out) const {
+  if (rows.cols() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        StrFormat("FeatureEncoder::TransformRows: rows have %zu fields, "
+                  "schema has %zu",
+                  rows.cols(), schema_.num_fields()));
+  }
+  size_t n = rows.rows();
+  out->Reshape(n, encoded_dim_, 0.0);
+  size_t offset = 0;
+  for (size_t j = 0; j < schema_.num_fields(); ++j) {
+    const FieldSpec& field = schema_.field(j);
+    if (field.type == ColumnType::kNumeric) {
+      double mu = means_[j];
+      double sd = stddevs_[j];
+      if (sd > 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          out->At(i, offset) = (rows.At(i, j) - mu) / sd;
+        }
+      } else {
+        // Constant training column: center only, matching Transform.
+        for (size_t i = 0; i < n; ++i) out->At(i, offset) = rows.At(i, j) - mu;
+      }
+      offset += 1;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        double v = rows.At(i, j);
+        // Range-check in the double domain before casting: float->int
+        // conversion of an out-of-range value is UB.
+        if (v != std::floor(v) || v < 0.0 ||
+            v >= static_cast<double>(field.num_categories)) {
+          return Status::InvalidArgument(StrFormat(
+              "FeatureEncoder::TransformRows: row %zu field '%s': %g is not "
+              "a category code in [0, %d)",
+              i, field.name.c_str(), v, field.num_categories));
+        }
+        out->At(i, offset + static_cast<size_t>(v)) = 1.0;
+      }
+      offset += static_cast<size_t>(field.num_categories);
+    }
+  }
+  return Status::OK();
+}
+
+Status FeatureEncoder::NumericRows(const Matrix& rows, Matrix* out) const {
+  if (rows.cols() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        StrFormat("FeatureEncoder::NumericRows: rows have %zu fields, "
+                  "schema has %zu",
+                  rows.cols(), schema_.num_fields()));
+  }
+  size_t n = rows.rows();
+  size_t q = schema_.num_numeric();
+  out->ReshapeForOverwrite(n, q);  // every cell written below
+  size_t c = 0;
+  for (size_t j = 0; j < schema_.num_fields(); ++j) {
+    if (schema_.field(j).type != ColumnType::kNumeric) continue;
+    for (size_t i = 0; i < n; ++i) out->At(i, c) = rows.At(i, j);
+    ++c;
+  }
+  return Status::OK();
+}
+
+void FeatureEncoder::SerializeTo(BinaryWriter* w) const {
+  SerializeSchema(schema_, w);
+  w->WriteDoubleVector(means_);
+  w->WriteDoubleVector(stddevs_);
+  w->WriteU64(encoded_dim_);
+  w->WriteU64(encoded_names_.size());
+  for (const std::string& name : encoded_names_) w->WriteString(name);
+}
+
+Result<FeatureEncoder> FeatureEncoder::DeserializeFrom(BinaryReader* r) {
+  FeatureEncoder enc;
+  Result<Schema> schema = DeserializeSchema(r);
+  if (!schema.ok()) return schema.status();
+  enc.schema_ = std::move(schema).value();
+  Result<std::vector<double>> means = r->ReadDoubleVector();
+  if (!means.ok()) return means.status();
+  enc.means_ = std::move(means).value();
+  Result<std::vector<double>> stddevs = r->ReadDoubleVector();
+  if (!stddevs.ok()) return stddevs.status();
+  enc.stddevs_ = std::move(stddevs).value();
+  if (enc.means_.size() != enc.schema_.num_fields() ||
+      enc.stddevs_.size() != enc.schema_.num_fields()) {
+    return Status::DataLoss(
+        "FeatureEncoder: standardization statistics disagree with schema");
+  }
+  Result<uint64_t> dim = r->ReadU64();
+  if (!dim.ok()) return dim.status();
+  enc.encoded_dim_ = dim.value();
+  Result<uint64_t> names = r->ReadU64();
+  if (!names.ok()) return names.status();
+  if (names.value() > r->remaining() / 8) {  // every name carries a u64 len
+    return Status::DataLoss("FeatureEncoder: implausible name count");
+  }
+  enc.encoded_names_.reserve(names.value());
+  for (uint64_t i = 0; i < names.value(); ++i) {
+    Result<std::string> name = r->ReadString();
+    if (!name.ok()) return name.status();
+    enc.encoded_names_.push_back(std::move(name).value());
+  }
+  if (enc.encoded_names_.size() != enc.encoded_dim_) {
+    return Status::DataLoss("FeatureEncoder: encoded width mismatch");
+  }
+  // The stored width must agree with the width the schema implies —
+  // TransformRows writes at schema-derived offsets into an
+  // encoded_dim_-wide matrix, so a forged mismatch would write out of
+  // bounds.
+  size_t schema_dim = 0;
+  for (size_t j = 0; j < enc.schema_.num_fields(); ++j) {
+    const FieldSpec& field = enc.schema_.field(j);
+    schema_dim += field.type == ColumnType::kNumeric
+                      ? 1
+                      : static_cast<size_t>(field.num_categories);
+  }
+  if (schema_dim != enc.encoded_dim_) {
+    return Status::DataLoss(
+        "FeatureEncoder: encoded width disagrees with the schema");
+  }
+  return enc;
 }
 
 }  // namespace fairdrift

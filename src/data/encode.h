@@ -18,6 +18,9 @@
 
 namespace fairdrift {
 
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;  // util/binary_io.h
+
 /// Fitted feature encoder mapping a Dataset to a dense design matrix.
 class FeatureEncoder {
  public:
@@ -34,8 +37,34 @@ class FeatureEncoder {
   /// `num_categories` indicator columns. Fails on schema mismatch.
   Result<Matrix> Transform(const Dataset& data) const;
 
+  /// Encodes raw request rows (one value per schema field, in schema
+  /// order; categorical fields carry the category code — the serving row
+  /// contract of serve/snapshot.h) into `out`, reshaped to
+  /// rows.rows() x encoded_dim(). Arithmetic matches Transform exactly,
+  /// so the encoding of a request row is bitwise identical to encoding
+  /// the same tuple through a Dataset — without materializing one (the
+  /// serving hot path reuses `out` across batches; no per-batch Dataset
+  /// or column allocations). Category codes must be pre-validated
+  /// (ModelSnapshot::ValidateRow); out-of-range codes fail here too.
+  Status TransformRows(const Matrix& rows, Matrix* out) const;
+
+  /// Copies the numeric fields of raw request rows (same row contract)
+  /// into `out`, reshaped to rows.rows() x num_numeric — the view
+  /// conformance margins and the density monitor consume.
+  Status NumericRows(const Matrix& rows, Matrix* out) const;
+
   /// Width of the encoded design matrix.
   size_t encoded_dim() const { return encoded_dim_; }
+
+  /// The schema the encoder was fitted on.
+  const Schema& schema() const { return schema_; }
+
+  /// Appends the fitted state (schema + standardization statistics) to
+  /// `w` for snapshot persistence (serve/snapshot_io.h).
+  void SerializeTo(BinaryWriter* w) const;
+
+  /// Rebuilds a fitted encoder from SerializeTo's payload.
+  static Result<FeatureEncoder> DeserializeFrom(BinaryReader* r);
 
   /// Human-readable names of the encoded columns, e.g. "age", "cat3=1".
   const std::vector<std::string>& encoded_names() const {

@@ -1,5 +1,7 @@
 #include "data/schema.h"
 
+#include "util/binary_io.h"
+
 namespace fairdrift {
 
 int Schema::FindField(const std::string& name) const {
@@ -35,6 +37,41 @@ std::vector<size_t> Schema::CategoricalFieldIndices() const {
     if (fields_[i].type == ColumnType::kCategorical) out.push_back(i);
   }
   return out;
+}
+
+void SerializeSchema(const Schema& schema, BinaryWriter* w) {
+  w->WriteU64(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const FieldSpec& field = schema.field(i);
+    w->WriteString(field.name);
+    w->WriteU8(field.type == ColumnType::kCategorical ? 1 : 0);
+    w->WriteI32(field.num_categories);
+  }
+}
+
+Result<Schema> DeserializeSchema(BinaryReader* r) {
+  Result<uint64_t> count = r->ReadU64();
+  if (!count.ok()) return count.status();
+  Schema schema;
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    FieldSpec field;
+    Result<std::string> name = r->ReadString();
+    if (!name.ok()) return name.status();
+    field.name = std::move(name).value();
+    Result<uint8_t> type = r->ReadU8();
+    if (!type.ok()) return type.status();
+    field.type =
+        type.value() != 0 ? ColumnType::kCategorical : ColumnType::kNumeric;
+    Result<int32_t> categories = r->ReadI32();
+    if (!categories.ok()) return categories.status();
+    field.num_categories = categories.value();
+    if (field.type == ColumnType::kCategorical && field.num_categories <= 0) {
+      return Status::DataLoss("Schema: categorical field '" + field.name +
+                              "' has no categories");
+    }
+    schema.AddField(std::move(field));
+  }
+  return schema;
 }
 
 bool Schema::Equals(const Schema& other) const {

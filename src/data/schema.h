@@ -7,8 +7,12 @@
 #include <vector>
 
 #include "data/column.h"
+#include "util/status.h"
 
 namespace fairdrift {
+
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;  // util/binary_io.h
 
 /// Description of one field in a dataset.
 struct FieldSpec {
@@ -49,6 +53,13 @@ class Schema {
  private:
   std::vector<FieldSpec> fields_;
 };
+
+/// Appends `schema` (field names, types, category counts) to `w`
+/// (snapshot persistence; serve/snapshot_io.h).
+void SerializeSchema(const Schema& schema, BinaryWriter* w);
+
+/// Rebuilds a schema from SerializeSchema's payload.
+Result<Schema> DeserializeSchema(BinaryReader* r);
 
 }  // namespace fairdrift
 

@@ -40,6 +40,25 @@ class Matrix {
   size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
+  /// Reshapes to rows x cols filled with `fill`, reusing the existing
+  /// storage capacity (no reallocation when the new size fits). The
+  /// serving path's per-worker batch buffers rely on this to stay
+  /// allocation-free across batches.
+  void Reshape(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  /// Reshape without clearing retained elements — for callers that
+  /// overwrite every cell immediately (no fill pass on the hot path;
+  /// stale values persist until written, so don't read before writing).
+  void ReshapeForOverwrite(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -247,6 +248,80 @@ size_t RegressionTree::num_leaves() const {
     if (n.is_leaf) ++leaves;
   }
   return leaves;
+}
+
+void RegressionTree::SerializeTo(BinaryWriter* w) const {
+  w->WriteU64(num_features_);
+  w->WriteU64(nodes_.size());
+  for (const Node& n : nodes_) {
+    w->WriteU8(n.is_leaf ? 1 : 0);
+    w->WriteDouble(n.value);
+    w->WriteU64(n.feature);
+    w->WriteDouble(n.cut);
+    w->WriteU8(n.bin_cut);
+    w->WriteI32(n.left);
+    w->WriteI32(n.right);
+  }
+}
+
+Result<RegressionTree> RegressionTree::DeserializeFrom(BinaryReader* r) {
+  RegressionTree tree;
+  Result<uint64_t> num_features = r->ReadU64();
+  if (!num_features.ok()) return num_features.status();
+  tree.num_features_ = num_features.value();
+  Result<uint64_t> count = r->ReadU64();
+  if (!count.ok()) return count.status();
+  // Each node occupies kNodeWireBytes; dividing keeps a hostile count
+  // from reserving gigabytes up front.
+  constexpr size_t kNodeWireBytes = 1 + 8 + 8 + 8 + 1 + 4 + 4;  // 34
+  if (count.value() > r->remaining() / kNodeWireBytes) {
+    return Status::DataLoss("RegressionTree: implausible node count");
+  }
+  tree.nodes_.reserve(count.value());
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    Node n;
+    Result<uint8_t> is_leaf = r->ReadU8();
+    if (!is_leaf.ok()) return is_leaf.status();
+    n.is_leaf = is_leaf.value() != 0;
+    Result<double> value = r->ReadDouble();
+    if (!value.ok()) return value.status();
+    n.value = value.value();
+    Result<uint64_t> feature = r->ReadU64();
+    if (!feature.ok()) return feature.status();
+    n.feature = feature.value();
+    Result<double> cut = r->ReadDouble();
+    if (!cut.ok()) return cut.status();
+    n.cut = cut.value();
+    Result<uint8_t> bin_cut = r->ReadU8();
+    if (!bin_cut.ok()) return bin_cut.status();
+    n.bin_cut = bin_cut.value();
+    Result<int32_t> left = r->ReadI32();
+    if (!left.ok()) return left.status();
+    n.left = left.value();
+    Result<int32_t> right = r->ReadI32();
+    if (!right.ok()) return right.status();
+    n.right = right.value();
+    int64_t max_child = static_cast<int64_t>(count.value());
+    int64_t self = static_cast<int64_t>(i);
+    if (!n.is_leaf) {
+      // GrowNode appends a node before growing its children, so every
+      // valid child index exceeds its parent's — requiring that here
+      // rules out cycles (traversal always terminates) alongside the
+      // range check.
+      if (n.left <= self || n.left >= max_child || n.right <= self ||
+          n.right >= max_child) {
+        return Status::DataLoss("RegressionTree: child index out of range");
+      }
+      if (n.feature >= tree.num_features_) {
+        return Status::DataLoss("RegressionTree: split feature out of range");
+      }
+    }
+    tree.nodes_.push_back(n);
+  }
+  if (tree.nodes_.empty()) {
+    return Status::DataLoss("RegressionTree: empty node list");
+  }
+  return tree;
 }
 
 }  // namespace fairdrift

@@ -18,7 +18,9 @@
 
 namespace fairdrift {
 
-class ThreadPool;  // util/parallel.h; only pointers appear in this header
+class ThreadPool;      // util/parallel.h; only pointers appear in this header
+class BinaryWriter;    // util/binary_io.h
+class BinaryReader;    // util/binary_io.h
 
 /// Quantile binning of a feature matrix into uint8 codes.
 class QuantileBinner {
@@ -93,6 +95,18 @@ class RegressionTree {
 
   /// Number of leaves.
   size_t num_leaves() const;
+
+  /// Width of the feature rows the tree was grown on.
+  size_t num_features() const { return num_features_; }
+
+  /// Appends the fitted node structure to `w` (snapshot persistence;
+  /// ml/model_io.h). Node values travel as raw IEEE-754 bits, so a
+  /// deserialized tree predicts bitwise identically.
+  void SerializeTo(BinaryWriter* w) const;
+
+  /// Rebuilds a tree from SerializeTo's payload. Fails with
+  /// Status::DataLoss on truncated or inconsistent node data.
+  static Result<RegressionTree> DeserializeFrom(BinaryReader* r);
 
  private:
   struct Node {

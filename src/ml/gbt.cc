@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -149,6 +150,50 @@ Result<std::vector<double>> GradientBoostedTrees::PredictProba(
 
 std::unique_ptr<Classifier> GradientBoostedTrees::CloneUnfitted() const {
   return std::make_unique<GradientBoostedTrees>(options_);
+}
+
+Status GradientBoostedTrees::SaveFittedTo(BinaryWriter* w) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("GradientBoostedTrees: not fitted");
+  }
+  w->WriteDouble(base_score_);
+  // learning_rate is the one hyperparameter consumed at *prediction*
+  // time (score = base + sum eta * tree(x)); it must travel with the
+  // trees or a non-default-rate model would load with wrong scores.
+  w->WriteDouble(options_.learning_rate);
+  w->WriteU64(trees_.size());
+  for (const RegressionTree& tree : trees_) tree.SerializeTo(w);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<GradientBoostedTrees>>
+GradientBoostedTrees::LoadFittedFrom(BinaryReader* r) {
+  Result<double> base_score = r->ReadDouble();
+  if (!base_score.ok()) return base_score.status();
+  Result<double> learning_rate = r->ReadDouble();
+  if (!learning_rate.ok()) return learning_rate.status();
+  Result<uint64_t> count = r->ReadU64();
+  if (!count.ok()) return count.status();
+  // Each tree occupies >= 50 wire bytes (two u64 headers + one node).
+  if (count.value() > r->remaining() / 50) {
+    return Status::DataLoss("GradientBoostedTrees: implausible tree count");
+  }
+  auto model = std::make_unique<GradientBoostedTrees>();
+  model->base_score_ = base_score.value();
+  model->options_.learning_rate = learning_rate.value();
+  model->trees_.reserve(count.value());
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    Result<RegressionTree> tree = RegressionTree::DeserializeFrom(r);
+    if (!tree.ok()) return tree.status();
+    if (!model->trees_.empty() &&
+        tree.value().num_features() != model->trees_.front().num_features()) {
+      return Status::DataLoss(
+          "GradientBoostedTrees: trees disagree on feature width");
+    }
+    model->trees_.push_back(std::move(tree).value());
+  }
+  model->fitted_ = true;
+  return model;
 }
 
 }  // namespace fairdrift

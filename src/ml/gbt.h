@@ -15,7 +15,9 @@
 
 namespace fairdrift {
 
-class ThreadPool;  // util/parallel.h; only pointers appear in this header
+class ThreadPool;    // util/parallel.h; only pointers appear in this header
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;  // util/binary_io.h
 
 /// Hyperparameters for GradientBoostedTrees.
 struct GbtOptions {
@@ -51,10 +53,25 @@ class GradientBoostedTrees final : public Classifier {
   /// Number of trees actually grown.
   size_t num_trees() const { return trees_.size(); }
 
+  /// Width of the design matrix the ensemble was fitted on (0 when the
+  /// ensemble has no trees).
+  size_t input_dim() const {
+    return trees_.empty() ? 0 : trees_.front().num_features();
+  }
+
   /// Training log-loss after each boosting round (diagnostics / tests).
   const std::vector<double>& training_loss_curve() const {
     return loss_curve_;
   }
+
+  /// Appends the fitted ensemble (base score + trees) to `w` for snapshot
+  /// persistence (ml/model_io.h). Fails when unfitted.
+  Status SaveFittedTo(BinaryWriter* w) const;
+
+  /// Rebuilds a fitted ensemble from SaveFittedTo's payload. Training
+  /// hyperparameters and the loss curve are not persisted.
+  static Result<std::unique_ptr<GradientBoostedTrees>> LoadFittedFrom(
+      BinaryReader* r);
 
  private:
   GbtOptions options_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/cholesky.h"
+#include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -181,6 +182,28 @@ Result<std::vector<double>> LogisticRegression::PredictProba(
 
 std::unique_ptr<Classifier> LogisticRegression::CloneUnfitted() const {
   return std::make_unique<LogisticRegression>(options_);
+}
+
+Status LogisticRegression::SaveFittedTo(BinaryWriter* w) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("LogisticRegression: not fitted");
+  }
+  w->WriteDoubleVector(beta_);
+  w->WriteDouble(intercept_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LogisticRegression>> LogisticRegression::LoadFittedFrom(
+    BinaryReader* r) {
+  Result<std::vector<double>> beta = r->ReadDoubleVector();
+  if (!beta.ok()) return beta.status();
+  Result<double> intercept = r->ReadDouble();
+  if (!intercept.ok()) return intercept.status();
+  auto model = std::make_unique<LogisticRegression>();
+  model->beta_ = std::move(beta).value();
+  model->intercept_ = intercept.value();
+  model->fitted_ = true;
+  return model;
 }
 
 }  // namespace fairdrift

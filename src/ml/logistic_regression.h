@@ -10,7 +10,9 @@
 
 namespace fairdrift {
 
-class ThreadPool;  // util/parallel.h; only pointers appear in this header
+class ThreadPool;    // util/parallel.h; only pointers appear in this header
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;  // util/binary_io.h
 
 /// Hyperparameters for LogisticRegression.
 struct LogisticRegressionOptions {
@@ -48,6 +50,16 @@ class LogisticRegression final : public Classifier {
 
   /// Learned intercept; valid after Fit.
   double intercept() const { return intercept_; }
+
+  /// Appends the fitted state (coefficients, intercept) to `w` for
+  /// snapshot persistence (ml/model_io.h). Fails when unfitted.
+  Status SaveFittedTo(BinaryWriter* w) const;
+
+  /// Rebuilds a fitted model from SaveFittedTo's payload. The training
+  /// hyperparameters are not persisted — the fitted state alone decides
+  /// predictions.
+  static Result<std::unique_ptr<LogisticRegression>> LoadFittedFrom(
+      BinaryReader* r);
 
  private:
   LogisticRegressionOptions options_;

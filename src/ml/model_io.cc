@@ -1,0 +1,72 @@
+#include "ml/model_io.h"
+
+#include "ml/gbt.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+
+namespace fairdrift {
+
+Status SerializeClassifier(const Classifier& model, BinaryWriter* w) {
+  if (!model.is_fitted()) {
+    return Status::FailedPrecondition(
+        "SerializeClassifier: model is not fitted");
+  }
+  w->WriteString(model.name());
+  w->WriteDouble(model.threshold());
+  if (const auto* lr = dynamic_cast<const LogisticRegression*>(&model)) {
+    return lr->SaveFittedTo(w);
+  }
+  if (const auto* gbt = dynamic_cast<const GradientBoostedTrees*>(&model)) {
+    return gbt->SaveFittedTo(w);
+  }
+  if (const auto* nb = dynamic_cast<const GaussianNaiveBayes*>(&model)) {
+    return nb->SaveFittedTo(w);
+  }
+  return Status::InvalidArgument("SerializeClassifier: learner '" +
+                                 model.name() + "' has no serialization");
+}
+
+Result<std::unique_ptr<Classifier>> DeserializeClassifier(BinaryReader* r) {
+  Result<std::string> tag = r->ReadString();
+  if (!tag.ok()) return tag.status();
+  Result<double> threshold = r->ReadDouble();
+  if (!threshold.ok()) return threshold.status();
+
+  std::unique_ptr<Classifier> model;
+  if (tag.value() == "LR") {
+    Result<std::unique_ptr<LogisticRegression>> lr =
+        LogisticRegression::LoadFittedFrom(r);
+    if (!lr.ok()) return lr.status();
+    model = std::move(lr).value();
+  } else if (tag.value() == "XGB") {
+    Result<std::unique_ptr<GradientBoostedTrees>> gbt =
+        GradientBoostedTrees::LoadFittedFrom(r);
+    if (!gbt.ok()) return gbt.status();
+    model = std::move(gbt).value();
+  } else if (tag.value() == "NB") {
+    Result<std::unique_ptr<GaussianNaiveBayes>> nb =
+        GaussianNaiveBayes::LoadFittedFrom(r);
+    if (!nb.ok()) return nb.status();
+    model = std::move(nb).value();
+  } else {
+    return Status::DataLoss("DeserializeClassifier: unknown learner tag '" +
+                            tag.value() + "'");
+  }
+  model->set_threshold(threshold.value());
+  return model;
+}
+
+size_t ClassifierInputDim(const Classifier& model) {
+  if (const auto* lr = dynamic_cast<const LogisticRegression*>(&model)) {
+    return lr->coefficients().size();
+  }
+  if (const auto* gbt = dynamic_cast<const GradientBoostedTrees*>(&model)) {
+    return gbt->input_dim();
+  }
+  if (const auto* nb = dynamic_cast<const GaussianNaiveBayes*>(&model)) {
+    return nb->input_dim();
+  }
+  return 0;
+}
+
+}  // namespace fairdrift

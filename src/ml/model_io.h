@@ -1,0 +1,40 @@
+// Polymorphic classifier (de)serialization.
+//
+// Snapshot persistence needs to freeze *any* fitted Classifier into bytes
+// and rebuild it in another process. The wire form is a learner tag (the
+// classifier's name(): "LR" / "XGB" / "NB"), the decision threshold, and
+// the learner's own fitted payload (coefficients / trees / sufficient
+// statistics — all raw IEEE-754 bits, so the deserialized model predicts
+// bitwise identically to the one serialized).
+//
+// Training hyperparameters are deliberately not persisted: a snapshot is
+// a frozen deployment artifact, not a resumable training state.
+
+#ifndef FAIRDRIFT_ML_MODEL_IO_H_
+#define FAIRDRIFT_ML_MODEL_IO_H_
+
+#include <memory>
+
+#include "ml/model.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Appends `model` (tag + threshold + fitted payload) to `w`. Fails
+/// FailedPrecondition when the model is unfitted and InvalidArgument for
+/// learner families without a serialization.
+Status SerializeClassifier(const Classifier& model, BinaryWriter* w);
+
+/// Rebuilds the next serialized classifier from `r`. Fails with
+/// Status::DataLoss on truncated payloads or unknown learner tags.
+Result<std::unique_ptr<Classifier>> DeserializeClassifier(BinaryReader* r);
+
+/// The design-matrix width `model` expects at prediction time, or 0 when
+/// it cannot be determined. Snapshot loading cross-checks this against
+/// the encoder's width so a forged model cannot read past request rows.
+size_t ClassifierInputDim(const Classifier& model);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_ML_MODEL_IO_H_

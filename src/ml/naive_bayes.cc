@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/binary_io.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -117,6 +118,62 @@ Result<std::vector<double>> GaussianNaiveBayes::PredictProba(
 
 std::unique_ptr<Classifier> GaussianNaiveBayes::CloneUnfitted() const {
   return std::make_unique<GaussianNaiveBayes>(options_);
+}
+
+Status GaussianNaiveBayes::SaveFittedTo(BinaryWriter* w) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("GaussianNaiveBayes: not fitted");
+  }
+  w->WriteDouble(priors_[0]);
+  w->WriteDouble(priors_[1]);
+  for (int c = 0; c < 2; ++c) {
+    w->WriteDoubleVector(means_[c]);
+    w->WriteDoubleVector(variances_[c]);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<GaussianNaiveBayes>> GaussianNaiveBayes::LoadFittedFrom(
+    BinaryReader* r) {
+  auto model = std::make_unique<GaussianNaiveBayes>();
+  for (int c = 0; c < 2; ++c) {
+    Result<double> prior = r->ReadDouble();
+    if (!prior.ok()) return prior.status();
+    // A fitted model's priors are smoothed probabilities: strictly
+    // positive and finite. Forged values would turn every prediction
+    // into a silent NaN.
+    if (!(prior.value() > 0.0) || !std::isfinite(prior.value())) {
+      return Status::DataLoss("GaussianNaiveBayes: non-positive prior");
+    }
+    model->priors_[c] = prior.value();
+  }
+  for (int c = 0; c < 2; ++c) {
+    Result<std::vector<double>> means = r->ReadDoubleVector();
+    if (!means.ok()) return means.status();
+    Result<std::vector<double>> variances = r->ReadDoubleVector();
+    if (!variances.ok()) return variances.status();
+    if (means.value().size() != variances.value().size()) {
+      return Status::DataLoss("GaussianNaiveBayes: mean/variance mismatch");
+    }
+    for (double m : means.value()) {
+      if (!std::isfinite(m)) {
+        return Status::DataLoss("GaussianNaiveBayes: non-finite mean");
+      }
+    }
+    for (double v : variances.value()) {
+      // Fit floors every variance at a positive smoothing term.
+      if (!(v > 0.0) || !std::isfinite(v)) {
+        return Status::DataLoss("GaussianNaiveBayes: non-positive variance");
+      }
+    }
+    model->means_[c] = std::move(means).value();
+    model->variances_[c] = std::move(variances).value();
+  }
+  if (model->means_[0].size() != model->means_[1].size()) {
+    return Status::DataLoss("GaussianNaiveBayes: per-class width mismatch");
+  }
+  model->fitted_ = true;
+  return model;
 }
 
 }  // namespace fairdrift

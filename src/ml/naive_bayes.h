@@ -18,6 +18,9 @@
 
 namespace fairdrift {
 
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;  // util/binary_io.h
+
 /// Hyperparameters for GaussianNaiveBayes.
 struct NaiveBayesOptions {
   /// Portion of the largest feature variance added to every per-class
@@ -55,6 +58,17 @@ class GaussianNaiveBayes final : public Classifier {
 
   /// Smoothed weighted variance of feature `j` within class `c`.
   double variance(int c, size_t j) const { return variances_[c][j]; }
+
+  /// Width of the design matrix the model was fitted on.
+  size_t input_dim() const { return means_[0].size(); }
+
+  /// Appends the fitted state (priors, per-class means/variances) to `w`
+  /// for snapshot persistence (ml/model_io.h). Fails when unfitted.
+  Status SaveFittedTo(BinaryWriter* w) const;
+
+  /// Rebuilds a fitted model from SaveFittedTo's payload.
+  static Result<std::unique_ptr<GaussianNaiveBayes>> LoadFittedFrom(
+      BinaryReader* r);
 
  private:
   NaiveBayesOptions options_;

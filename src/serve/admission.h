@@ -7,6 +7,13 @@
 // (the request's deadline already passed — scoring it would be wasted
 // work). Requests that pass admission can still be shed later by the
 // batch worker if their deadline expires while queued.
+//
+// Cost-aware shedding: beyond the raw depth bound, Admit predicts the
+// request's queueing delay — the batches already ahead of it times the
+// EWMA batch scoring latency from ServerStats — and refuses deadlined
+// requests that would predictably expire before a worker reaches them.
+// Under heavy overload this sheds at the door instead of letting doomed
+// requests consume queue slots and batch culling work.
 
 #ifndef FAIRDRIFT_SERVE_ADMISSION_H_
 #define FAIRDRIFT_SERVE_ADMISSION_H_
@@ -25,6 +32,11 @@ struct AdmissionOptions {
   size_t max_queue_depth = 4096;
   /// Deadline attached to requests submitted without one. Zero = none.
   std::chrono::microseconds default_deadline{0};
+  /// Shed deadlined requests whose *predicted* queue wait (batches ahead
+  /// x EWMA batch latency) already exceeds their deadline. Only bites
+  /// once the server has scored at least one batch (the EWMA has a
+  /// sample) and the request carries a deadline.
+  bool cost_aware = true;
 };
 
 /// Stateless front-door policy over a RequestQueue's observable state.
@@ -36,10 +48,23 @@ class AdmissionController {
   /// Decides whether a request with `deadline` (time_point::max() = none)
   /// may enter `queue` as of `now`. OK means "attempt the push" — a racing
   /// fill can still refuse, which the server reports as the same typed
-  /// Unavailable.
+  /// Unavailable. `ewma_batch_latency_ns` (ServerStats::EwmaBatchLatencyNs;
+  /// 0 = no signal yet), `max_batch_size`, and `concurrent_batches` (the
+  /// server's in-flight batch limit) feed the cost-aware prediction:
+  /// with Q requests queued, the request waits behind
+  /// floor(Q/max_batch_size) full batches draining `concurrent_batches`
+  /// at a time, each wave costing ~the EWMA. Neither the request's own
+  /// batch nor the partial batch it would coalesce into is counted —
+  /// deadlines stop applying once its batch starts scoring — so idle and
+  /// lightly loaded servers never cost-shed. If the predicted wait
+  /// overruns the deadline, the request is shed now with
+  /// Status::DeadlineExceeded instead of expiring in the queue.
   Status Admit(const RequestQueue& queue,
                std::chrono::steady_clock::time_point now,
-               std::chrono::steady_clock::time_point deadline) const;
+               std::chrono::steady_clock::time_point deadline,
+               double ewma_batch_latency_ns = 0.0,
+               size_t max_batch_size = 1,
+               size_t concurrent_batches = 1) const;
 
   /// Resolves a caller-relative deadline against the default policy:
   /// zero → default_deadline (or none when that is zero too).

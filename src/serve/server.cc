@@ -52,7 +52,10 @@ Result<ScoreTicket> ScoringServer::Submit(
     std::vector<double> row, std::chrono::nanoseconds deadline_after) {
   auto now = std::chrono::steady_clock::now();
   auto deadline = admission_.ResolveDeadline(now, deadline_after);
-  Status admit = admission_.Admit(queue_, now, deadline);
+  Status admit = admission_.Admit(queue_, now, deadline,
+                                  stats_.EwmaBatchLatencyNs(),
+                                  options_.batching.max_batch_size,
+                                  max_inflight_);
   if (!admit.ok()) {
     if (admit.code() == StatusCode::kDeadlineExceeded) {
       stats_.RecordDeadlineShed();
@@ -111,6 +114,25 @@ Status ScoringServer::UpdateSnapshot(
 std::shared_ptr<const ModelSnapshot> ScoringServer::CurrentSnapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
+}
+
+std::unique_ptr<ScoreScratch> ScoringServer::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<ScoreScratch> scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<ScoreScratch>();
+}
+
+void ScoringServer::ReleaseScratch(std::unique_ptr<ScoreScratch> scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (scratch_pool_.size() < max_inflight_) {
+    scratch_pool_.push_back(std::move(scratch));
+  }
 }
 
 void ScoringServer::AcquireInflightSlot() {
@@ -177,12 +199,18 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
   }
   if (live.empty()) return;
 
-  Matrix rows(live.size(), width);
+  // Score out of a recycled per-worker scratch: the staging matrix and
+  // the snapshot's encoding buffers reshape in place, so steady-state
+  // batches rebuild nothing.
+  std::unique_ptr<ScoreScratch> scratch = AcquireScratch();
+  scratch->rows.ReshapeForOverwrite(live.size(), width);  // rows copied below
   for (size_t k = 0; k < live.size(); ++k) {
     const std::vector<double>& row = (*batch)[live[k]].row;
-    std::copy(row.begin(), row.end(), rows.RowPtr(k));
+    std::copy(row.begin(), row.end(), scratch->rows.RowPtr(k));
   }
-  Result<std::vector<ScoreResult>> scores = snapshot->ScoreBatch(rows, pool_);
+  Result<std::vector<ScoreResult>> scores =
+      snapshot->ScoreBatch(scratch->rows, scratch.get(), pool_);
+  ReleaseScratch(std::move(scratch));
   if (!scores.ok()) {
     for (size_t i : live) (*batch)[i].ticket->Fail(scores.status());
     return;
@@ -190,7 +218,8 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
   auto done = std::chrono::steady_clock::now();
   // Record stats before fulfilling any ticket: a client that returns from
   // Wait and immediately reads stats() must see its own request counted.
-  stats_.RecordBatch(live.size());
+  // The batch latency feeds the EWMA the cost-aware admission consults.
+  stats_.RecordBatch(live.size(), done - now);
   for (size_t k = 0; k < live.size(); ++k) {
     stats_.RecordCompletion(done - (*batch)[live[k]].enqueue_time);
   }

@@ -108,6 +108,13 @@ class ScoringServer {
   void AcquireInflightSlot();
   void ReleaseInflightSlot();
 
+  /// Per-worker batch buffers, recycled across batches so a steady-state
+  /// worker re-encodes into the same matrices instead of rebuilding a
+  /// Dataset + encoded matrix per batch. The pool holds at most
+  /// max_inflight_ scratches (one per concurrent batch).
+  std::unique_ptr<ScoreScratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<ScoreScratch> scratch);
+
   ServerOptions options_;
   RequestQueue queue_;
   MicroBatcher batcher_;
@@ -122,6 +129,9 @@ class ScoringServer {
   std::condition_variable inflight_cv_;
   size_t inflight_ = 0;
   size_t max_inflight_ = 1;
+
+  std::mutex scratch_mu_;
+  std::vector<std::unique_ptr<ScoreScratch>> scratch_pool_;
 
   std::thread dispatcher_;
   std::once_flag stop_once_;

@@ -2,8 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace fairdrift {
+
+namespace {
+
+/// Smoothing factor of the batch-latency EWMA: ~the last 10 batches
+/// dominate, so the admission cost signal tracks load shifts quickly
+/// without flapping on one slow batch.
+constexpr double kEwmaAlpha = 0.2;
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
 
 size_t ServerStats::LatencyBucket(std::chrono::nanoseconds latency) {
   int64_t ns = latency.count();
@@ -33,6 +55,28 @@ void ServerStats::RecordBatch(size_t batch_size) {
     ++bucket;
   }
   batch_hist_[bucket].fetch_add(1, rel());
+}
+
+void ServerStats::RecordBatch(size_t batch_size,
+                              std::chrono::nanoseconds latency) {
+  RecordBatch(batch_size);
+  double sample = static_cast<double>(std::max<int64_t>(latency.count(), 1));
+  uint64_t expected = ewma_batch_ns_bits_.load(rel());
+  for (;;) {
+    double updated = expected == 0
+                         ? sample
+                         : BitsToDouble(expected) +
+                               kEwmaAlpha * (sample - BitsToDouble(expected));
+    if (ewma_batch_ns_bits_.compare_exchange_weak(
+            expected, DoubleToBits(updated), rel(), rel())) {
+      return;
+    }
+  }
+}
+
+double ServerStats::EwmaBatchLatencyNs() const {
+  uint64_t bits = ewma_batch_ns_bits_.load(rel());
+  return bits == 0 ? 0.0 : BitsToDouble(bits);
 }
 
 ServerStats::View ServerStats::Snapshot() const {
@@ -71,6 +115,7 @@ ServerStats::View ServerStats::Snapshot() const {
   view.p50_latency_us = percentile(0.50);
   view.p95_latency_us = percentile(0.95);
   view.p99_latency_us = percentile(0.99);
+  view.ewma_batch_latency_us = EwmaBatchLatencyNs() * 1e-3;
 
   view.batch_size_hist.resize(kBatchBuckets);
   for (size_t b = 0; b < kBatchBuckets; ++b) {

@@ -40,6 +40,16 @@ class ServerStats {
   /// One scored batch of `batch_size` requests.
   void RecordBatch(size_t batch_size);
 
+  /// One scored batch plus its wall-clock scoring latency; feeds the
+  /// EWMA the cost-aware admission policy consults.
+  void RecordBatch(size_t batch_size, std::chrono::nanoseconds latency);
+
+  /// Exponentially weighted moving average of batch scoring latency in
+  /// nanoseconds; 0 until the first batch completes. Lock-free (a CAS
+  /// loop over the double's bit pattern) — safe to read on the Submit
+  /// hot path.
+  double EwmaBatchLatencyNs() const;
+
   /// Consistent-enough copy of all counters plus derived percentiles.
   /// (Counters are read individually; a view taken while traffic is in
   /// flight may be mid-request, which is fine for monitoring.)
@@ -55,6 +65,8 @@ class ServerStats {
     double p50_latency_us = 0.0;
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    /// EWMA of batch scoring latency (the admission cost signal).
+    double ewma_batch_latency_us = 0.0;
     /// Completed-request counts per power-of-two batch-size bucket.
     std::vector<uint64_t> batch_size_hist;
   };
@@ -75,6 +87,8 @@ class ServerStats {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
   std::atomic<uint64_t> snapshot_swaps_{0};
+  /// IEEE-754 bits of the EWMA; 0 = no sample yet.
+  std::atomic<uint64_t> ewma_batch_ns_bits_{0};
   std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<uint64_t>, kBatchBuckets> batch_hist_{};
 };

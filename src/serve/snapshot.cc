@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "core/diffair.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -48,6 +49,14 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
     return Status::FailedPrecondition(
         "ModelSnapshot: conformance routing needs a profile");
   }
+  if (parts.routed &&
+      parts.profile.num_groups() < static_cast<int>(parts.models.size())) {
+    // Routing consults the profile for every group that has a model; a
+    // narrower profile (possible only via hand-filled parts or a forged
+    // snapshot file) would index past its cells.
+    return Status::FailedPrecondition(
+        "ModelSnapshot: profile covers fewer groups than the model set");
+  }
 
   auto snapshot = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
   snapshot->version_ = NextSnapshotVersion();
@@ -55,11 +64,14 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
   snapshot->encoder_ = std::move(parts.encoder);
   snapshot->models_ = std::move(parts.models);
   snapshot->routed_ = parts.routed;
+  snapshot->routing_ = parts.routing;
   snapshot->fallback_group_ = parts.fallback_group;
   snapshot->profile_ = std::move(parts.profile);
   snapshot->has_profile_ = parts.has_profile;
   snapshot->density_ = std::move(parts.density);
   snapshot->density_floor_ = parts.density_floor;
+  snapshot->density_train_ = std::move(parts.density_train);
+  snapshot->density_options_ = parts.density_options;
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
@@ -83,35 +95,8 @@ Status ModelSnapshot::ValidateRow(const double* row) const {
   return Status::OK();
 }
 
-Result<Dataset> ModelSnapshot::RowsToDataset(const Matrix& rows) const {
-  Dataset data;
-  for (size_t j = 0; j < schema_.num_fields(); ++j) {
-    const FieldSpec& field = schema_.field(j);
-    if (field.type == ColumnType::kNumeric) {
-      FAIRDRIFT_RETURN_IF_ERROR(
-          data.AddNumericColumn(field.name, rows.Col(j)));
-    } else {
-      std::vector<int> codes(rows.rows());
-      for (size_t i = 0; i < rows.rows(); ++i) {
-        double v = rows.At(i, j);
-        int code = static_cast<int>(v);
-        if (v != std::floor(v) || code < 0 || code >= field.num_categories) {
-          return Status::InvalidArgument(StrFormat(
-              "ModelSnapshot: row %zu field '%s': %g is not a category code "
-              "in [0, %d)",
-              i, field.name.c_str(), v, field.num_categories));
-        }
-        codes[i] = code;
-      }
-      FAIRDRIFT_RETURN_IF_ERROR(data.AddCategoricalColumn(
-          field.name, std::move(codes), field.num_categories));
-    }
-  }
-  return data;
-}
-
 Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
-    const Matrix& rows, ThreadPool* pool) const {
+    const Matrix& rows, ScoreScratch* scratch, ThreadPool* pool) const {
   if (rows.rows() == 0) return std::vector<ScoreResult>{};
   if (rows.cols() != num_features()) {
     return Status::InvalidArgument(
@@ -119,73 +104,60 @@ Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
                   "has %zu",
                   rows.cols(), num_features()));
   }
-  Result<Dataset> data = RowsToDataset(rows);
-  if (!data.ok()) return data.status();
-
   size_t n = rows.rows();
+
+  // Encode first: TransformRows also validates category codes, so a
+  // malformed row fails the batch before any scoring work. The numeric
+  // view feeds the margin scans and the density monitor. Both land in
+  // the reusable scratch matrices — no Dataset is ever materialized on
+  // the serving path.
+  FAIRDRIFT_RETURN_IF_ERROR(encoder_.TransformRows(rows, &scratch->encoded));
+  FAIRDRIFT_RETURN_IF_ERROR(encoder_.NumericRows(rows, &scratch->numeric));
+  const Matrix& numeric = scratch->numeric;
+
   std::vector<ScoreResult> out(n);
   for (ScoreResult& r : out) r.snapshot_version = version_;
 
   // Conformance routing + margins over the numeric attribute view (the
-  // same per-row scans DiffairModel serves with; group membership is never
-  // consulted).
-  Matrix numeric = data.value().NumericMatrix();
-  std::vector<int> route(n, fallback_group_);
+  // shared DIFFAIR dispatch; group membership is never consulted).
+  scratch->route.assign(n, fallback_group_);
+  std::vector<int>& route = scratch->route;
   if (has_profile_ && numeric.cols() > 0) {
-    int num_groups = static_cast<int>(models_.size());
-    ParallelFor(
-        0, n,
-        [&](size_t i) {
-          const double* row = numeric.RowPtr(i);
-          double best = std::numeric_limits<double>::infinity();
-          if (routed_) {
-            // Dispatch to the most-conforming group that has a model
-            // (DIFFAIR's PREDICT); the reported margin is the winner's.
-            int best_group = fallback_group_;
-            for (int g = 0; g < num_groups; ++g) {
-              if (!models_[static_cast<size_t>(g)]) continue;
-              if (!profile_.GroupProfiled(g)) continue;
-              double margin = profile_.MinMarginForGroup(g, row);
-              if (margin < best) {
-                best = margin;
-                best_group = g;
-              }
-            }
-            route[i] = best_group;
-          } else {
-            // Single-model serving: the margin is a pure conformance
-            // monitor — best over every profiled group.
+    if (routed_) {
+      // The single routing path (ConformanceRouteInto) decides the
+      // serving group per the artifact's rule and reports the winner's
+      // signed margin — serving routes exactly as Evaluate does.
+      ConformanceRouteInto(profile_, models_, numeric, routing_,
+                           fallback_group_, &scratch->route,
+                           &scratch->margins, pool);
+      for (size_t i = 0; i < n; ++i) out[i].margin = scratch->margins[i];
+    } else {
+      // Single-model serving: the margin is a pure conformance monitor
+      // — best over every profiled group.
+      ParallelFor(
+          0, n,
+          [&](size_t i) {
+            const double* row = numeric.RowPtr(i);
+            double best = std::numeric_limits<double>::infinity();
             for (int g = 0; g < profile_.num_groups(); ++g) {
               if (!profile_.GroupProfiled(g)) continue;
               best = std::min(best, profile_.MinMarginForGroup(g, row));
             }
-          }
-          out[i].margin = best;
-        },
-        pool);
+            out[i].margin = best;
+          },
+          pool);
+    }
   }
 
-  // One batched prediction per group model, gathered by route.
-  Result<Matrix> x = encoder_.Transform(data.value());
-  if (!x.ok()) return x.status();
-  std::vector<std::vector<double>> proba_by_group(models_.size());
-  for (size_t g = 0; g < models_.size(); ++g) {
-    if (!models_[g]) continue;
-    bool serves_any = static_cast<int>(g) == fallback_group_;
-    for (size_t i = 0; !serves_any && i < n; ++i) {
-      serves_any = route[i] == static_cast<int>(g);
-    }
-    if (!serves_any) continue;
-    Result<std::vector<double>> p = models_[g]->PredictProba(x.value());
-    if (!p.ok()) return p.status();
-    proba_by_group[g] = std::move(p).value();
-  }
+  // One batched prediction per serving group model, gathered by route —
+  // the same shared step the offline routed paths use.
+  Result<RoutedPredictions> predictions =
+      GatherRoutedPredictions(models_, route, scratch->encoded);
+  if (!predictions.ok()) return predictions.status();
   for (size_t i = 0; i < n; ++i) {
-    size_t g = static_cast<size_t>(route[i]);
     out[i].routed_group = routed_ ? route[i] : -1;
-    out[i].probability = proba_by_group[g][i];
-    out[i].label =
-        out[i].probability >= models_[g]->threshold() ? 1 : 0;
+    out[i].probability = predictions.value().proba[i];
+    out[i].label = predictions.value().labels[i];
   }
 
   // Drift monitor: training log-density of each request row.
@@ -197,6 +169,12 @@ Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
     }
   }
   return out;
+}
+
+Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
+    const Matrix& rows, ThreadPool* pool) const {
+  ScoreScratch scratch;
+  return ScoreBatch(rows, &scratch, pool);
 }
 
 }  // namespace fairdrift

@@ -5,6 +5,9 @@
 // GroupLabelProfile used for DIFFAIR-style routing and margin reporting,
 // the fitted FeatureEncoder, and (optionally) a KernelDensity over the
 // training attributes acting as a drift monitor for incoming traffic.
+// Snapshots are produced by Freeze() (core/artifacts.h) or BuildSnapshot
+// (core/deployment.h) and persist across processes via
+// serve/snapshot_io.h.
 //
 // Snapshots are created once, published behind shared_ptr<const ...>, and
 // never mutated afterwards — in-flight batches keep scoring the snapshot
@@ -14,7 +17,8 @@
 // Determinism contract: ScoreBatch scores each row independently through
 // the library's deterministic batched kernels, so a given request produces
 // bitwise-identical ScoreResult fields regardless of which batch it lands
-// in or how many pool workers score that batch.
+// in, how many pool workers score that batch, or whether the snapshot was
+// frozen in this process or loaded from a file another process saved.
 
 #ifndef FAIRDRIFT_SERVE_SNAPSHOT_H_
 #define FAIRDRIFT_SERVE_SNAPSHOT_H_
@@ -24,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/diffair.h"  // RoutingRule
 #include "core/profile.h"
 #include "data/encode.h"
 #include "data/schema.h"
@@ -59,8 +64,21 @@ struct ScoreResult {
   uint64_t snapshot_version = 0;
 };
 
+/// Reusable per-worker buffers for ScoreBatch. A batch worker that keeps
+/// one of these across batches pays no per-batch Dataset/encoding
+/// allocations — the matrices reshape in place once their capacity covers
+/// the largest batch seen. Not thread-safe; one scratch per concurrent
+/// ScoreBatch call.
+struct ScoreScratch {
+  Matrix rows;      ///< request-row staging area (filled by the server)
+  Matrix numeric;   ///< numeric-attribute view of the batch
+  Matrix encoded;   ///< encoded design matrix of the batch
+  std::vector<int> route;       ///< per-row serving group
+  std::vector<double> margins;  ///< per-row winner signed margin
+};
+
 /// Mutable staging area for ModelSnapshot::Create. Fill in the fitted
-/// artifacts (typically via core/deployment.h) and freeze them.
+/// artifacts (typically via Freeze in core/artifacts.h) and freeze them.
 struct SnapshotParts {
   /// Request-row layout. Requests carry one double per schema field, in
   /// schema order; categorical fields carry the category code.
@@ -73,6 +91,9 @@ struct SnapshotParts {
   /// When true, rows route to the most-conforming group's model through
   /// `profile` (requires a profiled group per non-null model).
   bool routed = false;
+  /// How routed rows rank the groups (DIFFAIR's RoutingRule; carried
+  /// from the artifacts so serving routes exactly as Evaluate did).
+  RoutingRule routing = RoutingRule::kSignedMargin;
   /// Group served when routing is off or no group is profiled.
   int fallback_group = 0;
   /// (group x label) conformance profile; empty profiles disable margins.
@@ -83,6 +104,16 @@ struct SnapshotParts {
   /// Log-density below which a row is flagged density_outlier (typically a
   /// low quantile of the training split's own log-densities).
   double density_floor = -std::numeric_limits<double>::infinity();
+  /// The raw numeric training matrix the density monitor was fitted on,
+  /// plus its fit options — kept so snapshot persistence
+  /// (serve/snapshot_io.h) can refit the identical estimator in another
+  /// process (the tree stores the points *permuted*, so refitting from
+  /// it would change summation order and break bitwise identity). This
+  /// roughly doubles a monitored snapshot's resident memory; serializing
+  /// the flat tree nodes directly would remove the copy (ROADMAP).
+  /// Empty when there is no monitor.
+  Matrix density_train;
+  KdeOptions density_options;
 };
 
 /// Immutable, shareable, concurrently scorable pipeline freeze.
@@ -97,7 +128,15 @@ class ModelSnapshot {
   /// num_features(), schema layout). Routing, prediction, margins, and
   /// density all run through the library's batched kernels on `pool`
   /// (global pool when null); per-row results are bitwise independent of
-  /// the batch composition and the worker count.
+  /// the batch composition and the worker count. `scratch` supplies the
+  /// working buffers — reuse one per worker to keep the hot path free of
+  /// per-batch rebuild allocations.
+  Result<std::vector<ScoreResult>> ScoreBatch(const Matrix& rows,
+                                              ScoreScratch* scratch,
+                                              ThreadPool* pool = nullptr) const;
+
+  /// ScoreBatch with one-shot scratch buffers (convenience for offline
+  /// callers; the serving path reuses a per-worker scratch instead).
   Result<std::vector<ScoreResult>> ScoreBatch(const Matrix& rows,
                                               ThreadPool* pool = nullptr) const;
 
@@ -114,10 +153,18 @@ class ModelSnapshot {
   size_t num_features() const { return schema_.num_fields(); }
 
   const Schema& schema() const { return schema_; }
+  const FeatureEncoder& encoder() const { return encoder_; }
   bool routed() const { return routed_; }
+  RoutingRule routing() const { return routing_; }
+  int fallback_group() const { return fallback_group_; }
   bool has_profile() const { return has_profile_; }
+  const GroupLabelProfile& profile() const { return profile_; }
   bool has_density() const { return density_ != nullptr; }
   double density_floor() const { return density_floor_; }
+  /// The drift monitor's training matrix + options (empty matrix when the
+  /// snapshot has no monitor); consumed by snapshot persistence.
+  const Matrix& density_train() const { return density_train_; }
+  const KdeOptions& density_options() const { return density_options_; }
   int num_groups() const { return static_cast<int>(models_.size()); }
 
   /// The model serving group `g` (nullptr when the group has none).
@@ -126,21 +173,19 @@ class ModelSnapshot {
  private:
   ModelSnapshot() = default;
 
-  /// Rebuilds a Dataset from raw request rows (the inverse of the row
-  /// contract above) so the frozen encoder / profile consume requests
-  /// exactly as they consume offline splits.
-  Result<Dataset> RowsToDataset(const Matrix& rows) const;
-
   uint64_t version_ = 0;
   Schema schema_;
   FeatureEncoder encoder_;
   std::vector<std::unique_ptr<Classifier>> models_;
   bool routed_ = false;
+  RoutingRule routing_ = RoutingRule::kSignedMargin;
   int fallback_group_ = 0;
   GroupLabelProfile profile_;
   bool has_profile_ = false;
   std::shared_ptr<const KernelDensity> density_;
   double density_floor_ = -std::numeric_limits<double>::infinity();
+  Matrix density_train_;
+  KdeOptions density_options_;
 };
 
 }  // namespace fairdrift

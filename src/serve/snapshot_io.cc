@@ -1,0 +1,375 @@
+#include "serve/snapshot_io.h"
+
+#include <cstring>
+#include <utility>
+
+#include "cc/constraint.h"
+#include "ml/model_io.h"
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'D', 'S', 'N', 'A', 'P', 'S', 'H'};
+
+void SerializeConstraintSet(const ConstraintSet& set, BinaryWriter* w) {
+  w->WriteU64(set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    const ConformanceConstraint& c = set.constraint(i);
+    w->WriteDoubleVector(c.projection.coeffs);
+    w->WriteDouble(c.projection.offset);
+    w->WriteDouble(c.lower_bound);
+    w->WriteDouble(c.upper_bound);
+    w->WriteDouble(c.stddev);
+    w->WriteDouble(c.importance);
+  }
+}
+
+Result<ConstraintSet> DeserializeConstraintSet(BinaryReader* r) {
+  Result<uint64_t> count = r->ReadU64();
+  if (!count.ok()) return count.status();
+  if (count.value() > r->remaining() / 48) {  // >= 6 u64-wide fields each
+    return Status::DataLoss("snapshot constraint set claims an implausible "
+                            "constraint count");
+  }
+  std::vector<ConformanceConstraint> constraints;
+  constraints.reserve(count.value());
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    ConformanceConstraint c;
+    Result<std::vector<double>> coeffs = r->ReadDoubleVector();
+    if (!coeffs.ok()) return coeffs.status();
+    c.projection.coeffs = std::move(coeffs).value();
+    Result<double> offset = r->ReadDouble();
+    if (!offset.ok()) return offset.status();
+    c.projection.offset = offset.value();
+    Result<double> lower = r->ReadDouble();
+    if (!lower.ok()) return lower.status();
+    c.lower_bound = lower.value();
+    Result<double> upper = r->ReadDouble();
+    if (!upper.ok()) return upper.status();
+    c.upper_bound = upper.value();
+    Result<double> stddev = r->ReadDouble();
+    if (!stddev.ok()) return stddev.status();
+    c.stddev = stddev.value();
+    Result<double> importance = r->ReadDouble();
+    if (!importance.ok()) return importance.status();
+    c.importance = importance.value();
+    constraints.push_back(std::move(c));
+  }
+  // The stored importances are already normalized; renormalizing would
+  // perturb them bitwise and break cross-process score identity.
+  Result<ConstraintSet> set =
+      ConstraintSet::RestoreNormalized(std::move(constraints));
+  if (!set.ok()) return Status::DataLoss(set.status().message());
+  return set;
+}
+
+void SerializeProfile(const GroupLabelProfile& profile, BinaryWriter* w) {
+  w->WriteI32(profile.num_groups());
+  w->WriteI32(profile.num_classes());
+  for (int g = 0; g < profile.num_groups(); ++g) {
+    for (int y = 0; y < profile.num_classes(); ++y) {
+      const std::optional<ConstraintSet>& cell = profile.cell(g, y);
+      w->WriteU8(cell.has_value() ? 1 : 0);
+      if (cell.has_value()) SerializeConstraintSet(*cell, w);
+    }
+  }
+}
+
+Result<GroupLabelProfile> DeserializeProfile(BinaryReader* r) {
+  Result<int32_t> groups = r->ReadI32();
+  if (!groups.ok()) return groups.status();
+  Result<int32_t> classes = r->ReadI32();
+  if (!classes.ok()) return classes.status();
+  if (groups.value() < 0 || classes.value() < 0 ||
+      static_cast<uint64_t>(groups.value()) *
+          static_cast<uint64_t>(classes.value()) >
+      (1u << 20)) {
+    return Status::DataLoss("snapshot profile has an implausible shape");
+  }
+  std::vector<std::optional<ConstraintSet>> cells(
+      static_cast<size_t>(groups.value()) *
+      static_cast<size_t>(classes.value()));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    Result<uint8_t> present = r->ReadU8();
+    if (!present.ok()) return present.status();
+    if (present.value() == 0) continue;
+    Result<ConstraintSet> set = DeserializeConstraintSet(r);
+    if (!set.ok()) return set.status();
+    cells[i] = std::move(set).value();
+  }
+  Result<GroupLabelProfile> profile = GroupLabelProfile::FromCells(
+      groups.value(), classes.value(), std::move(cells));
+  if (!profile.ok()) return Status::DataLoss(profile.status().message());
+  return profile;
+}
+
+void SerializeKdeOptions(const KdeOptions& options, BinaryWriter* w) {
+  w->WriteU8(options.bandwidth_rule == BandwidthRule::kSilverman ? 1 : 0);
+  w->WriteDouble(options.approximation_atol);
+  w->WriteU64(options.leaf_size);
+  w->WriteU8(options.tree_backend == KdeTreeBackend::kBallTree ? 1 : 0);
+  w->WriteU8(options.use_fit_cache ? 1 : 0);
+}
+
+Result<KdeOptions> DeserializeKdeOptions(BinaryReader* r) {
+  KdeOptions options;
+  Result<uint8_t> rule = r->ReadU8();
+  if (!rule.ok()) return rule.status();
+  options.bandwidth_rule =
+      rule.value() != 0 ? BandwidthRule::kSilverman : BandwidthRule::kScott;
+  Result<double> atol = r->ReadDouble();
+  if (!atol.ok()) return atol.status();
+  options.approximation_atol = atol.value();
+  Result<uint64_t> leaf = r->ReadU64();
+  if (!leaf.ok()) return leaf.status();
+  options.leaf_size = leaf.value();
+  Result<uint8_t> backend = r->ReadU8();
+  if (!backend.ok()) return backend.status();
+  options.tree_backend = backend.value() != 0 ? KdeTreeBackend::kBallTree
+                                              : KdeTreeBackend::kKdTree;
+  Result<uint8_t> cache = r->ReadU8();
+  if (!cache.ok()) return cache.status();
+  options.use_fit_cache = cache.value() != 0;
+  return options;
+}
+
+void SerializeMatrix(const Matrix& m, BinaryWriter* w) {
+  w->WriteU64(m.rows());
+  w->WriteU64(m.cols());
+  for (double v : m.data()) w->WriteDouble(v);
+}
+
+Result<Matrix> DeserializeMatrix(BinaryReader* r) {
+  Result<uint64_t> rows = r->ReadU64();
+  if (!rows.ok()) return rows.status();
+  Result<uint64_t> cols = r->ReadU64();
+  if (!cols.ok()) return cols.status();
+  // Division-shaped guard: hostile dimensions must not overflow past it
+  // into a gigantic allocation.
+  if (cols.value() != 0 &&
+      rows.value() > r->remaining() / 8 / cols.value()) {
+    return Status::DataLoss("snapshot matrix claims more data than stored");
+  }
+  std::vector<double> flat;
+  flat.reserve(rows.value() * cols.value());
+  for (uint64_t i = 0; i < rows.value() * cols.value(); ++i) {
+    Result<double> v = r->ReadDouble();
+    if (!v.ok()) return v.status();
+    flat.push_back(v.value());
+  }
+  Result<Matrix> m =
+      Matrix::FromFlat(rows.value(), cols.value(), std::move(flat));
+  if (!m.ok()) return Status::DataLoss(m.status().message());
+  return m;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  BinaryWriter payload;
+  SerializeSchema(snapshot.schema(), &payload);
+  snapshot.encoder().SerializeTo(&payload);
+  payload.WriteU8(snapshot.routed() ? 1 : 0);
+  payload.WriteU8(snapshot.routing() == RoutingRule::kViolationOnly ? 1 : 0);
+  payload.WriteI32(snapshot.fallback_group());
+
+  payload.WriteU64(static_cast<uint64_t>(snapshot.num_groups()));
+  for (int g = 0; g < snapshot.num_groups(); ++g) {
+    const Classifier* model = snapshot.group_model(g);
+    payload.WriteU8(model != nullptr ? 1 : 0);
+    if (model != nullptr) {
+      FAIRDRIFT_RETURN_IF_ERROR(SerializeClassifier(*model, &payload));
+    }
+  }
+
+  payload.WriteU8(snapshot.has_profile() ? 1 : 0);
+  if (snapshot.has_profile()) SerializeProfile(snapshot.profile(), &payload);
+
+  if (snapshot.has_density() && snapshot.density_train().empty()) {
+    // Dropping the monitor silently would make the loaded snapshot score
+    // differently from the saved one — refuse instead. Freeze()
+    // (core/artifacts.h) always stores the training matrix.
+    return Status::FailedPrecondition(
+        "SaveSnapshot: snapshot carries a density monitor without its "
+        "training matrix; freeze it via core/artifacts.h to persist");
+  }
+  bool persist_density = snapshot.has_density();
+  payload.WriteU8(persist_density ? 1 : 0);
+  if (persist_density) {
+    SerializeKdeOptions(snapshot.density_options(), &payload);
+    payload.WriteDouble(snapshot.density_floor());
+    SerializeMatrix(snapshot.density_train(), &payload);
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  BinaryWriter header;
+  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU64(payload.buffer().size());
+  out.append(header.buffer());
+  out.append(payload.buffer());
+  BinaryWriter checksum;
+  checksum.WriteU64(Fnv1aHash(payload.buffer().data(),
+                              payload.buffer().size()));
+  out.append(checksum.buffer());
+  return WriteFileBytes(path, out);
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
+    const std::string& path) {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& file = bytes.value();
+  if (file.size() < sizeof(kMagic) + 12 ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("'" + path + "' is not a fairdrift snapshot");
+  }
+  BinaryReader header(file.data() + sizeof(kMagic),
+                      file.size() - sizeof(kMagic));
+  Result<uint32_t> version = header.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kSnapshotFormatVersion) {
+    return Status::DataLoss(StrFormat(
+        "'%s' has snapshot format version %u; this build reads version %u",
+        path.c_str(), version.value(), kSnapshotFormatVersion));
+  }
+  Result<uint64_t> payload_size = header.ReadU64();
+  if (!payload_size.ok()) return payload_size.status();
+  // Subtraction-shaped guard: a hostile payload_size must not wrap past
+  // the check into an out-of-bounds payload/trailer read.
+  if (header.remaining() < 8 ||
+      payload_size.value() != header.remaining() - 8) {
+    return Status::DataLoss("'" + path + "' is truncated");
+  }
+  const char* payload_start = file.data() + sizeof(kMagic) + 12;
+  BinaryReader trailer(payload_start + payload_size.value(), 8);
+  Result<uint64_t> stored_checksum = trailer.ReadU64();
+  if (!stored_checksum.ok()) return stored_checksum.status();
+  if (Fnv1aHash(payload_start, payload_size.value()) !=
+      stored_checksum.value()) {
+    return Status::DataLoss("'" + path + "' failed its integrity check");
+  }
+
+  BinaryReader r(payload_start, payload_size.value());
+  SnapshotParts parts;
+  Result<Schema> schema = DeserializeSchema(&r);
+  if (!schema.ok()) return schema.status();
+  parts.schema = std::move(schema).value();
+  Result<FeatureEncoder> encoder = FeatureEncoder::DeserializeFrom(&r);
+  if (!encoder.ok()) return encoder.status();
+  parts.encoder = std::move(encoder).value();
+  // The encoder carries its own schema copy; every downstream width
+  // check (constraints, density matrix) validates against the top-level
+  // schema while scoring derives views through the encoder — a forged
+  // disagreement between the two would undo those checks.
+  if (!parts.encoder.schema().Equals(parts.schema)) {
+    return Status::DataLoss(
+        "snapshot encoder schema disagrees with the snapshot schema");
+  }
+
+  Result<uint8_t> routed = r.ReadU8();
+  if (!routed.ok()) return routed.status();
+  parts.routed = routed.value() != 0;
+  Result<uint8_t> routing = r.ReadU8();
+  if (!routing.ok()) return routing.status();
+  parts.routing = routing.value() != 0 ? RoutingRule::kViolationOnly
+                                       : RoutingRule::kSignedMargin;
+  Result<int32_t> fallback = r.ReadI32();
+  if (!fallback.ok()) return fallback.status();
+  parts.fallback_group = fallback.value();
+
+  Result<uint64_t> num_models = r.ReadU64();
+  if (!num_models.ok()) return num_models.status();
+  if (num_models.value() > (1u << 20)) {
+    return Status::DataLoss("snapshot claims an implausible model count");
+  }
+  parts.models.resize(num_models.value());
+  for (uint64_t g = 0; g < num_models.value(); ++g) {
+    Result<uint8_t> present = r.ReadU8();
+    if (!present.ok()) return present.status();
+    if (present.value() == 0) continue;
+    Result<std::unique_ptr<Classifier>> model = DeserializeClassifier(&r);
+    if (!model.ok()) return model.status();
+    // Width cross-check against the encoder: a forged model whose fitted
+    // dimension exceeds the design matrix would read past request rows
+    // at scoring time.
+    size_t dim = ClassifierInputDim(*model.value());
+    if (dim != 0 && dim != parts.encoder.encoded_dim()) {
+      return Status::DataLoss(StrFormat(
+          "snapshot model %llu expects %zu features, encoder produces %zu",
+          static_cast<unsigned long long>(g), dim,
+          parts.encoder.encoded_dim()));
+    }
+    parts.models[g] = std::move(model).value();
+  }
+
+  Result<uint8_t> has_profile = r.ReadU8();
+  if (!has_profile.ok()) return has_profile.status();
+  if (has_profile.value() != 0) {
+    Result<GroupLabelProfile> profile = DeserializeProfile(&r);
+    if (!profile.ok()) return profile.status();
+    // Constraint projections scan the numeric attribute view; a forged
+    // coefficient vector wider than that view would read out of bounds
+    // during routing/margin scans.
+    size_t num_numeric = parts.schema.num_numeric();
+    for (int g = 0; g < profile.value().num_groups(); ++g) {
+      for (int y = 0; y < profile.value().num_classes(); ++y) {
+        const std::optional<ConstraintSet>& cell = profile.value().cell(g, y);
+        if (!cell.has_value()) continue;
+        for (size_t c = 0; c < cell->size(); ++c) {
+          if (cell->constraint(c).projection.coeffs.size() != num_numeric) {
+            return Status::DataLoss(
+                "snapshot constraint width disagrees with the schema");
+          }
+        }
+      }
+    }
+    parts.profile = std::move(profile).value();
+    parts.has_profile = true;
+  }
+
+  Result<uint8_t> has_density = r.ReadU8();
+  if (!has_density.ok()) return has_density.status();
+  if (has_density.value() != 0) {
+    Result<KdeOptions> options = DeserializeKdeOptions(&r);
+    if (!options.ok()) return options.status();
+    Result<double> floor = r.ReadDouble();
+    if (!floor.ok()) return floor.status();
+    Result<Matrix> train = DeserializeMatrix(&r);
+    if (!train.ok()) return train.status();
+    if (train.value().cols() != parts.schema.num_numeric()) {
+      return Status::DataLoss(
+          "snapshot density matrix width disagrees with the schema");
+    }
+    // Refit instead of storing the fitted trees: KernelDensity::Fit is
+    // deterministic, so identical data + options rebuild an estimator
+    // whose log-densities are bitwise identical to the saved process's.
+    Result<KernelDensity> density =
+        KernelDensity::Fit(train.value(), options.value());
+    if (!density.ok()) return density.status();
+    parts.density =
+        std::make_shared<const KernelDensity>(std::move(density).value());
+    parts.density_floor = floor.value();
+    parts.density_train = std::move(train).value();
+    parts.density_options = options.value();
+  }
+
+  if (r.remaining() != 0) {
+    return Status::DataLoss("'" + path + "' carries trailing bytes");
+  }
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      ModelSnapshot::Create(std::move(parts));
+  if (!snapshot.ok()) {
+    // Structural invariants (fallback model present, routing has a
+    // profile) double as integrity checks here.
+    return Status::DataLoss("'" + path +
+                            "' is not a valid snapshot: " +
+                            snapshot.status().message());
+  }
+  return snapshot;
+}
+
+}  // namespace fairdrift

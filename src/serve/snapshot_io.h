@@ -1,0 +1,49 @@
+// Snapshot persistence: a versioned binary format for ModelSnapshot.
+//
+// SaveSnapshot freezes a snapshot to disk — learner coefficients/trees,
+// the ConstraintSet profile, the GroupLabelProfile shape, the
+// FeatureEncoder's schema + standardization statistics, the drift
+// monitor's KDE training matrix + fit options, and the outlier floor.
+// LoadSnapshot rebuilds an equivalent snapshot in any process of the same
+// build: every numeric field travels as raw IEEE-754 bits and the KDE is
+// refitted deterministically from its stored training matrix, so a loaded
+// snapshot scores requests *bitwise identically* to the one saved. This
+// decouples training and serving: a training job Fits and saves; the
+// serving job loads and swaps, no refit anywhere.
+//
+// File layout:
+//   magic "FDSNAPSH" | u32 format version | u64 payload size
+//   | payload | u64 FNV-1a(payload)
+//
+// Truncated, corrupted (checksum mismatch), or future-version files are
+// rejected with a typed Status::DataLoss; files that are not snapshots at
+// all fail the magic check the same way. The format version bumps on any
+// layout change — there is no silent cross-version reinterpretation.
+
+#ifndef FAIRDRIFT_SERVE_SNAPSHOT_IO_H_
+#define FAIRDRIFT_SERVE_SNAPSHOT_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Current on-disk format version.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Writes `snapshot` to `path`. Fails IoError on filesystem problems and
+/// FailedPrecondition when a model family has no serialization.
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
+
+/// Reads a snapshot file written by SaveSnapshot (possibly by another
+/// process). The result carries a fresh process-local version stamp —
+/// snapshot versions order swaps within a server, not across processes.
+Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
+    const std::string& path);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_SNAPSHOT_IO_H_

@@ -1,0 +1,160 @@
+#include "util/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buffer_.append(bytes, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buffer_.append(bytes, 8);
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  buffer_.append(s);
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+Result<const char*> BinaryReader::Take(size_t n) {
+  if (n > size_ - pos_) {
+    return Status::DataLoss(
+        StrFormat("binary payload truncated: need %zu bytes at offset %zu, "
+                  "have %zu",
+                  n, pos_, size_ - pos_));
+  }
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  Result<const char*> p = Take(1);
+  if (!p.ok()) return p.status();
+  return static_cast<uint8_t>((*p.value()));
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  Result<const char*> p = Take(4);
+  if (!p.ok()) return p.status();
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p.value()[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  Result<const char*> p = Take(8);
+  if (!p.ok()) return p.status();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p.value()[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  Result<uint32_t> v = ReadU32();
+  if (!v.ok()) return v.status();
+  return static_cast<int32_t>(v.value());
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  Result<uint64_t> bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t b = bits.value();
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  Result<uint64_t> len = ReadU64();
+  if (!len.ok()) return len.status();
+  Result<const char*> p = Take(len.value());
+  if (!p.ok()) return p.status();
+  return std::string(p.value(), len.value());
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  Result<uint64_t> len = ReadU64();
+  if (!len.ok()) return len.status();
+  // Divide instead of multiplying: a hostile length must not overflow
+  // past the guard into a gigantic vector allocation.
+  if (len.value() > remaining() / 8) {
+    return Status::DataLoss(
+        StrFormat("binary payload truncated: vector claims %llu entries",
+                  static_cast<unsigned long long>(len.value())));
+  }
+  std::vector<double> v(len.value());
+  for (double& x : v) {
+    Result<double> r = ReadDouble();
+    if (!r.ok()) return r.status();
+    x = r.value();
+  }
+  return v;
+}
+
+uint64_t Fnv1aHash(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& payload) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  int close_err = std::fclose(f);
+  if (written != payload.size() || close_err != 0) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string out;
+  char chunk[1 << 16];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out.append(chunk, got);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IoError("read error on '" + path + "'");
+  return out;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,85 @@
+// Bounds-checked binary (de)serialization primitives.
+//
+// The versioned on-disk artifacts (snapshot files, see
+// serve/snapshot_io.h) are built from fixed-width little-endian scalars:
+// doubles travel as their IEEE-754 bit patterns, so a value read back is
+// *bitwise identical* to the value written — the property the snapshot
+// determinism contract extends across process boundaries.
+//
+// BinaryWriter appends to an in-memory buffer (the caller frames and
+// writes the file); BinaryReader walks a byte span and fails with a typed
+// Status::DataLoss on any out-of-bounds read, so truncated or corrupted
+// payloads surface as errors instead of undefined behavior.
+
+#ifndef FAIRDRIFT_UTIL_BINARY_IO_H_
+#define FAIRDRIFT_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Append-only little-endian byte sink.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  /// Raw IEEE-754 bits; NaNs and signed zeros round-trip exactly.
+  void WriteDouble(double v);
+  /// u64 length followed by the bytes.
+  void WriteString(const std::string& s);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Forward-only little-endian byte source over a borrowed buffer.
+class BinaryReader {
+ public:
+  /// `data` must outlive the reader.
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::string& data)
+      : BinaryReader(data.data(), data.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVector();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  /// Advances past `n` bytes, failing with DataLoss when fewer remain.
+  Result<const char*> Take(size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a over a byte buffer; the snapshot files carry it as a trailing
+/// integrity check so random corruption is detected, not mis-parsed.
+uint64_t Fnv1aHash(const char* data, size_t size);
+
+/// Writes `payload` to `path` atomically enough for our purposes (write +
+/// rename is overkill here; a partial write is caught by the checksum).
+Status WriteFileBytes(const std::string& path, const std::string& payload);
+
+/// Reads the whole file at `path`.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_UTIL_BINARY_IO_H_

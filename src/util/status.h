@@ -27,6 +27,8 @@ enum class StatusCode {
   kIoError,           ///< Filesystem / parsing failure.
   kUnavailable,       ///< Transient overload / shutdown; the caller may retry.
   kDeadlineExceeded,  ///< The request's deadline passed before completion.
+  kDataLoss,          ///< Stored artifact corrupted, truncated, or of an
+                      ///< unsupported format version.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +71,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

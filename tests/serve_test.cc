@@ -60,14 +60,11 @@ Dataset MakeTrainingData(size_t n, uint64_t seed) {
 }
 
 std::shared_ptr<const ModelSnapshot> MakeSnapshot(
-    uint64_t seed, SnapshotMethod method = SnapshotMethod::kPlain) {
+    uint64_t seed, Method method = Method::kNoIntervention) {
   Dataset train = MakeTrainingData(500, seed);
-  SnapshotBuildOptions options;
-  options.method = method;
-  options.include_profile = true;
-  options.include_density = true;
+  TrainSpec spec = ServingSpec(method);
   Result<std::shared_ptr<const ModelSnapshot>> snapshot =
-      BuildSnapshot(train, options);
+      BuildSnapshot(train, spec);
   EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
   return snapshot.ok() ? snapshot.value() : nullptr;
 }
@@ -182,7 +179,97 @@ TEST(AdmissionTest, ResolveDeadlineUsesDefaultPolicy) {
             std::chrono::steady_clock::time_point::max());
 }
 
+TEST(AdmissionTest, CostAwareShedsPredictablyDoomedRequests) {
+  AdmissionOptions options;
+  options.max_queue_depth = 100;
+  ASSERT_TRUE(options.cost_aware);  // the default policy
+  AdmissionController admission(options);
+  RequestQueue queue(100);
+  for (int i = 0; i < 10; ++i) {
+    PendingRequest request;
+    ASSERT_TRUE(queue.TryPush(std::move(request)));
+  }
+  auto now = std::chrono::steady_clock::now();
+  const double ewma_1ms = 1e6;  // ns per batch
+
+  // Unbatched drain: 10 queued batches ahead at ~1ms each, a 2ms
+  // deadline is predictably doomed — shed at the door with the deadline
+  // status.
+  Status doomed = admission.Admit(queue, now, now + std::chrono::milliseconds{2},
+                                  ewma_1ms, /*max_batch_size=*/1);
+  EXPECT_EQ(doomed.code(), StatusCode::kDeadlineExceeded);
+
+  // Coalescing into one batch of 16 drains the same queue in ~1ms; the
+  // identical deadline is feasible.
+  EXPECT_TRUE(admission
+                  .Admit(queue, now, now + std::chrono::milliseconds{2},
+                         ewma_1ms, /*max_batch_size=*/16)
+                  .ok());
+
+  // Concurrent workers drain waves of batches in parallel: 10 unbatched
+  // requests across 16 lanes cost ~1 wave, so the deadline is feasible.
+  EXPECT_TRUE(admission
+                  .Admit(queue, now, now + std::chrono::milliseconds{2},
+                         ewma_1ms, /*max_batch_size=*/1,
+                         /*concurrent_batches=*/16)
+                  .ok());
+
+  // An idle server never cost-sheds: the request's own batch does not
+  // count (deadlines stop applying once its batch starts scoring), so
+  // even a deadline shorter than one batch latency is admitted.
+  RequestQueue idle(100);
+  EXPECT_TRUE(admission
+                  .Admit(idle, now, now + std::chrono::microseconds{100},
+                         ewma_1ms, 1)
+                  .ok());
+
+  // No deadline -> nothing to predict against.
+  EXPECT_TRUE(admission
+                  .Admit(queue, now,
+                         std::chrono::steady_clock::time_point::max(),
+                         ewma_1ms, 1)
+                  .ok());
+
+  // No EWMA sample yet (cold server) -> depth-only policy.
+  EXPECT_TRUE(admission
+                  .Admit(queue, now, now + std::chrono::milliseconds{2},
+                         /*ewma_batch_latency_ns=*/0.0, 1)
+                  .ok());
+
+  // Policy off -> depth-only even with a signal.
+  options.cost_aware = false;
+  AdmissionController depth_only(options);
+  EXPECT_TRUE(depth_only
+                  .Admit(queue, now, now + std::chrono::milliseconds{2},
+                         ewma_1ms, 1)
+                  .ok());
+}
+
 // ----------------------------------------------------------------- stats
+
+TEST(ServerStatsTest, EwmaBatchLatencyTracksSamples) {
+  ServerStats stats;
+  EXPECT_EQ(stats.EwmaBatchLatencyNs(), 0.0);  // no sample yet
+  stats.RecordBatch(4, std::chrono::milliseconds{1});
+  EXPECT_DOUBLE_EQ(stats.EwmaBatchLatencyNs(), 1e6);  // first sample seeds
+  stats.RecordBatch(4, std::chrono::milliseconds{2});
+  // alpha = 0.2: 1e6 + 0.2 * (2e6 - 1e6)
+  EXPECT_DOUBLE_EQ(stats.EwmaBatchLatencyNs(), 1.2e6);
+  EXPECT_DOUBLE_EQ(stats.Snapshot().ewma_batch_latency_us, 1.2e3);
+}
+
+TEST(ScoringServerTest, EwmaFedByLiveTraffic) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(23);
+  ASSERT_NE(snapshot, nullptr);
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot);
+  ASSERT_TRUE(server.ok());
+  std::vector<std::vector<double>> rows = MakeRequests(8, 24);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(server.value()->ScoreSync(row).ok());
+  }
+  EXPECT_GT(server.value()->stats().ewma_batch_latency_us, 0.0);
+}
 
 TEST(ServerStatsTest, PercentilesAndBatchHistogram) {
   ServerStats stats;
@@ -260,14 +347,10 @@ TEST(ModelSnapshotTest, DensityMonitorUsesFullTrainingMatrix) {
   // (they share slot 0 and differ only by hint space). Both builds must
   // freeze the identical full-training-data density floor.
   Dataset train = MakeTrainingData(500, 22);
-  SnapshotBuildOptions with_profile;
-  with_profile.method = SnapshotMethod::kPlain;  // no implicit profiling
-  with_profile.include_profile = true;
-  with_profile.include_density = true;
-  SnapshotBuildOptions without_profile;
-  without_profile.method = SnapshotMethod::kPlain;
+  TrainSpec with_profile =
+      ServingSpec(Method::kNoIntervention);  // no implicit profiling
+  TrainSpec without_profile = ServingSpec(Method::kNoIntervention);
   without_profile.include_profile = false;
-  without_profile.include_density = true;
   Result<std::shared_ptr<const ModelSnapshot>> a =
       BuildSnapshot(train, with_profile);
   Result<std::shared_ptr<const ModelSnapshot>> b =
@@ -292,7 +375,7 @@ TEST(ModelSnapshotTest, DensityMonitorUsesFullTrainingMatrix) {
 
 TEST(ModelSnapshotTest, DiffairSnapshotRoutesPerRow) {
   std::shared_ptr<const ModelSnapshot> snapshot =
-      MakeSnapshot(4, SnapshotMethod::kDiffair);
+      MakeSnapshot(4, Method::kDiffair);
   ASSERT_NE(snapshot, nullptr);
   EXPECT_TRUE(snapshot->routed());
   std::vector<std::vector<double>> rows = MakeRequests(64, 5);

@@ -1,0 +1,349 @@
+// Tests for snapshot persistence (serve/snapshot_io.h).
+//
+// The load-bearing contract is cross-process score identity: a snapshot
+// saved to disk and loaded back must score every request row *bitwise
+// identically* to the in-process original — across every intervention
+// method and learner family. The corruption tests pin the typed-error
+// contract: truncated, bit-flipped, future-version, and non-snapshot
+// files all fail with Status::DataLoss, never with a mis-parse.
+
+#include "serve/snapshot_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "core/deployment.h"
+#include "ml/gbt.h"
+#include "ml/model_io.h"
+#include "serve/server.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+Dataset MakeTrainingData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x0(n);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<int> cat(n);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = rng.Bernoulli(0.35) ? 1 : 0;
+    double shift = g == 1 ? 0.7 : -0.7;
+    x0[i] = rng.Gaussian(shift, 1.0);
+    x1[i] = rng.Gaussian(-shift, 1.2);
+    x2[i] = rng.Gaussian(0.0, 0.8);
+    cat[i] = static_cast<int>(rng.UniformInt(0, 2));
+    labels[i] = x0[i] - 0.5 * x1[i] + rng.Gaussian(0.0, 0.6) > 0.0 ? 1 : 0;
+    groups[i] = g;
+  }
+  Dataset data;
+  EXPECT_TRUE(data.AddNumericColumn("x0", std::move(x0)).ok());
+  EXPECT_TRUE(data.AddNumericColumn("x1", std::move(x1)).ok());
+  EXPECT_TRUE(data.AddNumericColumn("x2", std::move(x2)).ok());
+  EXPECT_TRUE(data.AddCategoricalColumn("cat", std::move(cat), 3).ok());
+  EXPECT_TRUE(data.SetLabels(std::move(labels), 2).ok());
+  EXPECT_TRUE(data.SetGroups(std::move(groups)).ok());
+  return data;
+}
+
+Matrix MakeRequests(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    rows.At(i, 0) = rng.Gaussian();
+    rows.At(i, 1) = rng.Gaussian();
+    rows.At(i, 2) = rng.Gaussian();
+    rows.At(i, 3) = static_cast<double>(rng.UniformInt(0, 2));
+  }
+  return rows;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Equality on the raw bit pattern: distinguishes -0.0 from 0.0 and
+/// treats the no-monitor NaN sentinel as equal to itself.
+void ExpectSameBits(double a, double b, size_t row, const char* what) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  EXPECT_EQ(ab, bb) << what << " differs at row " << row << ": " << a
+                    << " vs " << b;
+}
+
+void ExpectBitwiseEqualScores(const std::vector<ScoreResult>& a,
+                              const std::vector<ScoreResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectSameBits(a[i].probability, b[i].probability, i, "probability");
+    EXPECT_EQ(a[i].label, b[i].label) << "row " << i;
+    EXPECT_EQ(a[i].routed_group, b[i].routed_group) << "row " << i;
+    ExpectSameBits(a[i].margin, b[i].margin, i, "margin");
+    ExpectSameBits(a[i].log_density, b[i].log_density, i, "log_density");
+    EXPECT_EQ(a[i].density_outlier, b[i].density_outlier) << "row " << i;
+  }
+}
+
+struct RoundTripCase {
+  Method method;
+  LearnerKind learner;
+  const char* name;
+};
+
+class SnapshotRoundTripTest
+    : public ::testing::TestWithParam<RoundTripCase> {};
+
+// Save -> load -> score must be bitwise identical to the in-process
+// snapshot, for all three deployable methods x both paper learner
+// families (plus NB below).
+TEST_P(SnapshotRoundTripTest, BitwiseIdenticalScores) {
+  const RoundTripCase& param = GetParam();
+  Dataset train = MakeTrainingData(400, 17);
+  TrainSpec spec = ServingSpec(param.method);
+  spec.learner = param.learner;
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      BuildSnapshot(train, spec);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+  std::string path = TempPath(std::string("snapshot_") + param.name + ".bin");
+  ASSERT_TRUE(SaveSnapshot(*original.value(), path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_TRUE(loaded.value()->schema().Equals(original.value()->schema()));
+  EXPECT_EQ(loaded.value()->routed(), original.value()->routed());
+  EXPECT_EQ(loaded.value()->num_groups(), original.value()->num_groups());
+  EXPECT_EQ(loaded.value()->has_profile(), original.value()->has_profile());
+  EXPECT_EQ(loaded.value()->has_density(), original.value()->has_density());
+  EXPECT_EQ(loaded.value()->density_floor(),
+            original.value()->density_floor());
+
+  Matrix requests = MakeRequests(128, 23);
+  Result<std::vector<ScoreResult>> a = original.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> b = loaded.value()->ScoreBatch(requests);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ExpectBitwiseEqualScores(a.value(), b.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndLearners, SnapshotRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{Method::kNoIntervention,
+                      LearnerKind::kLogisticRegression, "plain_lr"},
+        RoundTripCase{Method::kNoIntervention,
+                      LearnerKind::kGradientBoosting, "plain_xgb"},
+        RoundTripCase{Method::kConfair, LearnerKind::kLogisticRegression,
+                      "confair_lr"},
+        RoundTripCase{Method::kConfair, LearnerKind::kGradientBoosting,
+                      "confair_xgb"},
+        RoundTripCase{Method::kDiffair, LearnerKind::kLogisticRegression,
+                      "diffair_lr"},
+        RoundTripCase{Method::kDiffair, LearnerKind::kGradientBoosting,
+                      "diffair_xgb"}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Prediction-time hyperparameters must travel with the fitted state: a
+// GBT trained with a non-default learning rate (which scales every tree
+// contribution at PredictProba time) must predict bitwise identically
+// after a serialize/deserialize round trip.
+TEST(SnapshotIoTest, GbtNonDefaultLearningRateRoundTrips) {
+  Dataset train = MakeTrainingData(300, 71);
+  Result<FeatureEncoder> encoder = FeatureEncoder::Fit(train);
+  ASSERT_TRUE(encoder.ok());
+  Result<Matrix> x = encoder.value().Transform(train);
+  ASSERT_TRUE(x.ok());
+  GbtOptions options;
+  options.learning_rate = 0.05;
+  options.num_rounds = 20;
+  GradientBoostedTrees model(options);
+  ASSERT_TRUE(model.Fit(x.value(), train.labels(), train.weights()).ok());
+
+  BinaryWriter w;
+  ASSERT_TRUE(SerializeClassifier(model, &w).ok());
+  BinaryReader r(w.buffer());
+  Result<std::unique_ptr<Classifier>> loaded = DeserializeClassifier(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Result<std::vector<double>> expected = model.PredictProba(x.value());
+  Result<std::vector<double>> actual = loaded.value()->PredictProba(x.value());
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok());
+  ASSERT_EQ(expected.value().size(), actual.value().size());
+  for (size_t i = 0; i < expected.value().size(); ++i) {
+    ExpectSameBits(expected.value()[i], actual.value()[i], i, "probability");
+  }
+}
+
+// The third learner family rides the same wire format.
+TEST(SnapshotIoTest, NaiveBayesRoundTrip) {
+  Dataset train = MakeTrainingData(300, 31);
+  TrainSpec spec = ServingSpec(Method::kConfair);
+  spec.learner = LearnerKind::kNaiveBayes;
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      BuildSnapshot(train, spec);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  std::string path = TempPath("snapshot_nb.bin");
+  ASSERT_TRUE(SaveSnapshot(*original.value(), path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Matrix requests = MakeRequests(64, 37);
+  Result<std::vector<ScoreResult>> a = original.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> b = loaded.value()->ScoreBatch(requests);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEqualScores(a.value(), b.value());
+}
+
+// The DIFFAIR routing rule is part of the frozen behavior: a
+// violation-only snapshot must load with the same rule and score
+// bitwise-identically (routing decides which model serves each row).
+TEST(SnapshotIoTest, ViolationOnlyRoutingRuleRoundTrips) {
+  Dataset train = MakeTrainingData(300, 83);
+  TrainSpec spec = ServingSpec(Method::kDiffair);
+  spec.diffair.routing = RoutingRule::kViolationOnly;
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      BuildSnapshot(train, spec);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  EXPECT_EQ(original.value()->routing(), RoutingRule::kViolationOnly);
+  std::string path = TempPath("snapshot_violation_only.bin");
+  ASSERT_TRUE(SaveSnapshot(*original.value(), path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->routing(), RoutingRule::kViolationOnly);
+  Matrix requests = MakeRequests(64, 89);
+  Result<std::vector<ScoreResult>> a = original.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> b = loaded.value()->ScoreBatch(requests);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEqualScores(a.value(), b.value());
+}
+
+// A snapshot without a drift monitor round-trips too (the density block
+// is optional in the format).
+TEST(SnapshotIoTest, NoDensityRoundTrip) {
+  Dataset train = MakeTrainingData(300, 41);
+  TrainSpec spec = ServingSpec(Method::kNoIntervention);
+  spec.include_density = false;
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      BuildSnapshot(train, spec);
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("snapshot_nodensity.bin");
+  ASSERT_TRUE(SaveSnapshot(*original.value(), path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value()->has_density());
+  Matrix requests = MakeRequests(32, 43);
+  Result<std::vector<ScoreResult>> a = original.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> b = loaded.value()->ScoreBatch(requests);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEqualScores(a.value(), b.value());
+}
+
+std::string SaveReferenceSnapshot(const std::string& path) {
+  Dataset train = MakeTrainingData(200, 53);
+  TrainSpec spec = ServingSpec(Method::kConfair);
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      BuildSnapshot(train, spec);
+  EXPECT_TRUE(snapshot.ok());
+  EXPECT_TRUE(SaveSnapshot(*snapshot.value(), path).ok());
+  Result<std::string> bytes = ReadFileBytes(path);
+  EXPECT_TRUE(bytes.ok());
+  return bytes.value();
+}
+
+TEST(SnapshotIoTest, CorruptedFileRejectedWithTypedError) {
+  std::string path = TempPath("snapshot_corrupt.bin");
+  std::string bytes = SaveReferenceSnapshot(path);
+  ASSERT_GT(bytes.size(), 64u);
+  // Flip one payload byte; the trailing FNV-1a must catch it.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  ASSERT_TRUE(WriteFileBytes(path, bytes).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotIoTest, TruncatedFileRejectedWithTypedError) {
+  std::string path = TempPath("snapshot_truncated.bin");
+  std::string bytes = SaveReferenceSnapshot(path);
+  ASSERT_TRUE(WriteFileBytes(path, bytes.substr(0, bytes.size() / 3)).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotIoTest, WrongFormatVersionRejectedWithTypedError) {
+  std::string path = TempPath("snapshot_future.bin");
+  std::string bytes = SaveReferenceSnapshot(path);
+  // The u32 format version sits right after the 8-byte magic.
+  bytes[8] = static_cast<char>(kSnapshotFormatVersion + 41);
+  ASSERT_TRUE(WriteFileBytes(path, bytes).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("format version"),
+            std::string::npos);
+}
+
+TEST(SnapshotIoTest, NonSnapshotFileRejectedWithTypedError) {
+  std::string path = TempPath("snapshot_garbage.bin");
+  ASSERT_TRUE(
+      WriteFileBytes(path, "this is not a snapshot at all, sorry").ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotIoTest, MissingFileIsIoError) {
+  Result<std::shared_ptr<const ModelSnapshot>> loaded =
+      LoadSnapshot(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// A loaded snapshot serves a ScoringServer exactly like a built one —
+// the save -> (other process) -> load -> swap deployment shape.
+TEST(SnapshotIoTest, LoadedSnapshotServes) {
+  Dataset train = MakeTrainingData(300, 59);
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      BuildSnapshot(train, ServingSpec(Method::kDiffair));
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("snapshot_served.bin");
+  ASSERT_TRUE(SaveSnapshot(*original.value(), path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(loaded.value());
+  ASSERT_TRUE(server.ok());
+  Matrix requests = MakeRequests(64, 61);
+  Result<std::vector<ScoreResult>> direct =
+      original.value()->ScoreBatch(requests);
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < requests.rows(); ++i) {
+    Result<ScoreResult> r = server.value()->ScoreSync(requests.Row(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().probability, direct.value()[i].probability);
+    EXPECT_EQ(r.value().label, direct.value()[i].label);
+    EXPECT_EQ(r.value().routed_group, direct.value()[i].routed_group);
+    EXPECT_EQ(r.value().margin, direct.value()[i].margin);
+    EXPECT_EQ(r.value().log_density, direct.value()[i].log_density);
+  }
+}
+
+}  // namespace
+}  // namespace fairdrift
