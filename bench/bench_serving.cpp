@@ -21,6 +21,7 @@
 #include "bench_common/bench_json.h"
 #include "core/deployment.h"
 #include "serve/server.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -182,8 +183,11 @@ size_t CountAllocations(size_t calls, Fn&& fn) {
 
 /// The scratch-reuse acceptance probe: scoring a batch out of a reused
 /// per-worker ScoreScratch must allocate strictly less than rebuilding
-/// the buffers per call (the pre-reuse serving path). Returns false (and
-/// complains) when the reduction claim does not hold.
+/// the buffers per call (the pre-reuse serving path), and the
+/// ScoreBatchInto path scored inline must allocate NOTHING per batch —
+/// the learners' PredictProbaInto spans, the routed-prediction gather,
+/// and the result vector all live in the recycled scratch. Returns false
+/// (and complains) when either claim does not hold.
 bool ProbeScratchAllocations(
     const std::shared_ptr<const ModelSnapshot>& snapshot,
     BenchJsonSection* section) {
@@ -194,30 +198,46 @@ bool ProbeScratchAllocations(
   for (size_t i = 0; i < kBatch; ++i) m.SetRow(i, rows[i]);
 
   ScoreScratch scratch;
-  // Warm both paths (pool spin-up, scratch capacity growth).
+  ThreadPool inline_pool(0);  // serial scoring: no task-dispatch allocs
+  // Warm all paths (pool spin-up, scratch capacity growth).
   (void)snapshot->ScoreBatch(m);
   (void)snapshot->ScoreBatch(m, &scratch);
+  (void)snapshot->ScoreBatchInto(m, &scratch, &inline_pool);
 
   size_t fresh = CountAllocations(
       kCalls, [&] { benchmark::DoNotOptimize(snapshot->ScoreBatch(m)); });
   size_t reused = CountAllocations(kCalls, [&] {
     benchmark::DoNotOptimize(snapshot->ScoreBatch(m, &scratch));
   });
+  size_t into = CountAllocations(kCalls, [&] {
+    benchmark::DoNotOptimize(
+        snapshot->ScoreBatchInto(m, &scratch, &inline_pool).ok());
+  });
   double fresh_per_batch = static_cast<double>(fresh) / kCalls;
   double reused_per_batch = static_cast<double>(reused) / kCalls;
+  double into_per_batch = static_cast<double>(into) / kCalls;
   section->metrics.push_back({"fresh_scratch_allocs_per_batch",
                               fresh_per_batch});
   section->metrics.push_back({"reused_scratch_allocs_per_batch",
                               reused_per_batch});
+  section->metrics.push_back({"into_inline_allocs_per_batch",
+                              into_per_batch});
   std::fprintf(stderr,
-               "scratch probe: %.1f allocs/batch fresh vs %.1f reused "
-               "(batch=%zu)\n",
-               fresh_per_batch, reused_per_batch, kBatch);
+               "scratch probe: %.1f allocs/batch fresh vs %.1f reused vs "
+               "%.1f into-inline (batch=%zu)\n",
+               fresh_per_batch, reused_per_batch, into_per_batch, kBatch);
   if (reused >= fresh) {
     std::fprintf(stderr,
                  "FAIL: scratch reuse did not reduce per-batch "
                  "allocations (%zu -> %zu over %zu calls)\n",
                  fresh, reused, kCalls);
+    return false;
+  }
+  if (into != 0) {
+    std::fprintf(stderr,
+                 "FAIL: inline ScoreBatchInto allocated %zu times over %zu "
+                 "calls; the steady-state serve path must be allocation-free\n",
+                 into, kCalls);
     return false;
   }
   return true;

@@ -28,8 +28,20 @@
 //       ScoringServer, and score the same deterministic request rows.
 //       Diffing the two --scores-out files proves cross-process bitwise
 //       score identity.
+//
+//   fairdrift_cli serve --in /tmp/snap.bin [--shards N] [--poll-ms M]
+//                      [--routing rr|least|hash] [--wait-for-reload SECS]
+//       Serve the snapshot through a sharded ScoringFleet and watch the
+//       file: when another process saves a new snapshot over it, the
+//       fleet rolls the update shard-by-shard with no restart. With
+//       --wait-for-reload the command blocks until that happens and
+//       exits 0 only if the served snapshot_version advanced — the CI
+//       hot-reload smoke.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "bench_common/experiment.h"
@@ -42,6 +54,8 @@
 #include "data/weights_io.h"
 #include "data/split.h"
 #include "datagen/realworld.h"
+#include "serve/fleet/fleet.h"
+#include "serve/fleet/watcher.h"
 #include "serve/server.h"
 #include "serve/snapshot_io.h"
 #include "util/cli.h"
@@ -376,6 +390,166 @@ int CmdSnapshotLoadAndScore(const CliFlags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------- serve
+
+/// Scores `n` deterministic rows through the fleet and returns the
+/// snapshot version that served them (the maximum seen — during a
+/// rollout different shards may answer from adjacent versions).
+Result<uint64_t> ServeProbeRows(ScoringFleet* fleet, const Schema& schema,
+                                size_t n, uint64_t seed) {
+  Matrix requests = MakeSchemaRequests(schema, n, seed);
+  uint64_t version = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Result<ScoreResult> r = fleet->ScoreSync(requests.Row(i));
+    if (!r.ok()) return r.status();
+    if (r.value().snapshot_version > version) {
+      version = r.value().snapshot_version;
+    }
+  }
+  return version;
+}
+
+int CmdServe(const CliFlags& flags) {
+  std::string path = flags.GetString("in", "/tmp/fairdrift_snapshot.bin");
+  // Load the snapshot AND capture its file signature consistently (probe
+  // before and after the load; retry if a save raced in between). The
+  // signature seeds the watcher baseline, so a snapshot saved between
+  // this load and the watcher start still triggers a rollout instead of
+  // being silently adopted as already-served.
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      Status::Internal("unreachable");
+  Result<SnapshotFileSignature> signature =
+      Status::Internal("unreachable");
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    signature = ProbeSnapshotFile(path);
+    if (!signature.ok()) break;
+    snapshot = LoadSnapshot(path);
+    if (!snapshot.ok()) break;
+    Result<SnapshotFileSignature> after = ProbeSnapshotFile(path);
+    if (after.ok() && after.value().checksum == signature.value().checksum) {
+      break;
+    }
+    snapshot = Status::Unavailable("snapshot changed while loading");
+  }
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Schema schema = snapshot.value()->schema();
+
+  FleetOptions options;
+  options.num_shards = static_cast<size_t>(flags.GetInt("shards", 2));
+  std::string routing = ToLower(flags.GetString("routing", "least"));
+  options.routing = routing == "rr"     ? FleetRoutingPolicy::kRoundRobin
+                    : routing == "hash" ? FleetRoutingPolicy::kHashRow
+                                        : FleetRoutingPolicy::kLeastQueueDepth;
+  Result<std::unique_ptr<ScoringFleet>> fleet =
+      ScoringFleet::Create(snapshot.value(), options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "%s\n", fleet.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t rows = static_cast<size_t>(flags.GetInt("score-rows", 64));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("score-seed", 99));
+  Result<uint64_t> served = ServeProbeRows(fleet.value().get(), schema,
+                                           rows, seed);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s: %zu shard(s), %s routing, snapshot_version=%llu\n",
+              path.c_str(), fleet.value()->num_shards(),
+              FleetRoutingPolicyName(options.routing),
+              static_cast<unsigned long long>(served.value()));
+  std::fflush(stdout);
+
+  // Hot-reload loop: watch the file and roll every new snapshot through
+  // the fleet shard-by-shard.
+  std::mutex mu;
+  std::condition_variable reloaded_cv;
+  uint64_t reloads = 0;
+  bool rollout_failed = false;
+  SnapshotWatcherOptions watch;
+  watch.poll_interval =
+      std::chrono::milliseconds(flags.GetInt("poll-ms", 200));
+  watch.baseline = signature.value();
+  ScoringFleet* fleet_ptr = fleet.value().get();
+  Result<std::unique_ptr<SnapshotWatcher>> watcher = SnapshotWatcher::Start(
+      path,
+      [&](std::shared_ptr<const ModelSnapshot> fresh) {
+        Result<RollingUpdateReport> report =
+            fleet_ptr->RollingUpdate(std::move(fresh));
+        std::lock_guard<std::mutex> lock(mu);
+        if (report.ok()) {
+          ++reloads;
+          std::printf("rolled out new snapshot: %zu shard(s), "
+                      "max stall %.1fms\n",
+                      report.value().shards_updated,
+                      report.value().max_stall_ms);
+        } else {
+          rollout_failed = true;
+          std::printf("rollout failed: %s\n",
+                      report.status().ToString().c_str());
+        }
+        std::fflush(stdout);
+        reloaded_cv.notify_all();
+      },
+      watch);
+  if (!watcher.ok()) {
+    std::fprintf(stderr, "%s\n", watcher.status().ToString().c_str());
+    return 1;
+  }
+
+  long wait_secs = flags.GetInt("wait-for-reload", 0);
+  if (wait_secs <= 0) {
+    FleetStatsView stats = fleet.value()->stats();
+    std::printf("scored %llu row(s), fleet p99 %.0fus; no --wait-for-reload, "
+                "exiting\n",
+                static_cast<unsigned long long>(stats.completed),
+                stats.p99_latency_us);
+    return 0;
+  }
+
+  // CI shape: block until another process saves a new snapshot over
+  // `path`, prove the served version advanced, exit 0.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    bool got = reloaded_cv.wait_for(
+        lock, std::chrono::seconds(wait_secs),
+        [&] { return reloads > 0 || rollout_failed; });
+    if (!got || rollout_failed) {
+      SnapshotWatcher::View wv = watcher.value()->stats();
+      std::fprintf(stderr,
+                   "no reload within %lds (%llu polls, %llu failed loads%s%s)\n",
+                   wait_secs, static_cast<unsigned long long>(wv.polls),
+                   static_cast<unsigned long long>(wv.failed_loads),
+                   wv.last_error.empty() ? "" : ": ",
+                   wv.last_error.c_str());
+      return 1;
+    }
+  }
+  Result<uint64_t> after = ServeProbeRows(fleet.value().get(), schema,
+                                          rows, seed);
+  if (!after.ok()) {
+    std::fprintf(stderr, "%s\n", after.status().ToString().c_str());
+    return 1;
+  }
+  FleetStatsView stats = fleet.value()->stats();
+  std::printf("reloaded: snapshot_version %llu -> %llu (version skew "
+              "%llu..%llu, %llu rolling update(s))\n",
+              static_cast<unsigned long long>(served.value()),
+              static_cast<unsigned long long>(after.value()),
+              static_cast<unsigned long long>(stats.min_snapshot_version),
+              static_cast<unsigned long long>(stats.max_snapshot_version),
+              static_cast<unsigned long long>(stats.rolling_updates));
+  if (after.value() <= served.value()) {
+    std::fprintf(stderr, "served snapshot_version did not advance\n");
+    return 1;
+  }
+  return 0;
+}
+
 int CmdSnapshot(const CliFlags& flags) {
   std::string sub =
       flags.positional().size() < 2 ? "" : flags.positional()[1];
@@ -397,8 +571,10 @@ int main(int argc, char** argv) {
   if (cmd == "constraints") return CmdConstraints(flags);
   if (cmd == "weigh") return CmdWeigh(flags);
   if (cmd == "snapshot") return CmdSnapshot(flags);
+  if (cmd == "serve") return CmdServe(flags);
   std::printf(
-      "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot> [flags]\n"
+      "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot|serve> "
+      "[flags]\n"
       "  list                               available datasets\n"
       "  eval --dataset D --method M        run an intervention pipeline\n"
       "       [--learner lr|xgb|nb] [--trials N] [--scale S] [--alpha A]\n"
@@ -410,6 +586,12 @@ int main(int argc, char** argv) {
       "        [--scores-out FILE] [--score-rows N]\n"
       "                                     train, freeze, persist\n"
       "  snapshot load-and-score --in FILE  load + serve in this process\n"
-      "        [--scores-out FILE] [--score-rows N]\n");
+      "        [--scores-out FILE] [--score-rows N]\n"
+      "  serve --in FILE                    sharded fleet + hot reload\n"
+      "        [--shards N] [--routing rr|least|hash] [--poll-ms M]\n"
+      "        [--score-rows N] [--wait-for-reload SECS]\n"
+      "                                     watches FILE; a snapshot saved\n"
+      "                                     over it rolls through the fleet\n"
+      "                                     with no restart\n");
   return cmd == "help" ? 0 : 1;
 }

@@ -47,8 +47,9 @@ namespace {
 
 /// Fits the drift-monitor density on the fit data's numeric attributes
 /// and derives the outlier floor from that split's own log-densities.
-/// Keeps the raw matrix in the artifacts so snapshot persistence can
-/// refit the identical estimator in another process.
+/// The raw matrix stays in the (training-side) artifacts for diagnostics
+/// and the legacy-format tests; frozen snapshots no longer retain it —
+/// persistence serializes the fitted estimator's flat tree directly.
 Status AttachDensityMonitor(const Dataset& fit_data, const TrainSpec& spec,
                             FittedArtifacts* artifacts) {
   Matrix numeric = fit_data.NumericMatrix();
@@ -342,7 +343,6 @@ Result<std::shared_ptr<const ModelSnapshot>> Freeze(
   parts.has_profile = artifacts.has_profile;
   parts.density = std::move(artifacts.density);
   parts.density_floor = artifacts.density_floor;
-  parts.density_train = std::move(artifacts.density_train);
   parts.density_options = artifacts.spec.density_kde;
   return ModelSnapshot::Create(std::move(parts));
 }

@@ -159,8 +159,9 @@ struct FittedArtifacts {
   int models_trained = 1;     ///< total learner fits (runtime driver)
 
   /// Drift monitor (when spec.include_density): the fitted density, the
-  /// raw training matrix it was fitted on (persisted so another process
-  /// can refit bitwise-identically), and the outlier floor.
+  /// raw training matrix it was fitted on (training-side only — frozen
+  /// snapshots persist the fitted tree instead of this copy), and the
+  /// outlier floor.
   std::shared_ptr<const KernelDensity> density;
   Matrix density_train;
   double density_floor = -std::numeric_limits<double>::infinity();

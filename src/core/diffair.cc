@@ -93,7 +93,8 @@ void ConformanceRouteInto(
 
   // Serving tuples route independently (the profile is read-only here), so
   // the scan parallelizes over rows; each row writes only its own slots.
-  ParallelFor(0, numeric.rows(), [&](size_t i) {
+  // ParallelForEach keeps an inline-pool scan allocation-free.
+  ParallelForEach(0, numeric.rows(), pool, [&](size_t i) {
     const double* row = numeric.RowPtr(i);
     double best = std::numeric_limits<double>::infinity();
     int best_group = fallback_group;
@@ -121,15 +122,27 @@ void ConformanceRouteInto(
                      ? profile.MinMarginForGroup(best_group, row)
                      : std::numeric_limits<double>::infinity());
     }
-  }, pool);
+  });
 }
 
 Result<RoutedPredictions> GatherRoutedPredictions(
     const std::vector<std::unique_ptr<Classifier>>& models,
     const std::vector<int>& route, const Matrix& x) {
+  Matrix group_proba;
+  RoutedPredictions out;
+  FAIRDRIFT_RETURN_IF_ERROR(GatherRoutedPredictionsInto(
+      models, route, x, &group_proba, &out.proba, &out.labels));
+  return out;
+}
+
+Status GatherRoutedPredictionsInto(
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const std::vector<int>& route, const Matrix& x, Matrix* group_proba,
+    std::vector<double>* proba, std::vector<int>* labels, ThreadPool* pool) {
   // Evaluate each serving group's model once over the whole batch and
-  // gather by route.
-  std::vector<std::vector<double>> proba_by_group(models.size());
+  // gather by route. The staging matrix reshapes in place, so a recycled
+  // scratch pays no per-batch allocation.
+  group_proba->ReshapeForOverwrite(models.size(), x.rows());
   for (size_t g = 0; g < models.size(); ++g) {
     if (!models[g]) continue;
     bool serves_any = false;
@@ -137,19 +150,17 @@ Result<RoutedPredictions> GatherRoutedPredictions(
       serves_any = route[i] == static_cast<int>(g);
     }
     if (!serves_any) continue;
-    Result<std::vector<double>> p = models[g]->PredictProba(x);
-    if (!p.ok()) return p.status();
-    proba_by_group[g] = std::move(p).value();
+    FAIRDRIFT_RETURN_IF_ERROR(
+        models[g]->PredictProbaInto(x, group_proba->RowPtr(g), pool));
   }
-  RoutedPredictions out;
-  out.proba.resize(route.size());
-  out.labels.resize(route.size());
+  proba->resize(route.size());
+  labels->resize(route.size());
   for (size_t i = 0; i < route.size(); ++i) {
     size_t g = static_cast<size_t>(route[i]);
-    out.proba[i] = proba_by_group[g][i];
-    out.labels[i] = out.proba[i] >= models[g]->threshold() ? 1 : 0;
+    (*proba)[i] = group_proba->At(g, i);
+    (*labels)[i] = (*proba)[i] >= models[g]->threshold() ? 1 : 0;
   }
-  return out;
+  return Status::OK();
 }
 
 Result<DiffairModel> DiffairModel::Train(const Dataset& train,

@@ -148,6 +148,19 @@ Result<RoutedPredictions> GatherRoutedPredictions(
     const std::vector<std::unique_ptr<Classifier>>& models,
     const std::vector<int>& route, const Matrix& x);
 
+/// GatherRoutedPredictions into caller-owned buffers — the serving path's
+/// allocation-free form. `group_proba` stages each serving model's
+/// whole-batch prediction in one matrix row (reshaped in place; rows of
+/// groups that serve nothing are left stale and never read);
+/// `proba`/`labels` receive the gathered per-row outputs; `pool`
+/// overrides each learner's prediction pool when non-null. Bitwise
+/// identical to GatherRoutedPredictions.
+Status GatherRoutedPredictionsInto(
+    const std::vector<std::unique_ptr<Classifier>>& models,
+    const std::vector<int>& route, const Matrix& x, Matrix* group_proba,
+    std::vector<double>* proba, std::vector<int>* labels,
+    ThreadPool* pool = nullptr);
+
 }  // namespace fairdrift
 
 #endif  // FAIRDRIFT_CORE_DIFFAIR_H_

@@ -8,6 +8,9 @@
 #include <limits>
 #include <numeric>
 
+#include "kde/tree_io.h"
+#include "util/binary_io.h"
+
 namespace fairdrift {
 
 namespace {
@@ -314,6 +317,45 @@ double BallTree::KernelSumRecurse(int32_t node_id, const double* query,
   return KernelSumRecurse(left, query, inv_bandwidth, max_scale, atol) +
          KernelSumRecurse(node_right_[static_cast<size_t>(node_id)], query,
                           inv_bandwidth, max_scale, atol);
+}
+
+void BallTree::SerializeTo(BinaryWriter* w) const {
+  tree_internal::SerializeFlatTreeCommon(points_, order_, node_begin_,
+                                         node_end_, node_left_, node_right_,
+                                         w);
+  w->WriteDoubleVector(centroid_);
+  w->WriteDoubleVector(radius_);
+}
+
+Result<BallTree> BallTree::DeserializeFrom(BinaryReader* r) {
+  // The shared skeleton (points, order, node arrays) is read and
+  // structurally validated once for both tree backends (kde/tree_io.h).
+  Result<tree_internal::FlatTreeCommon> common =
+      tree_internal::DeserializeFlatTreeCommon(r, "BallTree");
+  if (!common.ok()) return common.status();
+  BallTree tree;
+  tree.points_ = std::move(common.value().points);
+  tree.dim_ = tree.points_.cols();
+  tree.order_ = std::move(common.value().order);
+  tree.node_begin_ = std::move(common.value().node_begin);
+  tree.node_end_ = std::move(common.value().node_end);
+  tree.node_left_ = std::move(common.value().node_left);
+  tree.node_right_ = std::move(common.value().node_right);
+  Result<std::vector<double>> centroid = r->ReadDoubleVector();
+  if (!centroid.ok()) return centroid.status();
+  tree.centroid_ = std::move(centroid).value();
+  Result<std::vector<double>> radius = r->ReadDoubleVector();
+  if (!radius.ok()) return radius.status();
+  tree.radius_ = std::move(radius).value();
+
+  // Backend-specific geometry: one packed centroid + radius per node.
+  size_t nodes = tree.node_begin_.size();
+  if (tree.centroid_.size() != nodes * tree.dim_ ||
+      tree.radius_.size() != nodes) {
+    return Status::DataLoss(
+        "BallTree payload has inconsistent centroid/radius arrays");
+  }
+  return tree;
 }
 
 }  // namespace fairdrift

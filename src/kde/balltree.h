@@ -23,6 +23,9 @@
 
 namespace fairdrift {
 
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;
+
 /// Static ball tree; split on the widest dimension at the median.
 class BallTree {
  public:
@@ -82,6 +85,15 @@ class BallTree {
            (node_left_.size() + node_right_.size()) * sizeof(int32_t) +
            (centroid_.size() + radius_.size()) * sizeof(double);
   }
+
+  /// Appends the built state verbatim (permuted points, order map, flat
+  /// node arrays, packed centroids/radii) to `w`; the KdTree::SerializeTo
+  /// contract, ball-tree edition.
+  void SerializeTo(BinaryWriter* w) const;
+
+  /// Rebuilds a tree from SerializeTo's payload with the same structural
+  /// validation as KdTree::DeserializeFrom.
+  static Result<BallTree> DeserializeFrom(BinaryReader* r);
 
  private:
   int BuildNode(const Matrix& pts, size_t begin, size_t end, size_t leaf_size);

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "kde/kde_cache.h"
+#include "util/binary_io.h"
 #include "util/parallel.h"
 
 namespace fairdrift {
@@ -82,25 +83,93 @@ double KernelDensity::LogDensity(const double* point) const {
 std::vector<double> KernelDensity::EvaluateAll(const Matrix& queries,
                                                ThreadPool* pool) const {
   std::vector<double> out(queries.rows());
+  EvaluateAllInto(queries, out.data(), pool);
+  return out;
+}
+
+void KernelDensity::EvaluateAllInto(const Matrix& queries, double* out,
+                                    ThreadPool* pool) const {
   double norm = std::exp(log_norm_);
   // RowPtr + per-thread scratch: zero heap allocations per query.
-  ParallelFor(
-      0, queries.rows(),
-      [&](size_t i) {
-        out[i] = KernelSum(queries.RowPtr(i), &ThreadLocalTraversalScratch()) *
-                 norm;
-      },
-      pool);
-  return out;
+  ParallelForEach(0, queries.rows(), pool, [&](size_t i) {
+    out[i] =
+        KernelSum(queries.RowPtr(i), &ThreadLocalTraversalScratch()) * norm;
+  });
 }
 
 std::vector<double> KernelDensity::LogDensityAll(const Matrix& queries,
                                                  ThreadPool* pool) const {
   std::vector<double> out(queries.rows());
-  ParallelFor(
-      0, queries.rows(),
-      [&](size_t i) { out[i] = LogDensity(queries.RowPtr(i)); }, pool);
+  LogDensityAllInto(queries, out.data(), pool);
   return out;
+}
+
+void KernelDensity::LogDensityAllInto(const Matrix& queries, double* out,
+                                      ThreadPool* pool) const {
+  ParallelForEach(0, queries.rows(), pool,
+                  [&](size_t i) { out[i] = LogDensity(queries.RowPtr(i)); });
+}
+
+Status KernelDensity::SaveFittedTo(BinaryWriter* w) const {
+  if (n_ == 0) {
+    return Status::FailedPrecondition("KernelDensity: not fitted");
+  }
+  w->WriteU8(backend_ == KdeTreeBackend::kBallTree ? 1 : 0);
+  w->WriteDoubleVector(bandwidth_);
+  w->WriteDoubleVector(inv_bandwidth_);
+  w->WriteDouble(log_norm_);
+  w->WriteDouble(atol_);
+  w->WriteU64(static_cast<uint64_t>(n_));
+  if (backend_ == KdeTreeBackend::kKdTree) {
+    tree_.SerializeTo(w);
+  } else {
+    ball_tree_.SerializeTo(w);
+  }
+  return Status::OK();
+}
+
+Result<KernelDensity> KernelDensity::LoadFittedFrom(BinaryReader* r) {
+  KernelDensity kde;
+  Result<uint8_t> backend = r->ReadU8();
+  if (!backend.ok()) return backend.status();
+  kde.backend_ = backend.value() != 0 ? KdeTreeBackend::kBallTree
+                                      : KdeTreeBackend::kKdTree;
+  Result<std::vector<double>> bandwidth = r->ReadDoubleVector();
+  if (!bandwidth.ok()) return bandwidth.status();
+  kde.bandwidth_ = std::move(bandwidth).value();
+  Result<std::vector<double>> inv = r->ReadDoubleVector();
+  if (!inv.ok()) return inv.status();
+  kde.inv_bandwidth_ = std::move(inv).value();
+  Result<double> log_norm = r->ReadDouble();
+  if (!log_norm.ok()) return log_norm.status();
+  kde.log_norm_ = log_norm.value();
+  Result<double> atol = r->ReadDouble();
+  if (!atol.ok()) return atol.status();
+  kde.atol_ = atol.value();
+  Result<uint64_t> n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  kde.n_ = static_cast<size_t>(n.value());
+  size_t tree_size = 0;
+  size_t tree_dim = 0;
+  if (kde.backend_ == KdeTreeBackend::kKdTree) {
+    Result<KdTree> tree = KdTree::DeserializeFrom(r);
+    if (!tree.ok()) return tree.status();
+    kde.tree_ = std::move(tree).value();
+    tree_size = kde.tree_.size();
+    tree_dim = kde.tree_.dim();
+  } else {
+    Result<BallTree> tree = BallTree::DeserializeFrom(r);
+    if (!tree.ok()) return tree.status();
+    kde.ball_tree_ = std::move(tree).value();
+    tree_size = kde.ball_tree_.size();
+    tree_dim = kde.ball_tree_.dim();
+  }
+  if (kde.n_ != tree_size || kde.bandwidth_.size() != tree_dim ||
+      kde.inv_bandwidth_.size() != tree_dim) {
+    return Status::DataLoss(
+        "KernelDensity payload disagrees with its tree's shape");
+  }
+  return kde;
 }
 
 Result<std::vector<size_t>> DensityRanking(const Matrix& data,

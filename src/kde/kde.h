@@ -20,6 +20,8 @@
 namespace fairdrift {
 
 class ThreadPool;  // util/parallel.h; only pointers appear in this header
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;
 
 /// Spatial index accelerating the kernel sums. KD boxes prune tighter in
 /// low dimensions; ball bounds stay O(d) per node and are the structure
@@ -77,10 +79,20 @@ class KernelDensity {
   std::vector<double> EvaluateAll(const Matrix& queries,
                                   ThreadPool* pool = nullptr) const;
 
+  /// EvaluateAll into a caller-owned span of queries.rows() doubles — no
+  /// output allocation, and on a 0-worker pool no task-dispatch
+  /// allocations either (the serving path's zero-allocation contract).
+  void EvaluateAllInto(const Matrix& queries, double* out,
+                       ThreadPool* pool = nullptr) const;
+
   /// Log-densities of every row of `queries` (same floor guard as
   /// LogDensity), batched and parallel like EvaluateAll.
   std::vector<double> LogDensityAll(const Matrix& queries,
                                     ThreadPool* pool = nullptr) const;
+
+  /// LogDensityAll into a caller-owned span (EvaluateAllInto contract).
+  void LogDensityAllInto(const Matrix& queries, double* out,
+                         ThreadPool* pool = nullptr) const;
 
   /// Per-dimension bandwidths in use.
   const std::vector<double>& bandwidth() const { return bandwidth_; }
@@ -95,6 +107,18 @@ class KernelDensity {
            (bandwidth_.size() + inv_bandwidth_.size()) * sizeof(double) +
            sizeof(*this);
   }
+
+  /// Appends the complete fitted state (bandwidths, normalization, the
+  /// flat tree) to `w`. LoadFittedFrom rebuilds an estimator whose every
+  /// query is bitwise identical to this one's — in O(n), with no refit
+  /// and no retained copy of the training matrix (the snapshot format's
+  /// v2 density section). Fails FailedPrecondition on an unfitted
+  /// estimator.
+  Status SaveFittedTo(BinaryWriter* w) const;
+
+  /// Rebuilds a fitted estimator from SaveFittedTo's payload; malformed
+  /// payloads fail with Status::DataLoss.
+  static Result<KernelDensity> LoadFittedFrom(BinaryReader* r);
 
  private:
   KernelDensity() = default;

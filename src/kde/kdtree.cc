@@ -8,6 +8,9 @@
 #include <limits>
 #include <numeric>
 
+#include "kde/tree_io.h"
+#include "util/binary_io.h"
+
 namespace fairdrift {
 
 Result<KdTree> KdTree::Build(const Matrix& points, size_t leaf_size) {
@@ -324,6 +327,48 @@ double KdTree::KernelSumRecurse(int32_t node_id, const double* query,
   return KernelSumRecurse(left, query, inv_bandwidth, atol) +
          KernelSumRecurse(node_right_[static_cast<size_t>(node_id)], query,
                           inv_bandwidth, atol);
+}
+
+void KdTree::SerializeTo(BinaryWriter* w) const {
+  tree_internal::SerializeFlatTreeCommon(points_, order_, node_begin_,
+                                         node_end_, node_left_, node_right_,
+                                         w);
+  w->WriteDoubleVector(box_lo_);
+  w->WriteDoubleVector(box_hi_);
+}
+
+Result<KdTree> KdTree::DeserializeFrom(BinaryReader* r) {
+  // The shared skeleton (points, order, node arrays) is read and
+  // structurally validated once for both tree backends (kde/tree_io.h).
+  Result<tree_internal::FlatTreeCommon> common =
+      tree_internal::DeserializeFlatTreeCommon(r, "KdTree");
+  if (!common.ok()) return common.status();
+  KdTree tree;
+  tree.points_ = std::move(common.value().points);
+  tree.dim_ = tree.points_.cols();
+  tree.order_ = std::move(common.value().order);
+  tree.node_begin_ = std::move(common.value().node_begin);
+  tree.node_end_ = std::move(common.value().node_end);
+  tree.node_left_ = std::move(common.value().node_left);
+  tree.node_right_ = std::move(common.value().node_right);
+  Result<std::vector<double>> lo = r->ReadDoubleVector();
+  if (!lo.ok()) return lo.status();
+  tree.box_lo_ = std::move(lo).value();
+  Result<std::vector<double>> hi = r->ReadDoubleVector();
+  if (!hi.ok()) return hi.status();
+  tree.box_hi_ = std::move(hi).value();
+
+  // Backend-specific geometry: one packed box per node.
+  size_t nodes = tree.node_begin_.size();
+  if (tree.box_lo_.size() != nodes * tree.dim_ ||
+      tree.box_hi_.size() != nodes * tree.dim_) {
+    return Status::DataLoss("KdTree payload has inconsistent box arrays");
+  }
+  tree.root_box_.lo.assign(tree.box_lo_.begin(),
+                           tree.box_lo_.begin() + tree.dim_);
+  tree.root_box_.hi.assign(tree.box_hi_.begin(),
+                           tree.box_hi_.begin() + tree.dim_);
+  return tree;
 }
 
 }  // namespace fairdrift

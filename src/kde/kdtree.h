@@ -24,6 +24,9 @@
 
 namespace fairdrift {
 
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;
+
 /// Axis-aligned bounding box.
 struct BoundingBox {
   std::vector<double> lo;
@@ -94,6 +97,19 @@ class KdTree {
            (node_left_.size() + node_right_.size()) * sizeof(int32_t) +
            (box_lo_.size() + box_hi_.size()) * sizeof(double);
   }
+
+  /// Appends the built state verbatim (permuted points, order map, flat
+  /// node arrays, packed boxes) to `w`. A deserialized tree answers every
+  /// query bitwise identically to this one — snapshot persistence uses
+  /// this to make monitored-snapshot loads O(n) instead of an
+  /// O(n log n) rebuild.
+  void SerializeTo(BinaryWriter* w) const;
+
+  /// Rebuilds a tree from SerializeTo's payload, validating the
+  /// structural invariants (array shapes, child ids, point ranges) so a
+  /// forged payload fails with Status::DataLoss instead of reading out
+  /// of bounds at query time.
+  static Result<KdTree> DeserializeFrom(BinaryReader* r);
 
  private:
   int BuildNode(const Matrix& pts, size_t begin, size_t end, size_t leaf_size);

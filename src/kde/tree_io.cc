@@ -1,0 +1,86 @@
+#include "kde/tree_io.h"
+
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+namespace tree_internal {
+
+void SerializeFlatTreeCommon(const Matrix& points,
+                             const std::vector<size_t>& order,
+                             const std::vector<size_t>& node_begin,
+                             const std::vector<size_t>& node_end,
+                             const std::vector<int32_t>& node_left,
+                             const std::vector<int32_t>& node_right,
+                             BinaryWriter* w) {
+  points.SerializeTo(w);
+  w->WriteU64Vector(order);
+  w->WriteU64Vector(node_begin);
+  w->WriteU64Vector(node_end);
+  w->WriteI32Vector(node_left);
+  w->WriteI32Vector(node_right);
+}
+
+Result<FlatTreeCommon> DeserializeFlatTreeCommon(BinaryReader* r,
+                                                 const char* tree_name) {
+  FlatTreeCommon common;
+  Result<Matrix> points = Matrix::DeserializeFrom(r);
+  if (!points.ok()) return points.status();
+  common.points = std::move(points).value();
+  Result<std::vector<size_t>> order = r->ReadU64Vector();
+  if (!order.ok()) return order.status();
+  common.order = std::move(order).value();
+  Result<std::vector<size_t>> begin = r->ReadU64Vector();
+  if (!begin.ok()) return begin.status();
+  common.node_begin = std::move(begin).value();
+  Result<std::vector<size_t>> end = r->ReadU64Vector();
+  if (!end.ok()) return end.status();
+  common.node_end = std::move(end).value();
+  Result<std::vector<int32_t>> left = r->ReadI32Vector();
+  if (!left.ok()) return left.status();
+  common.node_left = std::move(left).value();
+  Result<std::vector<int32_t>> right = r->ReadI32Vector();
+  if (!right.ok()) return right.status();
+  common.node_right = std::move(right).value();
+
+  size_t n = common.points.rows();
+  size_t nodes = common.node_begin.size();
+  bool shape_ok = n > 0 && common.points.cols() > 0 && nodes > 0 &&
+                  common.order.size() == n &&
+                  common.node_end.size() == nodes &&
+                  common.node_left.size() == nodes &&
+                  common.node_right.size() == nodes;
+  if (!shape_ok) {
+    return Status::DataLoss(StrFormat(
+        "%s payload has inconsistent array shapes", tree_name));
+  }
+  for (size_t i = 0; i < nodes; ++i) {
+    int32_t l = common.node_left[i];
+    int32_t rt = common.node_right[i];
+    // Children must point forward (the builders append a node before
+    // building its children), which both bounds them and rules out the
+    // cycles that would hang the iterative traversal.
+    bool node_ok = common.node_begin[i] <= common.node_end[i] &&
+                   common.node_end[i] <= n &&
+                   (l == -1 || (l > static_cast<int32_t>(i) &&
+                                l < static_cast<int32_t>(nodes))) &&
+                   (rt == -1 || (rt > static_cast<int32_t>(i) &&
+                                 rt < static_cast<int32_t>(nodes)));
+    if (!node_ok) {
+      return Status::DataLoss(
+          StrFormat("%s payload has an out-of-range node", tree_name));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (common.order[i] >= n) {
+      return Status::DataLoss(StrFormat(
+          "%s payload has an out-of-range order map", tree_name));
+    }
+  }
+  return common;
+}
+
+}  // namespace tree_internal
+}  // namespace fairdrift

@@ -1,0 +1,61 @@
+// Shared wire form of the flat-node state both spatial trees carry.
+//
+// KdTree and BallTree store the identical skeleton — permuted point
+// matrix, order map, packed begin/end/left/right node arrays — and
+// differ only in their per-node geometry (boxes vs centroid/radius).
+// Snapshot persistence serializes that skeleton once through these
+// helpers so the structural validation (shapes, ranges, acyclicity)
+// exists in exactly one place and cannot drift between backends.
+
+#ifndef FAIRDRIFT_KDE_TREE_IO_H_
+#define FAIRDRIFT_KDE_TREE_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;
+
+namespace tree_internal {
+
+/// The skeleton shared by both flat trees.
+struct FlatTreeCommon {
+  Matrix points;  ///< rows permuted into node-contiguous order
+  std::vector<size_t> order;
+  std::vector<size_t> node_begin;
+  std::vector<size_t> node_end;
+  std::vector<int32_t> node_left;
+  std::vector<int32_t> node_right;
+};
+
+/// Appends the skeleton to `w` (points matrix, then the five arrays).
+void SerializeFlatTreeCommon(const Matrix& points,
+                             const std::vector<size_t>& order,
+                             const std::vector<size_t>& node_begin,
+                             const std::vector<size_t>& node_end,
+                             const std::vector<int32_t>& node_left,
+                             const std::vector<int32_t>& node_right,
+                             BinaryWriter* w);
+
+/// Reads and validates a skeleton. Traversal indexes these arrays
+/// unchecked, so everything a forged payload could abuse is rejected
+/// here: inconsistent array shapes, out-of-range point ranges or order
+/// entries, child ids outside the node array, and — because the builders
+/// append a node before building its children, so a legitimate child id
+/// always exceeds its parent's — non-monotonic children, which is what
+/// rules out cycles that would otherwise hang the iterative traversal at
+/// query time. `tree_name` prefixes error messages ("KdTree",
+/// "BallTree").
+Result<FlatTreeCommon> DeserializeFlatTreeCommon(BinaryReader* r,
+                                                 const char* tree_name);
+
+}  // namespace tree_internal
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_KDE_TREE_IO_H_

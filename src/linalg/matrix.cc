@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/binary_io.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -144,6 +145,35 @@ Result<double> Matrix::FrobeniusDistance(const Matrix& other) const {
     acc += d * d;
   }
   return std::sqrt(acc);
+}
+
+void Matrix::SerializeTo(BinaryWriter* w) const {
+  w->WriteU64(rows_);
+  w->WriteU64(cols_);
+  for (double v : data_) w->WriteDouble(v);
+}
+
+Result<Matrix> Matrix::DeserializeFrom(BinaryReader* r) {
+  Result<uint64_t> rows = r->ReadU64();
+  if (!rows.ok()) return rows.status();
+  Result<uint64_t> cols = r->ReadU64();
+  if (!cols.ok()) return cols.status();
+  // Division-shaped guard: hostile dimensions must not overflow past it
+  // into a gigantic allocation.
+  if (cols.value() != 0 && rows.value() > r->remaining() / 8 / cols.value()) {
+    return Status::DataLoss("matrix payload claims more data than stored");
+  }
+  std::vector<double> flat;
+  flat.reserve(rows.value() * cols.value());
+  for (uint64_t i = 0; i < rows.value() * cols.value(); ++i) {
+    Result<double> v = r->ReadDouble();
+    if (!v.ok()) return v.status();
+    flat.push_back(v.value());
+  }
+  Result<Matrix> m =
+      Matrix::FromFlat(rows.value(), cols.value(), std::move(flat));
+  if (!m.ok()) return Status::DataLoss(m.status().message());
+  return m;
 }
 
 namespace vec {

@@ -16,6 +16,9 @@
 
 namespace fairdrift {
 
+class BinaryWriter;  // util/binary_io.h
+class BinaryReader;
+
 /// Dense row-major matrix.
 class Matrix {
  public:
@@ -101,6 +104,14 @@ class Matrix {
 
   /// Flat row-major storage (read-only).
   const std::vector<double>& data() const { return data_; }
+
+  /// Appends (rows, cols, row-major IEEE-754 cells) to `w`; the snapshot
+  /// format's matrix wire form (serve/snapshot_io.h, tree persistence).
+  void SerializeTo(BinaryWriter* w) const;
+
+  /// Reads SerializeTo's payload. Hostile dimensions that claim more data
+  /// than the payload holds fail with Status::DataLoss before allocating.
+  static Result<Matrix> DeserializeFrom(BinaryReader* r);
 
  private:
   size_t rows_;

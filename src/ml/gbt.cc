@@ -128,24 +128,34 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
 
 Result<std::vector<double>> GradientBoostedTrees::PredictProba(
     const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  FAIRDRIFT_RETURN_IF_ERROR(PredictProbaInto(x, out.data()));
+  return out;
+}
+
+Status GradientBoostedTrees::PredictProbaInto(const Matrix& x, double* out,
+                                              ThreadPool* pool) const {
   if (!fitted_) {
     return Status::FailedPrecondition("GBT: not fitted");
   }
-  std::vector<double> out(x.rows());
-  ParallelForChunks(
-      0, x.rows(),
-      [&](size_t, size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-          double score = base_score_;
-          const double* row = x.RowPtr(i);
-          for (const RegressionTree& t : trees_) {
-            score += options_.learning_rate * t.PredictRow(row, x.cols());
-          }
-          out[i] = Sigmoid(score);
-        }
-      },
-      options_.pool);
-  return out;
+  // Fixed chunk boundaries: the serial ParallelForEach bypass and every
+  // worker count write identical bits.
+  ParallelForEach(0, ReductionChunks(x.rows()),
+                  pool != nullptr ? pool : options_.pool,
+                  [&](size_t chunk) {
+                    size_t b = chunk * kReductionChunk;
+                    size_t e = std::min(x.rows(), b + kReductionChunk);
+                    for (size_t i = b; i < e; ++i) {
+                      double score = base_score_;
+                      const double* row = x.RowPtr(i);
+                      for (const RegressionTree& t : trees_) {
+                        score +=
+                            options_.learning_rate * t.PredictRow(row, x.cols());
+                      }
+                      out[i] = Sigmoid(score);
+                    }
+                  });
+  return Status::OK();
 }
 
 std::unique_ptr<Classifier> GradientBoostedTrees::CloneUnfitted() const {

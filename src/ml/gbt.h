@@ -46,6 +46,8 @@ class GradientBoostedTrees final : public Classifier {
   Status Fit(const Matrix& x, const std::vector<int>& y,
              const std::vector<double>& w) override;
   Result<std::vector<double>> PredictProba(const Matrix& x) const override;
+  Status PredictProbaInto(const Matrix& x, double* out,
+                          ThreadPool* pool = nullptr) const override;
   std::unique_ptr<Classifier> CloneUnfitted() const override;
   std::string name() const override { return "XGB"; }
   bool is_fitted() const override { return fitted_; }

@@ -157,6 +157,13 @@ Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
 
 Result<std::vector<double>> LogisticRegression::PredictProba(
     const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  FAIRDRIFT_RETURN_IF_ERROR(PredictProbaInto(x, out.data()));
+  return out;
+}
+
+Status LogisticRegression::PredictProbaInto(const Matrix& x, double* out,
+                                            ThreadPool* pool) const {
   if (!fitted_) {
     return Status::FailedPrecondition("LogisticRegression: not fitted");
   }
@@ -165,19 +172,23 @@ Result<std::vector<double>> LogisticRegression::PredictProba(
         "LogisticRegression: %zu features, model expects %zu", x.cols(),
         beta_.size()));
   }
-  std::vector<double> out(x.rows());
-  ParallelForChunks(
-      0, x.rows(),
-      [&](size_t, size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-          const double* row = x.RowPtr(i);
-          double acc = intercept_;
-          for (size_t j = 0; j < beta_.size(); ++j) acc += beta_[j] * row[j];
-          out[i] = Sigmoid(acc);
-        }
-      },
-      options_.pool);
-  return out;
+  // Chunk boundaries are fixed (kReductionChunk), so the serial
+  // ParallelForEach bypass and every worker count write identical bits.
+  ParallelForEach(0, ReductionChunks(x.rows()),
+                  pool != nullptr ? pool : options_.pool,
+                  [&](size_t chunk) {
+                    size_t b = chunk * kReductionChunk;
+                    size_t e = std::min(x.rows(), b + kReductionChunk);
+                    for (size_t i = b; i < e; ++i) {
+                      const double* row = x.RowPtr(i);
+                      double acc = intercept_;
+                      for (size_t j = 0; j < beta_.size(); ++j) {
+                        acc += beta_[j] * row[j];
+                      }
+                      out[i] = Sigmoid(acc);
+                    }
+                  });
+  return Status::OK();
 }
 
 std::unique_ptr<Classifier> LogisticRegression::CloneUnfitted() const {

@@ -1,5 +1,6 @@
 #include "ml/model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ml/gbt.h"
@@ -17,6 +18,14 @@ Result<std::vector<int>> Classifier::Predict(const Matrix& x) const {
     out[i] = proba.value()[i] >= threshold_ ? 1 : 0;
   }
   return out;
+}
+
+Status Classifier::PredictProbaInto(const Matrix& x, double* out,
+                                    ThreadPool*) const {
+  Result<std::vector<double>> proba = PredictProba(x);
+  if (!proba.ok()) return proba.status();
+  std::copy(proba.value().begin(), proba.value().end(), out);
+  return Status::OK();
 }
 
 Result<std::vector<double>> Classifier::CheckTrainingInputs(

@@ -18,6 +18,8 @@
 
 namespace fairdrift {
 
+class ThreadPool;  // util/parallel.h; only pointers appear in this header
+
 /// Abstract binary probabilistic classifier with weighted training.
 class Classifier {
  public:
@@ -31,6 +33,17 @@ class Classifier {
 
   /// P(y=1 | x) for every row. Requires a successful Fit.
   virtual Result<std::vector<double>> PredictProba(const Matrix& x) const = 0;
+
+  /// PredictProba into a caller-owned span of x.rows() doubles. The
+  /// serving batch workers call this with recycled scratch storage so a
+  /// steady-state scoring pass allocates nothing; results are bitwise
+  /// identical to PredictProba. `pool` overrides the learner's configured
+  /// prediction pool when non-null (the serving path passes its own —
+  /// scored inline on a 0-worker pool, the pass is fully allocation-
+  /// free). The base implementation falls back to PredictProba + copy;
+  /// the library's learners override it with a real span pass.
+  virtual Status PredictProbaInto(const Matrix& x, double* out,
+                                  ThreadPool* pool = nullptr) const;
 
   /// Hard labels using the decision threshold.
   Result<std::vector<int>> Predict(const Matrix& x) const;

@@ -82,13 +82,19 @@ Status GaussianNaiveBayes::Fit(const Matrix& x, const std::vector<int>& y,
 
 Result<std::vector<double>> GaussianNaiveBayes::PredictProba(
     const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  FAIRDRIFT_RETURN_IF_ERROR(PredictProbaInto(x, out.data()));
+  return out;
+}
+
+Status GaussianNaiveBayes::PredictProbaInto(const Matrix& x, double* out,
+                                            ThreadPool*) const {
   if (!fitted_) return Status::FailedPrecondition("PredictProba before Fit");
   if (x.cols() != means_[0].size()) {
     return Status::InvalidArgument(
         StrFormat("PredictProba: %zu columns, model expects %zu", x.cols(),
                   means_[0].size()));
   }
-  std::vector<double> out(x.rows());
   for (size_t i = 0; i < x.rows(); ++i) {
     // Log joint per class; the per-feature terms are independent under
     // the naive assumption.
@@ -113,7 +119,7 @@ Result<std::vector<double>> GaussianNaiveBayes::PredictProba(
       out[i] = 1.0 / (1.0 + std::exp(diff));
     }
   }
-  return out;
+  return Status::OK();
 }
 
 std::unique_ptr<Classifier> GaussianNaiveBayes::CloneUnfitted() const {

@@ -1,0 +1,238 @@
+#include "serve/fleet/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/server_stats.h"
+#include "util/binary_io.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace fairdrift {
+
+const char* FleetRoutingPolicyName(FleetRoutingPolicy policy) {
+  switch (policy) {
+    case FleetRoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case FleetRoutingPolicy::kLeastQueueDepth:
+      return "least-queue";
+    case FleetRoutingPolicy::kHashRow:
+      return "hash-row";
+  }
+  return "?";
+}
+
+ShardRouter::ShardRouter(FleetRoutingPolicy policy, size_t num_shards)
+    : policy_(policy), num_shards_(num_shards) {}
+
+size_t ShardRouter::Pick(const double* row, size_t width,
+                         const ScoringFleet& fleet) {
+  size_t nominal = 0;
+  switch (policy_) {
+    case FleetRoutingPolicy::kRoundRobin:
+      nominal = static_cast<size_t>(
+                    cursor_.fetch_add(1, std::memory_order_relaxed)) %
+                num_shards_;
+      break;
+    case FleetRoutingPolicy::kLeastQueueDepth: {
+      // Racy scan by design: the depths move while we look, but steering
+      // toward a stale minimum still balances. Ties break toward the
+      // lowest shard id so the scan stays deterministic given the loads.
+      bool found = false;
+      size_t best_load = 0;
+      for (size_t s = 0; s < num_shards_; ++s) {
+        if (fleet.ShardDraining(s)) continue;
+        size_t load = fleet.ShardLoad(s);
+        if (!found || load < best_load) {
+          found = true;
+          best_load = load;
+          nominal = s;
+        }
+      }
+      break;
+    }
+    case FleetRoutingPolicy::kHashRow:
+      // The row's raw IEEE-754 bytes hash the same in every process, so
+      // a replayed request trace shards identically run after run.
+      nominal = static_cast<size_t>(Fnv1aHash(
+                    reinterpret_cast<const char*>(row),
+                    width * sizeof(double))) %
+                num_shards_;
+      break;
+  }
+  // Walk off a draining shard (rolling update in progress). With every
+  // shard draining — only possible on a 1-shard fleet — keep the nominal
+  // pick: its queue stays open, requests just wait out the swap.
+  for (size_t step = 0; step < num_shards_; ++step) {
+    size_t s = (nominal + step) % num_shards_;
+    if (!fleet.ShardDraining(s)) return s;
+  }
+  return nominal;
+}
+
+Result<std::unique_ptr<ScoringFleet>> ScoringFleet::Create(
+    std::shared_ptr<const ModelSnapshot> snapshot,
+    const FleetOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("ScoringFleet: null snapshot");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("ScoringFleet: zero shards");
+  }
+  std::unique_ptr<ScoringFleet> fleet(new ScoringFleet(options));
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    ServerOptions shard_options = options.shard;
+    if (options.workers_per_shard > 0) {
+      fleet->shard_pools_.push_back(
+          std::make_unique<ThreadPool>(options.workers_per_shard));
+      shard_options.pool = fleet->shard_pools_.back().get();
+    }
+    Result<std::unique_ptr<ScoringServer>> server =
+        ScoringServer::Create(snapshot, shard_options);
+    if (!server.ok()) return server.status();
+    fleet->servers_.push_back(std::move(server).value());
+  }
+  return fleet;
+}
+
+ScoringFleet::ScoringFleet(const FleetOptions& options)
+    : options_(options),
+      draining_(new std::atomic<bool>[options.num_shards]),
+      router_(options.routing, options.num_shards) {
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    draining_[s].store(false, std::memory_order_relaxed);
+  }
+}
+
+ScoringFleet::~ScoringFleet() { Stop(); }
+
+void ScoringFleet::Stop() {
+  if (stopped_.exchange(true)) return;
+  // Shards stop independently (each drains its own queue); the private
+  // pools outlive the servers that score on them, then fall with the
+  // fleet.
+  for (auto& server : servers_) server->Stop();
+}
+
+size_t ScoringFleet::ShardLoad(size_t s) const {
+  const ScoringServer* server = servers_[s].get();
+  return server->queue_depth() +
+         server->inflight_batches() *
+             server->options().batching.max_batch_size;
+}
+
+Result<ScoreTicket> ScoringFleet::Submit(
+    std::vector<double> row, std::chrono::nanoseconds deadline_after) {
+  size_t shard = router_.Pick(row.data(), row.size(), *this);
+  return servers_[shard]->Submit(std::move(row), deadline_after);
+}
+
+Result<ScoreResult> ScoringFleet::ScoreSync(
+    std::vector<double> row, std::chrono::nanoseconds deadline_after) {
+  Result<ScoreTicket> ticket = Submit(std::move(row), deadline_after);
+  if (!ticket.ok()) return ticket.status();
+  return ticket.value().Wait();
+}
+
+Status ScoringFleet::UpdateSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("UpdateSnapshot: null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(update_mu_);
+  for (auto& server : servers_) {
+    FAIRDRIFT_RETURN_IF_ERROR(server->UpdateSnapshot(snapshot));
+  }
+  return Status::OK();
+}
+
+Result<RollingUpdateReport> ScoringFleet::RollingUpdate(
+    std::shared_ptr<const ModelSnapshot> snapshot,
+    const RollingUpdateOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("RollingUpdate: null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(update_mu_);
+  RollingUpdateReport report;
+  report.shard_stall_ms.reserve(servers_.size());
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    // Take the shard out of rotation, then wait for what it already
+    // admitted to finish scoring against the current snapshot. On a
+    // 1-shard fleet the router keeps feeding the shard, so the barrier
+    // only waits out the in-flight batches (per-batch isolation still
+    // gives every request one consistent version).
+    draining_[s].store(true, std::memory_order_release);
+    WallTimer stall;
+    Status drained =
+        servers_[s]->Quiesce(options.drain_timeout,
+                             /*require_empty_queue=*/servers_.size() > 1);
+    if (!drained.ok()) {
+      draining_[s].store(false, std::memory_order_release);
+      return Status::DeadlineExceeded(StrFormat(
+          "RollingUpdate: shard %zu did not drain within the barrier "
+          "timeout (%zu of %zu shards already updated)",
+          s, report.shards_updated, servers_.size()));
+    }
+    Status swapped = servers_[s]->UpdateSnapshot(snapshot);
+    draining_[s].store(false, std::memory_order_release);
+    FAIRDRIFT_RETURN_IF_ERROR(swapped);
+    double stalled = stall.ElapsedMillis();
+    report.shard_stall_ms.push_back(stalled);
+    report.max_stall_ms = std::max(report.max_stall_ms, stalled);
+    ++report.shards_updated;
+  }
+  rolling_updates_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+FleetStatsView ScoringFleet::stats() const {
+  FleetStatsView view;
+  view.num_shards = servers_.size();
+  view.queue_depths.reserve(servers_.size());
+  view.shard_completed.reserve(servers_.size());
+  view.shard_versions.reserve(servers_.size());
+  std::vector<uint64_t> merged_hist(ServerStats::kLatencyBuckets, 0);
+  uint64_t batched_weighted = 0;
+  for (const auto& server : servers_) {
+    ServerStats::View s = server->stats();
+    view.submitted += s.submitted;
+    view.completed += s.completed;
+    view.shed_admission += s.shed_admission;
+    view.shed_deadline += s.shed_deadline;
+    view.invalid += s.invalid;
+    view.batches += s.batches;
+    view.snapshot_swaps += s.snapshot_swaps;
+    batched_weighted +=
+        static_cast<uint64_t>(s.mean_batch_size * s.batches + 0.5);
+    for (size_t b = 0; b < merged_hist.size(); ++b) {
+      merged_hist[b] += s.latency_hist[b];
+    }
+    view.queue_depths.push_back(server->queue_depth());
+    view.shard_completed.push_back(s.completed);
+    view.shard_versions.push_back(server->CurrentSnapshot()->version());
+  }
+  view.mean_batch_size =
+      view.batches == 0 ? 0.0
+                        : static_cast<double>(batched_weighted) /
+                              static_cast<double>(view.batches);
+  // Fleet percentiles from the merged counts — averaging per-shard
+  // percentiles would misweight unevenly loaded shards.
+  view.p50_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.50);
+  view.p95_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.95);
+  view.p99_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.99);
+  view.min_snapshot_version = view.shard_versions.empty()
+                                  ? 0
+                                  : *std::min_element(
+                                        view.shard_versions.begin(),
+                                        view.shard_versions.end());
+  view.max_snapshot_version = view.shard_versions.empty()
+                                  ? 0
+                                  : *std::max_element(
+                                        view.shard_versions.begin(),
+                                        view.shard_versions.end());
+  view.rolling_updates = rolling_updates_.load(std::memory_order_relaxed);
+  return view;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,217 @@
+// ScoringFleet: N ScoringServer shards behind one router.
+//
+// One ScoringServer runs one dispatch thread over one request queue —
+// fine for a core or two, a bottleneck on a multi-core box. The fleet is
+// the sharded deployment shape: each shard owns its own RequestQueue,
+// dispatch thread, micro-batcher, admission controller, and (optionally)
+// its own worker pool, so aggregate dispatch capacity scales with the
+// shard count instead of serializing on one queue's mutex.
+//
+//   clients --Submit--> [ShardRouter] --> shard_i (a full ScoringServer)
+//
+// Routing policies (ShardRouter):
+//   kRoundRobin       cheapest; an atomic cursor walks the shards.
+//   kLeastQueueDepth  balances bursty clients by each shard's queue
+//                     depth + in-flight batches (ServerStats-style load
+//                     signal, sampled racily — good enough to steer).
+//   kHashRow          FNV-1a over the request row's bytes: a given row
+//                     always lands on the same shard, so a replayed
+//                     trace distributes identically run after run.
+//
+// Because every shard scores through the same immutable ModelSnapshot
+// machinery, per-row results are bitwise identical whichever shard
+// serves them (the snapshot determinism contract) — sharding changes
+// throughput, never scores.
+//
+// RollingUpdate pushes a new snapshot shard-by-shard: the router stops
+// steering traffic to the shard being updated, a drain barrier
+// (ScoringServer::Quiesce) waits for its queue + in-flight batches to
+// empty, the shard swaps, routing resumes, next shard. At most one shard
+// is ever out of rotation, so the fleet keeps serving throughout, and the
+// barrier guarantees each admitted request scores against one consistent
+// snapshot version. FleetStats reports the per-shard served versions, so
+// mid-rollout skew is observable instead of silent.
+
+#ifndef FAIRDRIFT_SERVE_FLEET_FLEET_H_
+#define FAIRDRIFT_SERVE_FLEET_FLEET_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/ticket.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+class ScoringFleet;
+
+/// How the fleet spreads requests over its shards.
+enum class FleetRoutingPolicy {
+  kRoundRobin,
+  kLeastQueueDepth,
+  kHashRow,
+};
+
+/// Display name ("round-robin", "least-queue", "hash-row").
+const char* FleetRoutingPolicyName(FleetRoutingPolicy policy);
+
+/// Pluggable shard-selection policy. Thread-safe; one router per fleet.
+class ShardRouter {
+ public:
+  ShardRouter(FleetRoutingPolicy policy, size_t num_shards);
+
+  /// Shard for a request row of `width` doubles. Shards marked draining
+  /// by a rolling update are skipped (when every shard is draining —
+  /// only possible transiently on a 1-shard fleet — the nominal pick is
+  /// returned anyway so the fleet never refuses on routing grounds).
+  size_t Pick(const double* row, size_t width, const ScoringFleet& fleet);
+
+  FleetRoutingPolicy policy() const { return policy_; }
+
+ private:
+  FleetRoutingPolicy policy_;
+  size_t num_shards_;
+  std::atomic<uint64_t> cursor_{0};
+};
+
+/// Fleet configuration.
+struct FleetOptions {
+  /// Number of ScoringServer shards.
+  size_t num_shards = 2;
+  FleetRoutingPolicy routing = FleetRoutingPolicy::kLeastQueueDepth;
+  /// Per-shard server configuration (batching, admission, inflight cap).
+  /// `shard.pool` is honored only when `workers_per_shard` is 0.
+  ServerOptions shard;
+  /// When non-zero, each shard gets its own private ThreadPool with this
+  /// many workers (owned by the fleet) — full isolation, no cross-shard
+  /// contention on one task queue. 0 = all shards share `shard.pool`
+  /// (the global pool when that is null).
+  size_t workers_per_shard = 0;
+};
+
+/// Per-shard drain + swap schedule knobs.
+struct RollingUpdateOptions {
+  /// How long the drain barrier waits for one shard to empty before the
+  /// rollout aborts (shards already updated keep the new snapshot; the
+  /// version skew is visible in FleetStats until a later rollout).
+  std::chrono::nanoseconds drain_timeout = std::chrono::seconds(10);
+};
+
+/// What one rolling update did: how many shards swapped and how long
+/// each shard's drain barrier stalled that shard (its only out-of-
+/// rotation time — the fleet as a whole never stops serving).
+struct RollingUpdateReport {
+  size_t shards_updated = 0;
+  std::vector<double> shard_stall_ms;
+  double max_stall_ms = 0.0;
+};
+
+/// Fleet-wide aggregated statistics: counter sums, fleet percentiles
+/// derived from the element-wise merged latency histograms (NOT averaged
+/// per-shard percentiles), per-shard load, and snapshot-version skew.
+struct FleetStatsView {
+  size_t num_shards = 0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed_admission = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t invalid = 0;
+  uint64_t batches = 0;
+  uint64_t snapshot_swaps = 0;
+  double mean_batch_size = 0.0;
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  /// Sampled per-shard queue depths (the router's load signal).
+  std::vector<size_t> queue_depths;
+  /// Completed requests per shard (routing-balance witness).
+  std::vector<uint64_t> shard_completed;
+  /// Snapshot version each shard currently serves new batches from.
+  std::vector<uint64_t> shard_versions;
+  /// min/max over shard_versions: equal outside a rollout, skewed by at
+  /// most one generation during one.
+  uint64_t min_snapshot_version = 0;
+  uint64_t max_snapshot_version = 0;
+  /// Completed RollingUpdate calls.
+  uint64_t rolling_updates = 0;
+};
+
+/// N scoring-server shards behind a router, updated as one unit.
+class ScoringFleet {
+ public:
+  /// Validates options, builds the shards (each already serving), and
+  /// installs `snapshot` on all of them.
+  static Result<std::unique_ptr<ScoringFleet>> Create(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      const FleetOptions& options = {});
+
+  /// Stops every shard (drains; see ScoringServer::Stop).
+  ~ScoringFleet();
+
+  ScoringFleet(const ScoringFleet&) = delete;
+  ScoringFleet& operator=(const ScoringFleet&) = delete;
+
+  /// Routes one request row to a shard and submits it there. Admission,
+  /// deadlines, and ticket semantics are the shard server's.
+  Result<ScoreTicket> Submit(
+      std::vector<double> row,
+      std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Submit + Wait (not callable from a shard pool's own workers).
+  Result<ScoreResult> ScoreSync(
+      std::vector<double> row,
+      std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Immediate fleet-wide swap: every shard's next batch scores the new
+  /// snapshot (no drain barrier — in-flight batches finish on the old one
+  /// per the per-batch isolation contract). Use RollingUpdate when whole-
+  /// shard version consistency during the push matters.
+  Status UpdateSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Shard-by-shard drain + swap (see file comment). Serialized against
+  /// concurrent updates; fails DeadlineExceeded when a shard does not
+  /// drain within options.drain_timeout.
+  Result<RollingUpdateReport> RollingUpdate(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      const RollingUpdateOptions& options = {});
+
+  /// Stops all shards. Idempotent; called by the destructor.
+  void Stop();
+
+  FleetStatsView stats() const;
+
+  size_t num_shards() const { return servers_.size(); }
+  ScoringServer* shard(size_t s) { return servers_[s].get(); }
+  const ScoringServer* shard(size_t s) const { return servers_[s].get(); }
+  const FleetOptions& options() const { return options_; }
+
+  /// Router load signal: queued requests + a batch-sized pessimistic
+  /// charge per in-flight batch on shard `s`.
+  size_t ShardLoad(size_t s) const;
+
+  /// True while a rolling update is draining shard `s`.
+  bool ShardDraining(size_t s) const {
+    return draining_[s].load(std::memory_order_acquire);
+  }
+
+ private:
+  ScoringFleet(const FleetOptions& options);
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<ThreadPool>> shard_pools_;
+  std::vector<std::unique_ptr<ScoringServer>> servers_;
+  std::unique_ptr<std::atomic<bool>[]> draining_;
+  ShardRouter router_;
+  std::mutex update_mu_;
+  std::atomic<uint64_t> rolling_updates_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_FLEET_FLEET_H_

@@ -1,0 +1,155 @@
+#include "serve/fleet/watcher.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "serve/snapshot_io.h"
+
+namespace fairdrift {
+
+namespace {
+
+/// stat() the file; returns false when it does not exist (not an error —
+/// the training job may not have written it yet).
+bool StatFile(const std::string& path, int64_t* mtime_ns, uint64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  *mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+              static_cast<int64_t>(st.st_mtim.tv_nsec);
+  *size = static_cast<uint64_t>(st.st_size);
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SnapshotWatcher>> SnapshotWatcher::Start(
+    std::string path, Callback on_load,
+    const SnapshotWatcherOptions& options) {
+  if (path.empty()) {
+    return Status::InvalidArgument("SnapshotWatcher: empty path");
+  }
+  if (on_load == nullptr) {
+    return Status::InvalidArgument("SnapshotWatcher: null callback");
+  }
+  std::unique_ptr<SnapshotWatcher> watcher(
+      new SnapshotWatcher(std::move(path), std::move(on_load), options));
+  if (options.baseline.has_value()) {
+    // The caller supplied the identity of the snapshot it actually
+    // loaded. Seed only the checksum: the first poll re-stats the file,
+    // probes it, and fires iff the bytes differ from what the caller
+    // serves — a save that landed between the caller's load and Start
+    // is therefore delivered, not silently adopted.
+    watcher->have_baseline_ = true;
+    watcher->seen_checksum_ = options.baseline->checksum;
+    watcher->seen_mtime_ns_ = -1;  // force a probe on the first poll
+    watcher->seen_size_ = 0;
+  } else {
+    // Baseline: a file already on disk is what the caller is serving —
+    // remember its identity so only a *new* file fires. The stat and
+    // the checksum probe must describe the SAME file generation: if a
+    // save renames a new file in between, pairing the old stat with the
+    // new checksum would mark the unseen snapshot as already delivered.
+    // Stat again after the probe and retry until the pair is consistent.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      int64_t mtime_ns = 0;
+      uint64_t size = 0;
+      if (!StatFile(watcher->path_, &mtime_ns, &size)) break;
+      Result<SnapshotFileSignature> sig = ProbeSnapshotFile(watcher->path_);
+      if (!sig.ok()) break;
+      int64_t mtime_after = 0;
+      uint64_t size_after = 0;
+      if (StatFile(watcher->path_, &mtime_after, &size_after) &&
+          mtime_after == mtime_ns && size_after == size) {
+        watcher->have_baseline_ = true;
+        watcher->seen_mtime_ns_ = mtime_ns;
+        watcher->seen_size_ = size;
+        watcher->seen_checksum_ = sig.value().checksum;
+        break;
+      }
+    }
+  }
+  watcher->thread_ = std::thread([w = watcher.get()] { w->WatchLoop(); });
+  return watcher;
+}
+
+SnapshotWatcher::SnapshotWatcher(std::string path, Callback on_load,
+                                 const SnapshotWatcherOptions& options)
+    : path_(std::move(path)),
+      on_load_(std::move(on_load)),
+      options_(options) {}
+
+SnapshotWatcher::~SnapshotWatcher() { Stop(); }
+
+void SnapshotWatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+SnapshotWatcher::View SnapshotWatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+void SnapshotWatcher::WatchLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_cv_.wait_for(lock, options_.poll_interval,
+                        [this] { return stopping_; });
+      if (stopping_) return;
+      ++view_.polls;
+    }
+    PollOnce();
+  }
+}
+
+bool SnapshotWatcher::PollOnce() {
+  int64_t mtime_ns = 0;
+  uint64_t size = 0;
+  if (!StatFile(path_, &mtime_ns, &size)) return false;  // not written yet
+  if (have_baseline_ && mtime_ns == seen_mtime_ns_ && size == seen_size_) {
+    return false;  // steady state: one stat(), nothing else
+  }
+  Result<SnapshotFileSignature> sig = ProbeSnapshotFile(path_);
+  if (!sig.ok()) {
+    // Torn by a non-atomic writer, or not a snapshot (yet). Record and
+    // retry next poll without advancing the baseline.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++view_.failed_loads;
+    view_.last_error = sig.status().ToString();
+    return false;
+  }
+  if (have_baseline_ && sig.value().checksum == seen_checksum_) {
+    // Same bytes, new stat identity (e.g. re-saved verbatim): update the
+    // baseline, skip the reload.
+    seen_mtime_ns_ = mtime_ns;
+    seen_size_ = size;
+    return false;
+  }
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot = LoadSnapshot(path_);
+  if (!snapshot.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++view_.failed_loads;
+    view_.last_error = snapshot.status().ToString();
+    return false;
+  }
+  have_baseline_ = true;
+  seen_mtime_ns_ = mtime_ns;
+  seen_size_ = size;
+  seen_checksum_ = sig.value().checksum;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++view_.reloads;
+    view_.last_error.clear();
+  }
+  on_load_(std::move(snapshot).value());
+  return true;
+}
+
+}  // namespace fairdrift

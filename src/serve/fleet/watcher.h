@@ -1,0 +1,117 @@
+// SnapshotWatcher: hot-reload of snapshot files saved by other processes.
+//
+// The operational loop the watcher closes: a training process Fits,
+// Freezes, and SaveSnapshot()s to a path; the serving process watches
+// that path and pushes every new file through its fleet without a
+// restart. Detection is cheap and torn-read-proof:
+//
+//   1. stat(2) every poll_interval — nothing else happens while the
+//      (mtime, size) pair is unchanged, so an idle file costs one syscall
+//      per poll.
+//   2. On a stat change, ProbeSnapshotFile reads only the fixed header +
+//      trailing checksum. An unchanged checksum (same bytes rewritten)
+//      updates the baseline without a reload.
+//   3. On a checksum change, LoadSnapshot parses and verifies the whole
+//      file, and the watcher hands the fresh snapshot to its callback
+//      (typically ScoringFleet::RollingUpdate).
+//
+// SaveSnapshot writes atomically (tmp + rename), so the watcher never
+// observes a half-written file; if a non-atomic writer hands it garbage
+// anyway, LoadSnapshot's checksum rejects it, the error lands in
+// stats().last_error, and the watcher simply retries next poll.
+
+#ifndef FAIRDRIFT_SERVE_FLEET_WATCHER_H_
+#define FAIRDRIFT_SERVE_FLEET_WATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/snapshot.h"
+#include "serve/snapshot_io.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Watcher configuration.
+struct SnapshotWatcherOptions {
+  /// How often the file is stat()ed.
+  std::chrono::milliseconds poll_interval{200};
+  /// The identity of the snapshot the caller already loaded and serves
+  /// (from ProbeSnapshotFile, taken consistently with that load). When
+  /// set, it is the watcher's baseline — a file that changed between
+  /// the caller's load and Start still fires. When unset, whatever file
+  /// is on disk at Start becomes the baseline without firing.
+  std::optional<SnapshotFileSignature> baseline;
+};
+
+/// Background poller that loads a snapshot path on change.
+class SnapshotWatcher {
+ public:
+  /// Invoked (on the watcher thread) with each successfully loaded new
+  /// snapshot. Keep it quick or hand off; polling pauses while it runs —
+  /// which is exactly right for RollingUpdate, where a second file
+  /// change should queue behind the in-progress rollout.
+  using Callback = std::function<void(std::shared_ptr<const ModelSnapshot>)>;
+
+  /// Starts watching `path`. A file already present at start becomes the
+  /// baseline and does NOT fire the callback (the caller typically just
+  /// loaded it); the file may also not exist yet — its first appearance
+  /// fires. The watcher thread is running when Start returns.
+  static Result<std::unique_ptr<SnapshotWatcher>> Start(
+      std::string path, Callback on_load,
+      const SnapshotWatcherOptions& options = {});
+
+  /// Stops and joins the watcher thread (idempotent).
+  ~SnapshotWatcher();
+  void Stop();
+
+  SnapshotWatcher(const SnapshotWatcher&) = delete;
+  SnapshotWatcher& operator=(const SnapshotWatcher&) = delete;
+
+  /// Observable watcher state.
+  struct View {
+    uint64_t polls = 0;          ///< stat() sweeps performed
+    uint64_t reloads = 0;        ///< snapshots loaded and delivered
+    uint64_t failed_loads = 0;   ///< probe/load attempts that errored
+    std::string last_error;      ///< most recent failure ("" when none)
+  };
+  View stats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SnapshotWatcher(std::string path, Callback on_load,
+                  const SnapshotWatcherOptions& options);
+
+  void WatchLoop();
+  /// One poll step; returns true when the file changed and loaded.
+  bool PollOnce();
+
+  std::string path_;
+  Callback on_load_;
+  SnapshotWatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  View view_;
+
+  // Last-seen file identity (watcher thread only).
+  bool have_baseline_ = false;
+  int64_t seen_mtime_ns_ = 0;
+  uint64_t seen_size_ = 0;
+  uint64_t seen_checksum_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_FLEET_WATCHER_H_

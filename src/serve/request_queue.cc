@@ -25,6 +25,9 @@ size_t RequestQueue::PopBatch(size_t max_items,
     while (popped < max_items && !items_.empty()) {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
+      // Under the same mutex hold that shrinks items_: an observer never
+      // sees a request in neither size() nor checked_out().
+      checked_out_.fetch_add(1, std::memory_order_acq_rel);
       ++popped;
     }
   };

@@ -9,6 +9,7 @@
 #ifndef FAIRDRIFT_SERVE_REQUEST_QUEUE_H_
 #define FAIRDRIFT_SERVE_REQUEST_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -64,11 +65,31 @@ class RequestQueue {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Requests PopBatch has handed out that the consumer has not yet
+  /// acknowledged via AckCheckedOut. The increment happens under the
+  /// same mutex hold that removes the item, so at every instant an
+  /// admitted request is visible in size() or in checked_out() — the
+  /// conservation invariant the fleet's drain barrier
+  /// (ScoringServer::Quiesce) relies on to certify that nothing is
+  /// hidden inside the micro-batcher's coalescing window or the
+  /// dispatcher's hand-off to a batch worker.
+  size_t checked_out() const {
+    return checked_out_.load(std::memory_order_acquire);
+  }
+
+  /// Consumer acknowledgment: `n` popped requests have been fully
+  /// processed (tickets fulfilled). Called by the batch workers after
+  /// scoring.
+  void AckCheckedOut(size_t n) {
+    checked_out_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable ready_;
   std::deque<PendingRequest> items_;
+  std::atomic<size_t> checked_out_{0};
   bool closed_ = false;
 };
 

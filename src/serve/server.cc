@@ -91,6 +91,35 @@ Result<ScoreTicket> ScoringServer::Submit(
   return ScoreTicket(std::move(state));
 }
 
+size_t ScoringServer::inflight_batches() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_;
+}
+
+Status ScoringServer::Quiesce(std::chrono::nanoseconds timeout,
+                              bool require_empty_queue) const {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  for (;;) {
+    // Conservation invariant (RequestQueue::checked_out): every admitted
+    // request is visible in the queue's size or in its checked-out count
+    // until its batch worker acknowledges it AFTER fulfilling tickets.
+    // So queue empty + nothing checked out certifies no request is
+    // hidden in the micro-batcher's coalescing window or the
+    // dispatcher-to-worker hand-off — no wall-clock margin needed. The
+    // inflight check is subsumed but kept as a cheap belt-and-braces.
+    bool drained = queue_.checked_out() == 0 && inflight_ == 0 &&
+                   (!require_empty_queue || queue_.size() == 0);
+    if (drained) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("Quiesce: server did not drain");
+    }
+    // inflight_cv_ fires on batch completion; the short cap also re-polls
+    // the queue while the dispatcher is between pop and dispatch.
+    inflight_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
 Result<ScoreResult> ScoringServer::ScoreSync(
     std::vector<double> row, std::chrono::nanoseconds deadline_after) {
   Result<ScoreTicket> ticket = Submit(std::move(row), deadline_after);
@@ -160,6 +189,10 @@ void ScoringServer::DispatchLoop() {
     AcquireInflightSlot();
     pool_->Submit([this, batch] {
       ProcessBatch(batch.get());
+      // Tickets are fulfilled; release the queue's checked-out claim
+      // before the inflight slot so a drain barrier that wakes on the
+      // slot sees the full acknowledgment.
+      queue_.AckCheckedOut(batch->size());
       ReleaseInflightSlot();
     });
   }
@@ -199,20 +232,19 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
   }
   if (live.empty()) return;
 
-  // Score out of a recycled per-worker scratch: the staging matrix and
-  // the snapshot's encoding buffers reshape in place, so steady-state
-  // batches rebuild nothing.
+  // Score out of a recycled per-worker scratch: the staging matrix, the
+  // snapshot's encoding buffers, and the result vector all reshape in
+  // place, so steady-state batches allocate nothing (ScoreBatchInto).
   std::unique_ptr<ScoreScratch> scratch = AcquireScratch();
   scratch->rows.ReshapeForOverwrite(live.size(), width);  // rows copied below
   for (size_t k = 0; k < live.size(); ++k) {
     const std::vector<double>& row = (*batch)[live[k]].row;
     std::copy(row.begin(), row.end(), scratch->rows.RowPtr(k));
   }
-  Result<std::vector<ScoreResult>> scores =
-      snapshot->ScoreBatch(scratch->rows, scratch.get(), pool_);
-  ReleaseScratch(std::move(scratch));
-  if (!scores.ok()) {
-    for (size_t i : live) (*batch)[i].ticket->Fail(scores.status());
+  Status scored = snapshot->ScoreBatchInto(scratch->rows, scratch.get(), pool_);
+  if (!scored.ok()) {
+    ReleaseScratch(std::move(scratch));
+    for (size_t i : live) (*batch)[i].ticket->Fail(scored);
     return;
   }
   auto done = std::chrono::steady_clock::now();
@@ -224,8 +256,9 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
     stats_.RecordCompletion(done - (*batch)[live[k]].enqueue_time);
   }
   for (size_t k = 0; k < live.size(); ++k) {
-    (*batch)[live[k]].ticket->Complete(scores.value()[k]);
+    (*batch)[live[k]].ticket->Complete(scratch->results[k]);
   }
+  ReleaseScratch(std::move(scratch));
 }
 
 }  // namespace fairdrift

@@ -94,6 +94,27 @@ class ScoringServer {
   /// Idempotent; called by the destructor.
   void Stop();
 
+  /// Requests currently waiting in this server's queue (racy snapshot —
+  /// the fleet router's load signal, not a synchronization primitive).
+  size_t queue_depth() const { return queue_.size(); }
+
+  /// Batches currently being scored by pool workers (racy snapshot).
+  size_t inflight_batches() const;
+
+  /// Blocks until this server is provably drained: nothing queued
+  /// (unless `require_empty_queue` is false), nothing checked out of
+  /// the queue (the pop-to-completion handshake — covers requests the
+  /// dispatcher popped but is still coalescing or handing to a worker),
+  /// and no batch in flight. The fleet's rolling update uses this as
+  /// its per-shard drain barrier — the router has already steered
+  /// traffic away, so the queue empties and the barrier certifies every
+  /// previously admitted request scored against the pre-swap snapshot.
+  /// Returns DeadlineExceeded when `timeout` elapses first (traffic
+  /// kept arriving, or a batch is stuck). Does NOT close admission; new
+  /// submits keep working throughout.
+  Status Quiesce(std::chrono::nanoseconds timeout,
+                 bool require_empty_queue = true) const;
+
   /// Live statistics view.
   ServerStats::View stats() const { return stats_.Snapshot(); }
 
@@ -125,8 +146,8 @@ class ScoringServer {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
 
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
+  mutable std::mutex inflight_mu_;
+  mutable std::condition_variable inflight_cv_;
   size_t inflight_ = 0;
   size_t max_inflight_ = 1;
 

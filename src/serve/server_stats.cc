@@ -74,6 +74,22 @@ void ServerStats::RecordBatch(size_t batch_size,
   }
 }
 
+double ServerStats::PercentileUsFromHist(const std::vector<uint64_t>& hist,
+                                         double q) {
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  if (total == 0) return 0.0;
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    seen += hist[b];
+    if (seen >= target) return BucketLatencyUs(b);
+  }
+  return BucketLatencyUs(hist.empty() ? 0 : hist.size() - 1);
+}
+
 double ServerStats::EwmaBatchLatencyNs() const {
   uint64_t bits = ewma_batch_ns_bits_.load(rel());
   return bits == 0 ? 0.0 : BitsToDouble(bits);
@@ -94,27 +110,13 @@ ServerStats::View ServerStats::Snapshot() const {
           ? 0.0
           : static_cast<double>(batched) / static_cast<double>(view.batches);
 
-  std::array<uint64_t, kLatencyBuckets> hist;
-  uint64_t total = 0;
+  view.latency_hist.resize(kLatencyBuckets);
   for (size_t b = 0; b < kLatencyBuckets; ++b) {
-    hist[b] = latency_hist_[b].load(rel());
-    total += hist[b];
+    view.latency_hist[b] = latency_hist_[b].load(rel());
   }
-  auto percentile = [&](double q) {
-    if (total == 0) return 0.0;
-    uint64_t target = static_cast<uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
-    if (target == 0) target = 1;
-    uint64_t seen = 0;
-    for (size_t b = 0; b < kLatencyBuckets; ++b) {
-      seen += hist[b];
-      if (seen >= target) return BucketLatencyUs(b);
-    }
-    return BucketLatencyUs(kLatencyBuckets - 1);
-  };
-  view.p50_latency_us = percentile(0.50);
-  view.p95_latency_us = percentile(0.95);
-  view.p99_latency_us = percentile(0.99);
+  view.p50_latency_us = PercentileUsFromHist(view.latency_hist, 0.50);
+  view.p95_latency_us = PercentileUsFromHist(view.latency_hist, 0.95);
+  view.p99_latency_us = PercentileUsFromHist(view.latency_hist, 0.99);
   view.ewma_batch_latency_us = EwmaBatchLatencyNs() * 1e-3;
 
   view.batch_size_hist.resize(kBatchBuckets);

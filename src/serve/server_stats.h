@@ -69,15 +69,28 @@ class ServerStats {
     double ewma_batch_latency_us = 0.0;
     /// Completed-request counts per power-of-two batch-size bucket.
     std::vector<uint64_t> batch_size_hist;
+    /// Completed-request counts per log-scale latency bucket
+    /// (kLatencyBuckets entries). Bucket counts from several servers add
+    /// element-wise, which is how FleetStats derives fleet-wide
+    /// percentiles instead of averaging per-shard ones.
+    std::vector<uint64_t> latency_hist;
   };
 
   View Snapshot() const;
 
+  /// Geometric representative latency of a log-scale bucket, in
+  /// microseconds (public so merged histograms can be re-quantiled).
+  static double BucketLatencyUs(size_t bucket);
+
+  /// The `q`-quantile (0..1) of a latency histogram in microseconds —
+  /// the same derivation Snapshot() applies to a single server's
+  /// histogram, reusable on an element-wise sum of several.
+  static double PercentileUsFromHist(const std::vector<uint64_t>& hist,
+                                     double q);
+
  private:
   static std::memory_order rel() { return std::memory_order_relaxed; }
   static size_t LatencyBucket(std::chrono::nanoseconds latency);
-  /// Geometric representative latency of a bucket, in microseconds.
-  static double BucketLatencyUs(size_t bucket);
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};

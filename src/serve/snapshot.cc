@@ -70,7 +70,6 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
   snapshot->has_profile_ = parts.has_profile;
   snapshot->density_ = std::move(parts.density);
   snapshot->density_floor_ = parts.density_floor;
-  snapshot->density_train_ = std::move(parts.density_train);
   snapshot->density_options_ = parts.density_options;
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
@@ -97,7 +96,17 @@ Status ModelSnapshot::ValidateRow(const double* row) const {
 
 Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
     const Matrix& rows, ScoreScratch* scratch, ThreadPool* pool) const {
-  if (rows.rows() == 0) return std::vector<ScoreResult>{};
+  FAIRDRIFT_RETURN_IF_ERROR(ScoreBatchInto(rows, scratch, pool));
+  return scratch->results;
+}
+
+Status ModelSnapshot::ScoreBatchInto(const Matrix& rows,
+                                     ScoreScratch* scratch,
+                                     ThreadPool* pool) const {
+  if (rows.rows() == 0) {
+    scratch->results.clear();
+    return Status::OK();
+  }
   if (rows.cols() != num_features()) {
     return Status::InvalidArgument(
         StrFormat("ModelSnapshot::ScoreBatch: rows have %zu fields, schema "
@@ -115,7 +124,11 @@ Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
   FAIRDRIFT_RETURN_IF_ERROR(encoder_.NumericRows(rows, &scratch->numeric));
   const Matrix& numeric = scratch->numeric;
 
-  std::vector<ScoreResult> out(n);
+  // assign (not resize) so every field of every slot is reset — stale
+  // results from the previous batch must never leak through a field this
+  // batch does not write.
+  scratch->results.assign(n, ScoreResult{});
+  std::vector<ScoreResult>& out = scratch->results;
   for (ScoreResult& r : out) r.snapshot_version = version_;
 
   // Conformance routing + margins over the numeric attribute view (the
@@ -134,41 +147,40 @@ Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
     } else {
       // Single-model serving: the margin is a pure conformance monitor
       // — best over every profiled group.
-      ParallelFor(
-          0, n,
-          [&](size_t i) {
-            const double* row = numeric.RowPtr(i);
-            double best = std::numeric_limits<double>::infinity();
-            for (int g = 0; g < profile_.num_groups(); ++g) {
-              if (!profile_.GroupProfiled(g)) continue;
-              best = std::min(best, profile_.MinMarginForGroup(g, row));
-            }
-            out[i].margin = best;
-          },
-          pool);
+      ParallelForEach(0, n, pool, [&](size_t i) {
+        const double* row = numeric.RowPtr(i);
+        double best = std::numeric_limits<double>::infinity();
+        for (int g = 0; g < profile_.num_groups(); ++g) {
+          if (!profile_.GroupProfiled(g)) continue;
+          best = std::min(best, profile_.MinMarginForGroup(g, row));
+        }
+        out[i].margin = best;
+      });
     }
   }
 
   // One batched prediction per serving group model, gathered by route —
-  // the same shared step the offline routed paths use.
-  Result<RoutedPredictions> predictions =
-      GatherRoutedPredictions(models_, route, scratch->encoded);
-  if (!predictions.ok()) return predictions.status();
+  // the same shared step the offline routed paths use, staged in the
+  // recycled scratch buffers.
+  FAIRDRIFT_RETURN_IF_ERROR(GatherRoutedPredictionsInto(
+      models_, route, scratch->encoded, &scratch->group_proba,
+      &scratch->proba, &scratch->labels, pool));
   for (size_t i = 0; i < n; ++i) {
     out[i].routed_group = routed_ ? route[i] : -1;
-    out[i].probability = predictions.value().proba[i];
-    out[i].label = predictions.value().labels[i];
+    out[i].probability = scratch->proba[i];
+    out[i].label = scratch->labels[i];
   }
 
   // Drift monitor: training log-density of each request row.
   if (density_ != nullptr && numeric.cols() > 0) {
-    std::vector<double> logd = density_->LogDensityAll(numeric, pool);
+    scratch->logd.resize(n);
+    density_->LogDensityAllInto(numeric, scratch->logd.data(), pool);
     for (size_t i = 0; i < n; ++i) {
-      out[i].log_density = logd[i];
-      out[i].density_outlier = logd[i] < density_floor_;
+      out[i].log_density = scratch->logd[i];
+      out[i].density_outlier = scratch->logd[i] < density_floor_;
     }
   }
-  return out;
+  return Status::OK();
 }
 
 Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(

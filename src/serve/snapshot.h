@@ -67,14 +67,20 @@ struct ScoreResult {
 /// Reusable per-worker buffers for ScoreBatch. A batch worker that keeps
 /// one of these across batches pays no per-batch Dataset/encoding
 /// allocations — the matrices reshape in place once their capacity covers
-/// the largest batch seen. Not thread-safe; one scratch per concurrent
-/// ScoreBatch call.
+/// the largest batch seen, and ScoreBatchInto writes its results into
+/// `results` so the steady-state scoring pass allocates nothing at all.
+/// Not thread-safe; one scratch per concurrent ScoreBatch call.
 struct ScoreScratch {
   Matrix rows;      ///< request-row staging area (filled by the server)
   Matrix numeric;   ///< numeric-attribute view of the batch
   Matrix encoded;   ///< encoded design matrix of the batch
   std::vector<int> route;       ///< per-row serving group
   std::vector<double> margins;  ///< per-row winner signed margin
+  Matrix group_proba;           ///< per-model whole-batch predictions
+  std::vector<double> proba;    ///< gathered per-row probabilities
+  std::vector<int> labels;      ///< gathered per-row hard labels
+  std::vector<double> logd;     ///< per-row training log-densities
+  std::vector<ScoreResult> results;  ///< ScoreBatchInto's output
 };
 
 /// Mutable staging area for ModelSnapshot::Create. Fill in the fitted
@@ -104,15 +110,11 @@ struct SnapshotParts {
   /// Log-density below which a row is flagged density_outlier (typically a
   /// low quantile of the training split's own log-densities).
   double density_floor = -std::numeric_limits<double>::infinity();
-  /// The raw numeric training matrix the density monitor was fitted on,
-  /// plus its fit options — kept so snapshot persistence
-  /// (serve/snapshot_io.h) can refit the identical estimator in another
-  /// process (the tree stores the points *permuted*, so refitting from
-  /// it would change summation order and break bitwise identity). This
-  /// roughly doubles a monitored snapshot's resident memory; serializing
-  /// the flat tree nodes directly would remove the copy (ROADMAP).
-  /// Empty when there is no monitor.
-  Matrix density_train;
+  /// The monitor's fit options, kept for reporting and persistence. The
+  /// raw training matrix is NOT retained: snapshot persistence
+  /// (serve/snapshot_io.h) serializes the fitted estimator's flat tree
+  /// directly, so monitored snapshots no longer pay the ~2x resident
+  /// memory the historical refit-on-load format required.
   KdeOptions density_options;
 };
 
@@ -140,6 +142,14 @@ class ModelSnapshot {
   Result<std::vector<ScoreResult>> ScoreBatch(const Matrix& rows,
                                               ThreadPool* pool = nullptr) const;
 
+  /// ScoreBatch into `scratch->results` — the serving batch workers'
+  /// entry point. With a recycled scratch whose capacity covers the
+  /// batch, a steady-state call performs zero heap allocations (scored
+  /// inline or on a 0-worker pool; real pools add only task-dispatch
+  /// allocations). Results are bitwise identical to ScoreBatch.
+  Status ScoreBatchInto(const Matrix& rows, ScoreScratch* scratch,
+                        ThreadPool* pool = nullptr) const;
+
   /// Checks one request row (length num_features()) against the schema:
   /// categorical fields must carry integral codes inside their category
   /// range. The server validates per request so one malformed row fails
@@ -161,9 +171,9 @@ class ModelSnapshot {
   const GroupLabelProfile& profile() const { return profile_; }
   bool has_density() const { return density_ != nullptr; }
   double density_floor() const { return density_floor_; }
-  /// The drift monitor's training matrix + options (empty matrix when the
-  /// snapshot has no monitor); consumed by snapshot persistence.
-  const Matrix& density_train() const { return density_train_; }
+  /// The fitted drift monitor (null when the snapshot has no monitor);
+  /// consumed by snapshot persistence, which serializes its flat tree.
+  const KernelDensity* density() const { return density_.get(); }
   const KdeOptions& density_options() const { return density_options_; }
   int num_groups() const { return static_cast<int>(models_.size()); }
 
@@ -184,7 +194,6 @@ class ModelSnapshot {
   bool has_profile_ = false;
   std::shared_ptr<const KernelDensity> density_;
   double density_floor_ = -std::numeric_limits<double>::infinity();
-  Matrix density_train_;
   KdeOptions density_options_;
 };
 

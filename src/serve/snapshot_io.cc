@@ -1,5 +1,6 @@
 #include "serve/snapshot_io.h"
 
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -136,78 +137,37 @@ Result<KdeOptions> DeserializeKdeOptions(BinaryReader* r) {
   return options;
 }
 
-void SerializeMatrix(const Matrix& m, BinaryWriter* w) {
-  w->WriteU64(m.rows());
-  w->WriteU64(m.cols());
-  for (double v : m.data()) w->WriteDouble(v);
-}
+/// Serializes everything up to the density section (identical across
+/// format versions).
+Status SerializeCommonSections(const ModelSnapshot& snapshot,
+                               BinaryWriter* payload) {
+  SerializeSchema(snapshot.schema(), payload);
+  snapshot.encoder().SerializeTo(payload);
+  payload->WriteU8(snapshot.routed() ? 1 : 0);
+  payload->WriteU8(snapshot.routing() == RoutingRule::kViolationOnly ? 1 : 0);
+  payload->WriteI32(snapshot.fallback_group());
 
-Result<Matrix> DeserializeMatrix(BinaryReader* r) {
-  Result<uint64_t> rows = r->ReadU64();
-  if (!rows.ok()) return rows.status();
-  Result<uint64_t> cols = r->ReadU64();
-  if (!cols.ok()) return cols.status();
-  // Division-shaped guard: hostile dimensions must not overflow past it
-  // into a gigantic allocation.
-  if (cols.value() != 0 &&
-      rows.value() > r->remaining() / 8 / cols.value()) {
-    return Status::DataLoss("snapshot matrix claims more data than stored");
-  }
-  std::vector<double> flat;
-  flat.reserve(rows.value() * cols.value());
-  for (uint64_t i = 0; i < rows.value() * cols.value(); ++i) {
-    Result<double> v = r->ReadDouble();
-    if (!v.ok()) return v.status();
-    flat.push_back(v.value());
-  }
-  Result<Matrix> m =
-      Matrix::FromFlat(rows.value(), cols.value(), std::move(flat));
-  if (!m.ok()) return Status::DataLoss(m.status().message());
-  return m;
-}
-
-}  // namespace
-
-Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
-  BinaryWriter payload;
-  SerializeSchema(snapshot.schema(), &payload);
-  snapshot.encoder().SerializeTo(&payload);
-  payload.WriteU8(snapshot.routed() ? 1 : 0);
-  payload.WriteU8(snapshot.routing() == RoutingRule::kViolationOnly ? 1 : 0);
-  payload.WriteI32(snapshot.fallback_group());
-
-  payload.WriteU64(static_cast<uint64_t>(snapshot.num_groups()));
+  payload->WriteU64(static_cast<uint64_t>(snapshot.num_groups()));
   for (int g = 0; g < snapshot.num_groups(); ++g) {
     const Classifier* model = snapshot.group_model(g);
-    payload.WriteU8(model != nullptr ? 1 : 0);
+    payload->WriteU8(model != nullptr ? 1 : 0);
     if (model != nullptr) {
-      FAIRDRIFT_RETURN_IF_ERROR(SerializeClassifier(*model, &payload));
+      FAIRDRIFT_RETURN_IF_ERROR(SerializeClassifier(*model, payload));
     }
   }
 
-  payload.WriteU8(snapshot.has_profile() ? 1 : 0);
-  if (snapshot.has_profile()) SerializeProfile(snapshot.profile(), &payload);
+  payload->WriteU8(snapshot.has_profile() ? 1 : 0);
+  if (snapshot.has_profile()) SerializeProfile(snapshot.profile(), payload);
+  return Status::OK();
+}
 
-  if (snapshot.has_density() && snapshot.density_train().empty()) {
-    // Dropping the monitor silently would make the loaded snapshot score
-    // differently from the saved one — refuse instead. Freeze()
-    // (core/artifacts.h) always stores the training matrix.
-    return Status::FailedPrecondition(
-        "SaveSnapshot: snapshot carries a density monitor without its "
-        "training matrix; freeze it via core/artifacts.h to persist");
-  }
-  bool persist_density = snapshot.has_density();
-  payload.WriteU8(persist_density ? 1 : 0);
-  if (persist_density) {
-    SerializeKdeOptions(snapshot.density_options(), &payload);
-    payload.WriteDouble(snapshot.density_floor());
-    SerializeMatrix(snapshot.density_train(), &payload);
-  }
-
+/// Frames `payload` (magic + header + checksum) and writes it atomically.
+Status WriteFramedSnapshot(const BinaryWriter& payload, uint32_t version,
+                           const std::string& path) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   BinaryWriter header;
-  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU32(version);
   header.WriteU64(payload.buffer().size());
   out.append(header.buffer());
   out.append(payload.buffer());
@@ -215,7 +175,42 @@ Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
   checksum.WriteU64(Fnv1aHash(payload.buffer().data(),
                               payload.buffer().size()));
   out.append(checksum.buffer());
-  return WriteFileBytes(path, out);
+  // Atomic replace: the hot-reload watcher may race this write.
+  return WriteFileBytesAtomic(path, out);
+}
+
+}  // namespace
+
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  BinaryWriter payload;
+  FAIRDRIFT_RETURN_IF_ERROR(SerializeCommonSections(snapshot, &payload));
+  payload.WriteU8(snapshot.has_density() ? 1 : 0);
+  if (snapshot.has_density()) {
+    SerializeKdeOptions(snapshot.density_options(), &payload);
+    payload.WriteDouble(snapshot.density_floor());
+    // v2: the fitted estimator travels whole (flat tree included), so the
+    // loader neither refits nor retains a training-matrix copy.
+    FAIRDRIFT_RETURN_IF_ERROR(snapshot.density()->SaveFittedTo(&payload));
+  }
+  return WriteFramedSnapshot(payload, kSnapshotFormatVersion, path);
+}
+
+Status SaveSnapshotV1(const ModelSnapshot& snapshot,
+                      const Matrix& density_train, const std::string& path) {
+  BinaryWriter payload;
+  FAIRDRIFT_RETURN_IF_ERROR(SerializeCommonSections(snapshot, &payload));
+  if (snapshot.has_density() && density_train.empty()) {
+    return Status::FailedPrecondition(
+        "SaveSnapshotV1: the legacy format persists the density monitor "
+        "as its raw training matrix, which was not supplied");
+  }
+  payload.WriteU8(snapshot.has_density() ? 1 : 0);
+  if (snapshot.has_density()) {
+    SerializeKdeOptions(snapshot.density_options(), &payload);
+    payload.WriteDouble(snapshot.density_floor());
+    density_train.SerializeTo(&payload);
+  }
+  return WriteFramedSnapshot(payload, 1, path);
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
@@ -231,10 +226,13 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
                       file.size() - sizeof(kMagic));
   Result<uint32_t> version = header.ReadU32();
   if (!version.ok()) return version.status();
-  if (version.value() != kSnapshotFormatVersion) {
+  if (version.value() < kMinSnapshotFormatVersion ||
+      version.value() > kSnapshotFormatVersion) {
     return Status::DataLoss(StrFormat(
-        "'%s' has snapshot format version %u; this build reads version %u",
-        path.c_str(), version.value(), kSnapshotFormatVersion));
+        "'%s' has snapshot format version %u; this build reads versions "
+        "%u through %u",
+        path.c_str(), version.value(), kMinSnapshotFormatVersion,
+        kSnapshotFormatVersion));
   }
   Result<uint64_t> payload_size = header.ReadU64();
   if (!payload_size.ok()) return payload_size.status();
@@ -338,22 +336,36 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     if (!options.ok()) return options.status();
     Result<double> floor = r.ReadDouble();
     if (!floor.ok()) return floor.status();
-    Result<Matrix> train = DeserializeMatrix(&r);
-    if (!train.ok()) return train.status();
-    if (train.value().cols() != parts.schema.num_numeric()) {
-      return Status::DataLoss(
-          "snapshot density matrix width disagrees with the schema");
+    if (version.value() >= 2) {
+      // v2: the fitted estimator (flat tree included) travels whole — an
+      // O(n) read with no refit and no resident training-matrix copy.
+      Result<KernelDensity> density = KernelDensity::LoadFittedFrom(&r);
+      if (!density.ok()) return density.status();
+      if (density.value().bandwidth().size() !=
+          parts.schema.num_numeric()) {
+        return Status::DataLoss(
+            "snapshot density estimator width disagrees with the schema");
+      }
+      parts.density =
+          std::make_shared<const KernelDensity>(std::move(density).value());
+    } else {
+      // v1 compatibility: the density section carries the raw training
+      // matrix; refit deterministically (identical data + options
+      // rebuild a bitwise-identical estimator) and then DROP the matrix
+      // — even legacy files no longer pay the resident copy.
+      Result<Matrix> train = Matrix::DeserializeFrom(&r);
+      if (!train.ok()) return train.status();
+      if (train.value().cols() != parts.schema.num_numeric()) {
+        return Status::DataLoss(
+            "snapshot density matrix width disagrees with the schema");
+      }
+      Result<KernelDensity> density =
+          KernelDensity::Fit(train.value(), options.value());
+      if (!density.ok()) return density.status();
+      parts.density =
+          std::make_shared<const KernelDensity>(std::move(density).value());
     }
-    // Refit instead of storing the fitted trees: KernelDensity::Fit is
-    // deterministic, so identical data + options rebuild an estimator
-    // whose log-densities are bitwise identical to the saved process's.
-    Result<KernelDensity> density =
-        KernelDensity::Fit(train.value(), options.value());
-    if (!density.ok()) return density.status();
-    parts.density =
-        std::make_shared<const KernelDensity>(std::move(density).value());
     parts.density_floor = floor.value();
-    parts.density_train = std::move(train).value();
     parts.density_options = options.value();
   }
 
@@ -370,6 +382,43 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
                             snapshot.status().message());
   }
   return snapshot;
+}
+
+Result<SnapshotFileSignature> ProbeSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  // magic(8) + version(4) + payload_size(8), then the checksum is the
+  // last 8 bytes of the file.
+  char head[20];
+  size_t got = std::fread(head, 1, sizeof(head), f);
+  long file_end = 0;
+  char tail[8];
+  bool tail_ok = got == sizeof(head) && std::fseek(f, -8, SEEK_END) == 0 &&
+                 std::fread(tail, 1, sizeof(tail), f) == sizeof(tail) &&
+                 (file_end = std::ftell(f)) >= 0;
+  std::fclose(f);
+  if (!tail_ok || std::memcmp(head, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("'" + path + "' is not a fairdrift snapshot");
+  }
+  BinaryReader header(head + sizeof(kMagic), 12);
+  SnapshotFileSignature sig;
+  sig.file_size = static_cast<uint64_t>(file_end);
+  Result<uint32_t> version = header.ReadU32();
+  if (!version.ok()) return version.status();
+  sig.format_version = version.value();
+  Result<uint64_t> payload_size = header.ReadU64();
+  if (!payload_size.ok()) return payload_size.status();
+  sig.payload_size = payload_size.value();
+  BinaryReader trailer(tail, sizeof(tail));
+  Result<uint64_t> checksum = trailer.ReadU64();
+  if (!checksum.ok()) return checksum.status();
+  sig.checksum = checksum.value();
+  if (sig.file_size != sizeof(kMagic) + 12 + sig.payload_size + 8) {
+    return Status::DataLoss("'" + path + "' is truncated");
+  }
+  return sig;
 }
 
 }  // namespace fairdrift

@@ -3,22 +3,33 @@
 // SaveSnapshot freezes a snapshot to disk — learner coefficients/trees,
 // the ConstraintSet profile, the GroupLabelProfile shape, the
 // FeatureEncoder's schema + standardization statistics, the drift
-// monitor's KDE training matrix + fit options, and the outlier floor.
-// LoadSnapshot rebuilds an equivalent snapshot in any process of the same
-// build: every numeric field travels as raw IEEE-754 bits and the KDE is
-// refitted deterministically from its stored training matrix, so a loaded
-// snapshot scores requests *bitwise identically* to the one saved. This
-// decouples training and serving: a training job Fits and saves; the
-// serving job loads and swaps, no refit anywhere.
+// monitor's *fitted* estimator (bandwidths + flat KD/ball-tree nodes),
+// and the outlier floor. LoadSnapshot rebuilds an equivalent snapshot in
+// any process of the same build: every numeric field travels as raw
+// IEEE-754 bits, so a loaded snapshot scores requests *bitwise
+// identically* to the one saved. This decouples training and serving: a
+// training job Fits and saves; the serving job loads and swaps, no refit
+// anywhere.
 //
 // File layout:
 //   magic "FDSNAPSH" | u32 format version | u64 payload size
 //   | payload | u64 FNV-1a(payload)
 //
-// Truncated, corrupted (checksum mismatch), or future-version files are
-// rejected with a typed Status::DataLoss; files that are not snapshots at
-// all fail the magic check the same way. The format version bumps on any
-// layout change — there is no silent cross-version reinterpretation.
+// Format history:
+//   v1  density section = KdeOptions + floor + raw training matrix; the
+//       loader refits the KDE deterministically (O(n log n)) and the
+//       snapshot keeps the matrix resident (~2x monitor memory).
+//   v2  density section = KdeOptions + floor + the fitted estimator's
+//       complete flat state; loads are O(n) with no refit and no
+//       retained training matrix. v1 files still load (via the refit
+//       path); v2 is what SaveSnapshot writes.
+//
+// Saves are atomic (write to <path>.tmp.<pid> + rename), so a concurrent
+// reader — in particular the hot-reload SnapshotWatcher
+// (serve/fleet/watcher.h) — observes either the old or the new complete
+// file, never a torn one. Truncated, corrupted (checksum mismatch), or
+// future-version files are rejected with a typed Status::DataLoss; files
+// that are not snapshots at all fail the magic check the same way.
 
 #ifndef FAIRDRIFT_SERVE_SNAPSHOT_IO_H_
 #define FAIRDRIFT_SERVE_SNAPSHOT_IO_H_
@@ -31,18 +42,46 @@
 
 namespace fairdrift {
 
-/// Current on-disk format version.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Current on-disk format version (what SaveSnapshot writes).
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
-/// Writes `snapshot` to `path`. Fails IoError on filesystem problems and
-/// FailedPrecondition when a model family has no serialization.
+/// Oldest format version LoadSnapshot still reads.
+inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
+
+/// Writes `snapshot` to `path` atomically (tmp + rename). Fails IoError
+/// on filesystem problems and FailedPrecondition when a model family has
+/// no serialization.
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
 
+/// Writes `snapshot` in the legacy v1 layout, whose density section
+/// carries the raw training matrix (`density_train`, the matrix the
+/// monitor was fitted on — FittedArtifacts::density_train) instead of
+/// the fitted tree. Kept so the v1 compatibility path stays testable;
+/// new code uses SaveSnapshot.
+Status SaveSnapshotV1(const ModelSnapshot& snapshot,
+                      const Matrix& density_train, const std::string& path);
+
 /// Reads a snapshot file written by SaveSnapshot (possibly by another
-/// process). The result carries a fresh process-local version stamp —
-/// snapshot versions order swaps within a server, not across processes.
+/// process, possibly in an older supported format version). The result
+/// carries a fresh process-local version stamp — snapshot versions order
+/// swaps within a server, not across processes.
 Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     const std::string& path);
+
+/// Cheap identity probe of a snapshot file: reads only the fixed-size
+/// header and the trailing checksum (no payload parse, no model
+/// rebuild). The hot-reload watcher uses the checksum to distinguish
+/// "the file changed" from "the file was rewritten with identical
+/// contents".
+struct SnapshotFileSignature {
+  uint64_t file_size = 0;
+  uint32_t format_version = 0;
+  uint64_t payload_size = 0;
+  /// The stored FNV-1a checksum of the payload (not re-verified here —
+  /// LoadSnapshot does the full integrity check).
+  uint64_t checksum = 0;
+};
+Result<SnapshotFileSignature> ProbeSnapshotFile(const std::string& path);
 
 }  // namespace fairdrift
 

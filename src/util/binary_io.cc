@@ -1,5 +1,8 @@
 #include "util/binary_io.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -34,6 +37,16 @@ void BinaryWriter::WriteString(const std::string& s) {
 void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
   WriteU64(v.size());
   for (double x : v) WriteDouble(x);
+}
+
+void BinaryWriter::WriteU64Vector(const std::vector<size_t>& v) {
+  WriteU64(v.size());
+  for (size_t x : v) WriteU64(static_cast<uint64_t>(x));
+}
+
+void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& v) {
+  WriteU64(v.size());
+  for (int32_t x : v) WriteI32(x);
 }
 
 Result<const char*> BinaryReader::Take(size_t n) {
@@ -118,6 +131,40 @@ Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
   return v;
 }
 
+Result<std::vector<size_t>> BinaryReader::ReadU64Vector() {
+  Result<uint64_t> len = ReadU64();
+  if (!len.ok()) return len.status();
+  if (len.value() > remaining() / 8) {
+    return Status::DataLoss(
+        StrFormat("binary payload truncated: vector claims %llu entries",
+                  static_cast<unsigned long long>(len.value())));
+  }
+  std::vector<size_t> v(len.value());
+  for (size_t& x : v) {
+    Result<uint64_t> r = ReadU64();
+    if (!r.ok()) return r.status();
+    x = static_cast<size_t>(r.value());
+  }
+  return v;
+}
+
+Result<std::vector<int32_t>> BinaryReader::ReadI32Vector() {
+  Result<uint64_t> len = ReadU64();
+  if (!len.ok()) return len.status();
+  if (len.value() > remaining() / 4) {
+    return Status::DataLoss(
+        StrFormat("binary payload truncated: vector claims %llu entries",
+                  static_cast<unsigned long long>(len.value())));
+  }
+  std::vector<int32_t> v(len.value());
+  for (int32_t& x : v) {
+    Result<int32_t> r = ReadI32();
+    if (!r.ok()) return r.status();
+    x = r.value();
+  }
+  return v;
+}
+
 uint64_t Fnv1aHash(const char* data, size_t size) {
   uint64_t h = 1469598103934665603ull;
   for (size_t i = 0; i < size; ++i) {
@@ -136,6 +183,33 @@ Status WriteFileBytes(const std::string& path, const std::string& payload) {
   int close_err = std::fclose(f);
   if (written != payload.size() || close_err != 0) {
     return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteFileBytesAtomic(const std::string& path,
+                            const std::string& payload) {
+  // The temporary lives in the same directory as the target so the
+  // rename never crosses a filesystem boundary (rename(2) atomicity).
+  // pid + a process-wide counter keep the name unique across processes
+  // AND across concurrent savers inside one process — two threads
+  // sharing a tmp name would interleave writes and rename torn bytes
+  // into place.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp = StrFormat(
+      "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
+      static_cast<unsigned long long>(
+          tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+  Status written = WriteFileBytes(tmp, payload);
+  if (!written.ok()) {
+    // Don't strand a partial temp file (each call uses a fresh name, so
+    // leaks would accumulate — e.g. periodic saves retrying on ENOSPC).
+    std::remove(tmp.c_str());
+    return written;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' over '" + path + "'");
   }
   return Status::OK();
 }

@@ -34,6 +34,9 @@ class BinaryWriter {
   /// u64 length followed by the bytes.
   void WriteString(const std::string& s);
   void WriteDoubleVector(const std::vector<double>& v);
+  /// u64 length followed by the elements (size_t travels as u64).
+  void WriteU64Vector(const std::vector<size_t>& v);
+  void WriteI32Vector(const std::vector<int32_t>& v);
 
   const std::string& buffer() const { return buffer_; }
 
@@ -56,6 +59,8 @@ class BinaryReader {
   Result<double> ReadDouble();
   Result<std::string> ReadString();
   Result<std::vector<double>> ReadDoubleVector();
+  Result<std::vector<size_t>> ReadU64Vector();
+  Result<std::vector<int32_t>> ReadI32Vector();
 
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }
@@ -73,9 +78,16 @@ class BinaryReader {
 /// integrity check so random corruption is detected, not mis-parsed.
 uint64_t Fnv1aHash(const char* data, size_t size);
 
-/// Writes `payload` to `path` atomically enough for our purposes (write +
-/// rename is overkill here; a partial write is caught by the checksum).
+/// Writes `payload` to `path` directly (a crash mid-write leaves a
+/// partial file, which readers catch via the checksum).
 Status WriteFileBytes(const std::string& path, const std::string& payload);
+
+/// Writes `payload` to `<path>.tmp.<pid>` and renames it over `path`.
+/// rename(2) is atomic on POSIX, so a concurrent reader (the snapshot
+/// hot-reload watcher) observes either the previous complete file or the
+/// new complete file — never a partially written one.
+Status WriteFileBytesAtomic(const std::string& path,
+                            const std::string& payload);
 
 /// Reads the whole file at `path`.
 Result<std::string> ReadFileBytes(const std::string& path);

@@ -129,6 +129,23 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body,
                  ThreadPool* pool = nullptr);
 
+/// ParallelFor that never touches the task machinery on an inline pool:
+/// when the resolved pool has 0 workers the loop runs as a plain serial
+/// `for` — no std::function conversion, no task enqueue, zero heap
+/// allocations. Results are bitwise identical either way (each index
+/// writes only its own slots), so the serving hot paths use this to stay
+/// allocation-free when scored inline while still fanning out on real
+/// pools.
+template <typename Body>
+void ParallelForEach(size_t begin, size_t end, ThreadPool* pool, Body&& body) {
+  ThreadPool* p = pool != nullptr ? pool : &GlobalThreadPool();
+  if (p->num_threads() == 0) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  p->For(begin, end, body);
+}
+
 /// Block size of the deterministic reductions below. Fixed (never derived
 /// from the worker count) so partial results depend only on the range.
 inline constexpr size_t kReductionChunk = 1024;

@@ -345,5 +345,176 @@ TEST(SnapshotIoTest, LoadedSnapshotServes) {
   }
 }
 
+// ------------------------------------------------ format v2 / v1 compat
+
+// The v2 density section serializes the fitted estimator (flat tree
+// included); the legacy v1 section serializes the raw training matrix
+// and refits on load. Both must produce bitwise-identical scores — v1
+// files written by older builds keep loading correctly.
+TEST(SnapshotIoTest, LegacyV1FileLoadsBitwiseIdentical) {
+  Dataset train = MakeTrainingData(400, 67);
+  TrainSpec spec = ServingSpec(Method::kConfair);
+  Result<FittedArtifacts> artifacts = Fit(train, Dataset{}, spec);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
+  // The training matrix the monitor was fitted on — what a v1 writer
+  // would have persisted.
+  Matrix density_train = artifacts.value().density_train;
+  ASSERT_FALSE(density_train.empty());
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      Freeze(std::move(artifacts).value());
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+  std::string v1_path = TempPath("snapshot_legacy_v1.bin");
+  std::string v2_path = TempPath("snapshot_current_v2.bin");
+  ASSERT_TRUE(
+      SaveSnapshotV1(*original.value(), density_train, v1_path).ok());
+  ASSERT_TRUE(SaveSnapshot(*original.value(), v2_path).ok());
+
+  // The files genuinely differ in version byte and density layout.
+  Result<SnapshotFileSignature> v1_sig = ProbeSnapshotFile(v1_path);
+  Result<SnapshotFileSignature> v2_sig = ProbeSnapshotFile(v2_path);
+  ASSERT_TRUE(v1_sig.ok());
+  ASSERT_TRUE(v2_sig.ok());
+  EXPECT_EQ(v1_sig.value().format_version, 1u);
+  EXPECT_EQ(v2_sig.value().format_version, kSnapshotFormatVersion);
+  EXPECT_NE(v1_sig.value().checksum, v2_sig.value().checksum);
+
+  Result<std::shared_ptr<const ModelSnapshot>> from_v1 =
+      LoadSnapshot(v1_path);
+  Result<std::shared_ptr<const ModelSnapshot>> from_v2 =
+      LoadSnapshot(v2_path);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+  EXPECT_TRUE(from_v1.value()->has_density());
+  EXPECT_TRUE(from_v2.value()->has_density());
+
+  Matrix requests = MakeRequests(96, 73);
+  Result<std::vector<ScoreResult>> reference =
+      original.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> a = from_v1.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> b = from_v2.value()->ScoreBatch(requests);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEqualScores(reference.value(), a.value());
+  ExpectBitwiseEqualScores(reference.value(), b.value());
+}
+
+// ---------------------------------------------------------- atomic save
+
+// SaveSnapshot replaces the file atomically (tmp + rename): a reader
+// hammering LoadSnapshot while a writer alternates between two snapshots
+// must see every load succeed — either the old or the new complete file,
+// never a torn or missing one.
+TEST(SnapshotIoTest, ConcurrentReaderNeverSeesTornFile) {
+  Dataset train = MakeTrainingData(200, 79);
+  TrainSpec spec = ServingSpec(Method::kNoIntervention);
+  spec.include_density = false;  // keep save/load cheap for the loop
+  Result<std::shared_ptr<const ModelSnapshot>> plain =
+      BuildSnapshot(train, spec);
+  Result<std::shared_ptr<const ModelSnapshot>> routed =
+      BuildSnapshot(train, ServingSpec(Method::kDiffair));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(routed.ok());
+  size_t plain_groups = static_cast<size_t>(plain.value()->num_groups());
+  size_t routed_groups = static_cast<size_t>(routed.value()->num_groups());
+
+  std::string path = TempPath("snapshot_atomic.bin");
+  ASSERT_TRUE(SaveSnapshot(*plain.value(), path).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> loads{0};
+  std::atomic<uint64_t> failures{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      Result<std::shared_ptr<const ModelSnapshot>> loaded =
+          LoadSnapshot(path);
+      if (!loaded.ok()) {
+        ++failures;
+        ADD_FAILURE() << "concurrent load failed: "
+                      << loaded.status().ToString();
+        continue;
+      }
+      size_t groups = static_cast<size_t>(loaded.value()->num_groups());
+      EXPECT_TRUE(groups == plain_groups || groups == routed_groups);
+      ++loads;
+    }
+  });
+  for (int i = 0; i < 40; ++i) {
+    const ModelSnapshot& next =
+        i % 2 == 0 ? *routed.value() : *plain.value();
+    ASSERT_TRUE(SaveSnapshot(next, path).ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(loads.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+// A forged tree payload whose child pointers loop must be rejected at
+// deserialization (monotonic-children check), not hang the iterative
+// traversal at query time.
+TEST(SnapshotIoTest, ForgedTreeCycleRejected) {
+  Rng rng(97);
+  Matrix pts(64, 2);
+  for (size_t i = 0; i < 64; ++i) {
+    pts.At(i, 0) = rng.Gaussian();
+    pts.At(i, 1) = rng.Gaussian();
+  }
+  Result<KdTree> tree = KdTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  BinaryWriter w;
+  tree.value().SerializeTo(&w);
+  {
+    BinaryReader r(w.buffer());
+    EXPECT_TRUE(KdTree::DeserializeFrom(&r).ok());
+  }
+  // Walk the wire layout to node_left_[0] and point it back at node 0.
+  std::string bytes = w.buffer();
+  auto read_u64 = [&](size_t off) {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[off + b]))
+           << (8 * b);
+    }
+    return v;
+  };
+  size_t off = 0;
+  uint64_t rows = read_u64(off);
+  uint64_t cols = read_u64(off + 8);
+  off += 16 + rows * cols * 8;          // points matrix
+  off += 8 + read_u64(off) * 8;         // order
+  off += 8 + read_u64(off) * 8;         // node_begin
+  off += 8 + read_u64(off) * 8;         // node_end
+  off += 8;                             // node_left length
+  bytes[off] = 0;                       // node_left_[0] = 0 (self-cycle)
+  bytes[off + 1] = 0;
+  bytes[off + 2] = 0;
+  bytes[off + 3] = 0;
+  BinaryReader r(bytes);
+  Result<KdTree> forged = KdTree::DeserializeFrom(&r);
+  ASSERT_FALSE(forged.ok());
+  EXPECT_EQ(forged.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotIoTest, ProbeReportsSignatureCheaply) {
+  std::string path = TempPath("snapshot_probe.bin");
+  std::string bytes = SaveReferenceSnapshot(path);
+  Result<SnapshotFileSignature> sig = ProbeSnapshotFile(path);
+  ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+  EXPECT_EQ(sig.value().file_size, bytes.size());
+  EXPECT_EQ(sig.value().format_version, kSnapshotFormatVersion);
+  EXPECT_EQ(sig.value().file_size,
+            8 + 12 + sig.value().payload_size + 8);
+  // Same bytes re-saved -> same checksum; different snapshot -> different.
+  Result<SnapshotFileSignature> again = ProbeSnapshotFile(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(sig.value().checksum, again.value().checksum);
+  EXPECT_FALSE(ProbeSnapshotFile(TempPath("missing_probe.bin")).ok());
+  std::string garbage_path = TempPath("probe_garbage.bin");
+  ASSERT_TRUE(WriteFileBytes(garbage_path, "definitely not a snapshot").ok());
+  EXPECT_FALSE(ProbeSnapshotFile(garbage_path).ok());
+}
+
 }  // namespace
 }  // namespace fairdrift
