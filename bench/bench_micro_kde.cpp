@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "bench_common/bench_json.h"
@@ -193,6 +195,35 @@ void BM_KdeBatchEvaluateAll(benchmark::State& state) {
 BENCHMARK(BM_KdeBatchEvaluateAll)->Arg(4096)->Arg(10240)->Arg(16384)
     ->Unit(benchmark::kMillisecond);
 
+// Threshold classification vs full evaluation: the serve-time monitor
+// only needs the bit "log-density below the outlier floor", and the
+// bounded classifier answers it from per-node density intervals without
+// descending to most leaves. Arg 0 is the training-set size; the
+// threshold is the 5% training quantile (the shipped monitor default),
+// so most queries are provably above it — the common serving case.
+void BM_KdeClassifyBelow(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Matrix data = RandomData(n, 4, 8);
+  KdeOptions opts;  // default atol = 1e-4, KD backend
+  Result<KernelDensity> kde = KernelDensity::Fit(data, opts);
+  if (!kde.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  std::vector<double> logd = kde->LogDensityAll(data);
+  std::sort(logd.begin(), logd.end());
+  double threshold = logd[n / 20];
+  ThreadPool inline_pool(0);
+  std::vector<uint8_t> below(n);
+  for (auto _ : state) {
+    kde->ClassifyBelowAllInto(data, threshold, below.data(), &inline_pool);
+    benchmark::DoNotOptimize(below.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KdeClassifyBelow)->Arg(4096)->Arg(10240)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DensityRanking(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   Matrix data = RandomData(n, 4, 4);
@@ -243,6 +274,26 @@ void WriteKdeBenchJson() {
   double parallel_seconds =
       parallel_timer.ElapsedSeconds() / static_cast<double>(parallel_reps);
 
+  // Threshold classification against the 5% training quantile: the
+  // serve-time monitor's actual question. The contrast with the
+  // full-evaluation ns/query above is the bounded-pruning win.
+  std::vector<double> logd = kde->LogDensityAll(data, &inline_pool);
+  std::vector<double> sorted_logd = logd;
+  std::sort(sorted_logd.begin(), sorted_logd.end());
+  double threshold = sorted_logd[n / 20];
+  std::vector<uint8_t> below(n);
+  kde->ClassifyBelowAllInto(data, threshold, below.data(),
+                            &inline_pool);  // warm-up
+  WallTimer classify_timer;
+  int classify_reps = 0;
+  while (classify_timer.ElapsedSeconds() < 0.5) {
+    kde->ClassifyBelowAllInto(data, threshold, below.data(), &inline_pool);
+    ++classify_reps;
+  }
+  double classify_ns_per_query =
+      classify_timer.ElapsedSeconds() * 1e9 /
+      (static_cast<double>(classify_reps) * static_cast<double>(n));
+
   GlobalKdeCache().ResetStats();
   (void)DensityRanking(data, opts);
   (void)DensityRanking(data, opts);  // second ranking must hit the cache
@@ -257,6 +308,10 @@ void WriteKdeBenchJson() {
       {"single_thread_queries_per_sec", 1e9 / ns_per_query},
       {"parallel_queries_per_sec",
        static_cast<double>(n) / parallel_seconds},
+      {"classify_ns_per_query", classify_ns_per_query},
+      {"classify_speedup_vs_evaluate",
+       classify_ns_per_query > 0.0 ? ns_per_query / classify_ns_per_query
+                                   : 0.0},
   };
   sections.push_back(std::move(micro));
   sections.push_back(KdeCacheSection());

@@ -8,6 +8,11 @@
 // batches of up to 128 — and reports both throughputs plus their ratio.
 // The acceptance bar for the batching design is a >= 5x ratio: coalescing
 // must amortize per-request overhead down to the batched hot-path cost.
+//
+// A second family of probes measures the density-monitoring tax: batched
+// throughput with monitoring off versus the exact / bounded / sampled
+// monitor modes. On AVX2 hardware the exit code also gates the tax at
+// <= 2x for bounded classification and <= 1.2x for sampled monitoring.
 
 #include <benchmark/benchmark.h>
 
@@ -15,11 +20,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "bench_common/bench_json.h"
 #include "core/deployment.h"
+#include "kde/negexp.h"
 #include "serve/server.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -130,11 +137,13 @@ struct ThroughputProbe {
 
 ThroughputProbe RunThroughputProbe(
     const std::shared_ptr<const ModelSnapshot>& snapshot,
-    size_t max_batch_size, size_t num_requests, size_t num_clients) {
+    size_t max_batch_size, size_t num_requests, size_t num_clients,
+    std::optional<MonitorSpec> monitor = std::nullopt) {
   ServerOptions options;
   options.batching.max_batch_size = max_batch_size;
   options.batching.max_batch_delay = std::chrono::microseconds{200};
   options.admission.max_queue_depth = num_requests + num_clients;
+  options.monitor_override = monitor;
   Result<std::unique_ptr<ScoringServer>> server =
       ScoringServer::Create(snapshot, options);
   ThroughputProbe probe;
@@ -261,14 +270,38 @@ bool WriteServingBenchJson() {
                        ? batched.requests_per_sec / unbatched.requests_per_sec
                        : 0.0;
 
-  // The drift-monitoring configuration (profile + KDE log-density per
-  // request) as a second tracked point: the "full observability" cost.
+  // The drift-monitoring configurations as tracked points. kExact is the
+  // historical "full observability" cost (a log-density per request);
+  // kBounded classifies against the monitor threshold with tree-bound
+  // pruning; kSampled additionally restricts the check to a deterministic
+  // 1-in-16 row sample. The monitored-over-batched ratios are the
+  // monitoring tax this PR's tentpole bounds: <= 2x for the bounded
+  // exact-per-row mode and <= 1.2x for the sampled mode.
   std::shared_ptr<const ModelSnapshot> monitored =
       MakeServingSnapshot(/*with_density=*/true);
   ThroughputProbe full =
       monitored == nullptr
           ? ThroughputProbe{}
-          : RunThroughputProbe(monitored, 128, kRequests, kClients);
+          : RunThroughputProbe(monitored, 128, kRequests, kClients,
+                               MonitorSpec{MonitorMode::kExact, 16});
+  ThroughputProbe bounded =
+      monitored == nullptr
+          ? ThroughputProbe{}
+          : RunThroughputProbe(monitored, 128, kRequests, kClients,
+                               MonitorSpec{MonitorMode::kBounded, 16});
+  ThroughputProbe sampled =
+      monitored == nullptr
+          ? ThroughputProbe{}
+          : RunThroughputProbe(monitored, 128, kRequests, kClients,
+                               MonitorSpec{MonitorMode::kSampled, 16});
+  auto tax = [&](const ThroughputProbe& p) {
+    return p.requests_per_sec > 0.0
+               ? batched.requests_per_sec / p.requests_per_sec
+               : 0.0;
+  };
+  double ratio_exact = tax(full);
+  double ratio_bounded = tax(bounded);
+  double ratio_sampled = tax(sampled);
 
   BenchJsonSection section;
   section.name = "serving";
@@ -287,6 +320,14 @@ bool WriteServingBenchJson() {
       {"batching_speedup", speedup},
       {"with_density_requests_per_sec", full.requests_per_sec},
       {"with_density_p99_us", full.p99_us},
+      {"monitored_bounded_requests_per_sec", bounded.requests_per_sec},
+      {"monitored_bounded_p99_us", bounded.p99_us},
+      {"monitored_sampled_requests_per_sec", sampled.requests_per_sec},
+      {"monitored_sampled_p99_us", sampled.p99_us},
+      {"monitoring_tax_exact", ratio_exact},
+      {"monitoring_tax_bounded", ratio_bounded},
+      {"monitoring_tax_sampled", ratio_sampled},
+      {"has_avx2", HasAvx2() ? 1.0 : 0.0},
   };
   bool scratch_ok = ProbeScratchAllocations(snapshot, &section);
   Status st =
@@ -297,7 +338,33 @@ bool WriteServingBenchJson() {
                "(mean batch %.1f) -> %.1fx\n",
                unbatched.requests_per_sec, batched.requests_per_sec,
                batched.mean_batch, speedup);
-  return scratch_ok;
+  std::fprintf(stderr,
+               "monitoring tax: exact %.2fx, bounded %.2fx, sampled %.2fx "
+               "(avx2=%d)\n",
+               ratio_exact, ratio_bounded, ratio_sampled,
+               HasAvx2() ? 1 : 0);
+
+  // Gate the monitoring tax, but only on AVX2 hardware — the ratios were
+  // budgeted for the SIMD leaf kernels, and a scalar-only box should not
+  // fail the smoke for missing instructions it does not have.
+  bool tax_ok = true;
+  if (HasAvx2() && monitored != nullptr) {
+    if (ratio_bounded <= 0.0 || ratio_bounded > 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: bounded monitoring tax %.2fx exceeds the 2x "
+                   "budget\n",
+                   ratio_bounded);
+      tax_ok = false;
+    }
+    if (ratio_sampled <= 0.0 || ratio_sampled > 1.2) {
+      std::fprintf(stderr,
+                   "FAIL: sampled monitoring tax %.2fx exceeds the 1.2x "
+                   "budget\n",
+                   ratio_sampled);
+      tax_ok = false;
+    }
+  }
+  return scratch_ok && tax_ok;
 }
 
 }  // namespace

@@ -267,6 +267,33 @@ int WriteScoresFile(const std::vector<ScoreResult>& scores,
   return 0;
 }
 
+/// Parses `--monitor exact|bounded|sampled` (plus `--sample-modulus N`
+/// for sampled) into a MonitorSpec. Returns false and complains on an
+/// unknown mode.
+bool ParseMonitorFlag(const CliFlags& flags, MonitorSpec* spec) {
+  if (!flags.Has("monitor")) return true;
+  std::string mode = ToLower(flags.GetString("monitor", "exact"));
+  if (mode == "exact") {
+    spec->mode = MonitorMode::kExact;
+  } else if (mode == "bounded") {
+    spec->mode = MonitorMode::kBounded;
+  } else if (mode == "sampled") {
+    spec->mode = MonitorMode::kSampled;
+  } else {
+    std::fprintf(stderr,
+                 "--monitor must be exact, bounded, or sampled (got '%s')\n",
+                 mode.c_str());
+    return false;
+  }
+  long modulus = flags.GetInt("sample-modulus", 16);
+  if (modulus <= 0) {
+    std::fprintf(stderr, "--sample-modulus must be positive\n");
+    return false;
+  }
+  spec->sample_modulus = static_cast<uint32_t>(modulus);
+  return true;
+}
+
 int CmdSnapshotSave(const CliFlags& flags) {
   Result<Dataset> data = LoadDataset(flags);
   if (!data.ok()) {
@@ -288,6 +315,10 @@ int CmdSnapshotSave(const CliFlags& flags) {
     spec.confair.alpha_w = spec.confair.alpha_u / 2.0;
   }
   if (flags.Has("no-density")) spec.include_density = false;
+  // The monitoring policy rides with the artifact (snapshot format v3):
+  // whatever is chosen here is what every server loading this snapshot
+  // runs, unless a deployment overrides it with serve --monitor.
+  if (!ParseMonitorFlag(flags, &spec.monitor)) return 1;
 
   // OMN calibrates lambda against validation data; carve a split off
   // the dataset for it. The non-calibrating methods train on everything.
@@ -443,6 +474,14 @@ int CmdServe(const CliFlags& flags) {
   options.routing = routing == "rr"     ? FleetRoutingPolicy::kRoundRobin
                     : routing == "hash" ? FleetRoutingPolicy::kHashRow
                                         : FleetRoutingPolicy::kLeastQueueDepth;
+  // serve --monitor pins a per-deployment monitoring policy that
+  // survives hot reloads; without it every loaded snapshot's own
+  // persisted spec is honored.
+  if (flags.Has("monitor")) {
+    MonitorSpec override_spec;
+    if (!ParseMonitorFlag(flags, &override_spec)) return 1;
+    options.shard.monitor_override = override_spec;
+  }
   Result<std::unique_ptr<ScoringFleet>> fleet =
       ScoringFleet::Create(snapshot.value(), options);
   if (!fleet.ok()) {
@@ -583,12 +622,15 @@ int main(int argc, char** argv) {
       "        [--weights-out FILE]         plus a fingerprinted weight file\n"
       "  snapshot save --dataset D --method M --out FILE\n"
       "        [--learner L] [--alpha A] [--no-density]\n"
+      "        [--monitor exact|bounded|sampled] [--sample-modulus N]\n"
       "        [--scores-out FILE] [--score-rows N]\n"
-      "                                     train, freeze, persist\n"
+      "                                     train, freeze, persist (the\n"
+      "                                     monitor policy is persisted too)\n"
       "  snapshot load-and-score --in FILE  load + serve in this process\n"
       "        [--scores-out FILE] [--score-rows N]\n"
       "  serve --in FILE                    sharded fleet + hot reload\n"
       "        [--shards N] [--routing rr|least|hash] [--poll-ms M]\n"
+      "        [--monitor exact|bounded|sampled] [--sample-modulus N]\n"
       "        [--score-rows N] [--wait-for-reload SECS]\n"
       "                                     watches FILE; a snapshot saved\n"
       "                                     over it rolls through the fleet\n"

@@ -69,7 +69,14 @@ Status AttachDensityMonitor(const Dataset& fit_data, const TrainSpec& spec,
     density =
         std::make_shared<const KernelDensity>(std::move(fitted).value());
   }
-  std::vector<double> logd = density->LogDensityAll(numeric);
+  // Leave-one-out calibration: a serve-time query never contributes a
+  // self kernel term, but a training row's plain LogDensity does (and in
+  // small-n / high-d fits that term dominates the sum). Quantiling the
+  // self-inflated values would place the floor at roughly the self-term
+  // level, flagging a large fraction of genuinely in-distribution
+  // traffic — and parking every query in the near-threshold band where
+  // bounded classification degenerates to full evaluation.
+  std::vector<double> logd = density->LeaveOneOutLogDensityAll(numeric);
   std::sort(logd.begin(), logd.end());
   double q = std::clamp(spec.density_outlier_quantile, 0.0, 1.0);
   size_t idx = static_cast<size_t>(
@@ -344,6 +351,7 @@ Result<std::shared_ptr<const ModelSnapshot>> Freeze(
   parts.density = std::move(artifacts.density);
   parts.density_floor = artifacts.density_floor;
   parts.density_options = artifacts.spec.density_kde;
+  parts.monitor = artifacts.spec.monitor;
   return ModelSnapshot::Create(std::move(parts));
 }
 

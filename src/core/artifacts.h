@@ -113,6 +113,12 @@ struct TrainSpec {
   /// Training-split log-density quantile below which a request is
   /// flagged density_outlier.
   double density_outlier_quantile = 0.01;
+
+  /// How the frozen snapshot's density monitor runs at serve time
+  /// (exact / bounded / sampled; serve/snapshot.h). Persisted with the
+  /// snapshot from format v3 on; the exact default keeps historical
+  /// behavior. Ignored without include_density.
+  MonitorSpec monitor;
 };
 
 /// A TrainSpec preconfigured for deployment: profile + density monitor

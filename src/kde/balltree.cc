@@ -24,6 +24,23 @@ double SqDist(const double* a, const double* b, size_t d) {
   return acc;
 }
 
+/// Kernel-sum bounds of one node from its scaled centroid + spread: by the
+/// triangle inequality every one of the node's `count` points lies within
+/// scaled distance [max(0, dc - spread), dc + spread] of the query, so its
+/// kernel value lies in [exp(-0.5*dmax^2), exp(-0.5*dmin^2)].
+inline void BallNodeBounds(const double* scaled_node, size_t dim,
+                           const double* scaled_query, double count, double* l,
+                           double* u) {
+  const double dc = std::sqrt(SqDist(scaled_query, scaled_node, dim));
+  const double spread = scaled_node[dim];
+  const double dmin = std::max(0.0, dc - spread);
+  const double dmax = dc + spread;
+  double kmin, kmax;
+  NegExpPair(-0.5 * dmax * dmax, -0.5 * dmin * dmin, &kmin, &kmax);
+  *l = count * kmin;
+  *u = count * kmax;
+}
+
 }  // namespace
 
 Result<BallTree> BallTree::Build(const Matrix& points, size_t leaf_size) {
@@ -317,6 +334,132 @@ double BallTree::KernelSumRecurse(int32_t node_id, const double* query,
   return KernelSumRecurse(left, query, inv_bandwidth, max_scale, atol) +
          KernelSumRecurse(node_right_[static_cast<size_t>(node_id)], query,
                           inv_bandwidth, max_scale, atol);
+}
+
+void BallTree::BuildScaledBounds(const std::vector<double>& inv_bandwidth,
+                                 std::vector<double>* out) const {
+  assert(inv_bandwidth.size() == dim_);
+  double max_scale = 0.0;
+  for (double s : inv_bandwidth) max_scale = std::max(max_scale, s);
+  size_t nodes = node_begin_.size();
+  size_t stride = dim_ + 1;
+  out->resize(nodes * stride);
+  for (size_t i = 0; i < nodes; ++i) {
+    const double* c = centroid_.data() + i * dim_;
+    double* dst = out->data() + i * stride;
+    for (size_t j = 0; j < dim_; ++j) dst[j] = c[j] * inv_bandwidth[j];
+    dst[dim_] = radius_[i] * max_scale;
+  }
+}
+
+int BallTree::ClassifyKernelSum(const double* query,
+                                const double* inv_bandwidth,
+                                const std::vector<double>& scaled_bounds,
+                                double threshold, double eps_rel,
+                                double eps_abs,
+                                TraversalScratch* scratch) const {
+  // Interval refinement; see KdTree::ClassifyKernelSum for the bracketing
+  // argument and the slack contract — only the per-node bound geometry
+  // (BallNodeBounds) differs. Note the scaled centroid distance here is
+  // sqrt(sum((q*ih - c*ih)^2)) while the kernel-sum oracle computes
+  // sqrt(sum(((q - c)*ih)^2)); the two differ by float rounding only,
+  // which the caller's eps_rel covers.
+  assert(scaled_bounds.size() == node_begin_.size() * (dim_ + 1));
+  auto& stack = scratch->stack;
+  auto& values = scratch->values;
+  auto& qs = scratch->scaled_query;
+  stack.clear();
+  values.clear();
+  qs.resize(dim_);
+  for (size_t j = 0; j < dim_; ++j) qs[j] = query[j] * inv_bandwidth[j];
+
+  const size_t stride = dim_ + 1;
+
+  // Leaf-first probe (see KdTree::ClassifyKernelSum): walk to the query's
+  // leaf — here guided by scaled centroid distance — and return "not
+  // below" when that leaf's exact kernel mass alone clears the
+  // slack-inflated threshold; every other node contributes nonnegatively
+  // to the oracle's sum.
+  {
+    int32_t id = 0;
+    while (node_left_[static_cast<size_t>(id)] >= 0) {
+      int32_t l = node_left_[static_cast<size_t>(id)];
+      int32_t r = node_right_[static_cast<size_t>(id)];
+      const double* cl =
+          scaled_bounds.data() + static_cast<size_t>(l) * stride;
+      const double* cr =
+          scaled_bounds.data() + static_cast<size_t>(r) * stride;
+      double dl = 0.0;
+      double dr = 0.0;
+      for (size_t j = 0; j < dim_; ++j) {
+        double al = qs[j] - cl[j];
+        double ar = qs[j] - cr[j];
+        dl += al * al;
+        dr += ar * ar;
+      }
+      id = dl <= dr ? l : r;
+    }
+    double s = LeafKernelSum(id, query, inv_bandwidth);
+    if (s * (1.0 - eps_rel) - eps_abs >= threshold) return 1;
+  }
+
+  double root_count = static_cast<double>(node_end_[0] - node_begin_[0]);
+  double total_lo, total_hi;
+  BallNodeBounds(scaled_bounds.data(), dim_, qs.data(), root_count, &total_lo,
+                 &total_hi);
+  stack.push_back(0);
+  values.push_back(total_lo);
+  values.push_back(total_hi);
+  int budget = kClassifyNodeBudget;
+  while (true) {
+    if (total_hi * (1.0 + eps_rel) + eps_abs < threshold) return -1;
+    if (total_lo * (1.0 - eps_rel) - eps_abs >= threshold) return 1;
+    if (stack.empty() || --budget < 0) return 0;
+    int32_t id = stack.back();
+    stack.pop_back();
+    double node_hi = values.back();
+    values.pop_back();
+    double node_lo = values.back();
+    values.pop_back();
+    int32_t left = node_left_[static_cast<size_t>(id)];
+    if (left < 0) {
+      double s = LeafKernelSum(id, query, inv_bandwidth);
+      total_lo += s - node_lo;
+      total_hi += s - node_hi;
+      continue;
+    }
+    int32_t right = node_right_[static_cast<size_t>(id)];
+    double l1, u1, l2, u2;
+    BallNodeBounds(scaled_bounds.data() + static_cast<size_t>(left) * stride,
+                   dim_, qs.data(),
+                   static_cast<double>(node_end_[static_cast<size_t>(left)] -
+                                       node_begin_[static_cast<size_t>(left)]),
+                   &l1, &u1);
+    BallNodeBounds(scaled_bounds.data() + static_cast<size_t>(right) * stride,
+                   dim_, qs.data(),
+                   static_cast<double>(node_end_[static_cast<size_t>(right)] -
+                                       node_begin_[static_cast<size_t>(right)]),
+                   &l2, &u2);
+    total_lo += (l1 + l2) - node_lo;
+    total_hi += (u1 + u2) - node_hi;
+    // Refine the child with the larger upper bound (the nearer, heavier
+    // one) first — it owns most of the remaining interval width.
+    if (u1 >= u2) {
+      stack.push_back(right);
+      values.push_back(l2);
+      values.push_back(u2);
+      stack.push_back(left);
+      values.push_back(l1);
+      values.push_back(u1);
+    } else {
+      stack.push_back(left);
+      values.push_back(l1);
+      values.push_back(u1);
+      stack.push_back(right);
+      values.push_back(l2);
+      values.push_back(u2);
+    }
+  }
 }
 
 void BallTree::SerializeTo(BinaryWriter* w) const {

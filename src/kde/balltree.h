@@ -76,6 +76,22 @@ class BallTree {
                                     const std::vector<double>& inv_bandwidth,
                                     double atol = 0.0) const;
 
+  /// Fills `out` with the bandwidth-scaled per-node ball geometry consumed
+  /// by ClassifyKernelSum: node i occupies [i*(dim+1), (i+1)*(dim+1)) as
+  /// its scaled centroid followed by its scaled spread
+  /// (radius * max(inv_bandwidth)). Built once per bandwidth at fit (or
+  /// load) time.
+  void BuildScaledBounds(const std::vector<double>& inv_bandwidth,
+                         std::vector<double>* out) const;
+
+  /// Bounded-work three-way comparison of the Gaussian kernel sum against
+  /// `threshold`; the KdTree::ClassifyKernelSum contract, ball-tree
+  /// edition (triangle-inequality bounds instead of box bounds).
+  int ClassifyKernelSum(const double* query, const double* inv_bandwidth,
+                        const std::vector<double>& scaled_bounds,
+                        double threshold, double eps_rel, double eps_abs,
+                        TraversalScratch* scratch) const;
+
   /// Approximate resident bytes (points + flat node arrays); feeds the
   /// KdeCache's byte-bounded eviction.
   size_t ApproxMemoryBytes() const {

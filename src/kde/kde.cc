@@ -44,8 +44,17 @@ Result<KernelDensity> KernelDensity::Fit(const Matrix& data,
   log_norm -= 0.5 * kLogTwoPi * static_cast<double>(data.cols());
   kde.log_norm_ = log_norm;
   kde.atol_ = options.approximation_atol;
+  kde.BuildClassifyBounds();
   g_fit_count.fetch_add(1, std::memory_order_relaxed);
   return kde;
+}
+
+void KernelDensity::BuildClassifyBounds() {
+  if (backend_ == KdeTreeBackend::kKdTree) {
+    tree_.BuildScaledBounds(inv_bandwidth_, &scaled_bounds_);
+  } else {
+    ball_tree_.BuildScaledBounds(inv_bandwidth_, &scaled_bounds_);
+  }
 }
 
 uint64_t KernelDensity::TotalFitCount() {
@@ -110,6 +119,78 @@ void KernelDensity::LogDensityAllInto(const Matrix& queries, double* out,
                   [&](size_t i) { out[i] = LogDensity(queries.RowPtr(i)); });
 }
 
+std::vector<double> KernelDensity::LeaveOneOutLogDensityAll(
+    const Matrix& queries, ThreadPool* pool) const {
+  std::vector<double> out(queries.rows());
+  ParallelForEach(0, queries.rows(), pool, [&](size_t i) {
+    double sum = KernelSum(queries.RowPtr(i), &ThreadLocalTraversalScratch());
+    sum -= 1.0;  // the row's own kernel term: exp(0) for a fitted point
+    out[i] = sum <= 0.0 ? -745.0 + log_norm_ : std::log(sum) + log_norm_;
+  });
+  return out;
+}
+
+bool KernelDensity::LogDensityBelow(const double* point,
+                                    double threshold) const {
+  // Compare in kernel-sum space: LogDensity < threshold iff
+  // KernelSum < exp(threshold - log_norm_) (log is monotone; the sum <= 0
+  // floor case is only reachable when the converted threshold underflows,
+  // which the guard below routes to the fallback).
+  double threshold_sum = std::exp(threshold - log_norm_);
+  if (threshold_sum > 1e-280 && threshold_sum < 1e280) {
+    // Slack contract (see ClassifyKernelSum): the relative term covers the
+    // oracle's near-node geometric-mean settling (error <= atol relative
+    // per settled node) plus float accumulation; the absolute term covers
+    // far-node settles (<= atol^2 per point), dropped negligible nodes,
+    // and float error relative to the summed magnitudes.
+    double eps_rel = (atol_ > 0.0 ? atol_ : 0.0) + 1e-9;
+    double eps_abs = static_cast<double>(n_) *
+                     ((atol_ > 0.0 ? atol_ * atol_ : 0.0) + 1e-12);
+    TraversalScratch* scratch = &ThreadLocalTraversalScratch();
+    int c = backend_ == KdeTreeBackend::kKdTree
+                ? tree_.ClassifyKernelSum(point, inv_bandwidth_.data(),
+                                          scaled_bounds_, threshold_sum,
+                                          eps_rel, eps_abs, scratch)
+                : ball_tree_.ClassifyKernelSum(point, inv_bandwidth_.data(),
+                                               scaled_bounds_, threshold_sum,
+                                               eps_rel, eps_abs, scratch);
+    if (c != 0) return c < 0;
+  }
+  return LogDensity(point) < threshold;
+}
+
+void KernelDensity::ClassifyBelowAllInto(const Matrix& queries,
+                                         double threshold, uint8_t* out,
+                                         ThreadPool* pool) const {
+  // Same decision procedure as LogDensityBelow, with the threshold
+  // conversion and slack terms hoisted out of the per-row loop — they
+  // depend only on the fit and the threshold, not on the query.
+  double threshold_sum = std::exp(threshold - log_norm_);
+  bool in_range = threshold_sum > 1e-280 && threshold_sum < 1e280;
+  double eps_rel = (atol_ > 0.0 ? atol_ : 0.0) + 1e-9;
+  double eps_abs = static_cast<double>(n_) *
+                   ((atol_ > 0.0 ? atol_ * atol_ : 0.0) + 1e-12);
+  ParallelForEach(0, queries.rows(), pool, [&](size_t i) {
+    const double* q = queries.RowPtr(i);
+    if (in_range) {
+      TraversalScratch* scratch = &ThreadLocalTraversalScratch();
+      int c = backend_ == KdeTreeBackend::kKdTree
+                  ? tree_.ClassifyKernelSum(q, inv_bandwidth_.data(),
+                                            scaled_bounds_, threshold_sum,
+                                            eps_rel, eps_abs, scratch)
+                  : ball_tree_.ClassifyKernelSum(q, inv_bandwidth_.data(),
+                                                 scaled_bounds_,
+                                                 threshold_sum, eps_rel,
+                                                 eps_abs, scratch);
+      if (c != 0) {
+        out[i] = c < 0 ? 1 : 0;
+        return;
+      }
+    }
+    out[i] = LogDensity(q) < threshold ? 1 : 0;
+  });
+}
+
 Status KernelDensity::SaveFittedTo(BinaryWriter* w) const {
   if (n_ == 0) {
     return Status::FailedPrecondition("KernelDensity: not fitted");
@@ -169,6 +250,11 @@ Result<KernelDensity> KernelDensity::LoadFittedFrom(BinaryReader* r) {
     return Status::DataLoss(
         "KernelDensity payload disagrees with its tree's shape");
   }
+  // The classification bounds are derived state: rebuilding them here
+  // (instead of serializing them) keeps the v2 density payload unchanged
+  // while giving loaded estimators the same LogDensityBelow fast path —
+  // and the same ApproxMemoryBytes — as the fit they were saved from.
+  kde.BuildClassifyBounds();
   return kde;
 }
 

@@ -94,6 +94,39 @@ class KernelDensity {
   void LogDensityAllInto(const Matrix& queries, double* out,
                          ThreadPool* pool = nullptr) const;
 
+  /// Leave-one-out log-densities: LogDensity with the query's own kernel
+  /// term (exp(0) = 1) subtracted from the kernel sum before taking the
+  /// log. Only meaningful when every row of `queries` is one of the
+  /// fitted points — the intended caller is floor calibration over the
+  /// training matrix itself. A training row's plain LogDensity is
+  /// inflated by its self-term, which a serve-time query never carries;
+  /// in small-n / high-d regimes the self-term dominates the sum, so a
+  /// floor quantiled over self-inflated values systematically over-flags
+  /// in-distribution traffic. The same fit-time normalization is kept
+  /// (log n, not log(n-1)): the floor must live on the same scale as the
+  /// serve-time LogDensity it is compared against, and the uniform
+  /// log(n/(n-1)) offset is irrelevant to a quantile threshold. Rows
+  /// whose neighbors contribute nothing hit the same underflow floor as
+  /// LogDensity.
+  std::vector<double> LeaveOneOutLogDensityAll(
+      const Matrix& queries, ThreadPool* pool = nullptr) const;
+
+  /// True iff LogDensity(point) < threshold — the density monitor's
+  /// outlier predicate — decided from the fit-time per-node bounds
+  /// whenever the bound interval clears the threshold, without descending
+  /// to leaf kernel sums. Undecided queries (density within slack of the
+  /// threshold, or the bounded node budget exhausted) fall back to
+  /// evaluating LogDensity itself, so the returned bit is identical to
+  /// computing the comparison exactly, for every query, thread count, and
+  /// tree backend. Allocation-free (thread-local scratch).
+  bool LogDensityBelow(const double* point, double threshold) const;
+
+  /// LogDensityBelow over every row of `queries`: out[i] = 1 when row i's
+  /// log-density is below `threshold`, else 0. Batched and parallel like
+  /// EvaluateAllInto; bitwise identical for every worker count.
+  void ClassifyBelowAllInto(const Matrix& queries, double threshold,
+                            uint8_t* out, ThreadPool* pool = nullptr) const;
+
   /// Per-dimension bandwidths in use.
   const std::vector<double>& bandwidth() const { return bandwidth_; }
 
@@ -101,10 +134,14 @@ class KernelDensity {
   size_t train_size() const { return n_; }
 
   /// Approximate resident bytes of the fitted estimator (tree storage +
-  /// bandwidths); the KdeCache evicts by the sum of these.
+  /// bandwidths + classification bounds); the KdeCache evicts by the sum
+  /// of these. Fit and LoadFittedFrom build identical state, so a loaded
+  /// estimator reports the same bytes as the fit it was saved from.
   size_t ApproxMemoryBytes() const {
     return tree_.ApproxMemoryBytes() + ball_tree_.ApproxMemoryBytes() +
-           (bandwidth_.size() + inv_bandwidth_.size()) * sizeof(double) +
+           (bandwidth_.size() + inv_bandwidth_.size() +
+            scaled_bounds_.size()) *
+               sizeof(double) +
            sizeof(*this);
   }
 
@@ -127,11 +164,20 @@ class KernelDensity {
   /// traversal state lives in `scratch`).
   double KernelSum(const double* point, TraversalScratch* scratch) const;
 
+  /// Builds scaled_bounds_ for the configured backend; run eagerly at the
+  /// end of Fit and LoadFittedFrom so fitted and loaded estimators carry
+  /// identical state (including ApproxMemoryBytes).
+  void BuildClassifyBounds();
+
   KdTree tree_;
   BallTree ball_tree_;
   KdeTreeBackend backend_ = KdeTreeBackend::kKdTree;
   std::vector<double> bandwidth_;
   std::vector<double> inv_bandwidth_;
+  /// Bandwidth-scaled per-node geometry for LogDensityBelow (see the
+  /// trees' BuildScaledBounds); derived from the tree + bandwidth, so it
+  /// is rebuilt on load rather than serialized.
+  std::vector<double> scaled_bounds_;
   double log_norm_ = 0.0;  // log of 1 / (n * prod_j h_j * (2*pi)^(d/2))
   double atol_ = 0.0;
   size_t n_ = 0;

@@ -133,7 +133,12 @@ void KdeCache::EvictIfOverBoundsLocked() {
          !lru_.empty()) {
     auto it = entries_.find(lru_.back());
     if (it != entries_.end()) {
-      resident_bytes_ -= std::min(resident_bytes_, it->second.bytes);
+      // Exact accounting: each entry's insertion-time byte count is what
+      // was added to resident_bytes_, so subtracting it back is always
+      // in range. (A saturating subtract here once masked drift between
+      // fitted and loaded estimators' ApproxMemoryBytes — the two now
+      // report identically, and kde_flat_test pins full eviction at 0.)
+      resident_bytes_ -= it->second.bytes;
       entries_.erase(it);
     }
     lru_.pop_back();

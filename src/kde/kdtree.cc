@@ -13,6 +13,35 @@
 
 namespace fairdrift {
 
+namespace {
+
+/// Kernel-sum bounds of one node from its bandwidth-scaled box: every one
+/// of the node's `count` points has kernel value in
+/// [exp(-0.5 * dmax2), exp(-0.5 * dmin2)], with dmin2/dmax2 the squared
+/// scaled distances to the nearest box point and the farthest box corner.
+inline void KdNodeBounds(const double* scaled_box, size_t dim,
+                         const double* scaled_query, double count, double* l,
+                         double* u) {
+  const double* lo = scaled_box;
+  const double* hi = scaled_box + dim;
+  double amin = 0.0;
+  double amax = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    double below = lo[j] - scaled_query[j];
+    double above = scaled_query[j] - hi[j];
+    double dn = std::max(std::max(below, above), 0.0);
+    double dx = std::max(-below, -above);
+    amin += dn * dn;
+    amax += dx * dx;
+  }
+  double kmin, kmax;
+  NegExpPair(-0.5 * amax, -0.5 * amin, &kmin, &kmax);
+  *l = count * kmin;
+  *u = count * kmax;
+}
+
+}  // namespace
+
 Result<KdTree> KdTree::Build(const Matrix& points, size_t leaf_size) {
   if (points.rows() == 0 || points.cols() == 0) {
     return Status::InvalidArgument("KdTree::Build: empty point set");
@@ -327,6 +356,142 @@ double KdTree::KernelSumRecurse(int32_t node_id, const double* query,
   return KernelSumRecurse(left, query, inv_bandwidth, atol) +
          KernelSumRecurse(node_right_[static_cast<size_t>(node_id)], query,
                           inv_bandwidth, atol);
+}
+
+void KdTree::BuildScaledBounds(const std::vector<double>& inv_bandwidth,
+                               std::vector<double>* out) const {
+  assert(inv_bandwidth.size() == dim_);
+  size_t nodes = node_begin_.size();
+  out->resize(2 * nodes * dim_);
+  for (size_t i = 0; i < nodes; ++i) {
+    const double* lo = box_lo_.data() + i * dim_;
+    const double* hi = box_hi_.data() + i * dim_;
+    double* dst = out->data() + 2 * i * dim_;
+    for (size_t j = 0; j < dim_; ++j) {
+      dst[j] = lo[j] * inv_bandwidth[j];
+      dst[dim_ + j] = hi[j] * inv_bandwidth[j];
+    }
+  }
+}
+
+int KdTree::ClassifyKernelSum(const double* query, const double* inv_bandwidth,
+                              const std::vector<double>& scaled_bounds,
+                              double threshold, double eps_rel, double eps_abs,
+                              TraversalScratch* scratch) const {
+  // Interval refinement. [total_lo, total_hi] brackets every value the
+  // kernel-sum oracle can return for this query: leaf contributions settle
+  // exactly (the same LeafKernelSum the oracle calls), and an unrefined
+  // interior node contributes [count * kmin, count * kmax], which contains
+  // both its true subtree sum and the atol-mode geometric-mean settle
+  // (count * sqrt(kmin * kmax)). Each refinement step replaces one
+  // frontier node's interval with its children's (or its exact leaf sum),
+  // so the interval narrows monotonically; the query is classified the
+  // moment the slack-inflated interval clears the threshold — for clearly
+  // dense or clearly empty neighbourhoods that happens a few interior
+  // levels deep, with zero leaf scans. The slacks absorb float
+  // accumulation error plus the oracle's atol settling error (the caller
+  // sizes them; see KernelDensity::ClassifyBelow).
+  assert(scaled_bounds.size() == 2 * node_begin_.size() * dim_);
+  auto& stack = scratch->stack;
+  auto& values = scratch->values;
+  auto& qs = scratch->scaled_query;
+  stack.clear();
+  values.clear();
+  qs.resize(dim_);
+  for (size_t j = 0; j < dim_; ++j) qs[j] = query[j] * inv_bandwidth[j];
+
+  // Leaf-first probe: every node contributes nonnegatively to the
+  // oracle's sum, so when the query's own leaf alone carries enough exact
+  // kernel mass to clear the slack-inflated threshold, "not below" is
+  // provable from one split-guided walk plus one leaf scan — no interval
+  // bookkeeping at all. Against a calibrated (low-quantile) floor this is
+  // the overwhelmingly common case for in-distribution traffic, and it
+  // reuses the identical LeafKernelSum the oracle computes, so the slack
+  // terms cover the same settle/accumulation error they cover below. A
+  // failed probe costs one extra leaf scan on the way into the interval
+  // refinement, which near-threshold and outlying queries pay anyway.
+  {
+    int32_t id = 0;
+    while (node_left_[static_cast<size_t>(id)] >= 0) {
+      int32_t l = node_left_[static_cast<size_t>(id)];
+      int32_t r = node_right_[static_cast<size_t>(id)];
+      double near_l = 0.0;
+      double near_r = 0.0;
+      const double* box_l =
+          scaled_bounds.data() + 2 * static_cast<size_t>(l) * dim_;
+      const double* box_r =
+          scaled_bounds.data() + 2 * static_cast<size_t>(r) * dim_;
+      for (size_t j = 0; j < dim_; ++j) {
+        double dl = std::max(
+            std::max(box_l[j] - qs[j], qs[j] - box_l[dim_ + j]), 0.0);
+        double dr = std::max(
+            std::max(box_r[j] - qs[j], qs[j] - box_r[dim_ + j]), 0.0);
+        near_l += dl * dl;
+        near_r += dr * dr;
+      }
+      id = near_l <= near_r ? l : r;
+    }
+    double s = LeafKernelSum(id, query, inv_bandwidth);
+    if (s * (1.0 - eps_rel) - eps_abs >= threshold) return 1;
+  }
+
+  double root_count = static_cast<double>(node_end_[0] - node_begin_[0]);
+  double total_lo, total_hi;
+  KdNodeBounds(scaled_bounds.data(), dim_, qs.data(), root_count, &total_lo,
+               &total_hi);
+  stack.push_back(0);
+  values.push_back(total_lo);
+  values.push_back(total_hi);
+  int budget = kClassifyNodeBudget;
+  while (true) {
+    if (total_hi * (1.0 + eps_rel) + eps_abs < threshold) return -1;
+    if (total_lo * (1.0 - eps_rel) - eps_abs >= threshold) return 1;
+    if (stack.empty() || --budget < 0) return 0;
+    int32_t id = stack.back();
+    stack.pop_back();
+    double node_hi = values.back();
+    values.pop_back();
+    double node_lo = values.back();
+    values.pop_back();
+    int32_t left = node_left_[static_cast<size_t>(id)];
+    if (left < 0) {
+      double s = LeafKernelSum(id, query, inv_bandwidth);
+      total_lo += s - node_lo;
+      total_hi += s - node_hi;
+      continue;
+    }
+    int32_t right = node_right_[static_cast<size_t>(id)];
+    double l1, u1, l2, u2;
+    KdNodeBounds(scaled_bounds.data() + 2 * static_cast<size_t>(left) * dim_,
+                 dim_, qs.data(),
+                 static_cast<double>(node_end_[static_cast<size_t>(left)] -
+                                     node_begin_[static_cast<size_t>(left)]),
+                 &l1, &u1);
+    KdNodeBounds(scaled_bounds.data() + 2 * static_cast<size_t>(right) * dim_,
+                 dim_, qs.data(),
+                 static_cast<double>(node_end_[static_cast<size_t>(right)] -
+                                     node_begin_[static_cast<size_t>(right)]),
+                 &l2, &u2);
+    total_lo += (l1 + l2) - node_lo;
+    total_hi += (u1 + u2) - node_hi;
+    // Refine the child with the larger upper bound (the nearer, heavier
+    // one) first — it owns most of the remaining interval width.
+    if (u1 >= u2) {
+      stack.push_back(right);
+      values.push_back(l2);
+      values.push_back(u2);
+      stack.push_back(left);
+      values.push_back(l1);
+      values.push_back(u1);
+    } else {
+      stack.push_back(left);
+      values.push_back(l1);
+      values.push_back(u1);
+      stack.push_back(right);
+      values.push_back(l2);
+      values.push_back(u2);
+    }
+  }
 }
 
 void KdTree::SerializeTo(BinaryWriter* w) const {

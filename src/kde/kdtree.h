@@ -85,6 +85,29 @@ class KdTree {
                                     const std::vector<double>& inv_bandwidth,
                                     double atol = 0.0) const;
 
+  /// Fills `out` with the bandwidth-scaled per-node box geometry consumed
+  /// by ClassifyKernelSum: node i occupies [2*i*dim, 2*(i+1)*dim) as its
+  /// scaled lo followed by its scaled hi. Built once per bandwidth at fit
+  /// (or load) time, so the per-node classification bound needs no
+  /// inv_bandwidth multiplies on the query path.
+  void BuildScaledBounds(const std::vector<double>& inv_bandwidth,
+                         std::vector<double>* out) const;
+
+  /// Bounded-work three-way comparison of the Gaussian kernel sum against
+  /// `threshold`: +1 when the sum is provably >= threshold, -1 when
+  /// provably below, 0 when undecided (interval straddles the threshold
+  /// within slack, or the node budget ran out). The maintained interval
+  /// brackets — with relative slack `eps_rel` and absolute slack
+  /// `eps_abs` — every value GaussianKernelSum can return for this query
+  /// at any atol whose settling error the slacks cover, so a nonzero
+  /// answer is guaranteed to agree with comparing the exact sum; callers
+  /// resolve 0 by evaluating the oracle. `scaled_bounds` must come from
+  /// BuildScaledBounds with the same inv_bandwidth.
+  int ClassifyKernelSum(const double* query, const double* inv_bandwidth,
+                        const std::vector<double>& scaled_bounds,
+                        double threshold, double eps_rel, double eps_abs,
+                        TraversalScratch* scratch) const;
+
   /// The bounding box of all indexed points.
   const BoundingBox& root_box() const { return root_box_; }
 

@@ -2,9 +2,11 @@
 //
 // Both trees store their points permuted into node-contiguous order, so a
 // leaf's exact kernel sum is the same computation regardless of backend:
-// a cache-linear sweep over rows [begin, end), consumed in pairs so the
-// exponentials run two-wide through NegExpPair. Kept in one place so the
-// pairing/tail logic cannot drift between the trees.
+// a cache-linear sweep over rows [begin, end), consumed in quads so the
+// exponentials run four-wide through NegExpQuad (AVX2 when the host has
+// it, the two-wide pair kernel otherwise — bitwise identical either way),
+// with a pair tail and a scalar tail. Kept in one place so the grouping
+// and tail logic cannot drift between the trees.
 
 #ifndef FAIRDRIFT_KDE_LEAF_SCAN_H_
 #define FAIRDRIFT_KDE_LEAF_SCAN_H_
@@ -18,16 +20,47 @@ namespace fairdrift {
 
 /// Sum over rows [begin, end) of `points` of
 /// exp(-0.5 * ||(row - query) * inv_bandwidth||^2). The accumulation is
-/// strictly sequential (pair results added in index order), so the sum is
-/// deterministic and bitwise-shared between the iterative traversals and
-/// the recursive oracles that both call it.
+/// strictly sequential (quad, pair, and scalar results added in index
+/// order), so the sum is deterministic and bitwise-shared between the
+/// iterative traversals and the recursive oracles that both call it.
 inline double LeafPairwiseKernelSum(const Matrix& points, size_t begin,
                                     size_t end, size_t dim,
                                     const double* query,
                                     const double* inv_bandwidth) {
   double acc = 0.0;
   size_t i = begin;
-  for (; i + 1 < end; i += 2) {
+  double u[4];
+  double e[4];
+  for (; i + 3 < end; i += 4) {
+    const double* row0 = points.RowPtr(i);
+    const double* row1 = points.RowPtr(i + 1);
+    const double* row2 = points.RowPtr(i + 2);
+    const double* row3 = points.RowPtr(i + 3);
+    u[0] = 0.0;
+    u[1] = 0.0;
+    u[2] = 0.0;
+    u[3] = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      double d0 = (row0[j] - query[j]) * inv_bandwidth[j];
+      double d1 = (row1[j] - query[j]) * inv_bandwidth[j];
+      double d2 = (row2[j] - query[j]) * inv_bandwidth[j];
+      double d3 = (row3[j] - query[j]) * inv_bandwidth[j];
+      u[0] += d0 * d0;
+      u[1] += d1 * d1;
+      u[2] += d2 * d2;
+      u[3] += d3 * d3;
+    }
+    u[0] *= -0.5;
+    u[1] *= -0.5;
+    u[2] *= -0.5;
+    u[3] *= -0.5;
+    NegExpQuad(u, e);
+    acc += e[0];
+    acc += e[1];
+    acc += e[2];
+    acc += e[3];
+  }
+  if (i + 1 < end) {
     const double* row0 = points.RowPtr(i);
     const double* row1 = points.RowPtr(i + 1);
     double u0 = 0.0;
@@ -42,6 +75,7 @@ inline double LeafPairwiseKernelSum(const Matrix& points, size_t begin,
     NegExpPair(-0.5 * u0, -0.5 * u1, &e0, &e1);
     acc += e0;
     acc += e1;
+    i += 2;
   }
   if (i < end) {
     const double* row = points.RowPtr(i);

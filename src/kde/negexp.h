@@ -3,10 +3,15 @@
 //
 // NegExpPair evaluates two kernels at once: on x86-64 it runs the
 // polynomial two-wide in SSE2 registers; elsewhere it falls back to two
-// scalar evaluations of the *same* arithmetic. Packed IEEE operations
+// scalar evaluations of the *same* arithmetic. NegExpQuad evaluates four:
+// on CPUs with AVX2 it runs the polynomial four-wide (dispatched at
+// runtime, so the build stays generic x86-64), otherwise it degrades to
+// two pair calls — on ARM the pair path is the scalar reference, so NEON
+// hosts are covered without ISA-specific code. Packed IEEE operations
 // round exactly like their scalar counterparts and the polynomial is pure
-// mul/add (no FMA contraction), so both paths produce bitwise-identical
-// results — determinism does not depend on the instruction set.
+// mul/add (no FMA contraction; AVX2 here never implies FMA), so all paths
+// produce bitwise-identical results — determinism does not depend on the
+// instruction set.
 //
 // Algorithm (Cephes-style): k = round(x / ln 2) via the 1.5 * 2^52 magic
 // constant, r = x - k*ln2 with a hi/lo split, e^r from a degree-11 Taylor
@@ -25,6 +30,13 @@
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+// AVX2 intrinsics are emitted inside target("avx2") functions only, so
+// including them does not require -mavx2 on the command line.
+#define FAIRDRIFT_NEGEXP_HAVE_AVX2_PATH 1
+#include <immintrin.h>
 #endif
 
 namespace fairdrift {
@@ -135,6 +147,70 @@ inline double NegExpSse2Lane(double x) {
 }
 }  // namespace negexp_internal
 #endif
+
+/// True when the running CPU executes AVX2 (cached after the first call).
+/// Exposed so benchmarks and CI gates can tell whether the four-wide
+/// kernel path is live on this host.
+inline bool HasAvx2() {
+#if defined(FAIRDRIFT_NEGEXP_HAVE_AVX2_PATH)
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+#if defined(FAIRDRIFT_NEGEXP_HAVE_AVX2_PATH)
+namespace negexp_internal {
+/// Four-wide NegExp in AVX2 registers. Same constants, same mul/add
+/// ordering as the SSE2 pair and the portable scalar, so every lane is
+/// bitwise identical to NegExp of that lane. Compiled with a function-
+/// level target attribute; only reachable behind the HasAvx2() check.
+__attribute__((target("avx2"))) inline void NegExpQuadAvx2(const double* x_in,
+                                                           double* e_out) {
+  __m256d x = _mm256_loadu_pd(x_in);
+  __m256d t = _mm256_mul_pd(x, _mm256_set1_pd(kLog2e));
+  __m256d magic = _mm256_set1_pd(kRoundMagic);
+  __m256d y = _mm256_add_pd(t, magic);
+  __m256d k = _mm256_sub_pd(y, magic);
+  __m256d r =
+      _mm256_sub_pd(_mm256_sub_pd(x, _mm256_mul_pd(k, _mm256_set1_pd(kC1))),
+                    _mm256_mul_pd(k, _mm256_set1_pd(kC2)));
+  __m256d p = _mm256_set1_pd(kPoly[0]);
+  for (int i = 1; i < 10; ++i) {
+    p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(kPoly[i]));
+  }
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0));
+  // 2^k: same trick as the SSE2 pair, applied per 128-bit lane (both the
+  // dword shuffle and the unpack operate within each half).
+  __m256i yi = _mm256_castpd_si256(y);
+  __m256i k32 = _mm256_shuffle_epi32(yi, _MM_SHUFFLE(3, 1, 2, 0));
+  __m256i biased = _mm256_add_epi32(k32, _mm256_set1_epi32(1023));
+  __m256i scale_bits = _mm256_unpacklo_epi32(_mm256_setzero_si256(),
+                                             _mm256_slli_epi32(biased, 20));
+  __m256d result = _mm256_mul_pd(p, _mm256_castsi256_pd(scale_bits));
+  __m256d underflow =
+      _mm256_cmp_pd(x, _mm256_set1_pd(kUnderflow), _CMP_LT_OQ);
+  result = _mm256_andnot_pd(underflow, result);
+  _mm256_storeu_pd(e_out, result);
+}
+}  // namespace negexp_internal
+#endif
+
+/// e[i] = exp(x[i]) for four x[i] <= 0, bitwise identical to NegExp lane
+/// by lane. Runs four-wide on AVX2 hosts (runtime-dispatched), otherwise
+/// as two NegExpPair calls sharing the identical arithmetic.
+inline void NegExpQuad(const double* x, double* e) {
+#if defined(FAIRDRIFT_NEGEXP_HAVE_AVX2_PATH)
+  if (HasAvx2()) {
+    negexp_internal::NegExpQuadAvx2(x, e);
+    return;
+  }
+#endif
+  NegExpPair(x[0], x[1], &e[0], &e[1]);
+  NegExpPair(x[2], x[3], &e[2], &e[3]);
+}
 
 }  // namespace fairdrift
 

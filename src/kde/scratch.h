@@ -18,6 +18,14 @@
 
 namespace fairdrift {
 
+/// Node-visit budget of the bound-classification traversals
+/// (ClassifyKernelSum on either tree backend): after this many refinement
+/// steps an undecided query is handed to the exact oracle instead of
+/// descending further, so classification costs at most a bounded prefix
+/// of a full evaluation. Shared by both backends so the cutoff cannot
+/// drift between them.
+inline constexpr int kClassifyNodeBudget = 256;
+
 /// Mutable workspace for one in-flight tree query. Not thread-safe: use
 /// one instance per thread (ThreadLocalTraversalScratch() below, or a
 /// caller-owned instance).
@@ -30,6 +38,9 @@ struct TraversalScratch {
   std::vector<double> values;
   /// Max-heap of (squared distance, point index) for kNN queries.
   std::vector<std::pair<double, size_t>> heap;
+  /// Bandwidth-scaled copy of the query point for the bound-classification
+  /// traversals (ClassifyKernelSum), sized to the tree dimension.
+  std::vector<double> scaled_query;
 };
 
 /// Per-thread scratch shared by the vector-convenience query entry points.

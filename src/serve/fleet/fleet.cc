@@ -203,6 +203,8 @@ FleetStatsView ScoringFleet::stats() const {
     view.invalid += s.invalid;
     view.batches += s.batches;
     view.snapshot_swaps += s.snapshot_swaps;
+    view.density_checked += s.density_checked;
+    view.density_outliers += s.density_outliers;
     batched_weighted +=
         static_cast<uint64_t>(s.mean_batch_size * s.batches + 0.5);
     for (size_t b = 0; b < merged_hist.size(); ++b) {
@@ -216,6 +218,11 @@ FleetStatsView ScoringFleet::stats() const {
       view.batches == 0 ? 0.0
                         : static_cast<double>(batched_weighted) /
                               static_cast<double>(view.batches);
+  view.outlier_rate =
+      view.density_checked == 0
+          ? 0.0
+          : static_cast<double>(view.density_outliers) /
+                static_cast<double>(view.density_checked);
   // Fleet percentiles from the merged counts — averaging per-shard
   // percentiles would misweight unevenly loaded shards.
   view.p50_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.50);

@@ -127,6 +127,18 @@ struct FleetStatsView {
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  /// Density-monitor rows evaluated across the fleet (all completed rows
+  /// in exact/bounded modes; the content-hash subset in sampled mode).
+  uint64_t density_checked = 0;
+  /// Checked rows below the density floor.
+  uint64_t density_outliers = 0;
+  /// density_outliers / density_checked (0 before any row is checked) —
+  /// the fleet drift signal. Computed from the summed counts, not an
+  /// average of per-shard rates, so unevenly loaded shards weigh
+  /// correctly; under sampled monitoring its staleness is bounded by the
+  /// sampling interval (~sample_modulus rows per fresh data point per
+  /// shard).
+  double outlier_rate = 0.0;
   /// Sampled per-shard queue depths (the router's load signal).
   std::vector<size_t> queue_depths;
   /// Completed requests per shard (routing-balance witness).

@@ -11,14 +11,13 @@ namespace fairdrift {
 namespace {
 
 /// stat() the file; returns false when it does not exist (not an error —
-/// the training job may not have written it yet).
-bool StatFile(const std::string& path, int64_t* mtime_ns, uint64_t* size) {
+/// the training job may not have written it yet). Existence is the only
+/// fact taken from stat: identity is (size, checksum) from the probe,
+/// never mtime — filesystem timestamp granularity can be a full second,
+/// which would make two rapid equal-size saves indistinguishable.
+bool FileExists(const std::string& path) {
   struct stat st;
-  if (::stat(path.c_str(), &st) != 0) return false;
-  *mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
-              static_cast<int64_t>(st.st_mtim.tv_nsec);
-  *size = static_cast<uint64_t>(st.st_size);
-  return true;
+  return ::stat(path.c_str(), &st) == 0;
 }
 
 }  // namespace
@@ -36,37 +35,24 @@ Result<std::unique_ptr<SnapshotWatcher>> SnapshotWatcher::Start(
       new SnapshotWatcher(std::move(path), std::move(on_load), options));
   if (options.baseline.has_value()) {
     // The caller supplied the identity of the snapshot it actually
-    // loaded. Seed only the checksum: the first poll re-stats the file,
-    // probes it, and fires iff the bytes differ from what the caller
-    // serves — a save that landed between the caller's load and Start
-    // is therefore delivered, not silently adopted.
+    // loaded; the first poll probes the file and fires iff the bytes
+    // differ from what the caller serves — a save that landed between
+    // the caller's load and Start is therefore delivered, not silently
+    // adopted.
     watcher->have_baseline_ = true;
+    watcher->seen_size_ = options.baseline->file_size;
     watcher->seen_checksum_ = options.baseline->checksum;
-    watcher->seen_mtime_ns_ = -1;  // force a probe on the first poll
-    watcher->seen_size_ = 0;
   } else {
     // Baseline: a file already on disk is what the caller is serving —
-    // remember its identity so only a *new* file fires. The stat and
-    // the checksum probe must describe the SAME file generation: if a
-    // save renames a new file in between, pairing the old stat with the
-    // new checksum would mark the unseen snapshot as already delivered.
-    // Stat again after the probe and retry until the pair is consistent.
-    for (int attempt = 0; attempt < 4; ++attempt) {
-      int64_t mtime_ns = 0;
-      uint64_t size = 0;
-      if (!StatFile(watcher->path_, &mtime_ns, &size)) break;
-      Result<SnapshotFileSignature> sig = ProbeSnapshotFile(watcher->path_);
-      if (!sig.ok()) break;
-      int64_t mtime_after = 0;
-      uint64_t size_after = 0;
-      if (StatFile(watcher->path_, &mtime_after, &size_after) &&
-          mtime_after == mtime_ns && size_after == size) {
-        watcher->have_baseline_ = true;
-        watcher->seen_mtime_ns_ = mtime_ns;
-        watcher->seen_size_ = size;
-        watcher->seen_checksum_ = sig.value().checksum;
-        break;
-      }
+    // remember its identity so only a *new* file fires. One probe
+    // suffices: it reads header and trailing checksum through a single
+    // open descriptor, so a concurrent atomic save (rename) cannot mix
+    // two file generations into one signature.
+    Result<SnapshotFileSignature> sig = ProbeSnapshotFile(watcher->path_);
+    if (sig.ok()) {
+      watcher->have_baseline_ = true;
+      watcher->seen_size_ = sig.value().file_size;
+      watcher->seen_checksum_ = sig.value().checksum;
     }
   }
   watcher->thread_ = std::thread([w = watcher.get()] { w->WatchLoop(); });
@@ -110,12 +96,13 @@ void SnapshotWatcher::WatchLoop() {
 }
 
 bool SnapshotWatcher::PollOnce() {
-  int64_t mtime_ns = 0;
-  uint64_t size = 0;
-  if (!StatFile(path_, &mtime_ns, &size)) return false;  // not written yet
-  if (have_baseline_ && mtime_ns == seen_mtime_ns_ && size == seen_size_) {
-    return false;  // steady state: one stat(), nothing else
-  }
+  if (!FileExists(path_)) return false;  // not written yet
+  // Probe every poll. The steady-state cost is one open + two small
+  // reads instead of a bare stat — the price of a correct identity:
+  // comparing (mtime, size) here used to miss a save that landed within
+  // the filesystem's timestamp granularity of the previous one with the
+  // same byte count, leaving the newest snapshot undeployed until an
+  // unrelated change. (size, checksum) identity has no such window.
   Result<SnapshotFileSignature> sig = ProbeSnapshotFile(path_);
   if (!sig.ok()) {
     // Torn by a non-atomic writer, or not a snapshot (yet). Record and
@@ -125,12 +112,9 @@ bool SnapshotWatcher::PollOnce() {
     view_.last_error = sig.status().ToString();
     return false;
   }
-  if (have_baseline_ && sig.value().checksum == seen_checksum_) {
-    // Same bytes, new stat identity (e.g. re-saved verbatim): update the
-    // baseline, skip the reload.
-    seen_mtime_ns_ = mtime_ns;
-    seen_size_ = size;
-    return false;
+  if (have_baseline_ && sig.value().file_size == seen_size_ &&
+      sig.value().checksum == seen_checksum_) {
+    return false;  // steady state: same bytes as what the caller serves
   }
   Result<std::shared_ptr<const ModelSnapshot>> snapshot = LoadSnapshot(path_);
   if (!snapshot.ok()) {
@@ -140,8 +124,7 @@ bool SnapshotWatcher::PollOnce() {
     return false;
   }
   have_baseline_ = true;
-  seen_mtime_ns_ = mtime_ns;
-  seen_size_ = size;
+  seen_size_ = sig.value().file_size;
   seen_checksum_ = sig.value().checksum;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -3,15 +3,17 @@
 // The operational loop the watcher closes: a training process Fits,
 // Freezes, and SaveSnapshot()s to a path; the serving process watches
 // that path and pushes every new file through its fleet without a
-// restart. Detection is cheap and torn-read-proof:
+// restart. Detection is cheap, torn-read-proof, and content-based:
 //
-//   1. stat(2) every poll_interval — nothing else happens while the
-//      (mtime, size) pair is unchanged, so an idle file costs one syscall
-//      per poll.
-//   2. On a stat change, ProbeSnapshotFile reads only the fixed header +
-//      trailing checksum. An unchanged checksum (same bytes rewritten)
-//      updates the baseline without a reload.
-//   3. On a checksum change, LoadSnapshot parses and verifies the whole
+//   1. stat(2) every poll_interval — only to stay silent while the file
+//      does not exist yet (the training job may not have written it).
+//   2. ProbeSnapshotFile reads the fixed header + trailing checksum
+//      (one open, two small reads). The file's identity is its
+//      (size, checksum) pair — never its mtime, whose granularity on
+//      some filesystems is a full second: two saves inside one tick
+//      with equal sizes would look identical to an mtime short-circuit
+//      and the second snapshot would silently never deploy.
+//   3. On an identity change, LoadSnapshot parses and verifies the whole
 //      file, and the watcher hands the fresh snapshot to its callback
 //      (typically ScoringFleet::RollingUpdate).
 //
@@ -77,7 +79,7 @@ class SnapshotWatcher {
 
   /// Observable watcher state.
   struct View {
-    uint64_t polls = 0;          ///< stat() sweeps performed
+    uint64_t polls = 0;          ///< poll sweeps performed
     uint64_t reloads = 0;        ///< snapshots loaded and delivered
     uint64_t failed_loads = 0;   ///< probe/load attempts that errored
     std::string last_error;      ///< most recent failure ("" when none)
@@ -103,9 +105,9 @@ class SnapshotWatcher {
   bool stopping_ = false;
   View view_;
 
-  // Last-seen file identity (watcher thread only).
+  // Last-seen file identity (watcher thread only): (size, checksum) of
+  // the snapshot last delivered or adopted. Deliberately no mtime.
   bool have_baseline_ = false;
-  int64_t seen_mtime_ns_ = 0;
   uint64_t seen_size_ = 0;
   uint64_t seen_checksum_ = 0;
 

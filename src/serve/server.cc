@@ -241,7 +241,11 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
     const std::vector<double>& row = (*batch)[live[k]].row;
     std::copy(row.begin(), row.end(), scratch->rows.RowPtr(k));
   }
-  Status scored = snapshot->ScoreBatchInto(scratch->rows, scratch.get(), pool_);
+  Status scored =
+      options_.monitor_override.has_value()
+          ? snapshot->ScoreBatchInto(scratch->rows, scratch.get(),
+                                     *options_.monitor_override, pool_)
+          : snapshot->ScoreBatchInto(scratch->rows, scratch.get(), pool_);
   if (!scored.ok()) {
     ReleaseScratch(std::move(scratch));
     for (size_t i : live) (*batch)[i].ticket->Fail(scored);
@@ -252,6 +256,15 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
   // Wait and immediately reads stats() must see its own request counted.
   // The batch latency feeds the EWMA the cost-aware admission consults.
   stats_.RecordBatch(live.size(), done - now);
+  uint64_t density_checked = 0;
+  uint64_t density_outliers = 0;
+  for (size_t k = 0; k < live.size(); ++k) {
+    const ScoreResult& r = scratch->results[k];
+    if (!r.density_checked) continue;
+    ++density_checked;
+    if (r.density_outlier) ++density_outliers;
+  }
+  stats_.RecordDensity(density_checked, density_outliers);
   for (size_t k = 0; k < live.size(); ++k) {
     stats_.RecordCompletion(done - (*batch)[live[k]].enqueue_time);
   }

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -50,6 +51,11 @@ struct ServerOptions {
   /// Pool the batch workers run on (global pool when null). A 0-worker
   /// pool degrades to scoring on the dispatch thread — still correct.
   ThreadPool* pool = nullptr;
+  /// When set, batches score the density monitor under this policy
+  /// instead of the snapshot's own MonitorSpec — a per-deployment knob
+  /// that survives snapshot hot-swaps (it applies to whatever snapshot
+  /// is current). Unset = honor each snapshot's persisted spec.
+  std::optional<MonitorSpec> monitor_override;
 };
 
 /// Asynchronous micro-batching scoring server over immutable snapshots.

@@ -74,6 +74,30 @@ void ServerStats::RecordBatch(size_t batch_size,
   }
 }
 
+void ServerStats::RecordDensity(uint64_t checked, uint64_t outliers) {
+  if (checked == 0) return;
+  density_checked_.fetch_add(checked, rel());
+  density_outliers_.fetch_add(outliers, rel());
+  double sample =
+      static_cast<double>(outliers) / static_cast<double>(checked);
+  uint64_t expected = ewma_outlier_rate_bits_.load(rel());
+  for (;;) {
+    double updated = expected == ~uint64_t{0}
+                         ? sample
+                         : BitsToDouble(expected) +
+                               kEwmaAlpha * (sample - BitsToDouble(expected));
+    if (ewma_outlier_rate_bits_.compare_exchange_weak(
+            expected, DoubleToBits(updated), rel(), rel())) {
+      return;
+    }
+  }
+}
+
+double ServerStats::EwmaOutlierRate() const {
+  uint64_t bits = ewma_outlier_rate_bits_.load(rel());
+  return bits == ~uint64_t{0} ? 0.0 : BitsToDouble(bits);
+}
+
 double ServerStats::PercentileUsFromHist(const std::vector<uint64_t>& hist,
                                          double q) {
   uint64_t total = 0;
@@ -118,6 +142,9 @@ ServerStats::View ServerStats::Snapshot() const {
   view.p95_latency_us = PercentileUsFromHist(view.latency_hist, 0.95);
   view.p99_latency_us = PercentileUsFromHist(view.latency_hist, 0.99);
   view.ewma_batch_latency_us = EwmaBatchLatencyNs() * 1e-3;
+  view.density_checked = density_checked_.load(rel());
+  view.density_outliers = density_outliers_.load(rel());
+  view.ewma_outlier_rate = EwmaOutlierRate();
 
   view.batch_size_hist.resize(kBatchBuckets);
   for (size_t b = 0; b < kBatchBuckets; ++b) {

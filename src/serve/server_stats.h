@@ -50,6 +50,18 @@ class ServerStats {
   /// hot path.
   double EwmaBatchLatencyNs() const;
 
+  /// Density-monitor outcome of one scored batch: `checked` rows were
+  /// evaluated against the floor (all rows in exact/bounded modes, the
+  /// hash sample in sampled mode), `outliers` of them fell below it.
+  /// No-op when checked == 0 — an unsampled batch must not decay the
+  /// outlier-rate EWMA toward zero.
+  void RecordDensity(uint64_t checked, uint64_t outliers);
+
+  /// EWMA of the per-batch outlier fraction; 0 until the first checked
+  /// batch. Under sampled monitoring this is the bounded-staleness drift
+  /// signal: fresh to within ~sample_modulus * batch-size requests.
+  double EwmaOutlierRate() const;
+
   /// Consistent-enough copy of all counters plus derived percentiles.
   /// (Counters are read individually; a view taken while traffic is in
   /// flight may be mid-request, which is fine for monitoring.)
@@ -67,6 +79,13 @@ class ServerStats {
     double p99_latency_us = 0.0;
     /// EWMA of batch scoring latency (the admission cost signal).
     double ewma_batch_latency_us = 0.0;
+    /// Rows the density monitor actually evaluated (= completed rows in
+    /// exact/bounded modes; the hash-selected subset in sampled mode).
+    uint64_t density_checked = 0;
+    /// Checked rows that fell below the density floor.
+    uint64_t density_outliers = 0;
+    /// EWMA of the per-batch outlier fraction (0 until a checked batch).
+    double ewma_outlier_rate = 0.0;
     /// Completed-request counts per power-of-two batch-size bucket.
     std::vector<uint64_t> batch_size_hist;
     /// Completed-request counts per log-scale latency bucket
@@ -102,6 +121,12 @@ class ServerStats {
   std::atomic<uint64_t> snapshot_swaps_{0};
   /// IEEE-754 bits of the EWMA; 0 = no sample yet.
   std::atomic<uint64_t> ewma_batch_ns_bits_{0};
+  std::atomic<uint64_t> density_checked_{0};
+  std::atomic<uint64_t> density_outliers_{0};
+  /// IEEE-754 bits of the outlier-rate EWMA. Unlike latency, 0.0 is a
+  /// legitimate rate, so "no sample yet" is the all-ones sentinel (a NaN
+  /// pattern no CAS update ever stores), not 0.
+  std::atomic<uint64_t> ewma_outlier_rate_bits_{~uint64_t{0}};
   std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<uint64_t>, kBatchBuckets> batch_hist_{};
 };

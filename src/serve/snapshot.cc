@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/diffair.h"
+#include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -49,6 +50,10 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
     return Status::FailedPrecondition(
         "ModelSnapshot: conformance routing needs a profile");
   }
+  if (parts.monitor.sample_modulus == 0) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: monitor sample_modulus must be >= 1");
+  }
   if (parts.routed &&
       parts.profile.num_groups() < static_cast<int>(parts.models.size())) {
     // Routing consults the profile for every group that has a model; a
@@ -71,6 +76,7 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
   snapshot->density_ = std::move(parts.density);
   snapshot->density_floor_ = parts.density_floor;
   snapshot->density_options_ = parts.density_options;
+  snapshot->monitor_ = parts.monitor;
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
@@ -102,6 +108,13 @@ Result<std::vector<ScoreResult>> ModelSnapshot::ScoreBatch(
 
 Status ModelSnapshot::ScoreBatchInto(const Matrix& rows,
                                      ScoreScratch* scratch,
+                                     ThreadPool* pool) const {
+  return ScoreBatchInto(rows, scratch, monitor_, pool);
+}
+
+Status ModelSnapshot::ScoreBatchInto(const Matrix& rows,
+                                     ScoreScratch* scratch,
+                                     const MonitorSpec& monitor,
                                      ThreadPool* pool) const {
   if (rows.rows() == 0) {
     scratch->results.clear();
@@ -171,13 +184,53 @@ Status ModelSnapshot::ScoreBatchInto(const Matrix& rows,
     out[i].label = scratch->labels[i];
   }
 
-  // Drift monitor: training log-density of each request row.
+  // Drift monitor. All three modes flag outliers by the identical
+  // predicate (log-density < floor; LogDensityBelow is bitwise-equal to
+  // the exact comparison), so a row's density_outlier bit never depends
+  // on the mode that computed it — only whether log_density is filled and
+  // which rows are checked varies.
   if (density_ != nullptr && numeric.cols() > 0) {
-    scratch->logd.resize(n);
-    density_->LogDensityAllInto(numeric, scratch->logd.data(), pool);
-    for (size_t i = 0; i < n; ++i) {
-      out[i].log_density = scratch->logd[i];
-      out[i].density_outlier = scratch->logd[i] < density_floor_;
+    switch (monitor.mode) {
+      case MonitorMode::kExact: {
+        scratch->logd.resize(n);
+        density_->LogDensityAllInto(numeric, scratch->logd.data(), pool);
+        for (size_t i = 0; i < n; ++i) {
+          out[i].log_density = scratch->logd[i];
+          out[i].density_outlier = scratch->logd[i] < density_floor_;
+          out[i].density_checked = true;
+        }
+        break;
+      }
+      case MonitorMode::kBounded: {
+        scratch->below.resize(n);
+        density_->ClassifyBelowAllInto(numeric, density_floor_,
+                                       scratch->below.data(), pool);
+        for (size_t i = 0; i < n; ++i) {
+          out[i].density_outlier = scratch->below[i] != 0;
+          out[i].density_checked = true;
+        }
+        break;
+      }
+      case MonitorMode::kSampled: {
+        // Content-hash selection: which rows get checked depends only on
+        // the row bytes, never on batch composition, worker count, or
+        // shard placement — the cross-shard determinism tests rely on it.
+        // Create() validates the snapshot's own spec; a hand-built
+        // override with modulus 0 degrades to checking every row.
+        const uint32_t modulus =
+            monitor.sample_modulus == 0 ? 1 : monitor.sample_modulus;
+        const size_t row_bytes = numeric.cols() * sizeof(double);
+        ParallelForEach(0, n, pool, [&](size_t i) {
+          const double* row = numeric.RowPtr(i);
+          uint64_t h =
+              Fnv1aHash(reinterpret_cast<const char*>(row), row_bytes);
+          if (h % modulus != 0) return;
+          out[i].density_outlier =
+              density_->LogDensityBelow(row, density_floor_);
+          out[i].density_checked = true;
+        });
+        break;
+      }
     }
   }
   return Status::OK();

@@ -41,6 +41,37 @@ namespace fairdrift {
 
 class ThreadPool;  // util/parallel.h; only pointers appear in this header
 
+/// How a snapshot's density monitor is evaluated at serve time.
+enum class MonitorMode : uint8_t {
+  /// Full log-density per row (the bitwise oracle): fills
+  /// ScoreResult::log_density and density_outlier for every row. The
+  /// default, and the historical behavior.
+  kExact = 0,
+  /// Bound-pruned outlier classification per row: density_outlier is
+  /// bitwise identical to the exact comparison (KernelDensity::
+  /// LogDensityBelow), but log_density stays NaN — most rows are decided
+  /// from interior tree nodes without leaf kernel sums.
+  kBounded = 1,
+  /// Bounded classification on a deterministic content-hash sample of
+  /// rows (roughly 1 in sample_modulus); unsampled rows report
+  /// density_checked = false. The aggregate outlier rate in ServerStats
+  /// stays fresh to within the sampling interval while the per-row
+  /// monitoring cost amortizes to ~1/sample_modulus of bounded mode.
+  kSampled = 2,
+};
+
+/// Density-monitor evaluation policy. Travels with the snapshot artifact
+/// (format v3) so a deployed fleet scores with the policy chosen at
+/// training time; servers may override it per deployment
+/// (ServerOptions::monitor_override).
+struct MonitorSpec {
+  MonitorMode mode = MonitorMode::kExact;
+  /// kSampled only: a row is scored when the FNV-1a hash of its numeric
+  /// attribute bytes is 0 mod this. Content-based, so the sample is
+  /// identical for every batch split, worker count, and shard count.
+  uint32_t sample_modulus = 16;
+};
+
 /// Outcome of scoring one request row against a snapshot.
 struct ScoreResult {
   /// P(y = 1 | row) of the serving model (the routed group's model under
@@ -60,6 +91,11 @@ struct ScoreResult {
   /// True when log_density fell below the snapshot's density floor (the
   /// row looks drifted / off-manifold relative to the training data).
   bool density_outlier = false;
+  /// True when the density monitor evaluated this row (always true in
+  /// exact/bounded modes on monitored snapshots; the hash-selected subset
+  /// in sampled mode; false without a monitor). density_outlier is only
+  /// meaningful when set.
+  bool density_checked = false;
   /// Version of the snapshot that scored the row (swap-isolation witness).
   uint64_t snapshot_version = 0;
 };
@@ -80,6 +116,7 @@ struct ScoreScratch {
   std::vector<double> proba;    ///< gathered per-row probabilities
   std::vector<int> labels;      ///< gathered per-row hard labels
   std::vector<double> logd;     ///< per-row training log-densities
+  std::vector<uint8_t> below;   ///< per-row bounded-monitor outlier bits
   std::vector<ScoreResult> results;  ///< ScoreBatchInto's output
 };
 
@@ -116,6 +153,9 @@ struct SnapshotParts {
   /// directly, so monitored snapshots no longer pay the ~2x resident
   /// memory the historical refit-on-load format required.
   KdeOptions density_options;
+  /// How the monitor runs at serve time (persisted from format v3 on;
+  /// older files load with the exact default).
+  MonitorSpec monitor;
 };
 
 /// Immutable, shareable, concurrently scorable pipeline freeze.
@@ -150,6 +190,12 @@ class ModelSnapshot {
   Status ScoreBatchInto(const Matrix& rows, ScoreScratch* scratch,
                         ThreadPool* pool = nullptr) const;
 
+  /// ScoreBatchInto scoring the density monitor under `monitor` instead
+  /// of the snapshot's own spec (the server's per-deployment override
+  /// hook). All non-density fields are unaffected.
+  Status ScoreBatchInto(const Matrix& rows, ScoreScratch* scratch,
+                        const MonitorSpec& monitor, ThreadPool* pool) const;
+
   /// Checks one request row (length num_features()) against the schema:
   /// categorical fields must carry integral codes inside their category
   /// range. The server validates per request so one malformed row fails
@@ -175,6 +221,7 @@ class ModelSnapshot {
   /// consumed by snapshot persistence, which serializes its flat tree.
   const KernelDensity* density() const { return density_.get(); }
   const KdeOptions& density_options() const { return density_options_; }
+  const MonitorSpec& monitor() const { return monitor_; }
   int num_groups() const { return static_cast<int>(models_.size()); }
 
   /// The model serving group `g` (nullptr when the group has none).
@@ -195,6 +242,7 @@ class ModelSnapshot {
   std::shared_ptr<const KernelDensity> density_;
   double density_floor_ = -std::numeric_limits<double>::infinity();
   KdeOptions density_options_;
+  MonitorSpec monitor_;
 };
 
 }  // namespace fairdrift

@@ -188,10 +188,14 @@ Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
   if (snapshot.has_density()) {
     SerializeKdeOptions(snapshot.density_options(), &payload);
     payload.WriteDouble(snapshot.density_floor());
-    // v2: the fitted estimator travels whole (flat tree included), so the
-    // loader neither refits nor retains a training-matrix copy.
+    // v2+: the fitted estimator travels whole (flat tree included), so
+    // the loader neither refits nor retains a training-matrix copy.
     FAIRDRIFT_RETURN_IF_ERROR(snapshot.density()->SaveFittedTo(&payload));
   }
+  // v3: the serve-time monitoring policy rides with the artifact (written
+  // even without a density section so the layout does not branch).
+  payload.WriteU8(static_cast<uint8_t>(snapshot.monitor().mode));
+  payload.WriteU32(snapshot.monitor().sample_modulus);
   return WriteFramedSnapshot(payload, kSnapshotFormatVersion, path);
 }
 
@@ -367,6 +371,21 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     }
     parts.density_floor = floor.value();
     parts.density_options = options.value();
+  }
+
+  if (version.value() >= 3) {
+    Result<uint8_t> mode = r.ReadU8();
+    if (!mode.ok()) return mode.status();
+    if (mode.value() > static_cast<uint8_t>(MonitorMode::kSampled)) {
+      return Status::DataLoss("snapshot carries an unknown monitor mode");
+    }
+    parts.monitor.mode = static_cast<MonitorMode>(mode.value());
+    Result<uint32_t> modulus = r.ReadU32();
+    if (!modulus.ok()) return modulus.status();
+    if (modulus.value() == 0) {
+      return Status::DataLoss("snapshot monitor sample modulus is zero");
+    }
+    parts.monitor.sample_modulus = modulus.value();
   }
 
   if (r.remaining() != 0) {

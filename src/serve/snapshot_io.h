@@ -22,7 +22,13 @@
 //   v2  density section = KdeOptions + floor + the fitted estimator's
 //       complete flat state; loads are O(n) with no refit and no
 //       retained training matrix. v1 files still load (via the refit
-//       path); v2 is what SaveSnapshot writes.
+//       path).
+//   v3  appends the MonitorSpec (u8 mode + u32 sample modulus) after the
+//       density section, so the serve-time monitoring policy travels
+//       with the artifact. v1/v2 files still load, with the exact-mode
+//       default spec; v3 is what SaveSnapshot writes. (The
+//       classification bounds backing bounded/sampled modes are derived
+//       state, rebuilt on load — the density payload is unchanged.)
 //
 // Saves are atomic (write to <path>.tmp.<pid> + rename), so a concurrent
 // reader — in particular the hot-reload SnapshotWatcher
@@ -43,7 +49,7 @@
 namespace fairdrift {
 
 /// Current on-disk format version (what SaveSnapshot writes).
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Oldest format version LoadSnapshot still reads.
 inline constexpr uint32_t kMinSnapshotFormatVersion = 1;

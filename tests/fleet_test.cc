@@ -17,8 +17,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -345,6 +349,131 @@ TEST(WatcherTest, PicksUpCrossProcessStyleSave) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().snapshot_version, delivered_version.load());
   watcher.value()->Stop();
+}
+
+TEST(WatcherTest, DetectsSaveWithIdenticalMtimeAndSize) {
+  // Regression: the watcher once short-circuited on an unchanged
+  // (mtime, size) stat pair. Two saves landing within the filesystem's
+  // timestamp granularity with equal byte counts — here forced exactly
+  // equal with utimensat before an atomic rename, the worst case — made
+  // the second snapshot invisible until an unrelated change. Identity is
+  // now (size, checksum), probed every poll.
+  std::string path = TempPath("fleet_watch_same_mtime.bin");
+  std::shared_ptr<const ModelSnapshot> first = MakeSnapshot(81);
+  std::shared_ptr<const ModelSnapshot> second = MakeSnapshot(82);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  ASSERT_TRUE(SaveSnapshot(*first, path).ok());
+  struct stat st_first;
+  ASSERT_EQ(::stat(path.c_str(), &st_first), 0);
+
+  std::atomic<uint64_t> reloads{0};
+  SnapshotWatcherOptions watch;
+  watch.poll_interval = std::chrono::milliseconds(20);
+  Result<std::unique_ptr<SnapshotWatcher>> watcher = SnapshotWatcher::Start(
+      path,
+      [&](std::shared_ptr<const ModelSnapshot>) {
+        reloads.fetch_add(1);
+      },
+      watch);
+  ASSERT_TRUE(watcher.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(reloads.load(), 0u);  // baseline adopted silently
+
+  // Stage the second snapshot beside the watched path, stamp it with the
+  // FIRST file's exact mtime, then rename into place: from the moment it
+  // is visible, its stat identity is indistinguishable from the old
+  // file's (rename preserves timestamps). Only the bytes differ.
+  std::string staging = TempPath("fleet_watch_same_mtime.stage.bin");
+  ASSERT_TRUE(SaveSnapshot(*second, staging).ok());
+  struct stat st_second;
+  ASSERT_EQ(::stat(staging.c_str(), &st_second), 0);
+  ASSERT_EQ(st_second.st_size, st_first.st_size)
+      << "test premise: both saves must have equal byte counts";
+  struct timespec times[2] = {st_first.st_atim, st_first.st_mtim};
+  ASSERT_EQ(::utimensat(AT_FDCWD, staging.c_str(), times, 0), 0);
+  ASSERT_EQ(::rename(staging.c_str(), path.c_str()), 0);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (reloads.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(reloads.load(), 1u)
+      << "equal-mtime equal-size save was never detected";
+  EXPECT_EQ(watcher.value()->stats().failed_loads, 0u);
+  watcher.value()->Stop();
+}
+
+TEST(WatcherTest, RollbackToPreviouslyServedBytesFires) {
+  // Content identity is symmetric: re-saving the *older* snapshot over a
+  // newer one is a change like any other (an operator rollback), even
+  // though the restored bytes were the baseline two generations ago.
+  std::string path = TempPath("fleet_watch_rollback.bin");
+  std::shared_ptr<const ModelSnapshot> first = MakeSnapshot(91);
+  std::shared_ptr<const ModelSnapshot> second = MakeSnapshot(92);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  ASSERT_TRUE(SaveSnapshot(*first, path).ok());
+
+  std::atomic<uint64_t> reloads{0};
+  SnapshotWatcherOptions watch;
+  watch.poll_interval = std::chrono::milliseconds(20);
+  Result<std::unique_ptr<SnapshotWatcher>> watcher = SnapshotWatcher::Start(
+      path,
+      [&](std::shared_ptr<const ModelSnapshot>) {
+        reloads.fetch_add(1);
+      },
+      watch);
+  ASSERT_TRUE(watcher.ok());
+
+  auto wait_for = [&](uint64_t count) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (reloads.load() < count &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return reloads.load();
+  };
+
+  ASSERT_TRUE(SaveSnapshot(*second, path).ok());
+  ASSERT_EQ(wait_for(1), 1u) << "upgrade never detected";
+  ASSERT_TRUE(SaveSnapshot(*first, path).ok());  // roll back
+  EXPECT_EQ(wait_for(2), 2u) << "rollback to older bytes never detected";
+  EXPECT_EQ(watcher.value()->stats().failed_loads, 0u);
+  watcher.value()->Stop();
+}
+
+TEST(FleetTest, DensityStatsAggregateAcrossShards) {
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeSnapshot(95, Method::kNoIntervention, /*with_density=*/true);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_TRUE(snapshot->has_density());
+
+  FleetOptions options;
+  options.num_shards = 2;
+  options.routing = FleetRoutingPolicy::kRoundRobin;
+  // The per-deployment override propagates to every shard.
+  options.shard.monitor_override =
+      MonitorSpec{MonitorMode::kBounded, /*sample_modulus=*/16};
+  Result<std::unique_ptr<ScoringFleet>> fleet =
+      ScoringFleet::Create(snapshot, options);
+  ASSERT_TRUE(fleet.ok());
+
+  std::vector<std::vector<double>> requests = MakeRequests(64, 96);
+  for (const auto& row : requests) {
+    Result<ScoreResult> r = fleet.value()->ScoreSync(row);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().density_checked);  // bounded mode checks all
+    EXPECT_TRUE(std::isnan(r.value().log_density));  // without leaf sums
+  }
+  FleetStatsView stats = fleet.value()->stats();
+  EXPECT_EQ(stats.density_checked, requests.size());
+  EXPECT_EQ(stats.outlier_rate,
+            static_cast<double>(stats.density_outliers) /
+                static_cast<double>(stats.density_checked));
+  fleet.value()->Stop();
 }
 
 TEST(FleetTest, CreateRejectsBadOptions) {

@@ -359,6 +359,25 @@ TEST(KdeCacheTest, ByteBoundedEviction) {
   stats = cache.stats();
   EXPECT_LT(stats.entries, 2u);
   EXPECT_LE(stats.resident_bytes, shrunken);
+
+  // Eviction accounting is exact, not saturating: once every entry is
+  // evicted the resident-byte counter must read exactly zero, otherwise
+  // each fit/evict cycle leaks phantom bytes and the cache's effective
+  // capacity shrinks over time.
+  cache.set_max_bytes(1);
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+
+  // Refilling after a full eviction starts from a clean ledger: the
+  // resident bytes of a single re-admitted estimator match a fresh
+  // cache's accounting for the same data.
+  cache.set_max_bytes(KdeCache::kDefaultMaxBytes);
+  ASSERT_TRUE(cache.FitOrGet(a, {}).ok());
+  KdeCache fresh(/*capacity=*/64, /*max_bytes=*/KdeCache::kDefaultMaxBytes);
+  ASSERT_TRUE(fresh.FitOrGet(a, {}).ok());
+  EXPECT_EQ(cache.stats().resident_bytes, fresh.stats().resident_bytes);
+  EXPECT_EQ(cache.stats().entries, 1u);
 }
 
 TEST(KdeCacheTest, EstimatorReportsPlausibleMemory) {

@@ -23,6 +23,7 @@
 #include "serve/server.h"
 #include "serve/server_stats.h"
 #include "serve/snapshot.h"
+#include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -299,6 +300,146 @@ TEST(ServerStatsTest, PercentilesAndBatchHistogram) {
   EXPECT_EQ(view.batch_size_hist[6], 1u);  // size 64 in [64, 128)
 }
 
+TEST(ServerStatsTest, ColdStartViewIsAllDefinedZeros) {
+  // Before any traffic, every derived statistic must be a defined zero —
+  // not a bucket-0 representative latency, not a NaN rate. Dashboards
+  // and the cost-aware admission read these immediately after startup.
+  ServerStats stats;
+  ServerStats::View view = stats.Snapshot();
+  EXPECT_EQ(view.p50_latency_us, 0.0);
+  EXPECT_EQ(view.p95_latency_us, 0.0);
+  EXPECT_EQ(view.p99_latency_us, 0.0);
+  EXPECT_EQ(view.ewma_batch_latency_us, 0.0);
+  EXPECT_EQ(view.mean_batch_size, 0.0);
+  EXPECT_EQ(view.density_checked, 0u);
+  EXPECT_EQ(view.density_outliers, 0u);
+  EXPECT_EQ(view.ewma_outlier_rate, 0.0);
+  // The percentile helper itself on an explicit all-zero histogram.
+  std::vector<uint64_t> empty_hist(ServerStats::kLatencyBuckets, 0);
+  EXPECT_EQ(ServerStats::PercentileUsFromHist(empty_hist, 0.50), 0.0);
+  EXPECT_EQ(ServerStats::PercentileUsFromHist(empty_hist, 0.99), 0.0);
+  EXPECT_EQ(ServerStats::PercentileUsFromHist({}, 0.99), 0.0);
+}
+
+TEST(ServerStatsTest, DensityOutlierRateEwma) {
+  ServerStats stats;
+  // A batch with zero checked rows (fully unsampled) must not move the
+  // EWMA — otherwise sampled monitoring would decay the rate toward the
+  // seed between samples.
+  stats.RecordDensity(0, 0);
+  EXPECT_EQ(stats.EwmaOutlierRate(), 0.0);
+  EXPECT_EQ(stats.Snapshot().density_checked, 0u);
+
+  // First checked batch seeds the EWMA — including with a legitimate
+  // 0.0 rate, which must then count as "seeded", not "unset".
+  stats.RecordDensity(10, 0);
+  EXPECT_EQ(stats.EwmaOutlierRate(), 0.0);
+  stats.RecordDensity(10, 10);
+  // alpha = 0.2 over the seeded 0.0: 0.0 + 0.2 * (1.0 - 0.0)
+  EXPECT_DOUBLE_EQ(stats.EwmaOutlierRate(), 0.2);
+  stats.RecordDensity(0, 0);  // unsampled batch: still no movement
+  EXPECT_DOUBLE_EQ(stats.EwmaOutlierRate(), 0.2);
+
+  ServerStats::View view = stats.Snapshot();
+  EXPECT_EQ(view.density_checked, 20u);
+  EXPECT_EQ(view.density_outliers, 10u);
+  EXPECT_DOUBLE_EQ(view.ewma_outlier_rate, 0.2);
+}
+
+// -------------------------------------------------------- monitor modes
+
+TEST(ModelSnapshotTest, MonitorModesAgreeOnOutlierBits) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(30);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_TRUE(snapshot->has_density());
+  EXPECT_EQ(snapshot->monitor().mode, MonitorMode::kExact);  // the default
+
+  std::vector<std::vector<double>> rows = MakeRequests(128, 31);
+  Matrix m(rows.size(), 4);
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+
+  ScoreScratch exact_scratch;
+  ASSERT_TRUE(snapshot
+                  ->ScoreBatchInto(m, &exact_scratch,
+                                   MonitorSpec{MonitorMode::kExact, 16},
+                                   nullptr)
+                  .ok());
+  std::vector<ScoreResult> exact = exact_scratch.results;
+
+  // Bounded: identical outlier bits on every row, no log-density filled.
+  ScoreScratch bounded_scratch;
+  ASSERT_TRUE(snapshot
+                  ->ScoreBatchInto(m, &bounded_scratch,
+                                   MonitorSpec{MonitorMode::kBounded, 16},
+                                   nullptr)
+                  .ok());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScoreResult& e = exact[i];
+    const ScoreResult& b = bounded_scratch.results[i];
+    EXPECT_TRUE(e.density_checked);
+    EXPECT_TRUE(b.density_checked);
+    EXPECT_EQ(b.density_outlier, e.density_outlier) << "row " << i;
+    EXPECT_FALSE(std::isnan(e.log_density));
+    EXPECT_TRUE(std::isnan(b.log_density));
+    // Non-density fields are untouched by the monitor mode.
+    EXPECT_EQ(b.probability, e.probability);
+    EXPECT_EQ(b.label, e.label);
+    EXPECT_EQ(b.margin, e.margin);
+  }
+
+  // Sampled: the checked subset is exactly the content-hash predicate,
+  // and checked rows carry the same outlier bits as exact mode.
+  const uint32_t modulus = 4;
+  ScoreScratch sampled_scratch;
+  ASSERT_TRUE(snapshot
+                  ->ScoreBatchInto(m, &sampled_scratch,
+                                   MonitorSpec{MonitorMode::kSampled, modulus},
+                                   nullptr)
+                  .ok());
+  const FeatureEncoder& encoder = snapshot->encoder();
+  Matrix numeric;
+  ASSERT_TRUE(encoder.NumericRows(m, &numeric).ok());
+  size_t checked = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    uint64_t h = Fnv1aHash(reinterpret_cast<const char*>(numeric.RowPtr(i)),
+                           numeric.cols() * sizeof(double));
+    bool expected_checked = h % modulus == 0;
+    const ScoreResult& s = sampled_scratch.results[i];
+    EXPECT_EQ(s.density_checked, expected_checked) << "row " << i;
+    if (expected_checked) {
+      ++checked;
+      EXPECT_EQ(s.density_outlier, exact[i].density_outlier) << "row " << i;
+    } else {
+      EXPECT_FALSE(s.density_outlier);  // never set on unsampled rows
+    }
+  }
+  // Sanity: a modulus of 4 over 128 random rows samples some but not all.
+  EXPECT_GT(checked, 0u);
+  EXPECT_LT(checked, rows.size());
+}
+
+TEST(ScoringServerTest, MonitorOverrideFeedsDensityStats) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(33);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_TRUE(snapshot->has_density());
+
+  ServerOptions options;
+  options.monitor_override = MonitorSpec{MonitorMode::kBounded, 16};
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok());
+  std::vector<std::vector<double>> rows = MakeRequests(32, 34);
+  for (const auto& row : rows) {
+    Result<ScoreResult> r = server.value()->ScoreSync(row);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().density_checked);
+    EXPECT_TRUE(std::isnan(r.value().log_density));  // bounded, not exact
+  }
+  ServerStats::View view = server.value()->stats();
+  EXPECT_EQ(view.density_checked, rows.size());
+  EXPECT_LE(view.density_outliers, view.density_checked);
+}
+
 // -------------------------------------------------------------- snapshot
 
 TEST(ModelSnapshotTest, ValidatesRowsAndWidth) {
@@ -359,12 +500,15 @@ TEST(ModelSnapshotTest, DensityMonitorUsesFullTrainingMatrix) {
   ASSERT_TRUE(b.ok()) << b.status().ToString();
 
   // Ground truth straight from an uncached, unhinted fit on the full
-  // numeric matrix (the 1% default quantile of the training split's own
-  // log-densities). Both builds must freeze exactly this floor.
+  // numeric matrix (the 1% default quantile of the training split's
+  // leave-one-out log-densities — self-terms excluded, so the floor is
+  // calibrated for serve-time queries that never carry one). Both builds
+  // must freeze exactly this floor.
   Matrix numeric = train.NumericMatrix();
   Result<KernelDensity> direct = KernelDensity::Fit(numeric, {});
   ASSERT_TRUE(direct.ok());
-  std::vector<double> logd = direct.value().LogDensityAll(numeric);
+  std::vector<double> logd =
+      direct.value().LeaveOneOutLogDensityAll(numeric);
   std::sort(logd.begin(), logd.end());
   double expected =
       logd[static_cast<size_t>(0.01 * static_cast<double>(logd.size() - 1))];

@@ -400,6 +400,41 @@ TEST(SnapshotIoTest, LegacyV1FileLoadsBitwiseIdentical) {
   ExpectBitwiseEqualScores(reference.value(), b.value());
 }
 
+// ------------------------------------------------------- monitor policy
+
+TEST(SnapshotIoTest, MonitorSpecRoundTripsAndDefaultsOnOlderFiles) {
+  Dataset train = MakeTrainingData(300, 83);
+  TrainSpec spec = ServingSpec(Method::kNoIntervention);
+  spec.monitor = MonitorSpec{MonitorMode::kSampled, /*sample_modulus=*/7};
+  Result<FittedArtifacts> artifacts = Fit(train, Dataset{}, spec);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
+  Matrix density_train = artifacts.value().density_train;
+  Result<std::shared_ptr<const ModelSnapshot>> original =
+      Freeze(std::move(artifacts).value());
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  EXPECT_EQ(original.value()->monitor().mode, MonitorMode::kSampled);
+  EXPECT_EQ(original.value()->monitor().sample_modulus, 7u);
+
+  // v3 carries the policy.
+  std::string path = TempPath("snapshot_monitor_v3.bin");
+  ASSERT_TRUE(SaveSnapshot(*original.value(), path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->monitor().mode, MonitorMode::kSampled);
+  EXPECT_EQ(loaded.value()->monitor().sample_modulus, 7u);
+
+  // A legacy v1 file has no monitor section: the exact-mode default — the
+  // historical behavior of every pre-v3 deployment — loads in its place.
+  std::string v1_path = TempPath("snapshot_monitor_v1.bin");
+  ASSERT_TRUE(
+      SaveSnapshotV1(*original.value(), density_train, v1_path).ok());
+  Result<std::shared_ptr<const ModelSnapshot>> from_v1 =
+      LoadSnapshot(v1_path);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  EXPECT_EQ(from_v1.value()->monitor().mode, MonitorMode::kExact);
+  EXPECT_EQ(from_v1.value()->monitor().sample_modulus, 16u);
+}
+
 // ---------------------------------------------------------- atomic save
 
 // SaveSnapshot replaces the file atomically (tmp + rename): a reader
