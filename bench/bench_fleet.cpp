@@ -15,9 +15,18 @@
 // contract: the update completes, ZERO in-flight requests are dropped
 // (every ticket completes with a score), and each shard's drain stall is
 // bounded. Per-version completion counts show the cutover.
+//
+// Fault probes (when fault injection is compiled in): a rollout whose
+// third shard's drain barrier always stalls must roll BACK with zero
+// dropped in-flight requests (rollback_stall_ms bounds the cost of
+// undoing the half-applied update), and a wedged shard must be ejected,
+// restarted, and readmitted (ejection_recovery_ms measures the restart +
+// readmission machinery once the wedge clears). Both gate the exit code
+// on dropped == 0.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <thread>
@@ -26,6 +35,8 @@
 #include "bench_common/bench_json.h"
 #include "core/deployment.h"
 #include "serve/fleet/fleet.h"
+#include "serve/fleet/health.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -216,6 +227,172 @@ RollingProbe RunRollingUpdateProbe(
   return probe;
 }
 
+struct RollbackProbe {
+  bool ok = false;          ///< rolled back cleanly with zero skew
+  double stall_ms = 0.0;    ///< total rollback drain-barrier stall
+  uint64_t dropped = 0;     ///< in-flight tickets that failed
+  bool ran = false;         ///< false when fault injection is compiled out
+};
+
+/// Forces a rollout failure (the last shard's drain barrier always
+/// stalls via the fleet.drain fault site) under sustained client load
+/// and measures the cost of undoing the half-applied update. The
+/// contract mirrors the committed path: zero dropped in-flight requests
+/// and zero version skew after the rollback.
+RollbackProbe RunRollbackProbe(
+    const std::shared_ptr<const ModelSnapshot>& old_snapshot,
+    const std::shared_ptr<const ModelSnapshot>& new_snapshot) {
+  RollbackProbe probe;
+#ifndef FAIRDRIFT_NO_FAULT_INJECTION
+  probe.ran = true;
+  const size_t kClients = 4;
+  const size_t kPerClient = 1000;
+  FleetOptions options;
+  options.num_shards = 3;
+  options.routing = FleetRoutingPolicy::kRoundRobin;
+  options.shard.batching.max_batch_size = 32;
+  options.shard.admission.max_queue_depth = kClients * kPerClient + 16;
+  Result<std::unique_ptr<ScoringFleet>> fleet =
+      ScoringFleet::Create(old_snapshot, options);
+  if (!fleet.ok()) return probe;
+
+  FaultInjector::Global().Arm(17);
+  FaultRule stall;
+  stall.arg = 2;  // the last shard's drain barrier never clears
+  FaultInjector::Global().SetRule("fleet.drain", stall);
+
+  std::vector<std::vector<ScoreTicket>> tickets(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::vector<double>> rows =
+          MakeRequests(kPerClient, old_snapshot->num_features(), 200 + c);
+      for (size_t i = 0; i < kPerClient; ++i) {
+        Result<ScoreTicket> t = fleet.value()->Submit(rows[i]);
+        if (t.ok()) tickets[c].push_back(std::move(t).value());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  RollingUpdateOptions rolling;
+  rolling.drain_timeout = std::chrono::seconds(30);
+  rolling.max_attempts_per_shard = 2;
+  rolling.initial_backoff = std::chrono::milliseconds(1);
+  Result<RollingUpdateReport> report =
+      fleet.value()->RollingUpdate(new_snapshot, rolling);
+  for (std::thread& t : clients) t.join();
+  FaultInjector::Global().Disarm();
+
+  for (auto& client_tickets : tickets) {
+    for (ScoreTicket& t : client_tickets) {
+      if (!t.Wait().ok()) ++probe.dropped;
+    }
+  }
+  if (report.ok()) {
+    probe.stall_ms = report.value().rollback_stall_ms;
+    FleetStatsView stats = fleet.value()->stats();
+    probe.ok = report.value().state == RolloutState::kRolledBack &&
+               stats.min_snapshot_version == old_snapshot->version() &&
+               stats.max_snapshot_version == old_snapshot->version();
+  }
+#else
+  (void)old_snapshot;
+  (void)new_snapshot;
+#endif
+  return probe;
+}
+
+struct EjectionProbe {
+  bool ok = false;           ///< ejected, survivors served, readmitted
+  double recovery_ms = 0.0;  ///< wedge cleared -> shard back in rotation
+  uint64_t dropped = 0;      ///< parked tickets that failed
+  bool ran = false;
+};
+
+/// Wedges one shard's batch worker (server.wedge fault site), lets the
+/// HealthMonitor eject it, serves through the survivors, then clears the
+/// wedge and measures how long the restart + readmission machinery takes
+/// to return the shard to rotation. Requests parked behind the wedge
+/// must all complete once it clears.
+EjectionProbe RunEjectionProbe(
+    const std::shared_ptr<const ModelSnapshot>& snapshot) {
+  EjectionProbe probe;
+#ifndef FAIRDRIFT_NO_FAULT_INJECTION
+  probe.ran = true;
+  FleetOptions options;
+  options.num_shards = 3;
+  options.routing = FleetRoutingPolicy::kHashRow;
+  options.workers_per_shard = 1;  // the wedge starves only its own shard
+  Result<std::unique_ptr<ScoringFleet>> fleet =
+      ScoringFleet::Create(snapshot, options);
+  if (!fleet.ok()) return probe;
+
+  HealthMonitor monitor;
+  HealthMonitorOptions health;
+  health.probe_interval = std::chrono::hours(1);  // stepped via ProbeOnce
+  health.dead_after_stalled_probes = 2;
+  health.readmit_after_healthy_probes = 2;
+  if (!monitor.Start(fleet.value().get(), health).ok()) return probe;
+
+  FaultInjector::Global().Arm(23);
+  FaultRule wedge;
+  wedge.action = FaultAction::kWedge;
+  wedge.arg = 1;
+  wedge.max_fires = 1;
+  FaultInjector::Global().SetRule("server.wedge", wedge);
+
+  std::vector<std::vector<double>> rows =
+      MakeRequests(512, snapshot->num_features(), 300);
+  std::vector<ScoreTicket> parked;
+  for (const auto& row : rows) {
+    Result<ScoreTicket> t = fleet.value()->Submit(row);
+    if (t.ok()) parked.push_back(std::move(t).value());
+  }
+  // Wait for shard 1's worker to wedge, then eject it: probe 1 marks it
+  // degraded, probe 2 crosses the dead threshold (the restart blocks on
+  // the wedged batch, so it runs on its own thread).
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (FaultInjector::Global().fires("server.wedge") < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  monitor.ProbeOnce();
+  std::thread ejecting([&monitor] { monitor.ProbeOnce(); });
+  while (!fleet.value()->ShardEjected(1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool ejected = fleet.value()->ShardEjected(1);
+
+  // Survivors keep serving while the shard is down.
+  for (const auto& row : rows) {
+    if (!fleet.value()->ScoreSync(row).ok()) ++probe.dropped;
+  }
+
+  // Clear the wedge and time the recovery: restart completes, two
+  // healthy probes readmit the shard.
+  WallTimer recovery;
+  FaultInjector::Global().ClearRule("server.wedge");
+  ejecting.join();
+  monitor.ProbeOnce();
+  monitor.ProbeOnce();
+  probe.recovery_ms = recovery.ElapsedSeconds() * 1000.0;
+  FaultInjector::Global().Disarm();
+
+  for (ScoreTicket& t : parked) {
+    if (!t.Wait().ok()) ++probe.dropped;
+  }
+  HealthMonitor::View view = monitor.stats();
+  probe.ok = ejected && !fleet.value()->ShardEjected(1) &&
+             view.ejections == 1 && view.restarts == 1 &&
+             view.readmissions == 1;
+  monitor.Stop();
+#else
+  (void)snapshot;
+#endif
+  return probe;
+}
+
 bool WriteFleetBenchJson() {
   std::shared_ptr<const ModelSnapshot> snapshot =
       MakeFleetSnapshot(Method::kNoIntervention);
@@ -235,6 +412,8 @@ bool WriteFleetBenchJson() {
   double scaling4 = shards1 > 0.0 ? shards4 / shards1 : 0.0;
 
   RollingProbe rolling = RunRollingUpdateProbe(snapshot, next);
+  RollbackProbe rollback = RunRollbackProbe(snapshot, next);
+  EjectionProbe ejection = RunEjectionProbe(snapshot);
 
   unsigned cores = std::thread::hardware_concurrency();
   BenchJsonSection section;
@@ -256,6 +435,12 @@ bool WriteFleetBenchJson() {
        static_cast<double>(rolling.completed_old)},
       {"rolling_update_completed_new_version",
        static_cast<double>(rolling.completed_new)},
+      {"rollback_ok", rollback.ok ? 1.0 : 0.0},
+      {"rollback_stall_ms", rollback.stall_ms},
+      {"rollback_dropped_inflight", static_cast<double>(rollback.dropped)},
+      {"ejection_ok", ejection.ok ? 1.0 : 0.0},
+      {"ejection_recovery_ms", ejection.recovery_ms},
+      {"ejection_dropped", static_cast<double>(ejection.dropped)},
   };
   Status st = WriteBenchJson({section}, BenchJsonPathOr("BENCH_fleet.json"));
   if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -270,8 +455,22 @@ bool WriteFleetBenchJson() {
                static_cast<unsigned long long>(rolling.dropped),
                static_cast<unsigned long long>(rolling.completed_old),
                static_cast<unsigned long long>(rolling.completed_new));
+  if (rollback.ran) {
+    std::fprintf(stderr,
+                 "rollback probe: %s, rollback stall %.1fms, dropped %llu\n",
+                 rollback.ok ? "ok" : "FAILED", rollback.stall_ms,
+                 static_cast<unsigned long long>(rollback.dropped));
+    std::fprintf(stderr,
+                 "ejection probe: %s, recovery %.1fms, dropped %llu\n",
+                 ejection.ok ? "ok" : "FAILED", ejection.recovery_ms,
+                 static_cast<unsigned long long>(ejection.dropped));
+  }
 
   bool ok = rolling.update_ok && rolling.dropped == 0;
+  if (rollback.ran) {
+    ok = ok && rollback.ok && rollback.dropped == 0 && ejection.ok &&
+         ejection.dropped == 0;
+  }
   // The scaling bar only gates multi-core hosts: a 1-core container
   // cannot run two dispatch loops concurrently, so it records the
   // numbers without asserting them.

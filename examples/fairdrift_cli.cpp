@@ -31,12 +31,20 @@
 //
 //   fairdrift_cli serve --in /tmp/snap.bin [--shards N] [--poll-ms M]
 //                      [--routing rr|least|hash] [--wait-for-reload SECS]
+//                      [--allow-partial] [--health-ms M]
+//                      [--quarantine-after N]
 //       Serve the snapshot through a sharded ScoringFleet and watch the
 //       file: when another process saves a new snapshot over it, the
-//       fleet rolls the update shard-by-shard with no restart. With
-//       --wait-for-reload the command blocks until that happens and
+//       fleet rolls the update shard-by-shard with no restart (retrying
+//       stalled shards with backoff and rolling back on exhaustion).
+//       With --wait-for-reload the command blocks until that happens and
 //       exits 0 only if the served snapshot_version advanced — the CI
-//       hot-reload smoke.
+//       hot-reload smoke. --health-ms starts a HealthMonitor that ejects
+//       and restarts wedged shards; --allow-partial serves snapshots
+//       whose optional monitor tail is corrupt (monitoring disabled);
+//       --quarantine-after bounds retries of a corrupt file identity.
+//       FAULT_SEED / FAULT_SITES env vars arm deterministic fault
+//       injection (see src/util/fault.h).
 
 #include <chrono>
 #include <condition_variable>
@@ -55,10 +63,12 @@
 #include "data/split.h"
 #include "datagen/realworld.h"
 #include "serve/fleet/fleet.h"
+#include "serve/fleet/health.h"
 #include "serve/fleet/watcher.h"
 #include "serve/server.h"
 #include "serve/snapshot_io.h"
 #include "util/cli.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 using namespace fairdrift;
@@ -442,6 +452,13 @@ Result<uint64_t> ServeProbeRows(ScoringFleet* fleet, const Schema& schema,
 
 int CmdServe(const CliFlags& flags) {
   std::string path = flags.GetString("in", "/tmp/fairdrift_snapshot.bin");
+  // --allow-partial: a snapshot whose optional monitor tail is corrupt
+  // still serves (density monitoring disabled) instead of failing the
+  // load — both here and in the hot-reload watcher.
+  SnapshotLoadMode load_mode = flags.GetBool("allow-partial", false)
+                                   ? SnapshotLoadMode::kAllowPartial
+                                   : SnapshotLoadMode::kStrict;
+  SnapshotLoadReport load_report;
   // Load the snapshot AND capture its file signature consistently (probe
   // before and after the load; retry if a save raced in between). The
   // signature seeds the watcher baseline, so a snapshot saved between
@@ -454,7 +471,7 @@ int CmdServe(const CliFlags& flags) {
   for (int attempt = 0; attempt < 3; ++attempt) {
     signature = ProbeSnapshotFile(path);
     if (!signature.ok()) break;
-    snapshot = LoadSnapshot(path);
+    snapshot = LoadSnapshot(path, load_mode, &load_report);
     if (!snapshot.ok()) break;
     Result<SnapshotFileSignature> after = ProbeSnapshotFile(path);
     if (after.ok() && after.value().checksum == signature.value().checksum) {
@@ -501,7 +518,24 @@ int CmdServe(const CliFlags& flags) {
               path.c_str(), fleet.value()->num_shards(),
               FleetRoutingPolicyName(options.routing),
               static_cast<unsigned long long>(served.value()));
+  if (load_report.outcome == SnapshotLoadReport::Outcome::kDegraded) {
+    std::printf("degraded: %s\n", load_report.degraded_note.c_str());
+  }
   std::fflush(stdout);
+
+  // --health-ms: probe the shards for wedges; eject, restart with the
+  // current snapshot, and readmit automatically.
+  HealthMonitor health;
+  long health_ms = flags.GetInt("health-ms", 0);
+  if (health_ms > 0) {
+    HealthMonitorOptions health_options;
+    health_options.probe_interval = std::chrono::milliseconds(health_ms);
+    Status started = health.Start(fleet.value().get(), health_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
 
   // Hot-reload loop: watch the file and roll every new snapshot through
   // the fleet shard-by-shard.
@@ -513,6 +547,9 @@ int CmdServe(const CliFlags& flags) {
   watch.poll_interval =
       std::chrono::milliseconds(flags.GetInt("poll-ms", 200));
   watch.baseline = signature.value();
+  watch.load_mode = load_mode;
+  watch.quarantine_after =
+      static_cast<size_t>(flags.GetInt("quarantine-after", 3));
   ScoringFleet* fleet_ptr = fleet.value().get();
   Result<std::unique_ptr<SnapshotWatcher>> watcher = SnapshotWatcher::Start(
       path,
@@ -521,11 +558,15 @@ int CmdServe(const CliFlags& flags) {
             fleet_ptr->RollingUpdate(std::move(fresh));
         std::lock_guard<std::mutex> lock(mu);
         if (report.ok()) {
-          ++reloads;
-          std::printf("rolled out new snapshot: %zu shard(s), "
-                      "max stall %.1fms\n",
-                      report.value().shards_updated,
-                      report.value().max_stall_ms);
+          const RollingUpdateReport& r = report.value();
+          if (r.state == RolloutState::kCommitted) ++reloads;
+          else rollout_failed = true;
+          std::printf("rollout %s: %zu/%zu shard(s) updated, "
+                      "%zu attempt(s), max stall %.1fms%s%s\n",
+                      RolloutStateName(r.state), r.shards_updated,
+                      fleet_ptr->num_shards(), r.total_attempts,
+                      r.max_stall_ms, r.failure.empty() ? "" : "; ",
+                      r.failure.c_str());
         } else {
           rollout_failed = true;
           std::printf("rollout failed: %s\n",
@@ -560,9 +601,12 @@ int CmdServe(const CliFlags& flags) {
     if (!got || rollout_failed) {
       SnapshotWatcher::View wv = watcher.value()->stats();
       std::fprintf(stderr,
-                   "no reload within %lds (%llu polls, %llu failed loads%s%s)\n",
+                   "no reload within %lds (%llu polls, %llu failed loads, "
+                   "%llu quarantined, %llu backoff polls%s%s)\n",
                    wait_secs, static_cast<unsigned long long>(wv.polls),
                    static_cast<unsigned long long>(wv.failed_loads),
+                   static_cast<unsigned long long>(wv.quarantined_identities),
+                   static_cast<unsigned long long>(wv.backoff_polls),
                    wv.last_error.empty() ? "" : ": ",
                    wv.last_error.c_str());
       return 1;
@@ -575,13 +619,22 @@ int CmdServe(const CliFlags& flags) {
     return 1;
   }
   FleetStatsView stats = fleet.value()->stats();
+  SnapshotWatcher::View wv = watcher.value()->stats();
   std::printf("reloaded: snapshot_version %llu -> %llu (version skew "
-              "%llu..%llu, %llu rolling update(s))\n",
+              "%llu..%llu, %llu rolling update(s), %llu rollback(s), "
+              "%llu failed load(s), %llu quarantined, %llu degraded)\n",
               static_cast<unsigned long long>(served.value()),
               static_cast<unsigned long long>(after.value()),
               static_cast<unsigned long long>(stats.min_snapshot_version),
               static_cast<unsigned long long>(stats.max_snapshot_version),
-              static_cast<unsigned long long>(stats.rolling_updates));
+              static_cast<unsigned long long>(stats.rolling_updates),
+              static_cast<unsigned long long>(stats.rollbacks),
+              static_cast<unsigned long long>(wv.failed_loads),
+              static_cast<unsigned long long>(wv.quarantined_identities),
+              static_cast<unsigned long long>(wv.degraded_loads));
+  if (!wv.last_degraded_note.empty()) {
+    std::printf("degraded: %s\n", wv.last_degraded_note.c_str());
+  }
   if (after.value() <= served.value()) {
     std::fprintf(stderr, "served snapshot_version did not advance\n");
     return 1;
@@ -602,6 +655,16 @@ int CmdSnapshot(const CliFlags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // FAULT_SEED / FAULT_SITES arm deterministic fault injection for CI
+  // smoke tests (crash-during-save, forced drain stalls); a malformed
+  // spec is an operator error, not something to silently ignore.
+  {
+    Status armed = FaultInjector::Global().ArmFromEnv();
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
   CliFlags flags = CliFlags::Parse(argc, argv);
   std::string cmd =
       flags.positional().empty() ? "help" : flags.positional()[0];
@@ -632,8 +695,15 @@ int main(int argc, char** argv) {
       "        [--shards N] [--routing rr|least|hash] [--poll-ms M]\n"
       "        [--monitor exact|bounded|sampled] [--sample-modulus N]\n"
       "        [--score-rows N] [--wait-for-reload SECS]\n"
+      "        [--allow-partial]            serve even if the snapshot's\n"
+      "                                     monitor tail is corrupt\n"
+      "        [--health-ms M]              probe/eject/restart wedged\n"
+      "                                     shards every M ms\n"
+      "        [--quarantine-after N]       stop retrying an identity\n"
+      "                                     after N failed loads\n"
       "                                     watches FILE; a snapshot saved\n"
       "                                     over it rolls through the fleet\n"
-      "                                     with no restart\n");
+      "                                     with no restart; failed\n"
+      "                                     rollouts retry, then roll back\n");
   return cmd == "help" ? 0 : 1;
 }

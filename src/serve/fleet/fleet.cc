@@ -3,13 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include <thread>
+
 #include "serve/server_stats.h"
 #include "util/binary_io.h"
+#include "util/fault.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace fairdrift {
+
+namespace {
+
+// SplitMix64 finalizer: the rendezvous weights need a full avalanche of
+// (row hash, shard id) — raw FNV xored with a shard id correlates.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 const char* FleetRoutingPolicyName(FleetRoutingPolicy policy) {
   switch (policy) {
@@ -19,6 +36,16 @@ const char* FleetRoutingPolicyName(FleetRoutingPolicy policy) {
       return "least-queue";
     case FleetRoutingPolicy::kHashRow:
       return "hash-row";
+  }
+  return "?";
+}
+
+const char* RolloutStateName(RolloutState state) {
+  switch (state) {
+    case RolloutState::kCommitted:
+      return "committed";
+    case RolloutState::kRolledBack:
+      return "rolled-back";
   }
   return "?";
 }
@@ -42,7 +69,7 @@ size_t ShardRouter::Pick(const double* row, size_t width,
       bool found = false;
       size_t best_load = 0;
       for (size_t s = 0; s < num_shards_; ++s) {
-        if (fleet.ShardDraining(s)) continue;
+        if (!fleet.ShardAvailable(s)) continue;
         size_t load = fleet.ShardLoad(s);
         if (!found || load < best_load) {
           found = true;
@@ -52,21 +79,44 @@ size_t ShardRouter::Pick(const double* row, size_t width,
       }
       break;
     }
-    case FleetRoutingPolicy::kHashRow:
+    case FleetRoutingPolicy::kHashRow: {
       // The row's raw IEEE-754 bytes hash the same in every process, so
       // a replayed request trace shards identically run after run.
-      nominal = static_cast<size_t>(Fnv1aHash(
-                    reinterpret_cast<const char*>(row),
-                    width * sizeof(double))) %
-                num_shards_;
-      break;
+      uint64_t row_hash = Fnv1aHash(reinterpret_cast<const char*>(row),
+                                    width * sizeof(double));
+      nominal = static_cast<size_t>(row_hash) % num_shards_;
+      if (fleet.ShardAvailable(nominal)) return nominal;
+      // Home shard unavailable: rendezvous (highest-random-weight) hash
+      // over the available shards. Deterministic in (row, available
+      // set): a row's keys always fail over to the same survivor, and
+      // snap back to the home shard on readmission — no modulo
+      // reshuffle of the whole keyspace.
+      bool found = false;
+      uint64_t best_weight = 0;
+      size_t best = nominal;
+      for (size_t s = 0; s < num_shards_; ++s) {
+        if (!fleet.ShardAvailable(s)) continue;
+        uint64_t weight = Mix64(row_hash ^ (0x9e3779b97f4a7c15ULL *
+                                            static_cast<uint64_t>(s + 1)));
+        if (!found || weight > best_weight ||
+            (weight == best_weight && s < best)) {
+          found = true;
+          best_weight = weight;
+          best = s;
+        }
+      }
+      // No shard available at all: keep the home pick — its queue stays
+      // open, requests wait out the swap/restart.
+      return best;
+    }
   }
-  // Walk off a draining shard (rolling update in progress). With every
-  // shard draining — only possible on a 1-shard fleet — keep the nominal
-  // pick: its queue stays open, requests just wait out the swap.
+  // Walk off an unavailable shard (rolling update draining it, or the
+  // health monitor ejected it). With every shard unavailable — only
+  // possible transiently on a 1-shard fleet — keep the nominal pick:
+  // its queue stays open, requests just wait out the swap.
   for (size_t step = 0; step < num_shards_; ++step) {
     size_t s = (nominal + step) % num_shards_;
-    if (!fleet.ShardDraining(s)) return s;
+    if (fleet.ShardAvailable(s)) return s;
   }
   return nominal;
 }
@@ -88,6 +138,9 @@ Result<std::unique_ptr<ScoringFleet>> ScoringFleet::Create(
           std::make_unique<ThreadPool>(options.workers_per_shard));
       shard_options.pool = fleet->shard_pools_.back().get();
     }
+    // Tag each shard's fault sites with its index so a rule can target
+    // one shard of the fleet (e.g. wedge shard 1, stall shard 2's drain).
+    shard_options.fault_tag = static_cast<uint64_t>(s);
     Result<std::unique_ptr<ScoringServer>> server =
         ScoringServer::Create(snapshot, shard_options);
     if (!server.ok()) return server.status();
@@ -99,9 +152,11 @@ Result<std::unique_ptr<ScoringFleet>> ScoringFleet::Create(
 ScoringFleet::ScoringFleet(const FleetOptions& options)
     : options_(options),
       draining_(new std::atomic<bool>[options.num_shards]),
+      ejected_(new std::atomic<bool>[options.num_shards]),
       router_(options.routing, options.num_shards) {
   for (size_t s = 0; s < options.num_shards; ++s) {
     draining_[s].store(false, std::memory_order_relaxed);
+    ejected_[s].store(false, std::memory_order_relaxed);
   }
 }
 
@@ -112,11 +167,11 @@ void ScoringFleet::Stop() {
   // Shards stop independently (each drains its own queue); the private
   // pools outlive the servers that score on them, then fall with the
   // fleet.
-  for (auto& server : servers_) server->Stop();
+  for (size_t s = 0; s < servers_.size(); ++s) shard_ref(s)->Stop();
 }
 
 size_t ScoringFleet::ShardLoad(size_t s) const {
-  const ScoringServer* server = servers_[s].get();
+  std::shared_ptr<ScoringServer> server = shard_ref(s);
   return server->queue_depth() +
          server->inflight_batches() *
              server->options().batching.max_batch_size;
@@ -125,7 +180,7 @@ size_t ScoringFleet::ShardLoad(size_t s) const {
 Result<ScoreTicket> ScoringFleet::Submit(
     std::vector<double> row, std::chrono::nanoseconds deadline_after) {
   size_t shard = router_.Pick(row.data(), row.size(), *this);
-  return servers_[shard]->Submit(std::move(row), deadline_after);
+  return shard_ref(shard)->Submit(std::move(row), deadline_after);
 }
 
 Result<ScoreResult> ScoringFleet::ScoreSync(
@@ -141,8 +196,8 @@ Status ScoringFleet::UpdateSnapshot(
     return Status::InvalidArgument("UpdateSnapshot: null snapshot");
   }
   std::lock_guard<std::mutex> lock(update_mu_);
-  for (auto& server : servers_) {
-    FAIRDRIFT_RETURN_IF_ERROR(server->UpdateSnapshot(snapshot));
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    FAIRDRIFT_RETURN_IF_ERROR(shard_ref(s)->UpdateSnapshot(snapshot));
   }
   return Status::OK();
 }
@@ -153,37 +208,184 @@ Result<RollingUpdateReport> ScoringFleet::RollingUpdate(
   if (snapshot == nullptr) {
     return Status::InvalidArgument("RollingUpdate: null snapshot");
   }
+  if (options.max_attempts_per_shard == 0) {
+    return Status::InvalidArgument("RollingUpdate: zero attempts per shard");
+  }
   std::lock_guard<std::mutex> lock(update_mu_);
   RollingUpdateReport report;
   report.shard_stall_ms.reserve(servers_.size());
-  for (size_t s = 0; s < servers_.size(); ++s) {
-    // Take the shard out of rotation, then wait for what it already
-    // admitted to finish scoring against the current snapshot. On a
-    // 1-shard fleet the router keeps feeding the shard, so the barrier
-    // only waits out the in-flight batches (per-batch isolation still
-    // gives every request one consistent version).
+  report.shards.reserve(servers_.size());
+  // Each shard's pre-rollout snapshot, captured so a rollback restores
+  // exactly what that shard was serving (shards can disagree when a
+  // previous rollout was aborted with rollback disabled).
+  std::vector<std::shared_ptr<const ModelSnapshot>> prior(servers_.size());
+  Rng jitter_rng(options.backoff_seed);
+
+  size_t failed_shard = servers_.size();
+  for (size_t s = 0; s < servers_.size() && failed_shard == servers_.size();
+       ++s) {
+    ShardRolloutReport shard_report;
+    shard_report.shard = s;
+    std::shared_ptr<ScoringServer> server = shard_ref(s);
+    prior[s] = server->CurrentSnapshot();
+    std::chrono::nanoseconds backoff = options.initial_backoff;
+    for (size_t attempt = 1; attempt <= options.max_attempts_per_shard;
+         ++attempt) {
+      shard_report.attempts = attempt;
+      ++report.total_attempts;
+      // Take the shard out of rotation, then wait for what it already
+      // admitted to finish scoring against the current snapshot. On a
+      // 1-shard fleet the router keeps feeding the shard, so the barrier
+      // only waits out the in-flight batches (per-batch isolation still
+      // gives every request one consistent version).
+      draining_[s].store(true, std::memory_order_release);
+      WallTimer stall;
+      Status attempted =
+          server->Quiesce(options.drain_timeout,
+                          /*require_empty_queue=*/servers_.size() > 1);
+      if (attempted.ok()) {
+        // Fault site: the swap itself fails (e.g. the shard rejects the
+        // snapshot) — retried like a drain stall.
+        if (FAULT_POINT_ARG("fleet.swap", s)) {
+          attempted = Status::Unavailable(
+              "RollingUpdate: snapshot swap failed (injected fault: "
+              "fleet.swap)");
+        } else {
+          attempted = server->UpdateSnapshot(snapshot);
+        }
+      }
+      // Between attempts (and on every exit path) the shard re-enters
+      // rotation — a stalled rollout must never leave it routed around.
+      draining_[s].store(false, std::memory_order_release);
+      if (attempted.ok()) {
+        shard_report.updated = true;
+        shard_report.stall_ms = stall.ElapsedMillis();
+        break;
+      }
+      shard_report.last_error = attempted.message();
+      if (attempt == options.max_attempts_per_shard) {
+        failed_shard = s;
+        break;
+      }
+      // Exponential backoff with deterministic jitter: the shard serves
+      // traffic while the backlog that stalled the barrier drains.
+      double factor =
+          1.0 + options.backoff_jitter * (2.0 * jitter_rng.Uniform() - 1.0);
+      if (factor < 0.0) factor = 0.0;
+      auto wait = std::chrono::nanoseconds(static_cast<int64_t>(
+          static_cast<double>(backoff.count()) * factor));
+      if (wait.count() > 0) std::this_thread::sleep_for(wait);
+      backoff = std::chrono::nanoseconds(static_cast<int64_t>(
+          static_cast<double>(backoff.count()) * options.backoff_multiplier));
+    }
+    if (shard_report.updated) {
+      report.shard_stall_ms.push_back(shard_report.stall_ms);
+      report.max_stall_ms =
+          std::max(report.max_stall_ms, shard_report.stall_ms);
+      ++report.shards_updated;
+    }
+    report.shards.push_back(std::move(shard_report));
+  }
+
+  if (failed_shard == servers_.size()) {
+    rolling_updates_.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+
+  report.failure = StrFormat(
+      "RollingUpdate: shard %zu did not drain within the barrier timeout "
+      "after %zu attempts (%zu of %zu shards already updated)",
+      failed_shard, options.max_attempts_per_shard, report.shards_updated,
+      servers_.size());
+  if (!options.rollback_on_failure) {
+    // Legacy abort: updated shards keep the new snapshot; the skew is
+    // visible in FleetStats until a later rollout. The failed shard is
+    // already back in rotation (reset above).
+    rolling_updates_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(report.failure);
+  }
+
+  // Rollback: restore already-updated shards to their prior snapshots in
+  // reverse order through the same drain barrier, so each rolled-back
+  // shard's admitted requests score one consistent version too. A shard
+  // whose rollback barrier ALSO stalls is force-swapped without the
+  // barrier — per-batch isolation keeps that safe (in-flight batches
+  // finish on the snapshot they grabbed), and the fleet must converge to
+  // zero skew no matter what.
+  for (size_t i = report.shards.size(); i-- > 0;) {
+    ShardRolloutReport& shard_report = report.shards[i];
+    if (!shard_report.updated) continue;
+    size_t s = shard_report.shard;
+    std::shared_ptr<ScoringServer> server = shard_ref(s);
     draining_[s].store(true, std::memory_order_release);
     WallTimer stall;
     Status drained =
-        servers_[s]->Quiesce(options.drain_timeout,
-                             /*require_empty_queue=*/servers_.size() > 1);
-    if (!drained.ok()) {
-      draining_[s].store(false, std::memory_order_release);
-      return Status::DeadlineExceeded(StrFormat(
-          "RollingUpdate: shard %zu did not drain within the barrier "
-          "timeout (%zu of %zu shards already updated)",
-          s, report.shards_updated, servers_.size()));
-    }
-    Status swapped = servers_[s]->UpdateSnapshot(snapshot);
+        server->Quiesce(options.drain_timeout,
+                        /*require_empty_queue=*/servers_.size() > 1);
+    (void)drained;  // forced swap below is safe either way
+    Status swapped = server->UpdateSnapshot(prior[s]);
     draining_[s].store(false, std::memory_order_release);
-    FAIRDRIFT_RETURN_IF_ERROR(swapped);
-    double stalled = stall.ElapsedMillis();
-    report.shard_stall_ms.push_back(stalled);
-    report.max_stall_ms = std::max(report.max_stall_ms, stalled);
-    ++report.shards_updated;
+    if (!swapped.ok()) {
+      // UpdateSnapshot only fails on a null snapshot; prior[s] is not.
+      return Status::Internal("RollingUpdate rollback: " + swapped.message());
+    }
+    shard_report.rolled_back = true;
+    shard_report.rollback_stall_ms = stall.ElapsedMillis();
+    report.rollback_stall_ms += shard_report.rollback_stall_ms;
   }
+  report.state = RolloutState::kRolledBack;
   rolling_updates_.fetch_add(1, std::memory_order_relaxed);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
   return report;
+}
+
+Status ScoringFleet::EjectShard(size_t s) {
+  if (s >= servers_.size()) {
+    return Status::OutOfRange(StrFormat("EjectShard: shard %zu of %zu", s,
+                                        servers_.size()));
+  }
+  if (servers_.size() == 1) {
+    return Status::FailedPrecondition(
+        "EjectShard: cannot eject the only shard");
+  }
+  if (!ejected_[s].exchange(true, std::memory_order_acq_rel)) {
+    ejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ScoringFleet::ReadmitShard(size_t s) {
+  if (s >= servers_.size()) {
+    return Status::OutOfRange(StrFormat("ReadmitShard: shard %zu of %zu", s,
+                                        servers_.size()));
+  }
+  if (ejected_[s].exchange(false, std::memory_order_acq_rel)) {
+    readmissions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ScoringFleet::RestartShard(size_t s) {
+  if (s >= servers_.size()) {
+    return Status::OutOfRange(StrFormat("RestartShard: shard %zu of %zu", s,
+                                        servers_.size()));
+  }
+  std::lock_guard<std::mutex> lock(restart_mu_);
+  std::shared_ptr<ScoringServer> old = shard_ref(s);
+  // The replacement inherits the old server's resolved options (pool,
+  // fault tag) and whatever snapshot it was serving.
+  Result<std::unique_ptr<ScoringServer>> fresh =
+      ScoringServer::Create(old->CurrentSnapshot(), old->options());
+  if (!fresh.ok()) return fresh.status();
+  std::shared_ptr<ScoringServer> replacement = std::move(fresh).value();
+  std::atomic_store(&servers_[s], replacement);
+  // Stop the old server AFTER the swap: new traffic already routes to
+  // the replacement while the old queue drains through the normal
+  // scoring path (every admitted ticket completes). Blocks on in-flight
+  // batches — a still-wedged batch holds the restart here.
+  old->Stop();
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 FleetStatsView ScoringFleet::stats() const {
@@ -192,9 +394,11 @@ FleetStatsView ScoringFleet::stats() const {
   view.queue_depths.reserve(servers_.size());
   view.shard_completed.reserve(servers_.size());
   view.shard_versions.reserve(servers_.size());
+  view.shard_ejected.reserve(servers_.size());
   std::vector<uint64_t> merged_hist(ServerStats::kLatencyBuckets, 0);
   uint64_t batched_weighted = 0;
-  for (const auto& server : servers_) {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    std::shared_ptr<ScoringServer> server = shard_ref(i);
     ServerStats::View s = server->stats();
     view.submitted += s.submitted;
     view.completed += s.completed;
@@ -213,6 +417,7 @@ FleetStatsView ScoringFleet::stats() const {
     view.queue_depths.push_back(server->queue_depth());
     view.shard_completed.push_back(s.completed);
     view.shard_versions.push_back(server->CurrentSnapshot()->version());
+    view.shard_ejected.push_back(ShardEjected(i) ? 1 : 0);
   }
   view.mean_batch_size =
       view.batches == 0 ? 0.0
@@ -239,6 +444,10 @@ FleetStatsView ScoringFleet::stats() const {
                                         view.shard_versions.begin(),
                                         view.shard_versions.end());
   view.rolling_updates = rolling_updates_.load(std::memory_order_relaxed);
+  view.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  view.ejections = ejections_.load(std::memory_order_relaxed);
+  view.restarts = restarts_.load(std::memory_order_relaxed);
+  view.readmissions = readmissions_.load(std::memory_order_relaxed);
   return view;
 }
 

@@ -31,6 +31,20 @@
 // barrier guarantees each admitted request scores against one consistent
 // snapshot version. FleetStats reports the per-shard served versions, so
 // mid-rollout skew is observable instead of silent.
+//
+// Failure handling (this layer's robustness contract):
+//   - A shard whose drain barrier stalls is RETRIED with exponential
+//     backoff + deterministic jitter; between attempts it is back in
+//     rotation, so a stalled rollout never starves a shard.
+//   - When a shard exhausts its attempts, the rollout ROLLS BACK:
+//     already-updated shards return to their prior snapshots in reverse
+//     order through the same drain barrier, so the fleet is never left
+//     version-skewed. The report's terminal state says which way it went.
+//   - A wedged or dead shard can be EJECTED from routing (all three
+//     policies skip it; the hash policy rendezvous-reassigns its keys
+//     deterministically to survivors), RESTARTED with its current
+//     snapshot, and READMITTED — see serve/fleet/health.h for the
+//     monitor that automates this.
 
 #ifndef FAIRDRIFT_SERVE_FLEET_FLEET_H_
 #define FAIRDRIFT_SERVE_FLEET_FLEET_H_
@@ -65,10 +79,14 @@ class ShardRouter {
  public:
   ShardRouter(FleetRoutingPolicy policy, size_t num_shards);
 
-  /// Shard for a request row of `width` doubles. Shards marked draining
-  /// by a rolling update are skipped (when every shard is draining —
-  /// only possible transiently on a 1-shard fleet — the nominal pick is
-  /// returned anyway so the fleet never refuses on routing grounds).
+  /// Shard for a request row of `width` doubles. Unavailable shards —
+  /// draining under a rolling update, or ejected by the health monitor —
+  /// are skipped: round-robin/least-queue walk or scan past them, and
+  /// the hash policy rendezvous-reassigns the row deterministically
+  /// among the available shards (a given row always lands on the same
+  /// survivor for a given available set, and returns to its home shard
+  /// on readmission). When every shard is unavailable the nominal pick
+  /// is returned anyway so the fleet never refuses on routing grounds.
   size_t Pick(const double* row, size_t width, const ScoringFleet& fleet);
 
   FleetRoutingPolicy policy() const { return policy_; }
@@ -97,18 +115,72 @@ struct FleetOptions {
 /// Per-shard drain + swap schedule knobs.
 struct RollingUpdateOptions {
   /// How long the drain barrier waits for one shard to empty before the
-  /// rollout aborts (shards already updated keep the new snapshot; the
-  /// version skew is visible in FleetStats until a later rollout).
+  /// attempt counts as failed.
   std::chrono::nanoseconds drain_timeout = std::chrono::seconds(10);
+  /// Drain/swap attempts per shard before the rollout gives up on it.
+  size_t max_attempts_per_shard = 3;
+  /// Backoff before the second attempt; doubles (backoff_multiplier)
+  /// each further attempt. The shard is back in rotation while waiting.
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(10);
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction: each wait is scaled by a factor drawn uniformly
+  /// from [1 - jitter, 1 + jitter] — deterministically from
+  /// backoff_seed, so a fault-injected rollout replays exactly.
+  double backoff_jitter = 0.25;
+  uint64_t backoff_seed = 0;
+  /// On exhausted retries, roll already-updated shards back to their
+  /// prior snapshots (reverse order, same drain barrier) so the fleet
+  /// exits with zero version skew. false restores the legacy abort:
+  /// the rollout fails DeadlineExceeded with updated shards keeping the
+  /// new snapshot (skew visible in FleetStats until a later rollout).
+  bool rollback_on_failure = true;
 };
 
-/// What one rolling update did: how many shards swapped and how long
-/// each shard's drain barrier stalled that shard (its only out-of-
-/// rotation time — the fleet as a whole never stops serving).
+/// How a rolling update terminated.
+enum class RolloutState : uint8_t {
+  /// Every shard drained and swapped to the new snapshot.
+  kCommitted = 0,
+  /// A shard exhausted its attempts; updated shards were rolled back to
+  /// their prior snapshots. The fleet exits with zero version skew.
+  kRolledBack = 1,
+};
+
+const char* RolloutStateName(RolloutState state);
+
+/// One shard's slice of a rolling update.
+struct ShardRolloutReport {
+  size_t shard = 0;
+  /// Drain/swap attempts consumed (1 = first try succeeded).
+  size_t attempts = 0;
+  /// The shard swapped to the new snapshot (possibly rolled back later).
+  bool updated = false;
+  /// The shard was returned to its prior snapshot by a rollback.
+  bool rolled_back = false;
+  /// Successful-attempt drain-barrier stall (out-of-rotation time).
+  double stall_ms = 0.0;
+  /// Rollback drain-barrier stall, when rolled_back.
+  double rollback_stall_ms = 0.0;
+  /// Last attempt error (empty when the first attempt succeeded).
+  std::string last_error;
+};
+
+/// What one rolling update did: how many shards swapped, how long each
+/// shard's drain barrier stalled it (its only out-of-rotation time —
+/// the fleet as a whole never stops serving), and per-shard
+/// attempt/outcome detail with the terminal committed/rolled-back state.
 struct RollingUpdateReport {
   size_t shards_updated = 0;
   std::vector<double> shard_stall_ms;
   double max_stall_ms = 0.0;
+  RolloutState state = RolloutState::kCommitted;
+  std::vector<ShardRolloutReport> shards;
+  /// Drain/swap attempts summed over shards (== num_shards when nothing
+  /// retried).
+  size_t total_attempts = 0;
+  /// Total rollback drain-barrier stall across rolled-back shards.
+  double rollback_stall_ms = 0.0;
+  /// Why the rollout rolled back (empty when committed).
+  std::string failure;
 };
 
 /// Fleet-wide aggregated statistics: counter sums, fleet percentiles
@@ -151,6 +223,17 @@ struct FleetStatsView {
   uint64_t max_snapshot_version = 0;
   /// Completed RollingUpdate calls.
   uint64_t rolling_updates = 0;
+  /// Rolling updates that terminated kRolledBack.
+  uint64_t rollbacks = 0;
+  /// Shards removed from routing (EjectShard — typically the health
+  /// monitor on a wedged/dead shard).
+  uint64_t ejections = 0;
+  /// Shards rebuilt in place with their current snapshot (RestartShard).
+  uint64_t restarts = 0;
+  /// Ejected shards returned to routing (ReadmitShard).
+  uint64_t readmissions = 0;
+  /// Per-shard ejected flag (1 = currently out of routing).
+  std::vector<uint8_t> shard_ejected;
 };
 
 /// N scoring-server shards behind a router, updated as one unit.
@@ -185,12 +268,33 @@ class ScoringFleet {
   /// shard version consistency during the push matters.
   Status UpdateSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
 
-  /// Shard-by-shard drain + swap (see file comment). Serialized against
-  /// concurrent updates; fails DeadlineExceeded when a shard does not
-  /// drain within options.drain_timeout.
+  /// Shard-by-shard drain + swap with retry/backoff and rollback (see
+  /// file comment). Serialized against concurrent updates. With
+  /// rollback_on_failure (the default) an exhausted shard yields an OK
+  /// result whose report.state == kRolledBack — the fleet healed itself;
+  /// callers decide whether a rolled-back push is an error. With
+  /// rollback disabled, exhaustion fails DeadlineExceeded (the drained
+  /// shard is always re-entered into rotation first).
   Result<RollingUpdateReport> RollingUpdate(
       std::shared_ptr<const ModelSnapshot> snapshot,
       const RollingUpdateOptions& options = {});
+
+  /// Removes shard `s` from routing (every policy skips it; the hash
+  /// policy rendezvous-reassigns its keys deterministically). Requests
+  /// already queued on the shard still score. Idempotent.
+  Status EjectShard(size_t s);
+
+  /// Returns an ejected shard to routing. Idempotent.
+  Status ReadmitShard(size_t s);
+
+  /// Rebuilds shard `s` in place: a fresh ScoringServer is created with
+  /// the shard's current snapshot and options and swapped into the slot;
+  /// the old server is then stopped, which drains its queue through the
+  /// normal scoring path (every admitted ticket completes). Blocks until
+  /// the old server's in-flight batches finish — a still-wedged batch
+  /// holds the restart until it unwedges. Usually called on an ejected
+  /// shard; does not change the ejected flag.
+  Status RestartShard(size_t s);
 
   /// Stops all shards. Idempotent; called by the destructor.
   void Stop();
@@ -198,8 +302,14 @@ class ScoringFleet {
   FleetStatsView stats() const;
 
   size_t num_shards() const { return servers_.size(); }
-  ScoringServer* shard(size_t s) { return servers_[s].get(); }
-  const ScoringServer* shard(size_t s) const { return servers_[s].get(); }
+  /// Owning reference to shard `s`'s current server — safe against a
+  /// concurrent RestartShard swapping the slot.
+  std::shared_ptr<ScoringServer> shard_ref(size_t s) const {
+    return std::atomic_load(&servers_[s]);
+  }
+  /// Borrowed pointer; invalidated by RestartShard. Test/bench use.
+  ScoringServer* shard(size_t s) { return shard_ref(s).get(); }
+  const ScoringServer* shard(size_t s) const { return shard_ref(s).get(); }
   const FleetOptions& options() const { return options_; }
 
   /// Router load signal: queued requests + a batch-sized pessimistic
@@ -211,16 +321,37 @@ class ScoringFleet {
     return draining_[s].load(std::memory_order_acquire);
   }
 
+  /// True while shard `s` is ejected from routing.
+  bool ShardEjected(size_t s) const {
+    return ejected_[s].load(std::memory_order_acquire);
+  }
+
+  /// Routable: neither draining nor ejected.
+  bool ShardAvailable(size_t s) const {
+    return !ShardDraining(s) && !ShardEjected(s);
+  }
+
  private:
   ScoringFleet(const FleetOptions& options);
 
   FleetOptions options_;
   std::vector<std::unique_ptr<ThreadPool>> shard_pools_;
-  std::vector<std::unique_ptr<ScoringServer>> servers_;
+  /// Slots are written only by RestartShard, via the shared_ptr atomic
+  /// free functions; readers take owning refs through shard_ref(). The
+  /// vector itself never resizes after Create.
+  std::vector<std::shared_ptr<ScoringServer>> servers_;
   std::unique_ptr<std::atomic<bool>[]> draining_;
+  std::unique_ptr<std::atomic<bool>[]> ejected_;
   ShardRouter router_;
   std::mutex update_mu_;
+  /// Serializes RestartShard against itself (slot swaps are atomic for
+  /// readers; two concurrent restarts of one shard would leak a stop).
+  std::mutex restart_mu_;
   std::atomic<uint64_t> rolling_updates_{0};
+  std::atomic<uint64_t> rollbacks_{0};
+  std::atomic<uint64_t> ejections_{0};
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<uint64_t> readmissions_{0};
   std::atomic<bool> stopped_{false};
 };
 

@@ -2,9 +2,12 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "serve/snapshot_io.h"
+#include "util/fault.h"
+#include "util/logging.h"
 
 namespace fairdrift {
 
@@ -63,7 +66,8 @@ SnapshotWatcher::SnapshotWatcher(std::string path, Callback on_load,
                                  const SnapshotWatcherOptions& options)
     : path_(std::move(path)),
       on_load_(std::move(on_load)),
-      options_(options) {}
+      options_(options),
+      current_wait_(options.poll_interval) {}
 
 SnapshotWatcher::~SnapshotWatcher() { Stop(); }
 
@@ -86,17 +90,45 @@ void SnapshotWatcher::WatchLoop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      stop_cv_.wait_for(lock, options_.poll_interval,
-                        [this] { return stopping_; });
+      // current_wait_ stretches under repeated poll errors (PollOnce) and
+      // snaps back to poll_interval on the first clean poll.
+      std::chrono::milliseconds wait = current_wait_;
+      stop_cv_.wait_for(lock, wait, [this] { return stopping_; });
       if (stopping_) return;
       ++view_.polls;
+      if (wait > options_.poll_interval) ++view_.backoff_polls;
     }
     PollOnce();
   }
 }
 
+void SnapshotWatcher::RecordPollError(const Status& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++view_.failed_loads;
+  view_.last_error = error.ToString();
+  ++consecutive_poll_errors_;
+  if (consecutive_poll_errors_ >= options_.backoff_after &&
+      options_.backoff_multiplier > 1.0) {
+    auto stretched = std::chrono::milliseconds(static_cast<int64_t>(
+        static_cast<double>(
+            std::max(current_wait_, options_.poll_interval).count()) *
+        options_.backoff_multiplier));
+    current_wait_ = std::min(stretched, options_.max_backoff);
+  }
+}
+
+void SnapshotWatcher::RecordPollClean() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_poll_errors_ = 0;
+  current_wait_ = options_.poll_interval;
+}
+
 bool SnapshotWatcher::PollOnce() {
-  if (!FileExists(path_)) return false;  // not written yet
+  if (!FileExists(path_)) {
+    // Not written yet — not an error; keep polling at the base interval.
+    RecordPollClean();
+    return false;
+  }
   // Probe every poll. The steady-state cost is one open + two small
   // reads instead of a bare stat — the price of a correct identity:
   // comparing (mtime, size) here used to miss a save that landed within
@@ -106,30 +138,69 @@ bool SnapshotWatcher::PollOnce() {
   Result<SnapshotFileSignature> sig = ProbeSnapshotFile(path_);
   if (!sig.ok()) {
     // Torn by a non-atomic writer, or not a snapshot (yet). Record and
-    // retry next poll without advancing the baseline.
-    std::lock_guard<std::mutex> lock(mu_);
-    ++view_.failed_loads;
-    view_.last_error = sig.status().ToString();
+    // retry next poll without advancing the baseline; repeated errors
+    // stretch the poll interval.
+    RecordPollError(sig.status());
     return false;
   }
-  if (have_baseline_ && sig.value().file_size == seen_size_ &&
-      sig.value().checksum == seen_checksum_) {
+  RecordPollClean();
+  const std::pair<uint64_t, uint64_t> identity(sig.value().file_size,
+                                               sig.value().checksum);
+  if (have_baseline_ && identity.first == seen_size_ &&
+      identity.second == seen_checksum_) {
     return false;  // steady state: same bytes as what the caller serves
   }
-  Result<std::shared_ptr<const ModelSnapshot>> snapshot = LoadSnapshot(path_);
+  if (quarantined_.count(identity) != 0) {
+    // These exact bytes already failed quarantine_after loads; the same
+    // bytes fail the same way, so never try them again. The warning was
+    // logged when the identity was quarantined.
+    return false;
+  }
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      LoadSnapshot(path_, options_.load_mode, &report);
+  // Fault site: the verified load fails even though the probe passed
+  // (e.g. a section-level corruption) — feeds the quarantine counter.
+  if (snapshot.ok() && FAULT_POINT("watcher.load")) {
+    snapshot = Status::DataLoss(
+        "'" + path_ + "' failed its integrity check (injected fault: "
+        "watcher.load)");
+  }
   if (!snapshot.ok()) {
+    size_t failures = options_.quarantine_after == 0
+                          ? 0
+                          : ++identity_failures_[identity];
+    bool quarantine_now = options_.quarantine_after != 0 &&
+                          failures >= options_.quarantine_after;
+    if (quarantine_now) {
+      quarantined_.insert(identity);
+      identity_failures_.erase(identity);
+      FD_LOG_WARN << "SnapshotWatcher: quarantined snapshot identity (size="
+                  << identity.first << ", checksum=" << identity.second
+                  << ") at '" << path_ << "' after " << failures
+                  << " failed loads; still serving the previous snapshot. "
+                  << snapshot.status().ToString();
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++view_.failed_loads;
     view_.last_error = snapshot.status().ToString();
+    if (quarantine_now) {
+      view_.quarantined_identities = quarantined_.size();
+    }
     return false;
   }
+  identity_failures_.erase(identity);
   have_baseline_ = true;
-  seen_size_ = sig.value().file_size;
-  seen_checksum_ = sig.value().checksum;
+  seen_size_ = identity.first;
+  seen_checksum_ = identity.second;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++view_.reloads;
     view_.last_error.clear();
+    if (report.outcome == SnapshotLoadReport::Outcome::kDegraded) {
+      ++view_.degraded_loads;
+      view_.last_degraded_note = report.degraded_note;
+    }
   }
   on_load_(std::move(snapshot).value());
   return true;

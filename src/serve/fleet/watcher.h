@@ -19,8 +19,23 @@
 //
 // SaveSnapshot writes atomically (tmp + rename), so the watcher never
 // observes a half-written file; if a non-atomic writer hands it garbage
-// anyway, LoadSnapshot's checksum rejects it, the error lands in
-// stats().last_error, and the watcher simply retries next poll.
+// anyway, LoadSnapshot's checksum rejects it and the error lands in
+// stats().last_error.
+//
+// Failure handling:
+//   - QUARANTINE: an identity (size, checksum) that fails to load
+//     quarantine_after times is never loaded again — the same bytes
+//     deterministically fail the same way, so retrying forever only
+//     burns I/O and log noise. One warning is logged; the watcher keeps
+//     serving the old snapshot and a subsequent GOOD save (different
+//     identity) still hot-reloads normally.
+//   - BACKOFF: repeated probe/stat errors stretch the poll interval
+//     (exponential, capped) so a persistently unreadable path does not
+//     busy-poll; one clean probe snaps the interval back.
+//   - PARTIAL LOADS: with load_mode = kAllowPartial, a snapshot whose
+//     optional monitor tail is corrupt still deploys, serving with
+//     density monitoring disabled (stats().degraded_loads counts these,
+//     last_degraded_note says why).
 
 #ifndef FAIRDRIFT_SERVE_FLEET_WATCHER_H_
 #define FAIRDRIFT_SERVE_FLEET_WATCHER_H_
@@ -29,11 +44,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "serve/snapshot.h"
 #include "serve/snapshot_io.h"
@@ -51,6 +69,19 @@ struct SnapshotWatcherOptions {
   /// the caller's load and Start still fires. When unset, whatever file
   /// is on disk at Start becomes the baseline without firing.
   std::optional<SnapshotFileSignature> baseline;
+  /// Failed loads of ONE file identity before that identity is
+  /// quarantined (never retried; logged once). 0 disables quarantine.
+  size_t quarantine_after = 3;
+  /// How LoadSnapshot treats a damaged optional monitor section —
+  /// kAllowPartial deploys such snapshots degraded instead of counting
+  /// them as failed loads.
+  SnapshotLoadMode load_mode = SnapshotLoadMode::kStrict;
+  /// Consecutive probe/stat errors before the poll interval starts
+  /// backing off exponentially.
+  size_t backoff_after = 3;
+  /// Backoff growth per additional failed poll, capped at max_backoff.
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{5000};
 };
 
 /// Background poller that loads a snapshot path on change.
@@ -83,6 +114,14 @@ class SnapshotWatcher {
     uint64_t reloads = 0;        ///< snapshots loaded and delivered
     uint64_t failed_loads = 0;   ///< probe/load attempts that errored
     std::string last_error;      ///< most recent failure ("" when none)
+    /// File identities quarantined after repeated load failures.
+    uint64_t quarantined_identities = 0;
+    /// Polls that ran on a backed-off (stretched) interval.
+    uint64_t backoff_polls = 0;
+    /// Snapshots delivered degraded under kAllowPartial.
+    uint64_t degraded_loads = 0;
+    /// Why the most recent degraded load degraded ("" when none).
+    std::string last_degraded_note;
   };
   View stats() const;
 
@@ -95,6 +134,10 @@ class SnapshotWatcher {
   void WatchLoop();
   /// One poll step; returns true when the file changed and loaded.
   bool PollOnce();
+  /// Failed poll: records the error and stretches current_wait_.
+  void RecordPollError(const Status& error);
+  /// Clean poll: resets the error streak and current_wait_.
+  void RecordPollClean();
 
   std::string path_;
   Callback on_load_;
@@ -110,6 +153,14 @@ class SnapshotWatcher {
   bool have_baseline_ = false;
   uint64_t seen_size_ = 0;
   uint64_t seen_checksum_ = 0;
+
+  // Quarantine bookkeeping (watcher thread only), keyed by identity.
+  std::map<std::pair<uint64_t, uint64_t>, size_t> identity_failures_;
+  std::set<std::pair<uint64_t, uint64_t>> quarantined_;
+
+  // Poll backoff (current_wait_ read by the loop under mu_).
+  size_t consecutive_poll_errors_ = 0;
+  std::chrono::milliseconds current_wait_{0};
 
   std::thread thread_;
 };

@@ -1,5 +1,7 @@
 #include "serve/request_queue.h"
 
+#include "util/fault.h"
+
 namespace fairdrift {
 
 bool RequestQueue::TryPush(PendingRequest&& request) {
@@ -16,6 +18,9 @@ size_t RequestQueue::PopBatch(size_t max_items,
                               std::chrono::nanoseconds max_wait,
                               std::vector<PendingRequest>* out) {
   if (max_items == 0) return 0;
+  // Fault site: kDelay rules stall the dispatcher here (before the lock)
+  // to widen the pop-to-ack window the drain barrier must cover.
+  (void)FAULT_POINT("queue.pop");
   std::unique_lock<std::mutex> lock(mu_);
   ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
   if (items_.empty()) return 0;  // closed and drained

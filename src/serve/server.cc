@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -98,6 +99,12 @@ size_t ScoringServer::inflight_batches() const {
 
 Status ScoringServer::Quiesce(std::chrono::nanoseconds timeout,
                               bool require_empty_queue) const {
+  // Fault site: a forced drain stall, typed exactly like the real one so
+  // it flows through the rolling update's retry/rollback machinery.
+  if (FAULT_POINT_ARG("fleet.drain", options_.fault_tag)) {
+    return Status::DeadlineExceeded(
+        "Quiesce: server did not drain (injected fault: fleet.drain)");
+  }
   auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(inflight_mu_);
   for (;;) {
@@ -199,6 +206,10 @@ void ScoringServer::DispatchLoop() {
 }
 
 void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
+  // Fault site: a kWedge rule blocks this batch worker inside Hit()
+  // until the rule is cleared — the wedged-shard scenario the health
+  // monitor must detect (pending work, no dispatcher progress).
+  (void)FAULT_POINT_ARG("server.wedge", options_.fault_tag);
   // One immutable snapshot per batch: requests in this batch all score
   // the same model state even if a swap lands mid-batch.
   std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();

@@ -56,6 +56,10 @@ struct ServerOptions {
   /// that survives snapshot hot-swaps (it applies to whatever snapshot
   /// is current). Unset = honor each snapshot's persisted spec.
   std::optional<MonitorSpec> monitor_override;
+  /// Opaque tag passed to this server's fault-injection sites
+  /// (FAULT_POINT_ARG), so a rule can target one server of a fleet.
+  /// ScoringFleet sets it to the shard index.
+  uint64_t fault_tag = 0;
 };
 
 /// Asynchronous micro-batching scoring server over immutable snapshots.

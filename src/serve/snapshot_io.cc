@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "cc/constraint.h"
 #include "ml/model_io.h"
 #include "util/binary_io.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -219,8 +221,25 @@ Status SaveSnapshotV1(const ModelSnapshot& snapshot,
 
 Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     const std::string& path) {
+  SnapshotLoadReport report;
+  return LoadSnapshot(path, SnapshotLoadMode::kStrict, &report);
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
+    const std::string& path, SnapshotLoadMode mode,
+    SnapshotLoadReport* report) {
+  if (report == nullptr) {
+    return Status::InvalidArgument("LoadSnapshot: null report");
+  }
+  *report = SnapshotLoadReport{};
   Result<std::string> bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
+  // Fault site: a torn read — as if the file changed under us mid-read.
+  if (FAULT_POINT("snapshot.load")) {
+    return Status::DataLoss(
+        "'" + path + "' failed its integrity check (injected fault: "
+        "snapshot.load)");
+  }
   const std::string& file = bytes.value();
   if (file.size() < sizeof(kMagic) + 12 ||
       std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -333,63 +352,94 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     parts.has_profile = true;
   }
 
-  Result<uint8_t> has_density = r.ReadU8();
-  if (!has_density.ok()) return has_density.status();
-  if (has_density.value() != 0) {
-    Result<KdeOptions> options = DeserializeKdeOptions(&r);
-    if (!options.ok()) return options.status();
-    Result<double> floor = r.ReadDouble();
-    if (!floor.ok()) return floor.status();
-    if (version.value() >= 2) {
-      // v2: the fitted estimator (flat tree included) travels whole — an
-      // O(n) read with no refit and no resident training-matrix copy.
-      Result<KernelDensity> density = KernelDensity::LoadFittedFrom(&r);
-      if (!density.ok()) return density.status();
-      if (density.value().bandwidth().size() !=
-          parts.schema.num_numeric()) {
-        return Status::DataLoss(
-            "snapshot density estimator width disagrees with the schema");
+  // Optional monitor tail: density estimator + MonitorSpec. The core
+  // sections above (schema, encoder, models, profile) determine the
+  // scores; everything from here on only configures drift monitoring —
+  // which is what kAllowPartial is allowed to sacrifice.
+  auto parse_monitor_tail = [&]() -> Status {
+    // Fault site: the density section is unreadable even though the
+    // whole-file checksum passed (e.g. a schema-level corruption).
+    if (FAULT_POINT("snapshot.density")) {
+      return Status::DataLoss(
+          "snapshot density section unreadable (injected fault: "
+          "snapshot.density)");
+    }
+    Result<uint8_t> has_density = r.ReadU8();
+    if (!has_density.ok()) return has_density.status();
+    if (has_density.value() != 0) {
+      Result<KdeOptions> options = DeserializeKdeOptions(&r);
+      if (!options.ok()) return options.status();
+      Result<double> floor = r.ReadDouble();
+      if (!floor.ok()) return floor.status();
+      if (version.value() >= 2) {
+        // v2: the fitted estimator (flat tree included) travels whole —
+        // an O(n) read with no refit and no resident training-matrix
+        // copy.
+        Result<KernelDensity> density = KernelDensity::LoadFittedFrom(&r);
+        if (!density.ok()) return density.status();
+        if (density.value().bandwidth().size() !=
+            parts.schema.num_numeric()) {
+          return Status::DataLoss(
+              "snapshot density estimator width disagrees with the schema");
+        }
+        parts.density =
+            std::make_shared<const KernelDensity>(std::move(density).value());
+      } else {
+        // v1 compatibility: the density section carries the raw training
+        // matrix; refit deterministically (identical data + options
+        // rebuild a bitwise-identical estimator) and then DROP the
+        // matrix — even legacy files no longer pay the resident copy.
+        Result<Matrix> train = Matrix::DeserializeFrom(&r);
+        if (!train.ok()) return train.status();
+        if (train.value().cols() != parts.schema.num_numeric()) {
+          return Status::DataLoss(
+              "snapshot density matrix width disagrees with the schema");
+        }
+        Result<KernelDensity> density =
+            KernelDensity::Fit(train.value(), options.value());
+        if (!density.ok()) return density.status();
+        parts.density =
+            std::make_shared<const KernelDensity>(std::move(density).value());
       }
-      parts.density =
-          std::make_shared<const KernelDensity>(std::move(density).value());
-    } else {
-      // v1 compatibility: the density section carries the raw training
-      // matrix; refit deterministically (identical data + options
-      // rebuild a bitwise-identical estimator) and then DROP the matrix
-      // — even legacy files no longer pay the resident copy.
-      Result<Matrix> train = Matrix::DeserializeFrom(&r);
-      if (!train.ok()) return train.status();
-      if (train.value().cols() != parts.schema.num_numeric()) {
-        return Status::DataLoss(
-            "snapshot density matrix width disagrees with the schema");
+      parts.density_floor = floor.value();
+      parts.density_options = options.value();
+    }
+
+    if (version.value() >= 3) {
+      Result<uint8_t> monitor_mode = r.ReadU8();
+      if (!monitor_mode.ok()) return monitor_mode.status();
+      if (monitor_mode.value() > static_cast<uint8_t>(MonitorMode::kSampled)) {
+        return Status::DataLoss("snapshot carries an unknown monitor mode");
       }
-      Result<KernelDensity> density =
-          KernelDensity::Fit(train.value(), options.value());
-      if (!density.ok()) return density.status();
-      parts.density =
-          std::make_shared<const KernelDensity>(std::move(density).value());
+      parts.monitor.mode = static_cast<MonitorMode>(monitor_mode.value());
+      Result<uint32_t> modulus = r.ReadU32();
+      if (!modulus.ok()) return modulus.status();
+      if (modulus.value() == 0) {
+        return Status::DataLoss("snapshot monitor sample modulus is zero");
+      }
+      parts.monitor.sample_modulus = modulus.value();
     }
-    parts.density_floor = floor.value();
-    parts.density_options = options.value();
-  }
 
-  if (version.value() >= 3) {
-    Result<uint8_t> mode = r.ReadU8();
-    if (!mode.ok()) return mode.status();
-    if (mode.value() > static_cast<uint8_t>(MonitorMode::kSampled)) {
-      return Status::DataLoss("snapshot carries an unknown monitor mode");
+    if (r.remaining() != 0) {
+      return Status::DataLoss("'" + path + "' carries trailing bytes");
     }
-    parts.monitor.mode = static_cast<MonitorMode>(mode.value());
-    Result<uint32_t> modulus = r.ReadU32();
-    if (!modulus.ok()) return modulus.status();
-    if (modulus.value() == 0) {
-      return Status::DataLoss("snapshot monitor sample modulus is zero");
-    }
-    parts.monitor.sample_modulus = modulus.value();
-  }
-
-  if (r.remaining() != 0) {
-    return Status::DataLoss("'" + path + "' carries trailing bytes");
+    return Status::OK();
+  };
+  Status tail = parse_monitor_tail();
+  if (!tail.ok()) {
+    if (mode == SnapshotLoadMode::kStrict) return tail;
+    // Graceful degradation: serve the intact models with the monitor
+    // dropped. Scoring is bitwise-identical to the full snapshot with
+    // monitoring off (density_checked = false on every result).
+    parts.density = nullptr;
+    parts.density_floor = -std::numeric_limits<double>::infinity();
+    parts.density_options = KdeOptions{};
+    parts.monitor = MonitorSpec{};
+    report->outcome = SnapshotLoadReport::Outcome::kDegraded;
+    report->degraded_note = StrFormat(
+        "monitor sections dropped (%s); serving with density monitoring "
+        "disabled",
+        tail.message().c_str());
   }
   Result<std::shared_ptr<const ModelSnapshot>> snapshot =
       ModelSnapshot::Create(std::move(parts));

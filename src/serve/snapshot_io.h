@@ -67,12 +67,43 @@ Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
 Status SaveSnapshotV1(const ModelSnapshot& snapshot,
                       const Matrix& density_train, const std::string& path);
 
+/// How strictly LoadSnapshot treats a damaged optional section.
+enum class SnapshotLoadMode {
+  /// Any parse failure rejects the whole file (the default).
+  kStrict = 0,
+  /// Core sections (schema, encoder, models, profile) must still parse
+  /// and checksum intact — but a corrupt OPTIONAL monitor tail (density
+  /// estimator / MonitorSpec) degrades to serving without monitoring
+  /// instead of rejecting the file. Scores are bitwise-identical to the
+  /// intact snapshot with monitoring off; only drift detection is lost.
+  kAllowPartial = 1,
+};
+
+/// What a mode-aware LoadSnapshot actually did.
+struct SnapshotLoadReport {
+  enum class Outcome {
+    kComplete = 0,  ///< every section loaded
+    kDegraded = 1,  ///< monitor tail dropped under kAllowPartial
+  };
+  Outcome outcome = Outcome::kComplete;
+  /// Why the load degraded (empty when complete) — the typed note the
+  /// watcher and CLI surface to operators.
+  std::string degraded_note;
+};
+
 /// Reads a snapshot file written by SaveSnapshot (possibly by another
 /// process, possibly in an older supported format version). The result
 /// carries a fresh process-local version stamp — snapshot versions order
 /// swaps within a server, not across processes.
 Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     const std::string& path);
+
+/// Mode-aware load. `report` (required) records whether the snapshot
+/// loaded complete or degraded; under kStrict it is always kComplete on
+/// success.
+Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
+    const std::string& path, SnapshotLoadMode mode,
+    SnapshotLoadReport* report);
 
 /// Cheap identity probe of a snapshot file: reads only the fixed-size
 /// header and the trailing checksum (no payload parse, no model

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace fairdrift {
@@ -200,6 +201,21 @@ Status WriteFileBytesAtomic(const std::string& path,
       "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
       static_cast<unsigned long long>(
           tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+  // Fault sites: a writer that dies (or errors) mid-write must leave
+  // only a torn TMP file behind — the rename below is what publishes,
+  // so the target stays intact either way. snapshot.save.crash is the
+  // crash-during-save smoke: write half, then die like a SIGKILLed
+  // trainer.
+  if (FAULT_POINT("snapshot.save.crash")) {
+    (void)WriteFileBytes(tmp, payload.substr(0, payload.size() / 2));
+    _exit(42);
+  }
+  if (FAULT_POINT("snapshot.save.partial")) {
+    (void)WriteFileBytes(tmp, payload.substr(0, payload.size() / 2));
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to '" + tmp +
+                           "' (injected fault: snapshot.save.partial)");
+  }
   Status written = WriteFileBytes(tmp, payload);
   if (!written.ok()) {
     // Don't strand a partial temp file (each call uses a fresh name, so

@@ -1,0 +1,228 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace fairdrift {
+namespace {
+
+// SplitMix64 finalizer — the per-hit coin must be a high-quality mix of
+// (seed, site, index) so neighbouring hit indices decorrelate.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Deterministic coin for hit `index` at `site` under `seed`: fires iff
+// the mixed value, mapped to [0, 1), falls under `probability`.
+bool CoinFires(uint64_t seed, uint64_t site_hash, uint64_t index,
+               double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  uint64_t v = Mix64(seed ^ Mix64(site_hash ^ Mix64(index)));
+  double unit = static_cast<double>(v >> 11) * 0x1.0p-53;
+  return unit < probability;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [site, state] : sites_) {
+    state.hits = 0;
+    state.fires = 0;
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  for (auto& [site, state] : sites_) {
+    state.has_rule = false;
+    ++state.wedge_generation;
+  }
+  wedge_cv_.notify_all();
+}
+
+uint64_t FaultInjector::fault_seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+void FaultInjector::SetRule(const std::string& site, const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.rule = rule;
+  state.has_rule = true;
+}
+
+void FaultInjector::ClearRule(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.has_rule = false;
+  ++it->second.wedge_generation;
+  wedge_cv_.notify_all();
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+bool FaultInjector::Hit(const char* site_cstr, uint64_t arg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::string site(site_cstr);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Unruled sites still count hits so tests can assert coverage.
+    SiteState& state = sites_[site];
+    ++state.hits;
+    return false;
+  }
+  SiteState& state = it->second;
+  uint64_t index = state.hits++;
+  if (!state.has_rule) return false;
+  const FaultRule& rule = state.rule;
+  if (rule.arg.has_value() && *rule.arg != arg) return false;
+  if (index < rule.skip) return false;
+  if (state.fires >= rule.max_fires) return false;
+  if (!CoinFires(seed_, HashSite(site), index, rule.probability)) return false;
+  ++state.fires;
+
+  switch (rule.action) {
+    case FaultAction::kFail:
+      return true;
+    case FaultAction::kDelay: {
+      auto delay = rule.delay;
+      lock.unlock();
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      return false;
+    }
+    case FaultAction::kWedge: {
+      // Block until the rule is cleared or the injector disarmed; the
+      // generation bump distinguishes "released" from spurious wakes.
+      uint64_t entered = state.wedge_generation;
+      wedge_cv_.wait(lock, [&] {
+        auto sit = sites_.find(site);
+        return sit == sites_.end() || sit->second.wedge_generation != entered;
+      });
+      return false;
+    }
+  }
+  return false;
+}
+
+Status FaultInjector::ArmFromEnv() {
+  const char* seed_env = std::getenv("FAULT_SEED");
+  if (seed_env == nullptr || seed_env[0] == '\0') return Status::OK();
+  char* end = nullptr;
+  uint64_t seed = std::strtoull(seed_env, &end, 10);
+  if (end == seed_env || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("FAULT_SEED is not a u64: '%s'", seed_env));
+  }
+
+  const char* sites_env = std::getenv("FAULT_SITES");
+  std::vector<std::pair<std::string, FaultRule>> rules;
+  if (sites_env != nullptr && sites_env[0] != '\0') {
+    std::string spec(sites_env);
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t semi = spec.find(';', pos);
+      std::string entry = spec.substr(
+          pos, semi == std::string::npos ? std::string::npos : semi - pos);
+      pos = semi == std::string::npos ? spec.size() : semi + 1;
+      if (entry.empty()) continue;
+
+      size_t colon = entry.find(':');
+      std::string site = entry.substr(0, colon);
+      if (site.empty()) {
+        return Status::InvalidArgument(StrFormat("FAULT_SITES entry has no site: '%s'",
+                                entry.c_str()));
+      }
+      FaultRule rule;
+      if (colon != std::string::npos) {
+        std::string kvs = entry.substr(colon + 1);
+        size_t kpos = 0;
+        while (kpos < kvs.size()) {
+          size_t comma = kvs.find(',', kpos);
+          std::string kv = kvs.substr(
+              kpos,
+              comma == std::string::npos ? std::string::npos : comma - kpos);
+          kpos = comma == std::string::npos ? kvs.size() : comma + 1;
+          if (kv.empty()) continue;
+          size_t eq = kv.find('=');
+          if (eq == std::string::npos) {
+            return Status::InvalidArgument(StrFormat(
+                "FAULT_SITES key without value: '%s'", kv.c_str()));
+          }
+          std::string key = kv.substr(0, eq);
+          std::string val = kv.substr(eq + 1);
+          if (key == "action") {
+            if (val == "fail") {
+              rule.action = FaultAction::kFail;
+            } else if (val == "delay") {
+              rule.action = FaultAction::kDelay;
+            } else if (val == "wedge") {
+              rule.action = FaultAction::kWedge;
+            } else {
+              return Status::InvalidArgument(StrFormat(
+                  "FAULT_SITES unknown action: '%s'", val.c_str()));
+            }
+          } else if (key == "skip") {
+            rule.skip = std::strtoull(val.c_str(), nullptr, 10);
+          } else if (key == "fires") {
+            rule.max_fires = std::strtoull(val.c_str(), nullptr, 10);
+          } else if (key == "p") {
+            rule.probability = std::strtod(val.c_str(), nullptr);
+          } else if (key == "delay_ms") {
+            rule.delay = std::chrono::milliseconds(
+                std::strtoull(val.c_str(), nullptr, 10));
+          } else if (key == "arg") {
+            rule.arg = std::strtoull(val.c_str(), nullptr, 10);
+          } else {
+            return Status::InvalidArgument(StrFormat(
+                "FAULT_SITES unknown key: '%s'", key.c_str()));
+          }
+        }
+      }
+      rules.emplace_back(std::move(site), rule);
+    }
+  }
+
+  for (const auto& [site, rule] : rules) SetRule(site, rule);
+  Arm(seed);
+  return Status::OK();
+}
+
+}  // namespace fairdrift
