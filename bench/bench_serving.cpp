@@ -16,6 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include "bench_common/bench_json.h"
 #include "core/deployment.h"
 #include "kde/negexp.h"
+#include "serve/audit/auditor.h"
 #include "serve/server.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -138,12 +140,14 @@ struct ThroughputProbe {
 ThroughputProbe RunThroughputProbe(
     const std::shared_ptr<const ModelSnapshot>& snapshot,
     size_t max_batch_size, size_t num_requests, size_t num_clients,
-    std::optional<MonitorSpec> monitor = std::nullopt) {
+    std::optional<MonitorSpec> monitor = std::nullopt,
+    ShardAuditor* audit = nullptr) {
   ServerOptions options;
   options.batching.max_batch_size = max_batch_size;
   options.batching.max_batch_delay = std::chrono::microseconds{200};
   options.admission.max_queue_depth = num_requests + num_clients;
   options.monitor_override = monitor;
+  options.audit = audit;
   Result<std::unique_ptr<ScoringServer>> server =
       ScoringServer::Create(snapshot, options);
   ThroughputProbe probe;
@@ -163,7 +167,12 @@ ThroughputProbe RunThroughputProbe(
       std::vector<ScoreTicket> tickets;
       tickets.reserve(num_requests / num_clients + 1);
       for (size_t i = c; i < num_requests; i += num_clients) {
-        Result<ScoreTicket> ticket = server.value()->Submit(rows[i]);
+        Result<ScoreTicket> ticket =
+            audit == nullptr
+                ? server.value()->Submit(rows[i])
+                : server.value()->Submit(
+                      rows[i],
+                      RequestAuditInfo{static_cast<int>(i % 2), -1});
         if (ticket.ok()) tickets.push_back(std::move(ticket).value());
       }
       for (ScoreTicket& t : tickets) (void)t.Wait();
@@ -303,6 +312,41 @@ bool WriteServingBenchJson() {
   double ratio_bounded = tax(bounded);
   double ratio_sampled = tax(sampled);
 
+  // The fairness-audit tax: the same batched workload with a ShardAuditor
+  // folding every scored row into 2048-row windows and an async writer
+  // logging completed windows. Measured against an adjacent unaudited run
+  // (best of two each) so the ratio reflects the fold, not machine drift.
+  // The audit tier's acceptance budget is <= 1.1x.
+  const char* audit_log_path = "/tmp/fairdrift_bench_audit.jsonl";
+  std::remove(audit_log_path);
+  AuditOptions audit_options;
+  audit_options.enabled = true;
+  audit_options.window_size = 2048;
+  audit_options.log_path = audit_log_path;
+  Result<std::unique_ptr<FleetAuditor>> auditor =
+      FleetAuditor::Create(audit_options, 1, snapshot->num_features());
+  ThroughputProbe unaudited2 =
+      RunThroughputProbe(snapshot, 128, kRequests, kClients);
+  ThroughputProbe audited;
+  ThroughputProbe audited2;
+  if (auditor.ok()) {
+    audited = RunThroughputProbe(snapshot, 128, kRequests, kClients,
+                                 std::nullopt, auditor.value()->shard(0));
+    audited2 = RunThroughputProbe(snapshot, 128, kRequests, kClients,
+                                  std::nullopt, auditor.value()->shard(0));
+    (void)auditor.value()->Flush();
+  } else {
+    std::fprintf(stderr, "auditor create failed: %s\n",
+                 auditor.status().ToString().c_str());
+  }
+  double best_unaudited =
+      std::max(batched.requests_per_sec, unaudited2.requests_per_sec);
+  double best_audited =
+      std::max(audited.requests_per_sec, audited2.requests_per_sec);
+  double audit_overhead =
+      best_audited > 0.0 ? best_unaudited / best_audited : 0.0;
+  std::remove(audit_log_path);
+
   BenchJsonSection section;
   section.name = "serving";
   section.metrics = {
@@ -327,6 +371,9 @@ bool WriteServingBenchJson() {
       {"monitoring_tax_exact", ratio_exact},
       {"monitoring_tax_bounded", ratio_bounded},
       {"monitoring_tax_sampled", ratio_sampled},
+      {"audited_requests_per_sec", best_audited},
+      {"audited_p99_us", audited.p99_us},
+      {"audit_overhead_x", audit_overhead},
       {"has_avx2", HasAvx2() ? 1.0 : 0.0},
   };
   bool scratch_ok = ProbeScratchAllocations(snapshot, &section);
@@ -343,6 +390,10 @@ bool WriteServingBenchJson() {
                "(avx2=%d)\n",
                ratio_exact, ratio_bounded, ratio_sampled,
                HasAvx2() ? 1 : 0);
+  std::fprintf(stderr,
+               "audit tax: %.0f req/s unaudited vs %.0f req/s audited "
+               "-> %.2fx\n",
+               best_unaudited, best_audited, audit_overhead);
 
   // Gate the monitoring tax, but only on AVX2 hardware — the ratios were
   // budgeted for the SIMD leaf kernels, and a scalar-only box should not
@@ -361,6 +412,12 @@ bool WriteServingBenchJson() {
                    "FAIL: sampled monitoring tax %.2fx exceeds the 1.2x "
                    "budget\n",
                    ratio_sampled);
+      tax_ok = false;
+    }
+    if (audit_overhead <= 0.0 || audit_overhead > 1.1) {
+      std::fprintf(stderr,
+                   "FAIL: audit overhead %.2fx exceeds the 1.1x budget\n",
+                   audit_overhead);
       tax_ok = false;
     }
   }

@@ -46,11 +46,14 @@
 //       FAULT_SEED / FAULT_SITES env vars arm deterministic fault
 //       injection (see src/util/fault.h).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common/experiment.h"
 #include "bench_common/table.h"
@@ -62,6 +65,8 @@
 #include "data/weights_io.h"
 #include "data/split.h"
 #include "datagen/realworld.h"
+#include "serve/audit/audit_log.h"
+#include "serve/audit/replay.h"
 #include "serve/fleet/fleet.h"
 #include "serve/fleet/health.h"
 #include "serve/fleet/watcher.h"
@@ -325,6 +330,10 @@ int CmdSnapshotSave(const CliFlags& flags) {
     spec.confair.alpha_w = spec.confair.alpha_u / 2.0;
   }
   if (flags.Has("no-density")) spec.include_density = false;
+  // --group-field: persist which categorical request field carries the
+  // sensitive group id (snapshot format v4), so the serving audit tier
+  // windows fairness metrics without clients attaching group metadata.
+  spec.audit_group_field = flags.GetString("group-field", "");
   // The monitoring policy rides with the artifact (snapshot format v3):
   // whatever is chosen here is what every server loading this snapshot
   // runs, unless a deployment overrides it with serve --monitor.
@@ -499,6 +508,38 @@ int CmdServe(const CliFlags& flags) {
     if (!ParseMonitorFlag(flags, &override_spec)) return 1;
     options.shard.monitor_override = override_spec;
   }
+  // Fairness audit tier: --audit-log (or --audit-window) turns it on.
+  if (flags.Has("audit-log") || flags.Has("audit-window")) {
+    options.audit.enabled = true;
+    options.audit.log_path = flags.GetString("audit-log", "");
+    long window = flags.GetInt("audit-window", 256);
+    if (window <= 0) {
+      std::fprintf(stderr, "--audit-window must be positive\n");
+      return 1;
+    }
+    options.audit.window_size = static_cast<size_t>(window);
+    options.audit.alert.di_star_floor = flags.GetDouble("di-floor", 0.8);
+    options.audit.alert.spd_ceiling = flags.GetDouble("spd-ceiling", 1.0);
+    options.audit.alert.eod_ceiling = flags.GetDouble("eod-ceiling", 1.0);
+    options.audit.alert.trigger_windows =
+        static_cast<size_t>(flags.GetInt("alert-after", 2));
+    options.audit.alert.clear_windows =
+        static_cast<size_t>(flags.GetInt("alert-clear", 2));
+    options.audit.fsync_each_append = flags.GetBool("audit-fsync", false);
+    std::string rows_mode = ToLower(flags.GetString("audit-rows", "flagged"));
+    if (rows_mode == "flagged") {
+      options.audit.row_logging = AuditRowLogging::kFlaggedWindows;
+    } else if (rows_mode == "all") {
+      options.audit.row_logging = AuditRowLogging::kAll;
+    } else if (rows_mode == "none") {
+      options.audit.row_logging = AuditRowLogging::kNone;
+    } else {
+      std::fprintf(stderr,
+                   "--audit-rows must be flagged, all, or none (got '%s')\n",
+                   rows_mode.c_str());
+      return 1;
+    }
+  }
   Result<std::unique_ptr<ScoringFleet>> fleet =
       ScoringFleet::Create(snapshot.value(), options);
   if (!fleet.ok()) {
@@ -535,6 +576,115 @@ int CmdServe(const CliFlags& flags) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
       return 1;
     }
+  }
+
+  // Periodic status lines (--status-ms): one "status:" line with each
+  // shard's served snapshot version, queue depth, and density outlier
+  // rate, plus one greppable "audit:" line when the audit tier is on.
+  ScoringFleet* fleet_raw = fleet.value().get();
+  auto print_status = [fleet_raw] {
+    FleetStatsView fs = fleet_raw->stats();
+    std::string line = "status:";
+    for (size_t s = 0; s < fs.num_shards; ++s) {
+      line += StrFormat(
+          " shard%zu[v=%llu q=%zu outlier=%.4f%s]", s,
+          static_cast<unsigned long long>(fs.shard_versions[s]),
+          fs.queue_depths[s], fs.shard_outlier_rates[s],
+          fs.shard_ejected[s] != 0 ? " EJECTED" : "");
+    }
+    std::printf("%s\n", line.c_str());
+    if (fs.audit.enabled) {
+      const FleetAuditView& a = fs.audit;
+      std::printf(
+          "audit: obs=%llu windows=%llu breaches=%llu alerts=%llu "
+          "alerting=%zu fleet[w=%llu b=%llu a=%llu%s dropped=%llu] "
+          "di*=%.4f spd=%.4f log[%llu rec, %llu fail]%s%s\n",
+          static_cast<unsigned long long>(a.observations),
+          static_cast<unsigned long long>(a.windows),
+          static_cast<unsigned long long>(a.breaches),
+          static_cast<unsigned long long>(a.alerts_raised),
+          a.shards_alerting,
+          static_cast<unsigned long long>(a.fleet_windows),
+          static_cast<unsigned long long>(a.fleet_breaches),
+          static_cast<unsigned long long>(a.fleet_alerts_raised),
+          a.fleet_alert_active ? " ACTIVE" : "",
+          static_cast<unsigned long long>(a.fleet_windows_dropped),
+          a.cumulative.di_star, a.cumulative.spd,
+          static_cast<unsigned long long>(a.log_records),
+          static_cast<unsigned long long>(a.log_failures),
+          a.log_last_error.empty() ? "" : "; last error: ",
+          a.log_last_error.c_str());
+    }
+    std::fflush(stdout);
+  };
+  struct StatusLoop {
+    std::atomic<bool> stop{false};
+    std::thread thread;
+    ~StatusLoop() {
+      stop.store(true);
+      if (thread.joinable()) thread.join();
+    }
+  } status_loop;
+  long status_ms = flags.GetInt("status-ms", 0);
+  if (status_ms > 0) {
+    status_loop.thread = std::thread([&status_loop, status_ms, print_status] {
+      while (!status_loop.stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(status_ms));
+        if (status_loop.stop.load()) break;
+        print_status();
+      }
+    });
+  }
+
+  // --drive-rows: synthesize labeled two-group traffic through the fleet
+  // so the audit tier has something to window. Group g's rows carry code
+  // g in the snapshot's group field (when it declares one) AND explicit
+  // RequestAuditInfo metadata with a deterministic ground-truth label, so
+  // DI/SPD *and* the equalized-odds metrics are all live. --drive-drift
+  // shifts group 1's numeric attributes off the training manifold — the
+  // drifted-traffic scenario whose skewed predictions trip the alert.
+  size_t drive_rows = static_cast<size_t>(flags.GetInt("drive-rows", 0));
+  if (drive_rows > 0) {
+    double drift = flags.GetDouble("drive-drift", 0.0);
+    Rng drive_rng(static_cast<uint64_t>(flags.GetInt("drive-seed", 7)));
+    int gf = snapshot.value()->group_field();
+    std::vector<ScoreTicket> tickets;
+    tickets.reserve(drive_rows);
+    size_t shed = 0;
+    for (size_t i = 0; i < drive_rows; ++i) {
+      int group = static_cast<int>(i % 2);
+      std::vector<double> row(schema.num_fields());
+      for (size_t j = 0; j < schema.num_fields(); ++j) {
+        const FieldSpec& field = schema.field(j);
+        row[j] = field.type == ColumnType::kNumeric
+                     ? drive_rng.Gaussian() + (group == 1 ? drift : 0.0)
+                     : static_cast<double>(
+                           drive_rng.UniformInt(0, field.num_categories - 1));
+      }
+      if (gf >= 0) row[static_cast<size_t>(gf)] = static_cast<double>(group);
+      RequestAuditInfo info;
+      info.group = group;
+      // Deterministic ground truth with a real group gap, so the
+      // equalized-odds windows measure something nonzero.
+      info.label = drive_rng.Uniform() < (group == 1 ? 0.35 : 0.6) ? 1 : 0;
+      Result<ScoreTicket> ticket = fleet.value()->Submit(row, info);
+      if (!ticket.ok()) {
+        ++shed;
+        continue;
+      }
+      tickets.push_back(std::move(ticket).value());
+    }
+    for (ScoreTicket& ticket : tickets) (void)ticket.Wait();
+    if (fleet.value()->auditor() != nullptr) {
+      Status flushed = fleet.value()->auditor()->Flush();
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "audit flush: %s\n",
+                     flushed.ToString().c_str());
+      }
+    }
+    std::printf("drive: scored %zu row(s) (%zu shed, drift %.2f)\n",
+                tickets.size(), shed, drift);
+    print_status();
   }
 
   // Hot-reload loop: watch the file and roll every new snapshot through
@@ -652,6 +802,99 @@ int CmdSnapshot(const CliFlags& flags) {
   return 1;
 }
 
+// ---------------------------------------------------------------- audit
+
+std::string AuditLogArg(const CliFlags& flags) {
+  if (flags.positional().size() >= 3) return flags.positional()[2];
+  return flags.GetString("in", "");
+}
+
+/// `audit verify <log>`: walk the checksum chain. Exit 0 on an intact
+/// log (a torn final record — the crash signature — is tolerated with a
+/// warning); on corruption the exit code is the numeric StatusCode
+/// (kDataLoss), so scripts can distinguish "damaged evidence" from
+/// ordinary failures.
+int CmdAuditVerify(const CliFlags& flags) {
+  std::string path = AuditLogArg(flags);
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: fairdrift_cli audit verify <log>\n");
+    return 1;
+  }
+  Result<AuditVerifyReport> report = VerifyAuditLog(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return static_cast<int>(report.status().code());
+  }
+  const AuditVerifyReport& r = report.value();
+  std::printf("verified %s: %llu record(s), %llu byte(s), chain %016llx\n",
+              path.c_str(), static_cast<unsigned long long>(r.records),
+              static_cast<unsigned long long>(r.good_bytes),
+              static_cast<unsigned long long>(r.chain));
+  if (r.torn_tail) {
+    std::printf("warning: torn final record (%llu trailing byte(s), no "
+                "newline) — a crash mid-append; every complete record "
+                "verified\n",
+                static_cast<unsigned long long>(r.torn_bytes));
+  }
+  return 0;
+}
+
+/// `audit replay --snapshot FILE <log>`: re-score every logged window's
+/// raw rows against the snapshot and check the recomputed metrics —
+/// scores, tallies, DI/DI*/SPD/EOD — are bitwise identical to what the
+/// serving fleet logged.
+int CmdAuditReplay(const CliFlags& flags) {
+  std::string path = AuditLogArg(flags);
+  std::string snap_path = flags.GetString("snapshot", "");
+  if (path.empty() || snap_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: fairdrift_cli audit replay --snapshot FILE <log>\n");
+    return 1;
+  }
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      LoadSnapshot(snap_path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Result<ReplayReport> replay = ReplayAuditLog(path, *snapshot.value());
+  if (!replay.ok()) {
+    std::fprintf(stderr, "%s\n", replay.status().ToString().c_str());
+    return static_cast<int>(replay.status().code());
+  }
+  const ReplayReport& r = replay.value();
+  for (const ReplayWindowResult& w : r.windows) {
+    std::printf("  shard %d window %llu (%zu rows%s): %s%s%s\n", w.shard,
+                static_cast<unsigned long long>(w.window_index), w.rows,
+                w.breach ? ", FLAGGED" : "",
+                w.matched ? "bitwise match" : "MISMATCH",
+                w.detail.empty() ? "" : " — ", w.detail.c_str());
+  }
+  std::printf("replayed %s against %s: %llu record(s), %zu window(s), "
+              "%zu matched, %zu flagged%s\n",
+              path.c_str(), snap_path.c_str(),
+              static_cast<unsigned long long>(r.log_records),
+              r.windows_replayed, r.windows_matched, r.flagged_replayed,
+              r.torn_tail ? " (torn tail tolerated)" : "");
+  if (r.windows_replayed == 0) {
+    std::fprintf(stderr,
+                 "nothing to replay: the log carries no rows records (was "
+                 "the fleet run with --audit-rows none, or did no window "
+                 "get flagged?)\n");
+    return 1;
+  }
+  return r.all_matched() ? 0 : 1;
+}
+
+int CmdAudit(const CliFlags& flags) {
+  std::string sub =
+      flags.positional().size() < 2 ? "" : flags.positional()[1];
+  if (sub == "verify") return CmdAuditVerify(flags);
+  if (sub == "replay") return CmdAuditReplay(flags);
+  std::fprintf(stderr, "usage: fairdrift_cli audit <verify|replay> [flags]\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -674,9 +917,10 @@ int main(int argc, char** argv) {
   if (cmd == "weigh") return CmdWeigh(flags);
   if (cmd == "snapshot") return CmdSnapshot(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "audit") return CmdAudit(flags);
   std::printf(
-      "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot|serve> "
-      "[flags]\n"
+      "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot|serve|"
+      "audit> [flags]\n"
       "  list                               available datasets\n"
       "  eval --dataset D --method M        run an intervention pipeline\n"
       "       [--learner lr|xgb|nb] [--trials N] [--scale S] [--alpha A]\n"
@@ -686,6 +930,8 @@ int main(int argc, char** argv) {
       "  snapshot save --dataset D --method M --out FILE\n"
       "        [--learner L] [--alpha A] [--no-density]\n"
       "        [--monitor exact|bounded|sampled] [--sample-modulus N]\n"
+      "        [--group-field NAME]           persist which categorical\n"
+      "                                       field carries the group id\n"
       "        [--scores-out FILE] [--score-rows N]\n"
       "                                     train, freeze, persist (the\n"
       "                                     monitor policy is persisted too)\n"
@@ -704,6 +950,19 @@ int main(int argc, char** argv) {
       "                                     watches FILE; a snapshot saved\n"
       "                                     over it rolls through the fleet\n"
       "                                     with no restart; failed\n"
-      "                                     rollouts retry, then roll back\n");
+      "                                     rollouts retry, then roll back\n"
+      "        [--audit-log FILE]           fairness audit tier: window\n"
+      "                                     metrics + checksummed JSONL log\n"
+      "        [--audit-window N] [--audit-rows flagged|all|none]\n"
+      "        [--di-floor X] [--spd-ceiling X] [--eod-ceiling X]\n"
+      "        [--alert-after N] [--alert-clear N] [--audit-fsync]\n"
+      "        [--status-ms M]              periodic status/audit lines\n"
+      "        [--drive-rows N] [--drive-drift D] [--drive-seed K]\n"
+      "                                     synthesize two-group labeled\n"
+      "                                     traffic (group 1 shifted by D)\n"
+      "  audit verify <log>                 walk the checksum chain; exit\n"
+      "                                     code = DataLoss on corruption\n"
+      "  audit replay --snapshot FILE <log> re-score logged windows, check\n"
+      "                                     metrics bitwise\n");
   return cmd == "help" ? 0 : 1;
 }

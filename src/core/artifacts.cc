@@ -352,6 +352,23 @@ Result<std::shared_ptr<const ModelSnapshot>> Freeze(
   parts.density_floor = artifacts.density_floor;
   parts.density_options = artifacts.spec.density_kde;
   parts.monitor = artifacts.spec.monitor;
+  if (!artifacts.spec.audit_group_field.empty()) {
+    // Resolve against parts.schema (the schema moved above) so the index
+    // matches exactly what the snapshot will serve with.
+    int idx = parts.schema.FindField(artifacts.spec.audit_group_field);
+    if (idx < 0) {
+      return Status::NotFound("Freeze: audit group field '" +
+                              artifacts.spec.audit_group_field +
+                              "' is not in the schema");
+    }
+    if (parts.schema.field(static_cast<size_t>(idx)).type ==
+        ColumnType::kNumeric) {
+      return Status::InvalidArgument("Freeze: audit group field '" +
+                                     artifacts.spec.audit_group_field +
+                                     "' must be categorical");
+    }
+    parts.group_field = idx;
+  }
   return ModelSnapshot::Create(std::move(parts));
 }
 

@@ -119,6 +119,14 @@ struct TrainSpec {
   /// snapshot from format v3 on; the exact default keeps historical
   /// behavior. Ignored without include_density.
   MonitorSpec monitor;
+
+  /// Name of the categorical schema field carrying the sensitive group
+  /// id at serve time. When set, Freeze resolves it to a schema index
+  /// (snapshot format v4) and every ScoreResult reports the row's group,
+  /// which is what lets the serving audit tier (serve/audit/) window
+  /// fairness metrics without clients attaching group metadata. Empty =
+  /// no serve-time group extraction.
+  std::string audit_group_field;
 };
 
 /// A TrainSpec preconfigured for deployment: profile + density monitor

@@ -1,0 +1,243 @@
+#include "serve/audit/audit_log.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/fault.h"
+
+namespace fairdrift {
+namespace {
+
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Envelope framing: {"rec":<rec>,"chain":"<16 hex>"}
+constexpr char kPrefix[] = "{\"rec\":";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+constexpr char kChainTag[] = ",\"chain\":\"";
+constexpr size_t kChainTagLen = sizeof(kChainTag) - 1;
+// ,"chain":" + 16 hex + "}
+constexpr size_t kSuffixLen = kChainTagLen + 16 + 2;
+
+void AppendHex16(uint64_t v, std::string* out) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  out->append(buf, sizeof(buf));
+}
+
+bool ParseHex16(const char* p, uint64_t* out) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    char c = p[i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    v = (v << 4) | nibble;
+  }
+  *out = v;
+  return true;
+}
+
+// Splits one complete line into (rec bytes, claimed chain). The framing
+// is fixed-width at both ends, so this is exact, not a JSON parse.
+bool SplitLine(const char* line, size_t len, const char** rec,
+               size_t* rec_len, uint64_t* chain) {
+  if (len < kPrefixLen + kSuffixLen) return false;
+  if (std::memcmp(line, kPrefix, kPrefixLen) != 0) return false;
+  const char* suffix = line + len - kSuffixLen;
+  if (std::memcmp(suffix, kChainTag, kChainTagLen) != 0) return false;
+  if (line[len - 2] != '"' || line[len - 1] != '}') return false;
+  if (!ParseHex16(suffix + kChainTagLen, chain)) return false;
+  *rec = line + kPrefixLen;
+  *rec_len = len - kPrefixLen - kSuffixLen;
+  return true;
+}
+
+std::string RecordName(uint64_t index) {
+  return "audit log record " + std::to_string(index + 1);
+}
+
+// Walks the chain over the whole file image. Entries are optional.
+Status WalkLog(const std::string& data, AuditVerifyReport* report,
+               std::vector<AuditLogEntry>* entries) {
+  *report = AuditVerifyReport();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No newline: a crashed writer's torn final record. Tolerated and
+      // flagged; the bytes are not part of the verified log.
+      report->torn_tail = true;
+      report->torn_bytes = data.size() - pos;
+      break;
+    }
+    const char* rec;
+    size_t rec_len;
+    uint64_t claimed;
+    if (!SplitLine(data.data() + pos, nl - pos, &rec, &rec_len, &claimed)) {
+      // A complete (newline-terminated) but malformed line cannot come
+      // from a torn single-write append: it is corruption.
+      return Status::DataLoss(RecordName(report->records) +
+                              " is malformed (corrupt log)");
+    }
+    uint64_t computed = Fnv1aChain(report->chain, rec, rec_len);
+    if (computed != claimed) {
+      return Status::DataLoss(RecordName(report->records) +
+                              " breaks the checksum chain (corrupt log)");
+    }
+    if (entries != nullptr) {
+      AuditLogEntry entry;
+      entry.rec.assign(rec, rec_len);
+      entry.chain = computed;
+      entries->push_back(std::move(entry));
+    }
+    report->chain = computed;
+    report->records += 1;
+    report->good_bytes = nl + 1;
+    pos = nl + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1aChain(uint64_t seed, const char* data, size_t size) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+Result<AuditVerifyReport> VerifyAuditLog(const std::string& path) {
+  Result<std::string> data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
+  AuditVerifyReport report;
+  Status s = WalkLog(data.value(), &report, nullptr);
+  if (!s.ok()) return s;
+  return report;
+}
+
+Result<std::vector<AuditLogEntry>> ReadAuditLog(const std::string& path,
+                                                AuditVerifyReport* report) {
+  Result<std::string> data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
+  AuditVerifyReport local;
+  std::vector<AuditLogEntry> entries;
+  Status s = WalkLog(data.value(), &local, &entries);
+  if (!s.ok()) return s;
+  if (report != nullptr) *report = local;
+  return entries;
+}
+
+AuditLog::AuditLog(std::string path, AuditLogOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+Result<std::unique_ptr<AuditLog>> AuditLog::Open(const std::string& path,
+                                                 const AuditLogOptions& options) {
+  std::unique_ptr<AuditLog> log(new AuditLog(path, options));
+
+  // Resume an existing log: verify the chain, recover from a torn tail.
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe != nullptr) {
+    std::fclose(probe);
+    Result<std::string> data = ReadFileBytes(path);
+    if (!data.ok()) return data.status();
+    AuditVerifyReport report;
+    Status s = WalkLog(data.value(), &report, nullptr);
+    if (!s.ok()) return s;  // Mid-file corruption: refuse to append over it.
+    if (report.torn_tail) {
+      if (::truncate(path.c_str(), static_cast<off_t>(report.good_bytes)) !=
+          0) {
+        return Status::IoError("failed to truncate torn audit log tail: " +
+                               path);
+      }
+      log->truncated_bytes_ = report.torn_bytes;
+    }
+    log->records_ = report.records;
+    log->chain_ = report.chain;
+  }
+
+  log->file_ = std::fopen(path.c_str(), "ab");
+  if (log->file_ == nullptr) {
+    return Status::IoError("failed to open audit log for append: " + path);
+  }
+  return log;
+}
+
+AuditLog::~AuditLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status AuditLog::Append(const std::string& record_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("audit log is closed");
+  }
+  if (FAULT_POINT("audit.append")) {
+    return Status::IoError("injected audit.append failure");
+  }
+  const uint64_t next = Fnv1aChain(chain_, record_json.data(),
+                                   record_json.size());
+  line_.clear();
+  line_.append(kPrefix, kPrefixLen);
+  line_.append(record_json);
+  line_.append(kChainTag, kChainTagLen);
+  AppendHex16(next, &line_);
+  line_.append("\"}\n");
+  if (std::fwrite(line_.data(), 1, line_.size(), file_) != line_.size()) {
+    return Status::IoError("audit log append failed: " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("audit log flush failed: " + path_);
+  }
+  chain_ = next;
+  records_ += 1;
+  if (options_.fsync_each_append) {
+    // The record is on its way either way; a failed fsync only means
+    // durability, not integrity, so the chain stays advanced.
+    if (FAULT_POINT("audit.fsync")) {
+      return Status::IoError("injected audit.fsync failure");
+    }
+    if (::fsync(fileno(file_)) != 0) {
+      return Status::IoError("audit log fsync failed: " + path_);
+    }
+  }
+  return Status::OK();
+}
+
+Status AuditLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("audit log is closed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("audit log flush failed: " + path_);
+  }
+  if (FAULT_POINT("audit.fsync")) {
+    return Status::IoError("injected audit.fsync failure");
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IoError("audit log fsync failed: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,130 @@
+// Append-only, per-record-checksummed JSONL audit log.
+//
+// Wire form: one line per record,
+//
+//   {"rec":<record json>,"chain":"<16 hex digits>"}\n
+//
+// where chain_i = FNV-1a over record i's bytes, seeded with chain_{i-1}
+// (genesis seed = the FNV-1a offset basis). Each line therefore commits
+// to the entire log prefix: flipping any byte of any earlier record
+// breaks every subsequent chain value, so a verifier that walks the file
+// once knows exactly which record is the first bad one.
+//
+// Crash semantics: Append writes a whole line with a single buffered
+// write + flush, so a crashed writer leaves at most one torn record — a
+// final line without its newline (or with a broken structure and no
+// newline). Open() detects that, truncates the tail back to the last
+// good record, and resumes the chain from there; VerifyAuditLog reports
+// it as a tolerated `torn_tail`. A malformed or chain-breaking record
+// that is NOT a torn tail cannot be produced by a crash and is reported
+// as corruption (StatusCode::kDataLoss, naming the record).
+//
+// Fault sites (util/fault.h): `audit.append` fails the append before any
+// byte is written (the record is dropped, the chain stays valid);
+// `audit.fsync` fails the durability step after a successful write.
+
+#ifndef FAIRDRIFT_SERVE_AUDIT_AUDIT_LOG_H_
+#define FAIRDRIFT_SERVE_AUDIT_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Chain value of an empty log (FNV-1a 64-bit offset basis).
+inline constexpr uint64_t kAuditChainSeed = 0xcbf29ce484222325ULL;
+
+/// One FNV-1a step seeded with the previous chain value.
+uint64_t Fnv1aChain(uint64_t seed, const char* data, size_t size);
+
+struct AuditLogOptions {
+  /// fsync after every append. Durable but slow; the audit writer runs
+  /// on its own thread either way, so this never blocks scoring.
+  bool fsync_each_append = false;
+};
+
+/// Result of walking a log's checksum chain.
+struct AuditVerifyReport {
+  uint64_t records = 0;     ///< Chain-verified records.
+  uint64_t chain = kAuditChainSeed;  ///< Chain value after the last good record.
+  uint64_t good_bytes = 0;  ///< File prefix covering the verified records.
+  bool torn_tail = false;   ///< Incomplete final record (crashed writer).
+  uint64_t torn_bytes = 0;  ///< Bytes past good_bytes when torn_tail.
+};
+
+/// Walks the whole chain. OK (possibly with torn_tail flagged) or
+/// DataLoss naming the first corrupt record. A missing file is IoError.
+Result<AuditVerifyReport> VerifyAuditLog(const std::string& path);
+
+/// A verified record: the raw `rec` JSON plus its chain value.
+struct AuditLogEntry {
+  std::string rec;
+  uint64_t chain = 0;
+};
+
+/// Reads and chain-verifies every record. On success `*report` (optional)
+/// carries the verification detail, including a tolerated torn tail.
+Result<std::vector<AuditLogEntry>> ReadAuditLog(const std::string& path,
+                                                AuditVerifyReport* report);
+
+/// The append-side writer. Thread-safe; the fleet auditor funnels all
+/// appends through one thread anyway.
+class AuditLog {
+ public:
+  /// Opens (creating if absent) and resumes the chain. An existing file
+  /// is verified first: a torn tail is truncated away (see
+  /// truncated_bytes()), mid-file corruption refuses to open with
+  /// DataLoss — appending after corruption would bury the evidence.
+  static Result<std::unique_ptr<AuditLog>> Open(
+      const std::string& path, const AuditLogOptions& options = {});
+
+  ~AuditLog();
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Appends one record (a JSON object WITHOUT the chain envelope or
+  /// newline; this wraps it). The full line is staged in a reused buffer
+  /// and written with one fwrite + fflush, so a crash tears at most the
+  /// final record. On failure (including the `audit.append` fault) the
+  /// chain does not advance and no partial record is counted.
+  Status Append(const std::string& record_json);
+
+  /// fsyncs the file (also the `audit.fsync` fault site).
+  Status Sync();
+
+  uint64_t records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+  uint64_t chain() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chain_;
+  }
+  const std::string& path() const { return path_; }
+
+  /// Torn-tail bytes discarded by Open's crash recovery; 0 normally.
+  uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+ private:
+  AuditLog(std::string path, AuditLogOptions options);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  AuditLogOptions options_;
+  std::FILE* file_ = nullptr;
+  uint64_t records_ = 0;
+  uint64_t chain_ = kAuditChainSeed;
+  uint64_t truncated_bytes_ = 0;
+  std::string line_;  // Reused append staging buffer.
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_AUDIT_AUDIT_LOG_H_

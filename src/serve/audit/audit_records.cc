@@ -1,0 +1,511 @@
+#include "serve/audit/audit_records.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace fairdrift {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendQuotedBits(double v, std::string* out) {
+  out->push_back('"');
+  AppendDoubleBits(v, out);
+  out->push_back('"');
+}
+
+// Tally wire form: [count,positives,labeled,tp,fp,tn,fn,"score_sum_bits"]
+void AppendTally(const AuditGroupTally& t, std::string* out) {
+  out->push_back('[');
+  AppendU64(t.count, out);
+  out->push_back(',');
+  AppendU64(t.positives, out);
+  out->push_back(',');
+  AppendU64(t.labeled, out);
+  out->push_back(',');
+  AppendU64(t.tp, out);
+  out->push_back(',');
+  AppendU64(t.fp, out);
+  out->push_back(',');
+  AppendU64(t.tn, out);
+  out->push_back(',');
+  AppendU64(t.fn, out);
+  out->push_back(',');
+  AppendQuotedBits(t.score_sum, out);
+  out->push_back(']');
+}
+
+// --- parsing helpers (replay/verify path; allocation is fine here) ---
+
+constexpr size_t kNpos = std::string::npos;
+
+Result<size_t> FieldPos(const std::string& json, const char* key) {
+  std::string pat;
+  pat.reserve(std::strlen(key) + 3);
+  pat.push_back('"');
+  pat.append(key);
+  pat.append("\":");
+  size_t p = json.find(pat);
+  if (p == kNpos) {
+    return Status::DataLoss(std::string("audit record missing field \"") +
+                            key + "\"");
+  }
+  return p + pat.size();
+}
+
+Result<uint64_t> ParseU64At(const std::string& json, size_t* pos) {
+  size_t p = *pos;
+  if (p >= json.size() || json[p] < '0' || json[p] > '9') {
+    return Status::DataLoss("audit record: expected unsigned integer");
+  }
+  uint64_t v = 0;
+  while (p < json.size() && json[p] >= '0' && json[p] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(json[p] - '0');
+    ++p;
+  }
+  *pos = p;
+  return v;
+}
+
+Result<int64_t> ParseI64At(const std::string& json, size_t* pos) {
+  bool neg = *pos < json.size() && json[*pos] == '-';
+  if (neg) ++*pos;
+  Result<uint64_t> mag = ParseU64At(json, pos);
+  if (!mag.ok()) return mag.status();
+  int64_t v = static_cast<int64_t>(mag.value());
+  return neg ? -v : v;
+}
+
+Result<double> ParseBitsAt(const std::string& json, size_t* pos) {
+  size_t p = *pos;
+  if (p >= json.size() || json[p] != '"') {
+    return Status::DataLoss("audit record: expected quoted bit-hex double");
+  }
+  ++p;
+  if (p + 17 > json.size() || json[p + 16] != '"') {
+    return Status::DataLoss("audit record: malformed bit-hex double");
+  }
+  Result<double> v = ParseDoubleBits(json.data() + p, 16);
+  if (!v.ok()) return v.status();
+  *pos = p + 17;
+  return v;
+}
+
+Result<uint64_t> U64Field(const std::string& json, const char* key) {
+  Result<size_t> pos = FieldPos(json, key);
+  if (!pos.ok()) return pos.status();
+  size_t p = pos.value();
+  return ParseU64At(json, &p);
+}
+
+Result<int64_t> I64Field(const std::string& json, const char* key) {
+  Result<size_t> pos = FieldPos(json, key);
+  if (!pos.ok()) return pos.status();
+  size_t p = pos.value();
+  return ParseI64At(json, &p);
+}
+
+// Quoted string field; our grammar never escapes, so scan to next quote.
+Result<std::string> StrField(const std::string& json, const char* key) {
+  Result<size_t> pos = FieldPos(json, key);
+  if (!pos.ok()) return pos.status();
+  size_t p = pos.value();
+  if (p >= json.size() || json[p] != '"') {
+    return Status::DataLoss("audit record: expected quoted string");
+  }
+  size_t end = json.find('"', p + 1);
+  if (end == kNpos) {
+    return Status::DataLoss("audit record: unterminated string");
+  }
+  return json.substr(p + 1, end - p - 1);
+}
+
+Status ExpectChar(const std::string& json, size_t* pos, char c) {
+  if (*pos >= json.size() || json[*pos] != c) {
+    return Status::DataLoss("audit record: malformed structure");
+  }
+  ++*pos;
+  return Status::OK();
+}
+
+Result<AuditGroupTally> TallyField(const std::string& json, const char* key) {
+  Result<size_t> pos = FieldPos(json, key);
+  if (!pos.ok()) return pos.status();
+  size_t p = pos.value();
+  Status s = ExpectChar(json, &p, '[');
+  if (!s.ok()) return s;
+  AuditGroupTally t;
+  uint64_t* fields[] = {&t.count, &t.positives, &t.labeled, &t.tp,
+                        &t.fp,    &t.tn,        &t.fn};
+  for (size_t i = 0; i < 7; ++i) {
+    Result<uint64_t> v = ParseU64At(json, &p);
+    if (!v.ok()) return v.status();
+    *fields[i] = v.value();
+    s = ExpectChar(json, &p, ',');
+    if (!s.ok()) return s;
+  }
+  Result<double> score = ParseBitsAt(json, &p);
+  if (!score.ok()) return score.status();
+  t.score_sum = score.value();
+  s = ExpectChar(json, &p, ']');
+  if (!s.ok()) return s;
+  return t;
+}
+
+Result<std::vector<int>> IntCsvField(const std::string& json, const char* key,
+                                     size_t expected) {
+  Result<std::string> csv = StrField(json, key);
+  if (!csv.ok()) return csv.status();
+  std::vector<int> out;
+  out.reserve(expected);
+  const std::string& s = csv.value();
+  size_t p = 0;
+  while (p < s.size()) {
+    Result<int64_t> v = ParseI64At(s, &p);
+    if (!v.ok()) return v.status();
+    out.push_back(static_cast<int>(v.value()));
+    if (p < s.size()) {
+      if (s[p] != ',') {
+        return Status::DataLoss("audit record: malformed integer list");
+      }
+      ++p;
+    }
+  }
+  if (out.size() != expected) {
+    return Status::DataLoss("audit record: integer list length mismatch");
+  }
+  return out;
+}
+
+Result<std::vector<double>> BitsBlobField(const std::string& json,
+                                          const char* key, size_t expected) {
+  Result<std::string> blob = StrField(json, key);
+  if (!blob.ok()) return blob.status();
+  const std::string& s = blob.value();
+  if (s.size() != expected * 16) {
+    return Status::DataLoss("audit record: bit-hex blob length mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(expected);
+  for (size_t i = 0; i < expected; ++i) {
+    Result<double> v = ParseDoubleBits(s.data() + i * 16, 16);
+    if (!v.ok()) return v.status();
+    out.push_back(v.value());
+  }
+  return out;
+}
+
+// Window flag bits.
+constexpr uint64_t kFlagInsufficientGroups = 1;
+constexpr uint64_t kFlagInsufficientLabels = 2;
+constexpr uint64_t kFlagBreach = 4;
+constexpr uint64_t kFlagAlertActive = 8;
+constexpr uint64_t kFlagAlertRaised = 16;
+constexpr uint64_t kFlagAlertCleared = 32;
+
+}  // namespace
+
+void AppendDoubleBits(double v, std::string* out) {
+  uint64_t bits = DoubleToBits(v);
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHexDigits[bits & 0xF];
+    bits >>= 4;
+  }
+  out->append(buf, sizeof(buf));
+}
+
+Result<double> ParseDoubleBits(const char* hex, size_t len) {
+  if (len != 16) return Status::DataLoss("bit-hex double must be 16 digits");
+  uint64_t bits = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    char c = hex[i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::DataLoss("bit-hex double: invalid hex digit");
+    }
+    bits = (bits << 4) | nibble;
+  }
+  return BitsToDouble(bits);
+}
+
+void SerializeTo(const AuditWindowRecord& rec, std::string* out) {
+  const FairnessWindow& w = rec.window;
+  out->append("{\"t\":\"window\",\"shard\":");
+  AppendI64(rec.shard, out);
+  out->append(",\"win\":");
+  AppendU64(w.index, out);
+  out->append(",\"start\":");
+  AppendU64(w.start_seq, out);
+  out->append(",\"n\":");
+  AppendU64(w.size, out);
+  out->append(",\"snap_min\":");
+  AppendU64(w.snapshot_version_min, out);
+  out->append(",\"snap_max\":");
+  AppendU64(w.snapshot_version_max, out);
+  out->append(",\"den_checked\":");
+  AppendU64(w.density_checked, out);
+  out->append(",\"den_out\":");
+  AppendU64(w.density_outliers, out);
+  out->append(",\"maj\":");
+  AppendTally(w.majority, out);
+  out->append(",\"min\":");
+  AppendTally(w.minority, out);
+  out->append(",\"all\":");
+  AppendTally(w.overall, out);
+  out->append(",\"m\":[");
+  AppendQuotedBits(w.metrics.di, out);
+  out->push_back(',');
+  AppendQuotedBits(w.metrics.di_star, out);
+  out->push_back(',');
+  AppendQuotedBits(w.metrics.spd, out);
+  out->push_back(',');
+  AppendQuotedBits(w.metrics.eod_fnr, out);
+  out->push_back(',');
+  AppendQuotedBits(w.metrics.eod_fpr, out);
+  out->append("],\"policy\":[");
+  AppendQuotedBits(rec.policy.di_star_floor, out);
+  out->push_back(',');
+  AppendQuotedBits(rec.policy.spd_ceiling, out);
+  out->push_back(',');
+  AppendQuotedBits(rec.policy.eod_ceiling, out);
+  out->push_back(',');
+  AppendU64(rec.policy.trigger_windows, out);
+  out->push_back(',');
+  AppendU64(rec.policy.clear_windows, out);
+  out->append("],\"flags\":");
+  uint64_t flags = 0;
+  if (w.metrics.insufficient_groups) flags |= kFlagInsufficientGroups;
+  if (w.metrics.insufficient_labels) flags |= kFlagInsufficientLabels;
+  if (w.breach) flags |= kFlagBreach;
+  if (w.alert_active) flags |= kFlagAlertActive;
+  if (w.alert_raised) flags |= kFlagAlertRaised;
+  if (w.alert_cleared) flags |= kFlagAlertCleared;
+  AppendU64(flags, out);
+  out->append(",\"rows\":");
+  AppendU64(rec.has_rows ? 1 : 0, out);
+
+  // Human-readable summary; replay ignores it. Controlled charset (no
+  // quotes/backslashes), so no JSON escaping is needed.
+  char pretty[256];
+  if (w.metrics.insufficient_groups) {
+    std::snprintf(pretty, sizeof(pretty),
+                  "win %" PRIu64 " shard %d: insufficient groups (n=%" PRIu64
+                  ")",
+                  w.index, rec.shard, w.size);
+  } else {
+    std::snprintf(pretty, sizeof(pretty),
+                  "win %" PRIu64 " shard %d: DI*=%.4f SPD=%.4f EOD=%.4f/%.4f "
+                  "n=%" PRIu64 "%s%s",
+                  w.index, rec.shard, w.metrics.di_star, w.metrics.spd,
+                  w.metrics.eod_fnr, w.metrics.eod_fpr, w.size,
+                  w.breach ? " BREACH" : "",
+                  w.alert_active ? " ALERT" : "");
+  }
+  out->append(",\"pretty\":\"");
+  out->append(pretty);
+  out->append("\"}");
+}
+
+void SerializeTo(const AuditRowsRecord& rec, std::string* out) {
+  out->append("{\"t\":\"rows\",\"shard\":");
+  AppendI64(rec.shard, out);
+  out->append(",\"win\":");
+  AppendU64(rec.window_index, out);
+  out->append(",\"n\":");
+  AppendU64(rec.groups.size(), out);
+  out->append(",\"w\":");
+  AppendU64(rec.width, out);
+  out->append(",\"groups\":\"");
+  for (size_t i = 0; i < rec.groups.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    AppendI64(rec.groups[i], out);
+  }
+  out->append("\",\"labels\":\"");
+  for (size_t i = 0; i < rec.labels.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    AppendI64(rec.labels[i], out);
+  }
+  out->append("\",\"preds\":\"");
+  for (size_t i = 0; i < rec.preds.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    AppendI64(rec.preds[i], out);
+  }
+  out->append("\",\"scores\":\"");
+  for (double v : rec.scores) AppendDoubleBits(v, out);
+  out->append("\",\"cells\":\"");
+  for (double v : rec.rows) AppendDoubleBits(v, out);
+  out->append("\"}");
+}
+
+Result<std::string> PeekRecordType(const std::string& json) {
+  return StrField(json, "t");
+}
+
+Result<AuditWindowRecord> ParseWindowRecord(const std::string& json) {
+  AuditWindowRecord rec;
+  FairnessWindow& w = rec.window;
+
+  Result<int64_t> shard = I64Field(json, "shard");
+  if (!shard.ok()) return shard.status();
+  rec.shard = static_cast<int32_t>(shard.value());
+
+  struct U64Slot {
+    const char* key;
+    uint64_t* dst;
+  } u64s[] = {
+      {"win", &w.index},
+      {"start", &w.start_seq},
+      {"n", &w.size},
+      {"snap_min", &w.snapshot_version_min},
+      {"snap_max", &w.snapshot_version_max},
+      {"den_checked", &w.density_checked},
+      {"den_out", &w.density_outliers},
+  };
+  for (const U64Slot& slot : u64s) {
+    Result<uint64_t> v = U64Field(json, slot.key);
+    if (!v.ok()) return v.status();
+    *slot.dst = v.value();
+  }
+
+  Result<AuditGroupTally> maj = TallyField(json, "maj");
+  if (!maj.ok()) return maj.status();
+  w.majority = maj.value();
+  Result<AuditGroupTally> min = TallyField(json, "min");
+  if (!min.ok()) return min.status();
+  w.minority = min.value();
+  Result<AuditGroupTally> all = TallyField(json, "all");
+  if (!all.ok()) return all.status();
+  w.overall = all.value();
+
+  Result<size_t> mpos = FieldPos(json, "m");
+  if (!mpos.ok()) return mpos.status();
+  size_t p = mpos.value();
+  Status s = ExpectChar(json, &p, '[');
+  if (!s.ok()) return s;
+  double* metrics[] = {&w.metrics.di, &w.metrics.di_star, &w.metrics.spd,
+                       &w.metrics.eod_fnr, &w.metrics.eod_fpr};
+  for (size_t i = 0; i < 5; ++i) {
+    if (i != 0) {
+      s = ExpectChar(json, &p, ',');
+      if (!s.ok()) return s;
+    }
+    Result<double> v = ParseBitsAt(json, &p);
+    if (!v.ok()) return v.status();
+    *metrics[i] = v.value();
+  }
+
+  Result<size_t> ppos = FieldPos(json, "policy");
+  if (!ppos.ok()) return ppos.status();
+  p = ppos.value();
+  s = ExpectChar(json, &p, '[');
+  if (!s.ok()) return s;
+  double* thresholds[] = {&rec.policy.di_star_floor, &rec.policy.spd_ceiling,
+                          &rec.policy.eod_ceiling};
+  for (size_t i = 0; i < 3; ++i) {
+    if (i != 0) {
+      s = ExpectChar(json, &p, ',');
+      if (!s.ok()) return s;
+    }
+    Result<double> v = ParseBitsAt(json, &p);
+    if (!v.ok()) return v.status();
+    *thresholds[i] = v.value();
+  }
+  s = ExpectChar(json, &p, ',');
+  if (!s.ok()) return s;
+  Result<uint64_t> trigger = ParseU64At(json, &p);
+  if (!trigger.ok()) return trigger.status();
+  rec.policy.trigger_windows = static_cast<size_t>(trigger.value());
+  s = ExpectChar(json, &p, ',');
+  if (!s.ok()) return s;
+  Result<uint64_t> clear = ParseU64At(json, &p);
+  if (!clear.ok()) return clear.status();
+  rec.policy.clear_windows = static_cast<size_t>(clear.value());
+
+  Result<uint64_t> flags = U64Field(json, "flags");
+  if (!flags.ok()) return flags.status();
+  uint64_t f = flags.value();
+  w.metrics.insufficient_groups = (f & kFlagInsufficientGroups) != 0;
+  w.metrics.insufficient_labels = (f & kFlagInsufficientLabels) != 0;
+  w.breach = (f & kFlagBreach) != 0;
+  w.alert_active = (f & kFlagAlertActive) != 0;
+  w.alert_raised = (f & kFlagAlertRaised) != 0;
+  w.alert_cleared = (f & kFlagAlertCleared) != 0;
+
+  Result<uint64_t> has_rows = U64Field(json, "rows");
+  if (!has_rows.ok()) return has_rows.status();
+  rec.has_rows = has_rows.value() != 0;
+  return rec;
+}
+
+Result<AuditRowsRecord> ParseRowsRecord(const std::string& json) {
+  AuditRowsRecord rec;
+  Result<int64_t> shard = I64Field(json, "shard");
+  if (!shard.ok()) return shard.status();
+  rec.shard = static_cast<int32_t>(shard.value());
+  Result<uint64_t> win = U64Field(json, "win");
+  if (!win.ok()) return win.status();
+  rec.window_index = win.value();
+  Result<uint64_t> n = U64Field(json, "n");
+  if (!n.ok()) return n.status();
+  Result<uint64_t> width = U64Field(json, "w");
+  if (!width.ok()) return width.status();
+  rec.width = static_cast<size_t>(width.value());
+  const size_t rows = static_cast<size_t>(n.value());
+  // Bound the claimed sizes before reserving: a hostile record must not
+  // drive a huge allocation. 16 hex chars per double means the blobs
+  // themselves already bound the true size; cross-check against them.
+  if (rows > json.size() || rec.width > json.size()) {
+    return Status::DataLoss("audit rows record: implausible dimensions");
+  }
+
+  Result<std::vector<int>> groups = IntCsvField(json, "groups", rows);
+  if (!groups.ok()) return groups.status();
+  rec.groups = std::move(groups.value());
+  Result<std::vector<int>> labels = IntCsvField(json, "labels", rows);
+  if (!labels.ok()) return labels.status();
+  rec.labels = std::move(labels.value());
+  Result<std::vector<int>> preds = IntCsvField(json, "preds", rows);
+  if (!preds.ok()) return preds.status();
+  rec.preds = std::move(preds.value());
+  Result<std::vector<double>> scores = BitsBlobField(json, "scores", rows);
+  if (!scores.ok()) return scores.status();
+  rec.scores = std::move(scores.value());
+  Result<std::vector<double>> cells =
+      BitsBlobField(json, "cells", rows * rec.width);
+  if (!cells.ok()) return cells.status();
+  rec.rows = std::move(cells.value());
+  return rec;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,78 @@
+// Audit-log record types and their JSONL wire form.
+//
+// Two record kinds share the log:
+//
+//  - "window": one completed fairness window (per-shard, or the fleet
+//    merge with shard = -1). Tallies are decimal integers; every double
+//    (metrics, score sums, policy thresholds) is written as `bit-hex` —
+//    the 16 lowercase hex digits of its IEEE-754 bit pattern — so a
+//    reader recovers the exact bits, not a rounding of them. A "pretty"
+//    field carries a human-readable summary; machines ignore it.
+//
+//  - "rows": the raw evidence for a window — the request rows, served
+//    scores, predictions, groups, and labels, in served order. Rows and
+//    scores are one concatenated bit-hex blob (16 chars per double);
+//    ints are comma-separated decimal. `audit replay` re-scores these
+//    rows against the snapshot file and must land on the window
+//    record's tallies and metric bits exactly.
+//
+// Serialization is hand-rolled: the emitted JSON grammar is tiny (no
+// escapes needed — every string we write is hex, decimal CSV, or a
+// controlled summary), parsing only accepts what SerializeTo produces,
+// and the writer thread reuses one output buffer so steady-state
+// logging does not allocate.
+
+#ifndef FAIRDRIFT_SERVE_AUDIT_AUDIT_RECORDS_H_
+#define FAIRDRIFT_SERVE_AUDIT_AUDIT_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/audit/fairness_window.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Appends the 16-hex-digit IEEE-754 bit pattern of `v` to `out`.
+void AppendDoubleBits(double v, std::string* out);
+
+/// Parses 16 hex digits back into the exact double. Fails on short or
+/// non-hex input.
+Result<double> ParseDoubleBits(const char* hex, size_t len);
+
+/// One completed window as logged. `shard` is the shard index, or -1 for
+/// a fleet-merged window.
+struct AuditWindowRecord {
+  int32_t shard = 0;
+  FairnessWindow window;
+  AlertPolicy policy;
+  bool has_rows = false;  ///< A "rows" record for this window follows.
+};
+
+/// The raw rows behind one window, for bitwise replay.
+struct AuditRowsRecord {
+  int32_t shard = 0;
+  uint64_t window_index = 0;
+  size_t width = 0;               ///< Row width (snapshot num_features).
+  std::vector<double> rows;       ///< n * width, row-major, served order.
+  std::vector<int> groups;        ///< n; group id used for folding.
+  std::vector<int> labels;        ///< n; -1 = unknown.
+  std::vector<int> preds;         ///< n; served decision.
+  std::vector<double> scores;     ///< n; served probability.
+};
+
+/// Appends the record's JSON object (no trailing newline) to `*out`.
+/// Reuses `out`'s capacity; clear it first if you want just this record.
+void SerializeTo(const AuditWindowRecord& rec, std::string* out);
+void SerializeTo(const AuditRowsRecord& rec, std::string* out);
+
+/// Record kind of a serialized object: "window", "rows", or an error.
+Result<std::string> PeekRecordType(const std::string& json);
+
+Result<AuditWindowRecord> ParseWindowRecord(const std::string& json);
+Result<AuditRowsRecord> ParseRowsRecord(const std::string& json);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_AUDIT_AUDIT_RECORDS_H_

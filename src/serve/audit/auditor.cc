@@ -1,0 +1,401 @@
+#include "serve/audit/auditor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace fairdrift {
+
+// ---------------------------------------------------------------------------
+// ShardAuditor
+
+ShardAuditor::ShardAuditor(FleetAuditor* fleet, int32_t shard, size_t width)
+    : fleet_(fleet),
+      shard_(shard),
+      width_(width),
+      capture_rows_(fleet->log_ != nullptr &&
+                    fleet->options_.row_logging != AuditRowLogging::kNone),
+      acc_(fleet->options_.window_size, fleet->options_.alert) {
+  if (capture_rows_) {
+    const size_t w = acc_.window_size();
+    win_rows_.resize(w * width_);
+    win_groups_.resize(w);
+    win_labels_.resize(w);
+    win_preds_.resize(w);
+    win_scores_.resize(w);
+  }
+}
+
+void ShardAuditor::FoldBatch(const Matrix& rows, const ScoreResult* results,
+                             const int* groups, const int* labels, size_t n,
+                             AuditFoldOutcome* outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) {
+    if (capture_rows_) {
+      if (rows.cols() != width_) {
+        rows_valid_ = false;
+      } else {
+        std::memcpy(win_rows_.data() + fill_ * width_, rows.RowPtr(i),
+                    width_ * sizeof(double));
+        win_groups_[fill_] = groups[i];
+        win_labels_[fill_] = labels[i];
+        win_preds_[fill_] = results[i].label;
+        win_scores_[fill_] = results[i].probability;
+      }
+    }
+    AuditObservation obs;
+    obs.group = groups[i];
+    obs.predicted = results[i].label;
+    obs.true_label = labels[i];
+    obs.score = results[i].probability;
+    obs.snapshot_version = results[i].snapshot_version;
+    obs.density_checked = results[i].density_checked;
+    obs.density_outlier = results[i].density_outlier;
+    const FairnessWindow* done = acc_.Fold(obs);
+    ++fill_;
+    if (done == nullptr) continue;
+
+    if (outcome != nullptr) {
+      outcome->windows += 1;
+      if (done->breach) outcome->breaches += 1;
+      if (done->alert_raised) outcome->alerts_raised += 1;
+      if (!done->metrics.insufficient_groups) {
+        outcome->has_metrics = true;
+        outcome->di_star = done->metrics.di_star;
+        outcome->spd = done->metrics.spd;
+      }
+    }
+    const bool with_rows = capture_rows_ && rows_valid_;
+    fleet_->OnWindowComplete(
+        shard_, *done, width_, fill_,
+        with_rows ? win_rows_.data() : nullptr,
+        with_rows ? win_groups_.data() : nullptr,
+        with_rows ? win_labels_.data() : nullptr,
+        with_rows ? win_preds_.data() : nullptr,
+        with_rows ? win_scores_.data() : nullptr);
+    fill_ = 0;
+    rows_valid_ = true;
+  }
+  if (outcome != nullptr) outcome->alert_active = acc_.alert_active();
+}
+
+uint64_t ShardAuditor::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.observations();
+}
+
+uint64_t ShardAuditor::windows_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.windows_completed();
+}
+
+uint64_t ShardAuditor::breaches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.breaches();
+}
+
+uint64_t ShardAuditor::alerts_raised() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.alerts_raised();
+}
+
+bool ShardAuditor::alert_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.alert_active();
+}
+
+void ShardAuditor::SnapshotCumulative(AuditGroupTally* majority,
+                                      AuditGroupTally* minority,
+                                      AuditGroupTally* overall) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *majority = acc_.cumulative_majority();
+  *minority = acc_.cumulative_minority();
+  *overall = acc_.cumulative_overall();
+}
+
+// ---------------------------------------------------------------------------
+// FleetAuditor
+
+FleetAuditor::FleetAuditor(const AuditOptions& options) : options_(options) {
+  if (options_.window_size == 0) options_.window_size = 1;
+  if (options_.merge_horizon == 0) options_.merge_horizon = 1;
+}
+
+Result<std::unique_ptr<FleetAuditor>> FleetAuditor::Create(
+    const AuditOptions& options, size_t num_shards, size_t row_width) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("fleet auditor needs at least one shard");
+  }
+  std::unique_ptr<FleetAuditor> auditor(new FleetAuditor(options));
+  if (!options.log_path.empty()) {
+    AuditLogOptions log_options;
+    log_options.fsync_each_append = options.fsync_each_append;
+    Result<std::unique_ptr<AuditLog>> log =
+        AuditLog::Open(options.log_path, log_options);
+    if (!log.ok()) return log.status();
+    auditor->log_ = std::move(log.value());
+  }
+  auditor->shard_pending_.resize(num_shards);
+  auditor->shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auditor->shards_.emplace_back(std::unique_ptr<ShardAuditor>(
+        new ShardAuditor(auditor.get(), static_cast<int32_t>(s), row_width)));
+  }
+  auditor->writer_ = std::thread([raw = auditor.get()] { raw->WriterLoop(); });
+  return auditor;
+}
+
+FleetAuditor::~FleetAuditor() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void FleetAuditor::OnWindowComplete(int32_t shard,
+                                    const FairnessWindow& window, size_t width,
+                                    size_t n, const double* rows,
+                                    const int* groups, const int* labels,
+                                    const int* preds, const double* scores) {
+  const bool want_rows =
+      log_ != nullptr && rows != nullptr &&
+      (options_.row_logging == AuditRowLogging::kAll ||
+       (options_.row_logging == AuditRowLogging::kFlaggedWindows &&
+        window.breach));
+
+  LogEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (free_.empty()) {
+      pool_.push_back(std::unique_ptr<LogEntry>(new LogEntry()));
+      entry = pool_.back().get();
+    } else {
+      entry = free_.back();
+      free_.pop_back();
+    }
+  }
+
+  entry->window_rec.shard = shard;
+  entry->window_rec.window = window;
+  entry->window_rec.policy = options_.alert;
+  entry->window_rec.has_rows = want_rows;
+  AuditRowsRecord& rr = entry->rows_rec;
+  if (want_rows) {
+    rr.shard = shard;
+    rr.window_index = window.index;
+    rr.width = width;
+    rr.rows.assign(rows, rows + n * width);
+    rr.groups.assign(groups, groups + n);
+    rr.labels.assign(labels, labels + n);
+    rr.preds.assign(preds, preds + n);
+    rr.scores.assign(scores, scores + n);
+  } else {
+    rr.rows.clear();
+    rr.groups.clear();
+    rr.labels.clear();
+    rr.preds.clear();
+    rr.scores.clear();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(entry);
+    ++pending_;
+  }
+  queue_cv_.notify_one();
+}
+
+void FleetAuditor::WriterLoop() {
+  for (;;) {
+    LogEntry* entry;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      entry = queue_.front();
+      queue_.pop_front();
+    }
+    ProcessEntry(entry);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      free_.push_back(entry);
+      --pending_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void FleetAuditor::ProcessEntry(LogEntry* entry) {
+  if (log_ != nullptr) {
+    serialize_buf_.clear();
+    SerializeTo(entry->window_rec, &serialize_buf_);
+    AppendRecord(serialize_buf_);
+    if (entry->window_rec.has_rows) {
+      serialize_buf_.clear();
+      SerializeTo(entry->rows_rec, &serialize_buf_);
+      AppendRecord(serialize_buf_);
+    }
+  }
+  MergeShardWindow(entry->window_rec.shard, entry->window_rec.window);
+}
+
+void FleetAuditor::MergeShardWindow(int32_t shard,
+                                    const FairnessWindow& window) {
+  if (shard < 0 || static_cast<size_t>(shard) >= shard_pending_.size()) return;
+  shard_pending_[static_cast<size_t>(shard)].push_back(window);
+
+  auto drop_stale = [this] {
+    for (std::deque<FairnessWindow>& pending : shard_pending_) {
+      while (!pending.empty() && pending.front().index < fleet_next_) {
+        pending.pop_front();
+        fleet_windows_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  drop_stale();
+
+  for (;;) {
+    bool complete = true;
+    size_t max_lag = 0;
+    for (const std::deque<FairnessWindow>& pending : shard_pending_) {
+      max_lag = std::max(max_lag, pending.size());
+      if (pending.empty() || pending.front().index != fleet_next_) {
+        complete = false;
+      }
+    }
+    if (!complete) {
+      if (max_lag <= options_.merge_horizon) return;
+      // A straggler shard is holding the merge frontier past the horizon:
+      // abandon this fleet window and move on (dropped, not buffered).
+      ++fleet_next_;
+      drop_stale();
+      continue;
+    }
+
+    // Every shard has its window `fleet_next_`: sum them in shard-index
+    // order (deterministic score_sum association) into a fleet window.
+    FairnessWindow fleet;
+    fleet.index = fleet_next_;
+    fleet.start_seq =
+        fleet_next_ * static_cast<uint64_t>(options_.window_size) *
+        static_cast<uint64_t>(shard_pending_.size());
+    bool first = true;
+    for (std::deque<FairnessWindow>& pending : shard_pending_) {
+      const FairnessWindow& w = pending.front();
+      fleet.size += w.size;
+      fleet.majority.Add(w.majority);
+      fleet.minority.Add(w.minority);
+      fleet.overall.Add(w.overall);
+      fleet.density_checked += w.density_checked;
+      fleet.density_outliers += w.density_outliers;
+      if (first) {
+        fleet.snapshot_version_min = w.snapshot_version_min;
+        fleet.snapshot_version_max = w.snapshot_version_max;
+        first = false;
+      } else {
+        fleet.snapshot_version_min =
+            std::min(fleet.snapshot_version_min, w.snapshot_version_min);
+        fleet.snapshot_version_max =
+            std::max(fleet.snapshot_version_max, w.snapshot_version_max);
+      }
+      pending.pop_front();
+    }
+    fleet.metrics = ComputeWindowMetrics(fleet.majority, fleet.minority);
+    fleet.breach = WindowBreaches(fleet.metrics, options_.alert);
+    if (fleet.breach) {
+      fleet_breaches_.fetch_add(1, std::memory_order_relaxed);
+      ++fleet_breach_streak_;
+      fleet_clean_streak_ = 0;
+    } else {
+      ++fleet_clean_streak_;
+      fleet_breach_streak_ = 0;
+    }
+    if (!fleet_alert_ && fleet_breach_streak_ >= options_.alert.trigger_windows) {
+      fleet_alert_ = true;
+      fleet.alert_raised = true;
+      fleet_alerts_raised_.fetch_add(1, std::memory_order_relaxed);
+    } else if (fleet_alert_ &&
+               fleet_clean_streak_ >= options_.alert.clear_windows) {
+      fleet_alert_ = false;
+      fleet.alert_cleared = true;
+    }
+    fleet.alert_active = fleet_alert_;
+    fleet_alert_active_.store(fleet_alert_, std::memory_order_relaxed);
+    fleet_windows_.fetch_add(1, std::memory_order_relaxed);
+    ++fleet_next_;
+
+    if (log_ != nullptr) {
+      AuditWindowRecord rec;
+      rec.shard = -1;  // Fleet-merged window.
+      rec.window = fleet;
+      rec.policy = options_.alert;
+      rec.has_rows = false;
+      serialize_buf_.clear();
+      SerializeTo(rec, &serialize_buf_);
+      AppendRecord(serialize_buf_);
+    }
+  }
+}
+
+void FleetAuditor::AppendRecord(const std::string& json) {
+  Status s = log_->Append(json);
+  if (!s.ok()) {
+    log_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(error_mu_);
+    last_error_ = s.message();
+  }
+}
+
+Status FleetAuditor::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (log_ != nullptr) return log_->Sync();
+  return Status::OK();
+}
+
+FleetAuditView FleetAuditor::view() const {
+  FleetAuditView v;
+  v.enabled = options_.enabled;
+  v.window_size = options_.window_size;
+  v.log_path = options_.log_path;
+  AuditGroupTally cum_majority, cum_minority, cum_overall;
+  for (const std::unique_ptr<ShardAuditor>& shard : shards_) {
+    v.observations += shard->observations();
+    uint64_t windows = shard->windows_completed();
+    v.windows += windows;
+    v.shard_windows.push_back(windows);
+    v.breaches += shard->breaches();
+    v.alerts_raised += shard->alerts_raised();
+    bool alerting = shard->alert_active();
+    v.shard_alert_active.push_back(alerting ? 1 : 0);
+    if (alerting) ++v.shards_alerting;
+    AuditGroupTally maj, min, all;
+    shard->SnapshotCumulative(&maj, &min, &all);
+    cum_majority.Add(maj);
+    cum_minority.Add(min);
+    cum_overall.Add(all);
+  }
+  v.cumulative = ComputeWindowMetrics(cum_majority, cum_minority);
+  v.fleet_windows = fleet_windows_.load(std::memory_order_relaxed);
+  v.fleet_breaches = fleet_breaches_.load(std::memory_order_relaxed);
+  v.fleet_alerts_raised = fleet_alerts_raised_.load(std::memory_order_relaxed);
+  v.fleet_windows_dropped =
+      fleet_windows_dropped_.load(std::memory_order_relaxed);
+  v.fleet_alert_active = fleet_alert_active_.load(std::memory_order_relaxed);
+  v.log_failures = log_failures_.load(std::memory_order_relaxed);
+  if (log_ != nullptr) v.log_records = log_->records();
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    v.log_last_error = last_error_;
+  }
+  return v;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,241 @@
+// Fleet-wide fairness auditing: per-shard window accumulation, an async
+// audit-log writer, and the shard->fleet window merger.
+//
+// Topology: one FleetAuditor owns N ShardAuditors (one per fleet shard)
+// plus a single writer thread and the AuditLog. A shard's batch worker
+// calls ShardAuditor::FoldBatch right after scoring; the fold is integer
+// tallying under a per-shard mutex and allocates nothing in steady
+// state. When a tumbling window completes, the shard copies it (and,
+// when row logging is on, the window's raw rows/scores) into a pooled
+// log entry and hands it to the writer thread — serialization,
+// checksumming, file appends, and the fleet merge all happen off the
+// scoring path, which is how audited serving stays within 1.1x of
+// unaudited throughput.
+//
+// The fleet merger pairs window k from every shard and emits their sum
+// as fleet window k (logged with shard = -1), with its own alert
+// hysteresis. If shards drift more than `merge_horizon` windows apart
+// (a stalled shard), unpairable windows are dropped and counted rather
+// than buffered without bound.
+//
+// Failure stance: auditing never fails scoring. Append errors (real or
+// injected via the `audit.append`/`audit.fsync` fault sites) are
+// counted, surfaced through the view, and the writer keeps going — the
+// chain stays valid because a failed append never half-writes.
+
+#ifndef FAIRDRIFT_SERVE_AUDIT_AUDITOR_H_
+#define FAIRDRIFT_SERVE_AUDIT_AUDITOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "serve/audit/audit_log.h"
+#include "serve/audit/audit_records.h"
+#include "serve/audit/fairness_window.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Which windows get a raw-rows record (the replay evidence).
+enum class AuditRowLogging : uint8_t {
+  kFlaggedWindows = 0,  ///< Only windows that breach the alert policy.
+  kAll = 1,             ///< Every window (tests; heavyweight).
+  kNone = 2,            ///< Metrics records only; replay unavailable.
+};
+
+/// Fleet-level audit configuration (FleetOptions::audit).
+struct AuditOptions {
+  bool enabled = false;
+  /// Rows per tumbling window, per shard.
+  size_t window_size = 1024;
+  AlertPolicy alert;
+  /// JSONL audit log path; empty keeps windows in memory only.
+  std::string log_path;
+  AuditRowLogging row_logging = AuditRowLogging::kFlaggedWindows;
+  bool fsync_each_append = false;
+  /// Max windows a lagging shard may fall behind before unpairable
+  /// windows are dropped from the fleet merge (never from the log).
+  size_t merge_horizon = 64;
+};
+
+/// What one FoldBatch call observed, for ServerStats.
+struct AuditFoldOutcome {
+  uint32_t windows = 0;        ///< Windows completed by this batch.
+  uint32_t breaches = 0;
+  uint32_t alerts_raised = 0;
+  bool alert_active = false;   ///< Shard alert state after the batch.
+  bool has_metrics = false;    ///< A completed window had both groups.
+  double di_star = 1.0;        ///< Latest completed window's DI*.
+  double spd = 0.0;            ///< Latest completed window's SPD.
+};
+
+/// Aggregated audit state for FleetStatsView / the CLI.
+struct FleetAuditView {
+  bool enabled = false;
+  size_t window_size = 0;
+  uint64_t observations = 0;   ///< Rows folded, fleet-wide.
+  uint64_t windows = 0;        ///< Per-shard windows completed, summed.
+  uint64_t breaches = 0;
+  uint64_t alerts_raised = 0;
+  size_t shards_alerting = 0;
+  std::vector<uint8_t> shard_alert_active;
+  std::vector<uint64_t> shard_windows;
+  /// Whole-run metrics from summed per-shard cumulative tallies.
+  WindowMetrics cumulative;
+  uint64_t fleet_windows = 0;  ///< Merged all-shard windows emitted.
+  uint64_t fleet_breaches = 0;
+  uint64_t fleet_alerts_raised = 0;
+  uint64_t fleet_windows_dropped = 0;  ///< Unpairable (straggler) windows.
+  bool fleet_alert_active = false;
+  uint64_t log_records = 0;
+  uint64_t log_failures = 0;
+  std::string log_last_error;
+  std::string log_path;
+};
+
+class FleetAuditor;
+
+/// Per-shard fold surface. Created and owned by FleetAuditor; a shard's
+/// batch workers are the only callers of FoldBatch (serialized per shard
+/// by the internal mutex — workers of one shard may race each other).
+class ShardAuditor {
+ public:
+  /// Folds one scored batch. `results`/`groups`/`labels` are parallel
+  /// arrays of length `n`; `rows` holds the batch's request rows (used
+  /// only when row logging is on). `groups[i]` is the group id the
+  /// audit uses (caller-resolved: explicit request metadata first, then
+  /// the snapshot's group field); `labels[i]` is ground truth or -1.
+  /// Never fails; `outcome` (optional) reports completed windows so the
+  /// caller can fold them into its stats.
+  void FoldBatch(const Matrix& rows, const ScoreResult* results,
+                 const int* groups, const int* labels, size_t n,
+                 AuditFoldOutcome* outcome);
+
+  uint64_t observations() const;
+  uint64_t windows_completed() const;
+  uint64_t breaches() const;
+  uint64_t alerts_raised() const;
+  bool alert_active() const;
+
+ private:
+  friend class FleetAuditor;
+
+  ShardAuditor(FleetAuditor* fleet, int32_t shard, size_t width);
+
+  // Locked copy of the cumulative tallies (the fleet view sums these).
+  void SnapshotCumulative(AuditGroupTally* majority, AuditGroupTally* minority,
+                          AuditGroupTally* overall) const;
+
+  FleetAuditor* fleet_;
+  int32_t shard_;
+  size_t width_;          // Expected row width for capture.
+  bool capture_rows_;
+
+  mutable std::mutex mu_;
+  FairnessWindowAccumulator acc_;
+  // Raw-row capture for the in-progress window (preallocated).
+  size_t fill_ = 0;
+  bool rows_valid_ = true;  // False when a batch's width surprised us.
+  std::vector<double> win_rows_;
+  std::vector<int> win_groups_;
+  std::vector<int> win_labels_;
+  std::vector<int> win_preds_;
+  std::vector<double> win_scores_;
+};
+
+/// Owns the shard auditors, the writer thread, the log, and the merger.
+/// Must outlive the servers whose options point at its shards.
+class FleetAuditor {
+ public:
+  /// `row_width` is the serving snapshot's num_features (row capture
+  /// buffers are sized once from it).
+  static Result<std::unique_ptr<FleetAuditor>> Create(
+      const AuditOptions& options, size_t num_shards, size_t row_width);
+
+  /// Drains queued windows, joins the writer, closes the log.
+  ~FleetAuditor();
+
+  FleetAuditor(const FleetAuditor&) = delete;
+  FleetAuditor& operator=(const FleetAuditor&) = delete;
+
+  ShardAuditor* shard(size_t i) { return shards_[i].get(); }
+  size_t num_shards() const { return shards_.size(); }
+  const AuditOptions& options() const { return options_; }
+
+  /// Blocks until every queued window has been processed, then syncs the
+  /// log. Returns the sync status (append failures are reported through
+  /// view(), not here).
+  Status Flush();
+
+  FleetAuditView view() const;
+
+ private:
+  // One queued unit of writer work: a completed shard window plus (when
+  // row logging captured it) the raw rows. Pooled and recycled.
+  struct LogEntry {
+    AuditWindowRecord window_rec;
+    AuditRowsRecord rows_rec;
+  };
+
+  explicit FleetAuditor(const AuditOptions& options);
+
+  // Called by ShardAuditor under its shard lock at window completion.
+  // Row pointers are null when this window has no row capture.
+  void OnWindowComplete(int32_t shard, const FairnessWindow& window,
+                        size_t width, size_t n, const double* rows,
+                        const int* groups, const int* labels,
+                        const int* preds, const double* scores);
+
+  void WriterLoop();
+  void ProcessEntry(LogEntry* entry);
+  void MergeShardWindow(int32_t shard, const FairnessWindow& window);
+  void AppendRecord(const std::string& json);
+
+  friend class ShardAuditor;
+
+  AuditOptions options_;
+  std::vector<std::unique_ptr<ShardAuditor>> shards_;
+  std::unique_ptr<AuditLog> log_;
+
+  // Writer queue + entry pool.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<LogEntry*> queue_;
+  std::vector<std::unique_ptr<LogEntry>> pool_;
+  std::vector<LogEntry*> free_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+  std::thread writer_;
+
+  // Writer-thread-only merge state.
+  std::vector<std::deque<FairnessWindow>> shard_pending_;
+  uint64_t fleet_next_ = 0;
+  size_t fleet_breach_streak_ = 0;
+  size_t fleet_clean_streak_ = 0;
+  bool fleet_alert_ = false;
+  std::string serialize_buf_;  // Reused record serialization buffer.
+
+  // View counters (writer thread publishes, view() reads).
+  std::atomic<uint64_t> fleet_windows_{0};
+  std::atomic<uint64_t> fleet_breaches_{0};
+  std::atomic<uint64_t> fleet_alerts_raised_{0};
+  std::atomic<uint64_t> fleet_windows_dropped_{0};
+  std::atomic<bool> fleet_alert_active_{false};
+  std::atomic<uint64_t> log_failures_{0};
+  mutable std::mutex error_mu_;
+  std::string last_error_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_AUDIT_AUDITOR_H_

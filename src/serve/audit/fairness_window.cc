@@ -1,0 +1,179 @@
+#include "serve/audit/fairness_window.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fairness/metrics.h"
+
+namespace fairdrift {
+namespace {
+
+// Selection-shaped confusion counts: SelectionRate() = (tp + fp) / total
+// reduces to positives / count, the exact division the batch path
+// performs on fully labeled rows. tn carries the remainder so total()
+// equals count.
+GroupStats SelectionShapedStats(const AuditGroupTally& t) {
+  GroupStats g;
+  g.counts.tp = static_cast<double>(t.positives);
+  g.counts.fp = 0.0;
+  g.counts.tn = static_cast<double>(t.count - t.positives);
+  g.counts.fn = 0.0;
+  g.size = static_cast<size_t>(t.count);
+  return g;
+}
+
+GroupStats LabeledStats(const AuditGroupTally& t) {
+  GroupStats g;
+  g.counts.tp = static_cast<double>(t.tp);
+  g.counts.fp = static_cast<double>(t.fp);
+  g.counts.tn = static_cast<double>(t.tn);
+  g.counts.fn = static_cast<double>(t.fn);
+  g.size = static_cast<size_t>(t.labeled);
+  return g;
+}
+
+}  // namespace
+
+WindowMetrics ComputeWindowMetrics(const AuditGroupTally& majority,
+                                   const AuditGroupTally& minority) {
+  WindowMetrics m;
+  if (majority.count == 0 || minority.count == 0) {
+    // Single-group traffic: the offline functions would report DI = 0
+    // ("no minority selections") which reads as maximal unfairness when
+    // the real story is that a group simply sent no rows. Report neutral
+    // sentinels and let the flag carry the information.
+    m.insufficient_groups = true;
+    return m;
+  }
+
+  GroupedPredictionStats selection;
+  selection.majority = SelectionShapedStats(majority);
+  selection.minority = SelectionShapedStats(minority);
+  m.di = DisparateImpact(selection);
+  m.di_star = DisparateImpactStar(selection);
+  m.spd = SelectionRateDifference(selection);
+
+  GroupedPredictionStats labeled;
+  labeled.majority = LabeledStats(majority);
+  labeled.minority = LabeledStats(minority);
+  m.eod_fnr = EqualizedOddsFnrDifference(labeled);
+  m.eod_fpr = EqualizedOddsFprDifference(labeled);
+  m.insufficient_labels = majority.labeled == 0 || minority.labeled == 0;
+  return m;
+}
+
+bool WindowBreaches(const WindowMetrics& m, const AlertPolicy& policy) {
+  if (m.insufficient_groups) return false;
+  if (m.di_star < policy.di_star_floor) return true;
+  if (m.spd > policy.spd_ceiling) return true;
+  if (!m.insufficient_labels &&
+      std::max(m.eod_fnr, m.eod_fpr) > policy.eod_ceiling) {
+    return true;
+  }
+  return false;
+}
+
+std::string BreachReason(const WindowMetrics& m, const AlertPolicy& policy) {
+  if (!WindowBreaches(m, policy)) return std::string();
+  char buf[160];
+  std::string reason;
+  if (m.di_star < policy.di_star_floor) {
+    std::snprintf(buf, sizeof(buf), "DI*=%.4f<%.4f", m.di_star,
+                  policy.di_star_floor);
+    reason = buf;
+  }
+  if (m.spd > policy.spd_ceiling) {
+    std::snprintf(buf, sizeof(buf), "SPD=%.4f>%.4f", m.spd,
+                  policy.spd_ceiling);
+    if (!reason.empty()) reason += " ";
+    reason += buf;
+  }
+  if (!m.insufficient_labels &&
+      std::max(m.eod_fnr, m.eod_fpr) > policy.eod_ceiling) {
+    std::snprintf(buf, sizeof(buf), "EOD=%.4f>%.4f",
+                  std::max(m.eod_fnr, m.eod_fpr), policy.eod_ceiling);
+    if (!reason.empty()) reason += " ";
+    reason += buf;
+  }
+  return reason;
+}
+
+FairnessWindowAccumulator::FairnessWindowAccumulator(size_t window_size,
+                                                     const AlertPolicy& policy)
+    : window_size_(window_size == 0 ? 1 : window_size), policy_(policy) {}
+
+const FairnessWindow* FairnessWindowAccumulator::Fold(
+    const AuditObservation& obs) {
+  if (fill_ == 0) {
+    FairnessWindow fresh;
+    fresh.index = windows_completed_;
+    fresh.start_seq = observations_;
+    current_ = fresh;
+    current_.snapshot_version_min = obs.snapshot_version;
+    current_.snapshot_version_max = obs.snapshot_version;
+  } else {
+    current_.snapshot_version_min =
+        std::min(current_.snapshot_version_min, obs.snapshot_version);
+    current_.snapshot_version_max =
+        std::max(current_.snapshot_version_max, obs.snapshot_version);
+  }
+
+  AuditGroupTally* slot = nullptr;
+  AuditGroupTally* cum_slot = nullptr;
+  if (obs.group == 0) {
+    slot = &current_.majority;
+    cum_slot = &cum_majority_;
+  } else if (obs.group == 1) {
+    slot = &current_.minority;
+    cum_slot = &cum_minority_;
+  }
+  if (slot != nullptr) {
+    FoldObservationInto(slot, obs.predicted, obs.true_label, obs.score);
+    FoldObservationInto(cum_slot, obs.predicted, obs.true_label, obs.score);
+  }
+  FoldObservationInto(&current_.overall, obs.predicted, obs.true_label,
+                      obs.score);
+  FoldObservationInto(&cum_overall_, obs.predicted, obs.true_label, obs.score);
+  if (obs.density_checked) {
+    current_.density_checked += 1;
+    if (obs.density_outlier) current_.density_outliers += 1;
+  }
+
+  ++observations_;
+  ++fill_;
+  if (fill_ < window_size_) return nullptr;
+  CompleteWindow();
+  return &completed_;
+}
+
+void FairnessWindowAccumulator::CompleteWindow() {
+  current_.size = fill_;
+  current_.metrics = ComputeWindowMetrics(current_.majority, current_.minority);
+  current_.breach = WindowBreaches(current_.metrics, policy_);
+
+  if (current_.breach) {
+    ++breaches_;
+    ++breach_streak_;
+    clean_streak_ = 0;
+  } else {
+    ++clean_streak_;
+    breach_streak_ = 0;
+  }
+  current_.alert_raised = false;
+  current_.alert_cleared = false;
+  if (!alert_active_ && breach_streak_ >= policy_.trigger_windows) {
+    alert_active_ = true;
+    current_.alert_raised = true;
+    ++alerts_raised_;
+  } else if (alert_active_ && clean_streak_ >= policy_.clear_windows) {
+    alert_active_ = false;
+    current_.alert_cleared = true;
+  }
+  current_.alert_active = alert_active_;
+
+  completed_ = current_;
+  ++windows_completed_;
+  fill_ = 0;
+}
+
+}  // namespace fairdrift

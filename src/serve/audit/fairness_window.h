@@ -1,0 +1,210 @@
+// Online per-window fairness accounting for served traffic.
+//
+// A FairnessWindowAccumulator folds one AuditObservation per served row
+// into fixed-size tumbling windows and, at each window boundary, derives
+// the paper's group fairness metrics (DI / DI* for the EEOC 80% rule,
+// SPD, EOD) from exact integer tallies. The derivation constructs the
+// same GroupedPredictionStats the offline fairness/metrics functions
+// consume and calls those functions verbatim, so a window's metrics are
+// bitwise identical to recomputing them from the window's rows with the
+// batch path — the property the audit-log replay (serve/audit/replay.h)
+// checks across process boundaries.
+//
+// The fold itself is a handful of integer adds plus one double add under
+// the caller's lock: no allocation, no branching on metric math, nothing
+// proportional to the window size. All metric work happens once per
+// window boundary.
+//
+// Edge-case semantics (deliberate, NaN-free):
+//  - A window where one group has zero positives keeps the offline
+//    definitions: DI = +inf when only the minority selects, DI* = 0
+//    either way. No division by zero reaches the caller.
+//  - A window that saw only one group's traffic reports
+//    `insufficient_groups` with neutral sentinels (DI = DI* = 1, SPD =
+//    EOD = 0) and never breaches the alert policy: a raw computation
+//    would report DI = 0 ("maximally unfair") for what is actually a
+//    routing artifact, not discrimination.
+//  - A window where a group has no labeled rows sets
+//    `insufficient_labels`; EOD is still computed (empty-group FNR/FPR
+//    are 0 per ml/metrics.h) but excluded from the breach predicate.
+
+#ifndef FAIRDRIFT_SERVE_AUDIT_FAIRNESS_WINDOW_H_
+#define FAIRDRIFT_SERVE_AUDIT_FAIRNESS_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fairness/group_stats.h"
+
+namespace fairdrift {
+
+/// One served row's audit-relevant facts, as folded into a window.
+struct AuditObservation {
+  int group = -1;           ///< Sensitive group id (0 = W, 1 = U, other = overall-only).
+  int predicted = 0;        ///< Served decision (0/1).
+  int true_label = -1;      ///< Ground truth when the caller knows it; -1 = unknown.
+  double score = 0.0;       ///< Served probability.
+  uint64_t snapshot_version = 0;
+  bool density_checked = false;
+  bool density_outlier = false;
+};
+
+/// Exact integer tallies of one traffic slice (a group within a window,
+/// or cumulative). Folding is integer adds; metrics are derived by
+/// casting the *same* integers fairness/metrics would see, so incremental
+/// and batch computation agree bitwise (counts stay far below 2^53).
+struct AuditGroupTally {
+  uint64_t count = 0;      ///< Rows observed.
+  uint64_t positives = 0;  ///< Rows with predicted == 1.
+  uint64_t labeled = 0;    ///< Rows with a known true label.
+  uint64_t tp = 0;         ///< Labeled rows: predicted 1, truth 1.
+  uint64_t fp = 0;         ///< Labeled rows: predicted 1, truth 0.
+  uint64_t tn = 0;         ///< Labeled rows: predicted 0, truth 0.
+  uint64_t fn = 0;         ///< Labeled rows: predicted 0, truth 1.
+  double score_sum = 0.0;  ///< Served scores, summed in arrival order.
+
+  void Add(const AuditGroupTally& other) {
+    count += other.count;
+    positives += other.positives;
+    labeled += other.labeled;
+    tp += other.tp;
+    fp += other.fp;
+    tn += other.tn;
+    fn += other.fn;
+    score_sum += other.score_sum;
+  }
+};
+
+/// Folds one row into a tally. Shared between the live accumulator and
+/// the replay path so both sides run the identical arithmetic.
+inline void FoldObservationInto(AuditGroupTally* tally, int predicted,
+                                int true_label, double score) {
+  tally->count += 1;
+  tally->score_sum += score;
+  const bool positive = predicted == 1;
+  if (positive) tally->positives += 1;
+  if (true_label == 0 || true_label == 1) {
+    tally->labeled += 1;
+    if (positive) {
+      (true_label == 1 ? tally->tp : tally->fp) += 1;
+    } else {
+      (true_label == 1 ? tally->fn : tally->tn) += 1;
+    }
+  }
+}
+
+/// A window's derived fairness metrics plus validity flags.
+struct WindowMetrics {
+  double di = 1.0;       ///< Disparate impact SR_U / SR_W (+inf possible).
+  double di_star = 1.0;  ///< min(DI, 1/DI) in [0, 1]; EEOC flags < 0.8.
+  double spd = 0.0;      ///< |SR_U - SR_W| (statistical parity difference).
+  double eod_fnr = 0.0;  ///< |FNR_U - FNR_W| (equalized odds, FNR side).
+  double eod_fpr = 0.0;  ///< |FPR_U - FPR_W| (equalized odds, FPR side).
+  bool insufficient_groups = false;  ///< A group saw zero traffic; sentinels above.
+  bool insufficient_labels = false;  ///< A group had zero labeled rows; EOD advisory only.
+};
+
+/// Derives window metrics from per-group tallies by building the same
+/// GroupedPredictionStats shapes the batch path builds and calling
+/// fairness/metrics verbatim. DI and SPD use selection-shaped confusion
+/// counts (tp = positives, fp = 0) because selection rate only depends on
+/// positives/count — the division is bit-identical to the batch path's
+/// (tp + fp) / total on fully labeled rows. EOD uses the labeled
+/// confusion tallies.
+WindowMetrics ComputeWindowMetrics(const AuditGroupTally& majority,
+                                   const AuditGroupTally& minority);
+
+/// Per-window alert thresholds. Defaults disable everything except the
+/// EEOC 80% floor; a ceiling of 1.0 can never fire for SPD/EOD (both are
+/// bounded by 1) so 1.0 doubles as "off".
+struct AlertPolicy {
+  double di_star_floor = 0.8;  ///< Breach when DI* < floor (EEOC rule at 0.8).
+  double spd_ceiling = 1.0;    ///< Breach when SPD > ceiling.
+  double eod_ceiling = 1.0;    ///< Breach when max(EOD_fnr, EOD_fpr) > ceiling.
+  size_t trigger_windows = 2;  ///< Consecutive breaching windows before an alert raises.
+  size_t clear_windows = 2;    ///< Consecutive clean windows before it clears.
+};
+
+/// True when `m` violates `policy`. Windows with insufficient groups
+/// never breach; EOD only participates when both groups had labels.
+bool WindowBreaches(const WindowMetrics& m, const AlertPolicy& policy);
+
+/// Human-readable reason string for a breaching window ("DI*=0.61<0.80").
+/// Empty when the window does not breach. Allocates; call off-hot-path.
+std::string BreachReason(const WindowMetrics& m, const AlertPolicy& policy);
+
+/// One completed tumbling window. Plain copyable data — the auditor's
+/// log pipeline moves these through a freelist without allocating.
+struct FairnessWindow {
+  uint64_t index = 0;      ///< 0-based window sequence number.
+  uint64_t start_seq = 0;  ///< Observation sequence number of the first row.
+  uint64_t size = 0;       ///< Rows in the window (== window_size).
+  AuditGroupTally majority;
+  AuditGroupTally minority;
+  AuditGroupTally overall;  ///< Every row, including group ids outside {0,1}.
+  uint64_t snapshot_version_min = 0;
+  uint64_t snapshot_version_max = 0;
+  uint64_t density_checked = 0;
+  uint64_t density_outliers = 0;
+  WindowMetrics metrics;
+  bool breach = false;
+  bool alert_active = false;   ///< Hysteresis state after this window.
+  bool alert_raised = false;   ///< This window crossed the trigger threshold.
+  bool alert_cleared = false;  ///< This window crossed the clear threshold.
+};
+
+/// Folds observations into tumbling windows of `window_size` rows and
+/// applies the alert policy with hysteresis. Not thread-safe; the shard
+/// auditor serializes callers.
+class FairnessWindowAccumulator {
+ public:
+  FairnessWindowAccumulator(size_t window_size, const AlertPolicy& policy);
+
+  /// Folds one observation. Returns the just-completed window when this
+  /// observation closed one (pointer valid until the next Fold call),
+  /// nullptr otherwise. No allocation in either case.
+  const FairnessWindow* Fold(const AuditObservation& obs);
+
+  size_t window_size() const { return window_size_; }
+  const AlertPolicy& policy() const { return policy_; }
+
+  uint64_t observations() const { return observations_; }
+  uint64_t windows_completed() const { return windows_completed_; }
+  uint64_t breaches() const { return breaches_; }
+  uint64_t alerts_raised() const { return alerts_raised_; }
+  bool alert_active() const { return alert_active_; }
+
+  /// Cumulative tallies over every folded observation (complete windows
+  /// plus the in-progress one) — the fleet view derives whole-run
+  /// metrics from these.
+  const AuditGroupTally& cumulative_majority() const { return cum_majority_; }
+  const AuditGroupTally& cumulative_minority() const { return cum_minority_; }
+  const AuditGroupTally& cumulative_overall() const { return cum_overall_; }
+
+ private:
+  void CompleteWindow();
+
+  size_t window_size_;
+  AlertPolicy policy_;
+
+  FairnessWindow current_;    // Tallies being filled.
+  FairnessWindow completed_;  // Last finished window (Fold's return target).
+  uint64_t fill_ = 0;         // Rows folded into current_.
+
+  uint64_t observations_ = 0;
+  uint64_t windows_completed_ = 0;
+  uint64_t breaches_ = 0;
+  uint64_t alerts_raised_ = 0;
+  bool alert_active_ = false;
+  size_t breach_streak_ = 0;
+  size_t clean_streak_ = 0;
+
+  AuditGroupTally cum_majority_;
+  AuditGroupTally cum_minority_;
+  AuditGroupTally cum_overall_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_AUDIT_FAIRNESS_WINDOW_H_

@@ -1,0 +1,199 @@
+#include "serve/audit/replay.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "serve/audit/audit_records.h"
+#include "serve/audit/fairness_window.h"
+
+namespace fairdrift {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+bool SameBits(double a, double b) { return Bits(a) == Bits(b); }
+
+std::string Mismatch(const char* what, double logged, double replayed) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: logged bits %016" PRIx64 " (%.17g) != replayed bits "
+                "%016" PRIx64 " (%.17g)",
+                what, Bits(logged), logged, Bits(replayed), replayed);
+  return buf;
+}
+
+std::string TallyMismatch(const char* group, const char* field,
+                          uint64_t logged, uint64_t replayed) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s tally %s: logged %" PRIu64 " != replayed %" PRIu64, group,
+                field, logged, replayed);
+  return buf;
+}
+
+// Compares a refolded tally against the logged one; empty string = equal.
+std::string CompareTally(const char* name, const AuditGroupTally& logged,
+                         const AuditGroupTally& replayed) {
+  if (logged.count != replayed.count)
+    return TallyMismatch(name, "count", logged.count, replayed.count);
+  if (logged.positives != replayed.positives)
+    return TallyMismatch(name, "positives", logged.positives,
+                         replayed.positives);
+  if (logged.labeled != replayed.labeled)
+    return TallyMismatch(name, "labeled", logged.labeled, replayed.labeled);
+  if (logged.tp != replayed.tp)
+    return TallyMismatch(name, "tp", logged.tp, replayed.tp);
+  if (logged.fp != replayed.fp)
+    return TallyMismatch(name, "fp", logged.fp, replayed.fp);
+  if (logged.tn != replayed.tn)
+    return TallyMismatch(name, "tn", logged.tn, replayed.tn);
+  if (logged.fn != replayed.fn)
+    return TallyMismatch(name, "fn", logged.fn, replayed.fn);
+  if (!SameBits(logged.score_sum, replayed.score_sum))
+    return std::string(name) + " " +
+           Mismatch("score_sum", logged.score_sum, replayed.score_sum);
+  return std::string();
+}
+
+}  // namespace
+
+Result<ReplayReport> ReplayAuditLog(const std::string& log_path,
+                                    const ModelSnapshot& snapshot) {
+  AuditVerifyReport verify;
+  Result<std::vector<AuditLogEntry>> entries =
+      ReadAuditLog(log_path, &verify);
+  if (!entries.ok()) return entries.status();
+
+  ReplayReport report;
+  report.log_records = verify.records;
+  report.torn_tail = verify.torn_tail;
+
+  // Index window records by (shard, window); collect rows records.
+  std::map<std::pair<int32_t, uint64_t>, AuditWindowRecord> windows;
+  std::vector<AuditRowsRecord> rows_records;
+  for (const AuditLogEntry& entry : entries.value()) {
+    Result<std::string> type = PeekRecordType(entry.rec);
+    if (!type.ok()) return type.status();
+    if (type.value() == "window") {
+      Result<AuditWindowRecord> rec = ParseWindowRecord(entry.rec);
+      if (!rec.ok()) return rec.status();
+      windows[{rec.value().shard, rec.value().window.index}] = rec.value();
+    } else if (type.value() == "rows") {
+      Result<AuditRowsRecord> rec = ParseRowsRecord(entry.rec);
+      if (!rec.ok()) return rec.status();
+      rows_records.push_back(std::move(rec.value()));
+    } else {
+      return Status::DataLoss("audit log has unknown record type \"" +
+                              type.value() + "\"");
+    }
+  }
+
+  for (const AuditRowsRecord& rows : rows_records) {
+    auto it = windows.find({rows.shard, rows.window_index});
+    if (it == windows.end()) {
+      return Status::DataLoss(
+          "audit log has a rows record without its window record");
+    }
+    const AuditWindowRecord& logged = it->second;
+    const size_t n = rows.groups.size();
+    if (rows.width != snapshot.num_features()) {
+      return Status::InvalidArgument(
+          "audit log rows were served with a different schema width than "
+          "this snapshot");
+    }
+    if (logged.window.size != n) {
+      return Status::DataLoss(
+          "audit window/rows record row-count disagreement");
+    }
+
+    ReplayWindowResult result;
+    result.shard = rows.shard;
+    result.window_index = rows.window_index;
+    result.rows = n;
+    result.breach = logged.window.breach;
+
+    // Re-score the whole window as one batch; per-row results are
+    // bitwise independent of how the live server batched these rows.
+    Result<Matrix> batch = Matrix::FromFlat(n, rows.width, rows.rows);
+    if (!batch.ok()) return batch.status();
+    Result<std::vector<ScoreResult>> scored = snapshot.ScoreBatch(
+        batch.value());
+    if (!scored.ok()) return scored.status();
+    const std::vector<ScoreResult>& results = scored.value();
+
+    AuditGroupTally majority, minority, overall;
+    for (size_t i = 0; i < n && result.detail.empty(); ++i) {
+      if (results[i].label != rows.preds[i]) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "row %zu: logged decision %d != replayed %d", i,
+                      rows.preds[i], results[i].label);
+        result.detail = buf;
+        break;
+      }
+      if (!SameBits(results[i].probability, rows.scores[i])) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "row %zu score", i);
+        result.detail =
+            std::string(buf) + ": " +
+            Mismatch("probability", rows.scores[i], results[i].probability);
+        break;
+      }
+      // Fold the re-scored result exactly as the live accumulator did.
+      AuditGroupTally* slot = nullptr;
+      if (rows.groups[i] == 0) slot = &majority;
+      if (rows.groups[i] == 1) slot = &minority;
+      if (slot != nullptr) {
+        FoldObservationInto(slot, results[i].label, rows.labels[i],
+                            results[i].probability);
+      }
+      FoldObservationInto(&overall, results[i].label, rows.labels[i],
+                          results[i].probability);
+    }
+
+    if (result.detail.empty()) {
+      result.detail = CompareTally("majority", logged.window.majority, majority);
+    }
+    if (result.detail.empty()) {
+      result.detail = CompareTally("minority", logged.window.minority, minority);
+    }
+    if (result.detail.empty()) {
+      result.detail = CompareTally("overall", logged.window.overall, overall);
+    }
+    if (result.detail.empty()) {
+      WindowMetrics m = ComputeWindowMetrics(majority, minority);
+      const WindowMetrics& lm = logged.window.metrics;
+      if (!SameBits(lm.di, m.di)) {
+        result.detail = Mismatch("DI", lm.di, m.di);
+      } else if (!SameBits(lm.di_star, m.di_star)) {
+        result.detail = Mismatch("DI*", lm.di_star, m.di_star);
+      } else if (!SameBits(lm.spd, m.spd)) {
+        result.detail = Mismatch("SPD", lm.spd, m.spd);
+      } else if (!SameBits(lm.eod_fnr, m.eod_fnr)) {
+        result.detail = Mismatch("EOD(FNR)", lm.eod_fnr, m.eod_fnr);
+      } else if (!SameBits(lm.eod_fpr, m.eod_fpr)) {
+        result.detail = Mismatch("EOD(FPR)", lm.eod_fpr, m.eod_fpr);
+      } else if (lm.insufficient_groups != m.insufficient_groups ||
+                 lm.insufficient_labels != m.insufficient_labels) {
+        result.detail = "validity flags disagree with logged window";
+      }
+    }
+
+    result.matched = result.detail.empty();
+    ++report.windows_replayed;
+    if (result.breach) ++report.flagged_replayed;
+    if (result.matched) ++report.windows_matched;
+    report.windows.push_back(std::move(result));
+  }
+
+  return report;
+}
+
+}  // namespace fairdrift

@@ -1,0 +1,66 @@
+// Bitwise replay of audited windows from the log + a snapshot file.
+//
+// For every window whose raw rows were logged, replay re-scores the rows
+// against the given snapshot as ONE batch (per-row results are bitwise
+// independent of batch composition and worker count — the snapshot
+// determinism contract), then checks, bit for bit:
+//
+//   1. every re-scored decision and probability against the logged
+//      per-row values,
+//   2. the refolded per-group tallies (including score sums, folded in
+//      logged order through the same FoldObservationInto the live
+//      accumulator used) against the window record's tallies,
+//   3. DI / DI* / SPD / EOD recomputed from those tallies against the
+//      window record's metric bits.
+//
+// Snapshot versions are process-local (LoadSnapshot stamps a fresh one)
+// and are deliberately NOT compared; density verdict counts are also
+// skipped because the serving process may have run a monitor override.
+// A match therefore certifies: this snapshot file, applied to the logged
+// rows, reproduces the logged fairness evidence exactly.
+
+#ifndef FAIRDRIFT_SERVE_AUDIT_REPLAY_H_
+#define FAIRDRIFT_SERVE_AUDIT_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/audit/audit_log.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Outcome of replaying one logged window.
+struct ReplayWindowResult {
+  int32_t shard = 0;
+  uint64_t window_index = 0;
+  uint64_t rows = 0;
+  bool breach = false;    ///< The live window breached the alert policy.
+  bool matched = false;   ///< Everything reproduced bitwise.
+  std::string detail;     ///< First mismatch, empty when matched.
+};
+
+struct ReplayReport {
+  uint64_t log_records = 0;       ///< Chain-verified records read.
+  bool torn_tail = false;         ///< Log ended in a tolerated torn record.
+  size_t windows_replayed = 0;    ///< Windows with logged rows.
+  size_t windows_matched = 0;
+  size_t flagged_replayed = 0;    ///< Of those, breaching windows.
+  std::vector<ReplayWindowResult> windows;
+  bool all_matched() const {
+    return windows_replayed > 0 && windows_matched == windows_replayed;
+  }
+};
+
+/// Replays every rows-bearing window in `log_path` against `snapshot`.
+/// Fails (rather than reporting a mismatch) on a corrupt log, a rows
+/// record without its window record, or a row-width/schema disagreement
+/// with the snapshot.
+Result<ReplayReport> ReplayAuditLog(const std::string& log_path,
+                                    const ModelSnapshot& snapshot);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_AUDIT_REPLAY_H_

@@ -131,6 +131,12 @@ Result<std::unique_ptr<ScoringFleet>> ScoringFleet::Create(
     return Status::InvalidArgument("ScoringFleet: zero shards");
   }
   std::unique_ptr<ScoringFleet> fleet(new ScoringFleet(options));
+  if (options.audit.enabled) {
+    Result<std::unique_ptr<FleetAuditor>> auditor = FleetAuditor::Create(
+        options.audit, options.num_shards, snapshot->num_features());
+    if (!auditor.ok()) return auditor.status();
+    fleet->auditor_ = std::move(auditor).value();
+  }
   for (size_t s = 0; s < options.num_shards; ++s) {
     ServerOptions shard_options = options.shard;
     if (options.workers_per_shard > 0) {
@@ -141,6 +147,11 @@ Result<std::unique_ptr<ScoringFleet>> ScoringFleet::Create(
     // Tag each shard's fault sites with its index so a rule can target
     // one shard of the fleet (e.g. wedge shard 1, stall shard 2's drain).
     shard_options.fault_tag = static_cast<uint64_t>(s);
+    // The fleet's audit tier supersedes any caller-supplied per-shard
+    // auditor (one FleetAuditor must own every shard's windows).
+    if (fleet->auditor_ != nullptr) {
+      shard_options.audit = fleet->auditor_->shard(s);
+    }
     Result<std::unique_ptr<ScoringServer>> server =
         ScoringServer::Create(snapshot, shard_options);
     if (!server.ok()) return server.status();
@@ -179,8 +190,14 @@ size_t ScoringFleet::ShardLoad(size_t s) const {
 
 Result<ScoreTicket> ScoringFleet::Submit(
     std::vector<double> row, std::chrono::nanoseconds deadline_after) {
+  return Submit(std::move(row), RequestAuditInfo{}, deadline_after);
+}
+
+Result<ScoreTicket> ScoringFleet::Submit(
+    std::vector<double> row, const RequestAuditInfo& audit,
+    std::chrono::nanoseconds deadline_after) {
   size_t shard = router_.Pick(row.data(), row.size(), *this);
-  return shard_ref(shard)->Submit(std::move(row), deadline_after);
+  return shard_ref(shard)->Submit(std::move(row), audit, deadline_after);
 }
 
 Result<ScoreResult> ScoringFleet::ScoreSync(
@@ -392,6 +409,7 @@ FleetStatsView ScoringFleet::stats() const {
   FleetStatsView view;
   view.num_shards = servers_.size();
   view.queue_depths.reserve(servers_.size());
+  view.shard_outlier_rates.reserve(servers_.size());
   view.shard_completed.reserve(servers_.size());
   view.shard_versions.reserve(servers_.size());
   view.shard_ejected.reserve(servers_.size());
@@ -415,6 +433,11 @@ FleetStatsView ScoringFleet::stats() const {
       merged_hist[b] += s.latency_hist[b];
     }
     view.queue_depths.push_back(server->queue_depth());
+    view.shard_outlier_rates.push_back(
+        s.density_checked == 0
+            ? 0.0
+            : static_cast<double>(s.density_outliers) /
+                  static_cast<double>(s.density_checked));
     view.shard_completed.push_back(s.completed);
     view.shard_versions.push_back(server->CurrentSnapshot()->version());
     view.shard_ejected.push_back(ShardEjected(i) ? 1 : 0);
@@ -448,6 +471,7 @@ FleetStatsView ScoringFleet::stats() const {
   view.ejections = ejections_.load(std::memory_order_relaxed);
   view.restarts = restarts_.load(std::memory_order_relaxed);
   view.readmissions = readmissions_.load(std::memory_order_relaxed);
+  if (auditor_ != nullptr) view.audit = auditor_->view();
   return view;
 }
 

@@ -55,6 +55,7 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/audit/auditor.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "serve/ticket.h"
@@ -110,6 +111,10 @@ struct FleetOptions {
   /// contention on one task queue. 0 = all shards share `shard.pool`
   /// (the global pool when that is null).
   size_t workers_per_shard = 0;
+  /// Fairness audit tier (serve/audit/). When audit.enabled the fleet
+  /// owns a FleetAuditor and wires one ShardAuditor into each shard
+  /// (`shard.audit` is then ignored — the fleet overwrites it).
+  AuditOptions audit;
 };
 
 /// Per-shard drain + swap schedule knobs.
@@ -213,6 +218,10 @@ struct FleetStatsView {
   double outlier_rate = 0.0;
   /// Sampled per-shard queue depths (the router's load signal).
   std::vector<size_t> queue_depths;
+  /// Per-shard density outlier rate (checked-row fraction below the
+  /// floor, 0 before any checked row) — the per-shard drift signal the
+  /// serve status line prints next to each shard's served version.
+  std::vector<double> shard_outlier_rates;
   /// Completed requests per shard (routing-balance witness).
   std::vector<uint64_t> shard_completed;
   /// Snapshot version each shard currently serves new batches from.
@@ -234,6 +243,9 @@ struct FleetStatsView {
   uint64_t readmissions = 0;
   /// Per-shard ejected flag (1 = currently out of routing).
   std::vector<uint8_t> shard_ejected;
+  /// Fairness audit aggregates (audit.enabled == false when the fleet
+  /// was built without the audit tier).
+  FleetAuditView audit;
 };
 
 /// N scoring-server shards behind a router, updated as one unit.
@@ -255,6 +267,12 @@ class ScoringFleet {
   /// deadlines, and ticket semantics are the shard server's.
   Result<ScoreTicket> Submit(
       std::vector<double> row,
+      std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Submit with audit metadata (explicit group and/or ground-truth
+  /// label) attached; see ScoringServer::Submit.
+  Result<ScoreTicket> Submit(
+      std::vector<double> row, const RequestAuditInfo& audit,
       std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
 
   /// Submit + Wait (not callable from a shard pool's own workers).
@@ -301,6 +319,10 @@ class ScoringFleet {
 
   FleetStatsView stats() const;
 
+  /// The fleet's auditor (null when options.audit.enabled is false).
+  /// Flush() it before reading the audit log from another process.
+  FleetAuditor* auditor() const { return auditor_.get(); }
+
   size_t num_shards() const { return servers_.size(); }
   /// Owning reference to shard `s`'s current server — safe against a
   /// concurrent RestartShard swapping the slot.
@@ -336,6 +358,9 @@ class ScoringFleet {
 
   FleetOptions options_;
   std::vector<std::unique_ptr<ThreadPool>> shard_pools_;
+  /// Declared before servers_ so it destructs after them: batch workers
+  /// fold into their ShardAuditor until every server has stopped.
+  std::unique_ptr<FleetAuditor> auditor_;
   /// Slots are written only by RestartShard, via the shared_ptr atomic
   /// free functions; readers take owning refs through shard_ref(). The
   /// vector itself never resizes after Create.

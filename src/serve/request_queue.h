@@ -21,6 +21,16 @@
 
 namespace fairdrift {
 
+/// Optional per-request audit metadata (serve/audit/). A non-negative
+/// `group` overrides the group the snapshot extracts from the row's own
+/// group field; `label` is the ground-truth outcome when the caller
+/// already knows it (delayed-feedback pipelines attach it at submit time
+/// so equalized-odds windows are live), -1 = unlabeled.
+struct RequestAuditInfo {
+  int group = -1;
+  int label = -1;
+};
+
 /// One enqueued request: the raw row, its timing, and its response ticket.
 struct PendingRequest {
   std::vector<double> row;
@@ -28,6 +38,8 @@ struct PendingRequest {
   /// Absolute shed deadline; time_point::max() = none.
   std::chrono::steady_clock::time_point deadline;
   std::shared_ptr<serve_internal::TicketState> ticket;
+  /// Audit metadata folded into the fairness windows after scoring.
+  RequestAuditInfo audit;
 };
 
 /// Thread-safe bounded FIFO with batch pop and close semantics.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/audit/auditor.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -51,6 +52,12 @@ void ScoringServer::Stop() {
 
 Result<ScoreTicket> ScoringServer::Submit(
     std::vector<double> row, std::chrono::nanoseconds deadline_after) {
+  return Submit(std::move(row), RequestAuditInfo{}, deadline_after);
+}
+
+Result<ScoreTicket> ScoringServer::Submit(
+    std::vector<double> row, const RequestAuditInfo& audit,
+    std::chrono::nanoseconds deadline_after) {
   auto now = std::chrono::steady_clock::now();
   auto deadline = admission_.ResolveDeadline(now, deadline_after);
   Status admit = admission_.Admit(queue_, now, deadline,
@@ -82,6 +89,7 @@ Result<ScoreTicket> ScoringServer::Submit(
   request.enqueue_time = now;
   request.deadline = deadline;
   request.ticket = state;
+  request.audit = audit;
   if (!queue_.TryPush(std::move(request))) {
     stats_.RecordAdmissionShed();
     return queue_.closed()
@@ -276,6 +284,26 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
     if (r.density_outlier) ++density_outliers;
   }
   stats_.RecordDensity(density_checked, density_outliers);
+  if (options_.audit != nullptr) {
+    // Resolve each row's audit identity: explicit request metadata wins
+    // over the group the snapshot extracted from the row itself. Folding
+    // happens before tickets complete for the same reason stats do — a
+    // client returning from Wait sees its own row in the audit counters.
+    scratch->audit_groups.resize(live.size());
+    scratch->audit_labels.resize(live.size());
+    for (size_t k = 0; k < live.size(); ++k) {
+      const RequestAuditInfo& info = (*batch)[live[k]].audit;
+      scratch->audit_groups[k] =
+          info.group >= 0 ? info.group : scratch->results[k].group;
+      scratch->audit_labels[k] = info.label;
+    }
+    AuditFoldOutcome outcome;
+    options_.audit->FoldBatch(scratch->rows, scratch->results.data(),
+                              scratch->audit_groups.data(),
+                              scratch->audit_labels.data(), live.size(),
+                              &outcome);
+    stats_.RecordAuditFold(outcome);
+  }
   for (size_t k = 0; k < live.size(); ++k) {
     stats_.RecordCompletion(done - (*batch)[live[k]].enqueue_time);
   }

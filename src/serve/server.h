@@ -39,7 +39,8 @@
 
 namespace fairdrift {
 
-class ThreadPool;  // util/parallel.h
+class ThreadPool;    // util/parallel.h
+class ShardAuditor;  // serve/audit/auditor.h
 
 /// Full server configuration.
 struct ServerOptions {
@@ -60,6 +61,11 @@ struct ServerOptions {
   /// (FAULT_POINT_ARG), so a rule can target one server of a fleet.
   /// ScoringFleet sets it to the shard index.
   uint64_t fault_tag = 0;
+  /// Fairness audit sink (serve/audit/): every scored row of every batch
+  /// is folded into this shard accumulator right after scoring, before
+  /// tickets complete. Not owned; must outlive the server. Null = no
+  /// auditing (the historical behavior, zero overhead).
+  ShardAuditor* audit = nullptr;
 };
 
 /// Asynchronous micro-batching scoring server over immutable snapshots.
@@ -85,6 +91,13 @@ class ScoringServer {
   /// the returned ticket completes when a batch worker scores the row.
   Result<ScoreTicket> Submit(
       std::vector<double> row,
+      std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Submit with audit metadata attached: an explicit group id (overrides
+  /// the snapshot's own group-field extraction) and/or a ground-truth
+  /// label, folded into the fairness windows when the server audits.
+  Result<ScoreTicket> Submit(
+      std::vector<double> row, const RequestAuditInfo& audit,
       std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
 
   /// Submit + Wait. Not callable from the scoring pool's own workers.

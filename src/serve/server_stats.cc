@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "serve/audit/auditor.h"
+
 namespace fairdrift {
 
 namespace {
@@ -93,6 +95,18 @@ void ServerStats::RecordDensity(uint64_t checked, uint64_t outliers) {
   }
 }
 
+void ServerStats::RecordAuditFold(const AuditFoldOutcome& outcome) {
+  if (outcome.windows == 0) return;
+  audit_windows_.fetch_add(outcome.windows, rel());
+  audit_breaches_.fetch_add(outcome.breaches, rel());
+  audit_alerts_raised_.fetch_add(outcome.alerts_raised, rel());
+  audit_alert_active_.store(outcome.alert_active ? 1 : 0, rel());
+  if (outcome.has_metrics) {
+    audit_last_di_star_bits_.store(DoubleToBits(outcome.di_star), rel());
+    audit_last_spd_bits_.store(DoubleToBits(outcome.spd), rel());
+  }
+}
+
 double ServerStats::EwmaOutlierRate() const {
   uint64_t bits = ewma_outlier_rate_bits_.load(rel());
   return bits == ~uint64_t{0} ? 0.0 : BitsToDouble(bits);
@@ -145,6 +159,16 @@ ServerStats::View ServerStats::Snapshot() const {
   view.density_checked = density_checked_.load(rel());
   view.density_outliers = density_outliers_.load(rel());
   view.ewma_outlier_rate = EwmaOutlierRate();
+  view.audit_windows = audit_windows_.load(rel());
+  view.audit_breaches = audit_breaches_.load(rel());
+  view.audit_alerts_raised = audit_alerts_raised_.load(rel());
+  view.audit_alert_active = audit_alert_active_.load(rel()) != 0;
+  uint64_t di_bits = audit_last_di_star_bits_.load(rel());
+  if (di_bits != ~uint64_t{0}) {
+    view.audit_has_metrics = true;
+    view.audit_last_di_star = BitsToDouble(di_bits);
+    view.audit_last_spd = BitsToDouble(audit_last_spd_bits_.load(rel()));
+  }
 
   view.batch_size_hist.resize(kBatchBuckets);
   for (size_t b = 0; b < kBatchBuckets; ++b) {

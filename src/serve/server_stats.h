@@ -18,6 +18,8 @@
 
 namespace fairdrift {
 
+struct AuditFoldOutcome;  // serve/audit/auditor.h
+
 /// Thread-safe statistics sink for one ScoringServer.
 class ServerStats {
  public:
@@ -62,6 +64,11 @@ class ServerStats {
   /// signal: fresh to within ~sample_modulus * batch-size requests.
   double EwmaOutlierRate() const;
 
+  /// What one batch's fairness-audit fold produced (serve/audit/): window
+  /// completions, breaches, alert transitions, and the latest completed
+  /// window's headline metrics. No-op when the fold completed no window.
+  void RecordAuditFold(const AuditFoldOutcome& outcome);
+
   /// Consistent-enough copy of all counters plus derived percentiles.
   /// (Counters are read individually; a view taken while traffic is in
   /// flight may be mid-request, which is fine for monitoring.)
@@ -86,6 +93,21 @@ class ServerStats {
     uint64_t density_outliers = 0;
     /// EWMA of the per-batch outlier fraction (0 until a checked batch).
     double ewma_outlier_rate = 0.0;
+    /// Fairness-audit windows this server completed (0 when unaudited).
+    uint64_t audit_windows = 0;
+    /// Completed windows whose metrics breached the alert policy.
+    uint64_t audit_breaches = 0;
+    /// Alert raise transitions (hysteresis-filtered, not per-window).
+    uint64_t audit_alerts_raised = 0;
+    /// True while this server's fairness alert is currently raised.
+    bool audit_alert_active = false;
+    /// True once at least one completed window had both groups present —
+    /// only then do the two metrics below mean anything.
+    bool audit_has_metrics = false;
+    /// Latest completed window's symmetric disparate impact min(DI, 1/DI).
+    double audit_last_di_star = 1.0;
+    /// Latest completed window's statistical parity difference.
+    double audit_last_spd = 0.0;
     /// Completed-request counts per power-of-two batch-size bucket.
     std::vector<uint64_t> batch_size_hist;
     /// Completed-request counts per log-scale latency bucket
@@ -127,6 +149,14 @@ class ServerStats {
   /// legitimate rate, so "no sample yet" is the all-ones sentinel (a NaN
   /// pattern no CAS update ever stores), not 0.
   std::atomic<uint64_t> ewma_outlier_rate_bits_{~uint64_t{0}};
+  std::atomic<uint64_t> audit_windows_{0};
+  std::atomic<uint64_t> audit_breaches_{0};
+  std::atomic<uint64_t> audit_alerts_raised_{0};
+  std::atomic<uint8_t> audit_alert_active_{0};
+  /// Latest window's DI*/SPD as IEEE-754 bits; all-ones = no metric-
+  /// bearing window yet (same sentinel convention as the rate EWMA).
+  std::atomic<uint64_t> audit_last_di_star_bits_{~uint64_t{0}};
+  std::atomic<uint64_t> audit_last_spd_bits_{~uint64_t{0}};
   std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<uint64_t>, kBatchBuckets> batch_hist_{};
 };

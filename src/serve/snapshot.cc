@@ -54,6 +54,17 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
     return Status::InvalidArgument(
         "ModelSnapshot: monitor sample_modulus must be >= 1");
   }
+  if (parts.group_field < -1 ||
+      parts.group_field >= static_cast<int>(parts.schema.num_fields())) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: group_field is outside the schema");
+  }
+  if (parts.group_field >= 0 &&
+      parts.schema.field(static_cast<size_t>(parts.group_field)).type ==
+          ColumnType::kNumeric) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: group_field must be a categorical field");
+  }
   if (parts.routed &&
       parts.profile.num_groups() < static_cast<int>(parts.models.size())) {
     // Routing consults the profile for every group that has a model; a
@@ -77,6 +88,7 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
   snapshot->density_floor_ = parts.density_floor;
   snapshot->density_options_ = parts.density_options;
   snapshot->monitor_ = parts.monitor;
+  snapshot->group_field_ = parts.group_field;
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
@@ -143,6 +155,16 @@ Status ModelSnapshot::ScoreBatchInto(const Matrix& rows,
   scratch->results.assign(n, ScoreResult{});
   std::vector<ScoreResult>& out = scratch->results;
   for (ScoreResult& r : out) r.snapshot_version = version_;
+
+  // Group extraction for the audit tier: the group field is a raw
+  // categorical code straight off the request row (TransformRows above
+  // already validated it), so this is one gather, no model involvement.
+  if (group_field_ >= 0) {
+    const size_t gf = static_cast<size_t>(group_field_);
+    for (size_t i = 0; i < n; ++i) {
+      out[i].group = static_cast<int>(rows.At(i, gf));
+    }
+  }
 
   // Conformance routing + margins over the numeric attribute view (the
   // shared DIFFAIR dispatch; group membership is never consulted).

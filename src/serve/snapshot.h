@@ -98,6 +98,11 @@ struct ScoreResult {
   bool density_checked = false;
   /// Version of the snapshot that scored the row (swap-isolation witness).
   uint64_t snapshot_version = 0;
+  /// Sensitive group id read from the row's group field when the snapshot
+  /// declares one (SnapshotParts::group_field); -1 otherwise. Feeds the
+  /// serving audit tier (serve/audit/) so fairness windows can be
+  /// computed without clients attaching group metadata.
+  int group = -1;
 };
 
 /// Reusable per-worker buffers for ScoreBatch. A batch worker that keeps
@@ -118,6 +123,8 @@ struct ScoreScratch {
   std::vector<double> logd;     ///< per-row training log-densities
   std::vector<uint8_t> below;   ///< per-row bounded-monitor outlier bits
   std::vector<ScoreResult> results;  ///< ScoreBatchInto's output
+  std::vector<int> audit_groups;  ///< per-row resolved audit group ids
+  std::vector<int> audit_labels;  ///< per-row true labels (-1 unlabeled)
 };
 
 /// Mutable staging area for ModelSnapshot::Create. Fill in the fitted
@@ -156,6 +163,10 @@ struct SnapshotParts {
   /// How the monitor runs at serve time (persisted from format v3 on;
   /// older files load with the exact default).
   MonitorSpec monitor;
+  /// Schema index of the categorical field carrying the sensitive group
+  /// id, or -1 when the snapshot extracts no group. Persisted from
+  /// format v4 on; resolved by Freeze from TrainSpec::audit_group_field.
+  int group_field = -1;
 };
 
 /// Immutable, shareable, concurrently scorable pipeline freeze.
@@ -222,6 +233,8 @@ class ModelSnapshot {
   const KernelDensity* density() const { return density_.get(); }
   const KdeOptions& density_options() const { return density_options_; }
   const MonitorSpec& monitor() const { return monitor_; }
+  /// Schema index ScoreResult::group is read from; -1 = no extraction.
+  int group_field() const { return group_field_; }
   int num_groups() const { return static_cast<int>(models_.size()); }
 
   /// The model serving group `g` (nullptr when the group has none).
@@ -243,6 +256,7 @@ class ModelSnapshot {
   double density_floor_ = -std::numeric_limits<double>::infinity();
   KdeOptions density_options_;
   MonitorSpec monitor_;
+  int group_field_ = -1;
 };
 
 }  // namespace fairdrift

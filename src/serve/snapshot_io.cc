@@ -198,6 +198,9 @@ Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
   // even without a density section so the layout does not branch).
   payload.WriteU8(static_cast<uint8_t>(snapshot.monitor().mode));
   payload.WriteU32(snapshot.monitor().sample_modulus);
+  // v4: the audit group field (schema index of the categorical field the
+  // serving audit tier reads group ids from; -1 = none).
+  payload.WriteI32(snapshot.group_field());
   return WriteFramedSnapshot(payload, kSnapshotFormatVersion, path);
 }
 
@@ -420,6 +423,27 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
       parts.monitor.sample_modulus = modulus.value();
     }
 
+    if (version.value() >= 4) {
+      // v4: the audit group field index (-1 = none). Range and
+      // field-type checks here (not just in Create) so kAllowPartial can
+      // degrade a forged index instead of failing the whole load.
+      Result<int32_t> group_field = r.ReadI32();
+      if (!group_field.ok()) return group_field.status();
+      if (group_field.value() < -1 ||
+          group_field.value() >=
+              static_cast<int32_t>(parts.schema.num_fields())) {
+        return Status::DataLoss(
+            "snapshot audit group field is outside the schema");
+      }
+      if (group_field.value() >= 0 &&
+          parts.schema.field(static_cast<size_t>(group_field.value())).type ==
+              ColumnType::kNumeric) {
+        return Status::DataLoss(
+            "snapshot audit group field is not categorical");
+      }
+      parts.group_field = group_field.value();
+    }
+
     if (r.remaining() != 0) {
       return Status::DataLoss("'" + path + "' carries trailing bytes");
     }
@@ -435,6 +459,7 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     parts.density_floor = -std::numeric_limits<double>::infinity();
     parts.density_options = KdeOptions{};
     parts.monitor = MonitorSpec{};
+    parts.group_field = -1;
     report->outcome = SnapshotLoadReport::Outcome::kDegraded;
     report->degraded_note = StrFormat(
         "monitor sections dropped (%s); serving with density monitoring "

@@ -26,9 +26,14 @@
 //   v3  appends the MonitorSpec (u8 mode + u32 sample modulus) after the
 //       density section, so the serve-time monitoring policy travels
 //       with the artifact. v1/v2 files still load, with the exact-mode
-//       default spec; v3 is what SaveSnapshot writes. (The
-//       classification bounds backing bounded/sampled modes are derived
-//       state, rebuilt on load — the density payload is unchanged.)
+//       default spec. (The classification bounds backing bounded/sampled
+//       modes are derived state, rebuilt on load — the density payload
+//       is unchanged.)
+//   v4  appends the audit group field (i32 schema index, -1 = none)
+//       after the MonitorSpec, so the serving audit tier
+//       (serve/audit/) knows which categorical request field carries
+//       the sensitive group id. v1-v3 files load with no group field;
+//       v4 is what SaveSnapshot writes.
 //
 // Saves are atomic (write to <path>.tmp.<pid> + rename), so a concurrent
 // reader — in particular the hot-reload SnapshotWatcher
@@ -49,7 +54,7 @@
 namespace fairdrift {
 
 /// Current on-disk format version (what SaveSnapshot writes).
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 
 /// Oldest format version LoadSnapshot still reads.
 inline constexpr uint32_t kMinSnapshotFormatVersion = 1;

@@ -32,6 +32,9 @@
 //   snapshot.save.partial SaveSnapshot writes half its tmp file and fails
 //   snapshot.save.crash   SaveSnapshot writes half its tmp file and
 //                         _exit(42)s — the crash-during-save smoke
+//   audit.append          AuditLog::Append fails before writing (the
+//                         record is lost, the checksum chain stays valid)
+//   audit.fsync           AuditLog::Sync's fsync fails after the write
 
 #ifndef FAIRDRIFT_UTIL_FAULT_H_
 #define FAIRDRIFT_UTIL_FAULT_H_
