@@ -1,0 +1,394 @@
+// Network serving benchmarks (written to BENCH_net.json).
+//
+// Measures what the wire costs relative to in-process serving, and what
+// the incremental push protocol saves relative to shipping the whole
+// snapshot:
+//
+//   - Remote throughput: the same batched request stream runs against
+//     1, 2, and 4 shard daemons behind a RemoteFleet router (framing +
+//     FNV checksums + TCP over loopback on every hop) and against an
+//     in-process ScoringFleet of the same widths. Daemons here live in
+//     this process (threads over loopback sockets) — that prices the
+//     full wire path while staying runnable in one bench binary; the CI
+//     smoke test covers true multi-process serving.
+//   - Server-side p50/p99 per-request latency from the wire-merged
+//     fleet histograms vs the in-process fleet's.
+//   - Push bytes: a density-only retrain pushed to a daemon that
+//     already serves the previous snapshot (manifest diff -> one chunk
+//     travels) vs the full monolithic payload size.
+//
+// The exit code gates correctness, not speed: every benched request must
+// score, the push must commit with the served version advancing, and
+// the incremental delta must be smaller than the full payload. Loopback
+// RPC throughput is hardware-dependent; the numbers are recorded for
+// trajectory, not asserted.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common/bench_json.h"
+#include "core/deployment.h"
+#include "serve/fleet/fleet.h"
+#include "serve/net/remote_fleet.h"
+#include "serve/net/shard_daemon.h"
+#include "serve/net/wire.h"
+#include "serve/snapshot_manifest.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fairdrift {
+namespace {
+
+Dataset MakeTrainingData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(d, std::vector<double>(n));
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = rng.Bernoulli(0.3) ? 1 : 0;
+    double margin = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      double v = rng.Gaussian(g == 1 ? 0.4 : -0.4, 1.0);
+      cols[j][i] = v;
+      margin += (j % 2 == 0 ? 1.0 : -0.5) * v;
+    }
+    labels[i] = margin + rng.Gaussian() > 0.0 ? 1 : 0;
+    groups[i] = g;
+  }
+  Dataset data;
+  for (size_t j = 0; j < d; ++j) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "x%zu", j);
+    (void)data.AddNumericColumn(name, std::move(cols[j]));
+  }
+  (void)data.SetLabels(std::move(labels), 2);
+  (void)data.SetGroups(std::move(groups));
+  return data;
+}
+
+std::shared_ptr<const ModelSnapshot> MakeNetSnapshot(bool with_density) {
+  Dataset train = MakeTrainingData(3000, 6, 21);
+  TrainSpec spec = ServingSpec(Method::kNoIntervention);
+  spec.include_density = with_density;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      BuildSnapshot(train, spec);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return nullptr;
+  }
+  return snapshot.value();
+}
+
+std::vector<double> MakeFlatRequests(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> flat(n * d);
+  for (double& v : flat) v = rng.Gaussian();
+  return flat;
+}
+
+struct ThroughputProbe {
+  bool ok = false;
+  double requests_per_sec = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+};
+
+/// `num_requests` rows in batches of `batch` from `num_clients` client
+/// threads through a RemoteFleet over `num_daemons` loopback daemons.
+ThroughputProbe RunRemoteThroughput(
+    const std::shared_ptr<const ModelSnapshot>& snapshot, size_t num_daemons,
+    size_t num_requests, size_t num_clients, size_t batch) {
+  ThroughputProbe probe;
+  const size_t width = snapshot->num_features();
+  std::vector<std::unique_ptr<net::ShardDaemon>> daemons;
+  std::vector<std::string> addresses;
+  for (size_t i = 0; i < num_daemons; ++i) {
+    Result<std::unique_ptr<net::ShardDaemon>> daemon =
+        net::ShardDaemon::Start(snapshot);
+    if (!daemon.ok()) {
+      std::fprintf(stderr, "daemon start failed: %s\n",
+                   daemon.status().ToString().c_str());
+      return probe;
+    }
+    addresses.push_back("127.0.0.1:" +
+                        std::to_string(daemon.value()->port()));
+    daemons.push_back(std::move(daemon).value());
+  }
+  net::RemoteFleetOptions options;
+  options.routing = FleetRoutingPolicy::kHashRow;
+  options.start_prober = false;
+  Result<std::unique_ptr<net::RemoteFleet>> fleet =
+      net::RemoteFleet::Connect(addresses, options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "remote fleet connect failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return probe;
+  }
+
+  std::vector<double> flat = MakeFlatRequests(num_requests, width, 41);
+  std::atomic<uint64_t> scored{0};
+  std::atomic<uint64_t> failed{0};
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client owns a disjoint slice and sends it batch rows at a
+      // time. RemoteShardClient serializes per-connection, so clients
+      // contend exactly the way concurrent router frontends would.
+      for (size_t row = c * batch; row < num_requests;
+           row += num_clients * batch) {
+        size_t n = std::min(batch, num_requests - row);
+        std::vector<double> rows(flat.begin() + row * width,
+                                 flat.begin() + (row + n) * width);
+        Result<std::vector<net::WireRowOutcome>> got =
+            fleet.value()->ScoreBatch(rows, width);
+        if (!got.ok()) {
+          failed.fetch_add(n);
+          continue;
+        }
+        for (const net::WireRowOutcome& outcome : got.value()) {
+          if (outcome.code == StatusCode::kOk) {
+            scored.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = timer.ElapsedSeconds();
+
+  FleetStatsView stats = fleet.value()->stats();
+  probe.ok = failed.load() == 0 && scored.load() == num_requests;
+  probe.requests_per_sec =
+      elapsed > 0.0 ? static_cast<double>(scored.load()) / elapsed : 0.0;
+  probe.p50_latency_us = stats.p50_latency_us;
+  probe.p99_latency_us = stats.p99_latency_us;
+  fleet.value()->Stop();
+  return probe;
+}
+
+/// The in-process twin: the same request volume through a ScoringFleet
+/// of the same width (Submit + ticket wait, no wire).
+ThroughputProbe RunInProcessThroughput(
+    const std::shared_ptr<const ModelSnapshot>& snapshot, size_t num_shards,
+    size_t num_requests, size_t num_clients) {
+  ThroughputProbe probe;
+  const size_t width = snapshot->num_features();
+  FleetOptions options;
+  options.num_shards = num_shards;
+  options.routing = FleetRoutingPolicy::kHashRow;
+  options.shard.admission.max_queue_depth = num_requests + num_clients;
+  Result<std::unique_ptr<ScoringFleet>> fleet =
+      ScoringFleet::Create(snapshot, options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet create failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return probe;
+  }
+  std::vector<double> flat = MakeFlatRequests(num_requests, width, 41);
+  std::atomic<uint64_t> scored{0};
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<ScoreTicket> tickets;
+      for (size_t i = c; i < num_requests; i += num_clients) {
+        std::vector<double> row(flat.begin() + i * width,
+                                flat.begin() + (i + 1) * width);
+        Result<ScoreTicket> ticket = fleet.value()->Submit(std::move(row));
+        if (ticket.ok()) tickets.push_back(std::move(ticket).value());
+      }
+      for (ScoreTicket& t : tickets) {
+        if (t.Wait().ok()) scored.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = timer.ElapsedSeconds();
+  FleetStatsView stats = fleet.value()->stats();
+  probe.ok = scored.load() == num_requests;
+  probe.requests_per_sec =
+      elapsed > 0.0 ? static_cast<double>(scored.load()) / elapsed : 0.0;
+  probe.p50_latency_us = stats.p50_latency_us;
+  probe.p99_latency_us = stats.p99_latency_us;
+  return probe;
+}
+
+struct PushProbe {
+  bool ok = false;
+  double full_payload_bytes = 0.0;
+  double delta_bytes = 0.0;
+  double chunks_total = 0.0;
+  double chunks_sent = 0.0;
+  double push_ms = 0.0;
+};
+
+/// Push a density-only retrain to a daemon already serving the previous
+/// snapshot: the manifest diff keeps every unchanged artifact local.
+PushProbe RunIncrementalPushProbe(
+    const std::shared_ptr<const ModelSnapshot>& before,
+    const std::shared_ptr<const ModelSnapshot>& after) {
+  PushProbe probe;
+  Result<std::unique_ptr<net::ShardDaemon>> daemon =
+      net::ShardDaemon::Start(before);
+  if (!daemon.ok()) return probe;
+  Result<net::WireHealthProbe> probe0 = [&] {
+    net::RemoteShardClient client("127.0.0.1", daemon.value()->port(),
+                                  std::chrono::milliseconds(5000));
+    return client.Probe();
+  }();
+  if (!probe0.ok()) return probe;
+
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*after);
+  if (!chunked.ok()) return probe;
+  probe.full_payload_bytes =
+      static_cast<double>(chunked.value().manifest.payload_size);
+  probe.chunks_total =
+      static_cast<double>(chunked.value().manifest.chunks.size());
+
+  net::RemoteShardClient client("127.0.0.1", daemon.value()->port(),
+                                std::chrono::milliseconds(5000));
+  WallTimer timer;
+  Result<std::vector<std::string>> needed =
+      client.PushManifest(chunked.value().manifest);
+  if (!needed.ok()) return probe;
+  uint64_t delta = 0;
+  for (const std::string& name : needed.value()) {
+    size_t idx = chunked.value().manifest.FindChunk(name);
+    if (idx == static_cast<size_t>(-1)) return probe;
+    delta += chunked.value().chunks[idx].bytes.size();
+    if (!client.PushChunk(name, chunked.value().chunks[idx].bytes).ok()) {
+      return probe;
+    }
+  }
+  Result<net::RemoteShardClient::CommitReply> commit = client.PushCommit();
+  if (!commit.ok()) return probe;
+  probe.push_ms = timer.ElapsedSeconds() * 1e3;
+  probe.delta_bytes = static_cast<double>(delta);
+  probe.chunks_sent = static_cast<double>(needed.value().size());
+  probe.ok = commit.value().snapshot_version != probe0.value().snapshot_version &&
+             delta < chunked.value().manifest.payload_size;
+  return probe;
+}
+
+bool WriteNetBenchJson() {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeNetSnapshot(true);
+  std::shared_ptr<const ModelSnapshot> retrain = MakeNetSnapshot(false);
+  if (snapshot == nullptr || retrain == nullptr) return false;
+  const size_t kRequests = 8192;
+  const size_t kClients = 4;
+  const size_t kBatch = 64;
+
+  // Warm code paths (KDE cache, daemon accept loops) before timing.
+  (void)RunRemoteThroughput(snapshot, 1, 512, kClients, kBatch);
+
+  ThroughputProbe remote1 =
+      RunRemoteThroughput(snapshot, 1, kRequests, kClients, kBatch);
+  ThroughputProbe remote2 =
+      RunRemoteThroughput(snapshot, 2, kRequests, kClients, kBatch);
+  ThroughputProbe remote4 =
+      RunRemoteThroughput(snapshot, 4, kRequests, kClients, kBatch);
+  ThroughputProbe local1 =
+      RunInProcessThroughput(snapshot, 1, kRequests, kClients);
+  ThroughputProbe local2 =
+      RunInProcessThroughput(snapshot, 2, kRequests, kClients);
+  ThroughputProbe local4 =
+      RunInProcessThroughput(snapshot, 4, kRequests, kClients);
+  // Push direction: the daemon serves the density-free build and takes
+  // a retrain that adds the fitted density — the one changed chunk is
+  // the KDE blob, the four unchanged chunks stay home.
+  PushProbe push = RunIncrementalPushProbe(retrain, snapshot);
+
+  unsigned cores = std::thread::hardware_concurrency();
+  double per_core = cores > 0 ? 1.0 / static_cast<double>(cores) : 1.0;
+  BenchJsonSection section;
+  section.name = "net";
+  section.metrics = {
+      {"requests", static_cast<double>(kRequests)},
+      {"client_threads", static_cast<double>(kClients)},
+      {"batch_rows", static_cast<double>(kBatch)},
+      {"hardware_threads", static_cast<double>(cores)},
+      {"remote_1_requests_per_sec", remote1.requests_per_sec},
+      {"remote_2_requests_per_sec", remote2.requests_per_sec},
+      {"remote_4_requests_per_sec", remote4.requests_per_sec},
+      {"remote_1_requests_per_sec_per_core",
+       remote1.requests_per_sec * per_core},
+      {"remote_2_requests_per_sec_per_core",
+       remote2.requests_per_sec * per_core},
+      {"remote_4_requests_per_sec_per_core",
+       remote4.requests_per_sec * per_core},
+      {"remote_1_p50_latency_us", remote1.p50_latency_us},
+      {"remote_1_p99_latency_us", remote1.p99_latency_us},
+      {"remote_2_p50_latency_us", remote2.p50_latency_us},
+      {"remote_2_p99_latency_us", remote2.p99_latency_us},
+      {"remote_4_p50_latency_us", remote4.p50_latency_us},
+      {"remote_4_p99_latency_us", remote4.p99_latency_us},
+      {"inprocess_1_requests_per_sec", local1.requests_per_sec},
+      {"inprocess_2_requests_per_sec", local2.requests_per_sec},
+      {"inprocess_4_requests_per_sec", local4.requests_per_sec},
+      {"inprocess_1_p50_latency_us", local1.p50_latency_us},
+      {"inprocess_1_p99_latency_us", local1.p99_latency_us},
+      {"inprocess_2_p50_latency_us", local2.p50_latency_us},
+      {"inprocess_2_p99_latency_us", local2.p99_latency_us},
+      {"inprocess_4_p50_latency_us", local4.p50_latency_us},
+      {"inprocess_4_p99_latency_us", local4.p99_latency_us},
+      {"wire_overhead_1_shard",
+       remote1.requests_per_sec > 0.0
+           ? local1.requests_per_sec / remote1.requests_per_sec
+           : 0.0},
+      {"push_ok", push.ok ? 1.0 : 0.0},
+      {"push_full_payload_bytes", push.full_payload_bytes},
+      {"push_delta_bytes", push.delta_bytes},
+      {"push_chunks_total", push.chunks_total},
+      {"push_chunks_sent", push.chunks_sent},
+      {"push_ms", push.push_ms},
+  };
+  Status st = WriteBenchJson({section}, BenchJsonPathOr("BENCH_net.json"));
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::fprintf(stderr,
+               "net probe: remote 1/2/4 daemons %.0f / %.0f / %.0f req/s "
+               "(in-process %.0f / %.0f / %.0f)\n",
+               remote1.requests_per_sec, remote2.requests_per_sec,
+               remote4.requests_per_sec, local1.requests_per_sec,
+               local2.requests_per_sec, local4.requests_per_sec);
+  std::fprintf(stderr,
+               "net latency: remote p50/p99 %.0f/%.0f us, in-process "
+               "p50/p99 %.0f/%.0f us (1 shard)\n",
+               remote1.p50_latency_us, remote1.p99_latency_us,
+               local1.p50_latency_us, local1.p99_latency_us);
+  std::fprintf(stderr,
+               "incremental push: %s, %.0f of %.0f bytes (%.0f of %.0f "
+               "chunks) in %.1f ms\n",
+               push.ok ? "ok" : "FAILED", push.delta_bytes,
+               push.full_payload_bytes, push.chunks_sent, push.chunks_total,
+               push.push_ms);
+
+  // Correctness gates only: every request scored on every topology, and
+  // the incremental push moved strictly less than the full payload.
+  return remote1.ok && remote2.ok && remote4.ok && local1.ok && local2.ok &&
+         local4.ok && push.ok;
+}
+
+}  // namespace
+}  // namespace fairdrift
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return fairdrift::WriteNetBenchJson() ? 0 : 1;
+}

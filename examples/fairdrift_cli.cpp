@@ -45,11 +45,34 @@
 //       --quarantine-after bounds retries of a corrupt file identity.
 //       FAULT_SEED / FAULT_SITES env vars arm deterministic fault
 //       injection (see src/util/fault.h).
+//
+//   fairdrift_cli shard --listen PORT --in /tmp/snap.bin
+//                      [--state-dir DIR] [--allow-partial] [--run-secs S]
+//       Serve one snapshot over TCP (the network tier's shard daemon).
+//       With --state-dir, pushed snapshots persist there and a restart
+//       prefers the directory's MANIFEST over --in.
+//
+//   fairdrift_cli route --listen PORT --connect h:p,h:p
+//                      [--routing rr|least|hash] [--probe-ms M]
+//       Frontend router over shard daemons: score fan-out + failover,
+//       health probing (eject/readmit), wire-merged stats, and rolling
+//       relay of snapshot pushes.
+//
+//   fairdrift_cli push --connect HOST:PORT --in /tmp/snap.bin
+//       Incremental snapshot push: the receiver answers the manifest
+//       with the chunks it needs; only changed artifacts travel.
+//
+//   fairdrift_cli net-score --connect HOST:PORT --in /tmp/snap.bin
+//                      [--score-rows N] [--scores-out FILE]
+//       Score the deterministic request rows through the wire; the
+//       scores file diffs bitwise against in-process scoring.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -65,13 +88,19 @@
 #include "data/weights_io.h"
 #include "data/split.h"
 #include "datagen/realworld.h"
+#include "net/frame.h"
+#include "net/socket.h"
 #include "serve/audit/audit_log.h"
 #include "serve/audit/replay.h"
 #include "serve/fleet/fleet.h"
 #include "serve/fleet/health.h"
 #include "serve/fleet/watcher.h"
+#include "serve/net/remote_fleet.h"
+#include "serve/net/shard_daemon.h"
+#include "serve/net/wire.h"
 #include "serve/server.h"
 #include "serve/snapshot_io.h"
+#include "serve/snapshot_manifest.h"
 #include "util/cli.h"
 #include "util/fault.h"
 #include "util/string_util.h"
@@ -895,6 +924,514 @@ int CmdAudit(const CliFlags& flags) {
   return 1;
 }
 
+// -------------------------------------------------------------- network
+
+std::vector<std::string> SplitCommaList(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// `shard --listen PORT (--in SNAP | --state-dir DIR)`: one ScoringServer
+/// behind the wire. With --state-dir, a directory holding a previously
+/// pushed chunked snapshot is preferred over --in, so a restarted daemon
+/// resumes serving the version it was pushed — the CI readmission smoke
+/// leans on exactly this.
+int CmdShard(const CliFlags& flags) {
+  net::ShardDaemonOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("listen", 0));
+  options.state_dir = flags.GetString("state-dir", "");
+  SnapshotLoadMode mode = flags.GetBool("allow-partial", false)
+                              ? SnapshotLoadMode::kAllowPartial
+                              : SnapshotLoadMode::kStrict;
+  options.push_load_mode = mode;
+
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      Status::InvalidArgument("shard needs --in FILE or --state-dir DIR "
+                              "holding a pushed MANIFEST");
+  std::string origin;
+  if (!options.state_dir.empty() &&
+      LoadSnapshotManifest(options.state_dir).ok()) {
+    origin = options.state_dir;
+    snapshot = LoadChunkedSnapshot(options.state_dir, mode, &report);
+  } else if (flags.Has("in")) {
+    origin = flags.GetString("in", "");
+    snapshot = LoadSnapshot(origin, mode, &report);
+  }
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<net::ShardDaemon>> daemon =
+      net::ShardDaemon::Start(snapshot.value(), options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "%s\n", daemon.status().ToString().c_str());
+    return 1;
+  }
+  // The parent (CI script, router operator) scrapes this line for the
+  // resolved ephemeral port; flush so it is visible before we park.
+  std::printf("shard listening on %s:%u from %s snapshot_version=%llu%s\n",
+              options.host.c_str(), daemon.value()->port(), origin.c_str(),
+              static_cast<unsigned long long>(snapshot.value()->version()),
+              report.outcome == SnapshotLoadReport::Outcome::kDegraded
+                  ? " (degraded: no density monitor)"
+                  : "");
+  std::fflush(stdout);
+
+  long run_secs = flags.GetInt("run-secs", 0);
+  auto started = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (run_secs > 0 && std::chrono::steady_clock::now() - started >=
+                            std::chrono::seconds(run_secs)) {
+      break;
+    }
+  }
+  daemon.value()->Stop();
+  return 0;
+}
+
+/// Element-wise merge of every reachable daemon's ServerStats::View into
+/// one wire view: counters summed, histograms merged bucket-wise (with
+/// bucket-count validation), percentiles recomputed from the merged
+/// latency histogram — never averaged per-shard.
+ServerStats::View MergeRemoteStatsViews(net::RemoteFleet* fleet) {
+  ServerStats::View merged;
+  double batch_size_sum = 0.0;
+  for (size_t s = 0; s < fleet->num_shards(); ++s) {
+    Result<ServerStats::View> remote = fleet->shard_client(s)->Stats();
+    if (!remote.ok()) continue;
+    const ServerStats::View& sv = remote.value();
+    merged.submitted += sv.submitted;
+    merged.completed += sv.completed;
+    merged.shed_admission += sv.shed_admission;
+    merged.shed_deadline += sv.shed_deadline;
+    merged.invalid += sv.invalid;
+    merged.batches += sv.batches;
+    merged.snapshot_swaps += sv.snapshot_swaps;
+    batch_size_sum += sv.mean_batch_size * static_cast<double>(sv.batches);
+    merged.ewma_batch_latency_us =
+        std::max(merged.ewma_batch_latency_us, sv.ewma_batch_latency_us);
+    merged.density_checked += sv.density_checked;
+    merged.density_outliers += sv.density_outliers;
+    merged.ewma_outlier_rate =
+        std::max(merged.ewma_outlier_rate, sv.ewma_outlier_rate);
+    merged.audit_windows += sv.audit_windows;
+    merged.audit_breaches += sv.audit_breaches;
+    merged.audit_alerts_raised += sv.audit_alerts_raised;
+    merged.audit_alert_active |= sv.audit_alert_active;
+    if (sv.audit_has_metrics) {
+      merged.audit_has_metrics = true;
+      merged.audit_last_di_star = sv.audit_last_di_star;
+      merged.audit_last_spd = sv.audit_last_spd;
+    }
+    if (merged.batch_size_hist.empty()) {
+      merged.batch_size_hist = sv.batch_size_hist;
+    } else {
+      (void)ServerStats::MergeHistogramInto(&merged.batch_size_hist,
+                                            sv.batch_size_hist);
+    }
+    if (merged.latency_hist.empty()) {
+      merged.latency_hist = sv.latency_hist;
+    } else {
+      (void)ServerStats::MergeHistogramInto(&merged.latency_hist,
+                                            sv.latency_hist);
+    }
+  }
+  if (merged.batches > 0) {
+    merged.mean_batch_size =
+        batch_size_sum / static_cast<double>(merged.batches);
+  }
+  if (!merged.latency_hist.empty()) {
+    merged.p50_latency_us =
+        ServerStats::PercentileUsFromHist(merged.latency_hist, 0.50);
+    merged.p95_latency_us =
+        ServerStats::PercentileUsFromHist(merged.latency_hist, 0.95);
+    merged.p99_latency_us =
+        ServerStats::PercentileUsFromHist(merged.latency_hist, 0.99);
+  }
+  return merged;
+}
+
+/// The frontend router process's push staging area. Unlike a shard
+/// daemon the router keeps no chunk store of its own, so it asks the
+/// pusher for every chunk; the incremental hop is router -> shards,
+/// where each daemon's manifest diff keeps unchanged chunks local.
+struct RouterPushState {
+  std::mutex mu;
+  bool valid = false;
+  SnapshotManifest manifest;
+  std::map<std::string, std::string> chunks;
+};
+
+net::Frame RouterErrorFrame(const Status& error) {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(error.code()));
+  w.WriteString(error.message());
+  return net::Frame{net::FrameType::kError, std::move(w).TakeBuffer()};
+}
+
+net::Frame RouterHandleFrame(const net::Frame& frame, net::RemoteFleet* fleet,
+                             RouterPushState* push) {
+  switch (frame.type) {
+    case net::FrameType::kScoreBatch: {
+      BinaryReader r(frame.payload);
+      Result<net::WireScoreRequest> request =
+          net::DeserializeScoreRequest(&r);
+      if (!request.ok()) return RouterErrorFrame(request.status());
+      Result<std::vector<net::WireRowOutcome>> outcomes = fleet->ScoreBatch(
+          request.value().rows, request.value().width,
+          std::chrono::nanoseconds(request.value().deadline_ns));
+      if (!outcomes.ok()) return RouterErrorFrame(outcomes.status());
+      BinaryWriter w;
+      net::SerializeRowOutcomes(outcomes.value(), &w);
+      return net::Frame{net::FrameType::kScoreBatchReply,
+                        std::move(w).TakeBuffer()};
+    }
+    case net::FrameType::kHealthProbe: {
+      FleetStatsView stats = fleet->stats();
+      net::WireHealthProbe probe;
+      probe.completed = stats.completed;
+      for (size_t depth : stats.queue_depths) probe.queue_depth += depth;
+      probe.snapshot_version = stats.min_snapshot_version;
+      BinaryWriter w;
+      net::SerializeHealthProbe(probe, &w);
+      return net::Frame{net::FrameType::kHealthProbeReply,
+                        std::move(w).TakeBuffer()};
+    }
+    case net::FrameType::kStatsSnapshot: {
+      BinaryWriter w;
+      net::SerializeStatsView(MergeRemoteStatsViews(fleet), &w);
+      return net::Frame{net::FrameType::kStatsSnapshotReply,
+                        std::move(w).TakeBuffer()};
+    }
+    case net::FrameType::kPushManifest: {
+      BinaryReader r(frame.payload);
+      Result<SnapshotManifest> manifest = DeserializeManifest(&r);
+      if (!manifest.ok()) return RouterErrorFrame(manifest.status());
+      std::lock_guard<std::mutex> lock(push->mu);
+      push->manifest = std::move(manifest).value();
+      push->chunks.clear();
+      push->valid = true;
+      BinaryWriter w;
+      w.WriteU64(push->manifest.chunks.size());
+      for (const SnapshotChunkInfo& info : push->manifest.chunks) {
+        w.WriteString(info.name);
+      }
+      return net::Frame{net::FrameType::kPushManifestReply,
+                        std::move(w).TakeBuffer()};
+    }
+    case net::FrameType::kPushChunk: {
+      BinaryReader r(frame.payload);
+      Result<std::string> name = r.ReadString();
+      if (!name.ok()) return RouterErrorFrame(name.status());
+      Result<std::string> bytes = r.ReadString();
+      if (!bytes.ok()) return RouterErrorFrame(bytes.status());
+      std::lock_guard<std::mutex> lock(push->mu);
+      if (!push->valid) {
+        return RouterErrorFrame(Status::FailedPrecondition(
+            "push chunk without a pending manifest"));
+      }
+      size_t index = push->manifest.FindChunk(name.value());
+      if (index == static_cast<size_t>(-1)) {
+        return RouterErrorFrame(Status::InvalidArgument(
+            "chunk '" + name.value() + "' is not in the pending manifest"));
+      }
+      const SnapshotChunkInfo& info = push->manifest.chunks[index];
+      if (bytes.value().size() != info.size ||
+          Fnv1aHash(bytes.value().data(), bytes.value().size()) !=
+              info.checksum) {
+        return RouterErrorFrame(Status::DataLoss(
+            "chunk '" + name.value() + "' does not match its manifest entry"));
+      }
+      push->chunks[info.name] = std::move(bytes).value();
+      return net::Frame{net::FrameType::kPushChunkReply, std::string()};
+    }
+    case net::FrameType::kPushCommit: {
+      ChunkedSnapshot chunked;
+      {
+        std::lock_guard<std::mutex> lock(push->mu);
+        if (!push->valid) {
+          return RouterErrorFrame(Status::FailedPrecondition(
+              "push commit without a pending manifest"));
+        }
+        chunked.manifest = push->manifest;
+        for (const SnapshotChunkInfo& info : push->manifest.chunks) {
+          auto staged = push->chunks.find(info.name);
+          if (staged == push->chunks.end()) {
+            return RouterErrorFrame(Status::FailedPrecondition(
+                "chunk '" + info.name + "' was never pushed"));
+          }
+          chunked.chunks.push_back({info.name, staged->second});
+        }
+        push->valid = false;
+        push->chunks.clear();
+      }
+      Result<RollingUpdateReport> rolled = fleet->PushRolling(chunked);
+      if (!rolled.ok()) return RouterErrorFrame(rolled.status());
+      if (rolled.value().state == RolloutState::kRolledBack) {
+        return RouterErrorFrame(Status::Unavailable(
+            "rolling push rolled back: " + rolled.value().failure));
+      }
+      // Every daemon stamps its own process-local version; report the
+      // fleet's minimum so the pusher sees the slowest shard's floor.
+      uint64_t version = 0;
+      for (size_t s = 0; s < fleet->num_shards(); ++s) {
+        Result<net::WireHealthProbe> probe = fleet->shard_client(s)->Probe();
+        if (!probe.ok()) continue;
+        uint64_t v = probe.value().snapshot_version;
+        if (version == 0 || v < version) version = v;
+      }
+      BinaryWriter w;
+      w.WriteU64(version);
+      w.WriteU8(0);
+      w.WriteString(std::string());
+      return net::Frame{net::FrameType::kPushCommitReply,
+                        std::move(w).TakeBuffer()};
+    }
+    default:
+      return RouterErrorFrame(Status::InvalidArgument(
+          std::string("router cannot serve frame type ") +
+          net::FrameTypeName(frame.type)));
+  }
+}
+
+/// `route --listen PORT --connect h:p,h:p`: the frontend router process.
+/// Clients speak the same frame protocol they would speak to a single
+/// shard daemon; the router fans score batches out across the fleet by
+/// the configured policy, health-probes the daemons (eject -> readmit),
+/// merges stats on the wire, and relays snapshot pushes with rolling
+/// one-shard-out-at-a-time semantics.
+int CmdRoute(const CliFlags& flags) {
+  std::vector<std::string> addresses =
+      SplitCommaList(flags.GetString("connect", ""));
+  if (addresses.empty()) {
+    std::fprintf(stderr, "route needs --connect host:port[,host:port...]\n");
+    return 1;
+  }
+  net::RemoteFleetOptions options;
+  Result<FleetRoutingPolicy> routing =
+      ParseFleetRoutingPolicy(flags.GetString("routing", "hash"));
+  if (!routing.ok()) {
+    std::fprintf(stderr, "%s\n", routing.status().ToString().c_str());
+    return 1;
+  }
+  options.routing = routing.value();
+  options.probe_interval =
+      std::chrono::milliseconds(flags.GetInt("probe-ms", 100));
+  options.io_timeout =
+      std::chrono::milliseconds(flags.GetInt("io-timeout-ms", 5000));
+  Result<std::unique_ptr<net::RemoteFleet>> fleet =
+      net::RemoteFleet::Connect(addresses, options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "%s\n", fleet.status().ToString().c_str());
+    return 1;
+  }
+  std::string host = flags.GetString("host", "127.0.0.1");
+  Result<net::TcpListener> listener = net::TcpListener::Listen(
+      host, static_cast<uint16_t>(flags.GetInt("listen", 0)));
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("router listening on %s:%u over %zu shard(s), %s routing\n",
+              host.c_str(), listener.value().port(), addresses.size(),
+              FleetRoutingPolicyName(options.routing));
+  std::fflush(stdout);
+
+  RouterPushState push;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> conns;
+  std::mutex conns_mu;
+  net::RemoteFleet* fleet_ptr = fleet.value().get();
+  std::chrono::milliseconds io = options.io_timeout;
+
+  long run_secs = flags.GetInt("run-secs", 0);
+  auto started = std::chrono::steady_clock::now();
+  while (!stop.load()) {
+    if (run_secs > 0 && std::chrono::steady_clock::now() - started >=
+                            std::chrono::seconds(run_secs)) {
+      stop.store(true);
+      break;
+    }
+    Result<net::TcpConnection> accepted =
+        listener.value().Accept(std::chrono::milliseconds(50));
+    if (!accepted.ok()) continue;
+    std::lock_guard<std::mutex> lock(conns_mu);
+    conns.emplace_back(
+        [&stop, &push, fleet_ptr, io](net::TcpConnection conn) {
+          while (!stop.load()) {
+            if (!conn.WaitReadable(std::chrono::milliseconds(50))) continue;
+            Result<net::Frame> frame = net::ReadFrame(conn, io);
+            if (!frame.ok()) {
+              (void)net::WriteErrorFrame(conn, frame.status(), io);
+              break;
+            }
+            net::Frame reply =
+                RouterHandleFrame(frame.value(), fleet_ptr, &push);
+            if (!net::WriteFrame(conn, reply.type, reply.payload, io).ok()) {
+              break;
+            }
+          }
+        },
+        std::move(accepted).value());
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  fleet.value()->Stop();
+  return 0;
+}
+
+/// `push --connect HOST:PORT --in SNAP`: incremental snapshot push. The
+/// receiver (a shard daemon or a router relaying to its fleet) answers
+/// the manifest with the chunk names it actually needs; only those
+/// travel.
+int CmdNetPush(const CliFlags& flags) {
+  std::string address = flags.GetString("connect", "");
+  std::string path = flags.GetString("in", "");
+  if (address.empty() || path.empty()) {
+    std::fprintf(stderr, "push needs --connect HOST:PORT and --in FILE\n");
+    return 1;
+  }
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(address, &host, &port);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*snapshot.value());
+  if (!chunked.ok()) {
+    std::fprintf(stderr, "%s\n", chunked.status().ToString().c_str());
+    return 1;
+  }
+  net::RemoteShardClient client(
+      host, port,
+      std::chrono::milliseconds(flags.GetInt("io-timeout-ms", 30000)));
+  Result<std::vector<std::string>> needed =
+      client.PushManifest(chunked.value().manifest);
+  if (!needed.ok()) {
+    std::fprintf(stderr, "%s\n", needed.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t bytes_sent = 0;
+  for (const std::string& name : needed.value()) {
+    size_t index = chunked.value().manifest.FindChunk(name);
+    if (index == static_cast<size_t>(-1)) {
+      std::fprintf(stderr, "receiver requested unknown chunk '%s'\n",
+                   name.c_str());
+      return 1;
+    }
+    const SnapshotPayloadChunk& chunk = chunked.value().chunks[index];
+    Status pushed = client.PushChunk(chunk.name, chunk.bytes);
+    if (!pushed.ok()) {
+      std::fprintf(stderr, "%s\n", pushed.ToString().c_str());
+      return 1;
+    }
+    bytes_sent += chunk.bytes.size();
+  }
+  Result<net::RemoteShardClient::CommitReply> commit = client.PushCommit();
+  if (!commit.ok()) {
+    std::fprintf(stderr, "%s\n", commit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pushed %zu/%zu chunk(s), %llu payload byte(s); remote "
+              "snapshot_version=%llu%s%s%s\n",
+              needed.value().size(), chunked.value().chunks.size(),
+              static_cast<unsigned long long>(bytes_sent),
+              static_cast<unsigned long long>(
+                  commit.value().snapshot_version),
+              commit.value().degraded ? " (degraded)" : "",
+              commit.value().note.empty() ? "" : " — ",
+              commit.value().note.c_str());
+  return 0;
+}
+
+/// `net-score --connect HOST:PORT --in SNAP`: score the same
+/// deterministic request rows `snapshot save --scores-out` scores, but
+/// through the wire (a daemon or a router). The scores file diffs clean
+/// against the in-process one — remote serving is bitwise identical.
+int CmdNetScore(const CliFlags& flags) {
+  std::string address = flags.GetString("connect", "");
+  std::string path = flags.GetString("in", "");
+  if (address.empty() || path.empty()) {
+    std::fprintf(stderr,
+                 "net-score needs --connect HOST:PORT and --in FILE (the "
+                 "snapshot whose schema generates the request rows)\n");
+    return 1;
+  }
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(address, &host, &port);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  SnapshotLoadMode mode = flags.GetBool("allow-partial", false)
+                              ? SnapshotLoadMode::kAllowPartial
+                              : SnapshotLoadMode::kStrict;
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      LoadSnapshot(path, mode, &report);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("score-rows", 64));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("score-seed", 99));
+  Matrix requests = MakeSchemaRequests(snapshot.value()->schema(), n, seed);
+
+  net::WireScoreRequest request;
+  request.width = requests.cols();
+  request.rows.reserve(requests.rows() * requests.cols());
+  for (size_t i = 0; i < requests.rows(); ++i) {
+    for (size_t j = 0; j < requests.cols(); ++j) {
+      request.rows.push_back(requests.At(i, j));
+    }
+  }
+  net::RemoteShardClient client(
+      host, port,
+      std::chrono::milliseconds(flags.GetInt("io-timeout-ms", 30000)));
+  Result<std::vector<net::WireRowOutcome>> outcomes =
+      client.ScoreBatch(request);
+  if (!outcomes.ok()) {
+    std::fprintf(stderr, "%s\n", outcomes.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<ScoreResult> scores;
+  scores.reserve(outcomes.value().size());
+  for (size_t i = 0; i < outcomes.value().size(); ++i) {
+    const net::WireRowOutcome& outcome = outcomes.value()[i];
+    if (outcome.code != StatusCode::kOk) {
+      std::fprintf(stderr, "row %zu failed: %s: %s\n", i,
+                   StatusCodeToString(outcome.code),
+                   outcome.message.c_str());
+      return 1;
+    }
+    scores.push_back(outcome.result);
+  }
+  std::string scores_path = flags.GetString("scores-out", "");
+  if (!scores_path.empty()) {
+    if (WriteScoresFile(scores, scores_path) != 0) return 1;
+  }
+  std::printf("scored %zu row(s) via %s\n", scores.size(), address.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -918,9 +1455,13 @@ int main(int argc, char** argv) {
   if (cmd == "snapshot") return CmdSnapshot(flags);
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "audit") return CmdAudit(flags);
+  if (cmd == "shard") return CmdShard(flags);
+  if (cmd == "route") return CmdRoute(flags);
+  if (cmd == "push") return CmdNetPush(flags);
+  if (cmd == "net-score") return CmdNetScore(flags);
   std::printf(
       "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot|serve|"
-      "audit> [flags]\n"
+      "audit|shard|route|push|net-score> [flags]\n"
       "  list                               available datasets\n"
       "  eval --dataset D --method M        run an intervention pipeline\n"
       "       [--learner lr|xgb|nb] [--trials N] [--scale S] [--alpha A]\n"
@@ -963,6 +1504,23 @@ int main(int argc, char** argv) {
       "  audit verify <log>                 walk the checksum chain; exit\n"
       "                                     code = DataLoss on corruption\n"
       "  audit replay --snapshot FILE <log> re-score logged windows, check\n"
-      "                                     metrics bitwise\n");
+      "                                     metrics bitwise\n"
+      "  shard --listen PORT --in FILE      serve one snapshot over TCP\n"
+      "        [--state-dir DIR]            (prefer DIR's pushed MANIFEST\n"
+      "                                     on restart; persist pushes)\n"
+      "        [--allow-partial] [--run-secs S]\n"
+      "  route --listen PORT --connect h:p[,h:p...]\n"
+      "        [--routing rr|least|hash] [--probe-ms M] [--run-secs S]\n"
+      "                                     frontend router: fan scoring\n"
+      "                                     out to shard daemons, probe/\n"
+      "                                     eject/readmit, relay pushes\n"
+      "                                     with rolling semantics\n"
+      "  push --connect HOST:PORT --in FILE incremental snapshot push\n"
+      "                                     (only changed chunks travel)\n"
+      "  net-score --connect HOST:PORT --in FILE\n"
+      "        [--score-rows N] [--scores-out FILE]\n"
+      "                                     score the deterministic request\n"
+      "                                     rows over the wire; diffs clean\n"
+      "                                     against in-process scoring\n");
   return cmd == "help" ? 0 : 1;
 }

@@ -1,0 +1,137 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace fairdrift {
+namespace net {
+namespace {
+
+constexpr char kFrameMagic[4] = {'F', 'D', 'R', 'P'};
+constexpr size_t kHeaderSize = 16;   // magic + version + type + flags + size
+constexpr size_t kTrailerSize = 8;   // FNV-1a of the payload
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kScoreBatch: return "ScoreBatch";
+    case FrameType::kScoreBatchReply: return "ScoreBatchReply";
+    case FrameType::kHealthProbe: return "HealthProbe";
+    case FrameType::kHealthProbeReply: return "HealthProbeReply";
+    case FrameType::kStatsSnapshot: return "StatsSnapshot";
+    case FrameType::kStatsSnapshotReply: return "StatsSnapshotReply";
+    case FrameType::kPushManifest: return "PushManifest";
+    case FrameType::kPushManifestReply: return "PushManifestReply";
+    case FrameType::kPushChunk: return "PushChunk";
+    case FrameType::kPushChunkReply: return "PushChunkReply";
+    case FrameType::kPushCommit: return "PushCommit";
+    case FrameType::kPushCommitReply: return "PushCommitReply";
+    case FrameType::kPushRevert: return "PushRevert";
+    case FrameType::kPushRevertReply: return "PushRevertReply";
+    case FrameType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+Status WriteFrame(TcpConnection& conn, FrameType type,
+                  const std::string& payload,
+                  std::chrono::milliseconds timeout) {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[0]));
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[1]));
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[2]));
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[3]));
+  w.WriteU8(kFrameProtocolVersion);
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteU8(0);  // reserved flags
+  w.WriteU8(0);
+  w.WriteU64(payload.size());
+  std::string buf = std::move(w).TakeBuffer();
+  buf.append(payload);
+  BinaryWriter trailer;
+  trailer.WriteU64(Fnv1aHash(payload.data(), payload.size()));
+  buf.append(std::move(trailer).TakeBuffer());
+  return conn.SendAll(buf.data(), buf.size(), timeout);
+}
+
+Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
+                        uint64_t max_payload) {
+  char header[kHeaderSize];
+  Status st = conn.RecvAll(header, kHeaderSize, timeout);
+  if (!st.ok()) return st;
+  if (memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::Unavailable("net: bad frame magic (desynchronized stream)");
+  }
+  uint8_t version = static_cast<uint8_t>(header[4]);
+  if (version != kFrameProtocolVersion) {
+    return Status::Unavailable(StrFormat(
+        "net: unsupported frame protocol version %u (expected %u)",
+        unsigned(version), unsigned(kFrameProtocolVersion)));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(header[5]));
+  uint64_t payload_size = 0;
+  memcpy(&payload_size, header + 8, sizeof(payload_size));
+  if (payload_size > max_payload) {
+    return Status::DataLoss(StrFormat(
+        "net: frame payload size %llu exceeds cap %llu",
+        static_cast<unsigned long long>(payload_size),
+        static_cast<unsigned long long>(max_payload)));
+  }
+  frame.payload.resize(payload_size);
+  if (payload_size > 0) {
+    st = conn.RecvAll(&frame.payload[0], payload_size, timeout);
+    if (!st.ok()) return st;
+  }
+  char trailer[kTrailerSize];
+  st = conn.RecvAll(trailer, kTrailerSize, timeout);
+  if (!st.ok()) return st;
+  uint64_t stored = 0;
+  memcpy(&stored, trailer, sizeof(stored));
+  uint64_t actual = Fnv1aHash(frame.payload.data(), frame.payload.size());
+  if (stored != actual) {
+    return Status::DataLoss(StrFormat(
+        "net: frame checksum mismatch (stored %016llx, computed %016llx)",
+        static_cast<unsigned long long>(stored),
+        static_cast<unsigned long long>(actual)));
+  }
+  return frame;
+}
+
+Status WriteErrorFrame(TcpConnection& conn, const Status& error,
+                       std::chrono::milliseconds timeout) {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(error.code()));
+  w.WriteString(error.message());
+  return WriteFrame(conn, FrameType::kError, std::move(w).TakeBuffer(),
+                    timeout);
+}
+
+Status StatusFromErrorPayload(const std::string& payload) {
+  BinaryReader r(payload);
+  Result<uint8_t> code = r.ReadU8();
+  if (!code.ok()) return Status::DataLoss("net: malformed error frame");
+  Result<std::string> message = r.ReadString();
+  if (!message.ok()) return Status::DataLoss("net: malformed error frame");
+  StatusCode sc = static_cast<StatusCode>(code.value());
+  if (sc == StatusCode::kOk) {
+    return Status::DataLoss("net: error frame carried StatusCode kOk");
+  }
+  return Status(sc, StrFormat("remote: %s", message.value().c_str()));
+}
+
+Status ExpectFrame(const Frame& frame, FrameType expected) {
+  if (frame.type == expected) return Status::OK();
+  if (frame.type == FrameType::kError) {
+    return StatusFromErrorPayload(frame.payload);
+  }
+  return Status::DataLoss(StrFormat(
+      "net: expected %s frame, got %s", FrameTypeName(expected),
+      FrameTypeName(frame.type)));
+}
+
+}  // namespace net
+}  // namespace fairdrift

@@ -1,0 +1,94 @@
+// Length-prefixed binary framing over a TcpConnection.
+//
+// Wire layout of one frame (all integers little-endian, matching
+// util/binary_io.h):
+//
+//   offset  size  field
+//   0       4     magic "FDRP"
+//   4       1     protocol version (kFrameProtocolVersion)
+//   5       1     frame type (FrameType)
+//   6       2     reserved flags (0)
+//   8       8     payload size in bytes
+//   16      n     payload
+//   16+n    8     FNV-1a hash of the payload bytes
+//
+// A reply to any request may be the matching *Reply frame or kError,
+// whose payload is {u8 StatusCode, string message}; ReadFrame +
+// StatusFromFrame turn that back into the same typed Status the remote
+// handler produced. Transport-level failures map onto the serving
+// tier's existing error taxonomy: connection loss / EOF / bad magic =>
+// kUnavailable, deadline => kDeadlineExceeded, checksum or size-cap
+// violation => kDataLoss.
+
+#ifndef FAIRDRIFT_NET_FRAME_H_
+#define FAIRDRIFT_NET_FRAME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace fairdrift {
+namespace net {
+
+inline constexpr uint8_t kFrameProtocolVersion = 1;
+
+/// Default per-frame payload cap. Snapshot chunks are the largest
+/// payloads; 1 GiB bounds a corrupted size field without constraining
+/// any real artifact.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class FrameType : uint8_t {
+  kScoreBatch = 1,        ///< rows -> per-row scores
+  kScoreBatchReply = 2,
+  kHealthProbe = 3,       ///< liveness + progress counters
+  kHealthProbeReply = 4,
+  kStatsSnapshot = 5,     ///< wire-serialized ServerStats::View / merge
+  kStatsSnapshotReply = 6,
+  kPushManifest = 7,      ///< snapshot manifest; reply lists needed chunks
+  kPushManifestReply = 8,
+  kPushChunk = 9,         ///< one named chunk's bytes
+  kPushChunkReply = 10,
+  kPushCommit = 11,       ///< assemble + swap the staged snapshot
+  kPushCommitReply = 12,
+  kPushRevert = 13,       ///< roll back to the pre-push snapshot
+  kPushRevertReply = 14,
+  kError = 255,           ///< payload: u8 StatusCode + string message
+};
+
+const char* FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Writes one frame (header + payload + checksum) as a single buffered
+/// send. Typed errors from TcpConnection::SendAll pass through.
+Status WriteFrame(TcpConnection& conn, FrameType type,
+                  const std::string& payload,
+                  std::chrono::milliseconds timeout);
+
+/// Reads one frame. kUnavailable on connection loss or bad magic /
+/// version, kDeadlineExceeded on timeout, kDataLoss on checksum mismatch
+/// or a payload size beyond `max_payload`.
+Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
+                        uint64_t max_payload = kMaxFramePayload);
+
+/// Sends a kError frame carrying `error`'s code and message.
+Status WriteErrorFrame(TcpConnection& conn, const Status& error,
+                       std::chrono::milliseconds timeout);
+
+/// Decodes a kError frame payload back into the original typed Status.
+Status StatusFromErrorPayload(const std::string& payload);
+
+/// For a reply frame: OK when `frame` is `expected`; the decoded remote
+/// error when it is kError; kDataLoss on any other type.
+Status ExpectFrame(const Frame& frame, FrameType expected);
+
+}  // namespace net
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_NET_FRAME_H_

@@ -40,6 +40,20 @@ const char* FleetRoutingPolicyName(FleetRoutingPolicy policy) {
   return "?";
 }
 
+Result<FleetRoutingPolicy> ParseFleetRoutingPolicy(const std::string& name) {
+  if (name == "rr" || name == "round-robin") {
+    return FleetRoutingPolicy::kRoundRobin;
+  }
+  if (name == "least" || name == "least-queue") {
+    return FleetRoutingPolicy::kLeastQueueDepth;
+  }
+  if (name == "hash" || name == "hash-row") {
+    return FleetRoutingPolicy::kHashRow;
+  }
+  return Status::InvalidArgument("unknown routing policy '" + name +
+                                 "' (want rr|least|hash)");
+}
+
 const char* RolloutStateName(RolloutState state) {
   switch (state) {
     case RolloutState::kCommitted:
@@ -54,7 +68,7 @@ ShardRouter::ShardRouter(FleetRoutingPolicy policy, size_t num_shards)
     : policy_(policy), num_shards_(num_shards) {}
 
 size_t ShardRouter::Pick(const double* row, size_t width,
-                         const ScoringFleet& fleet) {
+                         const ShardDirectory& fleet) {
   size_t nominal = 0;
   switch (policy_) {
     case FleetRoutingPolicy::kRoundRobin:
@@ -429,9 +443,11 @@ FleetStatsView ScoringFleet::stats() const {
     view.density_outliers += s.density_outliers;
     batched_weighted +=
         static_cast<uint64_t>(s.mean_batch_size * s.batches + 0.5);
-    for (size_t b = 0; b < merged_hist.size(); ++b) {
-      merged_hist[b] += s.latency_hist[b];
-    }
+    // In-process views always carry kLatencyBuckets buckets, but the
+    // merge validates anyway (the same helper merges wire-deserialized
+    // views, where the count is genuinely untrusted). A mismatched
+    // histogram is skipped rather than misaligned.
+    (void)ServerStats::MergeHistogramInto(&merged_hist, s.latency_hist);
     view.queue_depths.push_back(server->queue_depth());
     view.shard_outlier_rates.push_back(
         s.density_checked == 0

@@ -75,6 +75,25 @@ enum class FleetRoutingPolicy {
 /// Display name ("round-robin", "least-queue", "hash-row").
 const char* FleetRoutingPolicyName(FleetRoutingPolicy policy);
 
+/// Parses a policy name as printed by FleetRoutingPolicyName (also
+/// accepts the CLI shorthands "rr", "least", "hash"). kInvalidArgument
+/// on anything else.
+Result<FleetRoutingPolicy> ParseFleetRoutingPolicy(const std::string& name);
+
+/// What a ShardRouter needs to know about the shard set it routes over.
+/// ScoringFleet implements it for in-process shards; the network tier's
+/// RemoteFleet (serve/net/remote_fleet.h) implements it for shard daemon
+/// processes — one router, one set of policies, both topologies.
+class ShardDirectory {
+ public:
+  virtual ~ShardDirectory() = default;
+  virtual size_t num_shards() const = 0;
+  /// Routable: neither draining under an update nor ejected.
+  virtual bool ShardAvailable(size_t s) const = 0;
+  /// Load signal for least-queue routing (queued + in-flight charge).
+  virtual size_t ShardLoad(size_t s) const = 0;
+};
+
 /// Pluggable shard-selection policy. Thread-safe; one router per fleet.
 class ShardRouter {
  public:
@@ -88,7 +107,7 @@ class ShardRouter {
   /// survivor for a given available set, and returns to its home shard
   /// on readmission). When every shard is unavailable the nominal pick
   /// is returned anyway so the fleet never refuses on routing grounds.
-  size_t Pick(const double* row, size_t width, const ScoringFleet& fleet);
+  size_t Pick(const double* row, size_t width, const ShardDirectory& fleet);
 
   FleetRoutingPolicy policy() const { return policy_; }
 
@@ -249,7 +268,7 @@ struct FleetStatsView {
 };
 
 /// N scoring-server shards behind a router, updated as one unit.
-class ScoringFleet {
+class ScoringFleet : public ShardDirectory {
  public:
   /// Validates options, builds the shards (each already serving), and
   /// installs `snapshot` on all of them.
@@ -323,7 +342,7 @@ class ScoringFleet {
   /// Flush() it before reading the audit log from another process.
   FleetAuditor* auditor() const { return auditor_.get(); }
 
-  size_t num_shards() const { return servers_.size(); }
+  size_t num_shards() const override { return servers_.size(); }
   /// Owning reference to shard `s`'s current server — safe against a
   /// concurrent RestartShard swapping the slot.
   std::shared_ptr<ScoringServer> shard_ref(size_t s) const {
@@ -336,7 +355,7 @@ class ScoringFleet {
 
   /// Router load signal: queued requests + a batch-sized pessimistic
   /// charge per in-flight batch on shard `s`.
-  size_t ShardLoad(size_t s) const;
+  size_t ShardLoad(size_t s) const override;
 
   /// True while a rolling update is draining shard `s`.
   bool ShardDraining(size_t s) const {
@@ -349,7 +368,7 @@ class ScoringFleet {
   }
 
   /// Routable: neither draining nor ejected.
-  bool ShardAvailable(size_t s) const {
+  bool ShardAvailable(size_t s) const override {
     return !ShardDraining(s) && !ShardEjected(s);
   }
 

@@ -18,6 +18,60 @@ const char* ShardHealthName(ShardHealth health) {
   return "?";
 }
 
+ShardHealthFsm::Verdict ShardHealthFsm::Observe(bool stalled,
+                                                bool degraded_hint,
+                                                bool ejected,
+                                                const Limits& limits) {
+  Verdict verdict;
+  if (ejected) {
+    if (health_ != ShardHealth::kDead &&
+        health_ != ShardHealth::kRecovering) {
+      // Ejected out-of-band (operator); shepherd it back like one of
+      // our own restarts.
+      health_ = ShardHealth::kRecovering;
+      healthy_probes_ = 0;
+    }
+    // A kDead shard stays dead until a restart flips it to kRecovering;
+    // only kRecovering accumulates probes toward readmission.
+    if (health_ == ShardHealth::kRecovering) {
+      if (stalled) {
+        healthy_probes_ = 0;
+      } else if (++healthy_probes_ >= limits.readmit_after_healthy_probes) {
+        verdict.readmit = true;
+        health_ = ShardHealth::kHealthy;
+        stalled_probes_ = 0;
+        healthy_probes_ = 0;
+      }
+    }
+    verdict.health = health_;
+    return verdict;
+  }
+
+  if (stalled) {
+    ++stalled_probes_;
+    healthy_probes_ = 0;
+    if (stalled_probes_ >= limits.dead_after_stalled_probes) {
+      health_ = ShardHealth::kDead;
+      stalled_probes_ = 0;
+      verdict.eject = true;
+    } else {
+      health_ = ShardHealth::kDegraded;
+    }
+    verdict.health = health_;
+    return verdict;
+  }
+
+  stalled_probes_ = 0;
+  health_ = degraded_hint ? ShardHealth::kDegraded : ShardHealth::kHealthy;
+  verdict.health = health_;
+  return verdict;
+}
+
+void ShardHealthFsm::NoteRestarted() {
+  health_ = ShardHealth::kRecovering;
+  healthy_probes_ = 0;
+}
+
 HealthMonitor::~HealthMonitor() { Stop(); }
 
 Status HealthMonitor::Start(ScoringFleet* fleet,
@@ -75,6 +129,9 @@ void HealthMonitor::ProbeLoop() {
 }
 
 void HealthMonitor::ProbeOnce() {
+  ShardHealthFsm::Limits limits;
+  limits.dead_after_stalled_probes = options_.dead_after_stalled_probes;
+  limits.readmit_after_healthy_probes = options_.readmit_after_healthy_probes;
   std::vector<size_t> to_restart;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -91,56 +148,25 @@ void HealthMonitor::ProbeOnce() {
       bool stalled = pending && !progressed;
       state.last_completed = sv.completed;
 
-      if (fleet_->ShardEjected(s)) {
-        if (state.health != ShardHealth::kDead &&
-            state.health != ShardHealth::kRecovering) {
-          // Ejected out-of-band (operator); shepherd it back like one of
-          // our own restarts.
-          state.health = ShardHealth::kRecovering;
-          state.healthy_probes = 0;
-        }
-        // A kDead shard with auto_restart off stays dead until an
-        // operator restarts it; only kRecovering accumulates probes.
-        if (state.health == ShardHealth::kRecovering) {
-          if (stalled) {
-            state.healthy_probes = 0;
-          } else if (++state.healthy_probes >=
-                     options_.readmit_after_healthy_probes) {
-            if (fleet_->ReadmitShard(s).ok()) ++readmissions_;
-            state.health = ShardHealth::kHealthy;
-            state.stalled_probes = 0;
-            state.healthy_probes = 0;
-          }
-        }
-        continue;
-      }
-
-      if (stalled) {
-        ++state.stalled_probes;
-        state.healthy_probes = 0;
-        if (state.stalled_probes >= options_.dead_after_stalled_probes) {
-          state.health = ShardHealth::kDead;
-          state.stalled_probes = 0;
-          // EjectShard refuses on a 1-shard fleet — there is nowhere to
-          // send the traffic; the shard stays kDead but routed.
-          if (fleet_->EjectShard(s).ok()) {
-            ++ejections_;
-            if (options_.auto_restart) to_restart.push_back(s);
-          }
-        } else {
-          state.health = ShardHealth::kDegraded;
-        }
-        continue;
-      }
-
-      state.stalled_probes = 0;
       bool over_depth = options_.degraded_queue_depth > 0 &&
                         queued > options_.degraded_queue_depth;
       bool over_latency =
           options_.degraded_ewma_latency_ms > 0.0 &&
           sv.ewma_batch_latency_us / 1000.0 > options_.degraded_ewma_latency_ms;
-      state.health = (over_depth || over_latency) ? ShardHealth::kDegraded
-                                                  : ShardHealth::kHealthy;
+      ShardHealthFsm::Verdict verdict = state.fsm.Observe(
+          stalled, over_depth || over_latency, fleet_->ShardEjected(s),
+          limits);
+      if (verdict.readmit) {
+        if (fleet_->ReadmitShard(s).ok()) ++readmissions_;
+      }
+      if (verdict.eject) {
+        // EjectShard refuses on a 1-shard fleet — there is nowhere to
+        // send the traffic; the shard stays kDead but routed.
+        if (fleet_->EjectShard(s).ok()) {
+          ++ejections_;
+          if (options_.auto_restart) to_restart.push_back(s);
+        }
+      }
     }
     ++probes_;
   }
@@ -151,8 +177,7 @@ void HealthMonitor::ProbeOnce() {
     if (fleet_->RestartShard(s).ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       ++restarts_;
-      shards_[s].health = ShardHealth::kRecovering;
-      shards_[s].healthy_probes = 0;
+      shards_[s].fsm.NoteRestarted();
     }
   }
 }
@@ -165,7 +190,9 @@ HealthMonitor::View HealthMonitor::stats() const {
   view.restarts = restarts_;
   view.readmissions = readmissions_;
   view.shard_health.reserve(shards_.size());
-  for (const ShardState& s : shards_) view.shard_health.push_back(s.health);
+  for (const ShardState& s : shards_) {
+    view.shard_health.push_back(s.fsm.health());
+  }
   return view;
 }
 

@@ -56,6 +56,51 @@ enum class ShardHealth : uint8_t {
 
 const char* ShardHealthName(ShardHealth health);
 
+/// The per-shard transition core of the health state machine, factored
+/// out of HealthMonitor so the network tier's remote prober
+/// (serve/net/remote_fleet.h) runs the exact same
+/// healthy -> degraded -> dead -> eject -> recovering -> readmit
+/// lifecycle over probe RPCs that the in-process monitor runs over
+/// shared-memory counters. Pure state: the caller performs the eject /
+/// readmit / restart side effects its verdicts call for.
+class ShardHealthFsm {
+ public:
+  struct Limits {
+    /// Consecutive stalled probes before kDead (the first already marks
+    /// kDegraded).
+    size_t dead_after_stalled_probes = 3;
+    /// Consecutive healthy probes an ejected shard needs to readmit.
+    size_t readmit_after_healthy_probes = 3;
+  };
+
+  /// What one observation asks the caller to do.
+  struct Verdict {
+    ShardHealth health = ShardHealth::kHealthy;
+    /// The shard just crossed into kDead: remove it from routing.
+    bool eject = false;
+    /// Recovery threshold met: return the shard to routing.
+    bool readmit = false;
+  };
+
+  /// Folds one probe. `stalled` = pending work with no progress since
+  /// the last probe (for a remote shard: also an unreachable or failed
+  /// probe RPC). `degraded_hint` = slow-but-alive thresholds tripped.
+  /// `ejected` = the shard is currently out of routing (by this
+  /// monitor's verdict or out-of-band, e.g. an operator).
+  Verdict Observe(bool stalled, bool degraded_hint, bool ejected,
+                  const Limits& limits);
+
+  /// The shard was rebuilt in place; accumulate recovery probes anew.
+  void NoteRestarted();
+
+  ShardHealth health() const { return health_; }
+
+ private:
+  ShardHealth health_ = ShardHealth::kHealthy;
+  size_t stalled_probes_ = 0;
+  size_t healthy_probes_ = 0;
+};
+
 struct HealthMonitorOptions {
   /// Time between probe sweeps over the shards.
   std::chrono::nanoseconds probe_interval = std::chrono::milliseconds(25);
@@ -114,10 +159,8 @@ class HealthMonitor {
 
  private:
   struct ShardState {
-    ShardHealth health = ShardHealth::kHealthy;
+    ShardHealthFsm fsm;
     uint64_t last_completed = 0;
-    size_t stalled_probes = 0;
-    size_t healthy_probes = 0;
   };
 
   void ProbeLoop();

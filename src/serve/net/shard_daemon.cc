@@ -1,0 +1,366 @@
+#include "serve/net/shard_daemon.h"
+
+#include <utility>
+
+#include "serve/net/wire.h"
+#include "util/fault.h"
+
+namespace fairdrift {
+namespace net {
+
+Result<std::unique_ptr<ShardDaemon>> ShardDaemon::Start(
+    std::shared_ptr<const ModelSnapshot> snapshot,
+    const ShardDaemonOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("ShardDaemon: null snapshot");
+  }
+  std::unique_ptr<ShardDaemon> daemon(new ShardDaemon());
+  daemon->options_ = options;
+
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options.server);
+  if (!server.ok()) return server.status();
+  daemon->server_ = std::move(server).value();
+
+  // Seed the chunk store from the snapshot we serve, so the very first
+  // push already diffs against real content: a pusher whose snapshot
+  // shares four of five chunks with ours sends one chunk, not five.
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*snapshot);
+  if (!chunked.ok()) return chunked.status();
+  daemon->current_manifest_ = chunked.value().manifest;
+  for (SnapshotPayloadChunk& chunk : chunked.value().chunks) {
+    daemon->current_chunks_[chunk.name] = std::move(chunk.bytes);
+  }
+
+  Result<TcpListener> listener = TcpListener::Listen(options.host,
+                                                     options.port);
+  if (!listener.ok()) return listener.status();
+  daemon->listener_ = std::move(listener).value();
+
+  ShardDaemon* raw = daemon.get();
+  daemon->accept_thread_ = std::thread([raw] { raw->AcceptLoop(); });
+  return daemon;
+}
+
+ShardDaemon::~ShardDaemon() { Stop(); }
+
+void ShardDaemon::Stop() {
+  if (stop_.exchange(true)) {
+    // A second Stop still needs to wait for the first one's joins.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  listener_.Close();
+  if (server_) server_->Stop();
+}
+
+ShardDaemon::Counters ShardDaemon::counters() const {
+  std::lock_guard<std::mutex> lock(counter_mu_);
+  return counters_;
+}
+
+void ShardDaemon::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<TcpConnection> conn = listener_.Accept(options_.poll_tick);
+    if (!conn.ok()) continue;  // poll tick elapsed, or a transient failure
+    {
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.connections_accepted;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back(&ShardDaemon::ServeConnection, this,
+                               std::move(conn).value());
+  }
+}
+
+void ShardDaemon::ServeConnection(TcpConnection conn) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Idle connections park in short readability polls so Stop() is
+    // never stuck behind a silent peer; only an actual frame start pays
+    // the full io_timeout read.
+    if (!conn.WaitReadable(options_.poll_tick)) continue;
+    Result<Frame> frame = ReadFrame(conn, options_.io_timeout);
+    if (!frame.ok()) {
+      // kUnavailable here is normally just the peer hanging up; anything
+      // else (checksum, desync, timeout) is worth reporting back if the
+      // socket still works. Either way this connection is done — a
+      // desynchronized stream cannot be re-framed.
+      if (frame.status().code() != StatusCode::kUnavailable) {
+        std::lock_guard<std::mutex> lock(counter_mu_);
+        ++counters_.frame_errors;
+      }
+      (void)WriteErrorFrame(conn, frame.status(), options_.io_timeout);
+      break;
+    }
+    Frame reply = HandleFrame(frame.value());
+    {
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.frames_served;
+      if (reply.type == FrameType::kError) ++counters_.frame_errors;
+    }
+    if (!WriteFrame(conn, reply.type, reply.payload, options_.io_timeout)
+             .ok()) {
+      break;
+    }
+  }
+  conn.Close();
+}
+
+Frame ShardDaemon::HandleFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kScoreBatch:
+      return HandleScoreBatch(frame);
+    case FrameType::kHealthProbe:
+      return HandleHealthProbe();
+    case FrameType::kStatsSnapshot:
+      return HandleStatsSnapshot();
+    case FrameType::kPushManifest:
+      return HandlePushManifest(frame);
+    case FrameType::kPushChunk:
+      return HandlePushChunk(frame);
+    case FrameType::kPushCommit:
+      return HandlePushCommit();
+    case FrameType::kPushRevert:
+      return HandlePushRevert();
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          std::string("shard daemon cannot serve frame type ") +
+          FrameTypeName(frame.type)));
+  }
+}
+
+Frame ShardDaemon::ErrorFrame(const Status& error) {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(error.code()));
+  w.WriteString(error.message());
+  return Frame{FrameType::kError, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandleScoreBatch(const Frame& frame) {
+  BinaryReader r(frame.payload);
+  Result<WireScoreRequest> request = DeserializeScoreRequest(&r);
+  if (!request.ok()) return ErrorFrame(request.status());
+  const WireScoreRequest& req = request.value();
+  const size_t count = req.count();
+  const std::chrono::nanoseconds deadline{req.deadline_ns};
+
+  // Submit every row first so the whole batch coalesces, then wait.
+  // Shed/invalid rows carry their typed code per row instead of failing
+  // the frame: one overloaded row must not poison its batch-mates.
+  std::vector<ScoreTicket> tickets(count);
+  std::vector<WireRowOutcome> outcomes(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> row(req.rows.begin() + i * req.width,
+                            req.rows.begin() + (i + 1) * req.width);
+    Result<ScoreTicket> ticket = server_->Submit(std::move(row), deadline);
+    if (ticket.ok()) {
+      tickets[i] = std::move(ticket).value();
+    } else {
+      outcomes[i].code = ticket.status().code();
+      outcomes[i].message = ticket.status().message();
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (!tickets[i].valid()) continue;
+    Result<ScoreResult> result = tickets[i].Wait();
+    if (result.ok()) {
+      outcomes[i].result = result.value();
+    } else {
+      outcomes[i].code = result.status().code();
+      outcomes[i].message = result.status().message();
+    }
+  }
+  BinaryWriter w;
+  SerializeRowOutcomes(outcomes, &w);
+  return Frame{FrameType::kScoreBatchReply, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandleHealthProbe() {
+  WireHealthProbe probe;
+  probe.completed = server_->stats().completed;
+  probe.queue_depth = server_->queue_depth();
+  probe.inflight_batches = server_->inflight_batches();
+  probe.snapshot_version = server_->CurrentSnapshot()->version();
+  BinaryWriter w;
+  SerializeHealthProbe(probe, &w);
+  return Frame{FrameType::kHealthProbeReply, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandleStatsSnapshot() {
+  BinaryWriter w;
+  SerializeStatsView(server_->stats(), &w);
+  return Frame{FrameType::kStatsSnapshotReply, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandlePushManifest(const Frame& frame) {
+  BinaryReader r(frame.payload);
+  Result<SnapshotManifest> manifest = DeserializeManifest(&r);
+  if (!manifest.ok()) return ErrorFrame(manifest.status());
+
+  std::lock_guard<std::mutex> lock(push_mu_);
+  pending_manifest_ = std::move(manifest).value();
+  pending_chunks_.clear();
+  pending_valid_ = true;
+
+  // Reply with the names of the chunks we cannot reuse — a chunk whose
+  // bytes we already hold (same name, size, and checksum) never travels.
+  std::vector<std::string> needed;
+  for (const SnapshotChunkInfo& info : pending_manifest_.chunks) {
+    auto held = current_chunks_.find(info.name);
+    bool reusable = held != current_chunks_.end() &&
+                    held->second.size() == info.size &&
+                    Fnv1aHash(held->second.data(), held->second.size()) ==
+                        info.checksum;
+    if (!reusable) needed.push_back(info.name);
+  }
+  BinaryWriter w;
+  w.WriteU64(needed.size());
+  for (const std::string& name : needed) w.WriteString(name);
+  return Frame{FrameType::kPushManifestReply, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandlePushChunk(const Frame& frame) {
+  BinaryReader r(frame.payload);
+  Result<std::string> name = r.ReadString();
+  if (!name.ok()) return ErrorFrame(name.status());
+  Result<std::string> bytes = r.ReadString();
+  if (!bytes.ok()) return ErrorFrame(bytes.status());
+
+  std::lock_guard<std::mutex> lock(push_mu_);
+  if (!pending_valid_) {
+    return ErrorFrame(Status::FailedPrecondition(
+        "push chunk without a pending manifest (send kPushManifest first)"));
+  }
+  size_t index = pending_manifest_.FindChunk(name.value());
+  if (index == static_cast<size_t>(-1)) {
+    return ErrorFrame(Status::InvalidArgument(
+        "pushed chunk '" + name.value() + "' is not in the pending manifest"));
+  }
+  const SnapshotChunkInfo& info = pending_manifest_.chunks[index];
+  if (FAULT_POINT_ARG("net.push.chunk", static_cast<uint64_t>(index)) ||
+      bytes.value().size() != info.size ||
+      Fnv1aHash(bytes.value().data(), bytes.value().size()) != info.checksum) {
+    return ErrorFrame(Status::DataLoss(
+        "pushed chunk '" + name.value() +
+        "' does not match its manifest entry (size or checksum)"));
+  }
+  pending_chunks_[info.name] = std::move(bytes).value();
+  {
+    std::lock_guard<std::mutex> counters(counter_mu_);
+    ++counters_.push_chunks_received;
+  }
+  return Frame{FrameType::kPushChunkReply, std::string()};
+}
+
+Frame ShardDaemon::HandlePushCommit() {
+  std::lock_guard<std::mutex> lock(push_mu_);
+  if (!pending_valid_) {
+    return ErrorFrame(Status::FailedPrecondition(
+        "push commit without a pending manifest"));
+  }
+  // Assemble the full payload: staged chunks where the pusher sent new
+  // bytes, our held chunks where the manifest said they were unchanged.
+  std::vector<SnapshotPayloadChunk> chunks;
+  chunks.reserve(pending_manifest_.chunks.size());
+  for (const SnapshotChunkInfo& info : pending_manifest_.chunks) {
+    auto staged = pending_chunks_.find(info.name);
+    if (staged != pending_chunks_.end()) {
+      chunks.push_back({info.name, staged->second});
+      continue;
+    }
+    auto held = current_chunks_.find(info.name);
+    if (held == current_chunks_.end()) {
+      return ErrorFrame(Status::FailedPrecondition(
+          "chunk '" + info.name +
+          "' was neither pushed nor already held; cannot commit"));
+    }
+    chunks.push_back({info.name, held->second});
+  }
+  Result<std::string> payload = AssemblePayload(pending_manifest_, chunks);
+  if (!payload.ok()) return ErrorFrame(payload.status());
+
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> parsed = ParseSnapshotPayload(
+      pending_manifest_.snapshot_format_version, payload.value().data(),
+      payload.value().size(), options_.push_load_mode, &report,
+      "pushed snapshot");
+  if (!parsed.ok()) return ErrorFrame(parsed.status());
+
+  // Keep a one-deep revert history, then swap. In-flight batches finish
+  // on the snapshot they grabbed — the swap drops nothing.
+  previous_snapshot_ = server_->CurrentSnapshot();
+  previous_manifest_ = current_manifest_;
+  previous_chunks_ = current_chunks_;
+  Status swapped = server_->UpdateSnapshot(parsed.value());
+  if (!swapped.ok()) return ErrorFrame(swapped);
+
+  current_manifest_ = pending_manifest_;
+  current_chunks_.clear();
+  for (SnapshotPayloadChunk& chunk : chunks) {
+    current_chunks_[chunk.name] = std::move(chunk.bytes);
+  }
+  pending_valid_ = false;
+  pending_chunks_.clear();
+
+  std::string note = report.degraded_note;
+  if (!options_.state_dir.empty()) {
+    Status persisted = SaveChunkedSnapshot(*parsed.value(),
+                                           options_.state_dir);
+    if (!persisted.ok()) {
+      // The swap already happened and serving is correct; surface the
+      // persistence problem to the pusher instead of unwinding it.
+      if (!note.empty()) note += "; ";
+      note += "state persist failed: " + persisted.message();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> counters(counter_mu_);
+    ++counters_.push_commits;
+  }
+  BinaryWriter w;
+  w.WriteU64(parsed.value()->version());
+  w.WriteU8(report.outcome == SnapshotLoadReport::Outcome::kDegraded ? 1 : 0);
+  w.WriteString(note);
+  return Frame{FrameType::kPushCommitReply, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandlePushRevert() {
+  std::lock_guard<std::mutex> lock(push_mu_);
+  pending_valid_ = false;
+  pending_chunks_.clear();
+  if (previous_snapshot_ == nullptr) {
+    return ErrorFrame(Status::FailedPrecondition(
+        "no committed push to revert"));
+  }
+  Status swapped = server_->UpdateSnapshot(previous_snapshot_);
+  if (!swapped.ok()) return ErrorFrame(swapped);
+  current_manifest_ = previous_manifest_;
+  current_chunks_ = previous_chunks_;
+  uint64_t version = previous_snapshot_->version();
+  previous_snapshot_.reset();
+  previous_chunks_.clear();
+  if (!options_.state_dir.empty()) {
+    // Best effort: a revert that cannot persist still serves correctly.
+    std::shared_ptr<const ModelSnapshot> current = server_->CurrentSnapshot();
+    (void)SaveChunkedSnapshot(*current, options_.state_dir);
+  }
+  {
+    std::lock_guard<std::mutex> counters(counter_mu_);
+    ++counters_.push_reverts;
+  }
+  BinaryWriter w;
+  w.WriteU64(version);
+  return Frame{FrameType::kPushRevertReply, std::move(w).TakeBuffer()};
+}
+
+}  // namespace net
+}  // namespace fairdrift

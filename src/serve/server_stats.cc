@@ -177,4 +177,19 @@ ServerStats::View ServerStats::Snapshot() const {
   return view;
 }
 
+Status ServerStats::MergeHistogramInto(std::vector<uint64_t>* dst,
+                                       const std::vector<uint64_t>& src) {
+  if (dst == nullptr) {
+    return Status::InvalidArgument("MergeHistogramInto: null destination");
+  }
+  if (dst->size() != src.size()) {
+    return Status::InvalidArgument(
+        "histogram bucket counts disagree (" + std::to_string(dst->size()) +
+        " vs " + std::to_string(src.size()) +
+        "); refusing an element-wise merge");
+  }
+  for (size_t b = 0; b < src.size(); ++b) (*dst)[b] += src[b];
+  return Status::OK();
+}
+
 }  // namespace fairdrift

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace fairdrift {
 
 struct AuditFoldOutcome;  // serve/audit/auditor.h
@@ -128,6 +130,14 @@ class ServerStats {
   /// histogram, reusable on an element-wise sum of several.
   static double PercentileUsFromHist(const std::vector<uint64_t>& hist,
                                      double q);
+
+  /// Element-wise accumulates `src` into `dst`. Bucket counts must
+  /// agree: in-process views always do, but a wire-deserialized view
+  /// from a different build (or a corrupted frame that still
+  /// checksummed) might not — kInvalidArgument instead of silent
+  /// misalignment or an out-of-bounds walk.
+  static Status MergeHistogramInto(std::vector<uint64_t>* dst,
+                                   const std::vector<uint64_t>& src);
 
  private:
   static std::memory_order rel() { return std::memory_order_relaxed; }

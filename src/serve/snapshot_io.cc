@@ -139,16 +139,22 @@ Result<KdeOptions> DeserializeKdeOptions(BinaryReader* r) {
   return options;
 }
 
-/// Serializes everything up to the density section (identical across
-/// format versions).
-Status SerializeCommonSections(const ModelSnapshot& snapshot,
-                               BinaryWriter* payload) {
+// The payload is serialized section by section so the chunked
+// (manifest) format can persist each section as its own artifact; the
+// monolithic payload is the in-order concatenation of the sections, so
+// both formats share one parser and one bitwise identity.
+
+void SerializeSchemaSection(const ModelSnapshot& snapshot,
+                            BinaryWriter* payload) {
   SerializeSchema(snapshot.schema(), payload);
   snapshot.encoder().SerializeTo(payload);
   payload->WriteU8(snapshot.routed() ? 1 : 0);
   payload->WriteU8(snapshot.routing() == RoutingRule::kViolationOnly ? 1 : 0);
   payload->WriteI32(snapshot.fallback_group());
+}
 
+Status SerializeModelsSection(const ModelSnapshot& snapshot,
+                              BinaryWriter* payload) {
   payload->WriteU64(static_cast<uint64_t>(snapshot.num_groups()));
   for (int g = 0; g < snapshot.num_groups(); ++g) {
     const Classifier* model = snapshot.group_model(g);
@@ -157,9 +163,46 @@ Status SerializeCommonSections(const ModelSnapshot& snapshot,
       FAIRDRIFT_RETURN_IF_ERROR(SerializeClassifier(*model, payload));
     }
   }
+  return Status::OK();
+}
 
+void SerializeProfileSection(const ModelSnapshot& snapshot,
+                             BinaryWriter* payload) {
   payload->WriteU8(snapshot.has_profile() ? 1 : 0);
   if (snapshot.has_profile()) SerializeProfile(snapshot.profile(), payload);
+}
+
+Status SerializeDensitySection(const ModelSnapshot& snapshot,
+                               BinaryWriter* payload) {
+  payload->WriteU8(snapshot.has_density() ? 1 : 0);
+  if (snapshot.has_density()) {
+    SerializeKdeOptions(snapshot.density_options(), payload);
+    payload->WriteDouble(snapshot.density_floor());
+    // v2+: the fitted estimator travels whole (flat tree included), so
+    // the loader neither refits nor retains a training-matrix copy.
+    FAIRDRIFT_RETURN_IF_ERROR(snapshot.density()->SaveFittedTo(payload));
+  }
+  return Status::OK();
+}
+
+void SerializePolicySection(const ModelSnapshot& snapshot,
+                            BinaryWriter* payload) {
+  // v3: the serve-time monitoring policy rides with the artifact (written
+  // even without a density section so the layout does not branch).
+  payload->WriteU8(static_cast<uint8_t>(snapshot.monitor().mode));
+  payload->WriteU32(snapshot.monitor().sample_modulus);
+  // v4: the audit group field (schema index of the categorical field the
+  // serving audit tier reads group ids from; -1 = none).
+  payload->WriteI32(snapshot.group_field());
+}
+
+/// Serializes everything up to the density section (identical across
+/// format versions).
+Status SerializeCommonSections(const ModelSnapshot& snapshot,
+                               BinaryWriter* payload) {
+  SerializeSchemaSection(snapshot, payload);
+  FAIRDRIFT_RETURN_IF_ERROR(SerializeModelsSection(snapshot, payload));
+  SerializeProfileSection(snapshot, payload);
   return Status::OK();
 }
 
@@ -186,22 +229,39 @@ Status WriteFramedSnapshot(const BinaryWriter& payload, uint32_t version,
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
   BinaryWriter payload;
   FAIRDRIFT_RETURN_IF_ERROR(SerializeCommonSections(snapshot, &payload));
-  payload.WriteU8(snapshot.has_density() ? 1 : 0);
-  if (snapshot.has_density()) {
-    SerializeKdeOptions(snapshot.density_options(), &payload);
-    payload.WriteDouble(snapshot.density_floor());
-    // v2+: the fitted estimator travels whole (flat tree included), so
-    // the loader neither refits nor retains a training-matrix copy.
-    FAIRDRIFT_RETURN_IF_ERROR(snapshot.density()->SaveFittedTo(&payload));
-  }
-  // v3: the serve-time monitoring policy rides with the artifact (written
-  // even without a density section so the layout does not branch).
-  payload.WriteU8(static_cast<uint8_t>(snapshot.monitor().mode));
-  payload.WriteU32(snapshot.monitor().sample_modulus);
-  // v4: the audit group field (schema index of the categorical field the
-  // serving audit tier reads group ids from; -1 = none).
-  payload.WriteI32(snapshot.group_field());
+  FAIRDRIFT_RETURN_IF_ERROR(SerializeDensitySection(snapshot, &payload));
+  SerializePolicySection(snapshot, &payload);
   return WriteFramedSnapshot(payload, kSnapshotFormatVersion, path);
+}
+
+Status SerializeSnapshotPayloadChunks(const ModelSnapshot& snapshot,
+                                      std::vector<SnapshotPayloadChunk>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("SerializeSnapshotPayloadChunks: null out");
+  }
+  out->clear();
+  out->resize(5);
+  BinaryWriter w;
+  (*out)[0].name = "schema";
+  SerializeSchemaSection(snapshot, &w);
+  (*out)[0].bytes = std::move(w).TakeBuffer();
+  w = BinaryWriter();
+  (*out)[1].name = "models";
+  FAIRDRIFT_RETURN_IF_ERROR(SerializeModelsSection(snapshot, &w));
+  (*out)[1].bytes = std::move(w).TakeBuffer();
+  w = BinaryWriter();
+  (*out)[2].name = "profile";
+  SerializeProfileSection(snapshot, &w);
+  (*out)[2].bytes = std::move(w).TakeBuffer();
+  w = BinaryWriter();
+  (*out)[3].name = "density";
+  FAIRDRIFT_RETURN_IF_ERROR(SerializeDensitySection(snapshot, &w));
+  (*out)[3].bytes = std::move(w).TakeBuffer();
+  w = BinaryWriter();
+  (*out)[4].name = "policy";
+  SerializePolicySection(snapshot, &w);
+  (*out)[4].bytes = std::move(w).TakeBuffer();
+  return Status::OK();
 }
 
 Status SaveSnapshotV1(const ModelSnapshot& snapshot,
@@ -277,7 +337,27 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     return Status::DataLoss("'" + path + "' failed its integrity check");
   }
 
-  BinaryReader r(payload_start, payload_size.value());
+  return ParseSnapshotPayload(version.value(), payload_start,
+                              payload_size.value(), mode, report, path);
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ParseSnapshotPayload(
+    uint32_t format_version, const char* data, size_t size,
+    SnapshotLoadMode mode, SnapshotLoadReport* report,
+    const std::string& origin) {
+  if (report == nullptr) {
+    return Status::InvalidArgument("ParseSnapshotPayload: null report");
+  }
+  *report = SnapshotLoadReport{};
+  if (format_version < kMinSnapshotFormatVersion ||
+      format_version > kSnapshotFormatVersion) {
+    return Status::DataLoss(StrFormat(
+        "'%s' has snapshot format version %u; this build reads versions "
+        "%u through %u",
+        origin.c_str(), format_version, kMinSnapshotFormatVersion,
+        kSnapshotFormatVersion));
+  }
+  BinaryReader r(data, size);
   SnapshotParts parts;
   Result<Schema> schema = DeserializeSchema(&r);
   if (!schema.ok()) return schema.status();
@@ -374,7 +454,7 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
       if (!options.ok()) return options.status();
       Result<double> floor = r.ReadDouble();
       if (!floor.ok()) return floor.status();
-      if (version.value() >= 2) {
+      if (format_version >= 2) {
         // v2: the fitted estimator (flat tree included) travels whole —
         // an O(n) read with no refit and no resident training-matrix
         // copy.
@@ -408,7 +488,7 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
       parts.density_options = options.value();
     }
 
-    if (version.value() >= 3) {
+    if (format_version >= 3) {
       Result<uint8_t> monitor_mode = r.ReadU8();
       if (!monitor_mode.ok()) return monitor_mode.status();
       if (monitor_mode.value() > static_cast<uint8_t>(MonitorMode::kSampled)) {
@@ -423,7 +503,7 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
       parts.monitor.sample_modulus = modulus.value();
     }
 
-    if (version.value() >= 4) {
+    if (format_version >= 4) {
       // v4: the audit group field index (-1 = none). Range and
       // field-type checks here (not just in Create) so kAllowPartial can
       // degrade a forged index instead of failing the whole load.
@@ -445,7 +525,7 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
     }
 
     if (r.remaining() != 0) {
-      return Status::DataLoss("'" + path + "' carries trailing bytes");
+      return Status::DataLoss("'" + origin + "' carries trailing bytes");
     }
     return Status::OK();
   };
@@ -471,7 +551,7 @@ Result<std::shared_ptr<const ModelSnapshot>> LoadSnapshot(
   if (!snapshot.ok()) {
     // Structural invariants (fallback model present, routing has a
     // profile) double as integrity checks here.
-    return Status::DataLoss("'" + path +
+    return Status::DataLoss("'" + origin +
                             "' is not a valid snapshot: " +
                             snapshot.status().message());
   }

@@ -47,6 +47,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "serve/snapshot.h"
 #include "util/status.h"
@@ -124,6 +126,35 @@ struct SnapshotFileSignature {
   uint64_t checksum = 0;
 };
 Result<SnapshotFileSignature> ProbeSnapshotFile(const std::string& path);
+
+/// One named section of the current-version snapshot payload. The
+/// concatenation of all chunks in order is byte-identical to the payload
+/// SaveSnapshot frames, so chunked and monolithic persistence share one
+/// parser and one bitwise identity guarantee (see serve/snapshot_manifest.h
+/// for the manifest that carries chunk checksums).
+struct SnapshotPayloadChunk {
+  std::string name;
+  std::string bytes;
+};
+
+/// Serializes `snapshot` into the ordered chunk list of the current
+/// format version: "schema" (schema + encoder + routing flags), "models",
+/// "profile", "density" (KDE options + floor + fitted estimator), and
+/// "policy" (MonitorSpec + audit group field). Same failure modes as
+/// SaveSnapshot.
+Status SerializeSnapshotPayloadChunks(const ModelSnapshot& snapshot,
+                                      std::vector<SnapshotPayloadChunk>* out);
+
+/// Parses an already-checksummed payload (the bytes between the file
+/// header and the trailing FNV) of the given `format_version` into a
+/// snapshot. This is LoadSnapshot minus the file framing — the manifest
+/// loader and the wire push path assemble a payload from chunks and feed
+/// it here, inheriting kAllowPartial's degraded-monitor semantics.
+/// `origin` labels error messages (a path or endpoint).
+Result<std::shared_ptr<const ModelSnapshot>> ParseSnapshotPayload(
+    uint32_t format_version, const char* data, size_t size,
+    SnapshotLoadMode mode, SnapshotLoadReport* report,
+    const std::string& origin);
 
 }  // namespace fairdrift
 

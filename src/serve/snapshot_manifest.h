@@ -1,0 +1,115 @@
+// Chunked snapshot persistence: a manifest plus per-artifact chunks.
+//
+// The monolithic snapshot file (serve/snapshot_io.h) freezes everything
+// into one payload. For a fleet behind the network that is the wrong
+// shape: a retrain that only moves the model coefficients should not
+// ship the (much larger) fitted density tree to every shard again. This
+// layer splits the SAME payload at its section boundaries into named
+// chunks -- "schema", "models", "profile", "density", "policy" -- and
+// describes them in a checksummed manifest:
+//
+//   MANIFEST file:  magic "FDSNMANI" | u32 manifest version | u64 body
+//                   size | body | u64 FNV-1a(body)
+//   body:           u32 snapshot format version | u64 payload size
+//                   | u64 payload FNV-1a | u64 chunk count
+//                   | per chunk { string name, u64 size, u64 FNV-1a }
+//   chunk files:    <dir>/<name>.chunk  (raw section bytes)
+//
+// Because the chunks are byte-exact slices of the monolithic payload,
+// concatenating them in manifest order and handing the result to
+// ParseSnapshotPayload loads a snapshot BITWISE identical to the
+// monolithic file -- one parser, one identity guarantee, two layouts.
+// The push protocol (serve/net/) sends the manifest first; the receiver
+// answers with the chunk names whose checksums differ from what it
+// already holds, so an incremental push moves only the changed
+// artifacts.
+//
+// Partial loads: the core chunks (schema, models, profile) are
+// required. Under SnapshotLoadMode::kAllowPartial a missing or corrupt
+// "density"/"policy" chunk degrades to serving without monitoring --
+// the same semantics (and the same report) as a corrupt monitor tail in
+// the monolithic file.
+
+#ifndef FAIRDRIFT_SERVE_SNAPSHOT_MANIFEST_H_
+#define FAIRDRIFT_SERVE_SNAPSHOT_MANIFEST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot_io.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+/// Current manifest format version.
+inline constexpr uint32_t kSnapshotManifestVersion = 1;
+
+/// The manifest file's name inside a chunked-snapshot directory.
+inline constexpr const char* kSnapshotManifestFileName = "MANIFEST";
+
+/// Identity of one chunk as recorded in the manifest.
+struct SnapshotChunkInfo {
+  std::string name;
+  uint64_t size = 0;
+  uint64_t checksum = 0;  ///< FNV-1a of the chunk bytes
+};
+
+struct SnapshotManifest {
+  uint32_t snapshot_format_version = 0;
+  uint64_t payload_size = 0;      ///< sum of chunk sizes
+  uint64_t payload_checksum = 0;  ///< FNV-1a of the concatenated payload
+  std::vector<SnapshotChunkInfo> chunks;
+
+  /// Index of `name` in `chunks`, or npos.
+  size_t FindChunk(const std::string& name) const;
+};
+
+/// A manifest together with the chunk bytes, in manifest order.
+struct ChunkedSnapshot {
+  SnapshotManifest manifest;
+  std::vector<SnapshotPayloadChunk> chunks;
+};
+
+/// Serializes `snapshot` into manifest + chunks (in memory). The
+/// concatenation of the chunk bytes equals the monolithic SaveSnapshot
+/// payload byte for byte.
+Result<ChunkedSnapshot> ChunkSnapshot(const ModelSnapshot& snapshot);
+
+/// Manifest body codec (shared by the MANIFEST file and the
+/// kPushManifest wire frame).
+void SerializeManifest(const SnapshotManifest& manifest, BinaryWriter* w);
+Result<SnapshotManifest> DeserializeManifest(BinaryReader* r);
+
+/// Writes `snapshot` as `<dir>/MANIFEST` + `<dir>/<name>.chunk` files,
+/// creating `dir` if needed. Incremental: a chunk file whose existing
+/// manifest entry already matches the new checksum is left untouched.
+/// Each written file is atomic (tmp + rename); the manifest is written
+/// last, so a crash mid-save leaves the previous manifest describing
+/// the previous (still loadable) chunk set. When `written_chunks` is
+/// non-null it receives the names of the chunks actually rewritten.
+Status SaveChunkedSnapshot(const ModelSnapshot& snapshot,
+                           const std::string& dir,
+                           std::vector<std::string>* written_chunks = nullptr);
+
+/// Reads and verifies `<dir>/MANIFEST`.
+Result<SnapshotManifest> LoadSnapshotManifest(const std::string& dir);
+
+/// Loads a chunked snapshot from `dir`. Core chunks must verify; a
+/// damaged optional chunk degrades under kAllowPartial exactly like a
+/// corrupt monolithic monitor tail (report->outcome = kDegraded).
+Result<std::shared_ptr<const ModelSnapshot>> LoadChunkedSnapshot(
+    const std::string& dir, SnapshotLoadMode mode, SnapshotLoadReport* report);
+
+/// Strict in-memory assembly used by the push receiver: every manifest
+/// chunk must be present in `chunks` (manifest order, already
+/// checksum-verified by the caller or not -- this re-verifies), and the
+/// concatenation must match the manifest's whole-payload checksum.
+Result<std::string> AssemblePayload(
+    const SnapshotManifest& manifest,
+    const std::vector<SnapshotPayloadChunk>& chunks);
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_SNAPSHOT_MANIFEST_H_

@@ -39,6 +39,9 @@ class BinaryWriter {
   void WriteI32Vector(const std::vector<int32_t>& v);
 
   const std::string& buffer() const { return buffer_; }
+  /// Moves the accumulated bytes out (rvalue-only; avoids copying large
+  /// payloads when handing the buffer to a frame or file writer).
+  std::string TakeBuffer() && { return std::move(buffer_); }
 
  private:
   std::string buffer_;

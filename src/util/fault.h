@@ -35,6 +35,13 @@
 //   audit.append          AuditLog::Append fails before writing (the
 //                         record is lost, the checksum chain stays valid)
 //   audit.fsync           AuditLog::Sync's fsync fails after the write
+//   net.accept            TcpListener::Accept drops the connection after
+//                         the kernel handshake
+//   net.read              TcpConnection::RecvAll truncates mid-buffer
+//                         (peer sees a partial read, conn is closed)
+//   net.write             TcpConnection::SendAll truncates mid-buffer
+//   net.push.chunk        shard daemon rejects a pushed snapshot chunk
+//                         with kDataLoss (arg = chunk index)
 
 #ifndef FAIRDRIFT_UTIL_FAULT_H_
 #define FAIRDRIFT_UTIL_FAULT_H_

@@ -40,6 +40,9 @@
 #include "serve/fleet/fleet.h"
 #include "serve/fleet/health.h"
 #include "serve/fleet/watcher.h"
+#include "serve/net/remote_fleet.h"
+#include "serve/net/shard_daemon.h"
+#include "serve/net/wire.h"
 #include "serve/server.h"
 #include "serve/snapshot_io.h"
 #include "util/rng.h"
@@ -880,6 +883,72 @@ TEST(FaultMatrix, WatcherHealsThroughProbabilisticLoadFailures) {
       << "loads";
   EXPECT_EQ(watcher.value()->stats().quarantined_identities, 0u);
   watcher.value()->Stop();
+}
+
+TEST(FaultMatrix, RemoteScoringShedsTypedErrorsUnderFlakyTransport) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(85);
+  ASSERT_NE(snapshot, nullptr);
+  net::ShardDaemonOptions daemon_options;
+  daemon_options.io_timeout = std::chrono::milliseconds(2000);
+  Result<std::unique_ptr<net::ShardDaemon>> daemon =
+      net::ShardDaemon::Start(snapshot, daemon_options);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  net::RemoteFleetOptions fleet_options;
+  fleet_options.io_timeout = std::chrono::milliseconds(2000);
+  fleet_options.start_prober = false;
+  Result<std::unique_ptr<net::RemoteFleet>> fleet = net::RemoteFleet::Connect(
+      {"127.0.0.1:" + std::to_string(daemon.value()->port())}, fleet_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  std::vector<std::vector<double>> rows = MakeRequests(48, 86);
+  std::vector<uint64_t> want_bits;
+  for (const auto& row : rows) {
+    Result<ScoreResult> r = fleet.value()->Score(row);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want_bits.push_back(Bits(r.value().probability));
+  }
+
+  uint64_t seed = MatrixSeed();
+  {
+    FaultGuard guard(seed);
+    FaultRule flaky_read;
+    flaky_read.probability = 0.2;
+    FaultInjector::Global().SetRule("net.read", flaky_read);
+    FaultRule flaky_write;
+    flaky_write.probability = 0.2;
+    FaultInjector::Global().SetRule("net.write", flaky_write);
+
+    // Seed-independent invariant: under injected partial reads/writes on
+    // BOTH sides of the wire, every call returns promptly with either
+    // the bitwise-correct score or a typed transport error — never a
+    // hang, never a silently wrong score, and the single shard is never
+    // ejected out of an empty rotation.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Result<ScoreResult> r = fleet.value()->Score(rows[i]);
+      if (r.ok()) {
+        EXPECT_EQ(Bits(r.value().probability), want_bits[i])
+            << "seed " << seed << " row " << i;
+      } else {
+        StatusCode code = r.status().code();
+        EXPECT_TRUE(code == StatusCode::kUnavailable ||
+                    code == StatusCode::kDeadlineExceeded ||
+                    code == StatusCode::kDataLoss)
+            << "seed " << seed << " row " << i << ": "
+            << r.status().ToString();
+      }
+    }
+    EXPECT_TRUE(fleet.value()->ShardAvailable(0));
+  }
+
+  // Disarmed, the same fleet object recovers on a fresh connection and
+  // serves bitwise-correct scores again.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Result<ScoreResult> r = fleet.value()->Score(rows[i]);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << " row " << i << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(Bits(r.value().probability), want_bits[i])
+        << "seed " << seed << " row " << i;
+  }
 }
 
 #else  // FAIRDRIFT_NO_FAULT_INJECTION

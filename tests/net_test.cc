@@ -1,0 +1,1019 @@
+// Tests for the network serving tier: framing (net/frame.h), wire
+// codecs (serve/net/wire.h), chunked snapshot persistence
+// (serve/snapshot_manifest.h), and the shard-daemon / remote-fleet pair
+// (serve/net/).
+//
+// The load-bearing contracts:
+//   - Cross-process score identity: a row scored through a shard daemon
+//     over the wire is BITWISE identical to scoring it in process.
+//   - Typed failure: every transport-level fault (bad magic, checksum
+//     mismatch, truncation, timeout, injected partial read/write)
+//     surfaces as kUnavailable / kDeadlineExceeded / kDataLoss — never
+//     a hang, never a mis-parse.
+//   - Incremental push: only changed-checksum chunks travel or are
+//     rewritten; a committed push advances the served version with the
+//     old snapshot still finishing its in-flight work.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "core/deployment.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/net/remote_fleet.h"
+#include "serve/net/shard_daemon.h"
+#include "serve/net/wire.h"
+#include "serve/server_stats.h"
+#include "serve/snapshot_io.h"
+#include "serve/snapshot_manifest.h"
+#include "util/binary_io.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace fairdrift {
+namespace {
+
+using net::Frame;
+using net::FrameType;
+using net::ReadFrame;
+using net::RemoteFleet;
+using net::RemoteFleetOptions;
+using net::RemoteShardClient;
+using net::ShardDaemon;
+using net::ShardDaemonOptions;
+using net::TcpConnection;
+using net::TcpListener;
+using net::WireRowOutcome;
+using net::WireScoreRequest;
+using net::WriteFrame;
+
+constexpr std::chrono::milliseconds kIo{2000};
+
+Dataset MakeTrainingData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x0(n);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<int> cat(n);
+  std::vector<int> labels(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = rng.Bernoulli(0.35) ? 1 : 0;
+    double shift = g == 1 ? 0.7 : -0.7;
+    x0[i] = rng.Gaussian(shift, 1.0);
+    x1[i] = rng.Gaussian(-shift, 1.2);
+    x2[i] = rng.Gaussian(0.0, 0.8);
+    cat[i] = static_cast<int>(rng.UniformInt(0, 2));
+    labels[i] = x0[i] - 0.5 * x1[i] + rng.Gaussian(0.0, 0.6) > 0.0 ? 1 : 0;
+    groups[i] = g;
+  }
+  Dataset data;
+  EXPECT_TRUE(data.AddNumericColumn("x0", std::move(x0)).ok());
+  EXPECT_TRUE(data.AddNumericColumn("x1", std::move(x1)).ok());
+  EXPECT_TRUE(data.AddNumericColumn("x2", std::move(x2)).ok());
+  EXPECT_TRUE(data.AddCategoricalColumn("cat", std::move(cat), 3).ok());
+  EXPECT_TRUE(data.SetLabels(std::move(labels), 2).ok());
+  EXPECT_TRUE(data.SetGroups(std::move(groups)).ok());
+  return data;
+}
+
+/// Deterministic snapshot: same seed + same flags => identical chunks,
+/// which is what makes the incremental-push assertions exact.
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t seed,
+                                                  bool with_density) {
+  Dataset train = MakeTrainingData(400, seed);
+  TrainSpec spec = ServingSpec(Method::kConfair);
+  spec.learner = LearnerKind::kLogisticRegression;
+  spec.include_density = with_density;
+  Result<std::shared_ptr<const ModelSnapshot>> snapshot =
+      BuildSnapshot(train, spec);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return snapshot.ok() ? snapshot.value() : nullptr;
+}
+
+Matrix MakeRequests(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    rows.At(i, 0) = rng.Gaussian();
+    rows.At(i, 1) = rng.Gaussian();
+    rows.At(i, 2) = rng.Gaussian();
+    rows.At(i, 3) = static_cast<double>(rng.UniformInt(0, 2));
+  }
+  return rows;
+}
+
+std::vector<double> Flatten(const Matrix& m) {
+  std::vector<double> flat;
+  flat.reserve(m.rows() * m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) flat.push_back(m.At(r, c));
+  }
+  return flat;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Chunked-snapshot tests need a directory no previous test RUN has
+/// touched: the snapshots are deterministic, so stale chunk files from
+/// an earlier process would satisfy the incremental-save checks.
+std::string FreshDir(const std::string& name) {
+  return TempPath(name + "." + std::to_string(::getpid()));
+}
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void ExpectSameBits(double a, double b, size_t row, const char* what) {
+  EXPECT_EQ(Bits(a), Bits(b))
+      << what << " differs at row " << row << ": " << a << " vs " << b;
+}
+
+/// The wire outcome must carry the in-process ScoreResult bit for bit
+/// (snapshot_version is excluded: each process stamps its own).
+void ExpectOutcomeMatches(const WireRowOutcome& outcome,
+                          const ScoreResult& want, size_t row) {
+  ASSERT_EQ(outcome.code, StatusCode::kOk)
+      << "row " << row << ": " << outcome.message;
+  ExpectSameBits(outcome.result.probability, want.probability, row,
+                 "probability");
+  EXPECT_EQ(outcome.result.label, want.label) << "row " << row;
+  EXPECT_EQ(outcome.result.routed_group, want.routed_group) << "row " << row;
+  ExpectSameBits(outcome.result.margin, want.margin, row, "margin");
+  ExpectSameBits(outcome.result.log_density, want.log_density, row,
+                 "log_density");
+  EXPECT_EQ(outcome.result.density_outlier, want.density_outlier)
+      << "row " << row;
+}
+
+void ExpectOutcomesMatch(const std::vector<WireRowOutcome>& outcomes,
+                         const std::vector<ScoreResult>& want) {
+  ASSERT_EQ(outcomes.size(), want.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ExpectOutcomeMatches(outcomes[i], want[i], i);
+  }
+}
+
+/// A connected loopback socket pair (no threads: the kernel completes
+/// the handshake against the listen backlog before Accept runs).
+struct SocketPair {
+  TcpListener listener;
+  TcpConnection client;
+  TcpConnection server;
+};
+
+SocketPair MakeSocketPair() {
+  SocketPair pair;
+  Result<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  pair.listener = std::move(listener).value();
+  Result<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", pair.listener.port(), kIo);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  pair.client = std::move(client).value();
+  Result<TcpConnection> server = pair.listener.Accept(kIo);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  pair.server = std::move(server).value();
+  return pair;
+}
+
+/// Hand-built frame bytes (the ReadFrame corruption tests need control
+/// over every byte; WriteFrame would fix what we break).
+std::string RawFrame(const std::string& magic, uint8_t version, uint8_t type,
+                     const std::string& payload, uint64_t checksum) {
+  BinaryWriter w;
+  for (char c : magic) w.WriteU8(static_cast<uint8_t>(c));
+  w.WriteU8(version);
+  w.WriteU8(type);
+  w.WriteU8(0);
+  w.WriteU8(0);
+  w.WriteU64(payload.size());
+  std::string buf = std::move(w).TakeBuffer();
+  buf.append(payload);
+  BinaryWriter trailer;
+  trailer.WriteU64(checksum);
+  buf.append(std::move(trailer).TakeBuffer());
+  return buf;
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(FrameTest, RoundTripOverLoopback) {
+  SocketPair pair = MakeSocketPair();
+  std::string payload = "hello over the wire";
+  ASSERT_TRUE(
+      WriteFrame(pair.client, FrameType::kScoreBatch, payload, kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().type, FrameType::kScoreBatch);
+  EXPECT_EQ(frame.value().payload, payload);
+
+  // Empty payloads frame fine too (kHealthProbe has none).
+  ASSERT_TRUE(WriteFrame(pair.server, FrameType::kHealthProbe, "", kIo).ok());
+  Result<Frame> probe = ReadFrame(pair.client, kIo);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe.value().type, FrameType::kHealthProbe);
+  EXPECT_TRUE(probe.value().payload.empty());
+}
+
+TEST(FrameTest, ErrorFrameRoundTripsTypedStatus) {
+  SocketPair pair = MakeSocketPair();
+  Status remote = Status::DeadlineExceeded("batch missed its deadline");
+  ASSERT_TRUE(net::WriteErrorFrame(pair.server, remote, kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.client, kIo);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame.value().type, FrameType::kError);
+  Status decoded = net::ExpectFrame(frame.value(), FrameType::kScoreBatchReply);
+  EXPECT_EQ(decoded.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(decoded.message().find("batch missed its deadline"),
+            std::string::npos);
+}
+
+TEST(FrameTest, UnexpectedReplyTypeIsDataLoss) {
+  Frame frame;
+  frame.type = FrameType::kHealthProbeReply;
+  EXPECT_EQ(net::ExpectFrame(frame, FrameType::kScoreBatchReply).code(),
+            StatusCode::kDataLoss);
+  frame.type = FrameType::kScoreBatchReply;
+  EXPECT_TRUE(net::ExpectFrame(frame, FrameType::kScoreBatchReply).ok());
+}
+
+TEST(FrameTest, BadMagicIsUnavailable) {
+  SocketPair pair = MakeSocketPair();
+  std::string raw = RawFrame("XXXX", net::kFrameProtocolVersion, 1, "p",
+                             Fnv1aHash("p", 1));
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), raw.size(), kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, FutureProtocolVersionIsUnavailable) {
+  SocketPair pair = MakeSocketPair();
+  std::string raw = RawFrame("FDRP", net::kFrameProtocolVersion + 1, 1, "p",
+                             Fnv1aHash("p", 1));
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), raw.size(), kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, ChecksumMismatchIsDataLoss) {
+  SocketPair pair = MakeSocketPair();
+  std::string payload = "precious payload bytes";
+  std::string raw = RawFrame("FDRP", net::kFrameProtocolVersion, 1, payload,
+                             Fnv1aHash(payload.data(), payload.size()));
+  raw[20] ^= 0x40;  // flip a payload bit; the trailer checksum now lies
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), raw.size(), kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameTest, OversizePayloadIsDataLoss) {
+  SocketPair pair = MakeSocketPair();
+  std::string raw =
+      RawFrame("FDRP", net::kFrameProtocolVersion, 1, std::string(64, 'x'),
+               Fnv1aHash("x", 1));
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), raw.size(), kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo, /*max_payload=*/16);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameTest, PeerClosingMidFrameIsUnavailable) {
+  SocketPair pair = MakeSocketPair();
+  // Header promises 64 payload bytes; the peer hangs up after 4.
+  std::string raw = RawFrame("FDRP", net::kFrameProtocolVersion, 1,
+                             std::string(64, 'x'), 0);
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), 20, kIo).ok());
+  pair.client.Close();
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, SilentPeerIsDeadlineExceeded) {
+  SocketPair pair = MakeSocketPair();
+  Result<Frame> frame = ReadFrame(pair.server, std::chrono::milliseconds(50));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ------------------------------------------------------------- wire codecs
+
+TEST(WireTest, ScoreRequestRoundTripsBitwise) {
+  WireScoreRequest request;
+  request.width = 3;
+  request.rows = {1.5, -0.0, 2.25, std::numeric_limits<double>::quiet_NaN(),
+                  -1e300, 0.1};
+  request.deadline_ns = 123456789;
+  BinaryWriter w;
+  net::SerializeScoreRequest(request, &w);
+  std::string bytes = std::move(w).TakeBuffer();
+  BinaryReader r(bytes);
+  Result<WireScoreRequest> back = net::DeserializeScoreRequest(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().width, request.width);
+  EXPECT_EQ(back.value().deadline_ns, request.deadline_ns);
+  ASSERT_EQ(back.value().rows.size(), request.rows.size());
+  for (size_t i = 0; i < request.rows.size(); ++i) {
+    ExpectSameBits(back.value().rows[i], request.rows[i], i, "row value");
+  }
+  EXPECT_EQ(back.value().count(), 2u);
+}
+
+TEST(WireTest, RowOutcomesRoundTripBitwiseIncludingSentinels) {
+  std::vector<WireRowOutcome> outcomes(2);
+  outcomes[0].code = StatusCode::kOk;
+  outcomes[0].result.probability = -0.0;  // signed zero must survive
+  outcomes[0].result.label = 1;
+  outcomes[0].result.routed_group = 2;
+  outcomes[0].result.margin = std::numeric_limits<double>::infinity();
+  outcomes[0].result.log_density =
+      std::numeric_limits<double>::quiet_NaN();  // no-monitor sentinel
+  outcomes[0].result.density_outlier = true;
+  outcomes[0].result.snapshot_version = 7;
+  outcomes[1].code = StatusCode::kUnavailable;
+  outcomes[1].message = "queue full";
+
+  BinaryWriter w;
+  net::SerializeRowOutcomes(outcomes, &w);
+  std::string bytes = std::move(w).TakeBuffer();
+  BinaryReader r(bytes);
+  Result<std::vector<WireRowOutcome>> back = net::DeserializeRowOutcomes(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[0].code, StatusCode::kOk);
+  ExpectSameBits(back.value()[0].result.probability, -0.0, 0, "probability");
+  ExpectSameBits(back.value()[0].result.log_density,
+                 outcomes[0].result.log_density, 0, "log_density");
+  EXPECT_EQ(back.value()[0].result.snapshot_version, 7u);
+  EXPECT_EQ(back.value()[1].code, StatusCode::kUnavailable);
+  EXPECT_EQ(back.value()[1].message, "queue full");
+}
+
+TEST(WireTest, TruncatedPayloadIsTypedErrorNotMisparse) {
+  std::vector<WireRowOutcome> outcomes(3);
+  BinaryWriter w;
+  net::SerializeRowOutcomes(outcomes, &w);
+  std::string bytes = std::move(w).TakeBuffer();
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    BinaryReader r(bytes.data(), cut);
+    Result<std::vector<WireRowOutcome>> back = net::DeserializeRowOutcomes(&r);
+    EXPECT_FALSE(back.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(WireTest, StatsViewRoundTripsBitwise) {
+  // Drive a real ServerStats so every field (EWMAs, audit sentinels,
+  // both histograms) holds a lived-in value, then round-trip its View.
+  ServerStats stats;
+  for (int i = 0; i < 37; ++i) {
+    stats.RecordSubmitted();
+    stats.RecordCompletion(std::chrono::microseconds(120 + 13 * i));
+  }
+  stats.RecordAdmissionShed();
+  stats.RecordDeadlineShed();
+  stats.RecordInvalidRequest();
+  stats.RecordSnapshotSwap();
+  stats.RecordBatch(8, std::chrono::microseconds(900));
+  stats.RecordBatch(16, std::chrono::microseconds(1700));
+  stats.RecordDensity(24, 3);
+  ServerStats::View view = stats.Snapshot();
+
+  BinaryWriter w;
+  net::SerializeStatsView(view, &w);
+  std::string bytes = std::move(w).TakeBuffer();
+  BinaryReader r(bytes);
+  Result<ServerStats::View> back = net::DeserializeStatsView(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const ServerStats::View& v = back.value();
+  EXPECT_EQ(v.submitted, view.submitted);
+  EXPECT_EQ(v.completed, view.completed);
+  EXPECT_EQ(v.shed_admission, view.shed_admission);
+  EXPECT_EQ(v.shed_deadline, view.shed_deadline);
+  EXPECT_EQ(v.invalid, view.invalid);
+  EXPECT_EQ(v.batches, view.batches);
+  EXPECT_EQ(v.snapshot_swaps, view.snapshot_swaps);
+  ExpectSameBits(v.mean_batch_size, view.mean_batch_size, 0, "mean_batch");
+  ExpectSameBits(v.p50_latency_us, view.p50_latency_us, 0, "p50");
+  ExpectSameBits(v.p95_latency_us, view.p95_latency_us, 0, "p95");
+  ExpectSameBits(v.p99_latency_us, view.p99_latency_us, 0, "p99");
+  ExpectSameBits(v.ewma_batch_latency_us, view.ewma_batch_latency_us, 0,
+                 "ewma_batch");
+  EXPECT_EQ(v.density_checked, view.density_checked);
+  EXPECT_EQ(v.density_outliers, view.density_outliers);
+  ExpectSameBits(v.ewma_outlier_rate, view.ewma_outlier_rate, 0,
+                 "ewma_outlier");
+  EXPECT_EQ(v.audit_windows, view.audit_windows);
+  EXPECT_EQ(v.audit_breaches, view.audit_breaches);
+  EXPECT_EQ(v.audit_alerts_raised, view.audit_alerts_raised);
+  EXPECT_EQ(v.audit_alert_active, view.audit_alert_active);
+  EXPECT_EQ(v.audit_has_metrics, view.audit_has_metrics);
+  ExpectSameBits(v.audit_last_di_star, view.audit_last_di_star, 0, "di_star");
+  ExpectSameBits(v.audit_last_spd, view.audit_last_spd, 0, "spd");
+  EXPECT_EQ(v.batch_size_hist, view.batch_size_hist);
+  EXPECT_EQ(v.latency_hist, view.latency_hist);
+}
+
+TEST(WireTest, HistogramMergeValidatesBucketCompatibility) {
+  std::vector<uint64_t> dst = {1, 2, 3};
+  std::vector<uint64_t> src = {10, 20, 30};
+  ASSERT_TRUE(ServerStats::MergeHistogramInto(&dst, src).ok());
+  EXPECT_EQ(dst, (std::vector<uint64_t>{11, 22, 33}));
+
+  // A view from a mismatched build (different bucket count) must be
+  // rejected, not walked out of bounds or silently misaligned.
+  std::vector<uint64_t> alien = {1, 2, 3, 4};
+  Status merged = ServerStats::MergeHistogramInto(&dst, alien);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dst, (std::vector<uint64_t>{11, 22, 33})) << "dst must be intact";
+}
+
+// -------------------------------------------------------- chunked snapshots
+
+TEST(ManifestTest, ChunkedLoadBitwiseEqualsMonolithic) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(17, true);
+  ASSERT_NE(snapshot, nullptr);
+
+  // The chunks are byte-exact slices: reassembling them must reproduce
+  // the manifest's whole-payload checksum.
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*snapshot);
+  ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+  Result<std::string> payload =
+      AssemblePayload(chunked.value().manifest, chunked.value().chunks);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(Fnv1aHash(payload.value().data(), payload.value().size()),
+            chunked.value().manifest.payload_checksum);
+
+  std::string mono = TempPath("net_mono.bin");
+  std::string dir = FreshDir("net_chunked_eq");
+  ASSERT_TRUE(SaveSnapshot(*snapshot, mono).ok());
+  ASSERT_TRUE(SaveChunkedSnapshot(*snapshot, dir).ok());
+
+  Result<std::shared_ptr<const ModelSnapshot>> from_mono = LoadSnapshot(mono);
+  ASSERT_TRUE(from_mono.ok()) << from_mono.status().ToString();
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> from_chunks =
+      LoadChunkedSnapshot(dir, SnapshotLoadMode::kStrict, &report);
+  ASSERT_TRUE(from_chunks.ok()) << from_chunks.status().ToString();
+  EXPECT_EQ(report.outcome, SnapshotLoadReport::Outcome::kComplete);
+  EXPECT_TRUE(from_chunks.value()->has_density());
+
+  Matrix requests = MakeRequests(96, 23);
+  Result<std::vector<ScoreResult>> a = from_mono.value()->ScoreBatch(requests);
+  Result<std::vector<ScoreResult>> b =
+      from_chunks.value()->ScoreBatch(requests);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    ExpectSameBits(a.value()[i].probability, b.value()[i].probability, i,
+                   "probability");
+    ExpectSameBits(a.value()[i].log_density, b.value()[i].log_density, i,
+                   "log_density");
+    EXPECT_EQ(a.value()[i].label, b.value()[i].label) << "row " << i;
+  }
+}
+
+TEST(ManifestTest, IncrementalSaveRewritesOnlyChangedChunks) {
+  // Same training data, density monitor toggled: only the "density"
+  // artifact differs between the two snapshots.
+  std::shared_ptr<const ModelSnapshot> with = MakeSnapshot(29, true);
+  std::shared_ptr<const ModelSnapshot> without = MakeSnapshot(29, false);
+  ASSERT_NE(with, nullptr);
+  ASSERT_NE(without, nullptr);
+
+  std::string dir = FreshDir("net_chunked_incr");
+  std::vector<std::string> written;
+  ASSERT_TRUE(SaveChunkedSnapshot(*with, dir, &written).ok());
+  EXPECT_EQ(written.size(), 5u) << "first save writes every chunk";
+
+  written.clear();
+  ASSERT_TRUE(SaveChunkedSnapshot(*without, dir, &written).ok());
+  ASSERT_EQ(written.size(), 1u)
+      << "a density-only change must rewrite exactly one chunk";
+  EXPECT_EQ(written[0], "density");
+
+  // Idempotent re-save touches nothing.
+  written.clear();
+  ASSERT_TRUE(SaveChunkedSnapshot(*without, dir, &written).ok());
+  EXPECT_TRUE(written.empty());
+
+  // And the directory still loads as the latest save, strictly.
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> loaded =
+      LoadChunkedSnapshot(dir, SnapshotLoadMode::kStrict, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value()->has_density());
+}
+
+void FlipByteInFile(const std::string& path, long offset) {
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(fseek(f, offset, SEEK_SET), 0);
+  int c = fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(fseek(f, offset, SEEK_SET), 0);
+  fputc(c ^ 0x20, f);
+  fclose(f);
+}
+
+TEST(ManifestTest, CorruptOptionalChunkDegradesOnlyUnderAllowPartial) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(31, true);
+  ASSERT_NE(snapshot, nullptr);
+  std::string dir = FreshDir("net_chunked_corrupt");
+  ASSERT_TRUE(SaveChunkedSnapshot(*snapshot, dir).ok());
+  FlipByteInFile(dir + "/density.chunk", 12);
+
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> strict =
+      LoadChunkedSnapshot(dir, SnapshotLoadMode::kStrict, &report);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+
+  Result<std::shared_ptr<const ModelSnapshot>> partial =
+      LoadChunkedSnapshot(dir, SnapshotLoadMode::kAllowPartial, &report);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_EQ(report.outcome, SnapshotLoadReport::Outcome::kDegraded);
+  EXPECT_FALSE(partial.value()->has_density())
+      << "degraded load serves without the damaged monitor";
+  EXPECT_TRUE(partial.value()->ScoreBatch(MakeRequests(8, 5)).ok());
+}
+
+TEST(ManifestTest, CorruptCoreChunkFailsEvenAllowPartial) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(37, true);
+  ASSERT_NE(snapshot, nullptr);
+  std::string dir = FreshDir("net_chunked_core_corrupt");
+  ASSERT_TRUE(SaveChunkedSnapshot(*snapshot, dir).ok());
+  FlipByteInFile(dir + "/models.chunk", 16);
+
+  SnapshotLoadReport report;
+  Result<std::shared_ptr<const ModelSnapshot>> loaded =
+      LoadChunkedSnapshot(dir, SnapshotLoadMode::kAllowPartial, &report);
+  ASSERT_FALSE(loaded.ok())
+      << "a damaged model chunk must never serve, partial mode or not";
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+// --------------------------------------------- daemon + remote fleet, E2E
+
+struct TestFleet {
+  std::vector<std::unique_ptr<ShardDaemon>> daemons;
+  std::unique_ptr<RemoteFleet> fleet;
+};
+
+TestFleet StartFleet(std::shared_ptr<const ModelSnapshot> snapshot,
+                     size_t num_daemons) {
+  TestFleet tf;
+  std::vector<std::string> addresses;
+  for (size_t i = 0; i < num_daemons; ++i) {
+    ShardDaemonOptions options;
+    options.io_timeout = kIo;
+    Result<std::unique_ptr<ShardDaemon>> daemon =
+        ShardDaemon::Start(snapshot, options);
+    EXPECT_TRUE(daemon.ok()) << daemon.status().ToString();
+    if (!daemon.ok()) return tf;
+    addresses.push_back("127.0.0.1:" +
+                        std::to_string(daemon.value()->port()));
+    tf.daemons.push_back(std::move(daemon).value());
+  }
+  RemoteFleetOptions options;
+  options.routing = FleetRoutingPolicy::kHashRow;
+  options.io_timeout = kIo;
+  options.start_prober = false;  // tests step ProbeOnce() deterministically
+  Result<std::unique_ptr<RemoteFleet>> fleet =
+      RemoteFleet::Connect(addresses, options);
+  EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+  if (fleet.ok()) tf.fleet = std::move(fleet).value();
+  return tf;
+}
+
+TEST(RemoteFleetTest, RemoteScoringBitwiseEqualsInProcess) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(41, true);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 2);
+  ASSERT_NE(tf.fleet, nullptr);
+
+  Matrix requests = MakeRequests(64, 47);
+  Result<std::vector<ScoreResult>> want = snapshot->ScoreBatch(requests);
+  ASSERT_TRUE(want.ok());
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectOutcomesMatch(got.value(), want.value());
+
+  // Both daemons took traffic (hash routing spreads 64 distinct rows).
+  EXPECT_GT(tf.daemons[0]->server()->stats().completed, 0u);
+  EXPECT_GT(tf.daemons[1]->server()->stats().completed, 0u);
+
+  // Merged fleet stats see every completion.
+  tf.fleet->ProbeOnce();
+  FleetStatsView stats = tf.fleet->stats();
+  EXPECT_EQ(stats.num_shards, 2u);
+  EXPECT_EQ(stats.completed, 64u);
+  EXPECT_EQ(stats.min_snapshot_version, stats.max_snapshot_version);
+}
+
+TEST(RemoteFleetTest, MalformedRowWidthIsInvalidArgument) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(41, false);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 1);
+  ASSERT_NE(tf.fleet, nullptr);
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch({1.0, 2.0, 3.0}, 2);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RemoteFleetTest, PushRollingMovesOnlyChangedChunkAndAdvancesVersion) {
+  std::shared_ptr<const ModelSnapshot> before = MakeSnapshot(53, true);
+  std::shared_ptr<const ModelSnapshot> after = MakeSnapshot(53, false);
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  TestFleet tf = StartFleet(before, 2);
+  ASSERT_NE(tf.fleet, nullptr);
+
+  std::vector<uint64_t> old_versions;
+  for (size_t s = 0; s < 2; ++s) {
+    Result<net::WireHealthProbe> probe = tf.fleet->shard_client(s)->Probe();
+    ASSERT_TRUE(probe.ok());
+    old_versions.push_back(probe.value().snapshot_version);
+  }
+
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*after);
+  ASSERT_TRUE(chunked.ok());
+  Result<RollingUpdateReport> report = tf.fleet->PushRolling(chunked.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().state, RolloutState::kCommitted);
+  EXPECT_EQ(report.value().shards_updated, 2u);
+
+  for (size_t s = 0; s < 2; ++s) {
+    // The daemon diffed the manifest against what it already serves:
+    // only the changed density chunk traveled.
+    ShardDaemon::Counters counters = tf.daemons[s]->counters();
+    EXPECT_EQ(counters.push_chunks_received, 1u) << "shard " << s;
+    EXPECT_EQ(counters.push_commits, 1u) << "shard " << s;
+    EXPECT_EQ(counters.push_reverts, 0u) << "shard " << s;
+    Result<net::WireHealthProbe> probe = tf.fleet->shard_client(s)->Probe();
+    ASSERT_TRUE(probe.ok());
+    EXPECT_NE(probe.value().snapshot_version, old_versions[s])
+        << "shard " << s << " still serves the pre-push version";
+  }
+
+  // The fleet serves the pushed snapshot bitwise.
+  Matrix requests = MakeRequests(48, 59);
+  Result<std::vector<ScoreResult>> want = after->ScoreBatch(requests);
+  ASSERT_TRUE(want.ok());
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectOutcomesMatch(got.value(), want.value());
+
+  // Version stamps are process-local counters, so cross-daemon equality
+  // is not the invariant (two daemons in this one test process draw
+  // consecutive stamps for the same bytes); the zero-skew witness above
+  // is content: every shard serves the pushed snapshot bitwise. The
+  // fleet view must still have picked up the post-push stamps.
+  tf.fleet->ProbeOnce();
+  FleetStatsView stats = tf.fleet->stats();
+  EXPECT_GT(stats.min_snapshot_version, 0u);
+  EXPECT_EQ(stats.rolling_updates, 1u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+}
+
+TEST(RemoteFleetTest, PushRevertRestoresPreviousSnapshotBitwise) {
+  std::shared_ptr<const ModelSnapshot> before = MakeSnapshot(61, true);
+  std::shared_ptr<const ModelSnapshot> after = MakeSnapshot(62, true);
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  TestFleet tf = StartFleet(before, 1);
+  ASSERT_NE(tf.fleet, nullptr);
+  RemoteShardClient* client = tf.fleet->shard_client(0);
+
+  // Manual push conversation: manifest -> needed chunks -> commit.
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*after);
+  ASSERT_TRUE(chunked.ok());
+  Result<std::vector<std::string>> needed =
+      client->PushManifest(chunked.value().manifest);
+  ASSERT_TRUE(needed.ok()) << needed.status().ToString();
+  EXPECT_FALSE(needed.value().empty());
+  for (const std::string& name : needed.value()) {
+    size_t idx = chunked.value().manifest.FindChunk(name);
+    ASSERT_NE(idx, static_cast<size_t>(-1)) << name;
+    ASSERT_TRUE(
+        client->PushChunk(name, chunked.value().chunks[idx].bytes).ok());
+  }
+  Result<RemoteShardClient::CommitReply> commit = client->PushCommit();
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+
+  Matrix requests = MakeRequests(32, 67);
+  Result<std::vector<ScoreResult>> want_after = after->ScoreBatch(requests);
+  ASSERT_TRUE(want_after.ok());
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok());
+  ExpectOutcomesMatch(got.value(), want_after.value());
+
+  // Revert: the daemon swaps back to the one-deep previous snapshot.
+  Result<uint64_t> reverted = client->PushRevert();
+  ASSERT_TRUE(reverted.ok()) << reverted.status().ToString();
+  EXPECT_NE(reverted.value(), commit.value().snapshot_version);
+  Result<std::vector<ScoreResult>> want_before = before->ScoreBatch(requests);
+  ASSERT_TRUE(want_before.ok());
+  got = tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok());
+  ExpectOutcomesMatch(got.value(), want_before.value());
+  EXPECT_EQ(tf.daemons[0]->counters().push_reverts, 1u);
+}
+
+TEST(RemoteFleetTest, KilledShardFailsOverBitwiseThenReadmitsAfterRestart) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(71, true);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 2);
+  ASSERT_NE(tf.fleet, nullptr);
+
+  Matrix requests = MakeRequests(40, 73);
+  Result<std::vector<ScoreResult>> want = snapshot->ScoreBatch(requests);
+  ASSERT_TRUE(want.ok());
+
+  // Kill shard 1 (daemon destroyed, port released, connections reset).
+  uint16_t dead_port = tf.daemons[1]->port();
+  tf.daemons[1].reset();
+
+  // The very next batch fails over: the failed shard is ejected on the
+  // spot and its hash-routed rows re-pick onto the survivor — all rows
+  // still come back, bitwise identical (same snapshot everywhere).
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectOutcomesMatch(got.value(), want.value());
+  EXPECT_EQ(tf.fleet->ejections(), 1u);
+  EXPECT_FALSE(tf.fleet->ShardAvailable(1));
+  EXPECT_TRUE(tf.fleet->ShardAvailable(0));
+
+  // While the daemon is down, probes keep it out of rotation.
+  for (int i = 0; i < 3; ++i) tf.fleet->ProbeOnce();
+  EXPECT_FALSE(tf.fleet->ShardAvailable(1));
+  EXPECT_EQ(tf.fleet->readmissions(), 0u);
+
+  // Operator restarts the daemon on the same port; K healthy probes
+  // readmit it.
+  ShardDaemonOptions options;
+  options.port = dead_port;
+  options.io_timeout = kIo;
+  Result<std::unique_ptr<ShardDaemon>> restarted =
+      Status::Unavailable("not restarted yet");
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    restarted = ShardDaemon::Start(snapshot, options);
+    if (restarted.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  tf.daemons[1] = std::move(restarted).value();
+
+  for (int i = 0; i < 3; ++i) tf.fleet->ProbeOnce();
+  EXPECT_TRUE(tf.fleet->ShardAvailable(1));
+  EXPECT_EQ(tf.fleet->readmissions(), 1u);
+
+  // The readmitted shard serves — still bitwise identical.
+  got = tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok());
+  ExpectOutcomesMatch(got.value(), want.value());
+  EXPECT_GT(tf.daemons[1]->server()->stats().completed, 0u)
+      << "the restarted shard took back its hash-routed keys";
+}
+
+TEST(RemoteFleetTest, ProberDeclaresUnreachableShardDeadThenRecovers) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(79, false);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 2);
+  ASSERT_NE(tf.fleet, nullptr);
+
+  uint16_t dead_port = tf.daemons[0]->port();
+  tf.daemons[0].reset();
+
+  // No traffic touches the dead shard; the prober alone walks it
+  // healthy -> degraded -> dead -> ejected in K stalled probes.
+  for (int i = 0; i < 3; ++i) tf.fleet->ProbeOnce();
+  EXPECT_EQ(tf.fleet->ejections(), 1u);
+  EXPECT_FALSE(tf.fleet->ShardAvailable(0));
+
+  // Dead stays dead while unreachable.
+  for (int i = 0; i < 3; ++i) tf.fleet->ProbeOnce();
+  EXPECT_EQ(tf.fleet->readmissions(), 0u);
+
+  // A probe answered after death means the process was restarted: the
+  // fsm reenters recovery and readmits after K healthy probes.
+  ShardDaemonOptions options;
+  options.port = dead_port;
+  options.io_timeout = kIo;
+  Result<std::unique_ptr<ShardDaemon>> restarted =
+      Status::Unavailable("not restarted yet");
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    restarted = ShardDaemon::Start(snapshot, options);
+    if (restarted.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  tf.daemons[0] = std::move(restarted).value();
+
+  for (int i = 0; i < 4; ++i) tf.fleet->ProbeOnce();
+  EXPECT_TRUE(tf.fleet->ShardAvailable(0));
+  EXPECT_EQ(tf.fleet->readmissions(), 1u);
+}
+
+TEST(RemoteFleetTest, LastRoutableShardIsNeverEjected) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(83, false);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 1);
+  ASSERT_NE(tf.fleet, nullptr);
+
+  tf.daemons[0].reset();
+  Matrix requests = MakeRequests(4, 89);
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  // The call still returns (typed per-row errors), the shard stays in
+  // rotation (nowhere else to send traffic), and probes don't eject it.
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (const WireRowOutcome& outcome : got.value()) {
+    EXPECT_NE(outcome.code, StatusCode::kOk);
+  }
+  for (int i = 0; i < 5; ++i) tf.fleet->ProbeOnce();
+  EXPECT_EQ(tf.fleet->ejections(), 0u);
+  EXPECT_TRUE(tf.fleet->ShardAvailable(0));
+}
+
+// ------------------------------------------------------ injected net faults
+
+#ifndef FAIRDRIFT_NO_FAULT_INJECTION
+
+/// Arms the global injector for one test and guarantees it is disarmed
+/// however the test exits.
+class FaultGuard {
+ public:
+  explicit FaultGuard(uint64_t seed) { FaultInjector::Global().Arm(seed); }
+  ~FaultGuard() { FaultInjector::Global().Disarm(); }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+};
+
+TEST(NetFaultTest, InjectedReadFaultSurfacesTypedErrorAndRecovers) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(91, false);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 1);
+  ASSERT_NE(tf.fleet, nullptr);
+  Matrix requests = MakeRequests(4, 93);
+  std::vector<double> flat = Flatten(requests);
+
+  {
+    FaultGuard guard(7);
+    FaultRule truncate;  // every RecvAll (client and daemon) truncates
+    FaultInjector::Global().SetRule("net.read", truncate);
+    Result<std::vector<WireRowOutcome>> got =
+        tf.fleet->ScoreBatch(flat, requests.cols());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (const WireRowOutcome& outcome : got.value()) {
+      EXPECT_TRUE(outcome.code == StatusCode::kUnavailable ||
+                  outcome.code == StatusCode::kDeadlineExceeded ||
+                  outcome.code == StatusCode::kDataLoss)
+          << StatusCodeToString(outcome.code);
+    }
+    EXPECT_GT(FaultInjector::Global().fires("net.read"), 0u);
+  }
+
+  // Disarmed, the same fleet object serves again (stale connections
+  // reconnect; the last shard was never ejected).
+  Result<std::vector<ScoreResult>> want = snapshot->ScoreBatch(requests);
+  ASSERT_TRUE(want.ok());
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(flat, requests.cols());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectOutcomesMatch(got.value(), want.value());
+}
+
+TEST(NetFaultTest, InjectedWriteFaultSurfacesTypedErrorAndRecovers) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(97, false);
+  ASSERT_NE(snapshot, nullptr);
+  TestFleet tf = StartFleet(snapshot, 1);
+  ASSERT_NE(tf.fleet, nullptr);
+  Matrix requests = MakeRequests(4, 99);
+  std::vector<double> flat = Flatten(requests);
+
+  {
+    FaultGuard guard(11);
+    FaultRule truncate;
+    FaultInjector::Global().SetRule("net.write", truncate);
+    Result<std::vector<WireRowOutcome>> got =
+        tf.fleet->ScoreBatch(flat, requests.cols());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (const WireRowOutcome& outcome : got.value()) {
+      EXPECT_NE(outcome.code, StatusCode::kOk);
+    }
+  }
+
+  Result<std::vector<ScoreResult>> want = snapshot->ScoreBatch(requests);
+  ASSERT_TRUE(want.ok());
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(flat, requests.cols());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectOutcomesMatch(got.value(), want.value());
+}
+
+TEST(NetFaultTest, InjectedChunkFaultFailsPushWithDataLossAndRollsBack) {
+  std::shared_ptr<const ModelSnapshot> before = MakeSnapshot(101, true);
+  std::shared_ptr<const ModelSnapshot> after = MakeSnapshot(102, true);
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  TestFleet tf = StartFleet(before, 2);
+  ASSERT_NE(tf.fleet, nullptr);
+
+  Result<ChunkedSnapshot> chunked = ChunkSnapshot(*after);
+  ASSERT_TRUE(chunked.ok());
+
+  {
+    FaultGuard guard(13);
+    FaultRule reject;  // every staged chunk is rejected with kDataLoss
+    FaultInjector::Global().SetRule("net.push.chunk", reject);
+    RollingUpdateOptions rolling;
+    rolling.max_attempts_per_shard = 2;
+    rolling.initial_backoff = std::chrono::milliseconds(1);
+    Result<RollingUpdateReport> report =
+        tf.fleet->PushRolling(chunked.value(), rolling);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report.value().state, RolloutState::kRolledBack);
+    EXPECT_NE(
+        report.value().failure.find("does not match its manifest entry"),
+        std::string::npos)
+        << report.value().failure;
+  }
+
+  // The fleet healed itself: every shard still serves `before`, bitwise.
+  Matrix requests = MakeRequests(24, 103);
+  Result<std::vector<ScoreResult>> want = before->ScoreBatch(requests);
+  ASSERT_TRUE(want.ok());
+  Result<std::vector<WireRowOutcome>> got =
+      tf.fleet->ScoreBatch(Flatten(requests), requests.cols());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectOutcomesMatch(got.value(), want.value());
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(tf.daemons[s]->counters().push_commits, 0u) << "shard " << s;
+    EXPECT_TRUE(tf.fleet->ShardAvailable(s)) << "shard " << s;
+  }
+
+  // With the fault gone the identical push commits.
+  Result<RollingUpdateReport> report = tf.fleet->PushRolling(chunked.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().state, RolloutState::kCommitted);
+}
+
+TEST(NetFaultTest, InjectedAcceptFaultShedsConnectionsThenRecovers) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(107, false);
+  ASSERT_NE(snapshot, nullptr);
+  ShardDaemonOptions options;
+  options.io_timeout = kIo;
+  Result<std::unique_ptr<ShardDaemon>> daemon =
+      ShardDaemon::Start(snapshot, options);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  {
+    FaultGuard guard(17);
+    FaultRule drop;
+    FaultInjector::Global().SetRule("net.accept", drop);
+    RemoteShardClient client("127.0.0.1", daemon.value()->port(), kIo);
+    Result<net::WireHealthProbe> probe = client.Probe();
+    // The daemon dropped the freshly accepted connection; the client's
+    // RPC fails typed (reset/EOF) instead of wedging.
+    ASSERT_FALSE(probe.ok());
+    EXPECT_TRUE(probe.status().code() == StatusCode::kUnavailable ||
+                probe.status().code() == StatusCode::kDeadlineExceeded)
+        << probe.status().ToString();
+  }
+
+  RemoteShardClient client("127.0.0.1", daemon.value()->port(), kIo);
+  Result<net::WireHealthProbe> probe = client.Probe();
+  EXPECT_TRUE(probe.ok()) << probe.status().ToString();
+}
+
+#endif  // FAIRDRIFT_NO_FAULT_INJECTION
+
+}  // namespace
+}  // namespace fairdrift
