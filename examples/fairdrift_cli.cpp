@@ -73,6 +73,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -1249,8 +1250,14 @@ int CmdRoute(const CliFlags& flags) {
 
   RouterPushState push;
   std::atomic<bool> stop{false};
-  std::vector<std::thread> conns;
-  std::mutex conns_mu;
+  // One handler thread per live client; `done` flips when the handler
+  // exits so the accept loop can reap (join) it instead of holding a
+  // joinable pthread per client the router has ever served.
+  struct RouterConn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<RouterConn> conns;
   net::RemoteFleet* fleet_ptr = fleet.value().get();
   std::chrono::milliseconds io = options.io_timeout;
 
@@ -1262,30 +1269,45 @@ int CmdRoute(const CliFlags& flags) {
       stop.store(true);
       break;
     }
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
     Result<net::TcpConnection> accepted =
         listener.value().Accept(std::chrono::milliseconds(50));
     if (!accepted.ok()) continue;
-    std::lock_guard<std::mutex> lock(conns_mu);
-    conns.emplace_back(
-        [&stop, &push, fleet_ptr, io](net::TcpConnection conn) {
-          while (!stop.load()) {
-            if (!conn.WaitReadable(std::chrono::milliseconds(50))) continue;
-            Result<net::Frame> frame = net::ReadFrame(conn, io);
-            if (!frame.ok()) {
-              (void)net::WriteErrorFrame(conn, frame.status(), io);
-              break;
-            }
-            net::Frame reply =
-                RouterHandleFrame(frame.value(), fleet_ptr, &push);
-            if (!net::WriteFrame(conn, reply.type, reply.payload, io).ok()) {
-              break;
-            }
-          }
-        },
-        std::move(accepted).value());
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    conns.push_back(RouterConn{
+        std::thread(
+            [&stop, &push, fleet_ptr, io, done](net::TcpConnection conn) {
+              while (!stop.load()) {
+                if (!conn.WaitReadable(std::chrono::milliseconds(50))) {
+                  continue;
+                }
+                Result<net::Frame> frame = net::ReadFrame(conn, io);
+                if (!frame.ok()) {
+                  (void)net::WriteErrorFrame(conn, frame.status(), io);
+                  break;
+                }
+                net::Frame reply =
+                    RouterHandleFrame(frame.value(), fleet_ptr, &push);
+                if (!net::WriteFrame(conn, reply.type, reply.payload, io)
+                         .ok()) {
+                  break;
+                }
+              }
+              conn.Close();
+              done->store(true, std::memory_order_release);
+            },
+            std::move(accepted).value()),
+        done});
   }
-  for (std::thread& t : conns) {
-    if (t.joinable()) t.join();
+  for (RouterConn& c : conns) {
+    if (c.thread.joinable()) c.thread.join();
   }
   fleet.value()->Stop();
   return 0;

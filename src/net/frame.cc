@@ -13,6 +13,18 @@ constexpr char kFrameMagic[4] = {'F', 'D', 'R', 'P'};
 constexpr size_t kHeaderSize = 16;   // magic + version + type + flags + size
 constexpr size_t kTrailerSize = 8;   // FNV-1a of the payload
 
+// Byte-wise little-endian decode, mirroring BinaryWriter::WriteU64 --
+// never memcpy in host order, so the wire format holds on a big-endian
+// peer too.
+uint64_t DecodeU64Le(const char* bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
 }  // namespace
 
 const char* FrameTypeName(FrameType type) {
@@ -73,8 +85,7 @@ Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
   }
   Frame frame;
   frame.type = static_cast<FrameType>(static_cast<uint8_t>(header[5]));
-  uint64_t payload_size = 0;
-  memcpy(&payload_size, header + 8, sizeof(payload_size));
+  uint64_t payload_size = DecodeU64Le(header + 8);
   if (payload_size > max_payload) {
     return Status::DataLoss(StrFormat(
         "net: frame payload size %llu exceeds cap %llu",
@@ -89,8 +100,7 @@ Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
   char trailer[kTrailerSize];
   st = conn.RecvAll(trailer, kTrailerSize, timeout);
   if (!st.ok()) return st;
-  uint64_t stored = 0;
-  memcpy(&stored, trailer, sizeof(stored));
+  uint64_t stored = DecodeU64Le(trailer);
   uint64_t actual = Fnv1aHash(frame.payload.data(), frame.payload.size());
   if (stored != actual) {
     return Status::DataLoss(StrFormat(

@@ -42,17 +42,25 @@ Status FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
   return Status::OK();
 }
 
-// One poll() bounded by the caller's deadline. Returns +1 ready, 0
-// timeout, -1 error.
+// One deadline-bounded readiness wait. A signal interrupting poll()
+// re-polls with the remaining deadline, so EINTR never masquerades as a
+// timeout to callers (Connect, Accept) that treat 0 as final. Returns
+// +1 ready, 0 deadline elapsed, -1 error.
 int PollOne(int fd, short events, std::chrono::milliseconds timeout) {
-  pollfd p;
-  p.fd = fd;
-  p.events = events;
-  p.revents = 0;
-  int ms = static_cast<int>(std::min<int64_t>(timeout.count(), 1 << 30));
-  int rc = ::poll(&p, 1, ms);
-  if (rc < 0 && errno == EINTR) return 0;  // retried by the caller's loop
-  return rc;
+  Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    int ms = static_cast<int>(std::min<int64_t>(timeout.count(), 1 << 30));
+    int rc = ::poll(&p, 1, ms);
+    if (rc < 0 && errno == EINTR) {
+      timeout = Remaining(deadline);
+      continue;
+    }
+    return rc;
+  }
 }
 
 }  // namespace
@@ -90,7 +98,10 @@ Result<TcpConnection> TcpConnection::Connect(
         StrFormat("net: socket() failed: %s", strerror(errno)));
   }
   TcpConnection conn(fd);
-  // Non-blocking connect so the handshake honors the caller's deadline.
+  // Non-blocking from the start and forever after: the handshake honors
+  // the caller's deadline, and SendAll/RecvAll rely on O_NONBLOCK so a
+  // full kernel socket buffer surfaces as EAGAIN back into their poll
+  // loops instead of a send() that blocks past any deadline.
   int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
@@ -113,7 +124,6 @@ Result<TcpConnection> TcpConnection::Connect(
                                            strerror(err ? err : errno)));
     }
   }
-  ::fcntl(fd, F_SETFL, flags);  // back to blocking; poll bounds each wait
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return conn;
@@ -271,6 +281,11 @@ Result<TcpConnection> TcpListener::Accept(std::chrono::milliseconds timeout) {
     ::close(fd);
     return Status::Unavailable("net: injected accept fault");
   }
+  // Accepted fds stay non-blocking for the same reason Connect's do: a
+  // stalled peer must bound at the SendAll/RecvAll deadline, never wedge
+  // a handler thread inside a blocking send().
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpConnection::Adopt(fd);

@@ -1,15 +1,16 @@
-// Blocking TCP sockets with RAII ownership, poll-based readiness, and
-// deadline-bounded full-buffer send/recv loops.
+// Non-blocking TCP sockets with RAII ownership, poll-based readiness,
+// and deadline-bounded full-buffer send/recv loops.
 //
 // This is the bottom of the network serving tier: TcpListener accepts
 // connections on a loopback/interface port (port 0 picks an ephemeral
 // port, reported by port()), TcpConnection moves whole byte buffers with
-// SendAll/RecvAll. Both are deliberately blocking -- the serving daemons
-// run one thread per connection plus a small poll loop for accept
-// readiness and stop-flag checks -- and every wait is bounded by a
-// deadline so an injected partial read/write or a dead peer surfaces as
-// a typed Status (kUnavailable on connection loss, kDeadlineExceeded on
-// timeout) instead of a hang.
+// SendAll/RecvAll. Every fd stays in O_NONBLOCK -- the serving daemons
+// run one thread per connection, and each wait parks in a poll() bounded
+// by the caller's deadline, so a stalled peer or an injected partial
+// read/write surfaces as a typed Status (kUnavailable on connection
+// loss, kDeadlineExceeded on timeout) instead of a hang. A blocking
+// send() could otherwise wedge a handler thread forever once the kernel
+// socket buffer fills against a stalled receiver.
 //
 // Fault sites (see util/fault.h): "net.accept" fails an Accept after the
 // kernel handshake, "net.read" truncates a RecvAll mid-buffer, and
@@ -43,7 +44,8 @@ class TcpConnection {
   static Result<TcpConnection> Connect(const std::string& host, uint16_t port,
                                        std::chrono::milliseconds timeout);
 
-  /// Adopts an already-connected fd (listener side).
+  /// Adopts an already-connected fd (listener side). The fd must be in
+  /// O_NONBLOCK -- SendAll/RecvAll deadlines depend on it.
   static TcpConnection Adopt(int fd);
 
   bool valid() const { return fd_ >= 0; }

@@ -45,19 +45,22 @@ Result<std::unique_ptr<ShardDaemon>> ShardDaemon::Start(
 ShardDaemon::~ShardDaemon() { Stop(); }
 
 void ShardDaemon::Stop() {
-  if (stop_.exchange(true)) {
-    // A second Stop still needs to wait for the first one's joins.
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // call_once serializes concurrent stoppers: exactly one runs the join
+  // sequence, and every caller returns only after it has completed --
+  // no two threads ever join the same std::thread.
+  std::call_once(stop_once_, [this] { StopImpl(); });
+}
+
+void ShardDaemon::StopImpl() {
+  stop_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> conns;
+  std::vector<ConnThread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conns.swap(conn_threads_);
   }
-  for (std::thread& t : conns) {
-    if (t.joinable()) t.join();
+  for (ConnThread& c : conns) {
+    if (c.thread.joinable()) c.thread.join();
   }
   listener_.Close();
   if (server_) server_->Stop();
@@ -70,19 +73,36 @@ ShardDaemon::Counters ShardDaemon::counters() const {
 
 void ShardDaemon::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinishedConnections();
     Result<TcpConnection> conn = listener_.Accept(options_.poll_tick);
     if (!conn.ok()) continue;  // poll tick elapsed, or a transient failure
     {
       std::lock_guard<std::mutex> lock(counter_mu_);
       ++counters_.connections_accepted;
     }
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_threads_.emplace_back(&ShardDaemon::ServeConnection, this,
-                               std::move(conn).value());
+    conn_threads_.push_back(ConnThread{
+        std::thread(&ShardDaemon::ServeConnection, this,
+                    std::move(conn).value(), done),
+        done});
   }
 }
 
-void ShardDaemon::ServeConnection(TcpConnection conn) {
+void ShardDaemon::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = conn_threads_.begin(); it != conn_threads_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = conn_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardDaemon::ServeConnection(TcpConnection conn,
+                                  std::shared_ptr<std::atomic<bool>> done) {
   while (!stop_.load(std::memory_order_relaxed)) {
     // Idle connections park in short readability polls so Stop() is
     // never stuck behind a silent peer; only an actual frame start pays
@@ -113,6 +133,7 @@ void ShardDaemon::ServeConnection(TcpConnection conn) {
     }
   }
   conn.Close();
+  done->store(true, std::memory_order_release);
 }
 
 Frame ShardDaemon::HandleFrame(const Frame& frame) {

@@ -4,8 +4,9 @@
 // listener speaking net/frame.h frames: score-batch, health-probe,
 // stats-snapshot, and the three-phase snapshot-push RPCs
 // (manifest -> chunks -> commit, plus revert). One accept loop polls
-// the listener; each accepted connection gets its own handler thread
-// with deadline-bounded blocking reads, so a frame-level error on one
+// the listener (reaping finished handler threads each tick); each
+// accepted connection gets its own handler thread with deadline-bounded
+// reads, so a frame-level error on one
 // connection (checksum mismatch, injected partial read, dead client)
 // closes that connection and nothing else.
 //
@@ -108,7 +109,13 @@ class ShardDaemon {
   ShardDaemon() = default;
 
   void AcceptLoop();
-  void ServeConnection(TcpConnection conn);
+  void StopImpl();
+  /// Joins handler threads whose connection has finished, so a
+  /// long-running daemon never holds a joinable pthread per client it
+  /// has ever served. Runs on the accept loop's poll tick.
+  void ReapFinishedConnections();
+  void ServeConnection(TcpConnection conn,
+                       std::shared_ptr<std::atomic<bool>> done);
   /// Dispatches one request frame; returns the reply frame to send.
   Frame HandleFrame(const Frame& frame);
   Frame ErrorFrame(const Status& error);
@@ -125,9 +132,17 @@ class ShardDaemon {
   std::unique_ptr<ScoringServer> server_;
   TcpListener listener_;
   std::atomic<bool> stop_{false};
+  std::once_flag stop_once_;
   std::thread accept_thread_;
+
+  /// One handler thread per live connection; `done` flips when the
+  /// handler exits so the accept loop can reap (join) it.
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<ConnThread> conn_threads_;
 
   // Push state (one push in flight at a time; conn threads serialize on
   // push_mu_). current_* describes the snapshot the server serves;

@@ -315,6 +315,21 @@ TEST(FrameTest, SilentPeerIsDeadlineExceeded) {
   EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST(SocketTest, StalledReceiverBoundsSendAtDeadline) {
+  SocketPair pair = MakeSocketPair();
+  // Nobody ever drains the server side, so the kernel buffers on both
+  // ends fill and stay full well before 64 MiB is queued. A blocking
+  // send() would wedge here forever; the non-blocking loop must surface
+  // kDeadlineExceeded at roughly the deadline instead.
+  std::string big(64 << 20, 'x');
+  auto start = std::chrono::steady_clock::now();
+  Status st = pair.client.SendAll(big.data(), big.size(),
+                                  std::chrono::milliseconds(200));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
 // ------------------------------------------------------------- wire codecs
 
 TEST(WireTest, ScoreRequestRoundTripsBitwise) {
