@@ -30,6 +30,8 @@
 #include "kde/negexp.h"
 #include "serve/audit/auditor.h"
 #include "serve/server.h"
+#include "serve/trace/trace_context.h"
+#include "serve/trace/trace_log.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -141,13 +143,15 @@ ThroughputProbe RunThroughputProbe(
     const std::shared_ptr<const ModelSnapshot>& snapshot,
     size_t max_batch_size, size_t num_requests, size_t num_clients,
     std::optional<MonitorSpec> monitor = std::nullopt,
-    ShardAuditor* audit = nullptr) {
+    ShardAuditor* audit = nullptr,
+    const ServerTraceOptions* trace = nullptr) {
   ServerOptions options;
   options.batching.max_batch_size = max_batch_size;
   options.batching.max_batch_delay = std::chrono::microseconds{200};
   options.admission.max_queue_depth = num_requests + num_clients;
   options.monitor_override = monitor;
   options.audit = audit;
+  if (trace != nullptr) options.trace = *trace;
   Result<std::unique_ptr<ScoringServer>> server =
       ScoringServer::Create(snapshot, options);
   ThroughputProbe probe;
@@ -261,6 +265,94 @@ bool ProbeScratchAllocations(
   return true;
 }
 
+/// The unsampled-trace acceptance probe: with tracing enabled at
+/// modulus 64 but every request row pre-filtered to miss the content-
+/// hash sample, the serve path must allocate no more than the
+/// tracing-off baseline — the unsampled hot path adds ZERO allocations
+/// (minting is a hash over bytes already in hand; nothing is recorded,
+/// stamped, or emitted). Returns false (and complains) otherwise.
+bool ProbeUnsampledTraceAllocations(
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    BenchJsonSection* section) {
+  const size_t kRows = 512;
+  const size_t kWidth = snapshot->num_features();
+  std::vector<std::vector<double>> rows;
+  Rng rng(91);
+  while (rows.size() < kRows) {
+    std::vector<double> row(kWidth);
+    for (double& v : row) v = rng.Gaussian();
+    if (!MintTraceContext(row.data(), kWidth, 64).sampled()) {
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Sequential ScoreSync keeps the count deterministic: only this
+  // server's activity runs while the counter is sampled. Both runs pay
+  // the identical per-call row copy; any difference is the trace path.
+  auto measure = [&](const ServerTraceOptions* trace) -> size_t {
+    ServerOptions options;
+    options.batching.max_batch_size = 16;
+    options.admission.max_queue_depth = kRows + 8;
+    if (trace != nullptr) options.trace = *trace;
+    Result<std::unique_ptr<ScoringServer>> server =
+        ScoringServer::Create(snapshot, options);
+    if (!server.ok()) return static_cast<size_t>(-1);
+    // Warm: queue growth, ticket pool, per-worker scratch.
+    for (size_t i = 0; i < 64; ++i) {
+      (void)server.value()->ScoreSync(rows[i % rows.size()]);
+    }
+    size_t best = static_cast<size_t>(-1);
+    for (int rep = 0; rep < 2; ++rep) {
+      size_t n = CountAllocations(1, [&] {
+        for (const std::vector<double>& row : rows) {
+          (void)server.value()->ScoreSync(row);
+        }
+      });
+      best = std::min(best, n);
+    }
+    return best;
+  };
+
+  const char* trace_path = "/tmp/fairdrift_bench_trace_alloc.jsonl";
+  std::remove(trace_path);
+  Result<std::unique_ptr<TraceLog>> log = TraceLog::Open(trace_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "trace log open failed: %s\n",
+                 log.status().ToString().c_str());
+    return false;
+  }
+  ServerTraceOptions trace;
+  trace.enabled = true;
+  trace.sample_modulus = 64;
+  trace.sink = log.value().get();
+  trace.role = "bench";
+
+  size_t untraced = measure(nullptr);
+  size_t traced = measure(&trace);
+  std::remove(trace_path);
+  if (untraced == static_cast<size_t>(-1) ||
+      traced == static_cast<size_t>(-1)) {
+    std::fprintf(stderr, "unsampled-trace probe: server create failed\n");
+    return false;
+  }
+  section->metrics.push_back(
+      {"unsampled_allocs_untraced", static_cast<double>(untraced)});
+  section->metrics.push_back(
+      {"unsampled_allocs_traced", static_cast<double>(traced)});
+  std::fprintf(stderr,
+               "unsampled-trace probe: %zu allocs untraced vs %zu traced "
+               "over %zu unsampled rows\n",
+               untraced, traced, kRows);
+  if (traced > untraced) {
+    std::fprintf(stderr,
+                 "FAIL: tracing an all-unsampled workload added %zu "
+                 "allocation(s); the unsampled path must be free\n",
+                 traced - untraced);
+    return false;
+  }
+  return true;
+}
+
 bool WriteServingBenchJson() {
   std::shared_ptr<const ModelSnapshot> snapshot =
       MakeServingSnapshot(/*with_density=*/false);
@@ -347,6 +439,47 @@ bool WriteServingBenchJson() {
       best_audited > 0.0 ? best_unaudited / best_audited : 0.0;
   std::remove(audit_log_path);
 
+  // The tracing tax: the same batched workload with request tracing at
+  // the default 1-in-64 content-hash sampling, spans folded into stage
+  // histograms and whole-span records appended to a chained JSONL log.
+  // Best of two each against an adjacent untraced pair, like the audit
+  // tax. Budget: <= 1.05x — sampling must keep tracing near-free.
+  const char* trace_log_path = "/tmp/fairdrift_bench_trace.jsonl";
+  std::remove(trace_log_path);
+  double trace_overhead = 0.0;
+  double best_traced = 0.0;
+  ThroughputProbe traced;
+  {
+    Result<std::unique_ptr<TraceLog>> trace_log =
+        TraceLog::Open(trace_log_path);
+    if (trace_log.ok()) {
+      ServerTraceOptions trace_options;
+      trace_options.enabled = true;
+      trace_options.sample_modulus = 64;
+      trace_options.sink = trace_log.value().get();
+      trace_options.role = "bench";
+      ThroughputProbe untraced1 =
+          RunThroughputProbe(snapshot, 128, kRequests, kClients);
+      traced = RunThroughputProbe(snapshot, 128, kRequests, kClients,
+                                  std::nullopt, nullptr, &trace_options);
+      ThroughputProbe untraced2 =
+          RunThroughputProbe(snapshot, 128, kRequests, kClients);
+      ThroughputProbe traced2 =
+          RunThroughputProbe(snapshot, 128, kRequests, kClients,
+                             std::nullopt, nullptr, &trace_options);
+      double best_untraced = std::max(untraced1.requests_per_sec,
+                                      untraced2.requests_per_sec);
+      best_traced =
+          std::max(traced.requests_per_sec, traced2.requests_per_sec);
+      trace_overhead =
+          best_traced > 0.0 ? best_untraced / best_traced : 0.0;
+    } else {
+      std::fprintf(stderr, "trace log open failed: %s\n",
+                   trace_log.status().ToString().c_str());
+    }
+  }
+  std::remove(trace_log_path);
+
   BenchJsonSection section;
   section.name = "serving";
   section.metrics = {
@@ -374,9 +507,13 @@ bool WriteServingBenchJson() {
       {"audited_requests_per_sec", best_audited},
       {"audited_p99_us", audited.p99_us},
       {"audit_overhead_x", audit_overhead},
+      {"traced_requests_per_sec", best_traced},
+      {"traced_p99_us", traced.p99_us},
+      {"trace_overhead_x", trace_overhead},
       {"has_avx2", HasAvx2() ? 1.0 : 0.0},
   };
   bool scratch_ok = ProbeScratchAllocations(snapshot, &section);
+  bool unsampled_ok = ProbeUnsampledTraceAllocations(snapshot, &section);
   Status st =
       WriteBenchJson({section}, BenchJsonPathOr("BENCH_serving.json"));
   if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -394,6 +531,8 @@ bool WriteServingBenchJson() {
                "audit tax: %.0f req/s unaudited vs %.0f req/s audited "
                "-> %.2fx\n",
                best_unaudited, best_audited, audit_overhead);
+  std::fprintf(stderr, "trace tax: %.0f req/s traced (1/64) -> %.2fx\n",
+               best_traced, trace_overhead);
 
   // Gate the monitoring tax, but only on AVX2 hardware — the ratios were
   // budgeted for the SIMD leaf kernels, and a scalar-only box should not
@@ -420,8 +559,15 @@ bool WriteServingBenchJson() {
                    audit_overhead);
       tax_ok = false;
     }
+    if (trace_overhead <= 0.0 || trace_overhead > 1.05) {
+      std::fprintf(stderr,
+                   "FAIL: trace overhead %.2fx exceeds the 1.05x budget "
+                   "at 1/64 sampling\n",
+                   trace_overhead);
+      tax_ok = false;
+    }
   }
-  return scratch_ok && tax_ok;
+  return scratch_ok && unsampled_ok && tax_ok;
 }
 
 }  // namespace

@@ -66,6 +66,14 @@
 //                      [--score-rows N] [--scores-out FILE]
 //       Score the deterministic request rows through the wire; the
 //       scores file diffs bitwise against in-process scoring.
+//
+//   fairdrift_cli metrics --connect HOST:PORT
+//       Scrape a shard daemon's or router's Prometheus-style metrics
+//       exposition (the kMetrics frame) and print it.
+//
+//   fairdrift_cli trace <verify|show> <log>
+//       Walk a trace span log's checksum chain across rotated segments
+//       (verify), or print every whole-span JSON record (show).
 
 #include <algorithm>
 #include <atomic>
@@ -101,6 +109,8 @@
 #include "serve/net/wire.h"
 #include "serve/server.h"
 #include "serve/snapshot_io.h"
+#include "serve/trace/metrics_registry.h"
+#include "serve/trace/trace_log.h"
 #include "serve/snapshot_manifest.h"
 #include "util/cli.h"
 #include "util/fault.h"
@@ -850,15 +860,18 @@ int CmdAuditVerify(const CliFlags& flags) {
     std::fprintf(stderr, "usage: fairdrift_cli audit verify <log>\n");
     return 1;
   }
-  Result<AuditVerifyReport> report = VerifyAuditLog(path);
+  // Chain-walk rotated segments (path.1 .. path.N) before the active
+  // file, so a rotated log verifies as one continuous chain.
+  Result<AuditVerifyReport> report = VerifyAuditLogChain(path);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return static_cast<int>(report.status().code());
   }
   const AuditVerifyReport& r = report.value();
-  std::printf("verified %s: %llu record(s), %llu byte(s), chain %016llx\n",
+  std::printf("verified %s: %llu record(s) across %llu segment(s), "
+              "chain %016llx\n",
               path.c_str(), static_cast<unsigned long long>(r.records),
-              static_cast<unsigned long long>(r.good_bytes),
+              static_cast<unsigned long long>(r.segments),
               static_cast<unsigned long long>(r.chain));
   if (r.torn_tail) {
     std::printf("warning: torn final record (%llu trailing byte(s), no "
@@ -953,6 +966,11 @@ int CmdShard(const CliFlags& flags) {
                               ? SnapshotLoadMode::kAllowPartial
                               : SnapshotLoadMode::kStrict;
   options.push_load_mode = mode;
+  options.trace_log_path = flags.GetString("trace-log", "");
+  options.trace_sample_modulus =
+      static_cast<uint32_t>(flags.GetInt("trace-modulus", 64));
+  options.trace_rotate_bytes =
+      static_cast<uint64_t>(flags.GetInt("trace-rotate-bytes", 0));
 
   SnapshotLoadReport report;
   Result<std::shared_ptr<const ModelSnapshot>> snapshot =
@@ -1046,6 +1064,16 @@ ServerStats::View MergeRemoteStatsViews(net::RemoteFleet* fleet) {
       (void)ServerStats::MergeHistogramInto(&merged.latency_hist,
                                             sv.latency_hist);
     }
+    merged.trace_sampled += sv.trace_sampled;
+    merged.trace_append_failures += sv.trace_append_failures;
+    for (size_t st = 0; st < ServerStats::kServeStages; ++st) {
+      if (merged.stage_hist[st].empty()) {
+        merged.stage_hist[st] = sv.stage_hist[st];
+      } else {
+        (void)ServerStats::MergeHistogramInto(&merged.stage_hist[st],
+                                              sv.stage_hist[st]);
+      }
+    }
   }
   if (merged.batches > 0) {
     merged.mean_batch_size =
@@ -1058,6 +1086,10 @@ ServerStats::View MergeRemoteStatsViews(net::RemoteFleet* fleet) {
         ServerStats::PercentileUsFromHist(merged.latency_hist, 0.95);
     merged.p99_latency_us =
         ServerStats::PercentileUsFromHist(merged.latency_hist, 0.99);
+  }
+  for (size_t st = 0; st < ServerStats::kServeStages; ++st) {
+    merged.stage_p99_us[st] =
+        ServerStats::PercentileUsFromHist(merged.stage_hist[st], 0.99);
   }
   return merged;
 }
@@ -1113,6 +1145,28 @@ net::Frame RouterHandleFrame(const net::Frame& frame, net::RemoteFleet* fleet,
       net::SerializeStatsView(MergeRemoteStatsViews(fleet), &w);
       return net::Frame{net::FrameType::kStatsSnapshotReply,
                         std::move(w).TakeBuffer()};
+    }
+    case net::FrameType::kMetrics: {
+      // The router exposes the same fairdrift_* family set the daemons
+      // expose, rendered from the fleet-merged view — a router scrape
+      // equals the sum/merge of the per-daemon scrapes — plus its own
+      // routing-lifecycle counters.
+      std::string text;
+      MetricsEmitter emitter(&text);
+      EmitStatsViewMetrics(MergeRemoteStatsViews(fleet), &emitter);
+      FleetStatsView fv = fleet->stats();
+      emitter.Counter("fairdrift_router_ejections_total",
+                      "Shards ejected from routing", fv.ejections);
+      emitter.Counter("fairdrift_router_readmissions_total",
+                      "Ejected shards returned to routing", fv.readmissions);
+      emitter.Counter("fairdrift_router_rolling_updates_total",
+                      "Rolling pushes relayed", fv.rolling_updates);
+      emitter.Counter("fairdrift_router_rollbacks_total",
+                      "Rolling pushes rolled back", fv.rollbacks);
+      emitter.Gauge("fairdrift_router_shards",
+                    "Shard daemons behind this router",
+                    static_cast<double>(fv.num_shards));
+      return net::Frame{net::FrameType::kMetricsReply, std::move(text)};
     }
     case net::FrameType::kPushManifest: {
       BinaryReader r(frame.payload);
@@ -1454,6 +1508,95 @@ int CmdNetScore(const CliFlags& flags) {
   return 0;
 }
 
+/// `metrics --connect HOST:PORT`: scrape a shard daemon's or router's
+/// Prometheus-style exposition (kMetrics frame) and print it verbatim.
+int CmdMetrics(const CliFlags& flags) {
+  std::string address = flags.GetString("connect", "");
+  if (address.empty()) {
+    std::fprintf(stderr, "metrics needs --connect HOST:PORT\n");
+    return 1;
+  }
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(address, &host, &port);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  net::RemoteShardClient client(
+      host, port,
+      std::chrono::milliseconds(flags.GetInt("io-timeout-ms", 30000)));
+  Result<std::string> text = client.Metrics();
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(text.value().c_str(), stdout);
+  return 0;
+}
+
+/// `trace verify <log>`: walk the trace log's checksum chain across
+/// rotated segments. Same exit-code contract as `audit verify`: 0 on an
+/// intact chain, the numeric StatusCode (kDataLoss) on corruption.
+int CmdTraceVerify(const CliFlags& flags) {
+  std::string path = AuditLogArg(flags);
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: fairdrift_cli trace verify <log>\n");
+    return 1;
+  }
+  Result<AuditVerifyReport> report = VerifyAuditLogChain(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return static_cast<int>(report.status().code());
+  }
+  const AuditVerifyReport& r = report.value();
+  std::printf("verified %s: %llu span record(s) across %llu segment(s), "
+              "chain %016llx\n",
+              path.c_str(), static_cast<unsigned long long>(r.records),
+              static_cast<unsigned long long>(r.segments),
+              static_cast<unsigned long long>(r.chain));
+  if (r.torn_tail) {
+    std::printf("warning: torn final record (%llu trailing byte(s)) — a "
+                "crash mid-append; every complete record verified\n",
+                static_cast<unsigned long long>(r.torn_bytes));
+  }
+  return 0;
+}
+
+/// `trace show <log>`: chain-verify, then print every whole-span record
+/// (one JSON object per line, without the chain envelope).
+int CmdTraceShow(const CliFlags& flags) {
+  std::string path = AuditLogArg(flags);
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: fairdrift_cli trace show <log>\n");
+    return 1;
+  }
+  AuditVerifyReport report;
+  Result<std::vector<AuditLogEntry>> entries =
+      ReadAuditLogChain(path, &report);
+  if (!entries.ok()) {
+    std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
+    return static_cast<int>(entries.status().code());
+  }
+  for (const AuditLogEntry& entry : entries.value()) {
+    std::printf("%s\n", entry.rec.c_str());
+  }
+  std::fprintf(stderr, "%llu span record(s) across %llu segment(s)%s\n",
+               static_cast<unsigned long long>(report.records),
+               static_cast<unsigned long long>(report.segments),
+               report.torn_tail ? " (torn tail tolerated)" : "");
+  return 0;
+}
+
+int CmdTrace(const CliFlags& flags) {
+  std::string sub =
+      flags.positional().size() < 2 ? "" : flags.positional()[1];
+  if (sub == "verify") return CmdTraceVerify(flags);
+  if (sub == "show") return CmdTraceShow(flags);
+  std::fprintf(stderr, "usage: fairdrift_cli trace <verify|show> <log>\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1481,9 +1624,11 @@ int main(int argc, char** argv) {
   if (cmd == "route") return CmdRoute(flags);
   if (cmd == "push") return CmdNetPush(flags);
   if (cmd == "net-score") return CmdNetScore(flags);
+  if (cmd == "metrics") return CmdMetrics(flags);
+  if (cmd == "trace") return CmdTrace(flags);
   std::printf(
       "usage: fairdrift_cli <list|eval|constraints|weigh|snapshot|serve|"
-      "audit|shard|route|push|net-score> [flags]\n"
+      "audit|shard|route|push|net-score|metrics|trace> [flags]\n"
       "  list                               available datasets\n"
       "  eval --dataset D --method M        run an intervention pipeline\n"
       "       [--learner lr|xgb|nb] [--trials N] [--scale S] [--alpha A]\n"
@@ -1531,6 +1676,10 @@ int main(int argc, char** argv) {
       "        [--state-dir DIR]            (prefer DIR's pushed MANIFEST\n"
       "                                     on restart; persist pushes)\n"
       "        [--allow-partial] [--run-secs S]\n"
+      "        [--trace-log FILE]           sample requests by content\n"
+      "                                     hash into a chained JSONL\n"
+      "                                     span log\n"
+      "        [--trace-modulus N] [--trace-rotate-bytes B]\n"
       "  route --listen PORT --connect h:p[,h:p...]\n"
       "        [--routing rr|least|hash] [--probe-ms M] [--run-secs S]\n"
       "                                     frontend router: fan scoring\n"
@@ -1543,6 +1692,11 @@ int main(int argc, char** argv) {
       "        [--score-rows N] [--scores-out FILE]\n"
       "                                     score the deterministic request\n"
       "                                     rows over the wire; diffs clean\n"
-      "                                     against in-process scoring\n");
+      "                                     against in-process scoring\n"
+      "  metrics --connect HOST:PORT        scrape a daemon's or router's\n"
+      "                                     Prometheus-style exposition\n"
+      "  trace verify <log>                 walk the span log's checksum\n"
+      "                                     chain across rotated segments\n"
+      "  trace show <log>                   print every whole-span record\n");
   return cmd == "help" ? 0 : 1;
 }

@@ -11,7 +11,8 @@ namespace {
 
 constexpr char kFrameMagic[4] = {'F', 'D', 'R', 'P'};
 constexpr size_t kHeaderSize = 16;   // magic + version + type + flags + size
-constexpr size_t kTrailerSize = 8;   // FNV-1a of the payload
+constexpr size_t kTrailerSize = 8;   // FNV-1a of (extension ++ payload)
+constexpr size_t kTraceExtSize = 16;  // trace id + parent span id
 
 // Byte-wise little-endian decode, mirroring BinaryWriter::WriteU64 --
 // never memcpy in host order, so the wire format holds on a big-endian
@@ -23,6 +24,49 @@ uint64_t DecodeU64Le(const char* bytes) {
          << (8 * i);
   }
   return v;
+}
+
+uint16_t DecodeU16Le(const char* bytes) {
+  return static_cast<uint16_t>(
+      static_cast<unsigned char>(bytes[0]) |
+      (static_cast<unsigned char>(bytes[1]) << 8));
+}
+
+// Shared writer: `trace` null for a plain (historical, byte-identical)
+// frame. The checksum covers extension bytes then payload, so a flipped
+// extension bit is caught exactly like a flipped payload byte.
+Status WriteFrameImpl(TcpConnection& conn, FrameType type,
+                      const std::string& payload,
+                      const FrameTraceContext* trace,
+                      std::chrono::milliseconds timeout) {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[0]));
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[1]));
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[2]));
+  w.WriteU8(static_cast<uint8_t>(kFrameMagic[3]));
+  w.WriteU8(kFrameProtocolVersion);
+  w.WriteU8(static_cast<uint8_t>(type));
+  uint16_t flags = trace != nullptr ? kFrameFlagTrace : 0;
+  w.WriteU8(static_cast<uint8_t>(flags & 0xFF));
+  w.WriteU8(static_cast<uint8_t>(flags >> 8));
+  w.WriteU64(payload.size());
+  std::string buf = std::move(w).TakeBuffer();
+  if (trace != nullptr) {
+    BinaryWriter ext;
+    ext.WriteU64(trace->trace_id);
+    ext.WriteU64(trace->parent_span_id);
+    buf.append(std::move(ext).TakeBuffer());
+  }
+  buf.append(payload);
+  // Everything after the header (extension ++ payload) is checksummed,
+  // so a flipped extension bit is caught like a flipped payload byte.
+  // For a flagless frame this is exactly the historical payload hash.
+  uint64_t checksum =
+      Fnv1aHash(buf.data() + kHeaderSize, buf.size() - kHeaderSize);
+  BinaryWriter trailer;
+  trailer.WriteU64(checksum);
+  buf.append(std::move(trailer).TakeBuffer());
+  return conn.SendAll(buf.data(), buf.size(), timeout);
 }
 
 }  // namespace
@@ -43,6 +87,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kPushCommitReply: return "PushCommitReply";
     case FrameType::kPushRevert: return "PushRevert";
     case FrameType::kPushRevertReply: return "PushRevertReply";
+    case FrameType::kMetrics: return "Metrics";
+    case FrameType::kMetricsReply: return "MetricsReply";
     case FrameType::kError: return "Error";
   }
   return "Unknown";
@@ -51,22 +97,14 @@ const char* FrameTypeName(FrameType type) {
 Status WriteFrame(TcpConnection& conn, FrameType type,
                   const std::string& payload,
                   std::chrono::milliseconds timeout) {
-  BinaryWriter w;
-  w.WriteU8(static_cast<uint8_t>(kFrameMagic[0]));
-  w.WriteU8(static_cast<uint8_t>(kFrameMagic[1]));
-  w.WriteU8(static_cast<uint8_t>(kFrameMagic[2]));
-  w.WriteU8(static_cast<uint8_t>(kFrameMagic[3]));
-  w.WriteU8(kFrameProtocolVersion);
-  w.WriteU8(static_cast<uint8_t>(type));
-  w.WriteU8(0);  // reserved flags
-  w.WriteU8(0);
-  w.WriteU64(payload.size());
-  std::string buf = std::move(w).TakeBuffer();
-  buf.append(payload);
-  BinaryWriter trailer;
-  trailer.WriteU64(Fnv1aHash(payload.data(), payload.size()));
-  buf.append(std::move(trailer).TakeBuffer());
-  return conn.SendAll(buf.data(), buf.size(), timeout);
+  return WriteFrameImpl(conn, type, payload, nullptr, timeout);
+}
+
+Status WriteTracedFrame(TcpConnection& conn, FrameType type,
+                        const std::string& payload,
+                        const FrameTraceContext& trace,
+                        std::chrono::milliseconds timeout) {
+  return WriteFrameImpl(conn, type, payload, &trace, timeout);
 }
 
 Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
@@ -85,12 +123,27 @@ Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
   }
   Frame frame;
   frame.type = static_cast<FrameType>(static_cast<uint8_t>(header[5]));
+  uint16_t flags = DecodeU16Le(header + 6);
+  if ((flags & ~kFrameFlagTrace) != 0) {
+    // An unknown flag could imply extension bytes this build cannot
+    // size; rejecting beats silently desynchronizing the stream.
+    return Status::Unavailable(StrFormat(
+        "net: unsupported frame flags %04x", unsigned(flags)));
+  }
   uint64_t payload_size = DecodeU64Le(header + 8);
   if (payload_size > max_payload) {
     return Status::DataLoss(StrFormat(
         "net: frame payload size %llu exceeds cap %llu",
         static_cast<unsigned long long>(payload_size),
         static_cast<unsigned long long>(max_payload)));
+  }
+  char ext[kTraceExtSize];
+  if ((flags & kFrameFlagTrace) != 0) {
+    st = conn.RecvAll(ext, kTraceExtSize, timeout);
+    if (!st.ok()) return st;
+    frame.has_trace = true;
+    frame.trace.trace_id = DecodeU64Le(ext);
+    frame.trace.parent_span_id = DecodeU64Le(ext + 8);
   }
   frame.payload.resize(payload_size);
   if (payload_size > 0) {
@@ -101,7 +154,16 @@ Result<Frame> ReadFrame(TcpConnection& conn, std::chrono::milliseconds timeout,
   st = conn.RecvAll(trailer, kTrailerSize, timeout);
   if (!st.ok()) return st;
   uint64_t stored = DecodeU64Le(trailer);
-  uint64_t actual = Fnv1aHash(frame.payload.data(), frame.payload.size());
+  uint64_t actual;
+  if (frame.has_trace) {
+    std::string hashed;
+    hashed.reserve(kTraceExtSize + frame.payload.size());
+    hashed.append(ext, kTraceExtSize);
+    hashed.append(frame.payload);
+    actual = Fnv1aHash(hashed.data(), hashed.size());
+  } else {
+    actual = Fnv1aHash(frame.payload.data(), frame.payload.size());
+  }
   if (stored != actual) {
     return Status::DataLoss(StrFormat(
         "net: frame checksum mismatch (stored %016llx, computed %016llx)",

@@ -7,10 +7,21 @@
 //   0       4     magic "FDRP"
 //   4       1     protocol version (kFrameProtocolVersion)
 //   5       1     frame type (FrameType)
-//   6       2     reserved flags (0)
-//   8       8     payload size in bytes
-//   16      n     payload
-//   16+n    8     FNV-1a hash of the payload bytes
+//   6       2     flags (little-endian; 0 for a plain frame)
+//   8       8     payload size in bytes (extension NOT included)
+//   16      16    [flag 0x1 only] trace extension: trace id + parent
+//                 span id, little-endian u64 each
+//   ...     n     payload
+//   ...     8     FNV-1a hash of (extension bytes ++ payload)
+//
+// The flags word was written as zero (and ignored on read) by every
+// earlier protocol build, so a flagless frame is byte-identical to the
+// historical layout and an extension-bearing frame degrades cleanly:
+// the only defined flag (kFrameFlagTrace) adds a fixed 16-byte trace
+// extension between header and payload, and a reader that understands
+// no flags rejects rather than desynchronizes. Writers only set the
+// flag when they have a sampled trace to propagate, so mixed fleets
+// interoperate as long as traced frames flow toward upgraded peers.
 //
 // A reply to any request may be the matching *Reply frame or kError,
 // whose payload is {u8 StatusCode, string message}; ReadFrame +
@@ -26,6 +37,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "net/socket.h"
 #include "util/status.h"
@@ -55,14 +67,35 @@ enum class FrameType : uint8_t {
   kPushCommitReply = 12,
   kPushRevert = 13,       ///< roll back to the pre-push snapshot
   kPushRevertReply = 14,
+  kMetrics = 15,          ///< scrape; reply payload is Prometheus text
+  kMetricsReply = 16,
   kError = 255,           ///< payload: u8 StatusCode + string message
 };
 
 const char* FrameTypeName(FrameType type);
 
+/// Frame flag 0x1: a 16-byte trace extension (trace id + parent span
+/// id) follows the header. Carries serve/trace/ context across
+/// processes without touching any payload codec.
+inline constexpr uint16_t kFrameFlagTrace = 0x1;
+
+/// The trace extension's decoded form (net-layer mirror of
+/// serve/trace/ TraceContext, kept separate so net/ stays
+/// serving-agnostic).
+struct FrameTraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
 struct Frame {
+  Frame() = default;
+  Frame(FrameType t, std::string p) : type(t), payload(std::move(p)) {}
+
   FrameType type = FrameType::kError;
   std::string payload;
+  /// True when the frame carried the trace extension.
+  bool has_trace = false;
+  FrameTraceContext trace;
 };
 
 /// Writes one frame (header + payload + checksum) as a single buffered
@@ -70,6 +103,12 @@ struct Frame {
 Status WriteFrame(TcpConnection& conn, FrameType type,
                   const std::string& payload,
                   std::chrono::milliseconds timeout);
+
+/// Writes one frame carrying the trace extension (kFrameFlagTrace).
+Status WriteTracedFrame(TcpConnection& conn, FrameType type,
+                        const std::string& payload,
+                        const FrameTraceContext& trace,
+                        std::chrono::milliseconds timeout);
 
 /// Reads one frame. kUnavailable on connection loss or bad magic /
 /// version, kDeadlineExceeded on timeout, kDataLoss on checksum mismatch

@@ -68,10 +68,14 @@ std::string RecordName(uint64_t index) {
   return "audit log record " + std::to_string(index + 1);
 }
 
-// Walks the chain over the whole file image. Entries are optional.
-Status WalkLog(const std::string& data, AuditVerifyReport* report,
+// Walks the chain over one file image, starting from `seed` (the
+// genesis seed for a standalone file; the previous segment's final
+// chain value inside a rotated sequence). Entries are optional.
+Status WalkLog(const std::string& data, uint64_t seed,
+               AuditVerifyReport* report,
                std::vector<AuditLogEntry>* entries) {
   *report = AuditVerifyReport();
+  report->chain = seed;
   size_t pos = 0;
   while (pos < data.size()) {
     size_t nl = data.find('\n', pos);
@@ -110,6 +114,52 @@ Status WalkLog(const std::string& data, AuditVerifyReport* report,
   return Status::OK();
 }
 
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+std::string SegmentPath(const std::string& path, uint64_t n) {
+  return path + "." + std::to_string(n);
+}
+
+// Walks the full rotated sequence. `entries` optional.
+Status WalkChainedLog(const std::string& path, AuditVerifyReport* report,
+                      std::vector<AuditLogEntry>* entries) {
+  std::vector<std::string> files = AuditLogRotatedSegments(path);
+  // The active file may legitimately be absent only when rotated
+  // segments exist (e.g. archived elsewhere before the next append).
+  const bool active_exists = FileExists(path);
+  if (active_exists || files.empty()) files.push_back(path);
+
+  *report = AuditVerifyReport();
+  report->segments = files.size();
+  for (size_t i = 0; i < files.size(); ++i) {
+    Result<std::string> data = ReadFileBytes(files[i]);
+    if (!data.ok()) return data.status();
+    AuditVerifyReport local;
+    Status s = WalkLog(data.value(), report->chain, &local, entries);
+    if (!s.ok()) {
+      return Status::DataLoss("segment " + files[i] + ": " + s.message());
+    }
+    if (local.torn_tail && i + 1 != files.size()) {
+      // Rotation only renames a cleanly written file; a torn tail in a
+      // non-final segment cannot come from a crash mid-append.
+      return Status::DataLoss("segment " + files[i] +
+                              " has a torn tail before the final segment "
+                              "(corrupt log)");
+    }
+    report->records += local.records;
+    report->chain = local.chain;
+    report->good_bytes = local.good_bytes;
+    report->torn_tail = local.torn_tail;
+    report->torn_bytes = local.torn_bytes;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 uint64_t Fnv1aChain(uint64_t seed, const char* data, size_t size) {
@@ -125,7 +175,7 @@ Result<AuditVerifyReport> VerifyAuditLog(const std::string& path) {
   Result<std::string> data = ReadFileBytes(path);
   if (!data.ok()) return data.status();
   AuditVerifyReport report;
-  Status s = WalkLog(data.value(), &report, nullptr);
+  Status s = WalkLog(data.value(), kAuditChainSeed, &report, nullptr);
   if (!s.ok()) return s;
   return report;
 }
@@ -136,7 +186,34 @@ Result<std::vector<AuditLogEntry>> ReadAuditLog(const std::string& path,
   if (!data.ok()) return data.status();
   AuditVerifyReport local;
   std::vector<AuditLogEntry> entries;
-  Status s = WalkLog(data.value(), &local, &entries);
+  Status s = WalkLog(data.value(), kAuditChainSeed, &local, &entries);
+  if (!s.ok()) return s;
+  if (report != nullptr) *report = local;
+  return entries;
+}
+
+std::vector<std::string> AuditLogRotatedSegments(const std::string& path) {
+  std::vector<std::string> segments;
+  for (uint64_t n = 1;; ++n) {
+    std::string segment = SegmentPath(path, n);
+    if (!FileExists(segment)) break;
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+Result<AuditVerifyReport> VerifyAuditLogChain(const std::string& path) {
+  AuditVerifyReport report;
+  Status s = WalkChainedLog(path, &report, nullptr);
+  if (!s.ok()) return s;
+  return report;
+}
+
+Result<std::vector<AuditLogEntry>> ReadAuditLogChain(
+    const std::string& path, AuditVerifyReport* report) {
+  AuditVerifyReport local;
+  std::vector<AuditLogEntry> entries;
+  Status s = WalkChainedLog(path, &local, &entries);
   if (!s.ok()) return s;
   if (report != nullptr) *report = local;
   return entries;
@@ -149,14 +226,33 @@ Result<std::unique_ptr<AuditLog>> AuditLog::Open(const std::string& path,
                                                  const AuditLogOptions& options) {
   std::unique_ptr<AuditLog> log(new AuditLog(path, options));
 
-  // Resume an existing log: verify the chain, recover from a torn tail.
-  std::FILE* probe = std::fopen(path.c_str(), "rb");
-  if (probe != nullptr) {
-    std::fclose(probe);
+  // Resume rotated segments first: each must be clean (rotation never
+  // leaves a torn segment behind), and its final chain value seeds the
+  // next file.
+  std::vector<std::string> segments = AuditLogRotatedSegments(path);
+  for (const std::string& segment : segments) {
+    Result<std::string> data = ReadFileBytes(segment);
+    if (!data.ok()) return data.status();
+    AuditVerifyReport report;
+    Status s = WalkLog(data.value(), log->chain_, &report, nullptr);
+    if (!s.ok()) {
+      return Status::DataLoss("segment " + segment + ": " + s.message());
+    }
+    if (report.torn_tail) {
+      return Status::DataLoss("segment " + segment +
+                              " has a torn tail (corrupt rotated log)");
+    }
+    log->records_ += report.records;
+    log->chain_ = report.chain;
+  }
+  log->rotated_segments_ = segments.size();
+
+  // Resume the active file: verify the chain, recover from a torn tail.
+  if (FileExists(path)) {
     Result<std::string> data = ReadFileBytes(path);
     if (!data.ok()) return data.status();
     AuditVerifyReport report;
-    Status s = WalkLog(data.value(), &report, nullptr);
+    Status s = WalkLog(data.value(), log->chain_, &report, nullptr);
     if (!s.ok()) return s;  // Mid-file corruption: refuse to append over it.
     if (report.torn_tail) {
       if (::truncate(path.c_str(), static_cast<off_t>(report.good_bytes)) !=
@@ -166,8 +262,9 @@ Result<std::unique_ptr<AuditLog>> AuditLog::Open(const std::string& path,
       }
       log->truncated_bytes_ = report.torn_bytes;
     }
-    log->records_ = report.records;
+    log->records_ += report.records;
     log->chain_ = report.chain;
+    log->segment_bytes_ = report.good_bytes;
   }
 
   log->file_ = std::fopen(path.c_str(), "ab");
@@ -186,13 +283,39 @@ AuditLog::~AuditLog() {
   }
 }
 
+Status AuditLog::RotateLocked() {
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  std::string segment = SegmentPath(path_, rotated_segments_ + 1);
+  if (std::rename(path_.c_str(), segment.c_str()) != 0) {
+    // The record that triggered rotation is already durable in the
+    // (still-active) file; reopen it and keep appending there.
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr) {
+      return Status::IoError("audit log rotation failed and reopen failed: " +
+                             path_);
+    }
+    return Status::IoError("audit log rotation rename failed: " + path_);
+  }
+  rotated_segments_ += 1;
+  segment_bytes_ = 0;
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError(
+        "failed to open fresh audit log segment after rotation: " + path_);
+  }
+  return Status::OK();
+}
+
 Status AuditLog::Append(const std::string& record_json) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) {
     return Status::FailedPrecondition("audit log is closed");
   }
-  if (FAULT_POINT("audit.append")) {
-    return Status::IoError("injected audit.append failure");
+  if (FAULT_POINT(options_.append_fault_site)) {
+    return Status::IoError(std::string("injected ") +
+                           options_.append_fault_site + " failure");
   }
   const uint64_t next = Fnv1aChain(chain_, record_json.data(),
                                    record_json.size());
@@ -210,15 +333,20 @@ Status AuditLog::Append(const std::string& record_json) {
   }
   chain_ = next;
   records_ += 1;
+  segment_bytes_ += line_.size();
   if (options_.fsync_each_append) {
     // The record is on its way either way; a failed fsync only means
     // durability, not integrity, so the chain stays advanced.
-    if (FAULT_POINT("audit.fsync")) {
-      return Status::IoError("injected audit.fsync failure");
+    if (FAULT_POINT(options_.fsync_fault_site)) {
+      return Status::IoError(std::string("injected ") +
+                             options_.fsync_fault_site + " failure");
     }
     if (::fsync(fileno(file_)) != 0) {
       return Status::IoError("audit log fsync failed: " + path_);
     }
+  }
+  if (options_.rotate_bytes > 0 && segment_bytes_ >= options_.rotate_bytes) {
+    return RotateLocked();
   }
   return Status::OK();
 }
@@ -231,8 +359,9 @@ Status AuditLog::Sync() {
   if (std::fflush(file_) != 0) {
     return Status::IoError("audit log flush failed: " + path_);
   }
-  if (FAULT_POINT("audit.fsync")) {
-    return Status::IoError("injected audit.fsync failure");
+  if (FAULT_POINT(options_.fsync_fault_site)) {
+    return Status::IoError(std::string("injected ") +
+                           options_.fsync_fault_site + " failure");
   }
   if (::fsync(fileno(file_)) != 0) {
     return Status::IoError("audit log fsync failed: " + path_);

@@ -19,9 +19,23 @@
 // that is NOT a torn tail cannot be produced by a crash and is reported
 // as corruption (StatusCode::kDataLoss, naming the record).
 //
+// Rotation (retention): with AuditLogOptions::rotate_bytes set, an
+// append that pushes the active file past the threshold renames it to
+// `<path>.<n>` (`<path>.1` is the oldest segment) and starts a fresh
+// active file — but the chain does NOT restart: the first record of the
+// new segment is seeded with the last chain value of the previous one,
+// so the segment sequence is one continuous tamper-evident log.
+// VerifyAuditLogChain / ReadAuditLogChain walk `<path>.1 .. <path>.N`
+// then `<path>` in order, threading the seed across files; a rotated
+// (non-final) segment is closed cleanly by construction, so a torn tail
+// is only ever tolerated in the active file. The trace log
+// (serve/trace/trace_log.h) reuses this machinery verbatim.
+//
 // Fault sites (util/fault.h): `audit.append` fails the append before any
 // byte is written (the record is dropped, the chain stays valid);
-// `audit.fsync` fails the durability step after a successful write.
+// `audit.fsync` fails the durability step after a successful write. The
+// site names are options so a reusing log (the trace log's
+// `trace.append` / `trace.fsync`) arms independently.
 
 #ifndef FAIRDRIFT_SERVE_AUDIT_AUDIT_LOG_H_
 #define FAIRDRIFT_SERVE_AUDIT_AUDIT_LOG_H_
@@ -47,19 +61,31 @@ struct AuditLogOptions {
   /// fsync after every append. Durable but slow; the audit writer runs
   /// on its own thread either way, so this never blocks scoring.
   bool fsync_each_append = false;
+  /// Rotate the active file once an append pushes it to at least this
+  /// many bytes (0 = never rotate). The chain continues across the
+  /// segment boundary; see the header comment.
+  uint64_t rotate_bytes = 0;
+  /// Fault-injection site names (util/fault.h). Defaults are the audit
+  /// tier's; the trace log substitutes "trace.append" / "trace.fsync"
+  /// so the two logs' failures arm independently.
+  const char* append_fault_site = "audit.append";
+  const char* fsync_fault_site = "audit.fsync";
 };
 
 /// Result of walking a log's checksum chain.
 struct AuditVerifyReport {
   uint64_t records = 0;     ///< Chain-verified records.
   uint64_t chain = kAuditChainSeed;  ///< Chain value after the last good record.
-  uint64_t good_bytes = 0;  ///< File prefix covering the verified records.
+  uint64_t good_bytes = 0;  ///< File prefix covering the verified records
+                            ///< (of the final file when walking segments).
   bool torn_tail = false;   ///< Incomplete final record (crashed writer).
   uint64_t torn_bytes = 0;  ///< Bytes past good_bytes when torn_tail.
+  uint64_t segments = 1;    ///< Files walked (1 + rotated segments).
 };
 
-/// Walks the whole chain. OK (possibly with torn_tail flagged) or
-/// DataLoss naming the first corrupt record. A missing file is IoError.
+/// Walks one file's whole chain from the genesis seed. OK (possibly with
+/// torn_tail flagged) or DataLoss naming the first corrupt record. A
+/// missing file is IoError.
 Result<AuditVerifyReport> VerifyAuditLog(const std::string& path);
 
 /// A verified record: the raw `rec` JSON plus its chain value.
@@ -68,18 +94,36 @@ struct AuditLogEntry {
   uint64_t chain = 0;
 };
 
-/// Reads and chain-verifies every record. On success `*report` (optional)
-/// carries the verification detail, including a tolerated torn tail.
+/// Reads and chain-verifies every record of one file. On success
+/// `*report` (optional) carries the verification detail, including a
+/// tolerated torn tail.
 Result<std::vector<AuditLogEntry>> ReadAuditLog(const std::string& path,
                                                 AuditVerifyReport* report);
+
+/// The rotated-segment files of `path` that exist on disk, oldest first
+/// (`path.1`, `path.2`, ...), NOT including the active file itself.
+std::vector<std::string> AuditLogRotatedSegments(const std::string& path);
+
+/// Walks the full rotated sequence `path.1 .. path.N` then `path`,
+/// threading the chain seed across segment boundaries. A torn tail is
+/// tolerated only in the final file (rotation closes segments cleanly);
+/// anywhere else it is corruption. With no rotated segments this is
+/// VerifyAuditLog.
+Result<AuditVerifyReport> VerifyAuditLogChain(const std::string& path);
+
+/// Reads and chain-verifies every record across the rotated sequence,
+/// oldest first. `*report` (optional) carries the whole-chain detail.
+Result<std::vector<AuditLogEntry>> ReadAuditLogChain(
+    const std::string& path, AuditVerifyReport* report);
 
 /// The append-side writer. Thread-safe; the fleet auditor funnels all
 /// appends through one thread anyway.
 class AuditLog {
  public:
-  /// Opens (creating if absent) and resumes the chain. An existing file
-  /// is verified first: a torn tail is truncated away (see
-  /// truncated_bytes()), mid-file corruption refuses to open with
+  /// Opens (creating if absent) and resumes the chain — across any
+  /// rotated segments left by a previous writer. Existing files are
+  /// verified first: a torn tail of the ACTIVE file is truncated away
+  /// (see truncated_bytes()); corruption anywhere refuses to open with
   /// DataLoss — appending after corruption would bury the evidence.
   static Result<std::unique_ptr<AuditLog>> Open(
       const std::string& path, const AuditLogOptions& options = {});
@@ -92,13 +136,16 @@ class AuditLog {
   /// Appends one record (a JSON object WITHOUT the chain envelope or
   /// newline; this wraps it). The full line is staged in a reused buffer
   /// and written with one fwrite + fflush, so a crash tears at most the
-  /// final record. On failure (including the `audit.append` fault) the
-  /// chain does not advance and no partial record is counted.
+  /// final record. On failure (including the append fault site) the
+  /// chain does not advance and no partial record is counted. May
+  /// rotate afterwards (see AuditLogOptions::rotate_bytes); a rotation
+  /// failure is reported but the record itself is already durable.
   Status Append(const std::string& record_json);
 
-  /// fsyncs the file (also the `audit.fsync` fault site).
+  /// fsyncs the file (also the fsync fault site).
   Status Sync();
 
+  /// Chain-length records across ALL segments (not just the active file).
   uint64_t records() const {
     std::lock_guard<std::mutex> lock(mu_);
     return records_;
@@ -109,11 +156,21 @@ class AuditLog {
   }
   const std::string& path() const { return path_; }
 
+  /// Rotated segments this log has on disk (resumed + new rotations).
+  uint64_t rotated_segments() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rotated_segments_;
+  }
+
   /// Torn-tail bytes discarded by Open's crash recovery; 0 normally.
   uint64_t truncated_bytes() const { return truncated_bytes_; }
 
  private:
   AuditLog(std::string path, AuditLogOptions options);
+
+  /// Closes the active file, renames it to the next `.N` segment, and
+  /// reopens a fresh active file. Called with mu_ held.
+  Status RotateLocked();
 
   mutable std::mutex mu_;
   std::string path_;
@@ -122,6 +179,8 @@ class AuditLog {
   uint64_t records_ = 0;
   uint64_t chain_ = kAuditChainSeed;
   uint64_t truncated_bytes_ = 0;
+  uint64_t segment_bytes_ = 0;     ///< Verified bytes in the active file.
+  uint64_t rotated_segments_ = 0;  ///< Existing `.N` files.
   std::string line_;  // Reused append staging buffer.
 };
 

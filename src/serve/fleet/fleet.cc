@@ -428,6 +428,8 @@ FleetStatsView ScoringFleet::stats() const {
   view.shard_versions.reserve(servers_.size());
   view.shard_ejected.reserve(servers_.size());
   std::vector<uint64_t> merged_hist(ServerStats::kLatencyBuckets, 0);
+  std::array<std::vector<uint64_t>, ServerStats::kServeStages> merged_stage;
+  for (auto& h : merged_stage) h.assign(ServerStats::kLatencyBuckets, 0);
   uint64_t batched_weighted = 0;
   for (size_t i = 0; i < servers_.size(); ++i) {
     std::shared_ptr<ScoringServer> server = shard_ref(i);
@@ -448,6 +450,12 @@ FleetStatsView ScoringFleet::stats() const {
     // views, where the count is genuinely untrusted). A mismatched
     // histogram is skipped rather than misaligned.
     (void)ServerStats::MergeHistogramInto(&merged_hist, s.latency_hist);
+    view.trace_sampled += s.trace_sampled;
+    view.trace_append_failures += s.trace_append_failures;
+    for (size_t st = 0; st < ServerStats::kServeStages; ++st) {
+      (void)ServerStats::MergeHistogramInto(&merged_stage[st],
+                                            s.stage_hist[st]);
+    }
     view.queue_depths.push_back(server->queue_depth());
     view.shard_outlier_rates.push_back(
         s.density_checked == 0
@@ -472,6 +480,10 @@ FleetStatsView ScoringFleet::stats() const {
   view.p50_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.50);
   view.p95_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.95);
   view.p99_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.99);
+  for (size_t st = 0; st < ServerStats::kServeStages; ++st) {
+    view.stage_p99_us[st] =
+        ServerStats::PercentileUsFromHist(merged_stage[st], 0.99);
+  }
   view.min_snapshot_version = view.shard_versions.empty()
                                   ? 0
                                   : *std::min_element(

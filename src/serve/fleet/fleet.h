@@ -49,6 +49,7 @@
 #ifndef FAIRDRIFT_SERVE_FLEET_FLEET_H_
 #define FAIRDRIFT_SERVE_FLEET_FLEET_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -262,6 +263,14 @@ struct FleetStatsView {
   uint64_t readmissions = 0;
   /// Per-shard ejected flag (1 = currently out of routing).
   std::vector<uint8_t> shard_ejected;
+  /// Requests selected by the content-hash trace sampler, fleet-wide.
+  uint64_t trace_sampled = 0;
+  /// Sampled span records lost to failed trace-log appends, fleet-wide.
+  uint64_t trace_append_failures = 0;
+  /// p99 latency per pipeline stage of sampled requests, derived from
+  /// the element-wise merged per-stage histograms (indexed by
+  /// ServerStats::StageName order). Zero until a sampled request lands.
+  std::array<double, ServerStats::kServeStages> stage_p99_us{};
   /// Fairness audit aggregates (audit.enabled == false when the fleet
   /// was built without the audit tier).
   FleetAuditView audit;

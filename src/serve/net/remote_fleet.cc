@@ -1,11 +1,13 @@
 #include "serve/net/remote_fleet.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <map>
 #include <thread>
 #include <utility>
 
+#include "serve/trace/trace_context.h"
 #include "util/rng.h"
 
 namespace fairdrift {
@@ -42,7 +44,8 @@ void RemoteShardClient::Disconnect() {
 
 Result<Frame> RemoteShardClient::Call(FrameType request,
                                       const std::string& payload,
-                                      FrameType expected_reply) {
+                                      FrameType expected_reply,
+                                      const FrameTraceContext* trace) {
   std::lock_guard<std::mutex> lock(mu_);
   bool reconnected = false;
   for (;;) {
@@ -54,7 +57,10 @@ Result<Frame> RemoteShardClient::Call(FrameType request,
       connected_ = true;
       reconnected = true;
     }
-    Status sent = WriteFrame(conn_, request, payload, io_timeout_);
+    Status sent =
+        trace != nullptr
+            ? WriteTracedFrame(conn_, request, payload, *trace, io_timeout_)
+            : WriteFrame(conn_, request, payload, io_timeout_);
     if (!sent.ok()) {
       conn_.Close();
       connected_ = false;
@@ -89,12 +95,12 @@ Result<Frame> RemoteShardClient::Call(FrameType request,
 }
 
 Result<std::vector<WireRowOutcome>> RemoteShardClient::ScoreBatch(
-    const WireScoreRequest& request) {
+    const WireScoreRequest& request, const FrameTraceContext* trace) {
   BinaryWriter w;
   SerializeScoreRequest(request, &w);
   Result<Frame> reply = Call(FrameType::kScoreBatch,
                              std::move(w).TakeBuffer(),
-                             FrameType::kScoreBatchReply);
+                             FrameType::kScoreBatchReply, trace);
   if (!reply.ok()) return reply.status();
   BinaryReader r(reply.value().payload);
   return DeserializeRowOutcomes(&r);
@@ -114,6 +120,13 @@ Result<ServerStats::View> RemoteShardClient::Stats() {
   if (!reply.ok()) return reply.status();
   BinaryReader r(reply.value().payload);
   return DeserializeStatsView(&r);
+}
+
+Result<std::string> RemoteShardClient::Metrics() {
+  Result<Frame> reply = Call(FrameType::kMetrics, std::string(),
+                             FrameType::kMetricsReply);
+  if (!reply.ok()) return reply.status();
+  return std::move(reply.value().payload);
 }
 
 Result<std::vector<std::string>> RemoteShardClient::PushManifest(
@@ -359,8 +372,13 @@ Result<std::vector<WireRowOutcome>> RemoteFleet::ScoreBatch(
         request.rows.insert(request.rows.end(), rows.begin() + idx * width,
                             rows.begin() + (idx + 1) * width);
       }
-      Result<std::vector<WireRowOutcome>> reply =
-          clients_[shard]->ScoreBatch(request);
+      // The extension carries tier linkage only: trace_id stays 0 (each
+      // sampled row's id re-mints from row content at the daemon), the
+      // parent is the router's constant tier span.
+      FrameTraceContext trace;
+      trace.parent_span_id = TraceSpanId(0, "router");
+      Result<std::vector<WireRowOutcome>> reply = clients_[shard]->ScoreBatch(
+          request, options_.propagate_trace ? &trace : nullptr);
       if (reply.ok() && reply.value().size() == idxs.size()) {
         for (size_t i = 0; i < idxs.size(); ++i) {
           outcomes[idxs[i]] = std::move(reply.value()[i]);
@@ -527,6 +545,7 @@ FleetStatsView RemoteFleet::stats() const {
   view.audit.shard_alert_active.assign(n, 0);
   view.audit.shard_windows.assign(n, 0);
   std::vector<uint64_t> merged_hist;
+  std::array<std::vector<uint64_t>, ServerStats::kServeStages> merged_stage;
   double batch_size_sum = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -563,6 +582,16 @@ FleetStatsView RemoteFleet::stats() const {
       // skipped rather than misread; its scalar counters still merged.
       (void)ServerStats::MergeHistogramInto(&merged_hist, sv.latency_hist);
     }
+    view.trace_sampled += sv.trace_sampled;
+    view.trace_append_failures += sv.trace_append_failures;
+    for (size_t st = 0; st < ServerStats::kServeStages; ++st) {
+      if (merged_stage[st].empty()) {
+        merged_stage[st] = sv.stage_hist[st];
+      } else {
+        (void)ServerStats::MergeHistogramInto(&merged_stage[st],
+                                              sv.stage_hist[st]);
+      }
+    }
     // Audit tallies ride the same wire view; a shard with any audit
     // activity marks the fleet view enabled.
     if (sv.audit_windows > 0 || sv.audit_alert_active ||
@@ -585,6 +614,12 @@ FleetStatsView RemoteFleet::stats() const {
     view.p50_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.50);
     view.p95_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.95);
     view.p99_latency_us = ServerStats::PercentileUsFromHist(merged_hist, 0.99);
+  }
+  for (size_t st = 0; st < ServerStats::kServeStages; ++st) {
+    if (!merged_stage[st].empty()) {
+      view.stage_p99_us[st] =
+          ServerStats::PercentileUsFromHist(merged_stage[st], 0.99);
+    }
   }
   view.outlier_rate =
       view.density_checked > 0

@@ -69,15 +69,22 @@ class RemoteShardClient {
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
 
-  /// Scores `request` remotely; outcomes come back in row order.
+  /// Scores `request` remotely; outcomes come back in row order. When
+  /// `trace` is non-null the request frame carries the trace extension
+  /// (sender tier linkage — the daemon parents every sampled row of the
+  /// frame under trace->parent_span_id).
   Result<std::vector<WireRowOutcome>> ScoreBatch(
-      const WireScoreRequest& request);
+      const WireScoreRequest& request,
+      const FrameTraceContext* trace = nullptr);
 
   /// Liveness + progress counters.
   Result<WireHealthProbe> Probe();
 
   /// The daemon's full ServerStats::View.
   Result<ServerStats::View> Stats();
+
+  /// The daemon's Prometheus-style metrics exposition (kMetrics scrape).
+  Result<std::string> Metrics();
 
   /// Push phase 1: offer `manifest`; returns the chunk names the daemon
   /// needs (its checksum diff against what it already holds).
@@ -104,8 +111,10 @@ class RemoteShardClient {
 
  private:
   /// One request/reply exchange; reconnects once on a stale connection.
+  /// `trace` non-null sends the frame with the trace extension.
   Result<Frame> Call(FrameType request, const std::string& payload,
-                     FrameType expected_reply);
+                     FrameType expected_reply,
+                     const FrameTraceContext* trace = nullptr);
 
   std::string host_;
   uint16_t port_ = 0;
@@ -126,6 +135,11 @@ struct RemoteFleetOptions {
   /// ShardHealthFsm thresholds (same meaning as HealthMonitorOptions).
   size_t dead_after_stalled_probes = 3;
   size_t readmit_after_healthy_probes = 3;
+  /// Attach the trace extension to forwarded score frames, so sampled
+  /// rows on the daemons parent under the router's tier span. Turn off
+  /// only when fronting daemons from a pre-trace protocol build (they
+  /// reject the flag rather than desynchronize).
+  bool propagate_trace = true;
 };
 
 /// Router over N remote shard daemons. See file comment.

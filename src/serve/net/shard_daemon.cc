@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "serve/net/wire.h"
+#include "serve/trace/trace_context.h"
 #include "util/fault.h"
+#include "util/timer.h"
 
 namespace fairdrift {
 namespace net {
@@ -17,10 +19,58 @@ Result<std::unique_ptr<ShardDaemon>> ShardDaemon::Start(
   std::unique_ptr<ShardDaemon> daemon(new ShardDaemon());
   daemon->options_ = options;
 
+  // A trace log path turns the wrapped server into a tracing server:
+  // the daemon owns the sink (destroyed after the server), stamps the
+  // wire stages itself, and emits whole-span records after the reply
+  // serializes (defer_emit).
+  if (!options.trace_log_path.empty()) {
+    TraceLogOptions log_options;
+    log_options.rotate_bytes = options.trace_rotate_bytes;
+    Result<std::unique_ptr<TraceLog>> log =
+        TraceLog::Open(options.trace_log_path, log_options);
+    if (!log.ok()) return log.status();
+    daemon->trace_log_ = std::move(log).value();
+    daemon->options_.server.trace.enabled = true;
+    daemon->options_.server.trace.sample_modulus =
+        options.trace_sample_modulus;
+    daemon->options_.server.trace.sink = daemon->trace_log_.get();
+    daemon->options_.server.trace.role = "shard";
+    daemon->options_.server.trace.defer_emit = true;
+  }
+
   Result<std::unique_ptr<ScoringServer>> server =
-      ScoringServer::Create(snapshot, options.server);
+      ScoringServer::Create(snapshot, daemon->options_.server);
   if (!server.ok()) return server.status();
   daemon->server_ = std::move(server).value();
+
+  // One collector renders everything a scrape needs: the server's
+  // lock-free stats view in the shared fairdrift_* family set, the
+  // daemon's wire counters, and point-in-time serving gauges.
+  ShardDaemon* raw = daemon.get();
+  daemon->metrics_.AddCollector([raw](MetricsEmitter* out) {
+    EmitStatsViewMetrics(raw->server_->stats(), out);
+    Counters wire = raw->counters();
+    out->Counter("fairdrift_net_connections_accepted_total",
+                 "TCP connections accepted", wire.connections_accepted);
+    out->Counter("fairdrift_net_frames_served_total",
+                 "Request frames answered", wire.frames_served);
+    out->Counter("fairdrift_net_frame_errors_total",
+                 "Error frames sent to peers", wire.frame_errors);
+    out->Counter("fairdrift_net_push_commits_total",
+                 "Snapshot pushes committed", wire.push_commits);
+    out->Counter("fairdrift_net_push_reverts_total",
+                 "Snapshot pushes reverted", wire.push_reverts);
+    out->Gauge("fairdrift_queue_depth", "Admitted requests awaiting a batch",
+               static_cast<double>(raw->server_->queue_depth()));
+    out->Gauge("fairdrift_snapshot_version",
+               "Model snapshot version serving new batches",
+               static_cast<double>(raw->server_->CurrentSnapshot()->version()));
+    if (raw->trace_log_ != nullptr) {
+      out->Counter("fairdrift_trace_log_records_total",
+                   "Whole-span records appended to the trace log",
+                   raw->trace_log_->records());
+    }
+  });
 
   // Seed the chunk store from the snapshot we serve, so the very first
   // push already diffs against real content: a pusher whose snapshot
@@ -37,7 +87,6 @@ Result<std::unique_ptr<ShardDaemon>> ShardDaemon::Start(
   if (!listener.ok()) return listener.status();
   daemon->listener_ = std::move(listener).value();
 
-  ShardDaemon* raw = daemon.get();
   daemon->accept_thread_ = std::thread([raw] { raw->AcceptLoop(); });
   return daemon;
 }
@@ -144,6 +193,8 @@ Frame ShardDaemon::HandleFrame(const Frame& frame) {
       return HandleHealthProbe();
     case FrameType::kStatsSnapshot:
       return HandleStatsSnapshot();
+    case FrameType::kMetrics:
+      return HandleMetrics();
     case FrameType::kPushManifest:
       return HandlePushManifest(frame);
     case FrameType::kPushChunk:
@@ -167,12 +218,22 @@ Frame ShardDaemon::ErrorFrame(const Status& error) {
 }
 
 Frame ShardDaemon::HandleScoreBatch(const Frame& frame) {
+  // Stamped before deserialization so the wire_recv span covers decode.
+  const uint64_t wire_recv_ns =
+      options_.server.trace.enabled ? MonotonicNowNs() : 0;
   BinaryReader r(frame.payload);
   Result<WireScoreRequest> request = DeserializeScoreRequest(&r);
   if (!request.ok()) return ErrorFrame(request.status());
   const WireScoreRequest& req = request.value();
   const size_t count = req.count();
   const std::chrono::nanoseconds deadline{req.deadline_ns};
+
+  // Every sampled row in this frame parents under the sender's span id
+  // from the frame's trace extension (per-row trace ids re-mint from
+  // row content at admission, so the extension only carries linkage).
+  SubmitTraceInfo trace;
+  trace.parent_span_id = frame.has_trace ? frame.trace.parent_span_id : 0;
+  trace.wire_recv_ns = wire_recv_ns;
 
   // Submit every row first so the whole batch coalesces, then wait.
   // Shed/invalid rows carry their typed code per row instead of failing
@@ -182,7 +243,8 @@ Frame ShardDaemon::HandleScoreBatch(const Frame& frame) {
   for (size_t i = 0; i < count; ++i) {
     std::vector<double> row(req.rows.begin() + i * req.width,
                             req.rows.begin() + (i + 1) * req.width);
-    Result<ScoreTicket> ticket = server_->Submit(std::move(row), deadline);
+    Result<ScoreTicket> ticket =
+        server_->Submit(std::move(row), RequestAuditInfo{}, trace, deadline);
     if (ticket.ok()) {
       tickets[i] = std::move(ticket).value();
     } else {
@@ -202,7 +264,21 @@ Frame ShardDaemon::HandleScoreBatch(const Frame& frame) {
   }
   BinaryWriter w;
   SerializeRowOutcomes(outcomes, &w);
-  return Frame{FrameType::kScoreBatchReply, std::move(w).TakeBuffer()};
+  Frame reply{FrameType::kScoreBatchReply, std::move(w).TakeBuffer()};
+  if (trace_log_ != nullptr) {
+    // Emission is deferred to here so wire_send (reply serialized,
+    // about to hit the socket) closes each sampled row's span. Wait()
+    // above ordered these slot reads after the scoring thread's writes.
+    const uint64_t wire_send_ns = MonotonicNowNs();
+    for (ScoreTicket& ticket : tickets) {
+      if (!ticket.valid()) continue;
+      TraceSpanSlot* slot = ticket.trace_slot();
+      if (slot == nullptr || !slot->sampled()) continue;
+      slot->StampAt(TraceStage::kWireSend, wire_send_ns);
+      server_->EmitTrace(ticket);
+    }
+  }
+  return reply;
 }
 
 Frame ShardDaemon::HandleHealthProbe() {
@@ -220,6 +296,10 @@ Frame ShardDaemon::HandleStatsSnapshot() {
   BinaryWriter w;
   SerializeStatsView(server_->stats(), &w);
   return Frame{FrameType::kStatsSnapshotReply, std::move(w).TakeBuffer()};
+}
+
+Frame ShardDaemon::HandleMetrics() {
+  return Frame{FrameType::kMetricsReply, metrics_.RenderText()};
 }
 
 Frame ShardDaemon::HandlePushManifest(const Frame& frame) {

@@ -46,6 +46,8 @@
 #include "net/socket.h"
 #include "serve/server.h"
 #include "serve/snapshot_manifest.h"
+#include "serve/trace/metrics_registry.h"
+#include "serve/trace/trace_log.h"
 
 namespace fairdrift {
 namespace net {
@@ -70,6 +72,14 @@ struct ShardDaemonOptions {
   /// push whose monitor tail is damaged serve degraded, mirroring the
   /// file loader.
   SnapshotLoadMode push_load_mode = SnapshotLoadMode::kAllowPartial;
+  /// When non-empty: enables request tracing with a chained JSONL trace
+  /// log at this path. Overrides options.server.trace (enabled, sink,
+  /// role "shard", deferred emission so wire_send lands in the span).
+  std::string trace_log_path;
+  /// Content-hash sampling modulus for the trace log (1-in-N rows).
+  uint32_t trace_sample_modulus = 64;
+  /// Trace log segment rotation threshold (0 = never rotate).
+  uint64_t trace_rotate_bytes = 0;
 };
 
 class ShardDaemon {
@@ -89,6 +99,13 @@ class ShardDaemon {
 
   /// The wrapped server (test/CLI introspection; the daemon owns it).
   ScoringServer* server() { return server_.get(); }
+
+  /// The trace log, or null when tracing is off (test introspection).
+  TraceLog* trace_log() { return trace_log_.get(); }
+
+  /// The daemon's metrics registry. kMetrics scrapes render it; owners
+  /// may register additional instruments/collectors before traffic.
+  MetricsRegistry* metrics() { return &metrics_; }
 
   /// Wire activity counters.
   struct Counters {
@@ -123,12 +140,18 @@ class ShardDaemon {
   Frame HandleScoreBatch(const Frame& frame);
   Frame HandleHealthProbe();
   Frame HandleStatsSnapshot();
+  Frame HandleMetrics();
   Frame HandlePushManifest(const Frame& frame);
   Frame HandlePushChunk(const Frame& frame);
   Frame HandlePushCommit();
   Frame HandlePushRevert();
 
   ShardDaemonOptions options_;
+  /// Declared before server_: the server holds a raw sink pointer into
+  /// the trace log and may emit during its Stop() drain, so the log
+  /// must be destroyed after the server.
+  std::unique_ptr<TraceLog> trace_log_;
+  MetricsRegistry metrics_;
   std::unique_ptr<ScoringServer> server_;
   TcpListener listener_;
   std::atomic<bool> stop_{false};

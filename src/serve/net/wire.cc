@@ -57,6 +57,7 @@ void SerializeRowOutcomes(const std::vector<WireRowOutcome>& outcomes,
     w->WriteU8(res.density_checked ? 1 : 0);
     w->WriteU64(res.snapshot_version);
     w->WriteI32(res.group);
+    w->WriteU64(res.trace_id);
   }
 }
 
@@ -103,6 +104,9 @@ Result<std::vector<WireRowOutcome>> DeserializeRowOutcomes(BinaryReader* r) {
     Result<int32_t> group = r->ReadI32();
     if (!group.ok()) return group.status();
     outcome.result.group = group.value();
+    Result<uint64_t> trace_id = r->ReadU64();
+    if (!trace_id.ok()) return trace_id.status();
+    outcome.result.trace_id = trace_id.value();
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;
@@ -182,6 +186,14 @@ void SerializeStatsView(const ServerStats::View& view, BinaryWriter* w) {
   w->WriteDouble(view.audit_last_spd);
   WriteU64Hist(view.batch_size_hist, w);
   WriteU64Hist(view.latency_hist, w);
+  w->WriteU64(view.trace_sampled);
+  w->WriteU64(view.trace_append_failures);
+  for (size_t s = 0; s < ServerStats::kServeStages; ++s) {
+    w->WriteDouble(view.stage_p99_us[s]);
+  }
+  for (size_t s = 0; s < ServerStats::kServeStages; ++s) {
+    WriteU64Hist(view.stage_hist[s], w);
+  }
 }
 
 Result<ServerStats::View> DeserializeStatsView(BinaryReader* r) {
@@ -232,6 +244,16 @@ Result<ServerStats::View> DeserializeStatsView(BinaryReader* r) {
   Result<std::vector<uint64_t>> latency_hist = ReadU64Hist(r);
   if (!latency_hist.ok()) return latency_hist.status();
   view.latency_hist = std::move(latency_hist).value();
+  FAIRDRIFT_RETURN_IF_ERROR(read_u64(&view.trace_sampled));
+  FAIRDRIFT_RETURN_IF_ERROR(read_u64(&view.trace_append_failures));
+  for (size_t s = 0; s < ServerStats::kServeStages; ++s) {
+    FAIRDRIFT_RETURN_IF_ERROR(read_double(&view.stage_p99_us[s]));
+  }
+  for (size_t s = 0; s < ServerStats::kServeStages; ++s) {
+    Result<std::vector<uint64_t>> stage_hist = ReadU64Hist(r);
+    if (!stage_hist.ok()) return stage_hist.status();
+    view.stage_hist[s] = std::move(stage_hist).value();
+  }
   return view;
 }
 

@@ -4,9 +4,11 @@
 #include <utility>
 
 #include "serve/audit/auditor.h"
+#include "serve/trace/trace_log.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace fairdrift {
 
@@ -52,12 +54,19 @@ void ScoringServer::Stop() {
 
 Result<ScoreTicket> ScoringServer::Submit(
     std::vector<double> row, std::chrono::nanoseconds deadline_after) {
-  return Submit(std::move(row), RequestAuditInfo{}, deadline_after);
+  return Submit(std::move(row), RequestAuditInfo{}, SubmitTraceInfo{},
+                deadline_after);
 }
 
 Result<ScoreTicket> ScoringServer::Submit(
     std::vector<double> row, const RequestAuditInfo& audit,
     std::chrono::nanoseconds deadline_after) {
+  return Submit(std::move(row), audit, SubmitTraceInfo{}, deadline_after);
+}
+
+Result<ScoreTicket> ScoringServer::Submit(
+    std::vector<double> row, const RequestAuditInfo& audit,
+    const SubmitTraceInfo& trace, std::chrono::nanoseconds deadline_after) {
   auto now = std::chrono::steady_clock::now();
   auto deadline = admission_.ResolveDeadline(now, deadline_after);
   Status admit = admission_.Admit(queue_, now, deadline,
@@ -84,6 +93,27 @@ Result<ScoreTicket> ScoringServer::Submit(
   }
 
   auto state = std::make_shared<serve_internal::TicketState>();
+  if (options_.trace.enabled) {
+    // Mint at admission: the id is the row's content hash, so the
+    // sampled set is identical under every batching / sharding /
+    // threading configuration. Unsampled rows keep the zero context and
+    // never touch the slot again.
+    state->trace.context = MintTraceContext(row.data(), row.size(),
+                                            options_.trace.sample_modulus);
+    if (state->trace.sampled()) {
+      state->trace.context.parent_span_id = trace.parent_span_id;
+      if (trace.wire_recv_ns != 0) {
+        state->trace.StampAt(TraceStage::kWireRecv, trace.wire_recv_ns);
+      }
+      state->trace.StampAt(
+          TraceStage::kAdmit,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  now.time_since_epoch())
+                  .count()));
+      state->trace.Stamp(TraceStage::kEnqueue);
+    }
+  }
   PendingRequest request;
   request.row = std::move(row);
   request.enqueue_time = now;
@@ -97,6 +127,7 @@ Result<ScoreTicket> ScoringServer::Submit(
                : Status::Unavailable("Submit: queue depth limit reached");
   }
   stats_.RecordSubmitted();
+  if (state->trace.sampled()) stats_.RecordTraceSampled();
   return ScoreTicket(std::move(state));
 }
 
@@ -198,6 +229,16 @@ void ScoringServer::DispatchLoop() {
   for (;;) {
     auto batch = std::make_shared<std::vector<PendingRequest>>();
     if (batcher_.NextBatch(batch.get()) == 0) return;  // closed and drained
+    if (options_.trace.enabled) {
+      // One clock read covers the batch: every member left the queue in
+      // the same NextBatch call.
+      uint64_t now_ns = MonotonicNowNs();
+      for (PendingRequest& request : *batch) {
+        if (request.ticket->trace.sampled()) {
+          request.ticket->trace.StampAt(TraceStage::kDequeue, now_ns);
+        }
+      }
+    }
     // Bound the scoring work in flight before taking on another batch:
     // the dispatcher is the only back-pressure between the queue and the
     // pool.
@@ -260,6 +301,15 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
     const std::vector<double>& row = (*batch)[live[k]].row;
     std::copy(row.begin(), row.end(), scratch->rows.RowPtr(k));
   }
+  const bool tracing = options_.trace.enabled;
+  if (tracing) {
+    uint64_t now_ns = MonotonicNowNs();
+    for (size_t i : live) {
+      if ((*batch)[i].ticket->trace.sampled()) {
+        (*batch)[i].ticket->trace.StampAt(TraceStage::kBatchAssemble, now_ns);
+      }
+    }
+  }
   Status scored =
       options_.monitor_override.has_value()
           ? snapshot->ScoreBatchInto(scratch->rows, scratch.get(),
@@ -271,6 +321,20 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
     return;
   }
   auto done = std::chrono::steady_clock::now();
+  if (tracing) {
+    uint64_t done_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            done.time_since_epoch())
+            .count());
+    for (size_t k = 0; k < live.size(); ++k) {
+      TraceSpanSlot& slot = (*batch)[live[k]].ticket->trace;
+      // The snapshot's score fields are untouched; the trace id rides
+      // along so wire replies can surface it. Written for every live
+      // row (0 when unsampled) because the scratch results recycle.
+      scratch->results[k].trace_id = slot.context.trace_id;
+      if (slot.sampled()) slot.StampAt(TraceStage::kScore, done_ns);
+    }
+  }
   // Record stats before fulfilling any ticket: a client that returns from
   // Wait and immediately reads stats() must see its own request counted.
   // The batch latency feeds the EWMA the cost-aware admission consults.
@@ -304,13 +368,64 @@ void ScoringServer::ProcessBatch(std::vector<PendingRequest>* batch) {
                               &outcome);
     stats_.RecordAuditFold(outcome);
   }
+  if (tracing) {
+    // audit_fold delimits the fold section even for unaudited servers
+    // (a ~zero-length span), so whole-span records always close with it
+    // and stage decomposition sums to the scored path.
+    uint64_t fold_ns = MonotonicNowNs();
+    for (size_t i : live) {
+      TraceSpanSlot& slot = (*batch)[i].ticket->trace;
+      if (!slot.sampled()) continue;
+      slot.StampAt(TraceStage::kAuditFold, fold_ns);
+      auto stage_delta = [&slot](TraceStage from, TraceStage to) {
+        return std::chrono::nanoseconds(
+            static_cast<int64_t>(slot.stamp(to) - slot.stamp(from)));
+      };
+      stats_.RecordStageLatency(
+          0, stage_delta(TraceStage::kEnqueue, TraceStage::kDequeue));
+      stats_.RecordStageLatency(
+          1, stage_delta(TraceStage::kDequeue, TraceStage::kBatchAssemble));
+      stats_.RecordStageLatency(
+          2, stage_delta(TraceStage::kBatchAssemble, TraceStage::kScore));
+      stats_.RecordStageLatency(
+          3, stage_delta(TraceStage::kScore, TraceStage::kAuditFold));
+    }
+  }
   for (size_t k = 0; k < live.size(); ++k) {
     stats_.RecordCompletion(done - (*batch)[live[k]].enqueue_time);
   }
   for (size_t k = 0; k < live.size(); ++k) {
     (*batch)[live[k]].ticket->Complete(scratch->results[k]);
   }
+  if (tracing && options_.trace.sink != nullptr && !options_.trace.defer_emit) {
+    // Whole-span export happens after tickets complete: a waiting
+    // client never blocks on trace-log I/O, and only sampled rows reach
+    // the sink at all.
+    for (size_t k = 0; k < live.size(); ++k) {
+      const TraceSpanSlot& slot = (*batch)[live[k]].ticket->trace;
+      if (slot.sampled()) {
+        AppendTraceRecord(slot, scratch->results[k].snapshot_version);
+      }
+    }
+  }
   ReleaseScratch(std::move(scratch));
+}
+
+void ScoringServer::AppendTraceRecord(const TraceSpanSlot& slot,
+                                      uint64_t snapshot_version) {
+  Status appended =
+      options_.trace.sink->Append(slot, options_.trace.role, snapshot_version);
+  if (!appended.ok()) stats_.RecordTraceAppendFailure();
+}
+
+void ScoringServer::EmitTrace(const ScoreTicket& ticket) {
+  if (options_.trace.sink == nullptr || !ticket.valid()) return;
+  const serve_internal::TicketState& state = *ticket.state_;
+  if (!state.trace.sampled()) return;
+  // Reading result/error without the ticket mutex is ordered: callers
+  // emit only after Wait() returned for this ticket on this thread.
+  AppendTraceRecord(state.trace,
+                    state.error.ok() ? state.result.snapshot_version : 0);
 }
 
 }  // namespace fairdrift

@@ -41,6 +41,29 @@ namespace fairdrift {
 
 class ThreadPool;    // util/parallel.h
 class ShardAuditor;  // serve/audit/auditor.h
+class TraceLog;      // serve/trace/trace_log.h
+
+/// Request-scoped tracing configuration (serve/trace/). Sampling is
+/// content-hash deterministic (MintTraceContext), so the same rows are
+/// sampled regardless of batching, shard assignment, or worker count.
+struct ServerTraceOptions {
+  /// Master switch. Off = zero tracing work on every path (the
+  /// historical behavior).
+  bool enabled = false;
+  /// Sample 1-in-modulus rows by content hash (0 or 1 = every row).
+  uint32_t sample_modulus = 64;
+  /// Whole-span record sink for sampled requests. Not owned; must
+  /// outlive the server. Null = stamp spans + fold stage histograms
+  /// only, emit no records.
+  TraceLog* sink = nullptr;
+  /// Role name stamped into emitted records ("server", "shard", ...).
+  const char* role = "server";
+  /// When true the server does NOT emit records after scoring; the
+  /// owner (a shard daemon) stamps transport stages on the completed
+  /// ticket and calls EmitTrace itself, so wire_send lands inside the
+  /// span.
+  bool defer_emit = false;
+};
 
 /// Full server configuration.
 struct ServerOptions {
@@ -66,6 +89,16 @@ struct ServerOptions {
   /// tickets complete. Not owned; must outlive the server. Null = no
   /// auditing (the historical behavior, zero overhead).
   ShardAuditor* audit = nullptr;
+  /// Request-scoped tracing (serve/trace/).
+  ServerTraceOptions trace;
+};
+
+/// Trace linkage a transport layer attaches to a Submit: the upstream
+/// span to parent under and the wire-receive stamp taken when the
+/// carrying frame arrived (0 = not a wire request).
+struct SubmitTraceInfo {
+  uint64_t parent_span_id = 0;
+  uint64_t wire_recv_ns = 0;
 };
 
 /// Asynchronous micro-batching scoring server over immutable snapshots.
@@ -99,6 +132,24 @@ class ScoringServer {
   Result<ScoreTicket> Submit(
       std::vector<double> row, const RequestAuditInfo& audit,
       std::chrono::nanoseconds deadline_after = std::chrono::nanoseconds{0});
+
+  /// Submit with upstream trace linkage (shard daemons): the sampled
+  /// request's span parents under `trace.parent_span_id` and its slot
+  /// carries the wire-receive stamp. No-ops into the plain Submit
+  /// behavior when tracing is disabled.
+  Result<ScoreTicket> Submit(std::vector<double> row,
+                             const RequestAuditInfo& audit,
+                             const SubmitTraceInfo& trace,
+                             std::chrono::nanoseconds deadline_after);
+
+  /// Emits one completed, trace-sampled ticket's whole-span record to
+  /// the configured sink. Only for owners that set
+  /// ServerTraceOptions::defer_emit (they stamp transport stages on the
+  /// ticket's slot first); no-op for unsampled tickets or without a
+  /// sink. Append failures are counted
+  /// (ServerStats::trace_append_failures), never surfaced — tracing
+  /// must not fail serving.
+  void EmitTrace(const ScoreTicket& ticket);
 
   /// Submit + Wait. Not callable from the scoring pool's own workers.
   Result<ScoreResult> ScoreSync(
@@ -149,6 +200,9 @@ class ScoringServer {
 
   void DispatchLoop();
   void ProcessBatch(std::vector<PendingRequest>* batch);
+  /// Appends `slot`'s record to the trace sink, counting (never
+  /// propagating) failures.
+  void AppendTraceRecord(const TraceSpanSlot& slot, uint64_t snapshot_version);
   void AcquireInflightSlot();
   void ReleaseInflightSlot();
 

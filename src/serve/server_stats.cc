@@ -29,6 +29,16 @@ uint64_t DoubleToBits(double v) {
 
 }  // namespace
 
+const char* ServerStats::StageName(size_t stage) {
+  switch (stage) {
+    case 0: return "queue_wait";
+    case 1: return "batch_assemble";
+    case 2: return "score";
+    case 3: return "audit_fold";
+  }
+  return "unknown";
+}
+
 size_t ServerStats::LatencyBucket(std::chrono::nanoseconds latency) {
   int64_t ns = latency.count();
   if (ns < 1) ns = 1;
@@ -93,6 +103,12 @@ void ServerStats::RecordDensity(uint64_t checked, uint64_t outliers) {
       return;
     }
   }
+}
+
+void ServerStats::RecordStageLatency(size_t stage,
+                                     std::chrono::nanoseconds latency) {
+  if (stage >= kServeStages) return;
+  stage_hist_[stage][LatencyBucket(latency)].fetch_add(1, rel());
 }
 
 void ServerStats::RecordAuditFold(const AuditFoldOutcome& outcome) {
@@ -173,6 +189,16 @@ ServerStats::View ServerStats::Snapshot() const {
   view.batch_size_hist.resize(kBatchBuckets);
   for (size_t b = 0; b < kBatchBuckets; ++b) {
     view.batch_size_hist[b] = batch_hist_[b].load(rel());
+  }
+
+  view.trace_sampled = trace_sampled_.load(rel());
+  view.trace_append_failures = trace_append_failures_.load(rel());
+  for (size_t s = 0; s < kServeStages; ++s) {
+    view.stage_hist[s].resize(kLatencyBuckets);
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      view.stage_hist[s][b] = stage_hist_[s][b].load(rel());
+    }
+    view.stage_p99_us[s] = PercentileUsFromHist(view.stage_hist[s], 0.99);
   }
   return view;
 }

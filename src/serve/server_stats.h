@@ -31,6 +31,16 @@ class ServerStats {
   /// Power-of-two batch-size buckets: bucket b holds sizes in
   /// [2^b, 2^(b+1)).
   static constexpr size_t kBatchBuckets = 16;
+  /// Pipeline stages with their own latency histogram (trace-stamped
+  /// durations): 0 queue_wait (enqueue→dequeue), 1 batch_assemble
+  /// (dequeue→scratch staged), 2 score (staged→scored), 3 audit_fold
+  /// (scored→stats/audit folded). Recorded only for trace-sampled
+  /// requests, so each is an unbiased (content-hash) sample of the
+  /// stage's true distribution at ~1/modulus the recording cost.
+  static constexpr size_t kServeStages = 4;
+
+  /// Stable stage key for exposition ("queue_wait", ...).
+  static const char* StageName(size_t stage);
 
   void RecordSubmitted() { submitted_.fetch_add(1, rel()); }
   void RecordAdmissionShed() { shed_admission_.fetch_add(1, rel()); }
@@ -70,6 +80,20 @@ class ServerStats {
   /// completions, breaches, alert transitions, and the latest completed
   /// window's headline metrics. No-op when the fold completed no window.
   void RecordAuditFold(const AuditFoldOutcome& outcome);
+
+  /// One trace-sampled request's time in pipeline stage `stage`
+  /// (< kServeStages).
+  void RecordStageLatency(size_t stage, std::chrono::nanoseconds latency);
+
+  /// One request selected by the trace sampler at admission.
+  void RecordTraceSampled() { trace_sampled_.fetch_add(1, rel()); }
+
+  /// One sampled span record lost to a failed trace-log append. The
+  /// chain stays valid and scoring is unaffected; this counter is the
+  /// only evidence.
+  void RecordTraceAppendFailure() {
+    trace_append_failures_.fetch_add(1, rel());
+  }
 
   /// Consistent-enough copy of all counters plus derived percentiles.
   /// (Counters are read individually; a view taken while traffic is in
@@ -117,6 +141,17 @@ class ServerStats {
     /// element-wise, which is how FleetStats derives fleet-wide
     /// percentiles instead of averaging per-shard ones.
     std::vector<uint64_t> latency_hist;
+    /// Requests the content-hash trace sampler selected at admission.
+    uint64_t trace_sampled = 0;
+    /// Sampled span records dropped by a failed trace-log append.
+    uint64_t trace_append_failures = 0;
+    /// Per-stage p99 in µs, derived from stage_hist (0 = no samples).
+    std::array<double, kServeStages> stage_p99_us{};
+    /// Per-stage latency histograms of trace-sampled requests
+    /// (kServeStages vectors of kLatencyBuckets buckets; same bucketing
+    /// and element-wise merge rules as latency_hist) — this is how a
+    /// router-merged p99 decomposes by pipeline stage.
+    std::array<std::vector<uint64_t>, kServeStages> stage_hist;
   };
 
   View Snapshot() const;
@@ -169,6 +204,10 @@ class ServerStats {
   std::atomic<uint64_t> audit_last_spd_bits_{~uint64_t{0}};
   std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist_{};
   std::array<std::atomic<uint64_t>, kBatchBuckets> batch_hist_{};
+  std::atomic<uint64_t> trace_sampled_{0};
+  std::atomic<uint64_t> trace_append_failures_{0};
+  std::array<std::array<std::atomic<uint64_t>, kLatencyBuckets>, kServeStages>
+      stage_hist_{};
 };
 
 }  // namespace fairdrift

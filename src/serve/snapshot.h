@@ -103,6 +103,11 @@ struct ScoreResult {
   /// serving audit tier (serve/audit/) so fairness windows can be
   /// computed without clients attaching group metadata.
   int group = -1;
+  /// Trace id of the request (serve/trace/): the row's FNV content hash
+  /// when the serving tier sampled it for span recording, 0 otherwise.
+  /// Set by the scoring server after scoring, not by ScoreBatch itself,
+  /// so it never perturbs the snapshot's deterministic score fields.
+  uint64_t trace_id = 0;
 };
 
 /// Reusable per-worker buffers for ScoreBatch. A batch worker that keeps

@@ -15,6 +15,7 @@
 #include <mutex>
 
 #include "serve/snapshot.h"
+#include "serve/trace/trace_context.h"
 #include "util/status.h"
 
 namespace fairdrift {
@@ -28,6 +29,13 @@ struct TicketState {
   bool done = false;
   Status error;        // OK when `result` is valid
   ScoreResult result;  // valid only when done && error.ok()
+  /// Fixed-size span storage for trace-sampled requests (zero context
+  /// when unsampled or tracing is off). Stamped by the server pipeline
+  /// stages without synchronization: each stage happens-before the next
+  /// through the queue/pool hand-offs, and a post-completion reader
+  /// (the daemon's wire_send stamp + trace emission) is ordered by the
+  /// ticket's own done-signaling mutex.
+  TraceSpanSlot trace;
 
   /// Fulfills with a result; first fulfillment wins, later calls no-op.
   void Complete(const ScoreResult& r);
@@ -58,6 +66,14 @@ class ScoreTicket {
 
   /// True for tickets minted by a server (default-constructed ones are not).
   bool valid() const { return state_ != nullptr; }
+
+  /// The request's span slot (null for invalid tickets; zero trace id
+  /// when unsampled). Mutable so transport layers can stamp wire stages
+  /// after completion; read it only once done() to stay ordered with
+  /// the server's stamps.
+  TraceSpanSlot* trace_slot() const {
+    return state_ != nullptr ? &state_->trace : nullptr;
+  }
 
  private:
   friend class ScoringServer;

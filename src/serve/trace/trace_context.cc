@@ -1,0 +1,42 @@
+#include "serve/trace/trace_context.h"
+
+#include <cstring>
+
+#include "serve/audit/audit_log.h"
+#include "util/binary_io.h"
+
+namespace fairdrift {
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kWireRecv: return "wire_recv";
+    case TraceStage::kAdmit: return "admit";
+    case TraceStage::kEnqueue: return "enqueue";
+    case TraceStage::kDequeue: return "dequeue";
+    case TraceStage::kBatchAssemble: return "batch_assemble";
+    case TraceStage::kScore: return "score";
+    case TraceStage::kAuditFold: return "audit_fold";
+    case TraceStage::kWireSend: return "wire_send";
+  }
+  return "unknown";
+}
+
+TraceContext MintTraceContext(const double* row, size_t width,
+                              uint32_t sample_modulus) {
+  uint64_t hash = Fnv1aHash(reinterpret_cast<const char*>(row),
+                            width * sizeof(double));
+  TraceContext context;
+  if (sample_modulus > 1 && hash % sample_modulus != 0) {
+    return context;  // unsampled: zero context
+  }
+  // 0 is the unsampled sentinel; remap the (astronomically unlikely)
+  // zero hash so a sampled row always carries a nonzero id.
+  context.trace_id = hash != 0 ? hash : 1;
+  return context;
+}
+
+uint64_t TraceSpanId(uint64_t trace_id, const char* role) {
+  return Fnv1aChain(trace_id, role, std::strlen(role));
+}
+
+}  // namespace fairdrift

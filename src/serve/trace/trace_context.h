@@ -1,0 +1,91 @@
+// Request-scoped trace identity + allocation-free span slot.
+//
+// Trace ids are minted at admission from the request row's bytes
+// (FNV-1a content hash), exactly like the density monitor's sampled
+// mode selects rows: a row is sampled iff hash % sample_modulus == 0,
+// and its trace id IS that hash. Because the id derives from content
+// and not from arrival order, the sampled set is deterministic and
+// invariant across batch composition, shard assignment, worker counts,
+// and process boundaries — every process a sampled row passes through
+// re-derives the same trace id without coordination, and the wire only
+// has to carry the parent span linkage (net/frame.h trace extension).
+//
+// Span recording is a fixed-size array of per-stage nanosecond stamps
+// (util/timer.h MonotonicNowNs) embedded in the request's TicketState:
+// stamping is a store into pre-existing memory, so the sampled path
+// allocates nothing extra and the unsampled path only pays one hash.
+// Stage index order is the canonical intra-process happens-before
+// order; a whole-span record's stamps must be non-decreasing in it.
+
+#ifndef FAIRDRIFT_SERVE_TRACE_TRACE_CONTEXT_H_
+#define FAIRDRIFT_SERVE_TRACE_TRACE_CONTEXT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/timer.h"
+
+namespace fairdrift {
+
+/// Pipeline stages a request's span slot can stamp, in canonical
+/// happens-before order within one process.
+enum class TraceStage : uint8_t {
+  kWireRecv = 0,       ///< daemon received the carrying score frame
+  kAdmit = 1,          ///< admission passed, ticket minted
+  kEnqueue = 2,        ///< pushed into the request queue
+  kDequeue = 3,        ///< dispatcher popped it into a batch
+  kBatchAssemble = 4,  ///< batch worker staged the row into scratch
+  kScore = 5,          ///< snapshot scoring of its batch finished
+  kAuditFold = 6,      ///< fairness-audit fold of its batch finished
+  kWireSend = 7,       ///< daemon serialized the reply frame
+};
+
+inline constexpr size_t kTraceStageCount = 8;
+
+/// Stable stage key used in trace records and metric labels.
+const char* TraceStageName(TraceStage stage);
+
+/// The identity a request's spans hang off. trace_id == 0 means
+/// unsampled (the FNV offset basis never hashes to 0 in practice; a
+/// pathological zero hash is remapped at mint).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// Mints the trace context of one request row. Sampled iff the row's
+/// FNV-1a hash % sample_modulus == 0 (modulus 0 or 1 samples every
+/// row); unsampled rows get the zero context. Deterministic in the row
+/// bytes alone.
+TraceContext MintTraceContext(const double* row, size_t width,
+                              uint32_t sample_modulus);
+
+/// This process's span id within a trace: one FNV-1a chain step of the
+/// role name seeded with the trace id, so "router" -> "shard" parent
+/// links are reproducible from (trace id, role path) alone.
+uint64_t TraceSpanId(uint64_t trace_id, const char* role);
+
+/// Fixed-size per-request span storage (embedded in TicketState — the
+/// sampled path never allocates for tracing).
+struct TraceSpanSlot {
+  TraceContext context;
+  /// Stamp of each stage in MonotonicNowNs units; 0 = never stamped.
+  std::array<uint64_t, kTraceStageCount> stamp_ns{};
+
+  bool sampled() const { return context.sampled(); }
+
+  void Stamp(TraceStage stage) { StampAt(stage, MonotonicNowNs()); }
+  void StampAt(TraceStage stage, uint64_t now_ns) {
+    stamp_ns[static_cast<size_t>(stage)] = now_ns;
+  }
+  uint64_t stamp(TraceStage stage) const {
+    return stamp_ns[static_cast<size_t>(stage)];
+  }
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_TRACE_TRACE_CONTEXT_H_

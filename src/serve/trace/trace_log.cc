@@ -1,0 +1,65 @@
+#include "serve/trace/trace_log.h"
+
+namespace fairdrift {
+namespace {
+
+void AppendHex16(uint64_t v, std::string* out) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  out->append(buf, sizeof(buf));
+}
+
+}  // namespace
+
+std::string FormatTraceRecord(const TraceSpanSlot& slot, const char* role,
+                              uint64_t snapshot_version) {
+  std::string out;
+  out.reserve(256);
+  out.append("{\"trace\":\"");
+  AppendHex16(slot.context.trace_id, &out);
+  out.append("\",\"span\":\"");
+  AppendHex16(TraceSpanId(slot.context.trace_id, role), &out);
+  out.append("\",\"parent\":\"");
+  AppendHex16(slot.context.parent_span_id, &out);
+  out.append("\",\"role\":\"");
+  out.append(role);
+  out.append("\",\"snapshot\":");
+  out.append(std::to_string(snapshot_version));
+  out.append(",\"spans\":{");
+  bool first = true;
+  for (size_t i = 0; i < kTraceStageCount; ++i) {
+    uint64_t ns = slot.stamp_ns[i];
+    if (ns == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(TraceStageName(static_cast<TraceStage>(i)));
+    out.append("\":");
+    out.append(std::to_string(ns));
+  }
+  out.append("}}");
+  return out;
+}
+
+Result<std::unique_ptr<TraceLog>> TraceLog::Open(
+    const std::string& path, const TraceLogOptions& options) {
+  AuditLogOptions log_options;
+  log_options.fsync_each_append = options.fsync_each_append;
+  log_options.rotate_bytes = options.rotate_bytes;
+  log_options.append_fault_site = "trace.append";
+  log_options.fsync_fault_site = "trace.fsync";
+  Result<std::unique_ptr<AuditLog>> log = AuditLog::Open(path, log_options);
+  if (!log.ok()) return log.status();
+  return std::unique_ptr<TraceLog>(new TraceLog(std::move(log.value())));
+}
+
+Status TraceLog::Append(const TraceSpanSlot& slot, const char* role,
+                        uint64_t snapshot_version) {
+  return log_->Append(FormatTraceRecord(slot, role, snapshot_version));
+}
+
+}  // namespace fairdrift

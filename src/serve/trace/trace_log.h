@@ -1,0 +1,84 @@
+// Chained JSONL trace log: whole-span records of sampled requests.
+//
+// One record per sampled request, written once the request's span slot
+// is fully stamped (after ticket fulfillment on the emitting path —
+// never on the scoring hot path, and never at all for unsampled rows):
+//
+//   {"trace":"<16 hex>","span":"<16 hex>","parent":"<16 hex>",
+//    "role":"shard","snapshot":3,
+//    "spans":{"admit":<ns>,"enqueue":<ns>,...}}
+//
+// wrapped in the audit tier's per-record checksum-chain envelope
+// (serve/audit/audit_log.h) — the trace log IS an AuditLog with the
+// `trace.append` / `trace.fsync` fault sites and the same rotation,
+// torn-tail, and verification semantics, so `fairdrift_cli trace
+// verify` proves a daemon's trace history intact across SIGKILL exactly
+// like `audit verify` does for fairness windows. Span timestamps are
+// MonotonicNowNs values: monotonic within the emitting process, only
+// ordered within it.
+//
+// A failed append drops that one record and is counted by the caller
+// (ServerStats trace_append_failures); tracing must never fail scoring.
+
+#ifndef FAIRDRIFT_SERVE_TRACE_TRACE_LOG_H_
+#define FAIRDRIFT_SERVE_TRACE_TRACE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/audit/audit_log.h"
+#include "serve/trace/trace_context.h"
+#include "util/status.h"
+
+namespace fairdrift {
+
+struct TraceLogOptions {
+  /// Rotate by size with chained continuation (AuditLogOptions
+  /// semantics); 0 = never rotate.
+  uint64_t rotate_bytes = 0;
+  /// fsync after every record (slow; spans are telemetry, not ledger
+  /// entries, so the default trades durability of the last record for
+  /// throughput).
+  bool fsync_each_append = false;
+};
+
+/// The span record's `rec` JSON (without the chain envelope). Only
+/// stamped stages appear, in canonical TraceStage order. Exposed for
+/// tests and the CLI's `trace show`.
+std::string FormatTraceRecord(const TraceSpanSlot& slot, const char* role,
+                              uint64_t snapshot_version);
+
+/// Append-side writer of the trace log. Thread-safe.
+class TraceLog {
+ public:
+  /// Opens (creating if absent), resuming the chain across any rotated
+  /// segments — AuditLog::Open semantics, trace.* fault sites.
+  static Result<std::unique_ptr<TraceLog>> Open(
+      const std::string& path, const TraceLogOptions& options = {});
+
+  /// Appends one sampled request's whole-span record. `role` names the
+  /// emitting tier ("server", "shard", "router"); the record's span id
+  /// is TraceSpanId(trace id, role). Fails without advancing the chain
+  /// on the `trace.append` fault site.
+  Status Append(const TraceSpanSlot& slot, const char* role,
+                uint64_t snapshot_version);
+
+  /// fsyncs (the `trace.fsync` fault site).
+  Status Sync() { return log_->Sync(); }
+
+  uint64_t records() const { return log_->records(); }
+  uint64_t chain() const { return log_->chain(); }
+  uint64_t rotated_segments() const { return log_->rotated_segments(); }
+  const std::string& path() const { return log_->path(); }
+
+ private:
+  explicit TraceLog(std::unique_ptr<AuditLog> log) : log_(std::move(log)) {}
+
+  std::unique_ptr<AuditLog> log_;
+};
+
+}  // namespace fairdrift
+
+#endif  // FAIRDRIFT_SERVE_TRACE_TRACE_LOG_H_

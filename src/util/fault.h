@@ -42,6 +42,10 @@
 //   net.write             TcpConnection::SendAll truncates mid-buffer
 //   net.push.chunk        shard daemon rejects a pushed snapshot chunk
 //                         with kDataLoss (arg = chunk index)
+//   trace.append          TraceLog::Append fails before writing (the
+//                         span record is lost, the chain stays valid,
+//                         scoring is never affected)
+//   trace.fsync           TraceLog::Sync's fsync fails after the write
 
 #ifndef FAIRDRIFT_UTIL_FAULT_H_
 #define FAIRDRIFT_UTIL_FAULT_H_

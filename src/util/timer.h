@@ -4,8 +4,19 @@
 #define FAIRDRIFT_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace fairdrift {
+
+/// Monotonic clock reading in nanoseconds (steady_clock epoch). Span
+/// stamps across threads of one process compare directly; stamps from
+/// different processes only order within their own process.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch.
 class WallTimer {

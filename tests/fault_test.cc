@@ -36,7 +36,10 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/deployment.h"
+#include "serve/audit/audit_log.h"
 #include "serve/fleet/fleet.h"
 #include "serve/fleet/health.h"
 #include "serve/fleet/watcher.h"
@@ -44,7 +47,9 @@
 #include "serve/net/shard_daemon.h"
 #include "serve/net/wire.h"
 #include "serve/server.h"
+#include "serve/server_stats.h"
 #include "serve/snapshot_io.h"
+#include "serve/trace/trace_log.h"
 #include "util/rng.h"
 
 namespace fairdrift {
@@ -949,6 +954,105 @@ TEST(FaultMatrix, RemoteScoringShedsTypedErrorsUnderFlakyTransport) {
     EXPECT_EQ(Bits(r.value().probability), want_bits[i])
         << "seed " << seed << " row " << i;
   }
+}
+
+TEST(FaultMatrix, TraceAppendFailuresNeverFailScoringAndAreAccounted) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(87);
+  ASSERT_NE(snapshot, nullptr);
+  std::string path = TempPath("fault_trace_matrix.jsonl." +
+                              std::to_string(::getpid()) + "." +
+                              std::to_string(MatrixSeed()));
+  std::remove(path.c_str());
+  Result<std::unique_ptr<TraceLog>> log = TraceLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  ServerOptions options;
+  options.trace.enabled = true;
+  options.trace.sample_modulus = 1;  // every request traces
+  options.trace.sink = log.value().get();
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  uint64_t seed = MatrixSeed();
+  {
+    FaultGuard guard(seed);
+    FaultRule flaky;
+    flaky.probability = 0.3;  // seed-dependent subset of appends fails
+    FaultInjector::Global().SetRule("trace.append", flaky);
+
+    // Seed-independent invariant: a failing trace sink NEVER fails
+    // scoring — every request completes with its score.
+    std::vector<std::vector<double>> rows = MakeRequests(64, 88);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Result<ScoreResult> r = server.value()->ScoreSync(rows[i]);
+      ASSERT_TRUE(r.ok())
+          << "seed " << seed << " row " << i << ": " << r.status().ToString();
+      EXPECT_NE(r.value().trace_id, 0u);
+    }
+    server.value().reset();  // drain: all emissions settled
+
+    // Accounting closes: every sampled request either landed in the log
+    // or was counted as an append failure, nothing double-counted.
+    // (The server object is gone but its final stats were folded into
+    // the log/injector state we can still observe.)
+    uint64_t fires = FaultInjector::Global().fires("trace.append");
+    EXPECT_EQ(log.value()->records() + fires, rows.size())
+        << "seed " << seed;
+
+    // A failed append never advances the chain: the survivors verify as
+    // one unbroken sequence.
+    log.value().reset();
+    Result<AuditVerifyReport> report = VerifyAuditLogChain(path);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report.value().records, rows.size() - fires);
+    EXPECT_FALSE(report.value().torn_tail);
+  }
+}
+
+TEST(FaultMatrix, TraceAppendFailureCountsSurfaceInServerStats) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(89);
+  ASSERT_NE(snapshot, nullptr);
+  std::string path = TempPath("fault_trace_stats.jsonl." +
+                              std::to_string(::getpid()) + "." +
+                              std::to_string(MatrixSeed()));
+  std::remove(path.c_str());
+  Result<std::unique_ptr<TraceLog>> log = TraceLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  ServerOptions options;
+  options.trace.enabled = true;
+  options.trace.sample_modulus = 1;
+  options.trace.sink = log.value().get();
+  Result<std::unique_ptr<ScoringServer>> server =
+      ScoringServer::Create(snapshot, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  uint64_t seed = MatrixSeed();
+  FaultGuard guard(seed);
+  FaultRule flaky;
+  flaky.probability = 0.3;
+  FaultInjector::Global().SetRule("trace.append", flaky);
+
+  std::vector<std::vector<double>> rows = MakeRequests(64, 90);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(server.value()->ScoreSync(row).ok());
+  }
+  // ScoreSync returns at ticket completion; emission follows on the
+  // batch worker. Settle the ledger before reading it.
+  ASSERT_TRUE(WaitUntil([&] {
+    ServerStats::View v = server.value()->stats();
+    return v.trace_append_failures + log.value()->records() ==
+           v.trace_sampled;
+  })) << "seed " << seed << ": failures="
+      << server.value()->stats().trace_append_failures
+      << " records=" << log.value()->records()
+      << " sampled=" << server.value()->stats().trace_sampled;
+
+  ServerStats::View view = server.value()->stats();
+  EXPECT_EQ(view.trace_sampled, rows.size());
+  EXPECT_EQ(view.trace_append_failures,
+            FaultInjector::Global().fires("trace.append"));
 }
 
 #else  // FAIRDRIFT_NO_FAULT_INJECTION

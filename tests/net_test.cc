@@ -285,6 +285,82 @@ TEST(FrameTest, ChecksumMismatchIsDataLoss) {
   EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
 }
 
+TEST(FrameTest, TraceExtensionRoundTripsOverLoopback) {
+  SocketPair pair = MakeSocketPair();
+  std::string payload = "traced score batch";
+  net::FrameTraceContext trace;
+  trace.trace_id = 0;  // batch frames carry tier linkage, not a row id
+  trace.parent_span_id = 0xDEADBEEFCAFEF00Dull;
+  ASSERT_TRUE(net::WriteTracedFrame(pair.client, FrameType::kScoreBatch,
+                                    payload, trace, kIo)
+                  .ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().type, FrameType::kScoreBatch);
+  EXPECT_EQ(frame.value().payload, payload);
+  EXPECT_TRUE(frame.value().has_trace);
+  EXPECT_EQ(frame.value().trace.trace_id, trace.trace_id);
+  EXPECT_EQ(frame.value().trace.parent_span_id, trace.parent_span_id);
+
+  // A plain frame on the same connection stays flagless.
+  ASSERT_TRUE(
+      WriteFrame(pair.server, FrameType::kHealthProbe, "", kIo).ok());
+  Result<Frame> probe = ReadFrame(pair.client, kIo);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_FALSE(probe.value().has_trace);
+}
+
+/// Hand-built traced frame so the corruption test can flip extension
+/// bytes that WriteTracedFrame would checksum correctly.
+std::string RawTracedFrame(uint16_t flags, uint64_t trace_id,
+                           uint64_t parent_span_id,
+                           const std::string& payload, bool valid_checksum) {
+  BinaryWriter w;
+  for (char c : {'F', 'D', 'R', 'P'}) w.WriteU8(static_cast<uint8_t>(c));
+  w.WriteU8(net::kFrameProtocolVersion);
+  w.WriteU8(1);  // kScoreBatch
+  w.WriteU8(static_cast<uint8_t>(flags & 0xFF));
+  w.WriteU8(static_cast<uint8_t>(flags >> 8));
+  w.WriteU64(payload.size());
+  std::string buf = std::move(w).TakeBuffer();
+  if ((flags & net::kFrameFlagTrace) != 0) {
+    BinaryWriter ext;
+    ext.WriteU64(trace_id);
+    ext.WriteU64(parent_span_id);
+    buf.append(std::move(ext).TakeBuffer());
+  }
+  std::string checked = buf.substr(16) + payload;
+  buf.append(payload);
+  BinaryWriter trailer;
+  trailer.WriteU64(valid_checksum
+                       ? Fnv1aHash(checked.data(), checked.size())
+                       : 0);
+  buf.append(std::move(trailer).TakeBuffer());
+  return buf;
+}
+
+TEST(FrameTest, CorruptedTraceExtensionIsDataLoss) {
+  SocketPair pair = MakeSocketPair();
+  std::string raw = RawTracedFrame(net::kFrameFlagTrace, 0x1234, 0x5678,
+                                   "payload", /*valid_checksum=*/true);
+  raw[18] ^= 0x20;  // flip a byte inside the 16-byte trace extension
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), raw.size(), kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss)
+      << "the trailer checksum must cover the extension bytes";
+}
+
+TEST(FrameTest, UnknownFlagBitsAreRejectedNotDesynced) {
+  SocketPair pair = MakeSocketPair();
+  std::string raw = RawTracedFrame(/*flags=*/0x2, 0, 0, "payload",
+                                   /*valid_checksum=*/true);
+  ASSERT_TRUE(pair.client.SendAll(raw.data(), raw.size(), kIo).ok());
+  Result<Frame> frame = ReadFrame(pair.server, kIo);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
 TEST(FrameTest, OversizePayloadIsDataLoss) {
   SocketPair pair = MakeSocketPair();
   std::string raw =
@@ -411,6 +487,13 @@ TEST(WireTest, StatsViewRoundTripsBitwise) {
   stats.RecordBatch(8, std::chrono::microseconds(900));
   stats.RecordBatch(16, std::chrono::microseconds(1700));
   stats.RecordDensity(24, 3);
+  stats.RecordTraceSampled();
+  stats.RecordTraceSampled();
+  stats.RecordTraceAppendFailure();
+  for (size_t s = 0; s < ServerStats::kServeStages; ++s) {
+    stats.RecordStageLatency(s, std::chrono::nanoseconds(1000 * (s + 1)));
+    stats.RecordStageLatency(s, std::chrono::nanoseconds(9000 * (s + 1)));
+  }
   ServerStats::View view = stats.Snapshot();
 
   BinaryWriter w;
@@ -446,6 +529,16 @@ TEST(WireTest, StatsViewRoundTripsBitwise) {
   ExpectSameBits(v.audit_last_spd, view.audit_last_spd, 0, "spd");
   EXPECT_EQ(v.batch_size_hist, view.batch_size_hist);
   EXPECT_EQ(v.latency_hist, view.latency_hist);
+  EXPECT_EQ(v.trace_sampled, view.trace_sampled);
+  EXPECT_EQ(v.trace_sampled, 2u);
+  EXPECT_EQ(v.trace_append_failures, 1u);
+  for (size_t s = 0; s < ServerStats::kServeStages; ++s) {
+    EXPECT_EQ(v.stage_hist[s], view.stage_hist[s]) << "stage " << s;
+    ExpectSameBits(v.stage_p99_us[s], view.stage_p99_us[s], 0, "stage_p99");
+    uint64_t total = 0;
+    for (uint64_t c : v.stage_hist[s]) total += c;
+    EXPECT_EQ(total, 2u) << "stage " << s;
+  }
 }
 
 TEST(WireTest, HistogramMergeValidatesBucketCompatibility) {
@@ -646,6 +739,73 @@ TEST(RemoteFleetTest, RemoteScoringBitwiseEqualsInProcess) {
   EXPECT_EQ(stats.num_shards, 2u);
   EXPECT_EQ(stats.completed, 64u);
   EXPECT_EQ(stats.min_snapshot_version, stats.max_snapshot_version);
+}
+
+TEST(ShardDaemonTest, MetricsScrapeExposesServerAndTraceFamilies) {
+  std::shared_ptr<const ModelSnapshot> snapshot = MakeSnapshot(61, true);
+  ASSERT_NE(snapshot, nullptr);
+  ShardDaemonOptions options;
+  options.io_timeout = kIo;
+  options.trace_log_path = FreshDir("metrics_scrape_trace") + ".jsonl";
+  options.trace_sample_modulus = 1;  // sample every row
+  Result<std::unique_ptr<ShardDaemon>> daemon =
+      ShardDaemon::Start(snapshot, options);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  RemoteShardClient client("127.0.0.1", daemon.value()->port(), kIo);
+  Matrix requests = MakeRequests(8, 19);
+  WireScoreRequest request;
+  request.width = requests.cols();
+  request.rows = Flatten(requests);
+  net::FrameTraceContext trace;
+  trace.parent_span_id = 0x1111222233334444ull;
+  Result<std::vector<WireRowOutcome>> got =
+      client.ScoreBatch(request, &trace);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().size(), 8u);
+  for (size_t i = 0; i < got.value().size(); ++i) {
+    ASSERT_EQ(got.value()[i].code, StatusCode::kOk)
+        << got.value()[i].message;
+    EXPECT_NE(got.value()[i].result.trace_id, 0u)
+        << "modulus 1 samples every row, so every outcome carries its id";
+  }
+
+  Result<std::string> text = client.Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const std::string& body = text.value();
+  EXPECT_NE(body.find("fairdrift_completed_total 8\n"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("fairdrift_trace_sampled_total 8\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("fairdrift_trace_log_records_total 8\n"),
+            std::string::npos)
+      << "deferred trace emission must land before the reply frame: "
+      << body;
+  EXPECT_NE(body.find("# TYPE fairdrift_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("fairdrift_stage_latency_us{stage=\"score\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("fairdrift_net_frames_served_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("fairdrift_snapshot_version"), std::string::npos);
+
+  // A scrape through a daemon without a trace log still renders the
+  // shared family set (trace counters read zero).
+  ShardDaemonOptions bare;
+  bare.io_timeout = kIo;
+  Result<std::unique_ptr<ShardDaemon>> plain =
+      ShardDaemon::Start(snapshot, bare);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  RemoteShardClient plain_client("127.0.0.1", plain.value()->port(), kIo);
+  Result<std::string> plain_text = plain_client.Metrics();
+  ASSERT_TRUE(plain_text.ok()) << plain_text.status().ToString();
+  EXPECT_NE(plain_text.value().find("fairdrift_trace_sampled_total 0\n"),
+            std::string::npos);
+  EXPECT_EQ(plain_text.value().find("fairdrift_trace_log_records_total"),
+            std::string::npos)
+      << "no trace log, no trace-log family";
 }
 
 TEST(RemoteFleetTest, MalformedRowWidthIsInvalidArgument) {
